@@ -1,0 +1,104 @@
+// Ablations of the partition design choices DESIGN.md calls out:
+//   1. virtual-block clustering on/off (curve size and search validity);
+//   2. JPS ratio rule vs exact split sweep vs hull pair vs continuous
+//      relaxation single cut;
+//   3. trunk-only curve vs general curve with intra-module spread cuts
+//      (GoogLeNet).
+#include <iostream>
+
+#include "common.h"
+#include "models/registry.h"
+#include "partition/continuous.h"
+#include "partition/general_dag.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner("Ablation: partition",
+                      "Clustering, cut-pair selection rule, and spread cuts");
+
+  constexpr int kJobs = 100;
+  constexpr double kMbps = net::kBandwidth4GMbps;
+
+  // 1. Clustering.
+  std::cout << "\n--- virtual-block clustering (4G) ---\n";
+  util::Table clustering({"model", "raw cuts", "clustered cuts",
+                          "raw g monotone?", "clustered g monotone?"});
+  for (const auto& model : models::all_names()) {
+    const bench::Testbed testbed(model);
+    partition::CurveOptions raw_opt;
+    raw_opt.cluster = false;
+    const auto raw = partition::ProfileCurve::build(
+        testbed.graph(), testbed.mobile(), net::Channel(kMbps), raw_opt);
+    const auto clustered = testbed.curve(kMbps);
+    clustering.add_row({model, std::to_string(raw.size()),
+                        std::to_string(clustered.size()),
+                        raw.is_monotone() ? "yes" : "no",
+                        clustered.is_monotone() ? "yes" : "no"});
+  }
+  std::cout << clustering
+            << "(without clustering the binary search's precondition fails "
+               "on most models)\n";
+
+  // 2. Cut-pair selection rule.
+  std::cout << "\n--- pair-selection rule (per-job ms, 4G, predicted) ---\n";
+  util::Table rules({"model", "JPS (ratio)", "JPS* (sweep)", "JPS+ (hull)",
+                     "continuous x* single cut", "BF"});
+  for (const auto& model : models::paper_eval_names()) {
+    const bench::Testbed testbed(model);
+    const auto curve = testbed.curve(kMbps);
+    const core::Planner planner(curve);
+    const double jps =
+        planner.plan(core::Strategy::kJPS, kJobs).predicted_makespan / kJobs;
+    const double tuned =
+        planner.plan(core::Strategy::kJPSTuned, kJobs).predicted_makespan /
+        kJobs;
+    const double hull =
+        planner.plan(core::Strategy::kJPSHull, kJobs).predicted_makespan /
+        kJobs;
+    const double bf =
+        planner.plan(core::Strategy::kBruteForce, kJobs).predicted_makespan /
+        kJobs;
+    // Continuous relaxation: round x* and cut every job there.
+    const auto relax = partition::relax_continuous(curve);
+    const auto rounded = static_cast<std::size_t>(relax.x_star + 0.5);
+    const double f = curve.f(rounded);
+    const double g = curve.g(rounded);
+    const double continuous = std::max(f, g) +
+                              (f + g - std::max(f, g)) / kJobs;  // per-job
+    rules.add_row({model, util::format_ms(jps), util::format_ms(tuned),
+                   util::format_ms(hull), util::format_ms(continuous),
+                   util::format_ms(bf)});
+  }
+  std::cout << rules
+            << "(hull pair == index pair when the curve is convex; on coarse "
+               "curves only the hull pair matches BF)\n";
+
+  // 3. Spread cuts for GoogLeNet.
+  std::cout << "\n--- GoogLeNet spread cuts (intra-inception, 4G) ---\n";
+  const bench::Testbed google("googlenet");
+  const auto mobile_fn = [&](dnn::NodeId id) {
+    return google.mobile().node_time_ms(google.graph(), id);
+  };
+  const net::Channel channel(kMbps);
+  const auto comm_fn = [&](std::uint64_t bytes) { return channel.time_ms(bytes); };
+  const auto trunk = partition::ProfileCurve::build(google.graph(), mobile_fn,
+                                                    comm_fn);
+  const auto general =
+      partition::build_general_curve(google.graph(), mobile_fn, comm_fn);
+  const core::Planner trunk_planner(trunk);
+  const core::Planner general_planner(general);
+  util::Table spread({"curve", "cut candidates", "JPS+ per-job ms"});
+  spread.add_row(
+      {"trunk only", std::to_string(trunk.size()),
+       util::format_ms(trunk_planner.plan(core::Strategy::kJPSHull, kJobs)
+                           .predicted_makespan /
+                       kJobs)});
+  spread.add_row({"trunk + spread", std::to_string(general.size()),
+                  util::format_ms(
+                      general_planner.plan(core::Strategy::kJPSHull, kJobs)
+                          .predicted_makespan /
+                      kJobs)});
+  std::cout << spread;
+  return 0;
+}

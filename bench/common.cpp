@@ -1,0 +1,58 @@
+#include "common.h"
+
+#include <iostream>
+
+#include "models/registry.h"
+
+namespace jps::bench {
+
+Testbed::Testbed(const std::string& model_name)
+    : graph_(models::build(model_name)),
+      mobile_(profile::DeviceProfile::raspberry_pi_4b()),
+      cloud_(profile::DeviceProfile::cloud_gtx1080()) {}
+
+partition::ProfileCurve Testbed::curve(double mbps) const {
+  return partition::ProfileCurve::build(graph_, mobile_, net::Channel(mbps));
+}
+
+Testbed::Outcome Testbed::run(core::Strategy strategy, double mbps, int n_jobs,
+                              std::uint64_t seed) const {
+  const net::Channel channel(mbps);
+  const partition::ProfileCurve c = curve(mbps);
+  const core::Planner planner(c);
+  Outcome outcome;
+  outcome.plan = planner.plan(strategy, n_jobs);
+  util::Rng rng(seed);
+  outcome.simulated_makespan =
+      sim::simulate_plan(graph_, c, outcome.plan, mobile_, cloud_, channel,
+                         sim::SimOptions{}, rng)
+          .makespan;
+  return outcome;
+}
+
+double Testbed::simulate(core::Strategy strategy, double mbps, int n_jobs,
+                         std::uint64_t seed) const {
+  return run(strategy, mbps, n_jobs, seed).simulated_makespan;
+}
+
+std::unique_ptr<util::CsvWriter> maybe_csv(
+    const std::string& name, const std::vector<std::string>& header) {
+  const char* dir = std::getenv("JPS_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return nullptr;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  auto writer = std::make_unique<util::CsvWriter>(path, header);
+  std::cout << "(writing series to " << path << ")\n";
+  return writer;
+}
+
+void print_banner(const std::string& figure, const std::string& description) {
+  std::cout << "==============================================================\n"
+            << "Reproduction of " << figure << " — Duan & Wu, ICPP 2021\n"
+            << description << "\n"
+            << "Substrate: simulated Pi-4B mobile / GTX1080 cloud testbed\n"
+            << "(shapes are the comparison target, not absolute ms; see\n"
+            << "EXPERIMENTS.md)\n"
+            << "==============================================================\n";
+}
+
+}  // namespace jps::bench

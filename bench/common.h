@@ -1,0 +1,64 @@
+// Shared fixtures for the figure/table benches: the simulated testbed of
+// §6.1 (Pi-4B-class mobile device, GTX1080-class cloud, affine channel) and
+// helpers to plan + execute and report one configuration.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "util/csv.h"
+#include "core/planner.h"
+#include "dnn/graph.h"
+#include "net/channel.h"
+#include "partition/profile_curve.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "sim/executor.h"
+
+namespace jps::bench {
+
+/// The paper's testbed, simulated.
+class Testbed {
+ public:
+  explicit Testbed(const std::string& model_name);
+
+  [[nodiscard]] const dnn::Graph& graph() const { return graph_; }
+  [[nodiscard]] const profile::LatencyModel& mobile() const { return mobile_; }
+  [[nodiscard]] const profile::LatencyModel& cloud() const { return cloud_; }
+
+  /// Clustered trunk curve at the given uplink bandwidth.
+  [[nodiscard]] partition::ProfileCurve curve(double mbps) const;
+
+  /// Plan `n_jobs` with `strategy` at `mbps` and execute the plan on the
+  /// discrete-event simulator (3-stage, noiseless).  Returns the simulated
+  /// makespan in ms.
+  [[nodiscard]] double simulate(core::Strategy strategy, double mbps,
+                                int n_jobs, std::uint64_t seed = 1) const;
+
+  /// Same, but returns the whole plan + simulated makespan pair.
+  struct Outcome {
+    core::ExecutionPlan plan;
+    double simulated_makespan = 0.0;
+  };
+  [[nodiscard]] Outcome run(core::Strategy strategy, double mbps, int n_jobs,
+                            std::uint64_t seed = 1) const;
+
+ private:
+  dnn::Graph graph_;
+  profile::LatencyModel mobile_;
+  profile::LatencyModel cloud_;
+};
+
+/// Standard bench banner: what is being reproduced and on what substrate.
+void print_banner(const std::string& figure, const std::string& description);
+
+/// When the JPS_BENCH_CSV_DIR environment variable is set, open
+/// "<dir>/<name>.csv" with the given header so figure benches can dump the
+/// raw series for re-plotting; returns nullptr (and writes nothing) when
+/// unset.
+[[nodiscard]] std::unique_ptr<util::CsvWriter> maybe_csv(
+    const std::string& name, const std::vector<std::string>& header);
+
+}  // namespace jps::bench

@@ -1,0 +1,59 @@
+// Extension bench: mobile energy.  Neurosurgeon (the PO baseline's origin)
+// also optimizes mobile energy; this bench reports the energy each strategy
+// spends per job and the latency/energy trade-off of the cut choice.
+#include <iostream>
+
+#include "common.h"
+#include "core/energy.h"
+#include "models/registry.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner("Extension: mobile energy",
+                      "Per-job mobile energy of LO/CO/PO/JPS and the "
+                      "energy-optimal cut (Pi-4B power profile, 100 jobs)");
+
+  const core::EnergyModel energy(core::PowerProfile::raspberry_pi_4b());
+  constexpr int kJobs = 100;
+
+  for (const double mbps : {net::kBandwidth4GMbps, net::kBandwidthWiFiMbps}) {
+    std::cout << "\n--- " << mbps << " Mbps (mJ per job | ms per job) ---\n";
+    util::Table table({"model", "LO", "CO", "PO", "JPS", "energy-opt cut",
+                       "JPS vs LO energy"});
+    for (const auto& model : models::paper_eval_names()) {
+      const bench::Testbed testbed(model);
+      const auto curve = testbed.curve(mbps);
+      const core::Planner planner(curve);
+
+      auto cell = [&](core::Strategy strategy) {
+        const core::ExecutionPlan plan = planner.plan(strategy, kJobs);
+        std::vector<std::size_t> cuts;
+        for (const auto& j : plan.jobs) cuts.push_back(j.cut_index);
+        const double mj =
+            energy.schedule_energy_mj(curve, cuts, plan.predicted_makespan) /
+            kJobs;
+        return std::pair<double, double>{mj, plan.makespan_per_job()};
+      };
+      const auto lo = cell(core::Strategy::kLocalOnly);
+      const auto co = cell(core::Strategy::kCloudOnly);
+      const auto po = cell(core::Strategy::kPartitionOnly);
+      const auto jps = cell(core::Strategy::kJPS);
+      const std::size_t energy_cut = energy.energy_optimal_cut(curve);
+
+      auto fmt = [](const std::pair<double, double>& v) {
+        return util::format_fixed(v.first, 0) + " | " +
+               util::format_ms(v.second);
+      };
+      table.add_row({model, fmt(lo), fmt(co), fmt(po), fmt(jps),
+                     curve.cut(energy_cut).label,
+                     util::format_pct(1.0 - jps.first / lo.first)});
+    }
+    std::cout << table;
+  }
+  std::cout << "\n(JPS halves latency AND energy vs LO at these rates: less\n"
+               "CPU-on time outweighs the radio cost.  The single-job\n"
+               "energy-optimal cut usually coincides with PO's latency cut\n"
+               "here because compute power dominates the Pi's radio.)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Extension bench: how much does estimation error cost?  The paper's
+// scheduler plans on a lookup table + comm regression (§6.1); both carry
+// measurement noise.  This bench plans with increasingly noisy estimates,
+// executes every plan on the exact simulator, and reports the regret vs the
+// oracle plan — quantifying how robust the JPS decision is to profiling
+// quality.
+#include <iostream>
+
+#include "common.h"
+#include "profile/profiler.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner("Extension: estimation-error robustness",
+                      "Plan on noisy profiles, execute on the true testbed; "
+                      "regret vs the oracle plan (alexnet, 4G, 50 jobs)");
+
+  const bench::Testbed testbed("alexnet");
+  const double mbps = net::kBandwidth4GMbps;
+  const net::Channel channel(mbps);
+  constexpr int kJobs = 50;
+  constexpr int kRepeats = 11;
+
+  // Oracle: plan and execute on exact costs.
+  const auto oracle_curve = testbed.curve(mbps);
+  const core::Planner oracle_planner(oracle_curve);
+  const core::ExecutionPlan oracle_plan =
+      oracle_planner.plan(core::Strategy::kJPS, kJobs);
+  util::Rng oracle_rng(1);
+  const double oracle_ms =
+      sim::simulate_plan(testbed.graph(), oracle_curve, oracle_plan,
+                         testbed.mobile(), testbed.cloud(), channel, {},
+                         oracle_rng)
+          .makespan;
+
+  util::Table table({"profiling sigma", "median regret", "p95 regret",
+                     "plans == oracle cuts"});
+  for (const double sigma : {0.02, 0.05, 0.10, 0.20, 0.40}) {
+    std::vector<double> regrets;
+    int identical = 0;
+    for (int rep = 0; rep < kRepeats; ++rep) {
+      profile::ProfilerOptions options;
+      options.noise_sigma = sigma;
+      options.trials = 7;
+      const profile::Profiler profiler(
+          profile::DeviceProfile::raspberry_pi_4b(), options);
+      util::Rng rng(static_cast<std::uint64_t>(100 + rep));
+      profile::LookupTable lookup;
+      lookup.add_graph(testbed.graph(),
+                       profiler.measure_graph(testbed.graph(), rng));
+
+      // Plan on the noisy estimates...
+      const auto noisy_curve =
+          partition::ProfileCurve::build(testbed.graph(), lookup, channel);
+      const core::Planner planner(noisy_curve);
+      const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, kJobs);
+
+      // ...but execute with the TRUE per-layer costs.  The plan's cut
+      // choices are re-evaluated against the oracle curve.
+      util::Rng sim_rng(1);
+      const double actual =
+          sim::simulate_plan(testbed.graph(), oracle_curve, plan,
+                             testbed.mobile(), testbed.cloud(), channel, {},
+                             sim_rng)
+              .makespan;
+      regrets.push_back(actual / oracle_ms - 1.0);
+      identical += plan.jobs == oracle_plan.jobs ? 1 : 0;
+    }
+    table.add_row({util::format_fixed(sigma, 2),
+                   util::format_pct(util::median(regrets)),
+                   util::format_pct(util::percentile(regrets, 95.0)),
+                   std::to_string(identical) + "/" + std::to_string(kRepeats)});
+  }
+  std::cout << table
+            << "\n(The discrete cut grid absorbs small estimation errors —\n"
+               "the chosen pair only flips once errors move the f >= g\n"
+               "crossing across a cut boundary.)\n";
+  return 0;
+}

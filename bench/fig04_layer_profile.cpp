@@ -1,0 +1,58 @@
+// Fig. 4 — Time consumption of each layer (block) of AlexNet.
+//   (a) mobile compute vs communication vs cloud compute per cut candidate:
+//       cloud compute is negligible.
+//   (b) the trend: cumulative mobile time f increases with depth, clustered
+//       offload time g decreases.
+#include <iostream>
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner("Figure 4",
+                      "Per-layer time profile of AlexNet (8 clustered blocks): "
+                      "cloud time negligible; f increasing, g decreasing");
+
+  const bench::Testbed testbed("alexnet");
+  const double wifi = net::kBandwidthWiFiMbps;
+  const net::Channel channel(wifi);
+
+  partition::CurveOptions options;
+  options.with_cloud_times = true;
+  const auto curve = partition::ProfileCurve::build(
+      testbed.graph(), testbed.mobile(), channel, options, &testbed.cloud());
+
+  util::Table per_block({"block (cut point)", "mobile comp (ms)",
+                         "block comp (ms)", "comm (ms)", "cloud comp (ms)",
+                         "offload size"});
+  double prev_f = 0.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const auto& cut = curve.cut(i);
+    per_block.add_row({cut.label, util::format_ms(cut.f),
+                       util::format_ms(cut.f - prev_f),
+                       util::format_ms(cut.g), util::format_ms(cut.cloud),
+                       util::format_bytes(cut.offload_bytes)});
+    prev_f = cut.f;
+  }
+  std::cout << per_block;
+
+  const double mobile_total = testbed.mobile().graph_time_ms(testbed.graph());
+  const double cloud_total = testbed.cloud().graph_time_ms(testbed.graph());
+  std::cout << "\nFig 4(a) claim check: total cloud compute "
+            << util::format_ms(cloud_total) << " ms vs total mobile compute "
+            << util::format_ms(mobile_total) << " ms ("
+            << util::format_pct(cloud_total / mobile_total)
+            << " of mobile) -> negligible\n";
+
+  bool f_up = true;
+  bool g_down = true;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    f_up &= curve.f(i) >= curve.f(i - 1);
+    g_down &= curve.g(i) <= curve.g(i - 1);
+  }
+  std::cout << "Fig 4(b) claim check: f monotonically increasing: "
+            << (f_up ? "yes" : "NO") << "; clustered g non-increasing: "
+            << (g_down ? "yes" : "NO") << "\n";
+  return 0;
+}

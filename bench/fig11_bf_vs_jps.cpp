@@ -1,0 +1,79 @@
+// Fig. 11 — JPS vs brute-force (BF) optimal, on AlexNet and on the
+// synthetic AlexNet' whose communication curve is replaced by its fitted
+// convex exponential (§6.3).  The paper's finding: on AlexNet' (where the
+// §3.2 convexity assumptions hold exactly) JPS reaches the BF optimum; on
+// raw AlexNet it is optimal for small job counts and near-optimal beyond.
+#include <iostream>
+
+#include "common.h"
+#include "sched/bruteforce.h"
+#include "util/table.h"
+
+namespace {
+
+// BF: exact multiset enumeration while tractable, two-type search beyond
+// (which the tests show is within O(1/n) of exact).
+double bf_makespan(const jps::partition::ProfileCurve& curve, int n) {
+  const auto options = curve.as_cut_options();
+  try {
+    return jps::sched::bruteforce_exact(options, n, 5'000'000).makespan;
+  } catch (const std::invalid_argument&) {
+    return jps::sched::bruteforce_two_type(options, n).makespan;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace jps;
+  bench::print_banner(
+      "Figure 11",
+      "Overall time of n identical jobs: JPS vs brute-force search, on\n"
+      "AlexNet and synthetic AlexNet' (comm sampled from the fitted curve)");
+
+  const bench::Testbed testbed("alexnet");
+  const double mbps = 10.0;  // mid-range uplink, as in the figure's regime
+  const auto raw_curve = testbed.curve(mbps);
+  const auto smoothed_curve = raw_curve.with_fitted_comm();
+
+  util::Table table({"n jobs", "AlexNet JPS (s)", "AlexNet BF (s)",
+                     "AlexNet gap", "AlexNet' JPS (s)", "AlexNet' BF (s)",
+                     "AlexNet' gap"});
+  for (int exponent = 1; exponent <= 9; ++exponent) {
+    const int n = 1 << exponent;
+    const core::Planner raw_planner(raw_curve);
+    const core::Planner smooth_planner(smoothed_curve);
+    const double raw_jps =
+        raw_planner.plan(core::Strategy::kJPSTuned, n).predicted_makespan;
+    const double raw_bf = bf_makespan(raw_curve, n);
+    const double smooth_jps =
+        smooth_planner.plan(core::Strategy::kJPSTuned, n).predicted_makespan;
+    const double smooth_bf = bf_makespan(smoothed_curve, n);
+    table.add_row({std::to_string(n), util::format_fixed(raw_jps / 1e3, 2),
+                   util::format_fixed(raw_bf / 1e3, 2),
+                   util::format_pct(raw_jps / raw_bf - 1.0),
+                   util::format_fixed(smooth_jps / 1e3, 2),
+                   util::format_fixed(smooth_bf / 1e3, 2),
+                   util::format_pct(smooth_jps / smooth_bf - 1.0)});
+  }
+  std::cout << table;
+  std::cout << "\nPaper's finding to compare against: JPS == BF on the\n"
+               "fitted-curve AlexNet' at every n; on raw AlexNet JPS is\n"
+               "optimal for small n and within a few percent beyond (the\n"
+               "coarse discrete curve violates Theorem 5.3's conditions).\n"
+               "The JPS+ hull extension closes the raw-AlexNet gap:\n";
+
+  util::Table hull({"n jobs", "AlexNet JPS+ (s)", "AlexNet BF (s)", "gap"});
+  for (int exponent = 1; exponent <= 9; ++exponent) {
+    const int n = 1 << exponent;
+    const core::Planner planner(raw_curve);
+    const double jps_hull =
+        planner.plan(core::Strategy::kJPSHull, n).predicted_makespan;
+    const double bf = bf_makespan(raw_curve, n);
+    hull.add_row({std::to_string(n), util::format_fixed(jps_hull / 1e3, 2),
+                  util::format_fixed(bf / 1e3, 2),
+                  util::format_pct(jps_hull / bf - 1.0)});
+  }
+  std::cout << hull;
+  return 0;
+}

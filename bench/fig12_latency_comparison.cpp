@@ -1,0 +1,83 @@
+// Fig. 12(a-c) — Total inference latency of LO / CO / PO / JPS on AlexNet,
+// GoogLeNet, MobileNet-v2 and ResNet-18 under 3G / 4G / Wi-Fi, 100 jobs.
+// Fig. 12(d) — JPS decision overhead relative to the inference time.
+// Makespans are validated end-to-end on the discrete-event simulator.
+#include <iostream>
+
+#include "common.h"
+#include "models/registry.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner(
+      "Figure 12",
+      "Total latency of LO/CO/PO/JPS, 100 jobs per DNN, at the paper's\n"
+      "3G (1.1), 4G (5.85) and Wi-Fi (18.88 Mbps) uplinks + JPS overhead");
+
+  constexpr int kJobs = 100;
+  const struct {
+    const char* label;
+    double mbps;
+  } kNetworks[] = {{"3G (1.1 Mbps)", net::kBandwidth3GMbps},
+                   {"4G (5.85 Mbps)", net::kBandwidth4GMbps},
+                   {"Wi-Fi (18.88 Mbps)", net::kBandwidthWiFiMbps}};
+
+  auto csv = bench::maybe_csv(
+      "fig12", {"network_mbps", "model", "co_ms", "lo_ms", "po_ms", "jps_ms"});
+  for (const auto& network : kNetworks) {
+    std::cout << "\n--- " << network.label << " (simulated makespan / " << kJobs
+              << " jobs, ms per job) ---\n";
+    util::Table table(
+        {"model", "CO", "LO", "PO", "JPS", "JPS vs best baseline"});
+    for (const auto& model : models::paper_eval_names()) {
+      const bench::Testbed testbed(model);
+      const double co =
+          testbed.simulate(core::Strategy::kCloudOnly, network.mbps, kJobs);
+      const double lo =
+          testbed.simulate(core::Strategy::kLocalOnly, network.mbps, kJobs);
+      const double po = testbed.simulate(core::Strategy::kPartitionOnly,
+                                         network.mbps, kJobs);
+      const double jps =
+          testbed.simulate(core::Strategy::kJPS, network.mbps, kJobs);
+      const double best_baseline = std::min({co, lo, po});
+      if (csv) {
+        csv->add_row({util::format_fixed(network.mbps, 2), model,
+                      util::format_fixed(co / kJobs, 3),
+                      util::format_fixed(lo / kJobs, 3),
+                      util::format_fixed(po / kJobs, 3),
+                      util::format_fixed(jps / kJobs, 3)});
+      }
+      table.add_row({model,
+                     network.mbps < 2.0 ? "> " + util::format_ms(co / kJobs)
+                                        : util::format_ms(co / kJobs),
+                     util::format_ms(lo / kJobs), util::format_ms(po / kJobs),
+                     util::format_ms(jps / kJobs),
+                     util::format_pct(1.0 - jps / best_baseline)});
+    }
+    std::cout << table;
+    if (network.mbps < 2.0) {
+      std::cout << "(paper omits the CO bar at 3G: \"more than 4,000 ms\")\n";
+    }
+  }
+
+  // Fig. 12(d): planner overhead normalized by per-job inference latency.
+  std::cout << "\n--- Fig. 12(d): JPS decision overhead ---\n";
+  util::Table overhead({"model", "plan overhead (ms)", "per-job latency (ms)",
+                        "overhead ratio"});
+  for (const auto& model : models::paper_eval_names()) {
+    const bench::Testbed testbed(model);
+    const auto outcome =
+        testbed.run(core::Strategy::kJPS, net::kBandwidth4GMbps, kJobs);
+    const double per_job = outcome.simulated_makespan / kJobs;
+    overhead.add_row({model,
+                      util::format_ms(outcome.plan.decision_overhead_ms),
+                      util::format_ms(per_job),
+                      util::format_pct(outcome.plan.decision_overhead_ms /
+                                       per_job)});
+  }
+  std::cout << overhead
+            << "(paper: overhead is negligible thanks to the lookup table +\n"
+               "linear-regression estimators and the O(log k) search)\n";
+  return 0;
+}

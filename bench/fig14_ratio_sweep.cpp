@@ -1,0 +1,66 @@
+// Fig. 14 — Impact of the ratio between computation-heavy and
+// communication-heavy jobs on the makespan, for ResNet-18 and GoogLeNet at
+// 9 / 10 / 11 Mbps (100 jobs).  The paper observes the optimal ratio is not
+// 1 and shifts with bandwidth.
+#include <iostream>
+
+#include "common.h"
+#include "core/ratio.h"
+#include "partition/binary_search.h"
+#include "util/table.h"
+
+int main() {
+  using namespace jps;
+  bench::print_banner("Figure 14",
+                      "Makespan vs computation-/communication-heavy job mix "
+                      "for ResNet-18 and GoogLeNet at 9/10/11 Mbps");
+
+  constexpr int kJobs = 100;
+  for (const char* model : {"resnet18", "googlenet"}) {
+    const bench::Testbed testbed(model);
+    std::cout << "\n--- " << model << " (makespan of " << kJobs
+              << " jobs, s) ---\n";
+    util::Table table({"ratio comp:comm", "9 Mbps", "10 Mbps", "11 Mbps"});
+
+    // One sweep per bandwidth on that bandwidth's own Alg. 2 pair.
+    struct Sweep {
+      std::vector<core::RatioPoint> points;
+      core::RatioPoint best;
+    };
+    std::vector<Sweep> sweeps;
+    for (const double mbps : {9.0, 10.0, 11.0}) {
+      const auto curve = testbed.curve(mbps);
+      const auto decision = partition::binary_search_cut(curve);
+      const std::size_t comm_cut =
+          decision.l_minus ? *decision.l_minus : decision.l_star;
+      Sweep sweep;
+      sweep.points =
+          core::sweep_type_ratio(curve, comm_cut, decision.l_star, kJobs);
+      sweep.best = core::best_ratio(sweep.points);
+      sweeps.push_back(std::move(sweep));
+    }
+
+    // Tabulate at matching comm-heavy counts (every 5th split).
+    for (std::size_t i = 4; i + 1 < sweeps[0].points.size(); i += 5) {
+      std::vector<std::string> row{
+          util::format_fixed(sweeps[0].points[i].ratio, 2)};
+      for (const auto& sweep : sweeps)
+        row.push_back(util::format_fixed(sweep.points[i].makespan / 1e3, 2));
+      table.add_row(row);
+    }
+    std::cout << table;
+    std::cout << "optimal mixes: ";
+    const double mbps_labels[] = {9.0, 10.0, 11.0};
+    for (std::size_t s = 0; s < sweeps.size(); ++s) {
+      std::cout << mbps_labels[s] << " Mbps -> ratio "
+                << util::format_fixed(sweeps[s].best.ratio, 2) << " ("
+                << sweeps[s].best.n_comp_heavy << ":"
+                << sweeps[s].best.n_comm_heavy << ", "
+                << util::format_fixed(sweeps[s].best.makespan / 1e3, 2)
+                << " s)  ";
+    }
+    std::cout << "\n(paper: the optimum is not 1:1 and shifts with the "
+                 "bandwidth)\n";
+  }
+  return 0;
+}

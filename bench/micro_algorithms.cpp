@@ -1,0 +1,155 @@
+// Google-benchmark micro suite: the costs behind Fig. 12(d)'s "overhead is
+// negligible" claim — curve construction, Alg. 2 binary search vs linear
+// scan, Johnson's rule, full planning, and the simulator's event throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "partition/binary_search.h"
+#include "partition/profile_curve.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+#include "sim/executor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace jps;
+
+const dnn::Graph& alexnet_graph() {
+  static const dnn::Graph g = models::build("alexnet");
+  return g;
+}
+
+const profile::LatencyModel& mobile_model() {
+  static const profile::LatencyModel m(
+      profile::DeviceProfile::raspberry_pi_4b());
+  return m;
+}
+
+partition::ProfileCurve alexnet_curve() {
+  return partition::ProfileCurve::build(alexnet_graph(), mobile_model(),
+                                        net::Channel::preset_4g());
+}
+
+// Synthetic monotone curve with k cut points (for scaling curves).
+partition::ProfileCurve synthetic_curve(int k) {
+  std::vector<partition::CutPoint> cuts;
+  for (int i = 0; i <= k; ++i) {
+    partition::CutPoint c;
+    c.f = static_cast<double>(i);
+    c.g = static_cast<double>(k - i);
+    c.offload_bytes = i == k ? 0 : 1000;
+    cuts.push_back(c);
+  }
+  partition::CurveOptions opt;
+  opt.cluster = false;
+  return partition::ProfileCurve::from_candidates("bench", std::move(cuts),
+                                                  opt);
+}
+
+void BM_BuildModel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::build("alexnet"));
+  }
+}
+BENCHMARK(BM_BuildModel);
+
+void BM_BuildCurve(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(alexnet_curve());
+  }
+}
+BENCHMARK(BM_BuildCurve);
+
+void BM_BinarySearchCut(benchmark::State& state) {
+  const auto curve = synthetic_curve(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::binary_search_cut(curve));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BinarySearchCut)->RangeMultiplier(4)->Range(8, 8192)->Complexity(
+    benchmark::oLogN);
+
+void BM_LinearScanCut(benchmark::State& state) {
+  const auto curve = synthetic_curve(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition::linear_scan_cut(curve));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LinearScanCut)->RangeMultiplier(4)->Range(8, 8192)->Complexity(
+    benchmark::oN);
+
+void BM_JohnsonOrder(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  sched::JobList jobs;
+  for (std::size_t i = 0; i < n; ++i)
+    jobs.push_back(sched::Job{.id = static_cast<int>(i),
+                              .cut = 0,
+                              .f = rng.uniform(0.0, 10.0),
+                              .g = rng.uniform(0.0, 10.0)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::johnson_order(jobs));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_JohnsonOrder)->RangeMultiplier(8)->Range(8, 32768)->Complexity();
+
+void BM_PlanJps(benchmark::State& state) {
+  const core::Planner planner(alexnet_curve());
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(core::Strategy::kJPS, n));
+  }
+}
+BENCHMARK(BM_PlanJps)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PlanJpsHull(benchmark::State& state) {
+  const core::Planner planner(alexnet_curve());
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(core::Strategy::kJPSHull, n));
+  }
+}
+BENCHMARK(BM_PlanJpsHull)->Arg(10)->Arg(100);
+
+void BM_Flowshop2Makespan(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  sched::JobList jobs;
+  for (std::size_t i = 0; i < n; ++i)
+    jobs.push_back(sched::Job{.id = static_cast<int>(i),
+                              .cut = 0,
+                              .f = rng.uniform(0.0, 10.0),
+                              .g = rng.uniform(0.0, 10.0)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::flowshop2_makespan(jobs));
+  }
+}
+BENCHMARK(BM_Flowshop2Makespan)->Arg(100)->Arg(10000);
+
+void BM_SimulatePlan(benchmark::State& state) {
+  const dnn::Graph& g = alexnet_graph();
+  const auto curve = alexnet_curve();
+  const core::Planner planner(curve);
+  const core::ExecutionPlan plan =
+      planner.plan(core::Strategy::kJPS, static_cast<int>(state.range(0)));
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel = net::Channel::preset_4g();
+  for (auto _ : state) {
+    util::Rng rng(3);
+    benchmark::DoNotOptimize(sim::simulate_plan(
+        g, curve, plan, mobile_model(), cloud, channel, {}, rng));
+  }
+}
+BENCHMARK(BM_SimulatePlan)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// AR-headset scenario with a general-structure DNN: the perception model has
+// an inception-style multi-branch module, so the partition may spread across
+// branches (§5.3, Alg. 3, Fig. 9).  This example walks through:
+//   1. the DAG and its independent-path conversion;
+//   2. Alg. 3's per-path cuts and the modified-Johnson schedule with
+//      duplicated work counted once;
+//   3. the segment spread-cut curve as the alternative general-structure
+//      treatment, compared on the same workload.
+#include <iostream>
+
+#include "jps.h"
+
+namespace {
+
+using namespace jps;
+
+// A compact AR perception net: stem -> inception-style module -> conv head.
+dnn::Graph build_ar_model() {
+  using namespace jps::dnn;
+  Graph g("ar_perception");
+  NodeId x = g.add(input(TensorShape::chw(3, 192, 192)));
+  x = g.add(conv2d(48, 5, 2, 2), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  const NodeId entry = g.add(pool2d(PoolKind::kMax, 3, 2, 1), {x});
+
+  const NodeId b1 = g.add(conv2d(32, 1), {entry});
+  NodeId b2 = g.add(conv2d(16, 1), {entry});
+  b2 = g.add(conv2d(48, 3, 1, 1), {b2});
+  NodeId b3 = g.add(pool2d(PoolKind::kMax, 3, 1, 1), {entry});
+  b3 = g.add(conv2d(32, 1), {b3});
+  const NodeId join = g.add(concat(), {b1, b2, b3});
+
+  NodeId y = g.add(conv2d(96, 3, 2, 1), {join});
+  y = g.add(activation(ActivationKind::kReLU), {y});
+  y = g.add(conv2d(128, 3, 2, 1), {y});
+  y = g.add(activation(ActivationKind::kReLU), {y});
+  y = g.add(global_avg_pool(), {y});
+  y = g.add(flatten(), {y});
+  (void)g.add(dense(64), {y});
+  g.infer();
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const dnn::Graph graph = build_ar_model();
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const net::Channel channel(net::kBandwidth4GMbps);
+  const auto mobile_fn = [&](dnn::NodeId id) {
+    return mobile.node_time_ms(graph, id);
+  };
+  const auto comm_fn = [&](std::uint64_t bytes) { return channel.time_ms(bytes); };
+
+  std::cout << "AR perception model (" << graph.size() << " nodes, "
+            << graph.path_count() << " independent paths)\n\nDOT:\n"
+            << dnn::to_dot(graph) << "\n";
+
+  // --- Alg. 3: per-path partition ---
+  const auto path_cuts = partition::alg3_path_cuts(graph, mobile_fn, comm_fn);
+  std::cout << "Alg. 3 per-path cuts:\n";
+  for (const auto& cut : path_cuts) {
+    std::cout << "  path " << cut.path_index << ": cut after "
+              << (cut.cut_node ? graph.label(*cut.cut_node) : "(fully local)")
+              << "  f_dup=" << util::format_ms(cut.f_dup)
+              << " ms, g_dup=" << util::format_ms(cut.g_dup) << " ms\n";
+  }
+
+  constexpr int kFrames = 12;  // frames in flight per planning window
+  const core::Alg3Plan alg3 =
+      core::plan_alg3(graph, mobile_fn, comm_fn, kFrames);
+  std::cout << "\nAlg. 3 schedule of " << kFrames << " frames x "
+            << alg3.paths_per_job << " paths:\n  makespan (dedup)     "
+            << util::format_ms(alg3.makespan) << " ms\n  makespan (naive dup) "
+            << util::format_ms(alg3.makespan_dup)
+            << " ms  -> counting shared prefixes once saves "
+            << util::format_pct(1.0 - alg3.makespan / alg3.makespan_dup)
+            << "\n";
+
+  // --- Alternative: spread-cut curve + JPS ---
+  const auto general_curve =
+      partition::build_general_curve(graph, mobile_fn, comm_fn);
+  const core::Planner planner(general_curve);
+  const core::ExecutionPlan plan =
+      planner.plan(core::Strategy::kJPSHull, kFrames);
+  std::cout << "\nSpread-cut curve (" << general_curve.size()
+            << " candidates incl. intra-module cut-sets):\n";
+  for (std::size_t i = 0; i < general_curve.size(); ++i) {
+    const auto& cut = general_curve.cut(i);
+    std::cout << "  [" << i << "] f=" << util::format_ms(cut.f)
+              << " g=" << util::format_ms(cut.g) << "  cut tensors: "
+              << cut.cut_nodes.size() << "  (" << cut.label << ")\n";
+  }
+  std::cout << "JPS+ on the spread curve: makespan "
+            << util::format_ms(plan.predicted_makespan) << " ms vs Alg. 3 "
+            << util::format_ms(alg3.makespan) << " ms for the same "
+            << kFrames << " frames\n"
+            << "(Alg. 3 treats each path as its own schedulable unit; the\n"
+            << "spread curve keeps one unit per frame but lets its cut-set\n"
+            << "take different depths per branch.)\n";
+
+  // Execute the spread plan for the full picture.
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  util::Rng rng(3);
+  const sim::SimResult result = sim::simulate_plan(
+      graph, general_curve, plan, mobile, cloud, channel, {}, rng);
+  std::cout << "\nSimulated pipeline:\n" << sim::ascii_gantt(result, 90);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Deployment helper: given a model, profile it once into the lookup table
+// (as the paper's scheduler does at install time, §6.1), train the
+// communication regression, then print the offloading policy across the
+// bandwidth range — which strategy wins where, and the cut depths JPS picks.
+//
+//   ./examples/bandwidth_planner [model] [n_jobs]
+#include <cstdlib>
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "jps.h"
+
+int main(int argc, char** argv) {
+  using namespace jps;
+  const std::string model = argc > 1 ? argv[1] : "mobilenet_v2";
+  const int n_jobs = argc > 2 ? std::atoi(argv[2]) : 32;
+
+  const dnn::Graph graph = models::build(model);
+
+  // Install-time profiling campaign: noisy trials -> per-layer medians.
+  profile::ProfilerOptions profiler_options;
+  profiler_options.trials = 15;
+  profiler_options.noise_sigma = 0.05;
+  const profile::Profiler profiler(profile::DeviceProfile::raspberry_pi_4b(),
+                                   profiler_options);
+  util::Rng rng(2026);
+  profile::LookupTable table;
+  table.add_graph(graph, profiler.measure_graph(graph, rng));
+  std::cout << "profiled " << table.size() << " layers of " << model
+            << " into the lookup table\n";
+
+  // Train the communication regression once against a reference link; the
+  // w0 + w1*(size/bandwidth) form then serves every bandwidth.
+  const net::Channel reference(10.0);
+  const profile::CommRegression comm = profile::CommRegression::train_on_channel(
+      reference, 1024, 16u * 1024 * 1024, 32, 0.05, rng);
+  std::cout << "comm regression: t = " << util::format_fixed(comm.w0(), 2)
+            << " + " << util::format_fixed(comm.w1() * 1000.0, 3)
+            << "e-3 * (bytes/Mbps) ms  (R^2 = "
+            << util::format_fixed(comm.r2(), 4) << ")\n\n";
+
+  util::Table table_out({"Mbps", "winner", "JPS ms/job", "vs runner-up",
+                         "JPS cut depths (jobs@cut)"});
+  for (double mbps = 0.5; mbps <= 96.0; mbps *= 2.0) {
+    const auto curve = partition::ProfileCurve::build(
+        graph, [&](dnn::NodeId id) { return table.at(model, id); },
+        [&](std::uint64_t bytes) { return comm.predict_ms(bytes, mbps); });
+    const core::Planner planner(curve);
+
+    struct Entry {
+      core::Strategy strategy;
+      double makespan;
+    };
+    std::vector<Entry> entries;
+    for (const core::Strategy s :
+         {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+          core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
+      entries.push_back({s, planner.plan(s, n_jobs).predicted_makespan});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.makespan < b.makespan;
+              });
+
+    // Summarize the JPS cut mix as "count@index" pairs.
+    const core::ExecutionPlan jps = planner.plan(core::Strategy::kJPS, n_jobs);
+    std::map<std::size_t, int> mix;
+    for (const auto& job : jps.jobs) ++mix[job.cut_index];
+    std::string mix_str;
+    for (const auto& [cut, count] : mix) {
+      if (!mix_str.empty()) mix_str += " + ";
+      mix_str += std::to_string(count) + "@" + std::to_string(cut);
+    }
+
+    table_out.add_row(
+        {util::format_fixed(mbps, 1),
+         core::strategy_name(entries.front().strategy),
+         util::format_ms(jps.predicted_makespan / n_jobs),
+         util::format_pct(entries[1].makespan / entries[0].makespan - 1.0),
+         mix_str});
+  }
+  std::cout << table_out
+            << "\nReading: at low bandwidth local compute dominates; the\n"
+               "JPS mix shifts toward deeper cuts as the link slows, and\n"
+               "toward the raw-input cut as it speeds up.\n";
+  return 0;
+}

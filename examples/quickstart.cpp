@@ -1,0 +1,65 @@
+// Quickstart: partition and schedule a batch of AlexNet inference jobs
+// between a simulated mobile device and cloud server, then watch the plan
+// execute on the discrete-event simulator.
+//
+//   ./examples/quickstart [n_jobs] [bandwidth_mbps]
+#include <cstdlib>
+#include <iostream>
+
+#include "jps.h"
+
+int main(int argc, char** argv) {
+  using namespace jps;
+  const int n_jobs = argc > 1 ? std::atoi(argv[1]) : 8;
+  const double mbps = argc > 2 ? std::atof(argv[2]) : net::kBandwidth4GMbps;
+
+  // 1. A model from the zoo (shape/FLOP inference already run).
+  const dnn::Graph graph = models::build("alexnet");
+  std::cout << "model: " << graph.name() << " — " << graph.size()
+            << " layers, " << util::format_fixed(graph.total_flops() / 1e9, 2)
+            << " GFLOPs, " << graph.total_params() / 1'000'000 << "M params\n";
+
+  // 2. The devices and the uplink.
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel(mbps);
+
+  // 3. The (f, g) profile curve over candidate cut points.
+  const auto curve = partition::ProfileCurve::build(graph, mobile, channel);
+  std::cout << "\ncut candidates at " << mbps << " Mbps:\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    std::cout << "  [" << i << "] f=" << util::format_ms(curve.f(i))
+              << " ms, g=" << util::format_ms(curve.g(i)) << " ms  ("
+              << curve.cut(i).label << ")\n";
+  }
+
+  // 4. Joint partition + scheduling.
+  const core::Planner planner(curve);
+  const auto decision = planner.decision();
+  std::cout << "\nAlg. 2: l* = " << decision.l_star;
+  if (decision.l_minus)
+    std::cout << ", pairs with l*-1 = " << *decision.l_minus
+              << " (ratio " << decision.ratio << ")";
+  std::cout << "\n";
+
+  for (const core::Strategy strategy :
+       {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+        core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
+    const core::ExecutionPlan plan = planner.plan(strategy, n_jobs);
+    std::cout << "  " << core::strategy_name(strategy) << ": makespan "
+              << util::format_ms(plan.predicted_makespan) << " ms ("
+              << util::format_ms(plan.makespan_per_job()) << " ms/job)\n";
+  }
+
+  // 5. Execute the JPS plan end-to-end and render the pipeline.
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, n_jobs);
+  util::Rng rng(42);
+  const sim::SimResult result =
+      sim::simulate_plan(graph, curve, plan, mobile, cloud, channel, {}, rng);
+  std::cout << "\nsimulated makespan: " << util::format_ms(result.makespan)
+            << " ms  (mobile busy " << util::format_pct(result.mobile_utilization)
+            << ", uplink busy " << util::format_pct(result.link_utilization)
+            << ")\n\n"
+            << sim::ascii_gantt(result, 100);
+  return 0;
+}

@@ -1,0 +1,96 @@
+#include "core/alg3_planner.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/job.h"
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+
+namespace jps::core {
+
+Alg3Plan plan_alg3(const dnn::Graph& graph,
+                   const partition::NodeTimeFn& mobile_time,
+                   const partition::CommTimeFn& comm_time, int n_jobs,
+                   std::size_t max_paths) {
+  if (n_jobs < 1) throw std::invalid_argument("plan_alg3: n_jobs < 1");
+
+  const std::vector<partition::PathCut> path_cuts =
+      partition::alg3_path_cuts(graph, mobile_time, comm_time, max_paths);
+
+  Alg3Plan plan;
+  plan.paths_per_job = path_cuts.size();
+
+  // One unit per (job, path); ordering values carry the duplicates.
+  sched::JobList ordering_jobs;
+  std::vector<PathUnit> units;
+  const auto n = static_cast<std::size_t>(n_jobs);
+  ordering_jobs.reserve(n * path_cuts.size());
+  units.reserve(n * path_cuts.size());
+  for (int job = 0; job < n_jobs; ++job) {
+    for (const partition::PathCut& cut : path_cuts) {
+      PathUnit unit;
+      unit.job_id = job;
+      unit.path_index = cut.path_index;
+      unit.f_dup = cut.f_dup;
+      unit.g_dup = cut.g_dup;
+      ordering_jobs.push_back(sched::Job{
+          .id = static_cast<int>(units.size()),
+          .cut = static_cast<int>(cut.path_index),
+          .f = cut.f_dup,
+          .g = cut.g_dup});
+      units.push_back(unit);
+    }
+  }
+
+  const sched::JohnsonSchedule schedule = sched::johnson_order(ordering_jobs);
+
+  // Walk the order, de-duplicating per job: a node executes (and a cut
+  // tensor ships) only the first time a unit of that job needs it.
+  std::vector<std::vector<char>> executed(
+      n, std::vector<char>(graph.size(), 0));
+  std::vector<std::vector<char>> shipped(n, std::vector<char>(graph.size(), 0));
+
+  plan.units.reserve(units.size());
+  sched::JobList actual_jobs;
+  sched::JobList dup_jobs;
+  actual_jobs.reserve(units.size());
+  dup_jobs.reserve(units.size());
+  for (const std::size_t idx : schedule.order) {
+    PathUnit unit = units[idx];
+    const partition::PathCut& cut = path_cuts[unit.path_index];
+    auto& done = executed[static_cast<std::size_t>(unit.job_id)];
+    auto& sent = shipped[static_cast<std::size_t>(unit.job_id)];
+
+    double f_actual = 0.0;
+    for (const dnn::NodeId v : cut.local_nodes) {
+      if (!done[v]) {
+        done[v] = 1;
+        f_actual += mobile_time(v);
+      }
+    }
+    double g_actual = 0.0;
+    if (cut.cut_node && !sent[*cut.cut_node]) {
+      sent[*cut.cut_node] = 1;
+      g_actual = comm_time(graph.info(*cut.cut_node).output_bytes);
+    }
+    unit.f_actual = f_actual;
+    unit.g_actual = g_actual;
+
+    actual_jobs.push_back(sched::Job{.id = unit.job_id,
+                                     .cut = static_cast<int>(unit.path_index),
+                                     .f = f_actual,
+                                     .g = g_actual});
+    dup_jobs.push_back(sched::Job{.id = unit.job_id,
+                                  .cut = static_cast<int>(unit.path_index),
+                                  .f = unit.f_dup,
+                                  .g = unit.g_dup});
+    plan.units.push_back(unit);
+  }
+
+  plan.makespan = sched::flowshop2_makespan(actual_jobs);
+  plan.makespan_dup = sched::flowshop2_makespan(dup_jobs);
+  return plan;
+}
+
+}  // namespace jps::core

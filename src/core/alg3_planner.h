@@ -1,0 +1,48 @@
+// Algorithm 3 end-to-end: partition a general-structure DNN per independent
+// path and schedule the paths with the modified Johnson's rule.
+//
+// Each of the n jobs contributes one schedulable unit per independent path.
+// Ordering uses the duplicated stage lengths (f_dup, g_dup) exactly as the
+// paper prescribes ("Johnson's rule is applied to all nodes, including
+// duplicated nodes, in determining the scheduling order"), while the
+// makespan evaluation counts every shared node and every shared transfer
+// once per job ("duplicated nodes are only counted once when they are
+// executed").
+#pragma once
+
+#include "partition/general_dag.h"
+
+namespace jps::core {
+
+/// One scheduled (job, path) unit with its de-duplicated stage lengths.
+struct PathUnit {
+  int job_id = 0;
+  std::size_t path_index = 0;
+  /// Ordering values (with duplicates).
+  double f_dup = 0.0;
+  double g_dup = 0.0;
+  /// Evaluation values (shared work/transfers counted once per job).
+  double f_actual = 0.0;
+  double g_actual = 0.0;
+};
+
+/// The complete Alg. 3 result.
+struct Alg3Plan {
+  /// Units in processing order.
+  std::vector<PathUnit> units;
+  /// Independent paths per job.
+  std::size_t paths_per_job = 0;
+  /// Makespan with shared nodes counted once (the real cost), ms.
+  double makespan = 0.0;
+  /// Makespan if duplicates were naively re-executed (upper bound), ms.
+  double makespan_dup = 0.0;
+};
+
+/// Run Alg. 3 for `n_jobs` identical jobs of `graph`.
+/// Throws std::runtime_error when the path count exceeds `max_paths`.
+[[nodiscard]] Alg3Plan plan_alg3(const dnn::Graph& graph,
+                                 const partition::NodeTimeFn& mobile_time,
+                                 const partition::CommTimeFn& comm_time,
+                                 int n_jobs, std::size_t max_paths = 4096);
+
+}  // namespace jps::core

@@ -1,0 +1,40 @@
+#include "core/energy.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace jps::core {
+
+double EnergyModel::schedule_energy_mj(const partition::ProfileCurve& curve,
+                                       std::span<const std::size_t> cuts,
+                                       double makespan_ms) const {
+  double busy_ms = 0.0;
+  double active_mj = 0.0;
+  for (const std::size_t cut : cuts) {
+    if (cut >= curve.size())
+      throw std::invalid_argument("schedule_energy_mj: cut out of range");
+    busy_ms += curve.f(cut) + curve.g(cut);
+    active_mj += job_energy_mj(curve, cut);
+  }
+  // Compute and transmit can overlap in the pipeline, so the busy time can
+  // exceed the makespan; idle time is whatever wall-clock is left, if any.
+  const double idle_ms = std::max(0.0, makespan_ms - busy_ms);
+  return active_mj + idle_ms * power_.idle_watts;
+}
+
+std::size_t EnergyModel::energy_optimal_cut(
+    const partition::ProfileCurve& curve) const {
+  std::size_t best = 0;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const double energy = job_energy_mj(curve, i);
+    if (energy < best_energy) {
+      best_energy = energy;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace jps::core

@@ -1,0 +1,58 @@
+// Mobile energy accounting for partitioned inference.
+//
+// Neurosurgeon [Kang et al. 2017] — the single-DNN partitioner behind the
+// paper's PO baseline — optimizes either latency or MOBILE ENERGY.  This
+// module adds the energy side so the same profile curves support both
+// objectives: while the mobile device computes it draws `compute_watts`,
+// while transmitting it draws `tx_watts`, and between its own jobs it idles
+// at `idle_watts`.  Cloud energy is not the phone's problem and is not
+// counted.
+#pragma once
+
+#include "partition/profile_curve.h"
+
+namespace jps::core {
+
+/// Power draw of the mobile device in each state, watts.
+struct PowerProfile {
+  double compute_watts = 0.0;
+  double tx_watts = 0.0;
+  double idle_watts = 0.0;
+
+  /// Raspberry-Pi-4B-class numbers: ~5.5 W loaded, ~1.8 W radio TX over
+  /// the baseline, ~2.7 W idle.
+  [[nodiscard]] static PowerProfile raspberry_pi_4b() {
+    return PowerProfile{5.5, 1.8, 2.7};
+  }
+};
+
+/// Energy model over a profile curve.
+class EnergyModel {
+ public:
+  explicit EnergyModel(PowerProfile power) : power_(power) {}
+
+  /// Active energy of ONE job partitioned at cut `i` of `curve`:
+  /// f * compute + g * tx, in millijoules (ms * W).
+  [[nodiscard]] double job_energy_mj(const partition::ProfileCurve& curve,
+                                     std::size_t i) const {
+    return curve.f(i) * power_.compute_watts + curve.g(i) * power_.tx_watts;
+  }
+
+  /// Energy of a whole schedule over `makespan_ms`: active energy of every
+  /// job plus idle draw for the remaining wall-clock time.
+  [[nodiscard]] double schedule_energy_mj(const partition::ProfileCurve& curve,
+                                          std::span<const std::size_t> cuts,
+                                          double makespan_ms) const;
+
+  /// The cut minimizing a single job's active energy (Neurosurgeon's
+  /// "best energy" partition point).
+  [[nodiscard]] std::size_t energy_optimal_cut(
+      const partition::ProfileCurve& curve) const;
+
+  [[nodiscard]] const PowerProfile& power() const { return power_; }
+
+ private:
+  PowerProfile power_;
+};
+
+}  // namespace jps::core

@@ -1,0 +1,65 @@
+// Heterogeneous job sets — the paper's stated future work ("joint partition
+// and scheduling for ... heterogeneous jobs is worth further investigation",
+// §7).
+//
+// A mixed workload holds several classes of identical jobs (e.g. 4 frames
+// through ResNet-18 and 8 through MobileNet-v2), each class with its own
+// (f, g) curve.  Scheduling stays a 2-machine flow shop, so Johnson's rule
+// is still optimal once every job's cut is fixed; the joint problem is the
+// per-class cut choice.  The average-makespan objective
+//       min max( sum_j f_j , sum_j g_j )
+// is a min of the max of two linear functionals over a product of per-class
+// mixture simplices, so the optimum lets every class mix at most two cuts,
+// all classes aligned at a common price lambda on compute vs communication.
+// plan_hetero() finds lambda by bisection (each job class picks the cut
+// minimizing lambda*f + (1-lambda)*g), then fine-tunes the split with
+// single-job moves evaluated through the exact flow-shop makespan.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "partition/profile_curve.h"
+
+namespace jps::core {
+
+/// One class of identical jobs.
+struct JobClass {
+  std::string name;
+  partition::ProfileCurve curve;
+  int count = 0;
+};
+
+/// One scheduled job of a heterogeneous plan.
+struct HeteroUnit {
+  int class_index = 0;
+  int job_id = 0;  // within its class
+  std::size_t cut_index = 0;
+  double f = 0.0;
+  double g = 0.0;
+};
+
+/// A complete heterogeneous partition + schedule.
+struct HeteroPlan {
+  /// Jobs in Johnson processing order.
+  std::vector<HeteroUnit> scheduled;
+  std::size_t comm_heavy_count = 0;
+  double makespan = 0.0;
+  /// The compute-vs-communication price the balance search settled on
+  /// (diagnostic; 0 for the baseline strategies).
+  double lambda = 0.0;
+};
+
+/// Plan a heterogeneous workload.  Supported strategies:
+///   kLocalOnly / kCloudOnly     — per class trivial cuts;
+///   kPartitionOnly              — each class at its own single-job optimum;
+///   kJPS / kJPSTuned / kJPSHull — the lambda-balanced joint optimizer
+///                                 (all three aliases run the same search;
+///                                 kept so callers can use one enum).
+/// Throws std::invalid_argument on empty classes or non-positive counts.
+[[nodiscard]] HeteroPlan plan_hetero(std::span<const JobClass> classes,
+                                     Strategy strategy);
+
+}  // namespace jps::core

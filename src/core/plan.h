@@ -1,0 +1,66 @@
+// Execution plans: the output of every planning strategy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "partition/profile_curve.h"
+#include "sched/job.h"
+#include "sched/makespan.h"
+
+namespace jps::core {
+
+/// The strategies the paper compares (§6.2) plus this repo's extensions.
+enum class Strategy {
+  kLocalOnly,    // LO: everything on the mobile device
+  kCloudOnly,    // CO: upload raw inputs, everything on the cloud
+  kPartitionOnly,// PO: single-job optimal cut, same for all jobs, no pipeline-aware mixing
+  kJPS,          // the paper's joint partition + scheduling (Alg. 2 ratio)
+  kJPSTuned,     // JPS with the split between the two cut types swept exactly
+  kJPSHull,      // extension: pick the pair adjacent on the lower convex
+                 // hull of the (f, g) points instead of index-adjacent; on
+                 // fine convex curves (the paper's assumption) the two
+                 // coincide, on coarse curves the hull pair is optimal
+  kBruteForce,   // exact or two-type brute force (§6.2's BF)
+};
+
+/// Display name ("LO", "CO", "PO", "JPS", "JPS*", "JPS+", "BF").
+[[nodiscard]] const char* strategy_name(Strategy s);
+
+/// One job's slice of a plan.
+struct JobAssignment {
+  int job_id = 0;
+  /// Cut index into the plan's curve.
+  std::size_t cut_index = 0;
+
+  friend bool operator==(const JobAssignment&, const JobAssignment&) = default;
+};
+
+/// A complete partition + schedule for n identical jobs.
+struct ExecutionPlan {
+  std::string model;
+  Strategy strategy = Strategy::kJPS;
+  /// Jobs in scheduled (processing) order.
+  std::vector<JobAssignment> jobs;
+  /// Stage lengths of each scheduled job (same order as `jobs`).
+  sched::JobList scheduled_jobs;
+  /// Number of leading communication-heavy jobs in the order (Johnson S1).
+  std::size_t comm_heavy_count = 0;
+  /// Makespan of the plan under the 2-stage flow-shop recurrence, ms.
+  double predicted_makespan = 0.0;
+  /// Wall-clock time the planner itself took (Fig. 12(d) overhead), ms.
+  double decision_overhead_ms = 0.0;
+
+  /// Per-job stage timelines (computed from scheduled_jobs on demand).
+  [[nodiscard]] std::vector<sched::JobTimeline> timeline() const {
+    return sched::flowshop2_timeline(scheduled_jobs);
+  }
+
+  /// Average completion per job, ms.
+  [[nodiscard]] double makespan_per_job() const {
+    return jobs.empty() ? 0.0
+                        : predicted_makespan / static_cast<double>(jobs.size());
+  }
+};
+
+}  // namespace jps::core

@@ -1,0 +1,33 @@
+// ExecutionPlan serialization: a deployment hands the planner's output to
+// the device runtime as a small text artifact (the same spirit as the
+// paper's pre-cut models + pre-built lookup table, §6.1).
+//
+// Format (line-oriented, versioned):
+//   jps-plan v1
+//   model <name>
+//   strategy <LO|CO|PO|JPS|JPS*|JPS+|BF>
+//   comm_heavy <count>
+//   makespan_ms <double>
+//   job <job_id> <cut_index> <f_ms> <g_ms>     (one line per job, in order)
+#pragma once
+
+#include <string>
+
+#include "core/plan.h"
+
+namespace jps::core {
+
+/// Render a plan in the versioned text format.
+[[nodiscard]] std::string serialize_plan(const ExecutionPlan& plan);
+
+/// Parse a plan produced by serialize_plan.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] ExecutionPlan deserialize_plan(const std::string& text);
+
+/// Write serialize_plan() to a file; throws std::runtime_error on I/O error.
+void save_plan(const ExecutionPlan& plan, const std::string& path);
+
+/// Read a file produced by save_plan.
+[[nodiscard]] ExecutionPlan load_plan(const std::string& path);
+
+}  // namespace jps::core

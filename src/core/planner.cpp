@@ -1,0 +1,204 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sched/bruteforce.h"
+#include "sched/johnson.h"
+
+namespace jps::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+// Number of jobs (out of n) assigned to the communication-heavy cut l*-1.
+// Theorem 5.3's balance condition n1*(g(l*-1)-f(l*-1)) = n2*(f(l*)-g(l*))
+// gives n1 : n2 = surplus : deficit; the paper floors that quotient into an
+// integer "Ratio", which loses the mix entirely whenever the exact quotient
+// is below 1.  We apply the balance directly (rounding once, at the job
+// count), which is the same rule without the double truncation.
+int jobs_at_l_minus(double surplus, double deficit, int n) {
+  if (surplus <= 0.0 || deficit <= 0.0) return 0;
+  const double fraction = surplus / (surplus + deficit);
+  const int n1 = static_cast<int>(std::lround(static_cast<double>(n) * fraction));
+  return std::clamp(n1, 0, n);
+}
+
+}  // namespace
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kLocalOnly: return "LO";
+    case Strategy::kCloudOnly: return "CO";
+    case Strategy::kPartitionOnly: return "PO";
+    case Strategy::kJPS: return "JPS";
+    case Strategy::kJPSTuned: return "JPS*";
+    case Strategy::kJPSHull: return "JPS+";
+    case Strategy::kBruteForce: return "BF";
+  }
+  return "?";
+}
+
+Planner::Planner(partition::ProfileCurve curve, PlannerOptions options)
+    : curve_(std::move(curve)), options_(options) {
+  decision_ = partition::binary_search_cut(curve_);
+}
+
+std::size_t Planner::single_job_optimal_cut() const {
+  std::size_t best = 0;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < curve_.size(); ++i) {
+    const double latency = curve_.f(i) + curve_.g(i);
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> Planner::lower_hull_cuts() const {
+  // Andrew's monotone chain, lower hull only.  Cuts are already sorted by
+  // ascending f; ties in f keep the later (smaller-g) point via <= pops.
+  const auto cross = [&](std::size_t o, std::size_t a, std::size_t b) {
+    return (curve_.f(a) - curve_.f(o)) * (curve_.g(b) - curve_.g(o)) -
+           (curve_.g(a) - curve_.g(o)) * (curve_.f(b) - curve_.f(o));
+  };
+  std::vector<std::size_t> hull;
+  for (std::size_t i = 0; i < curve_.size(); ++i) {
+    while (hull.size() >= 2 &&
+           cross(hull[hull.size() - 2], hull.back(), i) <= 0.0) {
+      hull.pop_back();
+    }
+    hull.push_back(i);
+  }
+  return hull;
+}
+
+ExecutionPlan Planner::best_split_plan(Strategy strategy, std::size_t a,
+                                       std::size_t b, int n_jobs) const {
+  const auto n = static_cast<std::size_t>(n_jobs);
+  ExecutionPlan best;
+  best.predicted_makespan = std::numeric_limits<double>::infinity();
+  for (int n_a = 0; n_a <= n_jobs; ++n_a) {
+    std::vector<std::size_t> trial(n, b);
+    for (int i = 0; i < n_a; ++i) trial[static_cast<std::size_t>(i)] = a;
+    ExecutionPlan p = finalize(strategy, trial);
+    if (p.predicted_makespan < best.predicted_makespan) best = std::move(p);
+  }
+  return best;
+}
+
+ExecutionPlan Planner::finalize(Strategy strategy,
+                                const std::vector<std::size_t>& cuts) const {
+  sched::JobList jobs;
+  jobs.reserve(cuts.size());
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    jobs.push_back(sched::Job{.id = static_cast<int>(i),
+                              .cut = static_cast<int>(cuts[i]),
+                              .f = curve_.f(cuts[i]),
+                              .g = curve_.g(cuts[i])});
+  }
+  const sched::JohnsonSchedule schedule = sched::johnson_order(jobs);
+
+  ExecutionPlan plan;
+  plan.model = curve_.model_name();
+  plan.strategy = strategy;
+  plan.comm_heavy_count = schedule.comm_heavy_count;
+  plan.scheduled_jobs = sched::apply_order(jobs, schedule.order);
+  plan.jobs.reserve(jobs.size());
+  for (const sched::Job& job : plan.scheduled_jobs) {
+    plan.jobs.push_back(
+        {job.id, static_cast<std::size_t>(job.cut)});
+  }
+  plan.predicted_makespan = sched::flowshop2_makespan(plan.scheduled_jobs);
+  return plan;
+}
+
+ExecutionPlan Planner::plan(Strategy strategy, int n_jobs) const {
+  if (n_jobs < 1) throw std::invalid_argument("Planner::plan: n_jobs < 1");
+  const auto start = Clock::now();
+  const auto n = static_cast<std::size_t>(n_jobs);
+
+  std::vector<std::size_t> cuts(n, 0);
+  switch (strategy) {
+    case Strategy::kLocalOnly:
+      std::fill(cuts.begin(), cuts.end(), curve_.local_only_index());
+      break;
+    case Strategy::kCloudOnly:
+      std::fill(cuts.begin(), cuts.end(), curve_.cloud_only_index());
+      break;
+    case Strategy::kPartitionOnly:
+      std::fill(cuts.begin(), cuts.end(), single_job_optimal_cut());
+      break;
+    case Strategy::kJPS: {
+      const std::size_t l_star = decision_.l_star;
+      std::fill(cuts.begin(), cuts.end(), l_star);
+      if (decision_.l_minus) {
+        const double surplus = curve_.f(l_star) - curve_.g(l_star);
+        const double deficit =
+            curve_.g(*decision_.l_minus) - curve_.f(*decision_.l_minus);
+        const int n_minus = jobs_at_l_minus(surplus, deficit, n_jobs);
+        for (int i = 0; i < n_minus; ++i)
+          cuts[static_cast<std::size_t>(i)] = *decision_.l_minus;
+      }
+      break;
+    }
+    case Strategy::kJPSTuned: {
+      // The paper's pair (l*-1, l*) with the split swept exactly.
+      if (!decision_.l_minus) {
+        std::fill(cuts.begin(), cuts.end(), decision_.l_star);
+        break;
+      }
+      ExecutionPlan p = best_split_plan(strategy, *decision_.l_minus,
+                                        decision_.l_star, n_jobs);
+      p.decision_overhead_ms = ms_since(start);
+      return p;
+    }
+    case Strategy::kJPSHull: {
+      // Mixing pair = the lower-hull-adjacent cuts bracketing f = g.
+      const std::vector<std::size_t> hull = lower_hull_cuts();
+      std::size_t pos = hull.size() - 1;  // first hull cut with f >= g
+      for (std::size_t i = 0; i < hull.size(); ++i) {
+        if (curve_.f(hull[i]) >= curve_.g(hull[i])) {
+          pos = i;
+          break;
+        }
+      }
+      if (pos == 0) {
+        std::fill(cuts.begin(), cuts.end(), hull.front());
+        break;
+      }
+      ExecutionPlan p =
+          best_split_plan(strategy, hull[pos - 1], hull[pos], n_jobs);
+      p.decision_overhead_ms = ms_since(start);
+      return p;
+    }
+    case Strategy::kBruteForce: {
+      const std::vector<sched::CutOption> options = curve_.as_cut_options();
+      sched::BruteForceResult result;
+      try {
+        result = sched::bruteforce_exact(options, n_jobs, options_.bf_exact_cap);
+      } catch (const std::invalid_argument&) {
+        result = sched::bruteforce_two_type(options, n_jobs);
+      }
+      for (std::size_t i = 0; i < n; ++i)
+        cuts[i] = static_cast<std::size_t>(result.cuts[i]);
+      break;
+    }
+  }
+
+  ExecutionPlan plan = finalize(strategy, cuts);
+  plan.decision_overhead_ms = ms_since(start);
+  return plan;
+}
+
+}  // namespace jps::core

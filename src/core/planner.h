@@ -1,0 +1,82 @@
+// The joint partition + scheduling planner (the paper's primary
+// contribution) and the comparison strategies of §6.2.
+//
+// A Planner is bound to one ProfileCurve — i.e. one model on one device pair
+// over one channel.  plan(strategy, n) partitions n identical jobs and
+// orders them with Johnson's rule (Alg. 1):
+//
+//   LO   — every job at the local-only cut.
+//   CO   — every job at the cloud-only cut.
+//   PO   — the state-of-the-art single-DNN partition [Hu et al. 2019 /
+//          Neurosurgeon]: the cut minimizing a single job's latency
+//          f(l) + g(l), applied homogeneously; no pipeline-aware mixing.
+//   JPS  — Alg. 2's binary search for (l*-1, l*) and the Theorem 5.3 floor
+//          ratio between the two cut types.
+//   JPS* — same two cut types, but the split is swept exactly (the Fig. 14
+//          tuning knob); never worse than JPS.
+//   JPS+ — our extension: the mixing pair is chosen adjacent on the LOWER
+//          CONVEX HULL of the curve's (f, g) points rather than adjacent in
+//          index.  Theorem 5.2's continuous argument optimizes
+//          max(avg f, avg g) over mixtures, whose optimum mixes the two
+//          hull vertices bracketing the f = g balance; when f is linear and
+//          g convex (the paper's §3.2 shapes) every cut lies on the hull
+//          and JPS+ == JPS*.  On coarse real curves (few clustered cuts),
+//          index-adjacent pairs can be strictly dominated — e.g. a
+//          CO + LO endpoint mix — and JPS+ recovers the BF optimum.
+//   BF   — brute force: exact multiset enumeration when tractable,
+//          otherwise all two-cut-type assignments (see sched/bruteforce.h).
+#pragma once
+
+#include <cstdint>
+
+#include "core/plan.h"
+#include "partition/binary_search.h"
+#include "partition/profile_curve.h"
+
+namespace jps::core {
+
+/// Planner tuning knobs.
+struct PlannerOptions {
+  /// BF switches from exact multiset enumeration to the two-type search
+  /// above this many assignments.
+  std::uint64_t bf_exact_cap = 2'000'000;
+};
+
+class Planner {
+ public:
+  /// The curve must be monotone (built with clustering on).
+  explicit Planner(partition::ProfileCurve curve, PlannerOptions options = {});
+
+  /// Plan `n_jobs` identical jobs with the given strategy.
+  /// Throws std::invalid_argument for n_jobs < 1.
+  [[nodiscard]] ExecutionPlan plan(Strategy strategy, int n_jobs) const;
+
+  /// The Alg. 2 decision for this curve (exposed for benches/tests).
+  [[nodiscard]] const partition::CutDecision& decision() const {
+    return decision_;
+  }
+
+  [[nodiscard]] const partition::ProfileCurve& curve() const { return curve_; }
+
+  /// The PO cut: argmin over cuts of single-job latency f + g.
+  [[nodiscard]] std::size_t single_job_optimal_cut() const;
+
+  /// Indices of the cuts on the lower convex hull of the (f, g) point set,
+  /// in ascending f order (always includes the first and last cut).
+  [[nodiscard]] std::vector<std::size_t> lower_hull_cuts() const;
+
+ private:
+  /// Best split of n jobs between cuts `a` and `b` by exact sweep.
+  [[nodiscard]] ExecutionPlan best_split_plan(Strategy strategy, std::size_t a,
+                                              std::size_t b, int n_jobs) const;
+
+  /// Assemble, order (Johnson) and evaluate a plan from per-job cut indices.
+  [[nodiscard]] ExecutionPlan finalize(Strategy strategy,
+                                       const std::vector<std::size_t>& cuts) const;
+
+  partition::ProfileCurve curve_;
+  PlannerOptions options_;
+  partition::CutDecision decision_;
+};
+
+}  // namespace jps::core

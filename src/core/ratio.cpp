@@ -1,0 +1,45 @@
+#include "core/ratio.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "sched/bruteforce.h"
+
+namespace jps::core {
+
+std::vector<RatioPoint> sweep_type_ratio(const partition::ProfileCurve& curve,
+                                         std::size_t cut_comm,
+                                         std::size_t cut_comp, int n_jobs) {
+  if (cut_comm >= curve.size() || cut_comp >= curve.size())
+    throw std::invalid_argument("sweep_type_ratio: cut index out of range");
+  if (n_jobs < 2) throw std::invalid_argument("sweep_type_ratio: n_jobs < 2");
+
+  const std::vector<sched::CutOption> options = curve.as_cut_options();
+  std::vector<RatioPoint> sweep;
+  sweep.reserve(static_cast<std::size_t>(n_jobs - 1));
+  std::vector<int> assignment(static_cast<std::size_t>(n_jobs));
+  for (int n_comm = 1; n_comm < n_jobs; ++n_comm) {
+    for (int i = 0; i < n_jobs; ++i)
+      assignment[static_cast<std::size_t>(i)] =
+          i < n_comm ? static_cast<int>(cut_comm) : static_cast<int>(cut_comp);
+    RatioPoint point;
+    point.n_comm_heavy = n_comm;
+    point.n_comp_heavy = n_jobs - n_comm;
+    point.ratio = static_cast<double>(point.n_comp_heavy) /
+                  static_cast<double>(point.n_comm_heavy);
+    point.makespan = sched::assignment_makespan(options, assignment);
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+RatioPoint best_ratio(const std::vector<RatioPoint>& sweep) {
+  RatioPoint best;
+  best.makespan = std::numeric_limits<double>::infinity();
+  for (const RatioPoint& p : sweep) {
+    if (p.makespan < best.makespan) best = p;
+  }
+  return best;
+}
+
+}  // namespace jps::core

@@ -1,0 +1,39 @@
+// The computation-/communication-heavy job-mix analysis of Fig. 14.
+//
+// With two partition types in play (a communication-heavy cut `cut_comm`
+// where f < g, and a computation-heavy cut `cut_comp` where f >= g), the
+// makespan depends on how many jobs take each type.  sweep_type_ratio
+// evaluates every split exactly and reports the (typically interior)
+// optimum; the paper observes the optimal ratio is usually not 1 and shifts
+// with bandwidth.
+#pragma once
+
+#include <vector>
+
+#include "partition/profile_curve.h"
+
+namespace jps::core {
+
+/// One point of the ratio sweep.
+struct RatioPoint {
+  /// Jobs at the communication-heavy cut.
+  int n_comm_heavy = 0;
+  /// Jobs at the computation-heavy cut.
+  int n_comp_heavy = 0;
+  /// n_comp_heavy / n_comm_heavy (the paper's x-axis).
+  double ratio = 0.0;
+  /// Johnson-scheduled makespan of this mix, ms.
+  double makespan = 0.0;
+};
+
+/// Evaluate all splits n_comm_heavy = 1..n_jobs-1 of `n_jobs` jobs between
+/// the two cuts. Throws std::invalid_argument when either index is out of
+/// range or n_jobs < 2.
+[[nodiscard]] std::vector<RatioPoint> sweep_type_ratio(
+    const partition::ProfileCurve& curve, std::size_t cut_comm,
+    std::size_t cut_comp, int n_jobs);
+
+/// The sweep point with the smallest makespan.
+[[nodiscard]] RatioPoint best_ratio(const std::vector<RatioPoint>& sweep);
+
+}  // namespace jps::core

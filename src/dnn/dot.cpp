@@ -1,0 +1,44 @@
+#include "dnn/dot.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace jps::dnn {
+
+namespace {
+// DOT-escape a label (quotes and backslashes).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+}  // namespace
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << escape(g.name()) << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  for (NodeId id = 0; id < g.size(); ++id) {
+    os << "  n" << id << " [label=\"" << escape(g.label(id));
+    if (g.inferred()) os << "\\n" << g.info(id).output_shape.str();
+    os << "\"];\n";
+  }
+  for (NodeId id = 0; id < g.size(); ++id) {
+    for (NodeId succ : g.successors(id)) {
+      os << "  n" << id << " -> n" << succ;
+      if (g.inferred())
+        os << " [label=\"" << util::format_bytes(g.info(id).output_bytes)
+           << "\"]";
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace jps::dnn

@@ -1,0 +1,14 @@
+// Graphviz DOT export for debugging and documentation.
+#pragma once
+
+#include <string>
+
+#include "dnn/graph.h"
+
+namespace jps::dnn {
+
+/// Render the graph in DOT syntax.  When infer() has run, nodes are annotated
+/// with output shapes and edges with transfer sizes.
+[[nodiscard]] std::string to_dot(const Graph& g);
+
+}  // namespace jps::dnn

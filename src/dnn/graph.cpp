@@ -1,0 +1,238 @@
+#include "dnn/graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace jps::dnn {
+
+Graph::Graph(std::string name, DType dtype)
+    : name_(std::move(name)), dtype_(dtype) {}
+
+NodeId Graph::add(std::unique_ptr<Layer> layer, std::vector<NodeId> inputs,
+                  std::string label) {
+  if (!layer) throw std::invalid_argument("Graph::add: null layer");
+  const NodeId id = nodes_.size();
+  for (NodeId in : inputs) {
+    if (in >= id) throw std::invalid_argument("Graph::add: input id not yet added");
+  }
+  if (label.empty()) {
+    label = "n" + std::to_string(id) + ":" + layer->describe();
+  }
+  Node node;
+  node.layer = std::move(layer);
+  node.inputs = std::move(inputs);
+  node.label = std::move(label);
+  nodes_.push_back(std::move(node));
+  for (NodeId in : nodes_.back().inputs) nodes_[in].outputs.push_back(id);
+  inferred_ = false;
+  return id;
+}
+
+const Layer& Graph::layer(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Graph::layer");
+  return *nodes_[id].layer;
+}
+
+const std::string& Graph::label(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Graph::label");
+  return nodes_[id].label;
+}
+
+const std::vector<NodeId>& Graph::predecessors(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Graph::predecessors");
+  return nodes_[id].inputs;
+}
+
+const std::vector<NodeId>& Graph::successors(NodeId id) const {
+  if (id >= nodes_.size()) throw std::out_of_range("Graph::successors");
+  return nodes_[id].outputs;
+}
+
+void Graph::infer() {
+  if (nodes_.empty()) throw std::invalid_argument("Graph::infer: empty graph");
+
+  std::size_t input_nodes = 0;
+  std::size_t sinks = 0;
+  for (const auto& n : nodes_) {
+    if (n.layer->kind() == LayerKind::kInput) {
+      ++input_nodes;
+      if (!n.inputs.empty())
+        throw std::invalid_argument("Graph::infer: input node has predecessors");
+    } else if (n.inputs.empty()) {
+      throw std::invalid_argument(
+          "Graph::infer: non-input node without predecessors");
+    }
+    if (n.outputs.empty()) ++sinks;
+  }
+  if (input_nodes != 1)
+    throw std::invalid_argument("Graph::infer: need exactly one input node");
+  if (nodes_.front().layer->kind() != LayerKind::kInput)
+    throw std::invalid_argument("Graph::infer: node 0 must be the input");
+  if (sinks != 1)
+    throw std::invalid_argument("Graph::infer: need exactly one sink node");
+
+  for (auto& n : nodes_) {
+    std::vector<TensorShape> in_shapes;
+    in_shapes.reserve(n.inputs.size());
+    for (NodeId in : n.inputs) in_shapes.push_back(nodes_[in].info.output_shape);
+    n.info.output_shape = n.layer->infer(in_shapes);
+    n.info.flops = n.layer->flops(in_shapes, n.info.output_shape);
+    n.info.params = n.layer->param_count(in_shapes, n.info.output_shape);
+    n.info.output_bytes = n.info.output_shape.bytes(dtype_);
+    n.info.memory_traffic =
+        n.layer->memory_traffic_bytes(in_shapes, n.info.output_shape, dtype_);
+  }
+  inferred_ = true;
+}
+
+const NodeInfo& Graph::info(NodeId id) const {
+  if (!inferred_) throw std::logic_error("Graph::info: call infer() first");
+  if (id >= nodes_.size()) throw std::out_of_range("Graph::info");
+  return nodes_[id].info;
+}
+
+NodeId Graph::source() const {
+  // Node 0 is validated as the unique input by infer(); even before infer(),
+  // construction guarantees node 0 has no predecessors.
+  if (nodes_.empty()) throw std::logic_error("Graph::source: empty graph");
+  return 0;
+}
+
+NodeId Graph::sink() const {
+  for (NodeId id = nodes_.size(); id-- > 0;) {
+    if (nodes_[id].outputs.empty()) return id;
+  }
+  throw std::logic_error("Graph::sink: no sink");
+}
+
+std::vector<NodeId> Graph::topo_order() const {
+  std::vector<NodeId> order(nodes_.size());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  return order;
+}
+
+bool Graph::is_line() const {
+  for (const auto& n : nodes_) {
+    if (n.inputs.size() > 1 || n.outputs.size() > 1) return false;
+  }
+  return true;
+}
+
+double Graph::total_flops() const {
+  if (!inferred_) throw std::logic_error("Graph::total_flops: call infer() first");
+  double total = 0.0;
+  for (const auto& n : nodes_) total += n.info.flops;
+  return total;
+}
+
+std::uint64_t Graph::total_params() const {
+  if (!inferred_) throw std::logic_error("Graph::total_params: call infer() first");
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.info.params;
+  return total;
+}
+
+std::uint64_t Graph::path_count() const {
+  // DP over topological (== insertion) order; saturating addition.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> paths(nodes_.size(), 0);
+  paths[source()] = 1;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (NodeId succ : nodes_[id].outputs) {
+      if (paths[succ] > kMax - paths[id]) {
+        paths[succ] = kMax;
+      } else {
+        paths[succ] += paths[id];
+      }
+    }
+  }
+  return paths[sink()];
+}
+
+std::vector<std::vector<NodeId>> Graph::enumerate_paths(
+    std::size_t max_paths) const {
+  if (path_count() > max_paths)
+    throw std::runtime_error("Graph::enumerate_paths: path count " +
+                             std::to_string(path_count()) + " exceeds cap " +
+                             std::to_string(max_paths));
+  std::vector<std::vector<NodeId>> result;
+  std::vector<NodeId> current;
+  const NodeId snk = sink();
+
+  // Iterative DFS with explicit branch bookkeeping to avoid deep recursion.
+  struct Frame {
+    NodeId node;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({source(), 0});
+  current.push_back(source());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.node == snk) {
+      result.push_back(current);
+      stack.pop_back();
+      current.pop_back();
+      continue;
+    }
+    const auto& succs = nodes_[top.node].outputs;
+    if (top.next_succ >= succs.size()) {
+      stack.pop_back();
+      current.pop_back();
+      continue;
+    }
+    const NodeId next = succs[top.next_succ++];
+    stack.push_back({next, 0});
+    current.push_back(next);
+  }
+  return result;
+}
+
+std::vector<NodeId> Graph::articulation_nodes() const {
+  // v lies on every path iff paths(src->v) * paths(v->sink) == total paths.
+  // Use long double products to dodge overflow; exactness is irrelevant for
+  // the equality check because articulation nodes satisfy it exactly and
+  // non-articulation nodes miss by at least a factor covering one branch.
+  std::vector<long double> fwd(nodes_.size(), 0.0L);
+  std::vector<long double> bwd(nodes_.size(), 0.0L);
+  fwd[source()] = 1.0L;
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    for (NodeId succ : nodes_[id].outputs) fwd[succ] += fwd[id];
+  bwd[sink()] = 1.0L;
+  for (NodeId id = nodes_.size(); id-- > 0;)
+    for (NodeId succ : nodes_[id].outputs) bwd[id] += bwd[succ];
+
+  const long double total = fwd[sink()];
+  std::vector<NodeId> result;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const long double through = fwd[id] * bwd[id];
+    if (through >= total * 0.999999L && through <= total * 1.000001L)
+      result.push_back(id);
+  }
+  return result;  // already in topological order
+}
+
+std::vector<NodeId> ancestors_inclusive(const Graph& g, NodeId node) {
+  if (node >= g.size()) throw std::out_of_range("ancestors_inclusive");
+  std::vector<char> mark(g.size(), 0);
+  std::vector<NodeId> stack{node};
+  mark[node] = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId p : g.predecessors(v)) {
+      if (!mark[p]) {
+        mark[p] = 1;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::vector<NodeId> result;
+  for (NodeId id = 0; id < g.size(); ++id)
+    if (mark[id]) result.push_back(id);
+  return result;  // ascending ids == topological order
+}
+
+}  // namespace jps::dnn

@@ -1,0 +1,148 @@
+// Layer-level DAG model of a DNN (§3.1 of the paper).
+//
+// Nodes are layers; edges carry the intermediate tensors whose byte sizes are
+// the offloading communication volumes.  Construction is append-only and
+// every edge must point to an existing node, so the graph is acyclic by
+// construction and insertion order is a valid topological order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.h"
+#include "dnn/tensor_shape.h"
+
+namespace jps::dnn {
+
+/// Index of a node within its Graph.
+using NodeId = std::size_t;
+
+/// Per-node results of shape/cost inference (filled by Graph::infer()).
+struct NodeInfo {
+  TensorShape output_shape;
+  double flops = 0.0;
+  std::uint64_t params = 0;
+  /// Bytes of this node's output tensor — the offload volume if we cut here.
+  std::uint64_t output_bytes = 0;
+  /// Bytes moved through memory executing the node (inputs+output+params).
+  std::uint64_t memory_traffic = 0;
+};
+
+/// A DNN computation graph.  Movable, non-copyable (owns layers).
+class Graph {
+ public:
+  /// Create an empty graph. `dtype` sets activation/parameter element size.
+  explicit Graph(std::string name, DType dtype = DType::kFloat32);
+
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  /// Append a node computing `layer` from the outputs of `inputs`.
+  /// All input ids must already exist.  Returns the new node's id.
+  /// `label` overrides the auto-generated display name.
+  NodeId add(std::unique_ptr<Layer> layer, std::vector<NodeId> inputs = {},
+             std::string label = {});
+
+  /// Number of nodes.
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// Model name ("alexnet", ...).
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Element type of activations and parameters.
+  [[nodiscard]] DType dtype() const { return dtype_; }
+
+  /// Switch the activation/parameter element type (e.g. to model quantized
+  /// offloading, where intermediate tensors ship as f16/i8).  Invalidates
+  /// inference results; call infer() again before using info().
+  void set_dtype(DType dtype) {
+    dtype_ = dtype;
+    inferred_ = false;
+  }
+
+  /// The layer at `id`.
+  [[nodiscard]] const Layer& layer(NodeId id) const;
+
+  /// Display label of node `id`.
+  [[nodiscard]] const std::string& label(NodeId id) const;
+
+  /// Predecessors (edge sources) of `id`, in declaration order.
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId id) const;
+
+  /// Successors of `id`, in declaration order.
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId id) const;
+
+  /// Run shape inference over the whole graph, filling per-node NodeInfo.
+  /// Validates: exactly one Input node, it is node 0's only source, exactly
+  /// one sink, every non-input node has >= 1 predecessor.
+  /// Throws std::invalid_argument on violation.  Idempotent.
+  void infer();
+
+  /// True once infer() has completed successfully.
+  [[nodiscard]] bool inferred() const { return inferred_; }
+
+  /// Inference results for node `id` (infer() must have run).
+  [[nodiscard]] const NodeInfo& info(NodeId id) const;
+
+  /// The unique node with no predecessors (validated by infer()).
+  [[nodiscard]] NodeId source() const;
+
+  /// The unique node with no successors (validated by infer()).
+  [[nodiscard]] NodeId sink() const;
+
+  /// Ids in a valid topological order (== insertion order by construction).
+  [[nodiscard]] std::vector<NodeId> topo_order() const;
+
+  /// True when every node has at most one predecessor and one successor,
+  /// i.e. the DAG is a simple chain (the paper's "line-structure").
+  [[nodiscard]] bool is_line() const;
+
+  /// Sum of flops over all nodes (infer() required).
+  [[nodiscard]] double total_flops() const;
+
+  /// Sum of parameter counts over all nodes (infer() required).
+  [[nodiscard]] std::uint64_t total_params() const;
+
+  /// Number of distinct source->sink paths (infer() not required).
+  /// Saturates at std::numeric_limits<uint64_t>::max() on overflow.
+  [[nodiscard]] std::uint64_t path_count() const;
+
+  /// All source->sink paths as node-id sequences.  Throws
+  /// std::runtime_error when the count exceeds `max_paths` — callers dealing
+  /// with combinatorial DAGs must use articulation decomposition instead.
+  [[nodiscard]] std::vector<std::vector<NodeId>> enumerate_paths(
+      std::size_t max_paths = 4096) const;
+
+  /// Nodes every source->sink path passes through, in topological order
+  /// (always includes source and sink).  These are the "trunk" nodes between
+  /// which parallel branches live.
+  [[nodiscard]] std::vector<NodeId> articulation_nodes() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<Layer> layer;
+    std::vector<NodeId> inputs;
+    std::vector<NodeId> outputs;
+    std::string label;
+    NodeInfo info;
+  };
+
+  std::string name_;
+  DType dtype_;
+  std::vector<Node> nodes_;
+  bool inferred_ = false;
+};
+
+/// Ancestor closure of `node`, including `node` itself, in topological
+/// order.  These are exactly the nodes that must run on the mobile device
+/// when `node` is a cut-point (§3.1: "all computation nodes v in P_j and
+/// their predecessors are processed on mobile devices").
+[[nodiscard]] std::vector<NodeId> ancestors_inclusive(const Graph& g,
+                                                      NodeId node);
+
+}  // namespace jps::dnn

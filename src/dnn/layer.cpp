@@ -1,0 +1,138 @@
+#include "dnn/layer.h"
+
+#include <stdexcept>
+
+#include "dnn/layer_impl.h"
+
+namespace jps::dnn {
+
+const char* layer_kind_name(LayerKind k) {
+  switch (k) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kPool2d: return "pool2d";
+    case LayerKind::kGlobalAvgPool: return "global_avg_pool";
+    case LayerKind::kDense: return "dense";
+    case LayerKind::kActivation: return "activation";
+    case LayerKind::kBatchNorm: return "batch_norm";
+    case LayerKind::kLRN: return "lrn";
+    case LayerKind::kDropout: return "dropout";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kAdd: return "add";
+  }
+  return "?";
+}
+
+std::uint64_t Layer::memory_traffic_bytes(std::span<const TensorShape> inputs,
+                                          const TensorShape& output,
+                                          DType dtype) const {
+  std::uint64_t bytes = output.bytes(dtype);
+  for (const auto& in : inputs) bytes += in.bytes(dtype);
+  bytes += param_count(inputs, output) * dtype_size(dtype);
+  return bytes;
+}
+
+namespace detail {
+
+void expect_arity(std::span<const TensorShape> inputs, std::size_t n,
+                  const char* layer_name) {
+  if (inputs.size() != n) {
+    throw std::invalid_argument(std::string(layer_name) + ": expected " +
+                                std::to_string(n) + " inputs, got " +
+                                std::to_string(inputs.size()));
+  }
+}
+
+void expect_chw(const TensorShape& s, const char* layer_name) {
+  if (s.rank() != 3) {
+    throw std::invalid_argument(std::string(layer_name) +
+                                ": expected CHW input, got rank " +
+                                std::to_string(s.rank()));
+  }
+}
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad,
+                          const char* layer_name) {
+  const std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
+  if (out < 1) {
+    throw std::invalid_argument(std::string(layer_name) +
+                                ": window larger than padded input");
+  }
+  return out;
+}
+
+}  // namespace detail
+
+// Factory functions -----------------------------------------------------------
+
+std::unique_ptr<Layer> input(TensorShape shape) {
+  return std::make_unique<detail::InputLayer>(std::move(shape));
+}
+
+std::unique_ptr<Layer> conv2d(std::int64_t out_channels, std::int64_t kernel,
+                              std::int64_t stride, std::int64_t padding,
+                              std::int64_t groups, bool bias) {
+  return std::make_unique<detail::Conv2dLayer>(out_channels, kernel, kernel,
+                                               stride, padding, padding,
+                                               groups, bias);
+}
+
+std::unique_ptr<Layer> conv2d_rect(std::int64_t out_channels,
+                                   std::int64_t kernel_h, std::int64_t kernel_w,
+                                   std::int64_t padding_h,
+                                   std::int64_t padding_w, bool bias) {
+  // Negative padding means "same" for odd kernels: (k-1)/2 per axis.
+  if (padding_h < 0) padding_h = (kernel_h - 1) / 2;
+  if (padding_w < 0) padding_w = (kernel_w - 1) / 2;
+  return std::make_unique<detail::Conv2dLayer>(out_channels, kernel_h,
+                                               kernel_w, /*stride=*/1,
+                                               padding_h, padding_w,
+                                               /*groups=*/1, bias);
+}
+
+std::unique_ptr<Layer> depthwise_conv2d(std::int64_t kernel, std::int64_t stride,
+                                        std::int64_t padding) {
+  // groups == 0 is the internal encoding for "bind to in_channels";
+  // out_channels is likewise bound at inference time.
+  return std::make_unique<detail::Conv2dLayer>(/*out_channels=*/0, kernel,
+                                               kernel, stride, padding,
+                                               padding, /*groups=*/0,
+                                               /*bias=*/false);
+}
+
+std::unique_ptr<Layer> pool2d(PoolKind kind, std::int64_t kernel,
+                              std::int64_t stride, std::int64_t padding) {
+  return std::make_unique<detail::Pool2dLayer>(kind, kernel, stride, padding);
+}
+
+std::unique_ptr<Layer> global_avg_pool() {
+  return std::make_unique<detail::GlobalAvgPoolLayer>();
+}
+
+std::unique_ptr<Layer> dense(std::int64_t out_features, bool bias) {
+  return std::make_unique<detail::DenseLayer>(out_features, bias);
+}
+
+std::unique_ptr<Layer> activation(ActivationKind kind) {
+  return std::make_unique<detail::ActivationLayer>(kind);
+}
+
+std::unique_ptr<Layer> batch_norm() {
+  return std::make_unique<detail::BatchNormLayer>();
+}
+
+std::unique_ptr<Layer> lrn(std::int64_t size) {
+  return std::make_unique<detail::LRNLayer>(size);
+}
+
+std::unique_ptr<Layer> dropout() { return std::make_unique<detail::DropoutLayer>(); }
+
+std::unique_ptr<Layer> flatten() { return std::make_unique<detail::FlattenLayer>(); }
+
+std::unique_ptr<Layer> concat() { return std::make_unique<detail::ConcatLayer>(); }
+
+std::unique_ptr<Layer> add() { return std::make_unique<detail::AddLayer>(); }
+
+}  // namespace jps::dnn

@@ -1,0 +1,142 @@
+// Layer taxonomy with shape inference, FLOP and parameter accounting.
+//
+// The partition problem is layer-granular (§3.1: "each node represents a
+// layer ... instead of a neuron"), so a layer only needs to expose:
+//   * its output shape given input shapes        -> communication volume g
+//   * its FLOP count and memory traffic          -> computation time f
+//   * its parameter count                        -> device memory accounting
+// Multiply-accumulate operations are counted as 2 FLOPs throughout.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "dnn/tensor_shape.h"
+
+namespace jps::dnn {
+
+/// Discriminator for quick checks without dynamic_cast.
+enum class LayerKind : std::uint8_t {
+  kInput,
+  kConv2d,
+  kPool2d,
+  kGlobalAvgPool,
+  kDense,
+  kActivation,
+  kBatchNorm,
+  kLRN,
+  kDropout,
+  kFlatten,
+  kConcat,
+  kAdd,
+};
+
+/// Human-readable kind name ("conv2d", ...).
+[[nodiscard]] const char* layer_kind_name(LayerKind k);
+
+/// Abstract layer. Concrete layers are immutable after construction; the
+/// Graph owns them through unique_ptr.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Discriminator for this layer.
+  [[nodiscard]] virtual LayerKind kind() const = 0;
+
+  /// Short human-readable description, e.g. "conv 3x3/1 p1 x64".
+  [[nodiscard]] virtual std::string describe() const = 0;
+
+  /// Output shape from the given input shapes. Throws std::invalid_argument
+  /// when arity or shapes are incompatible with the layer.
+  [[nodiscard]] virtual TensorShape infer(
+      std::span<const TensorShape> inputs) const = 0;
+
+  /// FLOPs to produce `output` from `inputs` (MAC = 2 FLOPs).
+  [[nodiscard]] virtual double flops(std::span<const TensorShape> inputs,
+                                     const TensorShape& output) const = 0;
+
+  /// Number of learned parameters (weights + biases).
+  [[nodiscard]] virtual std::uint64_t param_count(
+      std::span<const TensorShape> inputs, const TensorShape& output) const = 0;
+
+  /// Bytes moved through memory to execute the layer: inputs + output +
+  /// parameters.  Used to model memory-bound layers (pooling, depthwise
+  /// conv) whose time is not FLOP-dominated.
+  [[nodiscard]] std::uint64_t memory_traffic_bytes(
+      std::span<const TensorShape> inputs, const TensorShape& output,
+      DType dtype = DType::kFloat32) const;
+};
+
+/// Nonlinearity variants (cost-wise identical; kept for model fidelity).
+enum class ActivationKind : std::uint8_t { kReLU, kReLU6, kSigmoid, kTanh, kSoftmax };
+
+/// Pooling variants.
+enum class PoolKind : std::uint8_t { kMax, kAvg };
+
+// ---------------------------------------------------------------------------
+// Factory functions (the public way to create layers).
+// ---------------------------------------------------------------------------
+
+/// Graph entry point carrying the sample shape (e.g. 3x224x224).
+[[nodiscard]] std::unique_ptr<Layer> input(TensorShape shape);
+
+/// 2-D convolution. `groups` divides channels; groups == in_channels gives a
+/// depthwise convolution. Square kernel/stride/padding shorthand.
+[[nodiscard]] std::unique_ptr<Layer> conv2d(std::int64_t out_channels,
+                                            std::int64_t kernel,
+                                            std::int64_t stride = 1,
+                                            std::int64_t padding = 0,
+                                            std::int64_t groups = 1,
+                                            bool bias = true);
+
+/// Rectangular-kernel convolution (stride 1): Inception's factorized 7x1 /
+/// 1x7 / 3x1 / 1x3 layers.  Padding defaults to "same" ((k-1)/2 per axis)
+/// for odd kernels, which is how those factorized layers are always used.
+[[nodiscard]] std::unique_ptr<Layer> conv2d_rect(std::int64_t out_channels,
+                                                 std::int64_t kernel_h,
+                                                 std::int64_t kernel_w,
+                                                 std::int64_t padding_h = -1,
+                                                 std::int64_t padding_w = -1,
+                                                 bool bias = true);
+
+/// Depthwise convolution: groups bound to the input channel count.
+[[nodiscard]] std::unique_ptr<Layer> depthwise_conv2d(std::int64_t kernel,
+                                                      std::int64_t stride = 1,
+                                                      std::int64_t padding = 0);
+
+/// Max/avg pooling window.
+[[nodiscard]] std::unique_ptr<Layer> pool2d(PoolKind kind, std::int64_t kernel,
+                                            std::int64_t stride,
+                                            std::int64_t padding = 0);
+
+/// Global average pooling: CxHxW -> Cx1x1.
+[[nodiscard]] std::unique_ptr<Layer> global_avg_pool();
+
+/// Fully-connected layer on a flat input.
+[[nodiscard]] std::unique_ptr<Layer> dense(std::int64_t out_features,
+                                           bool bias = true);
+
+/// Element-wise nonlinearity.
+[[nodiscard]] std::unique_ptr<Layer> activation(ActivationKind kind);
+
+/// Channel-wise batch normalization (inference mode: scale + shift).
+[[nodiscard]] std::unique_ptr<Layer> batch_norm();
+
+/// Local response normalization (AlexNet-era).
+[[nodiscard]] std::unique_ptr<Layer> lrn(std::int64_t size = 5);
+
+/// Dropout is a no-op at inference; kept so layer indices match papers.
+[[nodiscard]] std::unique_ptr<Layer> dropout();
+
+/// Flatten CxHxW to a feature vector.
+[[nodiscard]] std::unique_ptr<Layer> flatten();
+
+/// Channel-axis concatenation of >= 2 inputs (inception joins).
+[[nodiscard]] std::unique_ptr<Layer> concat();
+
+/// Element-wise addition of two same-shape inputs (residual joins).
+[[nodiscard]] std::unique_ptr<Layer> add();
+
+}  // namespace jps::dnn

@@ -1,0 +1,128 @@
+// Conv2d (regular, grouped, depthwise) and Dense layer implementations.
+#include <sstream>
+#include <stdexcept>
+
+#include "dnn/layer_impl.h"
+
+namespace jps::dnn::detail {
+
+// InputLayer ------------------------------------------------------------------
+
+std::string InputLayer::describe() const { return "input " + shape_.str(); }
+
+TensorShape InputLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 0, "input");
+  return shape_;
+}
+
+// Conv2dLayer -----------------------------------------------------------------
+
+Conv2dLayer::Conv2dLayer(std::int64_t out_channels, std::int64_t kernel_h,
+                         std::int64_t kernel_w, std::int64_t stride,
+                         std::int64_t pad_h, std::int64_t pad_w,
+                         std::int64_t groups, bool bias)
+    : out_channels_(out_channels),
+      kernel_h_(kernel_h),
+      kernel_w_(kernel_w),
+      stride_(stride),
+      pad_h_(pad_h),
+      pad_w_(pad_w),
+      groups_(groups),
+      bias_(bias) {
+  if (kernel_h_ < 1 || kernel_w_ < 1 || stride_ < 1 || pad_h_ < 0 || pad_w_ < 0)
+    throw std::invalid_argument("conv2d: bad kernel/stride/padding");
+  if (groups_ < 0) throw std::invalid_argument("conv2d: bad groups");
+  if (groups_ != 0 && out_channels_ % groups_ != 0)
+    throw std::invalid_argument("conv2d: out_channels must divide by groups");
+}
+
+std::int64_t Conv2dLayer::effective_groups(std::int64_t in_channels) const {
+  return depthwise() ? in_channels : groups_;
+}
+
+std::string Conv2dLayer::describe() const {
+  std::ostringstream os;
+  if (depthwise()) {
+    os << "dwconv " << kernel_h_ << 'x' << kernel_w_ << '/' << stride_ << " p"
+       << pad_h_;
+  } else {
+    os << "conv " << kernel_h_ << 'x' << kernel_w_ << '/' << stride_;
+    if (pad_h_ == pad_w_) {
+      os << " p" << pad_h_;
+    } else {
+      os << " p" << pad_h_ << 'x' << pad_w_;
+    }
+    os << " x" << out_channels_;
+    if (groups_ > 1) os << " g" << groups_;
+  }
+  return os.str();
+}
+
+TensorShape Conv2dLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "conv2d");
+  expect_chw(inputs[0], "conv2d");
+  const std::int64_t cin = inputs[0].channels();
+  const std::int64_t groups = effective_groups(cin);
+  if (cin % groups != 0)
+    throw std::invalid_argument("conv2d: in_channels must divide by groups");
+  const std::int64_t cout = depthwise() ? cin : out_channels_;
+  return TensorShape::chw(
+      cout,
+      conv_out_dim(inputs[0].height(), kernel_h_, stride_, pad_h_, "conv2d"),
+      conv_out_dim(inputs[0].width(), kernel_w_, stride_, pad_w_, "conv2d"));
+}
+
+double Conv2dLayer::flops(std::span<const TensorShape> inputs,
+                          const TensorShape& output) const {
+  const std::int64_t cin = inputs[0].channels();
+  const std::int64_t groups = effective_groups(cin);
+  // Each output element accumulates (cin/groups * kh * kw) MACs.
+  const double macs_per_out = static_cast<double>(cin / groups) *
+                              static_cast<double>(kernel_h_ * kernel_w_);
+  double fl = 2.0 * macs_per_out * static_cast<double>(output.elements());
+  if (bias_) fl += static_cast<double>(output.elements());
+  return fl;
+}
+
+std::uint64_t Conv2dLayer::param_count(std::span<const TensorShape> inputs,
+                                       const TensorShape& output) const {
+  const std::int64_t cin = inputs[0].channels();
+  const std::int64_t groups = effective_groups(cin);
+  const std::int64_t cout = output.channels();
+  std::uint64_t params = static_cast<std::uint64_t>(cout) *
+                         static_cast<std::uint64_t>(cin / groups) *
+                         static_cast<std::uint64_t>(kernel_h_ * kernel_w_);
+  if (bias_) params += static_cast<std::uint64_t>(cout);
+  return params;
+}
+
+// DenseLayer ------------------------------------------------------------------
+
+std::string DenseLayer::describe() const {
+  return "dense x" + std::to_string(out_features_);
+}
+
+TensorShape DenseLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "dense");
+  if (inputs[0].rank() != 1)
+    throw std::invalid_argument("dense: expected flat input (flatten first)");
+  return TensorShape::flat(out_features_);
+}
+
+double DenseLayer::flops(std::span<const TensorShape> inputs,
+                         const TensorShape& output) const {
+  double fl = 2.0 * static_cast<double>(inputs[0].elements()) *
+              static_cast<double>(output.elements());
+  if (bias_) fl += static_cast<double>(output.elements());
+  return fl;
+}
+
+std::uint64_t DenseLayer::param_count(std::span<const TensorShape> inputs,
+                                      const TensorShape& output) const {
+  std::uint64_t params = static_cast<std::uint64_t>(inputs[0].elements()) *
+                         static_cast<std::uint64_t>(output.elements());
+  if (bias_) params += static_cast<std::uint64_t>(output.elements());
+  return params;
+}
+
+}  // namespace jps::dnn::detail

@@ -1,0 +1,110 @@
+// Element-wise, normalization and join layers.
+#include <stdexcept>
+
+#include "dnn/layer_impl.h"
+
+namespace jps::dnn::detail {
+
+// ActivationLayer -------------------------------------------------------------
+
+std::string ActivationLayer::describe() const {
+  switch (act_) {
+    case ActivationKind::kReLU: return "relu";
+    case ActivationKind::kReLU6: return "relu6";
+    case ActivationKind::kSigmoid: return "sigmoid";
+    case ActivationKind::kTanh: return "tanh";
+    case ActivationKind::kSoftmax: return "softmax";
+  }
+  return "activation";
+}
+
+TensorShape ActivationLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "activation");
+  return inputs[0];
+}
+
+double ActivationLayer::flops(std::span<const TensorShape> inputs,
+                              const TensorShape&) const {
+  // One (or a few, for transcendental kinds) ops per element; a single FLOP
+  // per element is the standard accounting and the difference never matters
+  // next to conv/dense costs.
+  return static_cast<double>(inputs[0].elements());
+}
+
+// BatchNormLayer --------------------------------------------------------------
+
+TensorShape BatchNormLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "batch_norm");
+  return inputs[0];
+}
+
+double BatchNormLayer::flops(std::span<const TensorShape> inputs,
+                             const TensorShape&) const {
+  // Inference-mode BN folds to one multiply + one add per element.
+  return 2.0 * static_cast<double>(inputs[0].elements());
+}
+
+std::uint64_t BatchNormLayer::param_count(std::span<const TensorShape> inputs,
+                                          const TensorShape&) const {
+  if (inputs.empty() || inputs[0].rank() < 1) return 0;
+  // gamma + beta per channel (running stats folded in at inference).
+  const std::int64_t channels =
+      inputs[0].rank() == 3 ? inputs[0].channels() : inputs[0].elements();
+  return 2ull * static_cast<std::uint64_t>(channels);
+}
+
+// LRNLayer --------------------------------------------------------------------
+
+std::string LRNLayer::describe() const { return "lrn n" + std::to_string(size_); }
+
+TensorShape LRNLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "lrn");
+  expect_chw(inputs[0], "lrn");
+  return inputs[0];
+}
+
+double LRNLayer::flops(std::span<const TensorShape> inputs,
+                       const TensorShape&) const {
+  // `size_` squares + adds in the window, plus normalization per element.
+  return static_cast<double>(inputs[0].elements()) *
+         (2.0 * static_cast<double>(size_) + 3.0);
+}
+
+// DropoutLayer ----------------------------------------------------------------
+
+TensorShape DropoutLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "dropout");
+  return inputs[0];  // identity at inference time
+}
+
+// ConcatLayer -----------------------------------------------------------------
+
+TensorShape ConcatLayer::infer(std::span<const TensorShape> inputs) const {
+  if (inputs.size() < 2)
+    throw std::invalid_argument("concat: needs at least 2 inputs");
+  expect_chw(inputs[0], "concat");
+  std::int64_t channels = 0;
+  for (const auto& in : inputs) {
+    expect_chw(in, "concat");
+    if (in.height() != inputs[0].height() || in.width() != inputs[0].width())
+      throw std::invalid_argument("concat: spatial dims must match");
+    channels += in.channels();
+  }
+  return TensorShape::chw(channels, inputs[0].height(), inputs[0].width());
+}
+
+// AddLayer --------------------------------------------------------------------
+
+TensorShape AddLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 2, "add");
+  if (!(inputs[0] == inputs[1]))
+    throw std::invalid_argument("add: input shapes must match");
+  return inputs[0];
+}
+
+double AddLayer::flops(std::span<const TensorShape> inputs,
+                       const TensorShape&) const {
+  return static_cast<double>(inputs[0].elements());
+}
+
+}  // namespace jps::dnn::detail

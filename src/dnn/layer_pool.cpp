@@ -1,0 +1,62 @@
+// Pooling and reshaping layers.
+#include <sstream>
+#include <stdexcept>
+
+#include "dnn/layer_impl.h"
+
+namespace jps::dnn::detail {
+
+// Pool2dLayer -----------------------------------------------------------------
+
+Pool2dLayer::Pool2dLayer(PoolKind pool_kind, std::int64_t kernel,
+                         std::int64_t stride, std::int64_t padding)
+    : pool_kind_(pool_kind), kernel_(kernel), stride_(stride), padding_(padding) {
+  if (kernel_ < 1 || stride_ < 1 || padding_ < 0)
+    throw std::invalid_argument("pool2d: bad kernel/stride/padding");
+}
+
+std::string Pool2dLayer::describe() const {
+  std::ostringstream os;
+  os << (pool_kind_ == PoolKind::kMax ? "maxpool " : "avgpool ") << kernel_
+     << 'x' << kernel_ << '/' << stride_;
+  if (padding_ > 0) os << " p" << padding_;
+  return os.str();
+}
+
+TensorShape Pool2dLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "pool2d");
+  expect_chw(inputs[0], "pool2d");
+  return TensorShape::chw(
+      inputs[0].channels(),
+      conv_out_dim(inputs[0].height(), kernel_, stride_, padding_, "pool2d"),
+      conv_out_dim(inputs[0].width(), kernel_, stride_, padding_, "pool2d"));
+}
+
+double Pool2dLayer::flops(std::span<const TensorShape>,
+                          const TensorShape& output) const {
+  // One compare/add per window element per output element.
+  return static_cast<double>(output.elements()) *
+         static_cast<double>(kernel_ * kernel_);
+}
+
+// GlobalAvgPoolLayer ----------------------------------------------------------
+
+TensorShape GlobalAvgPoolLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "global_avg_pool");
+  expect_chw(inputs[0], "global_avg_pool");
+  return TensorShape::chw(inputs[0].channels(), 1, 1);
+}
+
+double GlobalAvgPoolLayer::flops(std::span<const TensorShape> inputs,
+                                 const TensorShape&) const {
+  return static_cast<double>(inputs[0].elements());  // one add per element
+}
+
+// FlattenLayer ----------------------------------------------------------------
+
+TensorShape FlattenLayer::infer(std::span<const TensorShape> inputs) const {
+  expect_arity(inputs, 1, "flatten");
+  return TensorShape::flat(inputs[0].elements());
+}
+
+}  // namespace jps::dnn::detail

@@ -1,0 +1,82 @@
+#include "dnn/tensor_shape.h"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace jps::dnn {
+
+const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::kFloat32: return "f32";
+    case DType::kFloat16: return "f16";
+    case DType::kInt8: return "i8";
+  }
+  return "?";
+}
+
+namespace {
+void validate(const std::vector<std::int64_t>& dims) {
+  for (std::int64_t d : dims) {
+    if (d < 1) throw std::invalid_argument("TensorShape: dims must be >= 1");
+  }
+}
+}  // namespace
+
+TensorShape::TensorShape(std::initializer_list<std::int64_t> dims)
+    : dims_(dims) {
+  validate(dims_);
+}
+
+TensorShape::TensorShape(std::vector<std::int64_t> dims)
+    : dims_(std::move(dims)) {
+  validate(dims_);
+}
+
+TensorShape TensorShape::chw(std::int64_t c, std::int64_t h, std::int64_t w) {
+  return TensorShape{c, h, w};
+}
+
+TensorShape TensorShape::flat(std::int64_t f) { return TensorShape{f}; }
+
+std::int64_t TensorShape::dim(std::size_t i) const {
+  if (i >= dims_.size()) throw std::out_of_range("TensorShape::dim");
+  return dims_[i];
+}
+
+std::int64_t TensorShape::channels() const {
+  assert(rank() == 3);
+  return dims_[0];
+}
+
+std::int64_t TensorShape::height() const {
+  assert(rank() == 3);
+  return dims_[1];
+}
+
+std::int64_t TensorShape::width() const {
+  assert(rank() == 3);
+  return dims_[2];
+}
+
+std::int64_t TensorShape::elements() const {
+  if (dims_.empty()) return 0;
+  std::int64_t n = 1;
+  for (std::int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::uint64_t TensorShape::bytes(DType t) const {
+  return static_cast<std::uint64_t>(elements()) * dtype_size(t);
+}
+
+std::string TensorShape::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << 'x';
+    os << dims_[i];
+  }
+  return os.str();
+}
+
+}  // namespace jps::dnn

@@ -1,0 +1,54 @@
+// Umbrella header for the JPS library: joint DNN partition + scheduling for
+// mobile cloud computing (Duan & Wu, ICPP 2021, reimplemented in C++20).
+//
+// Typical flow:
+//   auto graph   = jps::models::build("alexnet");
+//   auto mobile  = jps::profile::LatencyModel(
+//                      jps::profile::DeviceProfile::raspberry_pi_4b());
+//   auto channel = jps::net::Channel::preset_4g();
+//   auto curve   = jps::partition::ProfileCurve::build(graph, mobile, channel);
+//   auto planner = jps::core::Planner(curve);
+//   auto plan    = planner.plan(jps::core::Strategy::kJPS, /*n_jobs=*/100);
+#pragma once
+
+#include "core/alg3_planner.h"   // IWYU pragma: export
+#include "core/energy.h"         // IWYU pragma: export
+#include "core/hetero.h"         // IWYU pragma: export
+#include "core/plan.h"           // IWYU pragma: export
+#include "core/plan_io.h"        // IWYU pragma: export
+#include "core/planner.h"        // IWYU pragma: export
+#include "core/ratio.h"          // IWYU pragma: export
+#include "dnn/dot.h"             // IWYU pragma: export
+#include "dnn/graph.h"           // IWYU pragma: export
+#include "dnn/layer.h"           // IWYU pragma: export
+#include "dnn/tensor_shape.h"    // IWYU pragma: export
+#include "models/registry.h"     // IWYU pragma: export
+#include "models/zoo.h"          // IWYU pragma: export
+#include "net/channel.h"         // IWYU pragma: export
+#include "partition/binary_search.h"  // IWYU pragma: export
+#include "partition/continuous.h"     // IWYU pragma: export
+#include "partition/general_dag.h"    // IWYU pragma: export
+#include "partition/profile_curve.h"  // IWYU pragma: export
+#include "profile/comm_regression.h"  // IWYU pragma: export
+#include "profile/device.h"           // IWYU pragma: export
+
+#include "profile/latency_model.h"    // IWYU pragma: export
+#include "profile/lookup_table.h"     // IWYU pragma: export
+#include "profile/profiler.h"         // IWYU pragma: export
+#include "runtime/graph_runner.h"     // IWYU pragma: export
+#include "runtime/host_profiler.h"    // IWYU pragma: export
+#include "runtime/kernels.h"          // IWYU pragma: export
+#include "runtime/tensor.h"           // IWYU pragma: export
+#include "sched/bruteforce.h"         // IWYU pragma: export
+#include "sched/johnson.h"            // IWYU pragma: export
+#include "sched/johnson3.h"           // IWYU pragma: export
+#include "sched/makespan.h"           // IWYU pragma: export
+#include "sched/release.h"            // IWYU pragma: export
+#include "sim/executor.h"             // IWYU pragma: export
+#include "sim/monte_carlo.h"          // IWYU pragma: export
+#include "sim/shared_link.h"          // IWYU pragma: export
+#include "sim/trace.h"                // IWYU pragma: export
+#include "util/rng.h"                 // IWYU pragma: export
+#include "util/stats.h"               // IWYU pragma: export
+#include "util/table.h"               // IWYU pragma: export
+#include "util/units.h"               // IWYU pragma: export

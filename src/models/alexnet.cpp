@@ -1,0 +1,49 @@
+// AlexNet builder.  Layer dimensions follow the single-tower torchvision
+// layout (the one PyTorch serves, hence the one the paper profiled), with
+// the classic local response normalization optionally re-inserted after the
+// first two conv blocks.
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+Graph alexnet(std::int64_t num_classes, bool with_lrn) {
+  Graph g("alexnet");
+  NodeId x = g.add(input(TensorShape::chw(3, 224, 224)));
+
+  // Block 1: 64 x 11x11/4 p2 -> relu -> (lrn) -> maxpool 3/2
+  x = g.add(conv2d(64, 11, 4, 2), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  if (with_lrn) x = g.add(lrn(), {x});
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+
+  // Block 2: 192 x 5x5 p2 -> relu -> (lrn) -> maxpool 3/2
+  x = g.add(conv2d(192, 5, 1, 2), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  if (with_lrn) x = g.add(lrn(), {x});
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+
+  // Blocks 3-5: three 3x3 convs, pool after the last.
+  x = g.add(conv2d(384, 3, 1, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(conv2d(256, 3, 1, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(conv2d(256, 3, 1, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+
+  // Classifier: flatten 256*6*6 -> 4096 -> 4096 -> num_classes.
+  x = g.add(flatten(), {x});
+  x = g.add(dropout(), {x});
+  x = g.add(dense(4096), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(dropout(), {x});
+  x = g.add(dense(4096), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(dense(num_classes), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+}  // namespace jps::models

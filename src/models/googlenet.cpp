@@ -1,0 +1,86 @@
+// GoogLeNet (Inception-v1) builder: stem, nine inception modules with 4-way
+// branches, global average pooling and a linear classifier.  The auxiliary
+// training classifiers are omitted (inference-only model, as in the paper).
+#include <array>
+
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+dnn::NodeId conv_relu(Graph& g, dnn::NodeId x, std::int64_t channels,
+                      std::int64_t kernel, std::int64_t stride,
+                      std::int64_t padding) {
+  x = g.add(conv2d(channels, kernel, stride, padding), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  return x;
+}
+
+/// Channel plan of one inception module.
+struct InceptionSpec {
+  std::int64_t c1;       // 1x1 branch
+  std::int64_t c3r, c3;  // 1x1 reduce -> 3x3 branch
+  std::int64_t c5r, c5;  // 1x1 reduce -> 5x5 branch
+  std::int64_t pp;       // pool -> 1x1 projection branch
+};
+
+dnn::NodeId inception(Graph& g, dnn::NodeId x, const InceptionSpec& s) {
+  const dnn::NodeId b1 = conv_relu(g, x, s.c1, 1, 1, 0);
+
+  dnn::NodeId b2 = conv_relu(g, x, s.c3r, 1, 1, 0);
+  b2 = conv_relu(g, b2, s.c3, 3, 1, 1);
+
+  dnn::NodeId b3 = conv_relu(g, x, s.c5r, 1, 1, 0);
+  b3 = conv_relu(g, b3, s.c5, 5, 1, 2);
+
+  dnn::NodeId b4 = g.add(pool2d(PoolKind::kMax, 3, 1, 1), {x});
+  b4 = conv_relu(g, b4, s.pp, 1, 1, 0);
+
+  return g.add(concat(), {b1, b2, b3, b4});
+}
+
+}  // namespace
+
+Graph googlenet(std::int64_t num_classes) {
+  Graph g("googlenet");
+  NodeId x = g.add(input(TensorShape::chw(3, 224, 224)));
+
+  // Stem.
+  x = conv_relu(g, x, 64, 7, 2, 3);
+  x = g.add(pool2d(PoolKind::kMax, 3, 2, 1), {x});
+  x = g.add(lrn(), {x});
+  x = conv_relu(g, x, 64, 1, 1, 0);
+  x = conv_relu(g, x, 192, 3, 1, 1);
+  x = g.add(lrn(), {x});
+  x = g.add(pool2d(PoolKind::kMax, 3, 2, 1), {x});
+
+  // Inception 3a, 3b.
+  x = inception(g, x, {64, 96, 128, 16, 32, 32});
+  x = inception(g, x, {128, 128, 192, 32, 96, 64});
+  x = g.add(pool2d(PoolKind::kMax, 3, 2, 1), {x});
+
+  // Inception 4a-4e.
+  constexpr std::array<InceptionSpec, 5> kStage4{{{192, 96, 208, 16, 48, 64},
+                                                  {160, 112, 224, 24, 64, 64},
+                                                  {128, 128, 256, 24, 64, 64},
+                                                  {112, 144, 288, 32, 64, 64},
+                                                  {256, 160, 320, 32, 128, 128}}};
+  for (const auto& spec : kStage4) x = inception(g, x, spec);
+  x = g.add(pool2d(PoolKind::kMax, 3, 2, 1), {x});
+
+  // Inception 5a, 5b.
+  x = inception(g, x, {256, 160, 320, 32, 128, 128});
+  x = inception(g, x, {384, 192, 384, 48, 128, 128});
+
+  x = g.add(global_avg_pool(), {x});
+  x = g.add(flatten(), {x});
+  x = g.add(dropout(), {x});
+  x = g.add(dense(num_classes), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+}  // namespace jps::models

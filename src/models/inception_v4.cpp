@@ -1,0 +1,141 @@
+// Inception-v4 builder (Szegedy et al., AAAI 2017) — the network whose
+// inception module the paper's Fig. 3(a) uses to illustrate general-structure
+// DAGs.  299x299 input; stem with two branched joins, 4x Inception-A,
+// Reduction-A, 7x Inception-B, Reduction-B, 3x Inception-C, global average
+// pooling and the classifier.  Factorized 7x1/1x7 and 3x1/1x3 convolutions
+// use the rectangular conv layer; "V" (valid) convs carry zero padding.
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+NodeId conv_relu(Graph& g, NodeId x, std::int64_t channels, std::int64_t kernel,
+                 std::int64_t stride, std::int64_t padding) {
+  x = g.add(conv2d(channels, kernel, stride, padding), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  return x;
+}
+
+NodeId conv_relu_rect(Graph& g, NodeId x, std::int64_t channels,
+                      std::int64_t kh, std::int64_t kw) {
+  x = g.add(conv2d_rect(channels, kh, kw), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  return x;
+}
+
+// Stem: 3x299x299 -> 384x35x35, with two branch+concat joins.
+NodeId stem(Graph& g, NodeId x) {
+  x = conv_relu(g, x, 32, 3, 2, 0);  // 149x149
+  x = conv_relu(g, x, 32, 3, 1, 0);  // 147x147
+  x = conv_relu(g, x, 64, 3, 1, 1);  // 147x147
+
+  const NodeId pool_a = g.add(pool2d(PoolKind::kMax, 3, 2), {x});   // 73x73
+  const NodeId conv_a = conv_relu(g, x, 96, 3, 2, 0);               // 73x73
+  x = g.add(concat(), {pool_a, conv_a});                            // 160
+
+  NodeId b1 = conv_relu(g, x, 64, 1, 1, 0);
+  b1 = conv_relu(g, b1, 96, 3, 1, 0);  // 71x71
+  NodeId b2 = conv_relu(g, x, 64, 1, 1, 0);
+  b2 = conv_relu_rect(g, b2, 64, 7, 1);
+  b2 = conv_relu_rect(g, b2, 64, 1, 7);
+  b2 = conv_relu(g, b2, 96, 3, 1, 0);  // 71x71
+  x = g.add(concat(), {b1, b2});       // 192x71x71
+
+  const NodeId conv_b = conv_relu(g, x, 192, 3, 2, 0);              // 35x35
+  const NodeId pool_b = g.add(pool2d(PoolKind::kMax, 3, 2), {x});   // 35x35
+  return g.add(concat(), {conv_b, pool_b});                         // 384x35x35
+}
+
+// Inception-A: 384 -> 384 at 35x35.
+NodeId inception_a(Graph& g, NodeId x) {
+  NodeId b1 = g.add(pool2d(PoolKind::kAvg, 3, 1, 1), {x});
+  b1 = conv_relu(g, b1, 96, 1, 1, 0);
+  const NodeId b2 = conv_relu(g, x, 96, 1, 1, 0);
+  NodeId b3 = conv_relu(g, x, 64, 1, 1, 0);
+  b3 = conv_relu(g, b3, 96, 3, 1, 1);
+  NodeId b4 = conv_relu(g, x, 64, 1, 1, 0);
+  b4 = conv_relu(g, b4, 96, 3, 1, 1);
+  b4 = conv_relu(g, b4, 96, 3, 1, 1);
+  return g.add(concat(), {b1, b2, b3, b4});
+}
+
+// Reduction-A: 384x35x35 -> 1024x17x17.
+NodeId reduction_a(Graph& g, NodeId x) {
+  const NodeId b1 = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+  const NodeId b2 = conv_relu(g, x, 384, 3, 2, 0);
+  NodeId b3 = conv_relu(g, x, 192, 1, 1, 0);
+  b3 = conv_relu(g, b3, 224, 3, 1, 1);
+  b3 = conv_relu(g, b3, 256, 3, 2, 0);
+  return g.add(concat(), {b1, b2, b3});
+}
+
+// Inception-B: 1024 -> 1024 at 17x17.
+NodeId inception_b(Graph& g, NodeId x) {
+  NodeId b1 = g.add(pool2d(PoolKind::kAvg, 3, 1, 1), {x});
+  b1 = conv_relu(g, b1, 128, 1, 1, 0);
+  const NodeId b2 = conv_relu(g, x, 384, 1, 1, 0);
+  NodeId b3 = conv_relu(g, x, 192, 1, 1, 0);
+  b3 = conv_relu_rect(g, b3, 224, 1, 7);
+  b3 = conv_relu_rect(g, b3, 256, 7, 1);
+  NodeId b4 = conv_relu(g, x, 192, 1, 1, 0);
+  b4 = conv_relu_rect(g, b4, 192, 1, 7);
+  b4 = conv_relu_rect(g, b4, 224, 7, 1);
+  b4 = conv_relu_rect(g, b4, 224, 1, 7);
+  b4 = conv_relu_rect(g, b4, 256, 7, 1);
+  return g.add(concat(), {b1, b2, b3, b4});
+}
+
+// Reduction-B: 1024x17x17 -> 1536x8x8.
+NodeId reduction_b(Graph& g, NodeId x) {
+  const NodeId b1 = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+  NodeId b2 = conv_relu(g, x, 192, 1, 1, 0);
+  b2 = conv_relu(g, b2, 192, 3, 2, 0);
+  NodeId b3 = conv_relu(g, x, 256, 1, 1, 0);
+  b3 = conv_relu_rect(g, b3, 256, 1, 7);
+  b3 = conv_relu_rect(g, b3, 320, 7, 1);
+  b3 = conv_relu(g, b3, 320, 3, 2, 0);
+  return g.add(concat(), {b1, b2, b3});
+}
+
+// Inception-C: 1536 -> 1536 at 8x8, with nested branch splits (Fig. 3(a)).
+NodeId inception_c(Graph& g, NodeId x) {
+  NodeId b1 = g.add(pool2d(PoolKind::kAvg, 3, 1, 1), {x});
+  b1 = conv_relu(g, b1, 256, 1, 1, 0);
+  const NodeId b2 = conv_relu(g, x, 256, 1, 1, 0);
+
+  const NodeId b3_stem = conv_relu(g, x, 384, 1, 1, 0);
+  const NodeId b3_left = conv_relu_rect(g, b3_stem, 256, 1, 3);
+  const NodeId b3_right = conv_relu_rect(g, b3_stem, 256, 3, 1);
+
+  NodeId b4 = conv_relu(g, x, 384, 1, 1, 0);
+  b4 = conv_relu_rect(g, b4, 448, 1, 3);
+  b4 = conv_relu_rect(g, b4, 512, 3, 1);
+  const NodeId b4_left = conv_relu_rect(g, b4, 256, 3, 1);
+  const NodeId b4_right = conv_relu_rect(g, b4, 256, 1, 3);
+
+  return g.add(concat(), {b1, b2, b3_left, b3_right, b4_left, b4_right});
+}
+
+}  // namespace
+
+Graph inception_v4(std::int64_t num_classes) {
+  Graph g("inception_v4");
+  NodeId x = g.add(input(TensorShape::chw(3, 299, 299)));
+  x = stem(g, x);
+  for (int i = 0; i < 4; ++i) x = inception_a(g, x);
+  x = reduction_a(g, x);
+  for (int i = 0; i < 7; ++i) x = inception_b(g, x);
+  x = reduction_b(g, x);
+  for (int i = 0; i < 3; ++i) x = inception_c(g, x);
+  x = g.add(global_avg_pool(), {x});
+  x = g.add(flatten(), {x});
+  x = g.add(dropout(), {x});
+  x = g.add(dense(num_classes), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+}  // namespace jps::models

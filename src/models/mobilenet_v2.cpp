@@ -1,0 +1,93 @@
+// MobileNet-v2 builder: initial conv, 17 bottleneck residual blocks per the
+// (t, c, n, s) table of Sandler et al., final 1x1 conv, pooling and
+// classifier.  Blocks with stride 1 and matching channels carry the bypass
+// link shown in the paper's Fig. 10, which makes the DAG non-line; the
+// partition layer collapses each block into a virtual block (§6.1).
+#include <algorithm>
+#include <array>
+
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+// Round channels to a multiple of 8 as the reference implementation does,
+// never dropping below 90% of the unrounded value.
+std::int64_t round_channels(double c) {
+  auto rounded = static_cast<std::int64_t>((c + 4.0) / 8.0) * 8;
+  rounded = std::max<std::int64_t>(rounded, 8);
+  if (static_cast<double>(rounded) < 0.9 * c) rounded += 8;
+  return rounded;
+}
+
+// One inverted-residual bottleneck: 1x1 expand -> 3x3 depthwise -> 1x1
+// project, with a residual add when the shapes allow it.
+dnn::NodeId bottleneck(Graph& g, dnn::NodeId x, std::int64_t in_channels,
+                       std::int64_t out_channels, std::int64_t expand_ratio,
+                       std::int64_t stride) {
+  const dnn::NodeId entry = x;
+  const std::int64_t expanded = in_channels * expand_ratio;
+  if (expand_ratio != 1) {
+    x = g.add(conv2d(expanded, 1, 1, 0, 1, /*bias=*/false), {x});
+    x = g.add(batch_norm(), {x});
+    x = g.add(activation(ActivationKind::kReLU6), {x});
+  }
+  x = g.add(depthwise_conv2d(3, stride, 1), {x});
+  x = g.add(batch_norm(), {x});
+  x = g.add(activation(ActivationKind::kReLU6), {x});
+  x = g.add(conv2d(out_channels, 1, 1, 0, 1, /*bias=*/false), {x});
+  x = g.add(batch_norm(), {x});  // linear bottleneck: no activation
+  if (stride == 1 && in_channels == out_channels) {
+    x = g.add(add(), {entry, x});
+  }
+  return x;
+}
+
+}  // namespace
+
+Graph mobilenet_v2(std::int64_t num_classes, double width_multiplier) {
+  Graph g("mobilenet_v2");
+  NodeId x = g.add(input(TensorShape::chw(3, 224, 224)));
+
+  std::int64_t channels = round_channels(32.0 * width_multiplier);
+  x = g.add(conv2d(channels, 3, 2, 1, 1, /*bias=*/false), {x});
+  x = g.add(batch_norm(), {x});
+  x = g.add(activation(ActivationKind::kReLU6), {x});
+
+  // (expansion t, output channels c, repeats n, first stride s)
+  struct Row {
+    std::int64_t t, c, n, s;
+  };
+  constexpr std::array<Row, 7> kRows{{{1, 16, 1, 1},
+                                      {6, 24, 2, 2},
+                                      {6, 32, 3, 2},
+                                      {6, 64, 4, 2},
+                                      {6, 96, 3, 1},
+                                      {6, 160, 3, 2},
+                                      {6, 320, 1, 1}}};
+  for (const auto& row : kRows) {
+    const std::int64_t out =
+        round_channels(static_cast<double>(row.c) * width_multiplier);
+    for (std::int64_t i = 0; i < row.n; ++i) {
+      const std::int64_t stride = (i == 0) ? row.s : 1;
+      x = bottleneck(g, x, channels, out, row.t, stride);
+      channels = out;
+    }
+  }
+
+  const std::int64_t last =
+      std::max<std::int64_t>(1280, round_channels(1280.0 * width_multiplier));
+  x = g.add(conv2d(last, 1, 1, 0, 1, /*bias=*/false), {x});
+  x = g.add(batch_norm(), {x});
+  x = g.add(activation(ActivationKind::kReLU6), {x});
+  x = g.add(global_avg_pool(), {x});
+  x = g.add(flatten(), {x});
+  x = g.add(dense(num_classes), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+}  // namespace jps::models

@@ -1,0 +1,46 @@
+// Network-in-Network (ImageNet variant) builder: three mlpconv stacks, each a
+// spatial conv followed by two 1x1 "cccp" convs, with a conv head and global
+// average pooling instead of fully-connected layers.
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+// One mlpconv stack: spatial conv + two 1x1 convs, all ReLU.
+dnn::NodeId mlpconv(Graph& g, dnn::NodeId x, std::int64_t channels,
+                    std::int64_t kernel, std::int64_t stride,
+                    std::int64_t padding, std::int64_t cccp1,
+                    std::int64_t cccp2) {
+  x = g.add(conv2d(channels, kernel, stride, padding), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(conv2d(cccp1, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(conv2d(cccp2, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  return x;
+}
+
+}  // namespace
+
+Graph nin(std::int64_t num_classes) {
+  Graph g("nin");
+  NodeId x = g.add(input(TensorShape::chw(3, 224, 224)));
+
+  x = mlpconv(g, x, 96, 11, 4, 0, 96, 96);
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+  x = mlpconv(g, x, 256, 5, 1, 2, 256, 256);
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+  x = mlpconv(g, x, 384, 3, 1, 1, 384, 384);
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+  x = g.add(dropout(), {x});
+  x = mlpconv(g, x, 1024, 3, 1, 1, 1024, num_classes);
+  x = g.add(global_avg_pool(), {x});
+  x = g.add(flatten(), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+}  // namespace jps::models

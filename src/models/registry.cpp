@@ -1,0 +1,43 @@
+#include "models/registry.h"
+
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace jps::models {
+
+dnn::Graph build(const std::string& name) {
+  dnn::Graph g = [&] {
+    if (name == "alexnet") return alexnet();
+    if (name == "vgg11") return vgg(11);
+    if (name == "vgg13") return vgg(13);
+    if (name == "vgg16") return vgg16();
+    if (name == "vgg19") return vgg(19);
+    if (name == "nin") return nin();
+    if (name == "tiny_yolov2") return tiny_yolov2();
+    if (name == "mobilenet_v2") return mobilenet_v2();
+    if (name == "resnet18") return resnet18();
+    if (name == "googlenet") return googlenet();
+    if (name == "inception_v4") return inception_v4();
+    if (name == "squeezenet") return squeezenet();
+    throw std::invalid_argument("models::build: unknown model '" + name + "'");
+  }();
+  g.infer();
+  return g;
+}
+
+const std::vector<std::string>& all_names() {
+  static const std::vector<std::string> kNames = {
+      "alexnet",      "vgg11",    "vgg13",     "vgg16",
+      "vgg19",        "nin",      "tiny_yolov2", "squeezenet",
+      "mobilenet_v2", "resnet18", "googlenet",  "inception_v4"};
+  return kNames;
+}
+
+const std::vector<std::string>& paper_eval_names() {
+  static const std::vector<std::string> kNames = {"alexnet", "googlenet",
+                                                  "mobilenet_v2", "resnet18"};
+  return kNames;
+}
+
+}  // namespace jps::models

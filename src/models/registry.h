@@ -1,0 +1,24 @@
+// Name-indexed access to the model zoo, for harnesses that take model names
+// on the command line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/graph.h"
+
+namespace jps::models {
+
+/// Build a zoo model by name. Recognized names: "alexnet", "vgg16", "nin",
+/// "tiny_yolov2", "mobilenet_v2", "resnet18", "googlenet".
+/// The returned graph already has infer() run.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] dnn::Graph build(const std::string& name);
+
+/// All recognized model names, in a stable display order.
+[[nodiscard]] const std::vector<std::string>& all_names();
+
+/// The four models of the paper's evaluation (§6), in the order of Fig. 12.
+[[nodiscard]] const std::vector<std::string>& paper_eval_names();
+
+}  // namespace jps::models

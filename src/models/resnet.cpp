@@ -1,0 +1,65 @@
+// ResNet-18 builder: 7x7 stem, four stages of two basic blocks, global
+// average pooling and a linear classifier.  Shortcuts make the DAG general;
+// the partition layer treats each basic block as a virtual block.
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+// conv -> BN (no activation; caller adds it where the block needs one).
+dnn::NodeId conv_bn(Graph& g, dnn::NodeId x, std::int64_t channels,
+                    std::int64_t kernel, std::int64_t stride,
+                    std::int64_t padding) {
+  x = g.add(conv2d(channels, kernel, stride, padding, 1, /*bias=*/false), {x});
+  x = g.add(batch_norm(), {x});
+  return x;
+}
+
+// One basic block: two 3x3 conv-BNs with a residual shortcut.  The first
+// block of stages 2-4 halves resolution and doubles channels, so its
+// shortcut is a 1x1 stride-2 conv-BN projection.
+dnn::NodeId basic_block(Graph& g, dnn::NodeId x, std::int64_t channels,
+                        std::int64_t stride) {
+  const dnn::NodeId entry = x;
+  x = conv_bn(g, x, channels, 3, stride, 1);
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = conv_bn(g, x, channels, 3, 1, 1);
+  dnn::NodeId shortcut = entry;
+  if (stride != 1) {
+    shortcut = conv_bn(g, entry, channels, 1, stride, 0);
+  }
+  x = g.add(add(), {shortcut, x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  return x;
+}
+
+}  // namespace
+
+Graph resnet18(std::int64_t num_classes) {
+  Graph g("resnet18");
+  NodeId x = g.add(input(TensorShape::chw(3, 224, 224)));
+
+  x = conv_bn(g, x, 64, 7, 2, 3);
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(pool2d(PoolKind::kMax, 3, 2, 1), {x});
+
+  x = basic_block(g, x, 64, 1);
+  x = basic_block(g, x, 64, 1);
+  x = basic_block(g, x, 128, 2);
+  x = basic_block(g, x, 128, 1);
+  x = basic_block(g, x, 256, 2);
+  x = basic_block(g, x, 256, 1);
+  x = basic_block(g, x, 512, 2);
+  x = basic_block(g, x, 512, 1);
+
+  x = g.add(global_avg_pool(), {x});
+  x = g.add(flatten(), {x});
+  x = g.add(dense(num_classes), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+}  // namespace jps::models

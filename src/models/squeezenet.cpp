@@ -1,0 +1,58 @@
+// SqueezeNet 1.1 builder (Iandola et al., 2016): eight "fire" modules —
+// squeeze 1x1 followed by parallel expand 1x1 / expand 3x3 branches joined
+// by a concat — with a conv classifier and global average pooling.  Another
+// branchy family for the general-structure machinery, at ~1.2M parameters.
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+// Fire module: squeeze s 1x1 -> {expand e1 1x1 || expand e3 3x3} -> concat.
+dnn::NodeId fire(Graph& g, dnn::NodeId x, std::int64_t squeeze,
+                 std::int64_t expand1, std::int64_t expand3) {
+  x = g.add(conv2d(squeeze, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  NodeId left = g.add(conv2d(expand1, 1), {x});
+  left = g.add(activation(ActivationKind::kReLU), {left});
+  NodeId right = g.add(conv2d(expand3, 3, 1, 1), {x});
+  right = g.add(activation(ActivationKind::kReLU), {right});
+  return g.add(concat(), {left, right});
+}
+
+}  // namespace
+
+Graph squeezenet(std::int64_t num_classes) {
+  Graph g("squeezenet");
+  NodeId x = g.add(input(TensorShape::chw(3, 224, 224)));
+
+  // SqueezeNet 1.1 layout (the cheaper revision).
+  x = g.add(conv2d(64, 3, 2), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+
+  x = fire(g, x, 16, 64, 64);
+  x = fire(g, x, 16, 64, 64);
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+
+  x = fire(g, x, 32, 128, 128);
+  x = fire(g, x, 32, 128, 128);
+  x = g.add(pool2d(PoolKind::kMax, 3, 2), {x});
+
+  x = fire(g, x, 48, 192, 192);
+  x = fire(g, x, 48, 192, 192);
+  x = fire(g, x, 64, 256, 256);
+  x = fire(g, x, 64, 256, 256);
+
+  x = g.add(dropout(), {x});
+  x = g.add(conv2d(num_classes, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(global_avg_pool(), {x});
+  x = g.add(flatten(), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+}  // namespace jps::models

@@ -1,0 +1,48 @@
+// Synthetic line-DNN generator used by property tests and Fig. 11.
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+Graph synthetic_line(const SyntheticLineSpec& spec) {
+  if (spec.blocks < 1) throw std::invalid_argument("synthetic_line: blocks < 1");
+  if (spec.pool_every < 1)
+    throw std::invalid_argument("synthetic_line: pool_every < 1");
+
+  Graph g("synthetic_line_" + std::to_string(spec.blocks));
+  NodeId x = g.add(
+      input(TensorShape::chw(spec.input_channels, spec.input_size, spec.input_size)));
+
+  std::int64_t channels = spec.base_channels;
+  std::int64_t resolution = spec.input_size;
+  for (int b = 0; b < spec.blocks; ++b) {
+    if (b > 0 && spec.channel_double_every > 0 &&
+        b % spec.channel_double_every == 0) {
+      channels *= 2;
+    }
+    x = g.add(conv2d(channels, 3, 1, 1), {x});
+    x = g.add(activation(ActivationKind::kReLU), {x});
+    // Pool while the map is still large enough to halve.
+    if ((b + 1) % spec.pool_every == 0 && resolution >= 4) {
+      x = g.add(pool2d(PoolKind::kMax, 2, 2), {x});
+      resolution /= 2;
+    }
+  }
+
+  if (spec.fc_sizes.empty()) {
+    x = g.add(global_avg_pool(), {x});
+    x = g.add(flatten(), {x});
+  } else {
+    x = g.add(flatten(), {x});
+    for (std::int64_t f : spec.fc_sizes) {
+      x = g.add(dense(f), {x});
+      x = g.add(activation(ActivationKind::kReLU), {x});
+    }
+  }
+  return g;
+}
+
+}  // namespace jps::models

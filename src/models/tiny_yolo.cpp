@@ -1,0 +1,44 @@
+// Tiny YOLOv2 builder: the 9-conv darknet backbone at 416x416 with
+// batch-norm + leaky-ReLU conv blocks and a 1x1 detection head.
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+// conv -> BN -> leaky ReLU (cost-modeled as ReLU).
+dnn::NodeId conv_block(Graph& g, dnn::NodeId x, std::int64_t channels) {
+  x = g.add(conv2d(channels, 3, 1, 1, /*groups=*/1, /*bias=*/false), {x});
+  x = g.add(batch_norm(), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  return x;
+}
+
+}  // namespace
+
+Graph tiny_yolov2(std::int64_t num_anchors, std::int64_t num_classes) {
+  Graph g("tiny_yolov2");
+  NodeId x = g.add(input(TensorShape::chw(3, 416, 416)));
+
+  // Five conv+pool stages halving resolution: 416 -> 13.
+  for (std::int64_t channels : {16, 32, 64, 128, 256}) {
+    x = conv_block(g, x, channels);
+    x = g.add(pool2d(PoolKind::kMax, 2, 2), {x});
+  }
+  // Stride-1 "same" pool (darknet uses a padded stride-1 maxpool here, which
+  // keeps the 13x13 grid).
+  x = conv_block(g, x, 512);
+  x = g.add(pool2d(PoolKind::kMax, 3, 1, 1), {x});
+
+  x = conv_block(g, x, 1024);
+  x = conv_block(g, x, 1024);
+
+  // Detection head: anchors * (5 box params + classes) channels per cell.
+  const std::int64_t head = num_anchors * (5 + num_classes);
+  x = g.add(conv2d(head, 1), {x});
+  return g;
+}
+
+}  // namespace jps::models

@@ -1,0 +1,56 @@
+// VGG builder: configurations A/B/D/E (VGG-11/13/16/19).  All are pure line
+// structures — the family the paper cites as its canonical line-DNN example.
+#include <array>
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace jps::models {
+
+using namespace jps::dnn;
+
+namespace {
+
+/// Convs per stage for each depth (channels are fixed at 64/128/256/512/512).
+std::array<int, 5> stage_convs(int depth) {
+  switch (depth) {
+    case 11: return {1, 1, 2, 2, 2};  // config A
+    case 13: return {2, 2, 2, 2, 2};  // config B
+    case 16: return {2, 2, 3, 3, 3};  // config D
+    case 19: return {2, 2, 4, 4, 4};  // config E
+    default:
+      throw std::invalid_argument("vgg: depth must be 11, 13, 16 or 19");
+  }
+}
+
+}  // namespace
+
+Graph vgg(int depth, std::int64_t num_classes) {
+  const std::array<int, 5> convs = stage_convs(depth);
+  constexpr std::array<std::int64_t, 5> kChannels{64, 128, 256, 512, 512};
+
+  Graph g("vgg" + std::to_string(depth));
+  NodeId x = g.add(input(TensorShape::chw(3, 224, 224)));
+  for (std::size_t stage = 0; stage < kChannels.size(); ++stage) {
+    for (int i = 0; i < convs[stage]; ++i) {
+      x = g.add(conv2d(kChannels[stage], 3, 1, 1), {x});
+      x = g.add(activation(ActivationKind::kReLU), {x});
+    }
+    x = g.add(pool2d(PoolKind::kMax, 2, 2), {x});
+  }
+
+  x = g.add(flatten(), {x});  // 512*7*7 = 25088
+  x = g.add(dense(4096), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(dropout(), {x});
+  x = g.add(dense(4096), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(dropout(), {x});
+  x = g.add(dense(num_classes), {x});
+  x = g.add(activation(ActivationKind::kSoftmax), {x});
+  return g;
+}
+
+Graph vgg16(std::int64_t num_classes) { return vgg(16, num_classes); }
+
+}  // namespace jps::models

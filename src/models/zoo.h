@@ -1,0 +1,82 @@
+// Model zoo: layer-exact builders for the architectures the paper evaluates
+// (§6: AlexNet, MobileNet-v2, ResNet-18, GoogLeNet) plus the line-structure
+// networks it cites as motivation (VGG-16, NiN, Tiny-YOLOv2) and synthetic
+// line DNNs for property tests.
+//
+// All builders return an un-inferred Graph; call g.infer() before use.
+// Input resolution is ImageNet-style 3x224x224 unless noted.
+#pragma once
+
+#include <cstdint>
+
+#include "dnn/graph.h"
+
+namespace jps::models {
+
+/// AlexNet (Krizhevsky et al., 2012), single-tower torchvision layout with
+/// optional classic LRN layers. Line structure; 5 conv blocks + 3 FC.
+[[nodiscard]] dnn::Graph alexnet(std::int64_t num_classes = 1000,
+                                 bool with_lrn = true);
+
+/// VGG (Simonyan & Zisserman, 2014) configurations A/B/D/E, i.e.
+/// depth in {11, 13, 16, 19}. Line structure.
+[[nodiscard]] dnn::Graph vgg(int depth, std::int64_t num_classes = 1000);
+
+/// VGG-16, configuration D (the paper's motivating line-structure example).
+[[nodiscard]] dnn::Graph vgg16(std::int64_t num_classes = 1000);
+
+/// Network-in-Network, ImageNet variant (Lin et al., 2013). Line structure.
+[[nodiscard]] dnn::Graph nin(std::int64_t num_classes = 1000);
+
+/// Tiny YOLOv2 backbone + detection head (Redmon & Farhadi, 2016),
+/// 3x416x416 input. Line structure.
+[[nodiscard]] dnn::Graph tiny_yolov2(std::int64_t num_anchors = 5,
+                                     std::int64_t num_classes = 20);
+
+/// MobileNet-v2 (Sandler et al., 2018) with the paper's 17 bottleneck
+/// residual blocks. General structure because of the bypass links; the
+/// partition layer collapses each bottleneck into a virtual block (§6.1).
+[[nodiscard]] dnn::Graph mobilenet_v2(std::int64_t num_classes = 1000,
+                                      double width_multiplier = 1.0);
+
+/// ResNet-18 (He et al., 2016): 8 basic blocks in 4 stages. General
+/// structure (identity/downsample shortcuts).
+[[nodiscard]] dnn::Graph resnet18(std::int64_t num_classes = 1000);
+
+/// GoogLeNet / Inception-v1 (Szegedy et al., 2015): 9 inception modules.
+/// General structure with 4-way branches inside each module.
+[[nodiscard]] dnn::Graph googlenet(std::int64_t num_classes = 1000);
+
+/// Inception-v4 (Szegedy et al., 2017) — the network of the paper's
+/// Fig. 3(a), 3x299x299 input.  Branched stem, 4x A / 7x B / 3x C modules
+/// with two reductions; the C modules contain the nested branch splits the
+/// figure shows.  General structure.
+[[nodiscard]] dnn::Graph inception_v4(std::int64_t num_classes = 1000);
+
+/// SqueezeNet 1.1 (Iandola et al., 2016): eight two-branch fire modules,
+/// ~1.2M parameters. General structure.
+[[nodiscard]] dnn::Graph squeezenet(std::int64_t num_classes = 1000);
+
+/// Parameters of a synthetic repeated conv/pool line DNN.
+struct SyntheticLineSpec {
+  /// Number of conv(+pool) blocks.
+  int blocks = 8;
+  /// Input resolution (square) and channels.
+  std::int64_t input_size = 224;
+  std::int64_t input_channels = 3;
+  /// Channels of the first block; doubled every `channel_double_every` blocks.
+  std::int64_t base_channels = 32;
+  int channel_double_every = 2;
+  /// Insert a stride-2 pool after every `pool_every` blocks (halves volume).
+  int pool_every = 1;
+  /// Trailing fully-connected head sizes; empty = end after global avg pool.
+  std::vector<std::int64_t> fc_sizes = {256, 10};
+};
+
+/// Build a synthetic line DNN per `spec`. Its f curve is near-linear and its
+/// g curve near-exponentially decreasing, matching the paper's §3.2 shape
+/// assumptions exactly; used by property tests and Fig. 11's AlexNet'-style
+/// experiments.
+[[nodiscard]] dnn::Graph synthetic_line(const SyntheticLineSpec& spec);
+
+}  // namespace jps::models

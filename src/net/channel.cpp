@@ -1,0 +1,35 @@
+#include "net/channel.h"
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace jps::net {
+
+Channel::Channel(double bandwidth_mbps, double setup_latency_ms,
+                 double jitter_sigma)
+    : bandwidth_mbps_(bandwidth_mbps),
+      setup_latency_ms_(setup_latency_ms),
+      jitter_sigma_(jitter_sigma) {
+  if (bandwidth_mbps_ <= 0.0)
+    throw std::invalid_argument("Channel: bandwidth must be positive");
+  if (setup_latency_ms_ < 0.0)
+    throw std::invalid_argument("Channel: negative setup latency");
+  if (jitter_sigma_ < 0.0)
+    throw std::invalid_argument("Channel: negative jitter sigma");
+}
+
+double Channel::time_ms(std::uint64_t bytes) const {
+  if (bytes == 0) return 0.0;  // nothing to send: no transfer, no setup
+  return setup_latency_ms_ + util::transfer_time_ms(bytes, bandwidth_mbps_);
+}
+
+double Channel::sample_ms(std::uint64_t bytes, util::Rng& rng) const {
+  return time_ms(bytes) * rng.lognormal_factor(jitter_sigma_);
+}
+
+Channel Channel::with_bandwidth(double mbps) const {
+  return Channel(mbps, setup_latency_ms_, jitter_sigma_);
+}
+
+}  // namespace jps::net

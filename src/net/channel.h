@@ -1,0 +1,55 @@
+// Mobile->cloud uplink model.
+//
+// The paper's testbed shapes a Wi-Fi LAN with wondershaper and then models
+// the link with a linear regression t = w0 + w1 * (size / bandwidth) (§6.1).
+// We implement that affine model directly, with optional log-normal jitter
+// for the measurement-noise experiments.  Downlink of the final inference
+// result is negligible (§3.1) and not modeled.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace jps::net {
+
+/// Typical uplink bandwidths the paper evaluates (from [7] / Hu et al.).
+inline constexpr double kBandwidth3GMbps = 1.1;
+inline constexpr double kBandwidth4GMbps = 5.85;
+inline constexpr double kBandwidthWiFiMbps = 18.88;
+
+/// Affine channel: comm time = setup latency + serialization at `bandwidth`.
+class Channel {
+ public:
+  /// `bandwidth_mbps` must be > 0.  `setup_latency_ms` is the w0 term of the
+  /// paper's regression (connection/framing overhead per transfer).
+  /// `jitter_sigma` is the sigma of a multiplicative log-normal factor
+  /// applied by sample(); 0 disables jitter.
+  explicit Channel(double bandwidth_mbps, double setup_latency_ms = 8.0,
+                   double jitter_sigma = 0.0);
+
+  /// Deterministic transfer time for `bytes` (the regression prediction).
+  [[nodiscard]] double time_ms(std::uint64_t bytes) const;
+
+  /// One noisy observation of a transfer of `bytes`.
+  [[nodiscard]] double sample_ms(std::uint64_t bytes, util::Rng& rng) const;
+
+  [[nodiscard]] double bandwidth_mbps() const { return bandwidth_mbps_; }
+  [[nodiscard]] double setup_latency_ms() const { return setup_latency_ms_; }
+  [[nodiscard]] double jitter_sigma() const { return jitter_sigma_; }
+
+  /// Same link at a different bandwidth (for sweeps).
+  [[nodiscard]] Channel with_bandwidth(double mbps) const;
+
+  /// Presets matching the paper's three network conditions.
+  static Channel preset_3g() { return Channel(kBandwidth3GMbps); }
+  static Channel preset_4g() { return Channel(kBandwidth4GMbps); }
+  static Channel preset_wifi() { return Channel(kBandwidthWiFiMbps); }
+
+ private:
+  double bandwidth_mbps_;
+  double setup_latency_ms_;
+  double jitter_sigma_;
+};
+
+}  // namespace jps::net

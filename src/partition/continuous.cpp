@@ -1,0 +1,65 @@
+#include "partition/continuous.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace jps::partition {
+
+ContinuousRelaxation relax_continuous(const ProfileCurve& curve) {
+  if (curve.size() < 3)
+    throw std::invalid_argument("relax_continuous: need >= 3 cuts to fit");
+
+  std::vector<double> xs_f;
+  std::vector<double> ys_f;
+  std::vector<double> xs_g;
+  std::vector<double> ys_g;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    xs_f.push_back(static_cast<double>(i));
+    ys_f.push_back(curve.f(i));
+    if (curve.cut(i).offload_bytes > 0) {
+      xs_g.push_back(static_cast<double>(i));
+      ys_g.push_back(curve.g(i));
+    }
+  }
+
+  ContinuousRelaxation r;
+  r.f_fit = util::fit_linear(xs_f, ys_f);
+  r.g_fit = util::fit_exponential(xs_g, ys_g);
+
+  // h(x) = f(x) - g(x) is increasing (f up, g down). Bisect to ~1e-9 of the
+  // index range.
+  const double lo_x = 0.0;
+  const double hi_x = static_cast<double>(curve.size() - 1);
+  auto h = [&](double x) { return r.f_fit(x) - r.g_fit(x); };
+  if (h(lo_x) >= 0.0) {
+    r.x_star = lo_x;
+  } else if (h(hi_x) <= 0.0) {
+    r.x_star = hi_x;
+  } else {
+    double lo = lo_x;
+    double hi = hi_x;
+    while (hi - lo > 1e-9 * (hi_x - lo_x)) {
+      ++r.iterations;
+      const double mid = 0.5 * (lo + hi);
+      (h(mid) < 0.0 ? lo : hi) = mid;
+    }
+    r.x_star = 0.5 * (lo + hi);
+  }
+  r.stage_ms = r.f_fit(r.x_star);
+  return r;
+}
+
+double interpolated_stage_bound(const ProfileCurve& curve, double x) {
+  const double hi_x = static_cast<double>(curve.size() - 1);
+  const double clamped = std::clamp(x, 0.0, hi_x);
+  const auto lo = static_cast<std::size_t>(clamped);
+  const std::size_t hi = std::min(lo + 1, curve.size() - 1);
+  const double t = clamped - static_cast<double>(lo);
+  const double f = curve.f(lo) + (curve.f(hi) - curve.f(lo)) * t;
+  const double g = curve.g(lo) + (curve.g(hi) - curve.g(lo)) * t;
+  return std::max(f, g);
+}
+
+}  // namespace jps::partition

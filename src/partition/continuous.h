@@ -1,0 +1,44 @@
+// Theorem 5.2 machinery: the continuous relaxation of the partition problem.
+//
+// §3.2/§5.1 observe that for typical line DNNs f is near-linear increasing
+// and g near-exponential (convex) decreasing in the cut depth.  Fitting both
+// and solving f(x) = g(x) gives the continuous optimum x*, at which cutting
+// every job identically is optimal (Theorem 5.2).  Rounding x* to the
+// neighboring discrete cuts recovers exactly the (l*-1, l*) pair of Alg. 2,
+// which the tests verify.
+#pragma once
+
+#include "partition/profile_curve.h"
+#include "util/ols.h"
+
+namespace jps::partition {
+
+/// Fits and the continuous crossing point.
+struct ContinuousRelaxation {
+  /// Linear fit of f over the cut index.
+  util::LinearFit f_fit;
+  /// Convex exponential fit of g over the cut index.
+  util::ExponentialFit g_fit;
+  /// Solution of f_fit(x) = g_fit(x) on [0, k-1] (clamped to the ends when
+  /// no interior crossing exists).
+  double x_star = 0.0;
+  /// Common stage length f_fit(x_star) — the per-job pipeline stage time the
+  /// relaxation predicts, ms.
+  double stage_ms = 0.0;
+  /// Bisection iterations used.
+  int iterations = 0;
+};
+
+/// Fit the curve and solve for x*.  The g fit uses only offloading cuts
+/// (bytes > 0); the local-only endpoint's g = 0 is a boundary artifact, not
+/// part of the convex trend.  Throws std::invalid_argument on curves with
+/// fewer than 3 cuts.
+[[nodiscard]] ContinuousRelaxation relax_continuous(const ProfileCurve& curve);
+
+/// Average-makespan predicted when all n jobs cut at continuous position x
+/// (linear interpolation of the discrete curve — used to compare relaxation
+/// against the discrete optimum in tests/benches).
+[[nodiscard]] double interpolated_stage_bound(const ProfileCurve& curve,
+                                              double x);
+
+}  // namespace jps::partition

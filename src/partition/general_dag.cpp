@@ -1,0 +1,212 @@
+#include "partition/general_dag.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "partition/binary_search.h"
+
+namespace jps::partition {
+
+PathDecomposition convert_to_paths(const dnn::Graph& graph,
+                                   std::size_t max_paths) {
+  PathDecomposition decomposition;
+  decomposition.paths = graph.enumerate_paths(max_paths);
+  return decomposition;
+}
+
+namespace {
+
+// Build the clustered (f, g) curve of one independent path.  CutPoint
+// labels are unused; local_nodes hold the path prefix.
+ProfileCurve path_curve(const dnn::Graph& graph,
+                        const std::vector<dnn::NodeId>& path,
+                        const NodeTimeFn& mobile_time,
+                        const CommTimeFn& comm_time) {
+  std::vector<CutPoint> candidates;
+  candidates.reserve(path.size());
+  double f_acc = 0.0;
+  for (std::size_t pos = 0; pos < path.size(); ++pos) {
+    f_acc += mobile_time(path[pos]);
+    CutPoint c;
+    c.local_nodes.assign(path.begin(), path.begin() + static_cast<long>(pos) + 1);
+    c.f = f_acc;
+    if (pos + 1 < path.size()) {
+      c.cut_nodes = {path[pos]};
+      c.offload_bytes = graph.info(path[pos]).output_bytes;
+      c.g = comm_time(c.offload_bytes);
+    }
+    c.label = graph.label(path[pos]);
+    candidates.push_back(std::move(c));
+  }
+  return ProfileCurve::from_candidates(graph.name() + "/path",
+                                       std::move(candidates));
+}
+
+}  // namespace
+
+std::vector<PathCut> alg3_path_cuts(const dnn::Graph& graph,
+                                    const NodeTimeFn& mobile_time,
+                                    const CommTimeFn& comm_time,
+                                    std::size_t max_paths) {
+  const PathDecomposition decomposition = convert_to_paths(graph, max_paths);
+  std::vector<PathCut> cuts;
+  cuts.reserve(decomposition.paths.size());
+  for (std::size_t p = 0; p < decomposition.paths.size(); ++p) {
+    const auto& path = decomposition.paths[p];
+    const ProfileCurve curve = path_curve(graph, path, mobile_time, comm_time);
+    const CutDecision decision = binary_search_cut(curve);
+    const CutPoint& chosen = curve.cut(decision.l_star);
+
+    PathCut cut;
+    cut.path_index = p;
+    cut.local_nodes = chosen.local_nodes;
+    cut.f_dup = chosen.f;
+    cut.g_dup = chosen.g;
+    if (!chosen.cut_nodes.empty()) {
+      cut.cut_node = chosen.cut_nodes.front();
+      const auto it = std::find(path.begin(), path.end(), *cut.cut_node);
+      cut.cut_pos = static_cast<std::size_t>(it - path.begin());
+    } else {
+      cut.cut_pos = path.size() - 1;  // fully local path
+    }
+    cuts.push_back(std::move(cut));
+  }
+  return cuts;
+}
+
+std::vector<Segment> decompose_segments(const dnn::Graph& graph) {
+  const std::vector<dnn::NodeId> trunk = graph.articulation_nodes();
+  std::vector<Segment> segments;
+  segments.reserve(trunk.size() - 1);
+
+  for (std::size_t t = 0; t + 1 < trunk.size(); ++t) {
+    Segment seg;
+    seg.entry = trunk[t];
+    seg.exit = trunk[t + 1];
+    bool simple = true;
+    for (const dnn::NodeId succ : graph.successors(seg.entry)) {
+      std::vector<dnn::NodeId> branch;
+      dnn::NodeId cur = succ;
+      while (cur != seg.exit) {
+        // Interior nodes must form simple chains for spread cuts; nested
+        // branching inside a segment marks it complex (no spread cuts).
+        if (graph.predecessors(cur).size() != 1 ||
+            graph.successors(cur).size() != 1) {
+          simple = false;
+          break;
+        }
+        branch.push_back(cur);
+        cur = graph.successors(cur).front();
+      }
+      if (!simple) break;
+      seg.branches.push_back(std::move(branch));
+    }
+    if (!simple) seg.branches.clear();  // keep the segment, mark unsplittable
+    segments.push_back(std::move(seg));
+  }
+  return segments;
+}
+
+std::vector<CutPoint> spread_cut_candidates(
+    const dnn::Graph& graph, const NodeTimeFn& mobile_time,
+    const CommTimeFn& comm_time, std::size_t max_candidates_per_segment) {
+  std::vector<CutPoint> candidates;
+  const std::vector<Segment> segments = decompose_segments(graph);
+
+  for (const Segment& seg : segments) {
+    // Only multi-branch segments admit spread cuts; a single chain's cuts
+    // are already trunk-curve candidates... (branches require interior
+    // nodes in at least two of them to differ from trunk cuts).
+    std::size_t branching = 0;
+    for (const auto& b : seg.branches)
+      if (!b.empty()) ++branching;
+    if (seg.branches.size() < 2 || branching < 1) continue;
+
+    std::uint64_t combos = 1;
+    for (const auto& b : seg.branches) {
+      combos *= static_cast<std::uint64_t>(b.size() + 1);
+      if (combos > max_candidates_per_segment)
+        throw std::runtime_error(
+            "spread_cut_candidates: combination count exceeds cap in segment");
+    }
+
+    const std::vector<dnn::NodeId> entry_prefix =
+        dnn::ancestors_inclusive(graph, seg.entry);
+    double entry_f = 0.0;
+    for (const dnn::NodeId v : entry_prefix) entry_f += mobile_time(v);
+
+    // Odometer over per-branch depths d_b in [0, len_b].
+    std::vector<std::size_t> depth(seg.branches.size(), 0);
+    while (true) {
+      // Skip the all-zero combination: identical to the trunk cut at entry.
+      const bool all_zero =
+          std::all_of(depth.begin(), depth.end(),
+                      [](std::size_t d) { return d == 0; });
+      if (!all_zero) {
+        CutPoint c;
+        c.local_nodes = entry_prefix;
+        c.f = entry_f;
+        bool entry_output_needed = false;
+        std::uint64_t bytes = 0;
+        for (std::size_t b = 0; b < seg.branches.size(); ++b) {
+          const auto& branch = seg.branches[b];
+          if (depth[b] == 0) {
+            // Branch entirely on the cloud; it consumes the entry output.
+            entry_output_needed = true;
+            continue;
+          }
+          for (std::size_t i = 0; i < depth[b]; ++i) {
+            c.local_nodes.push_back(branch[i]);
+            c.f += mobile_time(branch[i]);
+          }
+          const dnn::NodeId cut_node = branch[depth[b] - 1];
+          c.cut_nodes.push_back(cut_node);
+          bytes += graph.info(cut_node).output_bytes;
+        }
+        if (entry_output_needed) {
+          c.cut_nodes.push_back(seg.entry);
+          bytes += graph.info(seg.entry).output_bytes;
+        }
+        std::sort(c.local_nodes.begin(), c.local_nodes.end());
+        c.offload_bytes = bytes;
+        c.g = comm_time(bytes);
+        c.label = "spread@" + graph.label(seg.entry);
+        candidates.push_back(std::move(c));
+      }
+      // Advance the odometer.
+      std::size_t pos = 0;
+      while (pos < depth.size() && depth[pos] == seg.branches[pos].size()) {
+        depth[pos] = 0;
+        ++pos;
+      }
+      if (pos == depth.size()) break;
+      ++depth[pos];
+    }
+  }
+  return candidates;
+}
+
+ProfileCurve build_general_curve(const dnn::Graph& graph,
+                                 const NodeTimeFn& mobile_time,
+                                 const CommTimeFn& comm_time,
+                                 const CurveOptions& options) {
+  // Trunk candidates, unclustered, then merged with spread candidates and
+  // clustered together.
+  CurveOptions raw = options;
+  raw.cluster = false;
+  const ProfileCurve trunk =
+      ProfileCurve::build(graph, mobile_time, comm_time, raw);
+  std::vector<CutPoint> candidates;
+  candidates.reserve(trunk.size());
+  for (std::size_t i = 0; i < trunk.size(); ++i)
+    candidates.push_back(trunk.cut(i));
+
+  std::vector<CutPoint> spread =
+      spread_cut_candidates(graph, mobile_time, comm_time);
+  candidates.insert(candidates.end(), std::make_move_iterator(spread.begin()),
+                    std::make_move_iterator(spread.end()));
+  return ProfileCurve::from_candidates(graph.name(), std::move(candidates),
+                                       options);
+}
+
+}  // namespace jps::partition

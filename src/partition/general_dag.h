@@ -1,0 +1,96 @@
+// General-structure DNN partition (§5.3, Alg. 3 and Fig. 9).
+//
+// Two mechanisms are provided on top of the trunk-cut curve:
+//
+//  1. Path decomposition (the paper's Alg. 3).  The Fig. 9 conversion —
+//     duplicating every node by its out-/in-degree until the DAG becomes a
+//     set of independent source->sink paths — is exactly the enumeration of
+//     all source->sink paths, so convert_to_paths() returns those paths in
+//     terms of original node ids (the id doubles as the back-reference the
+//     modified Johnson scheduling needs to count duplicates once).  Alg. 2
+//     then finds a cut per path.  Tractable when the path count is modest;
+//     combinatorial DAGs (GoogLeNet has 4^9 paths) must use mechanism 2.
+//
+//  2. Segment spread cuts.  Articulation (trunk) nodes split the DAG into
+//     segments of parallel branches (one inception module per segment).
+//     Within one segment the cut may take a different depth in every branch
+//     — the "partition spread across different paths" of Fig. 9(a) — giving
+//     Pi(len_b + 1) enumerable cut-sets per segment.  These candidates merge
+//     with the trunk cuts into one ProfileCurve, after which every
+//     line-structure algorithm applies unchanged.  This keeps the paper's
+//     idea (cuts inside inception modules are allowed and useful, §6.1)
+//     while staying polynomial for real networks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "partition/profile_curve.h"
+
+namespace jps::partition {
+
+/// All independent source->sink paths of the converted DAG (original ids).
+struct PathDecomposition {
+  std::vector<std::vector<dnn::NodeId>> paths;
+};
+
+/// Enumerate the converted DAG's independent paths.  Throws
+/// std::runtime_error when the path count exceeds `max_paths`.
+[[nodiscard]] PathDecomposition convert_to_paths(const dnn::Graph& graph,
+                                                 std::size_t max_paths = 4096);
+
+/// Alg. 2 applied to one independent path.  f/g are computed on the path's
+/// own nodes (duplicates included, as the paper prescribes for ordering).
+struct PathCut {
+  std::size_t path_index = 0;
+  /// Index into the path of the cut node; the prefix [0..cut_pos] runs on
+  /// the mobile device.  0 = only the input node (cloud-only for this path).
+  std::size_t cut_pos = 0;
+  /// Node ids of the local prefix (with duplicates across paths).
+  std::vector<dnn::NodeId> local_nodes;
+  /// The node whose output crosses the cut; nullopt when the path is fully
+  /// local (cut at the path's sink).
+  std::optional<dnn::NodeId> cut_node;
+  /// Stage lengths with duplicated nodes counted (ordering values).
+  double f_dup = 0.0;
+  double g_dup = 0.0;
+};
+
+/// Run Alg. 3 lines 1-5: decompose into paths and find each path's cut with
+/// the binary search.  Clustering is applied per path.
+[[nodiscard]] std::vector<PathCut> alg3_path_cuts(const dnn::Graph& graph,
+                                                  const NodeTimeFn& mobile_time,
+                                                  const CommTimeFn& comm_time,
+                                                  std::size_t max_paths = 4096);
+
+/// One parallel-branch region between two consecutive trunk nodes.
+struct Segment {
+  dnn::NodeId entry = 0;
+  dnn::NodeId exit = 0;
+  /// Interior nodes of each branch in topological order (entry/exit
+  /// excluded). A direct entry->exit edge contributes an empty branch.
+  std::vector<std::vector<dnn::NodeId>> branches;
+};
+
+/// Split the DAG into trunk segments. Line DNNs yield only single-edge
+/// segments (no branches with interior nodes).
+[[nodiscard]] std::vector<Segment> decompose_segments(const dnn::Graph& graph);
+
+/// Enumerate spread-cut candidates: for every segment with >= 2 branches,
+/// every combination of per-branch depths (capped at
+/// `max_candidates_per_segment` lowest-volume combinations... exceeding the
+/// cap throws).  Trunk cuts themselves are NOT included; merge with
+/// ProfileCurve::build's candidates via from_candidates.
+[[nodiscard]] std::vector<CutPoint> spread_cut_candidates(
+    const dnn::Graph& graph, const NodeTimeFn& mobile_time,
+    const CommTimeFn& comm_time,
+    std::size_t max_candidates_per_segment = 16384);
+
+/// Convenience: full general-structure curve = trunk cuts + spread cuts,
+/// clustered into one monotone ProfileCurve.
+[[nodiscard]] ProfileCurve build_general_curve(
+    const dnn::Graph& graph, const NodeTimeFn& mobile_time,
+    const CommTimeFn& comm_time, const CurveOptions& options = {});
+
+}  // namespace jps::partition

@@ -1,0 +1,148 @@
+#include "partition/profile_curve.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/ols.h"
+
+namespace jps::partition {
+
+const CutPoint& ProfileCurve::cut(std::size_t i) const {
+  if (i >= cuts_.size()) throw std::out_of_range("ProfileCurve::cut");
+  return cuts_[i];
+}
+
+ProfileCurve ProfileCurve::build(const dnn::Graph& graph,
+                                 const NodeTimeFn& mobile_time,
+                                 const CommTimeFn& comm_time,
+                                 const CurveOptions& options) {
+  if (!graph.inferred())
+    throw std::invalid_argument("ProfileCurve::build: graph not inferred");
+
+  const std::vector<dnn::NodeId> trunk = graph.articulation_nodes();
+  const dnn::NodeId sink = graph.sink();
+
+  // Total cloud time is only needed when cloud stage times are requested;
+  // the cloud remainder of cut c is total - prefix(c).
+  std::vector<CutPoint> candidates;
+  candidates.reserve(trunk.size());
+  for (const dnn::NodeId cut_node : trunk) {
+    CutPoint c;
+    c.local_nodes = dnn::ancestors_inclusive(graph, cut_node);
+    for (const dnn::NodeId v : c.local_nodes) c.f += mobile_time(v);
+    if (cut_node == sink) {
+      // Local-only: nothing crosses the cut.
+      c.offload_bytes = 0;
+      c.g = 0.0;
+    } else {
+      c.cut_nodes = {cut_node};
+      c.offload_bytes = graph.info(cut_node).output_bytes;
+      c.g = comm_time(c.offload_bytes);
+    }
+    c.label = graph.label(cut_node);
+    candidates.push_back(std::move(c));
+  }
+  return from_candidates(graph.name(), std::move(candidates), options);
+}
+
+ProfileCurve ProfileCurve::build(const dnn::Graph& graph,
+                                 const profile::LatencyModel& mobile_model,
+                                 const net::Channel& channel,
+                                 const CurveOptions& options,
+                                 const profile::LatencyModel* cloud_model) {
+  ProfileCurve curve = build(
+      graph, [&](dnn::NodeId id) { return mobile_model.node_time_ms(graph, id); },
+      [&](std::uint64_t bytes) { return channel.time_ms(bytes); }, options);
+  if (options.with_cloud_times && cloud_model != nullptr) {
+    const double total_cloud = cloud_model->graph_time_ms(graph);
+    for (auto& c : curve.cuts_) {
+      double local_cloud = 0.0;
+      for (const dnn::NodeId v : c.local_nodes)
+        local_cloud += cloud_model->node_time_ms(graph, v);
+      c.cloud = std::max(0.0, total_cloud - local_cloud);
+    }
+  }
+  return curve;
+}
+
+ProfileCurve ProfileCurve::build(const dnn::Graph& graph,
+                                 const profile::LookupTable& table,
+                                 const net::Channel& channel,
+                                 const CurveOptions& options) {
+  return build(
+      graph, [&](dnn::NodeId id) { return table.at(graph.name(), id); },
+      [&](std::uint64_t bytes) { return channel.time_ms(bytes); }, options);
+}
+
+ProfileCurve ProfileCurve::from_candidates(std::string model_name,
+                                           std::vector<CutPoint> candidates,
+                                           const CurveOptions& options) {
+  if (candidates.empty())
+    throw std::invalid_argument("ProfileCurve: no candidates");
+
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const CutPoint& a, const CutPoint& b) { return a.f < b.f; });
+
+  ProfileCurve curve;
+  curve.model_name_ = std::move(model_name);
+
+  if (options.cluster) {
+    // Virtual-block clustering: keep a candidate only if its g is strictly
+    // below every kept cheaper candidate's g.  Cheaper-f candidates come
+    // first, so a running minimum suffices.  The local-only cut (g = 0,
+    // largest f) always survives.
+    double min_g = std::numeric_limits<double>::infinity();
+    for (auto& cand : candidates) {
+      if (cand.g < min_g) {
+        min_g = cand.g;
+        curve.cuts_.push_back(std::move(cand));
+      }
+    }
+  } else {
+    curve.cuts_ = std::move(candidates);
+  }
+  curve.refresh_monotonicity();
+  return curve;
+}
+
+void ProfileCurve::refresh_monotonicity() {
+  monotone_ = true;
+  for (std::size_t i = 1; i < cuts_.size(); ++i) {
+    if (cuts_[i].f < cuts_[i - 1].f || cuts_[i].g > cuts_[i - 1].g) {
+      monotone_ = false;
+      return;
+    }
+  }
+}
+
+ProfileCurve ProfileCurve::with_fitted_comm() const {
+  // Fit g over cut index for the offloading cuts (bytes > 0).
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    if (cuts_[i].offload_bytes > 0) {
+      xs.push_back(static_cast<double>(i));
+      ys.push_back(cuts_[i].g);
+    }
+  }
+  ProfileCurve smoothed = *this;
+  smoothed.model_name_ += "'";
+  if (xs.size() < 2) return smoothed;  // nothing to fit
+  const util::ExponentialFit fit = util::fit_exponential(xs, ys);
+  for (std::size_t i = 0; i < smoothed.cuts_.size(); ++i) {
+    if (smoothed.cuts_[i].offload_bytes > 0)
+      smoothed.cuts_[i].g = fit(static_cast<double>(i));
+  }
+  smoothed.refresh_monotonicity();
+  return smoothed;
+}
+
+std::vector<sched::CutOption> ProfileCurve::as_cut_options() const {
+  std::vector<sched::CutOption> options;
+  options.reserve(cuts_.size());
+  for (const auto& c : cuts_) options.push_back({c.f, c.g});
+  return options;
+}
+
+}  // namespace jps::partition

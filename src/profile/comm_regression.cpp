@@ -1,0 +1,69 @@
+#include "profile/comm_regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jps::profile {
+
+namespace {
+// The regressor variable r = bytes / bandwidth(Mbps), as in the paper.
+double ratio(std::uint64_t bytes, double bandwidth_mbps) {
+  return static_cast<double>(bytes) / bandwidth_mbps;
+}
+}  // namespace
+
+CommRegression CommRegression::fit(
+    const std::vector<CommObservation>& observations) {
+  if (observations.size() < 2)
+    throw std::invalid_argument("CommRegression: need >= 2 observations");
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(observations.size());
+  ys.reserve(observations.size());
+  for (const auto& obs : observations) {
+    if (obs.bandwidth_mbps <= 0.0)
+      throw std::invalid_argument("CommRegression: bad bandwidth");
+    xs.push_back(ratio(obs.bytes, obs.bandwidth_mbps));
+    ys.push_back(obs.time_ms);
+  }
+  CommRegression model;
+  model.fit_ = util::fit_linear(xs, ys);
+  return model;
+}
+
+CommRegression CommRegression::train_on_channel(const net::Channel& channel,
+                                                std::uint64_t min_bytes,
+                                                std::uint64_t max_bytes,
+                                                int count, double noise_sigma,
+                                                util::Rng& rng) {
+  if (count < 2)
+    throw std::invalid_argument("CommRegression: need >= 2 training points");
+  if (min_bytes == 0 || max_bytes < min_bytes)
+    throw std::invalid_argument("CommRegression: bad byte range");
+
+  // A jittered copy of the channel produces the noisy "measurements".
+  const net::Channel noisy(channel.bandwidth_mbps(), channel.setup_latency_ms(),
+                           noise_sigma);
+  std::vector<CommObservation> observations;
+  observations.reserve(static_cast<std::size_t>(count));
+  const double log_lo = std::log(static_cast<double>(min_bytes));
+  const double log_hi = std::log(static_cast<double>(max_bytes));
+  for (int i = 0; i < count; ++i) {
+    const double t = count == 1 ? 0.0
+                                : static_cast<double>(i) /
+                                      static_cast<double>(count - 1);
+    const auto bytes =
+        static_cast<std::uint64_t>(std::exp(log_lo + t * (log_hi - log_lo)));
+    observations.push_back({bytes, channel.bandwidth_mbps(),
+                            noisy.sample_ms(bytes, rng)});
+  }
+  return fit(observations);
+}
+
+double CommRegression::predict_ms(std::uint64_t bytes,
+                                  double bandwidth_mbps) const {
+  if (bytes == 0) return 0.0;  // no transfer at all
+  return fit_(ratio(bytes, bandwidth_mbps));
+}
+
+}  // namespace jps::profile

@@ -1,0 +1,59 @@
+// Communication-delay regression (§6.1).
+//
+// The paper trains t = w0 + w1 * r with r = size/bandwidth from timed gRPC
+// round trips (timer duration minus reported cloud compute time).  Here the
+// training observations come from noisy Channel samples; the fitted model is
+// what the scheduler consults, so estimation error propagates into partition
+// decisions exactly as on the testbed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/channel.h"
+#include "util/ols.h"
+#include "util/rng.h"
+
+namespace jps::profile {
+
+/// One training observation: transfer size, bandwidth, measured time.
+struct CommObservation {
+  std::uint64_t bytes = 0;
+  double bandwidth_mbps = 0.0;
+  double time_ms = 0.0;
+};
+
+/// Fitted affine model of communication delay.
+class CommRegression {
+ public:
+  CommRegression() = default;
+
+  /// Fit w0, w1 from observations (least squares on r = bytes/bandwidth).
+  /// Needs at least 2 observations with distinct r.
+  static CommRegression fit(const std::vector<CommObservation>& observations);
+
+  /// Generate `count` noisy observations of `channel` at sizes log-spaced in
+  /// [min_bytes, max_bytes] and fit them. This is the harness's stand-in for
+  /// the paper's timed gRPC training round trips.
+  static CommRegression train_on_channel(const net::Channel& channel,
+                                         std::uint64_t min_bytes,
+                                         std::uint64_t max_bytes, int count,
+                                         double noise_sigma, util::Rng& rng);
+
+  /// Predicted transfer time for `bytes` at `bandwidth_mbps`.
+  [[nodiscard]] double predict_ms(std::uint64_t bytes,
+                                  double bandwidth_mbps) const;
+
+  /// w0: channel setup latency estimate (ms).
+  [[nodiscard]] double w0() const { return fit_.intercept; }
+  /// w1: per-unit-ratio coefficient; ~8e-3 ms per byte-per-Mbps when the link
+  /// is purely serialization-limited.
+  [[nodiscard]] double w1() const { return fit_.slope; }
+  /// Goodness of fit on the training points.
+  [[nodiscard]] double r2() const { return fit_.r2; }
+
+ private:
+  util::LinearFit fit_;
+};
+
+}  // namespace jps::profile

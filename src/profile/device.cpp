@@ -1,0 +1,44 @@
+#include "profile/device.h"
+
+namespace jps::profile {
+
+DeviceProfile DeviceProfile::raspberry_pi_4b() {
+  // Quad A72 @1.5 GHz: ~24 GFLOP/s peak NEON fp32, of which an eager-mode
+  // framework sustains only a fraction on conv kernels, less on GEMM, and
+  // LPDDR4 streams ~2 GB/s effectively.  The 2 ms per-layer dispatch
+  // overhead models the Python/eager layer-launch cost that dominates
+  // many-small-ops networks (it is why GoogLeNet, 144 ops, runs
+  // disproportionately slowly on the Pi while ResNet-18's fewer, fatter
+  // kernels stay comparatively fast — the asymmetry §6.3 reports).
+  return DeviceProfile{
+      .name = "raspberry_pi_4b",
+      .conv_gflops = 4.0,
+      .dense_gflops = 2.0,
+      .memory_gbps = 2.0,
+      .per_layer_overhead_ms = 2.0,
+  };
+}
+
+DeviceProfile DeviceProfile::cloud_gtx1080() {
+  // GTX1080: 8.9 TFLOP/s peak, ~35% sustained on conv workloads; GDDR5X
+  // ~320 GB/s peak, ~60% sustained.
+  return DeviceProfile{
+      .name = "cloud_gtx1080",
+      .conv_gflops = 3000.0,
+      .dense_gflops = 1500.0,
+      .memory_gbps = 190.0,
+      .per_layer_overhead_ms = 0.15,
+  };
+}
+
+DeviceProfile DeviceProfile::midrange_phone() {
+  return DeviceProfile{
+      .name = "midrange_phone",
+      .conv_gflops = 12.0,
+      .dense_gflops = 6.0,
+      .memory_gbps = 8.0,
+      .per_layer_overhead_ms = 0.05,
+  };
+}
+
+}  // namespace jps::profile

@@ -1,0 +1,42 @@
+// Device performance profiles.
+//
+// Substitution for the paper's physical testbed (Raspberry Pi 4B client,
+// i7-8700 + GTX1080 server): each device is summarized by effective
+// throughputs in a roofline-style cost model.  "Effective" means sustained
+// throughput through the ML framework, not peak silicon numbers — the values
+// below are calibrated so absolute model latencies land in the ranges
+// reported for these device classes (AlexNet ~0.3-0.5 s on a Pi 4B, a few ms
+// on a GTX1080), which reproduces the paper's key premise that cloud compute
+// time is negligible next to mobile compute and communication.
+#pragma once
+
+#include <string>
+
+#include "dnn/layer.h"
+
+namespace jps::profile {
+
+/// Effective execution rates of one device.
+struct DeviceProfile {
+  std::string name;
+  /// Sustained GFLOP/s on dense convolution kernels.
+  double conv_gflops = 1.0;
+  /// Sustained GFLOP/s on GEMM / fully-connected kernels.
+  double dense_gflops = 1.0;
+  /// Sustained memory bandwidth (GB/s) bounding element-wise / pooling /
+  /// depthwise layers and weight streaming of large FC layers.
+  double memory_gbps = 1.0;
+  /// Fixed per-layer dispatch overhead (framework + kernel launch), ms.
+  double per_layer_overhead_ms = 0.0;
+
+  /// Raspberry Pi 4B class device (quad Cortex-A72, NEON fp32).
+  [[nodiscard]] static DeviceProfile raspberry_pi_4b();
+
+  /// GTX1080-class cloud server (CUDA fp32).
+  [[nodiscard]] static DeviceProfile cloud_gtx1080();
+
+  /// A mid-tier phone SoC; used by heterogeneity examples/tests only.
+  [[nodiscard]] static DeviceProfile midrange_phone();
+};
+
+}  // namespace jps::profile

@@ -1,0 +1,40 @@
+#include "profile/latency_model.h"
+
+#include <algorithm>
+
+namespace jps::profile {
+
+LatencyModel::LatencyModel(DeviceProfile device) : device_(std::move(device)) {}
+
+double LatencyModel::rate_gflops(dnn::LayerKind kind) const {
+  switch (kind) {
+    case dnn::LayerKind::kConv2d:
+      return device_.conv_gflops;
+    case dnn::LayerKind::kDense:
+      return device_.dense_gflops;
+    default:
+      // Element-wise and pooling layers use scalar/vector paths that run at
+      // GEMM-like rates; they are memory-bound in practice anyway, so the
+      // roofline max() picks the bandwidth term for them.
+      return device_.dense_gflops;
+  }
+}
+
+double LatencyModel::node_time_ms(const dnn::Graph& g, dnn::NodeId id) const {
+  const dnn::NodeInfo& info = g.info(id);
+  const dnn::LayerKind kind = g.layer(id).kind();
+  if (kind == dnn::LayerKind::kInput) return 0.0;
+
+  const double compute_ms = info.flops / (rate_gflops(kind) * 1e9) * 1e3;
+  const double memory_ms =
+      static_cast<double>(info.memory_traffic) / (device_.memory_gbps * 1e9) * 1e3;
+  return device_.per_layer_overhead_ms + std::max(compute_ms, memory_ms);
+}
+
+double LatencyModel::graph_time_ms(const dnn::Graph& g) const {
+  double total = 0.0;
+  for (dnn::NodeId id = 0; id < g.size(); ++id) total += node_time_ms(g, id);
+  return total;
+}
+
+}  // namespace jps::profile

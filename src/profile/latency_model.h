@@ -1,0 +1,35 @@
+// Roofline-style analytic latency model for one device.
+//
+// A layer's execution time is modeled as
+//     overhead + max(flops / rate(kind), memory_traffic / memory_bw)
+// i.e. a layer is either compute-bound (dense conv) or memory-bound
+// (pooling, activations, depthwise conv, very large FC weight streaming),
+// whichever is slower.  This reproduces the per-layer time profile the paper
+// measures with PyTorch Profiler (Fig. 4) without the hardware.
+#pragma once
+
+#include "dnn/graph.h"
+#include "profile/device.h"
+
+namespace jps::profile {
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(DeviceProfile device);
+
+  /// Time to execute one node of an inferred graph on this device, ms.
+  [[nodiscard]] double node_time_ms(const dnn::Graph& g, dnn::NodeId id) const;
+
+  /// Sum of node_time_ms over all nodes (single-device full inference), ms.
+  [[nodiscard]] double graph_time_ms(const dnn::Graph& g) const;
+
+  [[nodiscard]] const DeviceProfile& device() const { return device_; }
+
+ private:
+  /// Effective FLOP rate (GFLOP/s) for a layer kind.
+  [[nodiscard]] double rate_gflops(dnn::LayerKind kind) const;
+
+  DeviceProfile device_;
+};
+
+}  // namespace jps::profile

@@ -1,0 +1,96 @@
+#include "profile/lookup_table.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace jps::profile {
+
+namespace {
+constexpr const char* kHeader = "jps-lookup-table v1";
+}
+
+void LookupTable::set(const std::string& model, dnn::NodeId node,
+                      double time_ms) {
+  entries_[{model, node}] = time_ms;
+}
+
+std::optional<double> LookupTable::get(const std::string& model,
+                                       dnn::NodeId node) const {
+  const auto it = entries_.find({model, node});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+double LookupTable::at(const std::string& model, dnn::NodeId node) const {
+  const auto v = get(model, node);
+  if (!v) {
+    throw std::out_of_range("LookupTable: no entry for " + model + "/node" +
+                            std::to_string(node));
+  }
+  return *v;
+}
+
+bool LookupTable::covers(const dnn::Graph& g) const {
+  for (dnn::NodeId id = 0; id < g.size(); ++id) {
+    if (!get(g.name(), id)) return false;
+  }
+  return true;
+}
+
+void LookupTable::add_graph(const dnn::Graph& g,
+                            const std::vector<ProfileRecord>& records) {
+  for (const auto& rec : records) set(g.name(), rec.node, rec.median_ms);
+}
+
+std::string LookupTable::serialize() const {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  os.precision(12);
+  for (const auto& [key, ms] : entries_)
+    os << key.first << '\t' << key.second << '\t' << ms << '\n';
+  return os.str();
+}
+
+LookupTable LookupTable::deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || util::trim(line) != kHeader)
+    throw std::runtime_error("LookupTable: bad header");
+  LookupTable table;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (util::trim(line).empty()) continue;
+    const auto fields = util::split(line, '\t');
+    if (fields.size() != 3)
+      throw std::runtime_error("LookupTable: bad line " + std::to_string(line_no));
+    try {
+      table.set(fields[0], static_cast<dnn::NodeId>(std::stoull(fields[1])),
+                std::stod(fields[2]));
+    } catch (const std::exception&) {
+      throw std::runtime_error("LookupTable: unparsable line " +
+                               std::to_string(line_no));
+    }
+  }
+  return table;
+}
+
+void LookupTable::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("LookupTable: cannot open " + path);
+  out << serialize();
+  if (!out) throw std::runtime_error("LookupTable: write failed for " + path);
+}
+
+LookupTable LookupTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("LookupTable: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return deserialize(buffer.str());
+}
+
+}  // namespace jps::profile

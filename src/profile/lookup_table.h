@@ -1,0 +1,59 @@
+// The scheduler's per-layer computation-time lookup table (§6.1).
+//
+// "To reduce the estimation overhead, we build a lookup table for computation
+//  time considering the local computation time stable."  Keys are
+// (model name, node id); values are milliseconds.  The table serializes to a
+// line-oriented text format so a pre-built table can ship with a deployment
+// and be loaded at scheduler start-up, exactly as in the paper.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dnn/graph.h"
+#include "profile/profiler.h"
+
+namespace jps::profile {
+
+class LookupTable {
+ public:
+  LookupTable() = default;
+
+  /// Insert/overwrite the time of (model, node).
+  void set(const std::string& model, dnn::NodeId node, double time_ms);
+
+  /// Lookup; nullopt when the pair was never profiled.
+  [[nodiscard]] std::optional<double> get(const std::string& model,
+                                          dnn::NodeId node) const;
+
+  /// Lookup that throws std::out_of_range with a descriptive message.
+  [[nodiscard]] double at(const std::string& model, dnn::NodeId node) const;
+
+  /// True when every node of `g` has an entry.
+  [[nodiscard]] bool covers(const dnn::Graph& g) const;
+
+  /// Number of entries.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Ingest a profiling campaign for `g` (uses per-record medians).
+  void add_graph(const dnn::Graph& g, const std::vector<ProfileRecord>& records);
+
+  /// Serialize as "model<TAB>node<TAB>ms" lines with a versioned header.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parse the serialize() format. Throws std::runtime_error on bad input.
+  [[nodiscard]] static LookupTable deserialize(const std::string& text);
+
+  /// Write serialize() to a file. Throws std::runtime_error on I/O error.
+  void save(const std::string& path) const;
+
+  /// Read a file produced by save().
+  [[nodiscard]] static LookupTable load(const std::string& path);
+
+ private:
+  std::map<std::pair<std::string, dnn::NodeId>, double> entries_;
+};
+
+}  // namespace jps::profile

@@ -1,0 +1,52 @@
+#include "profile/profiler.h"
+
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace jps::profile {
+
+Profiler::Profiler(DeviceProfile device, ProfilerOptions options)
+    : model_(std::move(device)), options_(options) {
+  if (options_.trials < 1) throw std::invalid_argument("Profiler: trials < 1");
+  if (options_.warmup_trials < 0)
+    throw std::invalid_argument("Profiler: negative warmup");
+  if (options_.noise_sigma < 0.0)
+    throw std::invalid_argument("Profiler: negative noise sigma");
+}
+
+ProfileRecord Profiler::measure_node(const dnn::Graph& g, dnn::NodeId id,
+                                     util::Rng& rng) const {
+  const double truth = model_.node_time_ms(g, id);
+
+  // Simulate warm-up runs (discarded, but drawn so the RNG stream matches a
+  // real campaign where they happen).
+  for (int i = 0; i < options_.warmup_trials; ++i) {
+    (void)(truth * options_.warmup_penalty *
+           rng.lognormal_factor(options_.noise_sigma));
+  }
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(options_.trials));
+  for (int i = 0; i < options_.trials; ++i)
+    samples.push_back(truth * rng.lognormal_factor(options_.noise_sigma));
+
+  ProfileRecord rec;
+  rec.node = id;
+  rec.median_ms = util::median(samples);
+  rec.mean_ms = util::mean(samples);
+  rec.stddev_ms = util::stddev(samples);
+  rec.trials = options_.trials;
+  return rec;
+}
+
+std::vector<ProfileRecord> Profiler::measure_graph(const dnn::Graph& g,
+                                                   util::Rng& rng) const {
+  std::vector<ProfileRecord> records;
+  records.reserve(g.size());
+  for (dnn::NodeId id = 0; id < g.size(); ++id)
+    records.push_back(measure_node(g, id, rng));
+  return records;
+}
+
+}  // namespace jps::profile

@@ -1,0 +1,60 @@
+// Stochastic profiling harness.
+//
+// Substitutes the paper's PyTorch-Profiler measurement campaign: each layer
+// is "measured" `trials` times by sampling the analytic latency model with
+// multiplicative log-normal noise, and the per-layer median becomes the
+// entry of the scheduler's lookup table (the paper also treats local compute
+// time as stable and caches it, §6.1).
+#pragma once
+
+#include <vector>
+
+#include "dnn/graph.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "util/rng.h"
+
+namespace jps::profile {
+
+/// Aggregate of one layer's measurement trials.
+struct ProfileRecord {
+  dnn::NodeId node = 0;
+  double median_ms = 0.0;
+  double mean_ms = 0.0;
+  double stddev_ms = 0.0;
+  int trials = 0;
+};
+
+/// Measurement campaign settings.
+struct ProfilerOptions {
+  int trials = 11;
+  /// Sigma of the log-normal noise on each trial; 0 = exact model readings.
+  double noise_sigma = 0.05;
+  /// Discard this many warm-up trials before aggregating (cold caches /
+  /// first-touch allocations on real devices; simulated the same way).
+  int warmup_trials = 2;
+  /// Warm-up factor: warm-up trials run this much slower than steady state.
+  double warmup_penalty = 1.6;
+};
+
+class Profiler {
+ public:
+  Profiler(DeviceProfile device, ProfilerOptions options = {});
+
+  /// Measure one node of an inferred graph.
+  [[nodiscard]] ProfileRecord measure_node(const dnn::Graph& g, dnn::NodeId id,
+                                           util::Rng& rng) const;
+
+  /// Measure every node of the graph, in topological order.
+  [[nodiscard]] std::vector<ProfileRecord> measure_graph(const dnn::Graph& g,
+                                                         util::Rng& rng) const;
+
+  [[nodiscard]] const LatencyModel& model() const { return model_; }
+  [[nodiscard]] const ProfilerOptions& options() const { return options_; }
+
+ private:
+  LatencyModel model_;
+  ProfilerOptions options_;
+};
+
+}  // namespace jps::profile

@@ -1,0 +1,127 @@
+#include "runtime/graph_runner.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dnn/layer_impl.h"
+
+namespace jps::runtime {
+
+namespace {
+
+// He-style scale: weights ~ N(0, sqrt(2/fan_in)); biases zero; batch-norm
+// gamma 1, beta 0 — keeps activations in a sane range through deep nets.
+LayerWeights make_weights(const dnn::Graph& graph, dnn::NodeId id,
+                          util::Rng& rng) {
+  LayerWeights w;
+  std::vector<dnn::TensorShape> in_shapes;
+  for (const dnn::NodeId p : graph.predecessors(id))
+    in_shapes.push_back(graph.info(p).output_shape);
+  const dnn::TensorShape& out = graph.info(id).output_shape;
+  const dnn::Layer& layer = graph.layer(id);
+  const std::uint64_t params = layer.param_count(in_shapes, out);
+  if (params == 0) return w;
+
+  if (layer.kind() == dnn::LayerKind::kBatchNorm) {
+    const auto channels = static_cast<std::size_t>(params / 2);
+    w.weights.assign(params, 0.0f);
+    for (std::size_t c = 0; c < channels; ++c) w.weights[c] = 1.0f;  // gamma
+    return w;
+  }
+
+  // Conv / dense: split into weight blob + bias by reconstructing the bias
+  // size from the shapes.
+  std::uint64_t bias_count = 0;
+  std::uint64_t weight_count = params;
+  if (layer.kind() == dnn::LayerKind::kConv2d) {
+    const auto& conv = static_cast<const dnn::detail::Conv2dLayer&>(layer);
+    const std::int64_t cin = in_shapes[0].channels();
+    const std::int64_t groups = conv.depthwise() ? cin : conv.groups();
+    const std::uint64_t kernel_weights =
+        static_cast<std::uint64_t>(out.channels()) *
+        static_cast<std::uint64_t>(cin / groups) *
+        static_cast<std::uint64_t>(conv.kernel_h() * conv.kernel_w());
+    bias_count = params - kernel_weights;
+    weight_count = kernel_weights;
+  } else if (layer.kind() == dnn::LayerKind::kDense) {
+    const std::uint64_t kernel_weights =
+        static_cast<std::uint64_t>(in_shapes[0].elements()) *
+        static_cast<std::uint64_t>(out.elements());
+    bias_count = params - kernel_weights;
+    weight_count = kernel_weights;
+  }
+
+  const double fan_in = in_shapes.empty()
+                            ? 1.0
+                            : static_cast<double>(in_shapes[0].elements());
+  const double scale =
+      std::sqrt(2.0 / std::max(1.0, std::min(fan_in, 4096.0)));
+  w.weights.resize(weight_count);
+  for (float& v : w.weights)
+    v = static_cast<float>(rng.normal(0.0, scale * 0.1));
+  w.bias.assign(bias_count, 0.0f);
+  return w;
+}
+
+}  // namespace
+
+WeightStore::WeightStore(const dnn::Graph& graph, std::uint64_t seed) {
+  if (!graph.inferred())
+    throw std::invalid_argument("WeightStore: graph not inferred");
+  store_.reserve(graph.size());
+  for (dnn::NodeId id = 0; id < graph.size(); ++id) {
+    util::Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (id + 1)));
+    store_.push_back(make_weights(graph, id, rng));
+  }
+}
+
+const LayerWeights& WeightStore::weights(dnn::NodeId id) const {
+  if (id >= store_.size()) throw std::out_of_range("WeightStore::weights");
+  return store_[id];
+}
+
+std::uint64_t WeightStore::total_parameters() const {
+  std::uint64_t total = 0;
+  for (const LayerWeights& w : store_)
+    total += w.weights.size() + w.bias.size();
+  return total;
+}
+
+std::vector<Tensor> run_graph(const dnn::Graph& graph, const Tensor& input,
+                              const WeightStore& weights) {
+  if (!graph.inferred())
+    throw std::invalid_argument("run_graph: graph not inferred");
+  if (!(input.shape() == graph.info(graph.source()).output_shape))
+    throw std::invalid_argument("run_graph: input shape mismatch");
+
+  std::vector<Tensor> outputs(graph.size());
+  outputs[graph.source()] = input;
+  for (dnn::NodeId id = 0; id < graph.size(); ++id) {
+    if (id == graph.source()) continue;
+    std::vector<Tensor> inputs;
+    inputs.reserve(graph.predecessors(id).size());
+    for (const dnn::NodeId p : graph.predecessors(id))
+      inputs.push_back(outputs[p]);
+    outputs[id] = run_layer(graph.layer(id), inputs, weights.weights(id));
+    if (!(outputs[id].shape() == graph.info(id).output_shape)) {
+      throw std::logic_error("run_graph: computed shape diverges from "
+                             "inference at node " +
+                             std::to_string(id));
+    }
+  }
+  return outputs;
+}
+
+Tensor run_graph_output(const dnn::Graph& graph, const Tensor& input,
+                        const WeightStore& weights) {
+  return run_graph(graph, input, weights)[graph.sink()];
+}
+
+Tensor random_input(const dnn::Graph& graph, util::Rng& rng) {
+  Tensor input(graph.info(graph.source()).output_shape);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  return input;
+}
+
+}  // namespace jps::runtime

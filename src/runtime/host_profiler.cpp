@@ -1,0 +1,66 @@
+#include "runtime/host_profiler.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace jps::runtime {
+
+std::vector<profile::ProfileRecord> profile_on_host(
+    const dnn::Graph& graph, const HostProfilerOptions& options) {
+  if (options.trials < 1)
+    throw std::invalid_argument("profile_on_host: trials < 1");
+  if (!graph.inferred())
+    throw std::invalid_argument("profile_on_host: graph not inferred");
+
+  const WeightStore weights(graph, options.seed);
+  util::Rng rng(options.seed);
+
+  // One forward pass provides realistic input tensors for every layer.
+  const std::vector<Tensor> activations =
+      run_graph(graph, random_input(graph, rng), weights);
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<profile::ProfileRecord> records;
+  records.reserve(graph.size());
+  for (dnn::NodeId id = 0; id < graph.size(); ++id) {
+    profile::ProfileRecord rec;
+    rec.node = id;
+    rec.trials = options.trials;
+    if (id == graph.source()) {
+      records.push_back(rec);
+      continue;
+    }
+    std::vector<Tensor> inputs;
+    for (const dnn::NodeId p : graph.predecessors(id))
+      inputs.push_back(activations[p]);
+
+    for (int i = 0; i < options.warmup; ++i)
+      (void)run_layer(graph.layer(id), inputs, weights.weights(id));
+
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(options.trials));
+    for (int i = 0; i < options.trials; ++i) {
+      const auto start = Clock::now();
+      (void)run_layer(graph.layer(id), inputs, weights.weights(id));
+      samples.push_back(
+          std::chrono::duration<double, std::milli>(Clock::now() - start)
+              .count());
+    }
+    rec.median_ms = util::median(samples);
+    rec.mean_ms = util::mean(samples);
+    rec.stddev_ms = util::stddev(samples);
+    records.push_back(rec);
+  }
+  return records;
+}
+
+profile::LookupTable build_host_lookup_table(const dnn::Graph& graph,
+                                             const HostProfilerOptions& options) {
+  profile::LookupTable table;
+  table.add_graph(graph, profile_on_host(graph, options));
+  return table;
+}
+
+}  // namespace jps::runtime

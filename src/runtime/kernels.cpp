@@ -1,0 +1,287 @@
+#include "runtime/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "dnn/layer_impl.h"  // internal: concrete layer parameter access
+#include "util/thread_pool.h"
+
+namespace jps::runtime {
+
+namespace {
+
+using dnn::TensorShape;
+
+TensorShape infer_output(const dnn::Layer& layer,
+                         std::span<const Tensor> inputs) {
+  std::vector<TensorShape> shapes;
+  shapes.reserve(inputs.size());
+  for (const Tensor& t : inputs) shapes.push_back(t.shape());
+  return layer.infer(shapes);
+}
+
+void expect_weights(const dnn::Layer& layer, std::span<const Tensor> inputs,
+                    const TensorShape& out, const LayerWeights& weights) {
+  std::vector<TensorShape> shapes;
+  for (const Tensor& t : inputs) shapes.push_back(t.shape());
+  const std::uint64_t expected = layer.param_count(shapes, out);
+  const std::uint64_t provided = weights.weights.size() + weights.bias.size();
+  if (expected != provided) {
+    throw std::invalid_argument(
+        "run_layer: " + layer.describe() + " expects " +
+        std::to_string(expected) + " parameters, got " +
+        std::to_string(provided));
+  }
+}
+
+Tensor conv2d(const dnn::detail::Conv2dLayer& conv, const Tensor& in,
+              const LayerWeights& weights, const TensorShape& out_shape) {
+  Tensor out(out_shape);
+  const std::int64_t cin = in.shape().channels();
+  const std::int64_t cout = out_shape.channels();
+  const std::int64_t groups = conv.depthwise() ? cin : conv.groups();
+  const std::int64_t cin_per_group = cin / groups;
+  const std::int64_t cout_per_group = cout / groups;
+  const std::int64_t kh = conv.kernel_h();
+  const std::int64_t kw = conv.kernel_w();
+  const std::int64_t stride = conv.stride();
+  const std::int64_t ph = conv.padding_h();
+  const std::int64_t pw = conv.padding_w();
+  const bool has_bias = !weights.bias.empty();
+
+  util::parallel_for(static_cast<std::size_t>(cout), [&](std::size_t oc_raw) {
+    const auto oc = static_cast<std::int64_t>(oc_raw);
+    const std::int64_t group = oc / cout_per_group;
+    const float* w = weights.weights.data() +
+                     oc * cin_per_group * kh * kw;  // [cin/g][kh][kw]
+    for (std::int64_t oy = 0; oy < out_shape.height(); ++oy) {
+      for (std::int64_t ox = 0; ox < out_shape.width(); ++ox) {
+        float acc = has_bias ? weights.bias[static_cast<std::size_t>(oc)] : 0.0f;
+        for (std::int64_t ic = 0; ic < cin_per_group; ++ic) {
+          const std::int64_t in_c = group * cin_per_group + ic;
+          for (std::int64_t ky = 0; ky < kh; ++ky) {
+            const std::int64_t iy = oy * stride - ph + ky;
+            if (iy < 0 || iy >= in.shape().height()) continue;
+            for (std::int64_t kx = 0; kx < kw; ++kx) {
+              const std::int64_t ix = ox * stride - pw + kx;
+              if (ix < 0 || ix >= in.shape().width()) continue;
+              acc += in.at(in_c, iy, ix) *
+                     w[(ic * kh + ky) * kw + kx];
+            }
+          }
+        }
+        out.at(oc, oy, ox) = acc;
+      }
+    }
+  });
+  return out;
+}
+
+Tensor pool2d(const dnn::detail::Pool2dLayer& pool, const Tensor& in,
+              const TensorShape& out_shape, std::int64_t kernel,
+              std::int64_t stride, std::int64_t padding) {
+  Tensor out(out_shape);
+  const bool is_max = pool.pool_kind() == dnn::PoolKind::kMax;
+  util::parallel_for(
+      static_cast<std::size_t>(out_shape.channels()), [&](std::size_t c_raw) {
+        const auto c = static_cast<std::int64_t>(c_raw);
+        for (std::int64_t oy = 0; oy < out_shape.height(); ++oy) {
+          for (std::int64_t ox = 0; ox < out_shape.width(); ++ox) {
+            float acc = is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+            int count = 0;
+            for (std::int64_t ky = 0; ky < kernel; ++ky) {
+              const std::int64_t iy = oy * stride - padding + ky;
+              if (iy < 0 || iy >= in.shape().height()) continue;
+              for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                const std::int64_t ix = ox * stride - padding + kx;
+                if (ix < 0 || ix >= in.shape().width()) continue;
+                const float v = in.at(c, iy, ix);
+                if (is_max) {
+                  acc = std::max(acc, v);
+                } else {
+                  acc += v;
+                }
+                ++count;
+              }
+            }
+            out.at(c, oy, ox) = is_max ? acc
+                                       : (count > 0 ? acc / static_cast<float>(
+                                                                count)
+                                                    : 0.0f);
+          }
+        }
+      });
+  return out;
+}
+
+Tensor dense(const Tensor& in, const LayerWeights& weights,
+             const TensorShape& out_shape) {
+  Tensor out(out_shape);
+  const auto in_features = static_cast<std::size_t>(in.shape().elements());
+  const auto out_features = static_cast<std::size_t>(out_shape.elements());
+  const bool has_bias = !weights.bias.empty();
+  util::parallel_for(out_features, [&](std::size_t o) {
+    float acc = has_bias ? weights.bias[o] : 0.0f;
+    const float* w = weights.weights.data() + o * in_features;
+    for (std::size_t i = 0; i < in_features; ++i) acc += w[i] * in[i];
+    out[o] = acc;
+  });
+  return out;
+}
+
+Tensor activation(const dnn::detail::ActivationLayer& act, const Tensor& in) {
+  Tensor out(in.shape());
+  switch (act.activation_kind()) {
+    case dnn::ActivationKind::kReLU:
+      for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::max(0.0f, in[i]);
+      break;
+    case dnn::ActivationKind::kReLU6:
+      for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = std::clamp(in[i], 0.0f, 6.0f);
+      break;
+    case dnn::ActivationKind::kSigmoid:
+      for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = 1.0f / (1.0f + std::exp(-in[i]));
+      break;
+    case dnn::ActivationKind::kTanh:
+      for (std::size_t i = 0; i < in.size(); ++i) out[i] = std::tanh(in[i]);
+      break;
+    case dnn::ActivationKind::kSoftmax: {
+      // Numerically stable softmax over the whole tensor (used on the flat
+      // classifier output).
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (std::size_t i = 0; i < in.size(); ++i) max_v = std::max(max_v, in[i]);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = std::exp(in[i] - max_v);
+        sum += out[i];
+      }
+      for (std::size_t i = 0; i < in.size(); ++i)
+        out[i] = static_cast<float>(out[i] / sum);
+      break;
+    }
+  }
+  return out;
+}
+
+Tensor batch_norm(const Tensor& in, const LayerWeights& weights) {
+  Tensor out(in.shape());
+  const std::int64_t channels =
+      in.shape().rank() == 3 ? in.shape().channels() : in.shape().elements();
+  const std::size_t per_channel = in.size() / static_cast<std::size_t>(channels);
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const float gamma = weights.weights[static_cast<std::size_t>(c)];
+    const float beta = weights.weights[static_cast<std::size_t>(channels + c)];
+    const std::size_t base = static_cast<std::size_t>(c) * per_channel;
+    for (std::size_t i = 0; i < per_channel; ++i)
+      out[base + i] = gamma * in[base + i] + beta;
+  }
+  return out;
+}
+
+Tensor lrn(const Tensor& in, std::int64_t size) {
+  // Classic AlexNet LRN across channels: alpha=1e-4, beta=0.75, k=2.
+  constexpr float kAlpha = 1e-4f;
+  constexpr float kBeta = 0.75f;
+  constexpr float kK = 2.0f;
+  Tensor out(in.shape());
+  const std::int64_t channels = in.shape().channels();
+  const std::int64_t half = size / 2;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    for (std::int64_t y = 0; y < in.shape().height(); ++y) {
+      for (std::int64_t x = 0; x < in.shape().width(); ++x) {
+        float sum_sq = 0.0f;
+        for (std::int64_t j = std::max<std::int64_t>(0, c - half);
+             j <= std::min(channels - 1, c + half); ++j) {
+          const float v = in.at(j, y, x);
+          sum_sq += v * v;
+        }
+        out.at(c, y, x) =
+            in.at(c, y, x) /
+            std::pow(kK + kAlpha * sum_sq, kBeta);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor concat(std::span<const Tensor> inputs, const TensorShape& out_shape) {
+  Tensor out(out_shape);
+  std::size_t offset = 0;
+  for (const Tensor& t : inputs) {
+    std::copy(t.data(), t.data() + t.size(), out.data() + offset);
+    offset += t.size();
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor run_layer(const dnn::Layer& layer, std::span<const Tensor> inputs,
+                 const LayerWeights& weights) {
+  const TensorShape out_shape = infer_output(layer, inputs);
+  expect_weights(layer, inputs, out_shape, weights);
+
+  switch (layer.kind()) {
+    case dnn::LayerKind::kInput:
+      throw std::invalid_argument("run_layer: input nodes carry the data");
+    case dnn::LayerKind::kConv2d:
+      return conv2d(static_cast<const dnn::detail::Conv2dLayer&>(layer),
+                    inputs[0], weights, out_shape);
+    case dnn::LayerKind::kPool2d: {
+      const auto& pool = static_cast<const dnn::detail::Pool2dLayer&>(layer);
+      return pool2d(pool, inputs[0], out_shape, pool.kernel(), pool.stride(),
+                    pool.padding());
+    }
+    case dnn::LayerKind::kGlobalAvgPool: {
+      Tensor out(out_shape);
+      const std::int64_t channels = inputs[0].shape().channels();
+      const auto spatial = static_cast<std::size_t>(
+          inputs[0].shape().height() * inputs[0].shape().width());
+      for (std::int64_t c = 0; c < channels; ++c) {
+        double sum = 0.0;
+        const std::size_t base = static_cast<std::size_t>(c) * spatial;
+        for (std::size_t i = 0; i < spatial; ++i) sum += inputs[0][base + i];
+        out[static_cast<std::size_t>(c)] =
+            static_cast<float>(sum / static_cast<double>(spatial));
+      }
+      return out;
+    }
+    case dnn::LayerKind::kDense:
+      return dense(inputs[0], weights, out_shape);
+    case dnn::LayerKind::kActivation:
+      return activation(static_cast<const dnn::detail::ActivationLayer&>(layer),
+                        inputs[0]);
+    case dnn::LayerKind::kBatchNorm:
+      return batch_norm(inputs[0], weights);
+    case dnn::LayerKind::kLRN:
+      return lrn(inputs[0],
+                 static_cast<const dnn::detail::LRNLayer&>(layer).window_size());
+    case dnn::LayerKind::kDropout: {
+      Tensor out(out_shape);
+      std::copy(inputs[0].data(), inputs[0].data() + inputs[0].size(),
+                out.data());
+      return out;
+    }
+    case dnn::LayerKind::kFlatten: {
+      Tensor out(out_shape);
+      std::copy(inputs[0].data(), inputs[0].data() + inputs[0].size(),
+                out.data());
+      return out;
+    }
+    case dnn::LayerKind::kConcat:
+      return concat(inputs, out_shape);
+    case dnn::LayerKind::kAdd: {
+      Tensor out(out_shape);
+      for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = inputs[0][i] + inputs[1][i];
+      return out;
+    }
+  }
+  throw std::invalid_argument("run_layer: unknown layer kind");
+}
+
+}  // namespace jps::runtime

@@ -1,0 +1,32 @@
+// Naive (but threaded) fp32 kernels for every layer kind in the zoo.
+// Reference semantics over speed: these exist to run the graphs for real —
+// validating shape inference with live data and feeding the host profiler —
+// not to compete with a BLAS-backed framework.
+#pragma once
+
+#include <span>
+
+#include "dnn/layer.h"
+#include "runtime/tensor.h"
+
+namespace jps::runtime {
+
+/// Per-layer learned parameters (flat fp32 blobs in the layer's own layout).
+struct LayerWeights {
+  /// Main weight blob: conv [cout][cin/g][kh][kw], dense [out][in],
+  /// batch-norm [2*C] (gamma then beta).  Empty for parameter-free layers.
+  std::vector<float> weights;
+  /// Bias [cout]/[out]; empty when the layer has none.
+  std::vector<float> bias;
+};
+
+/// Execute one layer on already-computed inputs.
+/// `layer` must be a zoo layer kind; weights sizes must match
+/// layer.param_count (validated).  Throws std::invalid_argument on
+/// mismatches.  Threaded over output channels/rows via util::parallel_for
+/// for the heavy kernels.
+[[nodiscard]] Tensor run_layer(const dnn::Layer& layer,
+                               std::span<const Tensor> inputs,
+                               const LayerWeights& weights);
+
+}  // namespace jps::runtime

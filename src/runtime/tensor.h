@@ -1,0 +1,54 @@
+// A minimal fp32 tensor for the numeric inference runtime.
+//
+// The scheduling research only needs layer *timings*, but a reproduction
+// should be able to actually run the networks it models: the runtime
+// executes every zoo graph numerically, which (a) cross-checks the shape
+// inference against real data flow and (b) powers a REAL profiling harness
+// (wall-clock per layer on this host) as an alternative to the analytic
+// latency model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dnn/tensor_shape.h"
+
+namespace jps::runtime {
+
+/// Dense row-major fp32 tensor.  CHW for images, {F} for vectors.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-initialized tensor of `shape`.
+  explicit Tensor(dnn::TensorShape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.elements()), 0.0f) {}
+
+  [[nodiscard]] const dnn::TensorShape& shape() const { return shape_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] float* data() { return data_.data(); }
+  [[nodiscard]] const float* data() const { return data_.data(); }
+  [[nodiscard]] float& operator[](std::size_t i) { return data_[i]; }
+  [[nodiscard]] float operator[](std::size_t i) const { return data_[i]; }
+
+  /// CHW element access (rank-3 tensors).
+  [[nodiscard]] float& at(std::int64_t c, std::int64_t y, std::int64_t x) {
+    return data_[idx(c, y, x)];
+  }
+  [[nodiscard]] float at(std::int64_t c, std::int64_t y, std::int64_t x) const {
+    return data_[idx(c, y, x)];
+  }
+
+ private:
+  [[nodiscard]] std::size_t idx(std::int64_t c, std::int64_t y,
+                                std::int64_t x) const {
+    return static_cast<std::size_t>(
+        (c * shape_.height() + y) * shape_.width() + x);
+  }
+
+  dnn::TensorShape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace jps::runtime

@@ -1,0 +1,148 @@
+#include "sched/bruteforce.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+#include "util/thread_pool.h"
+
+namespace jps::sched {
+
+namespace {
+
+// Multiset count C(n+k-1, k-1) with saturation.
+std::uint64_t multiset_count(std::uint64_t n, std::uint64_t k) {
+  if (k == 0) return 0;
+  // C(n+k-1, k-1) computed incrementally with overflow saturation.
+  const std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  long double acc = 1.0L;
+  for (std::uint64_t i = 1; i < k; ++i)
+    acc = acc * static_cast<long double>(n + i) / static_cast<long double>(i);
+  if (acc >= static_cast<long double>(kMax)) return kMax;
+  return static_cast<std::uint64_t>(acc + 0.5L);
+}
+
+JobList jobs_from_assignment(std::span<const CutOption> cuts,
+                             std::span<const int> assignment) {
+  JobList jobs;
+  jobs.reserve(assignment.size());
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int c = assignment[i];
+    jobs.push_back(Job{.id = static_cast<int>(i),
+                       .cut = c,
+                       .f = cuts[static_cast<std::size_t>(c)].f,
+                       .g = cuts[static_cast<std::size_t>(c)].g});
+  }
+  return jobs;
+}
+
+}  // namespace
+
+double assignment_makespan(std::span<const CutOption> cuts,
+                           std::span<const int> assignment) {
+  const JobList jobs = jobs_from_assignment(cuts, assignment);
+  const JohnsonSchedule schedule = johnson_order(jobs);
+  return flowshop2_makespan(apply_order(jobs, schedule.order));
+}
+
+double best_permutation_makespan(std::span<const Job> jobs) {
+  if (jobs.size() > 10)
+    throw std::invalid_argument("best_permutation_makespan: n > 10");
+  std::vector<std::size_t> perm(jobs.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, flowshop2_makespan(apply_order(jobs, perm)));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return jobs.empty() ? 0.0 : best;
+}
+
+BruteForceResult bruteforce_exact(std::span<const CutOption> cuts, int n_jobs,
+                                  std::uint64_t max_assignments) {
+  if (cuts.empty()) throw std::invalid_argument("bruteforce_exact: no cuts");
+  if (n_jobs < 1) throw std::invalid_argument("bruteforce_exact: n_jobs < 1");
+  const std::uint64_t count =
+      multiset_count(static_cast<std::uint64_t>(n_jobs), cuts.size());
+  if (count > max_assignments)
+    throw std::invalid_argument(
+        "bruteforce_exact: " + std::to_string(count) +
+        " assignments exceed the cap; use bruteforce_two_type");
+
+  BruteForceResult best;
+  best.makespan = std::numeric_limits<double>::infinity();
+
+  // Enumerate non-decreasing assignments (multisets) recursively.
+  std::vector<int> assignment(static_cast<std::size_t>(n_jobs), 0);
+  std::uint64_t evaluated = 0;
+  const int k = static_cast<int>(cuts.size());
+
+  // Iterative odometer over non-decreasing sequences.
+  while (true) {
+    const double ms = assignment_makespan(cuts, assignment);
+    ++evaluated;
+    if (ms < best.makespan) {
+      best.makespan = ms;
+      best.cuts = assignment;
+    }
+    // Advance: find the rightmost position that can still increase.
+    int pos = n_jobs - 1;
+    while (pos >= 0 && assignment[static_cast<std::size_t>(pos)] == k - 1) --pos;
+    if (pos < 0) break;
+    const int next = assignment[static_cast<std::size_t>(pos)] + 1;
+    for (int i = pos; i < n_jobs; ++i)
+      assignment[static_cast<std::size_t>(i)] = next;  // keep non-decreasing
+  }
+  best.evaluated = evaluated;
+  return best;
+}
+
+BruteForceResult bruteforce_two_type(std::span<const CutOption> cuts,
+                                     int n_jobs) {
+  if (cuts.empty()) throw std::invalid_argument("bruteforce_two_type: no cuts");
+  if (n_jobs < 1) throw std::invalid_argument("bruteforce_two_type: n_jobs < 1");
+  const std::size_t k = cuts.size();
+
+  std::mutex best_mutex;
+  BruteForceResult best;
+  best.makespan = std::numeric_limits<double>::infinity();
+  std::atomic<std::uint64_t> evaluated{0};
+
+  // One work item per first-cut index; inner loop covers the second cut and
+  // the split.  Each item keeps a thread-local best and merges once.
+  util::parallel_for(k, [&](std::size_t a) {
+    BruteForceResult local;
+    local.makespan = std::numeric_limits<double>::infinity();
+    std::uint64_t local_evaluated = 0;
+    std::vector<int> assignment(static_cast<std::size_t>(n_jobs));
+    for (std::size_t b = a; b < k; ++b) {
+      // n_a jobs at cut a, the rest at cut b. n_a == n covers single-type.
+      for (int n_a = (a == b ? n_jobs : 0); n_a <= n_jobs; ++n_a) {
+        for (int i = 0; i < n_jobs; ++i)
+          assignment[static_cast<std::size_t>(i)] =
+              i < n_a ? static_cast<int>(a) : static_cast<int>(b);
+        const double ms = assignment_makespan(cuts, assignment);
+        ++local_evaluated;
+        if (ms < local.makespan) {
+          local.makespan = ms;
+          local.cuts = assignment;
+        }
+      }
+    }
+    evaluated.fetch_add(local_evaluated, std::memory_order_relaxed);
+    std::lock_guard lock(best_mutex);
+    if (local.makespan < best.makespan) {
+      best.makespan = local.makespan;
+      best.cuts = std::move(local.cuts);
+    }
+  });
+
+  best.evaluated = evaluated.load();
+  return best;
+}
+
+}  // namespace jps::sched

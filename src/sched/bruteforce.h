@@ -1,0 +1,65 @@
+// Brute-force searchers used as optimality baselines (the paper's "BF").
+//
+// Three levels, trading breadth for tractability:
+//   * best_permutation_makespan — all n! orders of a fixed job set; verifies
+//     Johnson's rule in tests (n <= ~9).
+//   * bruteforce_exact — all multisets of cut assignments for n identical
+//     jobs over k cut-points, each scheduled by Johnson's rule (which is
+//     optimal per partition choice, so the result is the true joint optimum).
+//     Count is C(n+k-1, k-1); guarded by `max_assignments`.
+//   * bruteforce_two_type — all (cut_a, cut_b, split) assignments with at
+//     most two distinct cut types (not necessarily adjacent).  O(k^2 * n)
+//     evaluations; scales to the Fig. 11 job counts.  Theorem 5.3's
+//     two-type family is exactly optimal under the paper's conditions; on
+//     general monotone curves a third type can still shave the boundary
+//     terms f(x1)/g(xn) of Prop. 4.1, but that advantage is O(1/n)
+//     (measured ~14% at n=4, ~3% at n=32; quantified in the tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace jps::sched {
+
+/// Candidate cut-points presented to the brute-force searchers: the stage
+/// lengths a job would have if partitioned at each cut.
+struct CutOption {
+  double f = 0.0;
+  double g = 0.0;
+};
+
+/// Result of a joint partition+schedule search.
+struct BruteForceResult {
+  /// Optimal makespan found, ms.
+  double makespan = 0.0;
+  /// Cut index assigned to each of the n jobs (non-decreasing).
+  std::vector<int> cuts;
+  /// Number of candidate assignments evaluated.
+  std::uint64_t evaluated = 0;
+};
+
+/// Minimum makespan over every permutation of `jobs`. Throws
+/// std::invalid_argument for n > 10 (10! = 3.6M is the practical ceiling).
+[[nodiscard]] double best_permutation_makespan(std::span<const Job> jobs);
+
+/// Exact joint optimum: enumerate all multisets of cut assignments, schedule
+/// each with Johnson's rule, keep the best.  Throws std::invalid_argument if
+/// the multiset count exceeds `max_assignments`.
+[[nodiscard]] BruteForceResult bruteforce_exact(
+    std::span<const CutOption> cuts, int n_jobs,
+    std::uint64_t max_assignments = 20'000'000);
+
+/// Best assignment restricted to at most two distinct cut types.
+/// Runs in O(k^2 * n) schedule evaluations; parallelized over cut pairs.
+[[nodiscard]] BruteForceResult bruteforce_two_type(
+    std::span<const CutOption> cuts, int n_jobs);
+
+/// Johnson-scheduled makespan of a concrete cut assignment (helper shared by
+/// the searchers and the benches).
+[[nodiscard]] double assignment_makespan(std::span<const CutOption> cuts,
+                                         std::span<const int> assignment);
+
+}  // namespace jps::sched

@@ -1,0 +1,29 @@
+// The unit of scheduling: one partitioned DNN inference job (§3.1).
+//
+// After partitioning, a job is fully described by the lengths of its two
+// pipeline stages: f (local computation on the mobile device) and g
+// (offloading the intermediate tensor to the cloud).  The cloud computation
+// stage is carried too, but only the 3-stage experiments use it — the paper
+// shows it is negligible and the optimizer works on (f, g).
+#pragma once
+
+#include <vector>
+
+namespace jps::sched {
+
+struct Job {
+  /// Caller-assigned identity (position in the original job set).
+  int id = 0;
+  /// Cut-point index this job was partitioned at (metadata; -1 = unknown).
+  int cut = -1;
+  /// Computation stage length on the mobile device, ms.
+  double f = 0.0;
+  /// Communication stage length (offload), ms.
+  double g = 0.0;
+  /// Cloud computation stage length, ms (3-stage analyses only).
+  double cloud = 0.0;
+};
+
+using JobList = std::vector<Job>;
+
+}  // namespace jps::sched

@@ -1,0 +1,51 @@
+#include "sched/johnson3.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/makespan.h"
+
+namespace jps::sched {
+
+bool johnson3_condition_holds(std::span<const Job> jobs) {
+  if (jobs.empty()) return true;
+  double min_f = std::numeric_limits<double>::infinity();
+  double min_cloud = std::numeric_limits<double>::infinity();
+  double max_g = 0.0;
+  for (const Job& job : jobs) {
+    min_f = std::min(min_f, job.f);
+    min_cloud = std::min(min_cloud, job.cloud);
+    max_g = std::max(max_g, job.g);
+  }
+  return min_f >= max_g || min_cloud >= max_g;
+}
+
+JohnsonSchedule johnson3_order(std::span<const Job> jobs) {
+  // Surrogate 2-machine instance: stage A = f + g, stage B = g + cloud.
+  JobList surrogate;
+  surrogate.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    surrogate.push_back(Job{.id = job.id,
+                            .cut = job.cut,
+                            .f = job.f + job.g,
+                            .g = job.g + job.cloud});
+  }
+  return johnson_order(surrogate);
+}
+
+double best_permutation_makespan3(std::span<const Job> jobs) {
+  if (jobs.size() > 10)
+    throw std::invalid_argument("best_permutation_makespan3: n > 10");
+  std::vector<std::size_t> perm(jobs.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, flowshop3_makespan(apply_order(jobs, perm)));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return jobs.empty() ? 0.0 : best;
+}
+
+}  // namespace jps::sched

@@ -1,0 +1,34 @@
+// Johnson's rule for the THREE-machine flow shop [Johnson 1954, §3].
+//
+// The paper schedules the 2-stage (mobile compute, uplink) pipeline because
+// cloud compute is negligible; this module covers the case where it is not.
+// The 3-machine problem F3||Cmax is NP-hard in general, but Johnson's
+// classical reduction is optimal when the middle machine is dominated:
+//     min_j f_j >= max_j g_j   or   min_j cloud_j >= max_j g_j.
+// Then ordering by Johnson's 2-machine rule on the surrogate stage lengths
+// (f_j + g_j, g_j + cloud_j) minimizes the makespan.
+//
+// For partitioned DNN jobs the second condition is natural in reverse form:
+// the *uplink* is the middle of (compute, uplink, cloud) only in our
+// pipeline's order, so the dominance to check is over g.
+#pragma once
+
+#include <span>
+
+#include "sched/johnson.h"
+
+namespace jps::sched {
+
+/// True when Johnson's 3-machine reduction is provably optimal for `jobs`:
+/// min f >= max g or min cloud >= max g.
+[[nodiscard]] bool johnson3_condition_holds(std::span<const Job> jobs);
+
+/// Johnson order for the 3-stage pipeline via the (f+g, g+cloud) surrogate.
+/// Optimal when johnson3_condition_holds(); a strong heuristic otherwise.
+[[nodiscard]] JohnsonSchedule johnson3_order(std::span<const Job> jobs);
+
+/// Minimum 3-stage makespan over every permutation (n <= 10; baseline for
+/// tests and ablations).
+[[nodiscard]] double best_permutation_makespan3(std::span<const Job> jobs);
+
+}  // namespace jps::sched

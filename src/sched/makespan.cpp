@@ -1,0 +1,90 @@
+#include "sched/makespan.h"
+
+#include <algorithm>
+
+namespace jps::sched {
+
+std::vector<JobTimeline> flowshop2_timeline(std::span<const Job> jobs) {
+  std::vector<JobTimeline> timeline;
+  timeline.reserve(jobs.size());
+  double cpu_free = 0.0;   // mobile CPU available from
+  double link_free = 0.0;  // uplink available from
+  for (const Job& job : jobs) {
+    JobTimeline t;
+    t.job_id = job.id;
+    t.comp_start = cpu_free;
+    t.comp_end = t.comp_start + job.f;
+    t.comm_start = std::max(t.comp_end, link_free);
+    t.comm_end = t.comm_start + job.g;
+    cpu_free = t.comp_end;
+    link_free = t.comm_end;
+    timeline.push_back(t);
+  }
+  return timeline;
+}
+
+double flowshop2_makespan(std::span<const Job> jobs) {
+  double cpu_free = 0.0;
+  double link_free = 0.0;
+  for (const Job& job : jobs) {
+    cpu_free += job.f;
+    link_free = std::max(cpu_free, link_free) + job.g;
+  }
+  return jobs.empty() ? 0.0 : link_free;
+}
+
+std::vector<JobTimeline> flowshop3_timeline(std::span<const Job> jobs) {
+  std::vector<JobTimeline> timeline;
+  timeline.reserve(jobs.size());
+  double cpu_free = 0.0;
+  double link_free = 0.0;
+  double cloud_free = 0.0;
+  for (const Job& job : jobs) {
+    JobTimeline t;
+    t.job_id = job.id;
+    t.comp_start = cpu_free;
+    t.comp_end = t.comp_start + job.f;
+    t.comm_start = std::max(t.comp_end, link_free);
+    t.comm_end = t.comm_start + job.g;
+    t.cloud_start = std::max(t.comm_end, cloud_free);
+    t.cloud_end = t.cloud_start + job.cloud;
+    cpu_free = t.comp_end;
+    link_free = t.comm_end;
+    cloud_free = t.cloud_end;
+    timeline.push_back(t);
+  }
+  return timeline;
+}
+
+double flowshop3_makespan(std::span<const Job> jobs) {
+  const auto timeline = flowshop3_timeline(jobs);
+  double makespan = 0.0;
+  for (const auto& t : timeline) makespan = std::max(makespan, t.cloud_end);
+  return makespan;
+}
+
+double closed_form_makespan(std::span<const Job> jobs_in_order) {
+  if (jobs_in_order.empty()) return 0.0;
+  double sum_f_tail = 0.0;  // sum of f over jobs 2..n
+  double sum_g_head = 0.0;  // sum of g over jobs 1..n-1
+  for (std::size_t i = 1; i < jobs_in_order.size(); ++i)
+    sum_f_tail += jobs_in_order[i].f;
+  for (std::size_t i = 0; i + 1 < jobs_in_order.size(); ++i)
+    sum_g_head += jobs_in_order[i].g;
+  return jobs_in_order.front().f + std::max(sum_f_tail, sum_g_head) +
+         jobs_in_order.back().g;
+}
+
+double average_makespan_bound(std::span<const Job> jobs) {
+  if (jobs.empty()) return 0.0;
+  double sum_f = 0.0;
+  double sum_g = 0.0;
+  for (const Job& job : jobs) {
+    sum_f += job.f;
+    sum_g += job.g;
+  }
+  const auto n = static_cast<double>(jobs.size());
+  return std::max(sum_f, sum_g) / n;
+}
+
+}  // namespace jps::sched

@@ -1,0 +1,60 @@
+// Makespan evaluation for partitioned-DNN pipelines.
+//
+// The mobile CPU and the uplink are exclusive resources used in a pipeline:
+// job i's communication stage may overlap job i+1's computation stage, but
+// each resource serves one job at a time and a job's communication cannot
+// start before its own computation ends (§3.1).  That is the classic
+// 2-machine permutation flow shop; a third stage (cloud compute) extends it
+// to 3 machines for the "is cloud time really negligible" check.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/job.h"
+
+namespace jps::sched {
+
+/// Start/end times of each stage of one job within a schedule.
+struct JobTimeline {
+  int job_id = 0;
+  double comp_start = 0.0;
+  double comp_end = 0.0;
+  double comm_start = 0.0;
+  double comm_end = 0.0;
+  double cloud_start = 0.0;
+  double cloud_end = 0.0;
+
+  /// Completion time tau_j of the job (end of its last nonempty stage).
+  [[nodiscard]] double completion() const {
+    return cloud_end > 0.0 ? cloud_end : comm_end;
+  }
+};
+
+/// Evaluate the 2-stage flow-shop recurrence for `jobs` executed in their
+/// given order. Returns per-job stage timelines (same order as input).
+[[nodiscard]] std::vector<JobTimeline> flowshop2_timeline(
+    std::span<const Job> jobs);
+
+/// Makespan (max completion) of the 2-stage pipeline in the given order.
+[[nodiscard]] double flowshop2_makespan(std::span<const Job> jobs);
+
+/// 3-stage variant including each job's cloud stage (permutation flow shop
+/// recurrence on three machines).
+[[nodiscard]] std::vector<JobTimeline> flowshop3_timeline(
+    std::span<const Job> jobs);
+
+/// Makespan of the 3-stage pipeline in the given order.
+[[nodiscard]] double flowshop3_makespan(std::span<const Job> jobs);
+
+/// Proposition 4.1: closed-form makespan for jobs ALREADY in Johnson order:
+///   f(x1) + max{ sum_{i>=2} f(x_i), sum_{i<=n-1} g(x_i) } + g(x_n).
+/// Exact for Johnson-ordered line-DNN job sets; the tests verify it against
+/// flowshop2_makespan.
+[[nodiscard]] double closed_form_makespan(std::span<const Job> jobs_in_order);
+
+/// The average-makespan lower bound the paper optimizes after relaxation:
+///   max( sum f / n , sum g / n ).
+[[nodiscard]] double average_makespan_bound(std::span<const Job> jobs);
+
+}  // namespace jps::sched

@@ -1,0 +1,117 @@
+#include "sched/release.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+
+namespace jps::sched {
+
+std::vector<JobTimeline> flowshop2_timeline_released(
+    std::span<const TimedJob> jobs_in_order) {
+  std::vector<JobTimeline> timeline;
+  timeline.reserve(jobs_in_order.size());
+  double cpu_free = 0.0;
+  double link_free = 0.0;
+  for (const TimedJob& tj : jobs_in_order) {
+    JobTimeline t;
+    t.job_id = tj.job.id;
+    t.comp_start = std::max(cpu_free, tj.release);
+    t.comp_end = t.comp_start + tj.job.f;
+    t.comm_start = std::max(t.comp_end, link_free);
+    t.comm_end = t.comm_start + tj.job.g;
+    cpu_free = t.comp_end;
+    link_free = t.comm_end;
+    timeline.push_back(t);
+  }
+  return timeline;
+}
+
+double flowshop2_makespan_released(std::span<const TimedJob> jobs_in_order) {
+  double makespan = 0.0;
+  for (const JobTimeline& t : flowshop2_timeline_released(jobs_in_order))
+    makespan = std::max(makespan, t.completion());
+  return makespan;
+}
+
+namespace {
+
+// Johnson's order as a key comparison (the pairwise min(f_i,g_j) form is
+// not transitive and therefore unusable with std::sort): S1 jobs (f < g)
+// precede S2 jobs; within S1 ascending f, within S2 descending g.
+bool johnson_before(const Job& a, const Job& b) {
+  const bool a_comm_heavy = a.f < a.g;
+  const bool b_comm_heavy = b.f < b.g;
+  if (a_comm_heavy != b_comm_heavy) return a_comm_heavy;
+  const double ka = a_comm_heavy ? a.f : -a.g;
+  const double kb = b_comm_heavy ? b.f : -b.g;
+  if (ka != kb) return ka < kb;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+std::vector<std::size_t> johnson_by_release(std::span<const TimedJob> jobs) {
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (jobs[a].release != jobs[b].release)
+      return jobs[a].release < jobs[b].release;
+    return johnson_before(jobs[a].job, jobs[b].job);
+  });
+  return order;
+}
+
+std::vector<std::size_t> batched_johnson(std::span<const TimedJob> jobs,
+                                         double batch_window) {
+  if (batch_window <= 0.0)
+    throw std::invalid_argument("batched_johnson: window must be positive");
+  // Bucket indices by release window.
+  std::vector<std::pair<std::int64_t, std::size_t>> keyed;
+  keyed.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    keyed.emplace_back(
+        static_cast<std::int64_t>(jobs[i].release / batch_window), i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+
+  std::vector<std::size_t> order;
+  order.reserve(jobs.size());
+  std::size_t begin = 0;
+  while (begin < keyed.size()) {
+    std::size_t end = begin;
+    while (end < keyed.size() && keyed[end].first == keyed[begin].first) ++end;
+    // Johnson-order this window.
+    JobList window;
+    std::vector<std::size_t> original;
+    for (std::size_t k = begin; k < end; ++k) {
+      original.push_back(keyed[k].second);
+      window.push_back(jobs[keyed[k].second].job);
+    }
+    const JohnsonSchedule schedule = johnson_order(window);
+    for (const std::size_t local : schedule.order)
+      order.push_back(original[local]);
+    begin = end;
+  }
+  return order;
+}
+
+double best_permutation_makespan_released(std::span<const TimedJob> jobs) {
+  if (jobs.size() > 10)
+    throw std::invalid_argument("best_permutation_makespan_released: n > 10");
+  std::vector<std::size_t> perm(jobs.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    std::vector<TimedJob> ordered;
+    ordered.reserve(jobs.size());
+    for (const std::size_t idx : perm) ordered.push_back(jobs[idx]);
+    best = std::min(best, flowshop2_makespan_released(ordered));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return jobs.empty() ? 0.0 : best;
+}
+
+}  // namespace jps::sched

@@ -1,0 +1,52 @@
+// Release-dated jobs — relaxing the paper's "all jobs are available at time
+// 0" assumption (§3.1) to periodic/streamed arrivals (camera frames landing
+// every T ms).
+//
+// With release dates the 2-machine flow shop F2|r_j|Cmax is NP-hard, so two
+// practical policies are provided and evaluated against a permutation brute
+// force in the tests:
+//   * johnson_by_release  — sort by release date, Johnson's rule among ties
+//     (the natural streaming policy);
+//   * batched_johnson     — group arrivals into windows of `batch_window`
+//     ms, order each batch by Johnson's rule (the paper's planner applied
+//     per window).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/job.h"
+#include "sched/makespan.h"
+
+namespace jps::sched {
+
+/// A job with a release date (earliest time its computation may start).
+struct TimedJob {
+  Job job;
+  double release = 0.0;
+};
+
+/// Evaluate the 2-stage recurrence honoring release dates, in the given
+/// order: computation of job i starts at max(cpu free, release_i).
+[[nodiscard]] double flowshop2_makespan_released(
+    std::span<const TimedJob> jobs_in_order);
+
+/// Per-job timelines under the same semantics.
+[[nodiscard]] std::vector<JobTimeline> flowshop2_timeline_released(
+    std::span<const TimedJob> jobs_in_order);
+
+/// Streaming policy: non-decreasing release, Johnson's comparator within
+/// equal releases. Returns indices into `jobs`.
+[[nodiscard]] std::vector<std::size_t> johnson_by_release(
+    std::span<const TimedJob> jobs);
+
+/// Windowed policy: partition jobs into consecutive `batch_window`-ms
+/// release windows, Johnson-order each window, concatenate.
+[[nodiscard]] std::vector<std::size_t> batched_johnson(
+    std::span<const TimedJob> jobs, double batch_window);
+
+/// Minimum makespan over all permutations (n <= 10; test baseline).
+[[nodiscard]] double best_permutation_makespan_released(
+    std::span<const TimedJob> jobs);
+
+}  // namespace jps::sched

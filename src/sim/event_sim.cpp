@@ -1,0 +1,112 @@
+#include "sim/event_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace jps::sim {
+
+ResourceId EventSimulator::add_resource(std::string name) {
+  resources_.push_back(Resource{std::move(name), 0.0});
+  return resources_.size() - 1;
+}
+
+TaskId EventSimulator::add_task(ResourceId resource, double duration,
+                                const std::vector<TaskId>& deps,
+                                std::string tag) {
+  if (resource >= resources_.size())
+    throw std::invalid_argument("EventSimulator::add_task: bad resource");
+  if (duration < 0.0)
+    throw std::invalid_argument("EventSimulator::add_task: negative duration");
+  const TaskId id = tasks_.size();
+  // Validate everything before mutating any state, so a failed add leaves
+  // the simulator usable.
+  for (const TaskId dep : deps) {
+    if (dep >= id)
+      throw std::invalid_argument("EventSimulator::add_task: bad dependency");
+  }
+  Task task;
+  task.record.resource = resource;
+  task.record.duration = duration;
+  task.record.tag = std::move(tag);
+  task.unmet_deps = deps.size();
+  tasks_.push_back(std::move(task));
+  for (const TaskId dep : deps) tasks_[dep].dependents.push_back(id);
+  return id;
+}
+
+void EventSimulator::run() {
+  if (ran_) throw std::logic_error("EventSimulator::run: already ran");
+  ran_ = true;
+
+  // Per-resource ready sets ordered by submission index (FIFO by plan order).
+  std::vector<std::set<TaskId>> ready(resources_.size());
+  std::vector<bool> resource_busy(resources_.size(), false);
+
+  // Completion events: (time, task). Ties resolved by task index for
+  // determinism.
+  using Event = std::pair<double, TaskId>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+
+  std::size_t remaining = tasks_.size();
+  for (TaskId id = 0; id < tasks_.size(); ++id) {
+    if (tasks_[id].unmet_deps == 0)
+      ready[tasks_[id].record.resource].insert(id);
+  }
+
+  double now = 0.0;
+  auto try_start = [&](ResourceId r) {
+    if (resource_busy[r] || ready[r].empty()) return;
+    const TaskId id = *ready[r].begin();
+    ready[r].erase(ready[r].begin());
+    Task& task = tasks_[id];
+    task.record.start = now;
+    task.record.end = now + task.record.duration;
+    resources_[r].busy += task.record.duration;
+    resource_busy[r] = true;
+    events.emplace(task.record.end, id);
+  };
+
+  for (ResourceId r = 0; r < resources_.size(); ++r) try_start(r);
+
+  while (!events.empty()) {
+    const auto [time, id] = events.top();
+    events.pop();
+    now = time;
+    makespan_ = std::max(makespan_, now);
+    --remaining;
+
+    Task& finished = tasks_[id];
+    resource_busy[finished.record.resource] = false;
+    for (const TaskId dep : finished.dependents) {
+      Task& t = tasks_[dep];
+      if (--t.unmet_deps == 0) ready[t.record.resource].insert(dep);
+    }
+    // The freed resource and any resource that just gained a ready task may
+    // start work at `now`.
+    for (ResourceId r = 0; r < resources_.size(); ++r) try_start(r);
+  }
+
+  if (remaining != 0)
+    throw std::logic_error("EventSimulator::run: tasks never became ready");
+}
+
+const TaskRecord& EventSimulator::record(TaskId id) const {
+  if (id >= tasks_.size()) throw std::out_of_range("EventSimulator::record");
+  return tasks_[id].record;
+}
+
+double EventSimulator::busy_time(ResourceId id) const {
+  if (id >= resources_.size())
+    throw std::out_of_range("EventSimulator::busy_time");
+  return resources_[id].busy;
+}
+
+const std::string& EventSimulator::resource_name(ResourceId id) const {
+  if (id >= resources_.size())
+    throw std::out_of_range("EventSimulator::resource_name");
+  return resources_[id].name;
+}
+
+}  // namespace jps::sim

@@ -1,0 +1,171 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/event_sim.h"
+#include "sim/executor_detail.h"
+
+namespace jps::sim {
+
+namespace detail {
+
+// Submit every task of one job (mobile layers -> transfer -> cloud layers)
+// to the simulator.  Submission order across jobs gives the FIFO priority.
+JobTasks submit_job(EventSimulator& sim, const Resources& resources,
+                    const dnn::Graph& graph, const partition::CutPoint& cut,
+                    std::size_t job_tag, const profile::LatencyModel& mobile,
+                    const profile::LatencyModel& cloud,
+                    const net::Channel& channel, const SimOptions& options,
+                    util::Rng& rng) {
+  JobTasks tasks;
+  std::vector<TaskId> node_task(graph.size(), kNoTask);
+  std::vector<char> is_local(graph.size(), 0);
+  for (const dnn::NodeId v : cut.local_nodes) is_local[v] = 1;
+
+  // Mobile stage, layer by layer in topological order.
+  for (const dnn::NodeId v : cut.local_nodes) {
+    std::vector<TaskId> deps;
+    for (const dnn::NodeId p : graph.predecessors(v)) {
+      if (node_task[p] != kNoTask) deps.push_back(node_task[p]);
+    }
+    const double duration = mobile.node_time_ms(graph, v) *
+                            rng.lognormal_factor(options.comp_noise_sigma);
+    node_task[v] = sim.add_task(resources.mobile, duration, deps,
+                                "j" + std::to_string(job_tag) + ":m:" +
+                                    std::to_string(v));
+    tasks.local.push_back(node_task[v]);
+  }
+
+  // Offload stage: one message carrying every cut tensor.
+  if (cut.offload_bytes > 0) {
+    std::vector<TaskId> deps;
+    for (const dnn::NodeId v : cut.cut_nodes) deps.push_back(node_task[v]);
+    const double duration = channel.time_ms(cut.offload_bytes) *
+                            rng.lognormal_factor(options.comm_noise_sigma);
+    tasks.transfer = sim.add_task(resources.link, duration, deps,
+                                  "j" + std::to_string(job_tag) + ":tx");
+  }
+
+  // Cloud stage: the remaining layers; locally produced inputs arrive via
+  // the transfer.
+  if (options.include_cloud && tasks.transfer != kNoTask) {
+    for (dnn::NodeId v = 0; v < graph.size(); ++v) {
+      if (is_local[v]) continue;
+      std::vector<TaskId> deps;
+      bool needs_transfer = false;
+      for (const dnn::NodeId p : graph.predecessors(v)) {
+        if (is_local[p]) {
+          needs_transfer = true;
+        } else if (node_task[p] != kNoTask) {
+          deps.push_back(node_task[p]);
+        }
+      }
+      if (needs_transfer) deps.push_back(tasks.transfer);
+      const double duration = cloud.node_time_ms(graph, v) *
+                              rng.lognormal_factor(options.comp_noise_sigma);
+      node_task[v] = sim.add_task(resources.cloud, duration, deps,
+                                  "j" + std::to_string(job_tag) + ":c:" +
+                                      std::to_string(v));
+      tasks.remote.push_back(node_task[v]);
+    }
+  }
+  return tasks;
+}
+
+SimJobResult collect(const EventSimulator& sim, const JobTasks& tasks,
+                     int job_id, std::size_t cut_index) {
+  SimJobResult r;
+  r.job_id = job_id;
+  r.cut_index = cut_index;
+  if (!tasks.local.empty()) {
+    r.comp_start = sim.record(tasks.local.front()).start;
+    for (const TaskId t : tasks.local)
+      r.comp_end = std::max(r.comp_end, sim.record(t).end);
+  }
+  if (tasks.transfer != kNoTask) {
+    r.comm_start = sim.record(tasks.transfer).start;
+    r.comm_end = sim.record(tasks.transfer).end;
+  }
+  for (const TaskId t : tasks.remote) {
+    if (r.cloud_start == 0.0) r.cloud_start = sim.record(t).start;
+    r.cloud_end = std::max(r.cloud_end, sim.record(t).end);
+  }
+  return r;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::collect;
+using detail::JobTasks;
+using detail::kNoTask;
+using detail::Resources;
+using detail::submit_job;
+
+SimResult run_jobs(const std::vector<MixedJob>& jobs,
+                   const profile::LatencyModel& mobile,
+                   const profile::LatencyModel& cloud,
+                   const net::Channel& channel, const SimOptions& options,
+                   util::Rng& rng) {
+  EventSimulator sim;
+  const Resources resources{sim.add_resource("mobile_cpu"),
+                            sim.add_resource("uplink"),
+                            sim.add_resource("cloud_gpu")};
+
+  std::vector<JobTasks> job_tasks;
+  job_tasks.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const MixedJob& job = jobs[j];
+    if (job.graph == nullptr || job.curve == nullptr)
+      throw std::invalid_argument("simulate: null graph/curve");
+    job_tasks.push_back(submit_job(sim, resources, *job.graph,
+                                   job.curve->cut(job.cut_index), j, mobile,
+                                   cloud, channel, options, rng));
+  }
+  sim.run();
+
+  SimResult result;
+  result.jobs.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    result.jobs.push_back(
+        collect(sim, job_tasks[j], jobs[j].job_id, jobs[j].cut_index));
+  }
+  result.makespan = sim.makespan();
+  if (result.makespan > 0.0) {
+    result.mobile_utilization = sim.busy_time(resources.mobile) / result.makespan;
+    result.link_utilization = sim.busy_time(resources.link) / result.makespan;
+    result.cloud_utilization = sim.busy_time(resources.cloud) / result.makespan;
+  }
+  return result;
+}
+
+}  // namespace
+
+SimResult simulate_plan(const dnn::Graph& graph,
+                        const partition::ProfileCurve& curve,
+                        const core::ExecutionPlan& plan,
+                        const profile::LatencyModel& mobile,
+                        const profile::LatencyModel& cloud,
+                        const net::Channel& channel, const SimOptions& options,
+                        util::Rng& rng) {
+  std::vector<MixedJob> jobs;
+  jobs.reserve(plan.jobs.size());
+  for (const core::JobAssignment& assignment : plan.jobs) {
+    jobs.push_back(MixedJob{&graph, &curve, assignment.cut_index,
+                            assignment.job_id});
+  }
+  return run_jobs(jobs, mobile, cloud, channel, options, rng);
+}
+
+SimResult simulate_mixed_plan(const std::vector<MixedJob>& jobs,
+                              const profile::LatencyModel& mobile,
+                              const profile::LatencyModel& cloud,
+                              const net::Channel& channel,
+                              const SimOptions& options, util::Rng& rng) {
+  return run_jobs(jobs, mobile, cloud, channel, options, rng);
+}
+
+}  // namespace jps::sim

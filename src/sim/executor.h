@@ -1,0 +1,86 @@
+// Execute an ExecutionPlan on the simulated testbed at per-layer
+// granularity, with optional measurement noise — the end-to-end validation
+// that the planner's predicted makespans correspond to what a real pipeline
+// would do (and the source of the "measured" columns in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/plan.h"
+#include "dnn/graph.h"
+#include "net/channel.h"
+#include "partition/profile_curve.h"
+#include "profile/latency_model.h"
+#include "util/rng.h"
+
+namespace jps::sim {
+
+/// Noise and fidelity knobs for one simulated run.
+struct SimOptions {
+  /// Log-normal sigma on every layer execution (both devices).
+  double comp_noise_sigma = 0.0;
+  /// Log-normal sigma on every transfer.
+  double comm_noise_sigma = 0.0;
+  /// Model the cloud stage (3-stage pipeline). Off = ideal 2-stage pipe.
+  bool include_cloud = true;
+};
+
+/// Timeline of one simulated job.
+struct SimJobResult {
+  int job_id = 0;
+  std::size_t cut_index = 0;
+  double comp_start = 0.0;
+  double comp_end = 0.0;
+  double comm_start = 0.0;
+  double comm_end = 0.0;
+  double cloud_start = 0.0;
+  double cloud_end = 0.0;
+
+  [[nodiscard]] double completion() const {
+    return cloud_end > 0.0 ? cloud_end : (comm_end > 0.0 ? comm_end : comp_end);
+  }
+};
+
+/// Aggregate of one simulated plan execution.
+struct SimResult {
+  std::vector<SimJobResult> jobs;  // in plan (processing) order
+  double makespan = 0.0;
+  /// Busy fractions of each resource over the makespan, in [0, 1].
+  double mobile_utilization = 0.0;
+  double link_utilization = 0.0;
+  double cloud_utilization = 0.0;
+};
+
+/// Simulate `plan` for the jobs of `graph`.  `curve` must be the curve the
+/// plan was made from (it holds the per-cut local node sets).  Layer times
+/// come from the latency models; transfer times from the channel; noise and
+/// cloud fidelity from `options`.
+[[nodiscard]] SimResult simulate_plan(const dnn::Graph& graph,
+                                      const partition::ProfileCurve& curve,
+                                      const core::ExecutionPlan& plan,
+                                      const profile::LatencyModel& mobile,
+                                      const profile::LatencyModel& cloud,
+                                      const net::Channel& channel,
+                                      const SimOptions& options,
+                                      util::Rng& rng);
+
+/// One job of a mixed (multi-model) workload, in processing order.
+struct MixedJob {
+  const dnn::Graph* graph = nullptr;
+  const partition::ProfileCurve* curve = nullptr;
+  std::size_t cut_index = 0;
+  int job_id = 0;
+};
+
+/// Simulate a heterogeneous job sequence (e.g. a core::HeteroPlan): each
+/// job runs its own model partitioned at its own cut, sharing the mobile
+/// CPU, uplink and cloud GPU resources in the given order.
+[[nodiscard]] SimResult simulate_mixed_plan(const std::vector<MixedJob>& jobs,
+                                            const profile::LatencyModel& mobile,
+                                            const profile::LatencyModel& cloud,
+                                            const net::Channel& channel,
+                                            const SimOptions& options,
+                                            util::Rng& rng);
+
+}  // namespace jps::sim

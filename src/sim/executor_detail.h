@@ -1,0 +1,45 @@
+// Internal building blocks shared by the plan executors (single-device,
+// mixed-workload, shared-link).  Not part of the public API.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "dnn/graph.h"
+#include "net/channel.h"
+#include "partition/profile_curve.h"
+#include "profile/latency_model.h"
+#include "sim/event_sim.h"
+#include "sim/executor.h"
+#include "util/rng.h"
+
+namespace jps::sim::detail {
+
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+struct JobTasks {
+  std::vector<TaskId> local;
+  TaskId transfer = kNoTask;
+  std::vector<TaskId> remote;
+};
+
+struct Resources {
+  ResourceId mobile;
+  ResourceId link;
+  ResourceId cloud;
+};
+
+/// Submit every task of one partitioned job (mobile layers -> transfer ->
+/// cloud layers).  Submission order across calls defines FIFO priority.
+JobTasks submit_job(EventSimulator& sim, const Resources& resources,
+                    const dnn::Graph& graph, const partition::CutPoint& cut,
+                    std::size_t job_tag, const profile::LatencyModel& mobile,
+                    const profile::LatencyModel& cloud,
+                    const net::Channel& channel, const SimOptions& options,
+                    util::Rng& rng);
+
+/// Read one job's stage timeline back out of a finished simulation.
+SimJobResult collect(const EventSimulator& sim, const JobTasks& tasks,
+                     int job_id, std::size_t cut_index);
+
+}  // namespace jps::sim::detail

@@ -1,0 +1,36 @@
+#include "sim/monte_carlo.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace jps::sim {
+
+util::Summary monte_carlo_makespan(const dnn::Graph& graph,
+                                   const partition::ProfileCurve& curve,
+                                   const core::ExecutionPlan& plan,
+                                   const profile::LatencyModel& mobile,
+                                   const profile::LatencyModel& cloud,
+                                   const net::Channel& channel,
+                                   const MonteCarloOptions& options) {
+  if (options.trials < 1)
+    throw std::invalid_argument("monte_carlo_makespan: trials < 1");
+
+  SimOptions sim_options;
+  sim_options.comp_noise_sigma = options.comp_noise_sigma;
+  sim_options.comm_noise_sigma = options.comm_noise_sigma;
+  sim_options.include_cloud = options.include_cloud;
+
+  std::vector<double> makespans(static_cast<std::size_t>(options.trials));
+  // Each trial gets its own deterministic stream: seed + trial index.
+  util::parallel_for(makespans.size(), [&](std::size_t trial) {
+    util::Rng rng(options.seed + static_cast<std::uint64_t>(trial) * 1000003ull);
+    makespans[trial] = simulate_plan(graph, curve, plan, mobile, cloud,
+                                     channel, sim_options, rng)
+                           .makespan;
+  });
+  return util::summarize(makespans);
+}
+
+}  // namespace jps::sim

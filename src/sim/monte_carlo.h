@@ -1,0 +1,30 @@
+// Monte-Carlo plan evaluation: execute the same plan many times under
+// measurement noise and report the makespan distribution.  Used for tail
+// latency analysis (p95/p99 response matters more than the mean for the
+// AR/self-driving workloads of §1).
+#pragma once
+
+#include "sim/executor.h"
+#include "util/stats.h"
+
+namespace jps::sim {
+
+/// Settings of a Monte-Carlo campaign.
+struct MonteCarloOptions {
+  int trials = 101;
+  /// Per-layer and per-transfer log-normal noise.
+  double comp_noise_sigma = 0.10;
+  double comm_noise_sigma = 0.10;
+  bool include_cloud = true;
+  std::uint64_t seed = 1;
+};
+
+/// Run `plan` `trials` times with independent noise draws and summarize the
+/// resulting makespans.  Trials are spread across cores.
+[[nodiscard]] util::Summary monte_carlo_makespan(
+    const dnn::Graph& graph, const partition::ProfileCurve& curve,
+    const core::ExecutionPlan& plan, const profile::LatencyModel& mobile,
+    const profile::LatencyModel& cloud, const net::Channel& channel,
+    const MonteCarloOptions& options);
+
+}  // namespace jps::sim

@@ -1,0 +1,94 @@
+#include "sim/shared_link.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "partition/profile_curve.h"
+#include "sim/event_sim.h"
+#include "sim/executor_detail.h"
+
+namespace jps::sim {
+
+SharedLinkResult plan_and_simulate_shared(std::span<const SharedDevice> devices,
+                                          const net::Channel& link,
+                                          core::Strategy strategy,
+                                          SharePolicy policy,
+                                          const profile::LatencyModel& cloud,
+                                          const SimOptions& options,
+                                          util::Rng& rng) {
+  if (devices.empty())
+    throw std::invalid_argument("plan_and_simulate_shared: no devices");
+  for (const SharedDevice& device : devices) {
+    if (device.graph == nullptr)
+      throw std::invalid_argument("plan_and_simulate_shared: null graph");
+    if (device.jobs < 1)
+      throw std::invalid_argument("plan_and_simulate_shared: jobs < 1");
+  }
+
+  // 1. Plan each device under its policy's view of the link.
+  const double planning_mbps =
+      policy == SharePolicy::kFairShare
+          ? link.bandwidth_mbps() / static_cast<double>(devices.size())
+          : link.bandwidth_mbps();
+  const net::Channel planning_link = link.with_bandwidth(planning_mbps);
+
+  SharedLinkResult result;
+  std::vector<partition::ProfileCurve> curves;
+  curves.reserve(devices.size());
+  for (const SharedDevice& device : devices) {
+    curves.push_back(partition::ProfileCurve::build(*device.graph,
+                                                    device.mobile,
+                                                    planning_link));
+    const core::Planner planner(curves.back());
+    result.plans.push_back(planner.plan(strategy, device.jobs));
+  }
+
+  // 2. Execute everything against the REAL link: one CPU per device, one
+  // shared uplink, one cloud GPU.  Jobs are submitted round-robin across
+  // devices so FIFO link arbitration interleaves them fairly.
+  EventSimulator sim;
+  std::vector<detail::Resources> device_resources;
+  const ResourceId r_link = sim.add_resource("uplink");
+  const ResourceId r_cloud = sim.add_resource("cloud_gpu");
+  for (const SharedDevice& device : devices) {
+    device_resources.push_back(detail::Resources{
+        sim.add_resource("cpu:" + device.name), r_link, r_cloud});
+  }
+
+  std::size_t max_jobs = 0;
+  for (const auto& plan : result.plans)
+    max_jobs = std::max(max_jobs, plan.jobs.size());
+
+  // Per device, per job-position: the submitted task handles.
+  std::vector<std::vector<detail::JobTasks>> tasks(devices.size());
+  std::size_t tag = 0;
+  for (std::size_t position = 0; position < max_jobs; ++position) {
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const core::ExecutionPlan& plan = result.plans[d];
+      if (position >= plan.jobs.size()) continue;
+      const partition::CutPoint& cut =
+          curves[d].cut(plan.jobs[position].cut_index);
+      tasks[d].push_back(detail::submit_job(
+          sim, device_resources[d], *devices[d].graph, cut, tag++,
+          devices[d].mobile, cloud, link, options, rng));
+    }
+  }
+  sim.run();
+
+  result.makespan = sim.makespan();
+  result.device_makespans.resize(devices.size(), 0.0);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    for (std::size_t j = 0; j < tasks[d].size(); ++j) {
+      const SimJobResult job = detail::collect(
+          sim, tasks[d][j], static_cast<int>(j),
+          result.plans[d].jobs[j].cut_index);
+      result.device_makespans[d] =
+          std::max(result.device_makespans[d], job.completion());
+    }
+  }
+  if (result.makespan > 0.0)
+    result.link_utilization = sim.busy_time(r_link) / result.makespan;
+  return result;
+}
+
+}  // namespace jps::sim

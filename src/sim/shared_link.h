@@ -1,0 +1,61 @@
+// Multi-device deployments: M mobile devices offloading through ONE shared
+// uplink to one cloud server.
+//
+// The paper plans for a single device; with contention the effective
+// bandwidth each device sees depends on everyone else's plan.  This module
+// evaluates two planning policies end-to-end:
+//   * kFullBandwidth — every device plans as if it owned the link (the
+//     naive reuse of the single-device planner);
+//   * kFairShare    — every device plans against bandwidth/M, anticipating
+//     contention (which pushes its cuts deeper / more local).
+// Either way the SIMULATION is the ground truth: one exclusive link serves
+// all transfers at full rate, FIFO.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/planner.h"
+#include "sim/executor.h"
+
+namespace jps::sim {
+
+/// One mobile device and its workload.
+struct SharedDevice {
+  std::string name;
+  const dnn::Graph* graph = nullptr;
+  profile::LatencyModel mobile;
+  int jobs = 0;
+};
+
+/// How each device's planner models the shared link.
+enum class SharePolicy {
+  kFullBandwidth,
+  kFairShare,
+};
+
+/// Outcome of planning + executing a multi-device deployment.
+struct SharedLinkResult {
+  /// Global makespan across all devices, ms.
+  double makespan = 0.0;
+  /// Completion time of each device's last job, ms (device order).
+  std::vector<double> device_makespans;
+  /// Shared-uplink busy fraction.
+  double link_utilization = 0.0;
+  /// The per-device plans that were executed.
+  std::vector<core::ExecutionPlan> plans;
+};
+
+/// Plan every device with `strategy` under `policy`, then execute all
+/// devices against the real shared link (one CPU resource per device, one link,
+/// one cloud GPU; jobs interleaved round-robin across devices).
+/// Throws std::invalid_argument on empty input or null graphs.
+[[nodiscard]] SharedLinkResult plan_and_simulate_shared(
+    std::span<const SharedDevice> devices, const net::Channel& link,
+    core::Strategy strategy, SharePolicy policy,
+    const profile::LatencyModel& cloud, const SimOptions& options,
+    util::Rng& rng);
+
+}  // namespace jps::sim

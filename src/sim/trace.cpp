@@ -1,0 +1,57 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace jps::sim {
+
+namespace {
+
+// Paint [start, end) onto a width-wide canvas spanning [0, makespan).
+void paint(std::string& row, double start, double end, double makespan,
+           char symbol) {
+  if (makespan <= 0.0 || end <= start) return;
+  const auto width = static_cast<double>(row.size());
+  auto lo = static_cast<std::size_t>(start / makespan * width);
+  auto hi = static_cast<std::size_t>(end / makespan * width);
+  lo = std::min(lo, row.size() - 1);
+  hi = std::min(std::max(hi, lo + 1), row.size());
+  for (std::size_t i = lo; i < hi; ++i) row[i] = symbol;
+}
+
+}  // namespace
+
+std::string ascii_gantt(const SimResult& result, int width) {
+  std::ostringstream os;
+  const auto w = static_cast<std::size_t>(std::max(10, width));
+  os << "time 0 " << std::string(w > 12 ? w - 12 : 0, '-') << " "
+     << result.makespan << " ms\n";
+  for (const SimJobResult& job : result.jobs) {
+    std::string row(w, '.');
+    paint(row, job.comp_start, job.comp_end, result.makespan, 'M');
+    paint(row, job.comm_start, job.comm_end, result.makespan, '>');
+    paint(row, job.cloud_start, job.cloud_end, result.makespan, 'C');
+    os << "job " << job.job_id;
+    if (job.job_id < 10) os << ' ';
+    os << " |" << row << "|\n";
+  }
+  os << "legend: M mobile compute, > uplink transfer, C cloud compute\n";
+  return os.str();
+}
+
+std::string timeline_csv(const SimResult& result) {
+  std::ostringstream os;
+  os << "job_id,cut_index,comp_start,comp_end,comm_start,comm_end,cloud_start,"
+        "cloud_end,completion\n";
+  os.precision(6);
+  os << std::fixed;
+  for (const SimJobResult& job : result.jobs) {
+    os << job.job_id << ',' << job.cut_index << ',' << job.comp_start << ','
+       << job.comp_end << ',' << job.comm_start << ',' << job.comm_end << ','
+       << job.cloud_start << ',' << job.cloud_end << ',' << job.completion()
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace jps::sim

@@ -1,0 +1,17 @@
+// Human-readable renderings of simulated timelines.
+#pragma once
+
+#include <string>
+
+#include "sim/executor.h"
+
+namespace jps::sim {
+
+/// Render per-job stage bars (mobile compute / uplink / cloud) as an ASCII
+/// Gantt chart of `width` characters across the makespan.
+[[nodiscard]] std::string ascii_gantt(const SimResult& result, int width = 100);
+
+/// CSV rendering: one row per job with all stage start/end times.
+[[nodiscard]] std::string timeline_csv(const SimResult& result);
+
+}  // namespace jps::sim

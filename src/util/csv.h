@@ -1,0 +1,39 @@
+// Minimal CSV writer.  Benches optionally dump their series here so figures
+// can be re-plotted outside the repo; values are RFC-4180 quoted when needed.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace jps::util {
+
+/// Streaming CSV writer bound to a file path.  The file is truncated on
+/// construction and flushed on destruction.
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row.
+  /// Throws std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row of already-formatted cells.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Append one row of doubles (formatted with max precision).
+  void add_row(const std::vector<double>& values);
+
+  /// Number of data rows written.
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Quote a single cell per RFC 4180 if it contains a comma, quote or newline.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace jps::util

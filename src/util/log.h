@@ -1,0 +1,43 @@
+// Leveled logging to stderr.  Benches default to Info; tests silence to Warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace jps::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Set the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global threshold.
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one line at `level` (thread-safe; single write per line).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-style builder that emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace jps::util
+
+#define JPS_LOG_DEBUG ::jps::util::detail::LogStream(::jps::util::LogLevel::kDebug)
+#define JPS_LOG_INFO ::jps::util::detail::LogStream(::jps::util::LogLevel::kInfo)
+#define JPS_LOG_WARN ::jps::util::detail::LogStream(::jps::util::LogLevel::kWarn)
+#define JPS_LOG_ERROR ::jps::util::detail::LogStream(::jps::util::LogLevel::kError)

@@ -1,0 +1,103 @@
+#include "util/ols.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace jps::util {
+
+double r_squared(std::span<const double> ys, std::span<const double> predictions) {
+  assert(ys.size() == predictions.size());
+  if (ys.empty()) return 0.0;
+  const double m = mean(ys);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_res += (ys[i] - predictions[i]) * (ys[i] - predictions[i]);
+    ss_tot += (ys[i] - m) * (ys[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n == 0) return fit;
+  if (n == 1) {
+    fit.intercept = ys[0];
+    fit.r2 = 1.0;
+    return fit;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx == 0.0) {
+    fit.intercept = my;  // all x identical: best constant fit
+  } else {
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+  }
+  std::vector<double> pred(n);
+  for (std::size_t i = 0; i < n; ++i) pred[i] = fit(xs[i]);
+  fit.r2 = r_squared(ys, pred);
+  return fit;
+}
+
+double ExponentialFit::operator()(double x) const {
+  return scale * std::exp(-decay * x) + floor;
+}
+
+ExponentialFit fit_exponential(std::span<const double> xs,
+                               std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  ExponentialFit best;
+  const std::size_t n = xs.size();
+  if (n == 0) return best;
+  const double ymin = min(ys);
+  double best_r2 = -std::numeric_limits<double>::infinity();
+
+  // Scan candidate floors below the smallest observation; for each, the model
+  // becomes log(y - floor) = log(scale) - decay * x, a plain line fit.
+  constexpr int kFloorSteps = 64;
+  for (int step = 0; step <= kFloorSteps; ++step) {
+    const double floor =
+        ymin * static_cast<double>(step) / static_cast<double>(kFloorSteps + 1);
+    std::vector<double> lx;
+    std::vector<double> ly;
+    lx.reserve(n);
+    ly.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double shifted = ys[i] - floor;
+      if (shifted <= 0.0) continue;  // cannot take log; drop the point
+      lx.push_back(xs[i]);
+      ly.push_back(std::log(shifted));
+    }
+    if (lx.size() < 2) continue;
+    const LinearFit line = fit_linear(lx, ly);
+    ExponentialFit cand;
+    cand.scale = std::exp(line.intercept);
+    cand.decay = -line.slope;
+    cand.floor = floor;
+    std::vector<double> pred(n);
+    for (std::size_t i = 0; i < n; ++i) pred[i] = cand(xs[i]);
+    cand.r2 = r_squared(ys, pred);
+    if (cand.r2 > best_r2) {
+      best_r2 = cand.r2;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace jps::util

@@ -1,0 +1,55 @@
+// Ordinary least squares fits used by the latency estimators.
+//
+// The paper (§6.1) estimates communication time with a simple linear
+// regression t = w0 + w1 * (size / bandwidth), and observes (§3.2) that the
+// local computation curve f is near-linear in the cut depth while the
+// communication curve g is convex (near-exponential) decreasing.  The three
+// fits below cover those cases:
+//   * LinearFit       y = a + b x         (closed form OLS)
+//   * ExponentialFit  y = c * exp(-d x)+e (log-space OLS with floor search)
+#pragma once
+
+#include <span>
+
+namespace jps::util {
+
+/// Result of a simple linear regression y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  /// Coefficient of determination of the fit on the training points.
+  double r2 = 0.0;
+
+  /// Evaluate the fitted line at x.
+  [[nodiscard]] double operator()(double x) const { return intercept + slope * x; }
+};
+
+/// Closed-form OLS line fit. Requires xs.size() == ys.size(); with fewer than
+/// two points the fit degenerates to a constant (slope 0).
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs,
+                                   std::span<const double> ys);
+
+/// Result of fitting y = scale * exp(-decay * x) + floor.
+/// Convex and decreasing for scale > 0, decay > 0 — exactly the shape the
+/// paper assumes for the communication curve g.
+struct ExponentialFit {
+  double scale = 0.0;
+  double decay = 0.0;
+  double floor = 0.0;
+  double r2 = 0.0;
+
+  /// Evaluate the fitted curve at x.
+  [[nodiscard]] double operator()(double x) const;
+};
+
+/// Fit y = scale*exp(-decay*x) + floor by scanning candidate floors and
+/// solving the remaining two parameters in log space. All ys must be finite;
+/// points with y <= floor candidate are clamped away from the log.
+[[nodiscard]] ExponentialFit fit_exponential(std::span<const double> xs,
+                                             std::span<const double> ys);
+
+/// R^2 of arbitrary predictions against observations (1 - SS_res/SS_tot).
+[[nodiscard]] double r_squared(std::span<const double> ys,
+                               std::span<const double> predictions);
+
+}  // namespace jps::util

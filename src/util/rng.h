@@ -1,0 +1,53 @@
+// Deterministic random-number helper.  All stochastic components of the
+// library (profiler measurement noise, channel jitter, workload generators)
+// take an explicit Rng so experiments are reproducible from a seed printed in
+// the harness output.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace jps::util {
+
+/// Thin wrapper over std::mt19937_64 with the distributions we need.
+/// Copyable; copies continue the same stream independently.
+class Rng {
+ public:
+  /// Seed the generator. The default seed is arbitrary but fixed.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double sd) {
+    return std::normal_distribution<double>(mean, sd)(engine_);
+  }
+
+  /// Multiplicative log-normal noise factor with median 1.  `sigma` is the
+  /// standard deviation of the underlying normal; sigma = 0 returns exactly 1.
+  [[nodiscard]] double lognormal_factor(double sigma) {
+    if (sigma <= 0.0) return 1.0;
+    return std::exp(std::normal_distribution<double>(0.0, sigma)(engine_));
+  }
+
+  /// Bernoulli trial with probability p of true.
+  [[nodiscard]] bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Access the raw engine (for std::shuffle and custom distributions).
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace jps::util

@@ -1,0 +1,80 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace jps::util {
+
+double sum(std::span<const double> xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+namespace {
+
+// Percentile of an already-sorted vector with linear interpolation between
+// closest ranks (the "exclusive" scheme used by numpy's default).
+double sorted_percentile(const std::vector<double>& s, double p) {
+  if (s.empty()) return 0.0;
+  if (s.size() == 1) return s.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] + (s[hi] - s[lo]) * frac;
+}
+
+}  // namespace
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double p) {
+  std::vector<double> s(xs.begin(), xs.end());
+  std::sort(s.begin(), s.end());
+  return sorted_percentile(s, p);
+}
+
+double min(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = sorted_percentile(sorted, 25.0);
+  s.median = sorted_percentile(sorted, 50.0);
+  s.p75 = sorted_percentile(sorted, 75.0);
+  s.p95 = sorted_percentile(sorted, 95.0);
+  return s;
+}
+
+}  // namespace jps::util

@@ -1,0 +1,52 @@
+// Small descriptive-statistics toolkit used by the profiler (median-of-trials),
+// the benchmark harness (confidence reporting) and the tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace jps::util {
+
+/// Arithmetic mean. Returns 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample variance (n-1 denominator). Returns 0 for fewer than two samples.
+[[nodiscard]] double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Median (copy + nth_element; input untouched). Returns 0 for empty input.
+[[nodiscard]] double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Returns 0 for empty input.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Minimum; 0 for empty input.
+[[nodiscard]] double min(std::span<const double> xs);
+
+/// Maximum; 0 for empty input.
+[[nodiscard]] double max(std::span<const double> xs);
+
+/// Sum of all elements.
+[[nodiscard]] double sum(std::span<const double> xs);
+
+/// Summary bundle for one sample set; computed in a single pass over a sorted
+/// copy so callers do not re-sort per statistic.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+/// Compute the full Summary of a sample set.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace jps::util

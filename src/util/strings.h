@@ -1,0 +1,26 @@
+// String helpers shared by the lookup-table serializer and the harnesses.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jps::util {
+
+/// Split on a single-character delimiter. Empty fields are preserved.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Join items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+}  // namespace jps::util

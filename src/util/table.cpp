@@ -1,0 +1,111 @@
+#include "util/table.h"
+
+#include <cassert>
+#include <cstdint>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace jps::util {
+
+namespace {
+constexpr const char* kSeparatorSentinel = "\x01--";
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  assert(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  assert(cells.size() <= header_.size());
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::size_t Table::row_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_)
+    if (r[0] != kSeparatorSentinel) ++n;
+  return n;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row[0] == kSeparatorSentinel) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << cells[c]
+         << " |";
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row[0] == kSeparatorSentinel) {
+      print_rule();
+    } else {
+      print_cells(row);
+    }
+  }
+  print_rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) { return os << t.str(); }
+
+std::string format_ms(double ms) {
+  std::ostringstream os;
+  if (ms >= 100.0) {
+    os << std::fixed << std::setprecision(1) << ms;
+  } else if (ms >= 1.0) {
+    os << std::fixed << std::setprecision(2) << ms;
+  } else {
+    os << std::fixed << std::setprecision(4) << ms;
+  }
+  return os.str();
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1024.0 && unit < 3) {
+    v /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(unit == 0 ? 0 : 1) << v << ' '
+     << kUnits[unit];
+  return os.str();
+}
+
+std::string format_pct(double ratio) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << ratio * 100.0 << '%';
+  return os.str();
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+}  // namespace jps::util

@@ -1,0 +1,54 @@
+// ASCII table renderer for the benchmark harness.  Every figure/table bench
+// prints its rows through this so the output format is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace jps::util {
+
+/// Column-aligned ASCII table.  Usage:
+///   Table t({"model", "LO (ms)", "JPS (ms)"});
+///   t.add_row({"AlexNet", format_ms(lo), format_ms(jps)});
+///   std::cout << t;
+class Table {
+ public:
+  /// Construct with header labels; the column count is fixed from here on.
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row. Rows shorter than the header are padded with empty
+  /// cells; longer rows are a programming error (asserted).
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  /// Number of data rows added so far (separators excluded).
+  [[nodiscard]] std::size_t row_count() const;
+
+  /// Render to a string (also used by operator<<).
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the sentinel single cell "\x01--" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+/// Format a millisecond quantity with adaptive precision ("123.4", "0.012").
+[[nodiscard]] std::string format_ms(double ms);
+
+/// Format a byte count with binary units ("1.5 MiB").
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Format a ratio as a percentage with one decimal ("42.1%").
+[[nodiscard]] std::string format_pct(double ratio);
+
+/// Fixed-precision double.
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+}  // namespace jps::util

@@ -1,0 +1,87 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace jps::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> fut = packaged.get_future();
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions are captured in the packaged_task's future
+  }
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads) {
+  if (count == 0) return;
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, count);
+
+  // Small trip counts are not worth thread start/wake costs.
+  if (threads <= 1 || count < 4) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::thread> team;
+  team.reserve(threads);
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+
+  // Static block decomposition: worker t owns [t*chunk, min((t+1)*chunk, n)).
+  const std::size_t chunk = (count + threads - 1) / threads;
+  for (std::size_t t = 0; t < threads; ++t) {
+    const std::size_t begin = t * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    team.emplace_back([&, begin, end] {
+      try {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(err_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace jps::util

@@ -1,0 +1,57 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// The heavy loops in this repo — brute-force partition search (Fig. 11),
+// bandwidth sweeps (Fig. 13), and Monte-Carlo simulator validation — are
+// embarrassingly parallel over independent work items, so a simple static
+// block decomposition (the OpenMP "schedule(static)" idiom) is enough.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace jps::util {
+
+/// A joinable fixed-size worker pool.  Tasks are std::function<void()>.
+/// Destruction drains the queue and joins all workers (RAII; never detaches).
+class ThreadPool {
+ public:
+  /// Start `threads` workers (defaults to hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Finish queued tasks and join.
+  ~ThreadPool();
+
+  /// Enqueue a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run body(i) for i in [0, count) across `threads` workers using static
+/// block decomposition.  Blocks until all iterations finish.  Exceptions in
+/// the body propagate to the caller (first one wins).
+/// With threads <= 1 or count small, runs inline with zero overhead.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t threads = 0);
+
+}  // namespace jps::util

@@ -1,0 +1,44 @@
+// Unit-safe helpers for the quantities that flow through the whole library.
+//
+// Conventions used everywhere in jps::
+//   * time        -> double, milliseconds
+//   * data size   -> std::uint64_t, bytes
+//   * bandwidth   -> double, megabits per second (Mbps), converted here
+//   * compute     -> double, FLOPs (multiply-accumulate counted as 2 FLOPs)
+#pragma once
+
+#include <cstdint>
+
+namespace jps::util {
+
+/// Bits per byte; named to avoid magic numbers in conversions.
+inline constexpr double kBitsPerByte = 8.0;
+
+/// One megabit in bits (network convention: 10^6, not 2^20).
+inline constexpr double kBitsPerMegabit = 1e6;
+
+/// Milliseconds in one second.
+inline constexpr double kMsPerSecond = 1e3;
+
+/// Convert a bandwidth in Mbps to bytes per millisecond.
+[[nodiscard]] constexpr double mbps_to_bytes_per_ms(double mbps) {
+  return mbps * kBitsPerMegabit / kBitsPerByte / kMsPerSecond;
+}
+
+/// Time in milliseconds to push `bytes` through a link of `mbps` megabits/s.
+/// Pure serialization delay; propagation/setup latency is handled by the
+/// channel model (jps::net::Channel), not here.
+[[nodiscard]] constexpr double transfer_time_ms(std::uint64_t bytes, double mbps) {
+  return static_cast<double>(bytes) / mbps_to_bytes_per_ms(mbps);
+}
+
+/// Convert kibibytes to bytes (tensor sizes are often quoted in KiB).
+[[nodiscard]] constexpr std::uint64_t kib(std::uint64_t n) { return n * 1024ull; }
+
+/// Convert mebibytes to bytes.
+[[nodiscard]] constexpr std::uint64_t mib(std::uint64_t n) { return n * 1024ull * 1024ull; }
+
+/// Giga-FLOPs to FLOPs.
+[[nodiscard]] constexpr double gflops(double n) { return n * 1e9; }
+
+}  // namespace jps::util

@@ -1,0 +1,131 @@
+#include "core/alg3_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "dnn/layer.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+
+namespace jps::core {
+namespace {
+
+using dnn::Graph;
+using dnn::NodeId;
+using dnn::TensorShape;
+
+// Two parallel conv chains joined by a concat — a clean 2-path DAG whose
+// shared prefix (the input) is duplicated across paths.
+Graph make_two_branch() {
+  Graph g("two_branch");
+  const NodeId in = g.add(dnn::input(TensorShape::chw(3, 64, 64)));
+  NodeId a = g.add(dnn::conv2d(16, 3, 1, 1), {in});
+  a = g.add(dnn::activation(dnn::ActivationKind::kReLU), {a});
+  a = g.add(dnn::conv2d(16, 3, 2, 1), {a});
+  NodeId b = g.add(dnn::conv2d(16, 5, 2, 2), {in});
+  b = g.add(dnn::activation(dnn::ActivationKind::kReLU), {b});
+  const NodeId join = g.add(dnn::concat(), {a, b});
+  NodeId y = g.add(dnn::global_avg_pool(), {join});
+  y = g.add(dnn::flatten(), {y});
+  (void)g.add(dnn::dense(10), {y});
+  g.infer();
+  return g;
+}
+
+partition::NodeTimeFn mobile_fn(const Graph& g) {
+  static const profile::LatencyModel model(
+      profile::DeviceProfile::raspberry_pi_4b());
+  return [&g](NodeId id) { return model.node_time_ms(g, id); };
+}
+
+partition::CommTimeFn comm_fn() {
+  static const net::Channel channel = net::Channel::preset_4g();
+  return [](std::uint64_t bytes) { return channel.time_ms(bytes); };
+}
+
+TEST(Alg3Planner, UnitCountIsJobsTimesPaths) {
+  const Graph g = make_two_branch();
+  const Alg3Plan plan = plan_alg3(g, mobile_fn(g), comm_fn(), 5);
+  EXPECT_EQ(plan.paths_per_job, 2u);
+  EXPECT_EQ(plan.units.size(), 10u);
+}
+
+TEST(Alg3Planner, DedupNeverExceedsNaiveDuplication) {
+  const Graph g = make_two_branch();
+  const Alg3Plan plan = plan_alg3(g, mobile_fn(g), comm_fn(), 8);
+  EXPECT_LE(plan.makespan, plan.makespan_dup + 1e-9);
+  EXPECT_GT(plan.makespan, 0.0);
+}
+
+TEST(Alg3Planner, SharedNodesChargedOncePerJob) {
+  const Graph g = make_two_branch();
+  const Alg3Plan plan = plan_alg3(g, mobile_fn(g), comm_fn(), 3);
+  // Per job, the sum of actual f over its units must equal the cost of the
+  // union of their local prefixes — i.e. no node is paid twice.
+  const auto mobile = mobile_fn(g);
+  for (int job = 0; job < 3; ++job) {
+    double actual_sum = 0.0;
+    std::set<NodeId> union_nodes;
+    const auto cuts = partition::alg3_path_cuts(g, mobile, comm_fn());
+    for (const auto& unit : plan.units) {
+      if (unit.job_id != job) continue;
+      actual_sum += unit.f_actual;
+      for (const NodeId v : cuts[unit.path_index].local_nodes)
+        union_nodes.insert(v);
+    }
+    double union_cost = 0.0;
+    for (const NodeId v : union_nodes) union_cost += mobile(v);
+    EXPECT_NEAR(actual_sum, union_cost, 1e-9) << "job " << job;
+  }
+}
+
+TEST(Alg3Planner, IdenticalJobsGetIdenticalDupValues) {
+  const Graph g = make_two_branch();
+  const Alg3Plan plan = plan_alg3(g, mobile_fn(g), comm_fn(), 4);
+  // Ordering values depend only on the path, not on the job.
+  std::map<std::size_t, std::pair<double, double>> per_path;
+  for (const auto& unit : plan.units) {
+    const auto it = per_path.find(unit.path_index);
+    if (it == per_path.end()) {
+      per_path[unit.path_index] = {unit.f_dup, unit.g_dup};
+    } else {
+      EXPECT_DOUBLE_EQ(it->second.first, unit.f_dup);
+      EXPECT_DOUBLE_EQ(it->second.second, unit.g_dup);
+    }
+  }
+}
+
+TEST(Alg3Planner, SingleJobStillValid) {
+  const Graph g = make_two_branch();
+  const Alg3Plan plan = plan_alg3(g, mobile_fn(g), comm_fn(), 1);
+  EXPECT_EQ(plan.units.size(), plan.paths_per_job);
+  EXPECT_GT(plan.makespan, 0.0);
+}
+
+TEST(Alg3Planner, Validation) {
+  const Graph g = make_two_branch();
+  EXPECT_THROW(plan_alg3(g, mobile_fn(g), comm_fn(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(plan_alg3(g, mobile_fn(g), comm_fn(), 2, /*max_paths=*/1),
+               std::runtime_error);
+}
+
+TEST(Alg3Planner, LineGraphDegeneratesToSinglePath) {
+  Graph g("line");
+  NodeId x = g.add(dnn::input(TensorShape::chw(3, 32, 32)));
+  x = g.add(dnn::conv2d(8, 3, 1, 1), {x});
+  x = g.add(dnn::activation(dnn::ActivationKind::kReLU), {x});
+  x = g.add(dnn::pool2d(dnn::PoolKind::kMax, 2, 2), {x});
+  g.infer();
+  const Alg3Plan plan = plan_alg3(g, mobile_fn(g), comm_fn(), 6);
+  EXPECT_EQ(plan.paths_per_job, 1u);
+  // With one path there is nothing to deduplicate.
+  EXPECT_NEAR(plan.makespan, plan.makespan_dup, 1e-9);
+}
+
+}  // namespace
+}  // namespace jps::core

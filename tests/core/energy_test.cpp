@@ -1,0 +1,95 @@
+#include "core/energy.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+
+namespace jps::core {
+namespace {
+
+partition::ProfileCurve curve_for(const std::string& model, double mbps) {
+  static const profile::LatencyModel mobile(
+      profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build(model);
+  return partition::ProfileCurve::build(g, mobile, net::Channel(mbps));
+}
+
+TEST(Energy, JobEnergyIsLinearInStageLengths) {
+  const auto curve = curve_for("alexnet", 5.85);
+  const EnergyModel energy(PowerProfile{2.0, 1.0, 0.5});
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_DOUBLE_EQ(energy.job_energy_mj(curve, i),
+                     2.0 * curve.f(i) + 1.0 * curve.g(i));
+  }
+}
+
+TEST(Energy, OptimalCutMinimizesOverCurve) {
+  const auto curve = curve_for("alexnet", 5.85);
+  const EnergyModel energy(PowerProfile::raspberry_pi_4b());
+  const std::size_t best = energy.energy_optimal_cut(curve);
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    EXPECT_LE(energy.job_energy_mj(curve, best),
+              energy.job_energy_mj(curve, i) + 1e-12);
+}
+
+TEST(Energy, EnergyAndLatencyOptimaCanDiffer) {
+  // When radio power is far below compute power, the energy optimum pushes
+  // toward shallower cuts than the latency optimum at low bandwidth.
+  const auto curve = curve_for("alexnet", 1.1);
+  const EnergyModel cheap_radio(PowerProfile{6.0, 0.05, 0.5});
+  const core::Planner planner(curve);
+  const std::size_t latency_cut = planner.single_job_optimal_cut();
+  const std::size_t energy_cut = cheap_radio.energy_optimal_cut(curve);
+  EXPECT_LT(energy_cut, latency_cut);
+}
+
+TEST(Energy, ScheduleEnergyAccountsIdleTime) {
+  const auto curve = curve_for("alexnet", 5.85);
+  const EnergyModel energy(PowerProfile{2.0, 1.0, 0.5});
+  const std::vector<std::size_t> cuts{0, curve.local_only_index()};
+  const double busy =
+      curve.f(0) + curve.g(0) +
+      curve.f(curve.local_only_index()) + curve.g(curve.local_only_index());
+  const double active = energy.job_energy_mj(curve, 0) +
+                        energy.job_energy_mj(curve, curve.local_only_index());
+  // Makespan larger than busy time: the slack is billed at idle power.
+  const double makespan = busy + 100.0;
+  EXPECT_NEAR(energy.schedule_energy_mj(curve, cuts, makespan),
+              active + 100.0 * 0.5, 1e-9);
+  // Makespan below busy time (pipelining): no idle term, never negative.
+  EXPECT_NEAR(energy.schedule_energy_mj(curve, cuts, busy * 0.5), active,
+              1e-9);
+}
+
+TEST(Energy, ScheduleEnergyValidatesCuts) {
+  const auto curve = curve_for("alexnet", 5.85);
+  const EnergyModel energy(PowerProfile::raspberry_pi_4b());
+  const std::vector<std::size_t> bad{curve.size()};
+  EXPECT_THROW((void)energy.schedule_energy_mj(curve, bad, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Energy, OffloadingSavesEnergyAtHighBandwidth) {
+  // At Wi-Fi rates the JPS plan must beat local-only on energy too: less
+  // compute time at modest radio cost.
+  const auto curve = curve_for("alexnet", 18.88);
+  const EnergyModel energy(PowerProfile::raspberry_pi_4b());
+  const core::Planner planner(curve);
+  const auto jps = planner.plan(Strategy::kJPS, 20);
+  const auto lo = planner.plan(Strategy::kLocalOnly, 20);
+  std::vector<std::size_t> jps_cuts;
+  std::vector<std::size_t> lo_cuts;
+  for (const auto& j : jps.jobs) jps_cuts.push_back(j.cut_index);
+  for (const auto& j : lo.jobs) lo_cuts.push_back(j.cut_index);
+  EXPECT_LT(energy.schedule_energy_mj(curve, jps_cuts, jps.predicted_makespan),
+            energy.schedule_energy_mj(curve, lo_cuts, lo.predicted_makespan));
+}
+
+}  // namespace
+}  // namespace jps::core

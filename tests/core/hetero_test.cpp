@@ -1,0 +1,185 @@
+#include "core/hetero.h"
+
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+#include "util/rng.h"
+
+namespace jps::core {
+namespace {
+
+partition::ProfileCurve curve_for(const std::string& model, double mbps) {
+  static const profile::LatencyModel mobile(
+      profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build(model);
+  return partition::ProfileCurve::build(g, mobile, net::Channel(mbps));
+}
+
+std::vector<JobClass> mixed_workload(double mbps, int n1 = 6, int n2 = 10) {
+  std::vector<JobClass> classes;
+  classes.push_back({"resnet18", curve_for("resnet18", mbps), n1});
+  classes.push_back({"mobilenet_v2", curve_for("mobilenet_v2", mbps), n2});
+  return classes;
+}
+
+// Exhaustive baseline for tiny instances: every per-job cut combination,
+// evaluated with Johnson + the flow-shop recurrence.
+double exhaustive_best(const std::vector<JobClass>& classes) {
+  std::vector<const partition::ProfileCurve*> job_curves;
+  for (const JobClass& jc : classes)
+    for (int j = 0; j < jc.count; ++j) job_curves.push_back(&jc.curve);
+
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> cuts(job_curves.size(), 0);
+  const std::function<void(std::size_t)> recurse = [&](std::size_t pos) {
+    if (pos == cuts.size()) {
+      sched::JobList jobs;
+      for (std::size_t i = 0; i < cuts.size(); ++i) {
+        jobs.push_back(sched::Job{.id = static_cast<int>(i),
+                                  .cut = static_cast<int>(cuts[i]),
+                                  .f = job_curves[i]->f(cuts[i]),
+                                  .g = job_curves[i]->g(cuts[i])});
+      }
+      const auto schedule = sched::johnson_order(jobs);
+      best = std::min(
+          best, sched::flowshop2_makespan(sched::apply_order(jobs, schedule.order)));
+      return;
+    }
+    for (std::size_t c = 0; c < job_curves[pos]->size(); ++c) {
+      cuts[pos] = c;
+      recurse(pos + 1);
+    }
+  };
+  recurse(0);
+  return best;
+}
+
+TEST(Hetero, Validation) {
+  EXPECT_THROW(plan_hetero({}, Strategy::kJPS), std::invalid_argument);
+  std::vector<JobClass> bad = mixed_workload(5.85);
+  bad[0].count = 0;
+  EXPECT_THROW(plan_hetero(bad, Strategy::kJPS), std::invalid_argument);
+  EXPECT_THROW(plan_hetero(mixed_workload(5.85), Strategy::kBruteForce),
+               std::invalid_argument);
+}
+
+TEST(Hetero, UnitCountsAndIdentity) {
+  const auto classes = mixed_workload(5.85, 3, 5);
+  const HeteroPlan plan = plan_hetero(classes, Strategy::kJPS);
+  ASSERT_EQ(plan.scheduled.size(), 8u);
+  int per_class[2] = {0, 0};
+  for (const HeteroUnit& unit : plan.scheduled) {
+    ASSERT_GE(unit.class_index, 0);
+    ASSERT_LT(unit.class_index, 2);
+    ++per_class[unit.class_index];
+    const auto& curve = classes[static_cast<std::size_t>(unit.class_index)].curve;
+    EXPECT_DOUBLE_EQ(unit.f, curve.f(unit.cut_index));
+    EXPECT_DOUBLE_EQ(unit.g, curve.g(unit.cut_index));
+  }
+  EXPECT_EQ(per_class[0], 3);
+  EXPECT_EQ(per_class[1], 5);
+}
+
+TEST(Hetero, ScheduleIsJohnson) {
+  const HeteroPlan plan = plan_hetero(mixed_workload(5.85), Strategy::kJPS);
+  for (std::size_t i = 0; i < plan.comm_heavy_count; ++i) {
+    EXPECT_LT(plan.scheduled[i].f, plan.scheduled[i].g);
+    if (i > 0) {
+      EXPECT_GE(plan.scheduled[i].f, plan.scheduled[i - 1].f);
+    }
+  }
+  for (std::size_t i = plan.comm_heavy_count; i < plan.scheduled.size(); ++i) {
+    EXPECT_GE(plan.scheduled[i].f, plan.scheduled[i].g);
+    if (i > plan.comm_heavy_count) {
+      EXPECT_LE(plan.scheduled[i].g, plan.scheduled[i - 1].g);
+    }
+  }
+}
+
+TEST(Hetero, JpsDominatesBaselines) {
+  for (const double mbps : {1.1, 5.85, 18.88}) {
+    const auto classes = mixed_workload(mbps);
+    const double lo = plan_hetero(classes, Strategy::kLocalOnly).makespan;
+    const double co = plan_hetero(classes, Strategy::kCloudOnly).makespan;
+    const double po = plan_hetero(classes, Strategy::kPartitionOnly).makespan;
+    const double jps = plan_hetero(classes, Strategy::kJPS).makespan;
+    EXPECT_LE(jps, lo + 1e-6) << mbps;
+    EXPECT_LE(jps, co + 1e-6) << mbps;
+    EXPECT_LE(jps, po + 1e-6) << mbps;
+  }
+}
+
+TEST(Hetero, NearExhaustiveOnTinyInstances) {
+  // 2 classes x 2 jobs over small synthetic curves: compare against full
+  // enumeration.  The lambda balance is two-type per class, so allow the
+  // O(1/n) boundary slack.
+  util::Rng rng(11);
+  for (int trial = 0; trial < 15; ++trial) {
+    auto make_curve = [&](int k) {
+      std::vector<partition::CutPoint> cuts;
+      double f = 0.0;
+      double g = rng.uniform(10.0, 30.0);
+      for (int i = 0; i < k; ++i) {
+        partition::CutPoint c;
+        c.f = f;
+        c.g = g;
+        c.offload_bytes = 100;
+        cuts.push_back(c);
+        f += rng.uniform(0.5, 6.0);
+        g = std::max(0.0, g - rng.uniform(0.5, 9.0));
+      }
+      partition::CutPoint last;
+      last.f = f;
+      last.g = 0.0;
+      cuts.push_back(last);
+      return partition::ProfileCurve::from_candidates("synth", std::move(cuts));
+    };
+    std::vector<JobClass> classes;
+    classes.push_back({"a", make_curve(3), 2});
+    classes.push_back({"b", make_curve(4), 2});
+    const double jps = plan_hetero(classes, Strategy::kJPS).makespan;
+    const double best = exhaustive_best(classes);
+    EXPECT_GE(jps, best - 1e-9) << trial;
+    EXPECT_LE(jps, best * 1.40 + 1e-9) << trial;  // n=4 -> 1.5/n slack band
+  }
+}
+
+TEST(Hetero, SingleClassMatchesHomogeneousPlanner) {
+  // With one class the heterogeneous balance must do at least as well as
+  // the paper's homogeneous JPS.
+  for (const double mbps : {1.1, 5.85, 18.88}) {
+    const auto curve = curve_for("alexnet", mbps);
+    std::vector<JobClass> classes{{"alexnet", curve, 20}};
+    const double hetero = plan_hetero(classes, Strategy::kJPS).makespan;
+    const Planner planner(curve);
+    const double homog =
+        planner.plan(Strategy::kJPSHull, 20).predicted_makespan;
+    EXPECT_LE(hetero, homog * 1.02 + 1e-6) << mbps;
+  }
+}
+
+TEST(Hetero, MixedWorkloadBeatsPlanningClassesSeparately) {
+  // Joint scheduling interleaves the classes' stages; planning each class
+  // alone and concatenating cannot be better.
+  const auto classes = mixed_workload(5.85, 8, 8);
+  const double joint = plan_hetero(classes, Strategy::kJPS).makespan;
+  double separate = 0.0;
+  for (const JobClass& jc : classes) {
+    std::vector<JobClass> solo{{jc.name, jc.curve, jc.count}};
+    separate += plan_hetero(solo, Strategy::kJPS).makespan;
+  }
+  EXPECT_LE(joint, separate + 1e-6);
+}
+
+}  // namespace
+}  // namespace jps::core

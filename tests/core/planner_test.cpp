@@ -1,0 +1,202 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+
+namespace jps::core {
+namespace {
+
+partition::ProfileCurve curve_for(const std::string& model, double mbps) {
+  static const profile::LatencyModel mobile(
+      profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build(model);
+  return partition::ProfileCurve::build(g, mobile, net::Channel(mbps));
+}
+
+TEST(Planner, StrategyNames) {
+  EXPECT_STREQ(strategy_name(Strategy::kLocalOnly), "LO");
+  EXPECT_STREQ(strategy_name(Strategy::kCloudOnly), "CO");
+  EXPECT_STREQ(strategy_name(Strategy::kPartitionOnly), "PO");
+  EXPECT_STREQ(strategy_name(Strategy::kJPS), "JPS");
+  EXPECT_STREQ(strategy_name(Strategy::kJPSTuned), "JPS*");
+  EXPECT_STREQ(strategy_name(Strategy::kJPSHull), "JPS+");
+  EXPECT_STREQ(strategy_name(Strategy::kBruteForce), "BF");
+}
+
+TEST(Planner, LocalOnlyUsesNoLink) {
+  const Planner planner(curve_for("alexnet", 5.85));
+  const ExecutionPlan plan = planner.plan(Strategy::kLocalOnly, 10);
+  ASSERT_EQ(plan.jobs.size(), 10u);
+  for (const auto& job : plan.scheduled_jobs) {
+    EXPECT_DOUBLE_EQ(job.g, 0.0);
+    EXPECT_GT(job.f, 0.0);
+  }
+  // Makespan = n * full local time.
+  EXPECT_NEAR(plan.predicted_makespan, 10.0 * plan.scheduled_jobs[0].f, 1e-6);
+}
+
+TEST(Planner, CloudOnlyComputesNothingLocally) {
+  const Planner planner(curve_for("alexnet", 5.85));
+  const ExecutionPlan plan = planner.plan(Strategy::kCloudOnly, 10);
+  for (const auto& job : plan.scheduled_jobs) {
+    EXPECT_DOUBLE_EQ(job.f, 0.0);
+    EXPECT_GT(job.g, 0.0);
+  }
+  EXPECT_NEAR(plan.predicted_makespan, 10.0 * plan.scheduled_jobs[0].g, 1e-6);
+}
+
+TEST(Planner, PartitionOnlyIsHomogeneousSingleJobOptimum) {
+  const Planner planner(curve_for("alexnet", 5.85));
+  const ExecutionPlan plan = planner.plan(Strategy::kPartitionOnly, 7);
+  const std::size_t cut = planner.single_job_optimal_cut();
+  for (const auto& job : plan.jobs) EXPECT_EQ(job.cut_index, cut);
+  // The PO cut minimizes f+g over the curve.
+  const auto& curve = planner.curve();
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    EXPECT_LE(curve.f(cut) + curve.g(cut), curve.f(i) + curve.g(i) + 1e-9);
+}
+
+TEST(Planner, JpsUsesAtMostTwoAdjacentCutTypes) {
+  for (const auto& model : models::paper_eval_names()) {
+    for (const double bw : {1.1, 5.85, 18.88}) {
+      const Planner planner(curve_for(model, bw));
+      const ExecutionPlan plan = planner.plan(Strategy::kJPS, 50);
+      std::set<std::size_t> used;
+      for (const auto& job : plan.jobs) used.insert(job.cut_index);
+      EXPECT_LE(used.size(), 2u) << model << " " << bw;
+      if (used.size() == 2) {
+        EXPECT_EQ(*used.rbegin() - *used.begin(), 1u)
+            << model << " " << bw << ": cut types must be adjacent";
+      }
+      // Every used cut is one of Alg. 2's pair (a huge ratio can legally
+      // send all jobs to l*-1).
+      const auto& d = planner.decision();
+      for (const std::size_t cut : used) {
+        EXPECT_TRUE(cut == d.l_star || (d.l_minus && cut == *d.l_minus))
+            << model << " " << bw;
+      }
+    }
+  }
+}
+
+TEST(Planner, DominanceJpsNeverWorseThanBaselines) {
+  // The paper's headline claim, as an invariant: JPS* <= min(LO, CO, PO)
+  // and JPS tracks JPS* closely.
+  for (const auto& model : models::paper_eval_names()) {
+    for (const double bw : {1.1, 5.85, 18.88}) {
+      const Planner planner(curve_for(model, bw));
+      const double lo = planner.plan(Strategy::kLocalOnly, 40).predicted_makespan;
+      const double co = planner.plan(Strategy::kCloudOnly, 40).predicted_makespan;
+      const double po =
+          planner.plan(Strategy::kPartitionOnly, 40).predicted_makespan;
+      const double jps = planner.plan(Strategy::kJPS, 40).predicted_makespan;
+      const double tuned =
+          planner.plan(Strategy::kJPSTuned, 40).predicted_makespan;
+      EXPECT_LE(tuned, lo + 1e-6) << model << " " << bw;
+      EXPECT_LE(tuned, co + 1e-6) << model << " " << bw;
+      EXPECT_LE(tuned, po + 1e-6) << model << " " << bw;
+      EXPECT_LE(tuned, jps + 1e-6) << model << " " << bw;
+      EXPECT_LE(jps, 1.2 * tuned) << model << " " << bw;
+    }
+  }
+}
+
+TEST(Planner, JpsMatchesBruteForce) {
+  // With the exact split sweep, the two-cut JPS should reach the BF optimum
+  // on real curves (Fig. 11's finding).
+  for (const auto& model : models::paper_eval_names()) {
+    for (const double bw : {1.1, 5.85, 18.88}) {
+      const Planner planner(curve_for(model, bw));
+      const double bf = planner.plan(Strategy::kBruteForce, 12).predicted_makespan;
+      const double tuned =
+          planner.plan(Strategy::kJPSTuned, 12).predicted_makespan;
+      const double hull =
+          planner.plan(Strategy::kJPSHull, 12).predicted_makespan;
+      EXPECT_LE(bf, tuned + 1e-9) << model << " " << bw;
+      EXPECT_LE(bf, hull + 1e-9) << model << " " << bw;
+      // The hull pair is the optimal two-type mix up to Prop. 4.1 boundary
+      // terms, which are O(1/n): at n=12 allow 12.5%.
+      EXPECT_LE(hull, bf * (1.0 + 1.5 / 12.0)) << model << " " << bw;
+    }
+  }
+}
+
+TEST(Planner, ScheduledOrderIsJohnson) {
+  const Planner planner(curve_for("alexnet", 5.85));
+  const ExecutionPlan plan = planner.plan(Strategy::kJPS, 30);
+  // S1 (f < g) first, ascending f; then S2, descending g.
+  for (std::size_t i = 0; i < plan.comm_heavy_count; ++i) {
+    EXPECT_LT(plan.scheduled_jobs[i].f, plan.scheduled_jobs[i].g);
+    if (i > 0) {
+      EXPECT_GE(plan.scheduled_jobs[i].f, plan.scheduled_jobs[i - 1].f);
+    }
+  }
+  for (std::size_t i = plan.comm_heavy_count; i < plan.scheduled_jobs.size();
+       ++i) {
+    EXPECT_GE(plan.scheduled_jobs[i].f, plan.scheduled_jobs[i].g);
+    if (i > plan.comm_heavy_count) {
+      EXPECT_LE(plan.scheduled_jobs[i].g, plan.scheduled_jobs[i - 1].g);
+    }
+  }
+}
+
+TEST(Planner, TimelineConsistentWithMakespan) {
+  const Planner planner(curve_for("resnet18", 5.85));
+  const ExecutionPlan plan = planner.plan(Strategy::kJPS, 15);
+  const auto timeline = plan.timeline();
+  double max_completion = 0.0;
+  for (const auto& t : timeline)
+    max_completion = std::max(max_completion, t.completion());
+  EXPECT_NEAR(max_completion, plan.predicted_makespan, 1e-9);
+  EXPECT_NEAR(plan.makespan_per_job(), plan.predicted_makespan / 15.0, 1e-9);
+}
+
+TEST(Planner, OverheadIsRecordedAndSmall) {
+  const Planner planner(curve_for("alexnet", 5.85));
+  const ExecutionPlan plan = planner.plan(Strategy::kJPS, 100);
+  EXPECT_GE(plan.decision_overhead_ms, 0.0);
+  // Fig. 12(d): planning overhead is negligible vs inference times (~ms).
+  EXPECT_LT(plan.decision_overhead_ms, 50.0);
+}
+
+TEST(Planner, RejectsBadJobCounts) {
+  const Planner planner(curve_for("alexnet", 5.85));
+  EXPECT_THROW(planner.plan(Strategy::kJPS, 0), std::invalid_argument);
+  EXPECT_THROW(planner.plan(Strategy::kJPS, -3), std::invalid_argument);
+}
+
+TEST(Planner, SingleJobPlansWork) {
+  const Planner planner(curve_for("mobilenet_v2", 5.85));
+  for (const Strategy s :
+       {Strategy::kLocalOnly, Strategy::kCloudOnly, Strategy::kPartitionOnly,
+        Strategy::kJPS, Strategy::kJPSTuned, Strategy::kJPSHull,
+        Strategy::kBruteForce}) {
+    const ExecutionPlan plan = planner.plan(s, 1);
+    EXPECT_EQ(plan.jobs.size(), 1u);
+    EXPECT_GT(plan.predicted_makespan, 0.0);
+  }
+}
+
+TEST(Planner, BruteForceFallsBackToTwoTypeAtScale) {
+  // n = 300 over a real curve exceeds the exact cap; the BF strategy must
+  // silently fall back and still return a consistent plan.
+  PlannerOptions options;
+  options.bf_exact_cap = 1000;
+  const Planner planner(curve_for("alexnet", 5.85), options);
+  const ExecutionPlan plan = planner.plan(Strategy::kBruteForce, 300);
+  EXPECT_EQ(plan.jobs.size(), 300u);
+  const double tuned =
+      planner.plan(Strategy::kJPSTuned, 300).predicted_makespan;
+  EXPECT_LE(plan.predicted_makespan, tuned + 1e-6);
+}
+
+}  // namespace
+}  // namespace jps::core

@@ -1,0 +1,41 @@
+#include "dnn/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/layer.h"
+
+namespace jps::dnn {
+namespace {
+
+Graph tiny() {
+  Graph g("tiny\"quoted\"");
+  NodeId x = g.add(input(TensorShape::chw(3, 8, 8)));
+  x = g.add(conv2d(4, 3, 1, 1), {x});
+  (void)x;
+  return g;
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  Graph g = tiny();
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInName) {
+  const std::string dot = to_dot(tiny());
+  EXPECT_NE(dot.find("tiny\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Dot, AnnotatesShapesAfterInfer) {
+  Graph g = tiny();
+  EXPECT_EQ(to_dot(g).find("4x8x8"), std::string::npos);
+  g.infer();
+  EXPECT_NE(to_dot(g).find("4x8x8"), std::string::npos);
+  // Edge annotated with the transfer size of the input tensor (3*8*8*4 B).
+  EXPECT_NE(to_dot(g).find("768 B"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jps::dnn

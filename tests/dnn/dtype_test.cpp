@@ -1,0 +1,67 @@
+// Quantized-offloading support: switching a graph's element type rescales
+// every tensor/parameter byte count, which is how fp16/int8 transfer
+// compression enters the partition problem.
+#include <gtest/gtest.h>
+
+#include "dnn/graph.h"
+#include "models/zoo.h"
+#include "net/channel.h"
+#include "partition/binary_search.h"
+#include "partition/profile_curve.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+
+namespace jps::dnn {
+namespace {
+
+TEST(DType, SetDtypeInvalidatesInference) {
+  Graph g = models::alexnet();
+  g.infer();
+  EXPECT_TRUE(g.inferred());
+  g.set_dtype(DType::kFloat16);
+  EXPECT_FALSE(g.inferred());
+  EXPECT_THROW((void)g.info(0), std::logic_error);
+}
+
+TEST(DType, BytesScaleWithElementSize) {
+  Graph f32 = models::alexnet();
+  f32.infer();
+  Graph f16 = models::alexnet();
+  f16.set_dtype(DType::kFloat16);
+  f16.infer();
+  Graph i8 = models::alexnet();
+  i8.set_dtype(DType::kInt8);
+  i8.infer();
+  for (NodeId id = 0; id < f32.size(); ++id) {
+    EXPECT_EQ(f32.info(id).output_bytes, 2 * f16.info(id).output_bytes);
+    EXPECT_EQ(f32.info(id).output_bytes, 4 * i8.info(id).output_bytes);
+    // FLOPs and params are dtype-independent.
+    EXPECT_DOUBLE_EQ(f32.info(id).flops, f16.info(id).flops);
+    EXPECT_EQ(f32.info(id).params, i8.info(id).params);
+  }
+}
+
+TEST(DType, QuantizedTransferMovesTheCutEarlier) {
+  // Smaller tensors make offloading cheaper, so the f >= g crossing moves
+  // to an earlier (or equal) cut and the balanced stage length drops.
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const net::Channel channel = net::Channel::preset_3g();
+
+  Graph f32 = models::alexnet();
+  f32.infer();
+  Graph i8 = models::alexnet();
+  i8.set_dtype(DType::kInt8);
+  i8.infer();
+
+  const auto curve32 = partition::ProfileCurve::build(f32, mobile, channel);
+  const auto curve8 = partition::ProfileCurve::build(i8, mobile, channel);
+  const auto d32 = partition::binary_search_cut(curve32);
+  const auto d8 = partition::binary_search_cut(curve8);
+  EXPECT_LE(curve8.f(d8.l_star), curve32.f(d32.l_star) + 1e-9);
+  // The quantized balance point is strictly cheaper at 3G.
+  EXPECT_LT(std::max(curve8.f(d8.l_star), curve8.g(d8.l_star)),
+            std::max(curve32.f(d32.l_star), curve32.g(d32.l_star)));
+}
+
+}  // namespace
+}  // namespace jps::dnn

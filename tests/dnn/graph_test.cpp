@@ -1,0 +1,190 @@
+#include "dnn/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dnn/layer.h"
+
+namespace jps::dnn {
+namespace {
+
+// A small line graph: input -> conv -> relu -> pool.
+Graph make_line() {
+  Graph g("line");
+  NodeId x = g.add(input(TensorShape::chw(3, 32, 32)));
+  x = g.add(conv2d(8, 3, 1, 1), {x});
+  x = g.add(activation(ActivationKind::kReLU), {x});
+  x = g.add(pool2d(PoolKind::kMax, 2, 2), {x});
+  return g;
+}
+
+// The DAG of the paper's Fig. 9(a): v0..v7 with three source->sink paths.
+Graph make_fig9() {
+  Graph g("fig9");
+  const TensorShape s = TensorShape::chw(4, 8, 8);
+  const NodeId v0 = g.add(input(s));
+  const NodeId v1 = g.add(activation(ActivationKind::kReLU), {v0});
+  const NodeId v2 = g.add(activation(ActivationKind::kReLU), {v1});
+  const NodeId v3 = g.add(activation(ActivationKind::kReLU), {v1});
+  const NodeId v4 = g.add(add(), {v2, v3});
+  const NodeId v5 = g.add(activation(ActivationKind::kReLU), {v0});
+  const NodeId v6 = g.add(activation(ActivationKind::kReLU), {v5});
+  (void)g.add(add(), {v4, v6});
+  return g;
+}
+
+TEST(Graph, AddAndTopology) {
+  Graph g = make_line();
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_TRUE(g.is_line());
+  EXPECT_EQ(g.predecessors(1), std::vector<NodeId>{0});
+  EXPECT_EQ(g.successors(0), std::vector<NodeId>{1});
+  EXPECT_EQ(g.source(), 0u);
+  EXPECT_EQ(g.sink(), 3u);
+}
+
+TEST(Graph, RejectsForwardReferences) {
+  Graph g("bad");
+  (void)g.add(input(TensorShape::chw(1, 4, 4)));
+  EXPECT_THROW(g.add(activation(ActivationKind::kReLU), {5}),
+               std::invalid_argument);
+}
+
+TEST(Graph, RejectsNullLayer) {
+  Graph g("bad");
+  EXPECT_THROW(g.add(nullptr), std::invalid_argument);
+}
+
+TEST(Graph, InferFillsNodeInfo) {
+  Graph g = make_line();
+  g.infer();
+  EXPECT_TRUE(g.inferred());
+  EXPECT_EQ(g.info(1).output_shape, TensorShape::chw(8, 32, 32));
+  EXPECT_EQ(g.info(3).output_shape, TensorShape::chw(8, 16, 16));
+  EXPECT_EQ(g.info(1).output_bytes, 8u * 32 * 32 * 4);
+  EXPECT_GT(g.info(1).flops, 0.0);
+  EXPECT_GT(g.total_flops(), 0.0);
+  EXPECT_EQ(g.total_params(), 8u * 3 * 9 + 8);
+}
+
+TEST(Graph, InfoRequiresInfer) {
+  Graph g = make_line();
+  EXPECT_THROW((void)g.info(0), std::logic_error);
+  EXPECT_THROW((void)g.total_flops(), std::logic_error);
+}
+
+TEST(Graph, InferValidatesStructure) {
+  // Two inputs.
+  {
+    Graph g("two_inputs");
+    (void)g.add(input(TensorShape::chw(1, 2, 2)));
+    (void)g.add(input(TensorShape::chw(1, 2, 2)));
+    EXPECT_THROW(g.infer(), std::invalid_argument);
+  }
+  // Two sinks.
+  {
+    Graph g("two_sinks");
+    const NodeId i = g.add(input(TensorShape::chw(1, 2, 2)));
+    (void)g.add(activation(ActivationKind::kReLU), {i});
+    (void)g.add(activation(ActivationKind::kReLU), {i});
+    EXPECT_THROW(g.infer(), std::invalid_argument);
+  }
+  // Empty graph.
+  {
+    Graph g("empty");
+    EXPECT_THROW(g.infer(), std::invalid_argument);
+  }
+  // Non-input node without predecessors (caught at infer time).
+  {
+    Graph g("no_input");
+    (void)g.add(activation(ActivationKind::kReLU));
+    EXPECT_THROW(g.infer(), std::invalid_argument);
+  }
+}
+
+TEST(Graph, DefaultLabelsAndCustomLabels) {
+  Graph g("labels");
+  const NodeId a = g.add(input(TensorShape::chw(1, 2, 2)));
+  const NodeId b =
+      g.add(activation(ActivationKind::kReLU), {a}, "my_custom_relu");
+  EXPECT_NE(g.label(a).find("input"), std::string::npos);
+  EXPECT_EQ(g.label(b), "my_custom_relu");
+}
+
+TEST(Graph, PathCountLine) { EXPECT_EQ(make_line().path_count(), 1u); }
+
+TEST(Graph, PathCountFig9) { EXPECT_EQ(make_fig9().path_count(), 3u); }
+
+TEST(Graph, EnumeratePathsFig9) {
+  Graph g = make_fig9();
+  const auto paths = g.enumerate_paths();
+  ASSERT_EQ(paths.size(), 3u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.front(), g.source());
+    EXPECT_EQ(p.back(), g.sink());
+    // Consecutive nodes must be connected.
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      const auto& succs = g.successors(p[i]);
+      EXPECT_NE(std::find(succs.begin(), succs.end(), p[i + 1]), succs.end());
+    }
+  }
+}
+
+TEST(Graph, EnumeratePathsRespectsCap) {
+  Graph g = make_fig9();
+  EXPECT_THROW(g.enumerate_paths(2), std::runtime_error);
+}
+
+TEST(Graph, ArticulationNodesLine) {
+  Graph g = make_line();
+  // Every node of a line graph is an articulation node.
+  EXPECT_EQ(g.articulation_nodes().size(), g.size());
+}
+
+TEST(Graph, ArticulationNodesFig9) {
+  Graph g = make_fig9();
+  const auto trunk = g.articulation_nodes();
+  // Only v0 and v7 lie on all three paths.
+  ASSERT_EQ(trunk.size(), 2u);
+  EXPECT_EQ(trunk.front(), g.source());
+  EXPECT_EQ(trunk.back(), g.sink());
+}
+
+TEST(Graph, AncestorsInclusive) {
+  Graph g = make_fig9();
+  // Ancestors of v4 = {v0, v1, v2, v3, v4}.
+  const auto anc = ancestors_inclusive(g, 4);
+  EXPECT_EQ(anc, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  // Ancestors are sorted (topological by id).
+  EXPECT_TRUE(std::is_sorted(anc.begin(), anc.end()));
+  EXPECT_THROW(ancestors_inclusive(g, 99), std::out_of_range);
+}
+
+TEST(Graph, AccessorsBoundsChecked) {
+  Graph g = make_line();
+  EXPECT_THROW((void)g.layer(10), std::out_of_range);
+  EXPECT_THROW((void)g.predecessors(10), std::out_of_range);
+  EXPECT_THROW((void)g.successors(10), std::out_of_range);
+  EXPECT_THROW((void)g.label(10), std::out_of_range);
+}
+
+TEST(Graph, TopoOrderIsInsertionOrder) {
+  Graph g = make_fig9();
+  const auto order = g.topo_order();
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Graph, IsLineFalseForFig9) { EXPECT_FALSE(make_fig9().is_line()); }
+
+TEST(Graph, InferIdempotent) {
+  Graph g = make_line();
+  g.infer();
+  const double flops1 = g.total_flops();
+  g.infer();
+  EXPECT_DOUBLE_EQ(g.total_flops(), flops1);
+}
+
+}  // namespace
+}  // namespace jps::dnn

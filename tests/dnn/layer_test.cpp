@@ -1,0 +1,199 @@
+#include "dnn/layer.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace jps::dnn {
+namespace {
+
+std::vector<TensorShape> in(TensorShape s) { return {std::move(s)}; }
+
+TEST(Conv2d, OutputShapeStandardCases) {
+  // AlexNet conv1: 3x224x224, 64 x 11x11 stride 4 pad 2 -> 64x55x55.
+  const auto conv = conv2d(64, 11, 4, 2);
+  const auto out = conv->infer(in(TensorShape::chw(3, 224, 224)));
+  EXPECT_EQ(out, TensorShape::chw(64, 55, 55));
+}
+
+TEST(Conv2d, SamePaddingKeepsResolution) {
+  const auto conv = conv2d(128, 3, 1, 1);
+  const auto out = conv->infer(in(TensorShape::chw(64, 56, 56)));
+  EXPECT_EQ(out, TensorShape::chw(128, 56, 56));
+}
+
+TEST(Conv2d, FlopsMatchHandComputation) {
+  // 2 * Cout*H*W * Cin*K*K + bias(Cout*H*W).
+  const auto conv = conv2d(8, 3, 1, 1);
+  const TensorShape input = TensorShape::chw(4, 10, 10);
+  const TensorShape out = conv->infer(in(input));
+  const double expected = 2.0 * 8 * 10 * 10 * 4 * 3 * 3 + 8 * 10 * 10;
+  EXPECT_DOUBLE_EQ(conv->flops(in(input), out), expected);
+}
+
+TEST(Conv2d, ParamCount) {
+  const auto conv = conv2d(8, 3, 1, 1);
+  const TensorShape input = TensorShape::chw(4, 10, 10);
+  const TensorShape out = conv->infer(in(input));
+  EXPECT_EQ(conv->param_count(in(input), out), 8u * 4 * 3 * 3 + 8);
+}
+
+TEST(Conv2d, GroupedConvDividesChannels) {
+  const auto conv = conv2d(8, 3, 1, 1, /*groups=*/2, /*bias=*/false);
+  const TensorShape input = TensorShape::chw(4, 10, 10);
+  const TensorShape out = conv->infer(in(input));
+  EXPECT_EQ(conv->param_count(in(input), out), 8u * 2 * 3 * 3);
+  EXPECT_DOUBLE_EQ(conv->flops(in(input), out), 2.0 * 8 * 10 * 10 * 2 * 3 * 3);
+}
+
+TEST(Conv2d, DepthwiseBindsToInputChannels) {
+  const auto conv = depthwise_conv2d(3, 1, 1);
+  const TensorShape input = TensorShape::chw(144, 56, 56);
+  const auto out = conv->infer(in(input));
+  EXPECT_EQ(out, TensorShape::chw(144, 56, 56));
+  // One filter per channel: 144 * 3 * 3 weights, no bias.
+  EXPECT_EQ(conv->param_count(in(input), out), 144u * 9);
+  EXPECT_DOUBLE_EQ(conv->flops(in(input), out), 2.0 * 144 * 56 * 56 * 9);
+}
+
+TEST(Conv2d, RejectsBadGeometry) {
+  EXPECT_THROW(conv2d(8, 0), std::invalid_argument);
+  EXPECT_THROW(conv2d(8, 3, 0), std::invalid_argument);
+  EXPECT_THROW(conv2d(8, 3, 1, -1), std::invalid_argument);
+  EXPECT_THROW(conv2d(7, 3, 1, 0, 2), std::invalid_argument);  // 7 % 2 != 0
+  const auto conv = conv2d(8, 7);
+  EXPECT_THROW(conv->infer(in(TensorShape::chw(3, 5, 5))),
+               std::invalid_argument);  // window larger than input
+}
+
+TEST(Conv2d, RejectsWrongArityAndRank) {
+  const auto conv = conv2d(8, 3);
+  EXPECT_THROW(conv->infer({}), std::invalid_argument);
+  EXPECT_THROW(conv->infer(in(TensorShape::flat(100))), std::invalid_argument);
+}
+
+TEST(Dense, ShapeFlopsParams) {
+  const auto fc = dense(4096);
+  const TensorShape input = TensorShape::flat(9216);
+  const auto out = fc->infer(in(input));
+  EXPECT_EQ(out, TensorShape::flat(4096));
+  EXPECT_DOUBLE_EQ(fc->flops(in(input), out), 2.0 * 9216 * 4096 + 4096);
+  EXPECT_EQ(fc->param_count(in(input), out), 9216u * 4096 + 4096);
+}
+
+TEST(Dense, RequiresFlatInput) {
+  const auto fc = dense(10);
+  EXPECT_THROW(fc->infer(in(TensorShape::chw(3, 4, 4))), std::invalid_argument);
+}
+
+TEST(Pool2d, ShapesAndFlops) {
+  const auto pool = pool2d(PoolKind::kMax, 3, 2);
+  const auto out = pool->infer(in(TensorShape::chw(64, 55, 55)));
+  EXPECT_EQ(out, TensorShape::chw(64, 27, 27));
+  EXPECT_DOUBLE_EQ(pool->flops(in(TensorShape::chw(64, 55, 55)), out),
+                   64.0 * 27 * 27 * 9);
+  EXPECT_EQ(pool->param_count(in(TensorShape::chw(64, 55, 55)), out), 0u);
+}
+
+TEST(Pool2d, StrideOnePaddedKeepsShape) {
+  const auto pool = pool2d(PoolKind::kMax, 3, 1, 1);
+  const auto out = pool->infer(in(TensorShape::chw(192, 28, 28)));
+  EXPECT_EQ(out, TensorShape::chw(192, 28, 28));
+}
+
+TEST(GlobalAvgPool, CollapsesSpatialDims) {
+  const auto pool = global_avg_pool();
+  const auto out = pool->infer(in(TensorShape::chw(512, 7, 7)));
+  EXPECT_EQ(out, TensorShape::chw(512, 1, 1));
+}
+
+TEST(Flatten, FlattensAnything) {
+  const auto fl = flatten();
+  EXPECT_EQ(fl->infer(in(TensorShape::chw(256, 6, 6))),
+            TensorShape::flat(9216));
+}
+
+TEST(Activation, PreservesShapeUnitFlops) {
+  const auto act = activation(ActivationKind::kReLU);
+  const TensorShape s = TensorShape::chw(64, 8, 8);
+  EXPECT_EQ(act->infer(in(s)), s);
+  EXPECT_DOUBLE_EQ(act->flops(in(s), s), static_cast<double>(s.elements()));
+}
+
+TEST(BatchNorm, TwoParamsPerChannel) {
+  const auto bn = batch_norm();
+  const TensorShape s = TensorShape::chw(32, 10, 10);
+  EXPECT_EQ(bn->infer(in(s)), s);
+  EXPECT_EQ(bn->param_count(in(s), s), 64u);
+}
+
+TEST(Concat, SumsChannels) {
+  const auto c = concat();
+  const std::vector<TensorShape> inputs{
+      TensorShape::chw(64, 28, 28), TensorShape::chw(128, 28, 28),
+      TensorShape::chw(32, 28, 28), TensorShape::chw(32, 28, 28)};
+  EXPECT_EQ(c->infer(inputs), TensorShape::chw(256, 28, 28));
+  EXPECT_DOUBLE_EQ(c->flops(inputs, TensorShape::chw(256, 28, 28)), 0.0);
+}
+
+TEST(Concat, RejectsMismatchedSpatialDims) {
+  const auto c = concat();
+  const std::vector<TensorShape> inputs{TensorShape::chw(64, 28, 28),
+                                        TensorShape::chw(64, 14, 14)};
+  EXPECT_THROW(c->infer(inputs), std::invalid_argument);
+}
+
+TEST(Concat, RequiresAtLeastTwoInputs) {
+  const auto c = concat();
+  EXPECT_THROW(c->infer(in(TensorShape::chw(64, 28, 28))),
+               std::invalid_argument);
+}
+
+TEST(Add, RequiresMatchingShapes) {
+  const auto a = add();
+  const std::vector<TensorShape> ok{TensorShape::chw(24, 56, 56),
+                                    TensorShape::chw(24, 56, 56)};
+  EXPECT_EQ(a->infer(ok), TensorShape::chw(24, 56, 56));
+  const std::vector<TensorShape> bad{TensorShape::chw(24, 56, 56),
+                                     TensorShape::chw(24, 28, 28)};
+  EXPECT_THROW(a->infer(bad), std::invalid_argument);
+}
+
+TEST(Dropout, IdentityAtInference) {
+  const auto d = dropout();
+  const TensorShape s = TensorShape::flat(4096);
+  EXPECT_EQ(d->infer(in(s)), s);
+  EXPECT_DOUBLE_EQ(d->flops(in(s), s), 0.0);
+}
+
+TEST(Input, ReturnsConfiguredShape) {
+  const auto i = input(TensorShape::chw(3, 416, 416));
+  EXPECT_EQ(i->infer({}), TensorShape::chw(3, 416, 416));
+  EXPECT_THROW(i->infer(in(TensorShape::flat(1))), std::invalid_argument);
+}
+
+TEST(MemoryTraffic, CountsInputsOutputsParams) {
+  const auto conv = conv2d(8, 3, 1, 1, 1, /*bias=*/false);
+  const TensorShape input = TensorShape::chw(4, 10, 10);
+  const auto out = conv->infer(in(input));
+  const std::uint64_t expected =
+      input.bytes() + out.bytes() + 8ull * 4 * 9 * 4;  // params * 4 bytes
+  EXPECT_EQ(conv->memory_traffic_bytes(in(input), out), expected);
+}
+
+TEST(LayerKindNames, AllDistinct) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConv2d), "conv2d");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConcat), "concat");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kGlobalAvgPool), "global_avg_pool");
+}
+
+TEST(Describe, MentionsGeometry) {
+  EXPECT_EQ(conv2d(64, 11, 4, 2)->describe(), "conv 11x11/4 p2 x64");
+  EXPECT_EQ(depthwise_conv2d(3, 2, 1)->describe(), "dwconv 3x3/2 p1");
+  EXPECT_EQ(dense(1000)->describe(), "dense x1000");
+  EXPECT_EQ(pool2d(PoolKind::kAvg, 2, 2)->describe(), "avgpool 2x2/2");
+}
+
+}  // namespace
+}  // namespace jps::dnn

@@ -1,0 +1,118 @@
+// Degenerate and failure-injection cases across the stack.
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "dnn/layer.h"
+#include "models/zoo.h"
+#include "net/channel.h"
+#include "partition/binary_search.h"
+#include "partition/profile_curve.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "sim/executor.h"
+
+namespace jps {
+namespace {
+
+using dnn::Graph;
+using dnn::NodeId;
+using dnn::TensorShape;
+
+TEST(EdgeCases, InputOnlyGraph) {
+  // A graph that is just the input node: the only cut is simultaneously
+  // cloud-only and local-only (f = 0, and g = 0 because cutting at the sink
+  // offloads nothing).
+  Graph g("input_only");
+  (void)g.add(dnn::input(TensorShape::chw(1, 4, 4)));
+  g.infer();
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const auto curve =
+      partition::ProfileCurve::build(g, mobile, net::Channel(1.0));
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.f(0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.g(0), 0.0);
+  const auto decision = partition::binary_search_cut(curve);
+  EXPECT_EQ(decision.l_star, 0u);
+  const core::Planner planner(curve);
+  EXPECT_DOUBLE_EQ(planner.plan(core::Strategy::kJPS, 3).predicted_makespan,
+                   0.0);
+}
+
+TEST(EdgeCases, TwoNodeGraphPlansAndSimulates) {
+  Graph g("tiny");
+  NodeId x = g.add(dnn::input(TensorShape::chw(1, 8, 8)));
+  (void)g.add(dnn::conv2d(2, 3, 1, 1), {x});
+  g.infer();
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel(10.0);
+  const auto curve = partition::ProfileCurve::build(g, mobile, channel);
+  EXPECT_EQ(curve.size(), 2u);  // CO and LO
+  const core::Planner planner(curve);
+  for (const core::Strategy s :
+       {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+        core::Strategy::kJPS, core::Strategy::kJPSHull,
+        core::Strategy::kBruteForce}) {
+    const core::ExecutionPlan plan = planner.plan(s, 4);
+    util::Rng rng(1);
+    sim::SimOptions opt;
+    opt.include_cloud = false;
+    const sim::SimResult result =
+        sim::simulate_plan(g, curve, plan, mobile, cloud, channel, opt, rng);
+    EXPECT_NEAR(result.makespan, plan.predicted_makespan,
+                1e-6 * plan.predicted_makespan + 1e-9)
+        << core::strategy_name(s);
+  }
+}
+
+TEST(EdgeCases, ExtremeBandwidthsKeepInvariants) {
+  dnn::Graph g = models::alexnet();
+  g.infer();
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  for (const double mbps : {1e-3, 1e6}) {
+    const auto curve =
+        partition::ProfileCurve::build(g, mobile, net::Channel(mbps));
+    EXPECT_TRUE(curve.is_monotone());
+    const core::Planner planner(curve);
+    const double jps =
+        planner.plan(core::Strategy::kJPSHull, 10).predicted_makespan;
+    const double lo =
+        planner.plan(core::Strategy::kLocalOnly, 10).predicted_makespan;
+    const double co =
+        planner.plan(core::Strategy::kCloudOnly, 10).predicted_makespan;
+    EXPECT_LE(jps, std::min(lo, co) + 1e-6) << mbps;
+    // Dial-up: local-only wins outright.  Backbone: cloud-only wins.
+    if (mbps < 1.0) {
+      EXPECT_NEAR(jps, lo, 1e-6 * lo);
+    } else {
+      EXPECT_LE(jps, 1.2 * co);
+    }
+  }
+}
+
+TEST(EdgeCases, HugeNoiseStillProducesValidTimelines) {
+  dnn::Graph g = models::alexnet();
+  g.infer();
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel(5.85);
+  const auto curve = partition::ProfileCurve::build(g, mobile, channel);
+  const core::Planner planner(curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 6);
+  sim::SimOptions opt;
+  opt.comp_noise_sigma = 1.0;  // wild: ~e^{±1} multipliers
+  opt.comm_noise_sigma = 1.0;
+  util::Rng rng(9);
+  const sim::SimResult result =
+      sim::simulate_plan(g, curve, plan, mobile, cloud, channel, opt, rng);
+  EXPECT_GT(result.makespan, 0.0);
+  double prev_comp = 0.0;
+  for (const auto& job : result.jobs) {
+    EXPECT_GE(job.comp_start, prev_comp - 1e-9);
+    EXPECT_LE(job.comp_start, job.comp_end);
+    prev_comp = job.comp_end;
+  }
+}
+
+}  // namespace
+}  // namespace jps

@@ -1,0 +1,115 @@
+// Full-system flows: profile -> lookup table on disk -> regression-trained
+// channel model -> plan -> simulate, exactly the deployment path of §6.1.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "partition/general_dag.h"
+#include "profile/comm_regression.h"
+#include "profile/device.h"
+#include "profile/lookup_table.h"
+#include "profile/profiler.h"
+#include "sim/executor.h"
+
+namespace jps {
+namespace {
+
+TEST(EndToEnd, DeploymentPipelineFromProfilingToSimulation) {
+  // 1. Profile every paper model on the "device" and persist the table.
+  const std::string table_path = ::testing::TempDir() + "/jps_e2e_table.tsv";
+  {
+    profile::ProfilerOptions opt;
+    opt.noise_sigma = 0.03;
+    opt.trials = 9;
+    const profile::Profiler profiler(profile::DeviceProfile::raspberry_pi_4b(),
+                                     opt);
+    util::Rng rng(2024);
+    profile::LookupTable table;
+    for (const auto& name : models::paper_eval_names()) {
+      const dnn::Graph g = models::build(name);
+      table.add_graph(g, profiler.measure_graph(g, rng));
+    }
+    table.save(table_path);
+  }
+
+  // 2. Scheduler start-up: load the table, train the comm regression.
+  const profile::LookupTable table = profile::LookupTable::load(table_path);
+  const net::Channel channel = net::Channel::preset_4g();
+  util::Rng rng(7);
+  const profile::CommRegression comm = profile::CommRegression::train_on_channel(
+      channel, 1024, 8u * 1024 * 1024, 24, 0.05, rng);
+
+  // 3. Plan with estimated costs, then 4. execute on the "real" testbed
+  // (exact latency model + channel) and check the estimate holds up.
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  for (const auto& name : models::paper_eval_names()) {
+    const dnn::Graph g = models::build(name);
+    ASSERT_TRUE(table.covers(g)) << name;
+    const auto estimated_curve = partition::ProfileCurve::build(
+        g, [&](dnn::NodeId id) { return table.at(name, id); },
+        [&](std::uint64_t bytes) {
+          return comm.predict_ms(bytes, channel.bandwidth_mbps());
+        });
+    const core::Planner planner(estimated_curve);
+    const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 25);
+
+    util::Rng sim_rng(99);
+    const sim::SimResult result = sim::simulate_plan(
+        g, estimated_curve, plan, mobile, cloud, channel, {}, sim_rng);
+    // Estimation error (profiling noise + regression) stays within 15%.
+    EXPECT_NEAR(result.makespan, plan.predicted_makespan,
+                0.15 * plan.predicted_makespan)
+        << name;
+
+    // And the plan still beats local-only when executed for real.
+    const core::ExecutionPlan lo = planner.plan(core::Strategy::kLocalOnly, 25);
+    util::Rng lo_rng(99);
+    const sim::SimResult lo_result =
+        sim::simulate_plan(g, estimated_curve, lo, mobile, cloud, channel, {},
+                           lo_rng);
+    EXPECT_LT(result.makespan, lo_result.makespan) << name;
+  }
+  std::remove(table_path.c_str());
+}
+
+TEST(EndToEnd, GeneralCurveImprovesOrMatchesTrunkCurveForGoogLeNet) {
+  const dnn::Graph g = models::build("googlenet");
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const net::Channel channel = net::Channel::preset_4g();
+  const auto mobile_fn = [&](dnn::NodeId id) {
+    return mobile.node_time_ms(g, id);
+  };
+  const auto comm_fn = [&](std::uint64_t bytes) { return channel.time_ms(bytes); };
+
+  const auto trunk = partition::ProfileCurve::build(g, mobile_fn, comm_fn);
+  const auto general = partition::build_general_curve(g, mobile_fn, comm_fn);
+  const core::Planner trunk_planner(trunk);
+  const core::Planner general_planner(general);
+  const double trunk_ms =
+      trunk_planner.plan(core::Strategy::kJPSTuned, 50).predicted_makespan;
+  const double general_ms =
+      general_planner.plan(core::Strategy::kJPSTuned, 50).predicted_makespan;
+  // Spread cuts only add options, so the general plan cannot be worse.
+  EXPECT_LE(general_ms, trunk_ms + 1e-6);
+}
+
+TEST(EndToEnd, HeterogeneousDevicesShiftTheCut) {
+  // A faster mobile device pushes the optimal cut deeper (more local work).
+  const dnn::Graph g = models::build("alexnet");
+  const net::Channel channel = net::Channel::preset_4g();
+  const profile::LatencyModel slow(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel fast(profile::DeviceProfile::midrange_phone());
+  const auto curve_slow = partition::ProfileCurve::build(g, slow, channel);
+  const auto curve_fast = partition::ProfileCurve::build(g, fast, channel);
+  const auto d_slow = partition::binary_search_cut(curve_slow);
+  const auto d_fast = partition::binary_search_cut(curve_fast);
+  EXPECT_GE(curve_fast.cut(d_fast.l_star).local_nodes.size(),
+            curve_slow.cut(d_slow.l_star).local_nodes.size());
+}
+
+}  // namespace
+}  // namespace jps

@@ -1,0 +1,83 @@
+// Golden regression tests: pin the planner's actual decisions on the paper
+// models at the paper bandwidths, so calibration or algorithm drift shows
+// up as an explicit diff here rather than as silently shifted benchmarks.
+// If a deliberate change moves these values, update them together with
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+
+namespace jps {
+namespace {
+
+struct Golden {
+  const char* model;
+  double mbps;
+  std::size_t curve_size;
+  std::size_t l_star;
+  const char* l_star_label;
+};
+
+TEST(Golden, Alg2DecisionsOnPaperModels) {
+  const Golden kGolden[] = {
+      {"alexnet", 1.1, 7, 3, "n15:maxpool 3x3/2"},
+      {"alexnet", 5.85, 7, 3, "n15:maxpool 3x3/2"},
+      {"alexnet", 18.88, 7, 2, "n8:maxpool 3x3/2"},
+      {"googlenet", 1.1, 6, 3, "n139:global_avg_pool"},
+      {"googlenet", 5.85, 6, 1, "n39:maxpool 3x3/2 p1"},
+      {"googlenet", 18.88, 6, 1, "n39:maxpool 3x3/2 p1"},
+      {"mobilenet_v2", 1.1, 8, 4, "n119:conv 1x1/1 p0 x160"},
+      {"mobilenet_v2", 5.85, 8, 3, "n58:conv 1x1/1 p0 x64"},
+      {"mobilenet_v2", 18.88, 8, 2, "n32:conv 1x1/1 p0 x32"},
+      {"resnet18", 1.1, 6, 3, "n58:add"},
+      {"resnet18", 5.85, 6, 2, "n42:add"},
+      {"resnet18", 18.88, 6, 1, "n26:add"},
+  };
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  for (const Golden& golden : kGolden) {
+    const dnn::Graph g = models::build(golden.model);
+    const auto curve =
+        partition::ProfileCurve::build(g, mobile, net::Channel(golden.mbps));
+    const core::Planner planner(curve);
+    EXPECT_EQ(curve.size(), golden.curve_size)
+        << golden.model << " @ " << golden.mbps;
+    EXPECT_EQ(planner.decision().l_star, golden.l_star)
+        << golden.model << " @ " << golden.mbps;
+    EXPECT_EQ(curve.cut(planner.decision().l_star).label, golden.l_star_label)
+        << golden.model << " @ " << golden.mbps;
+  }
+}
+
+TEST(Golden, ReductionRatiosStayInBand) {
+  // Table 1's JPS-vs-LO reductions, pinned to ±5 percentage points.
+  const struct {
+    const char* model;
+    double mbps;
+    double reduction;  // fraction
+  } kGolden[] = {
+      {"alexnet", 1.1, 0.31},      {"alexnet", 5.85, 0.64},
+      {"googlenet", 1.1, 0.09},    {"googlenet", 5.85, 0.51},
+      {"mobilenet_v2", 1.1, 0.40}, {"mobilenet_v2", 5.85, 0.72},
+      {"resnet18", 1.1, 0.17},     {"resnet18", 5.85, 0.53},
+  };
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  for (const auto& golden : kGolden) {
+    const dnn::Graph g = models::build(golden.model);
+    const auto curve =
+        partition::ProfileCurve::build(g, mobile, net::Channel(golden.mbps));
+    const core::Planner planner(curve);
+    const double lo =
+        planner.plan(core::Strategy::kLocalOnly, 100).predicted_makespan;
+    const double jps =
+        planner.plan(core::Strategy::kJPS, 100).predicted_makespan;
+    EXPECT_NEAR(1.0 - jps / lo, golden.reduction, 0.05)
+        << golden.model << " @ " << golden.mbps;
+  }
+}
+
+}  // namespace
+}  // namespace jps

@@ -1,0 +1,138 @@
+// Worked examples taken directly from the paper's text and figures.
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "sched/bruteforce.h"
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+
+namespace jps {
+namespace {
+
+// §1 / Fig. 2: two 3-layer DNNs, cuts after l1 (f=4, g=6) or l2 (f=7, g=2).
+TEST(PaperFig2, MixedPartitionBeatsHomogeneous) {
+  const std::vector<sched::CutOption> cuts{{4.0, 6.0}, {7.0, 2.0}};
+  // Homogeneous cut after l1: both jobs (4,6) -> makespan 16.
+  EXPECT_DOUBLE_EQ(sched::assignment_makespan(cuts, std::vector<int>{0, 0}),
+                   16.0);
+  // Homogeneous cut after l2: both jobs (7,2) -> makespan 16.
+  EXPECT_DOUBLE_EQ(sched::assignment_makespan(cuts, std::vector<int>{1, 1}),
+                   16.0);
+  // Mixed: 13 (the paper's second case).
+  EXPECT_DOUBLE_EQ(sched::assignment_makespan(cuts, std::vector<int>{0, 1}),
+                   13.0);
+  // And brute force agrees the mix is optimal.
+  const sched::BruteForceResult bf = sched::bruteforce_exact(cuts, 2);
+  EXPECT_DOUBLE_EQ(bf.makespan, 13.0);
+}
+
+// §3.2 / Fig. 4: per-layer profile of AlexNet.  (a) cloud compute is
+// negligible; (b) f increases with depth while clustered g decreases.
+TEST(PaperFig4, AlexNetProfileShapes) {
+  const dnn::Graph g = models::build("alexnet");
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  // (a) cloud compute negligible vs mobile compute per layer set.
+  EXPECT_LT(cloud.graph_time_ms(g), 0.05 * mobile.graph_time_ms(g));
+
+  // (b) on the clustered curve, f strictly increases and g strictly
+  // decreases across offloading cuts.
+  const auto curve =
+      partition::ProfileCurve::build(g, mobile, net::Channel::preset_wifi());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve.f(i), curve.f(i - 1));
+    EXPECT_LT(curve.g(i), curve.g(i - 1));
+  }
+}
+
+// §6.3 / Fig. 12 & Table 1 shape: JPS dominates, PO in between, CO collapses
+// on 3G and becomes competitive on Wi-Fi.
+TEST(PaperFig12, StrategyOrderingAcrossBandwidths) {
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  for (const auto& model : models::paper_eval_names()) {
+    const dnn::Graph g = models::build(model);
+    double prev_gain = -1.0;
+    for (const double bw : {1.1, 5.85, 18.88}) {
+      const auto curve =
+          partition::ProfileCurve::build(g, mobile, net::Channel(bw));
+      const core::Planner planner(curve);
+      const double lo =
+          planner.plan(core::Strategy::kLocalOnly, 100).predicted_makespan;
+      const double co =
+          planner.plan(core::Strategy::kCloudOnly, 100).predicted_makespan;
+      const double po =
+          planner.plan(core::Strategy::kPartitionOnly, 100).predicted_makespan;
+      const double jps =
+          planner.plan(core::Strategy::kJPSTuned, 100).predicted_makespan;
+      EXPECT_LE(jps, po + 1e-6) << model << " " << bw;
+      EXPECT_LE(po, lo + 1e-6) << model << " " << bw;
+      if (bw < 2.0) {
+        // 3G: cloud-only is far worse than local-only ("more than 4,000 ms").
+        EXPECT_GT(co, 2.0 * lo) << model;
+      }
+      // The JPS gain over LO grows with bandwidth (§6.3).
+      const double gain = 1.0 - jps / lo;
+      EXPECT_GE(gain, prev_gain - 0.02) << model << " " << bw;
+      prev_gain = gain;
+    }
+  }
+}
+
+// §6.3: at Wi-Fi rates, simply uploading everything is already decent; PO
+// converges toward CO-like cuts and JPS still wins or ties.
+TEST(PaperFig12, WifiCloudOnlyIsCompetitive) {
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build("googlenet");
+  const auto curve =
+      partition::ProfileCurve::build(g, mobile, net::Channel::preset_wifi());
+  const core::Planner planner(curve);
+  const double lo =
+      planner.plan(core::Strategy::kLocalOnly, 100).predicted_makespan;
+  const double co =
+      planner.plan(core::Strategy::kCloudOnly, 100).predicted_makespan;
+  EXPECT_LT(co, lo);  // offloading everything beats local at 18.88 Mbps
+}
+
+// §6.3 / Fig. 13: the benefit range — JPS speeds up AlexNet across
+// [1, 20] Mbps (3G through Wi-Fi).
+TEST(PaperFig13, BenefitRangeCoversPaperBandwidths) {
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build("alexnet");
+  for (double bw = 1.0; bw <= 20.0; bw += 2.0) {
+    const auto curve =
+        partition::ProfileCurve::build(g, mobile, net::Channel(bw));
+    const core::Planner planner(curve);
+    const double lo =
+        planner.plan(core::Strategy::kLocalOnly, 50).predicted_makespan;
+    const double co =
+        planner.plan(core::Strategy::kCloudOnly, 50).predicted_makespan;
+    const double jps =
+        planner.plan(core::Strategy::kJPSTuned, 50).predicted_makespan;
+    EXPECT_LT(jps, std::min(lo, co)) << "bw=" << bw;
+  }
+}
+
+// Table 1, structural row: PO gains nothing over LO for AlexNet at 3G (its
+// single-job optimal cut is local-only), while JPS still gains by mixing.
+TEST(PaperTable1, AlexNet3GPartitionOnlyGainsNothing) {
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build("alexnet");
+  const auto curve =
+      partition::ProfileCurve::build(g, mobile, net::Channel::preset_3g());
+  const core::Planner planner(curve);
+  const double lo =
+      planner.plan(core::Strategy::kLocalOnly, 100).predicted_makespan;
+  const double po =
+      planner.plan(core::Strategy::kPartitionOnly, 100).predicted_makespan;
+  const double jps =
+      planner.plan(core::Strategy::kJPSTuned, 100).predicted_makespan;
+  EXPECT_NEAR(po, lo, 1e-6);  // PO reduction ~ 0%
+  EXPECT_LT(jps, 0.95 * lo);  // JPS reduction > 5%
+}
+
+}  // namespace
+}  // namespace jps

@@ -1,0 +1,72 @@
+// The planner's flow-shop prediction vs the discrete-event execution, swept
+// across every paper model, every strategy and every paper bandwidth.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "sim/executor.h"
+
+namespace jps {
+namespace {
+
+using Param = std::tuple<std::string, double>;
+
+class PredictionVsSimulation : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PredictionVsSimulation, TwoStageSimulationMatchesPrediction) {
+  const auto& [model, mbps] = GetParam();
+  const dnn::Graph g = models::build(model);
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel(mbps);
+  const auto curve = partition::ProfileCurve::build(g, mobile, channel);
+  const core::Planner planner(curve);
+
+  for (const core::Strategy strategy :
+       {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+        core::Strategy::kPartitionOnly, core::Strategy::kJPS,
+        core::Strategy::kJPSTuned, core::Strategy::kJPSHull}) {
+    const core::ExecutionPlan plan = planner.plan(strategy, 10);
+    sim::SimOptions options;
+    options.include_cloud = false;
+    util::Rng rng(1);
+    const sim::SimResult result = sim::simulate_plan(
+        g, curve, plan, mobile, cloud, channel, options, rng);
+    EXPECT_NEAR(result.makespan, plan.predicted_makespan,
+                1e-6 * plan.predicted_makespan + 1e-6)
+        << model << " @ " << mbps << " " << core::strategy_name(strategy);
+  }
+}
+
+TEST_P(PredictionVsSimulation, ThreeStageInflationStaysSmall) {
+  const auto& [model, mbps] = GetParam();
+  const dnn::Graph g = models::build(model);
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel(mbps);
+  const auto curve = partition::ProfileCurve::build(g, mobile, channel);
+  const core::Planner planner(curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 10);
+  util::Rng rng(2);
+  const sim::SimResult result =
+      sim::simulate_plan(g, curve, plan, mobile, cloud, channel, {}, rng);
+  EXPECT_GE(result.makespan, plan.predicted_makespan - 1e-6);
+  EXPECT_LE(result.makespan, 1.10 * plan.predicted_makespan)
+      << model << " @ " << mbps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, PredictionVsSimulation,
+    ::testing::Combine(::testing::ValuesIn(models::paper_eval_names()),
+                       ::testing::Values(1.1, 5.85, 18.88)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace jps

@@ -1,0 +1,73 @@
+// VGG family and SqueezeNet.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "dnn/layer.h"
+#include "models/zoo.h"
+
+namespace jps::models {
+namespace {
+
+TEST(VggFamily, ReferenceParameterCounts) {
+  const struct {
+    int depth;
+    std::uint64_t params;
+  } kReference[] = {{11, 132'863'336u},
+                    {13, 133'047'848u},
+                    {16, 138'357'544u},
+                    {19, 143'667'240u}};
+  for (const auto& ref : kReference) {
+    dnn::Graph g = vgg(ref.depth);
+    g.infer();
+    EXPECT_EQ(g.total_params(), ref.params) << "vgg" << ref.depth;
+    EXPECT_TRUE(g.is_line()) << "vgg" << ref.depth;
+  }
+}
+
+TEST(VggFamily, DepthOrdersFlops) {
+  double prev = 0.0;
+  for (const int depth : {11, 13, 16, 19}) {
+    dnn::Graph g = vgg(depth);
+    g.infer();
+    EXPECT_GT(g.total_flops(), prev);
+    prev = g.total_flops();
+  }
+}
+
+TEST(VggFamily, RejectsUnknownDepth) {
+  EXPECT_THROW(vgg(12), std::invalid_argument);
+  EXPECT_THROW(vgg(0), std::invalid_argument);
+}
+
+TEST(Squeezenet, ReferenceParameterCount) {
+  dnn::Graph g = squeezenet();
+  g.infer();
+  // SqueezeNet 1.1 reference weights: ~1.235M parameters.
+  EXPECT_GT(g.total_params(), 1'200'000u);
+  EXPECT_LT(g.total_params(), 1'280'000u);
+}
+
+TEST(Squeezenet, FireModulesMakeItGeneral) {
+  dnn::Graph g = squeezenet();
+  g.infer();
+  EXPECT_FALSE(g.is_line());
+  // Eight 2-branch fire modules: 2^8 paths.
+  EXPECT_EQ(g.path_count(), 256u);
+  // Each fire module ends in a concat; count them.
+  int concats = 0;
+  for (dnn::NodeId id = 0; id < g.size(); ++id)
+    if (g.layer(id).kind() == dnn::LayerKind::kConcat) ++concats;
+  EXPECT_EQ(concats, 8);
+}
+
+TEST(Squeezenet, ConvClassifierNoDense) {
+  dnn::Graph g = squeezenet();
+  g.infer();
+  for (dnn::NodeId id = 0; id < g.size(); ++id)
+    EXPECT_NE(g.layer(id).kind(), dnn::LayerKind::kDense);
+  EXPECT_EQ(g.info(g.sink()).output_shape, dnn::TensorShape::flat(1000));
+}
+
+}  // namespace
+}  // namespace jps::models

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "dnn/layer.h"
+#include "models/zoo.h"
+
+namespace jps::models {
+namespace {
+
+using dnn::Graph;
+using dnn::NodeId;
+using dnn::TensorShape;
+
+TEST(InceptionV4, MatchesPublishedParameterCount) {
+  Graph g = inception_v4();
+  g.infer();
+  // Szegedy et al. report ~42.68M (BN scales); our bias-conv variant lands
+  // within half a percent.
+  EXPECT_GT(g.total_params(), 42'400'000u);
+  EXPECT_LT(g.total_params(), 43'000'000u);
+}
+
+TEST(InceptionV4, MatchesPublishedFlops) {
+  Graph g = inception_v4();
+  g.infer();
+  // ~12.3 GMACs at 299x299 => ~24.6 GFLOPs with MAC = 2 FLOPs.
+  EXPECT_GT(g.total_flops(), 23.5e9);
+  EXPECT_LT(g.total_flops(), 25.5e9);
+}
+
+TEST(InceptionV4, StageShapesFollowThePaper) {
+  Graph g = inception_v4();
+  g.infer();
+  // Walk the concat outputs: the stem ends at 384x35x35, Reduction-A at
+  // 1024x17x17, Reduction-B at 1536x8x8, and the C blocks keep 1536x8x8.
+  std::vector<TensorShape> concats;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (g.layer(id).kind() == dnn::LayerKind::kConcat)
+      concats.push_back(g.info(id).output_shape);
+  }
+  ASSERT_GE(concats.size(), 3u);
+  EXPECT_EQ(concats[2], TensorShape::chw(384, 35, 35));    // stem exit
+  bool saw_reduction_a = false;
+  bool saw_reduction_b = false;
+  for (const auto& s : concats) {
+    saw_reduction_a |= s == TensorShape::chw(1024, 17, 17);
+    saw_reduction_b |= s == TensorShape::chw(1536, 8, 8);
+  }
+  EXPECT_TRUE(saw_reduction_a);
+  EXPECT_TRUE(saw_reduction_b);
+  EXPECT_EQ(g.info(g.sink()).output_shape, TensorShape::flat(1000));
+}
+
+TEST(InceptionV4, PathCountIsAstronomicalButTrunkIsSmall) {
+  Graph g = inception_v4();
+  g.infer();
+  // 4-6-way modules over 14 blocks: far beyond Alg. 3's enumeration reach.
+  EXPECT_GT(g.path_count(), 1'000'000'000ull);
+  // The articulation trunk stays small, so the partition machinery works.
+  const auto trunk = g.articulation_nodes();
+  EXPECT_GE(trunk.size(), 10u);
+  EXPECT_LE(trunk.size(), 40u);
+  EXPECT_THROW(g.enumerate_paths(4096), std::runtime_error);
+}
+
+TEST(RectConv, ShapesAndParams) {
+  // 1x7 factorized conv with "same" padding keeps the map size.
+  const auto conv = dnn::conv2d_rect(64, 1, 7);
+  const std::vector<TensorShape> in{TensorShape::chw(64, 17, 17)};
+  const TensorShape out = conv->infer(in);
+  EXPECT_EQ(out, TensorShape::chw(64, 17, 17));
+  EXPECT_EQ(conv->param_count(in, out), 64u * 64 * 7 + 64);
+  EXPECT_DOUBLE_EQ(conv->flops(in, out),
+                   2.0 * 64 * 17 * 17 * 64 * 7 + 64 * 17 * 17);
+}
+
+TEST(RectConv, ExplicitPaddingAndDescribe) {
+  const auto conv = dnn::conv2d_rect(32, 7, 1, 3, 0);
+  const std::vector<TensorShape> in{TensorShape::chw(16, 20, 20)};
+  EXPECT_EQ(conv->infer(in), TensorShape::chw(32, 20, 20));
+  EXPECT_EQ(conv->describe(), "conv 7x1/1 p3x0 x32");
+}
+
+TEST(RectConv, AsymmetricOutputWithZeroPadding) {
+  const auto conv = dnn::conv2d_rect(8, 3, 1, 0, 0);
+  const std::vector<TensorShape> in{TensorShape::chw(4, 10, 10)};
+  EXPECT_EQ(conv->infer(in), TensorShape::chw(8, 8, 10));
+}
+
+}  // namespace
+}  // namespace jps::models

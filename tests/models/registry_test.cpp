@@ -1,0 +1,68 @@
+#include "models/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jps::models {
+namespace {
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(build("not_a_model"), std::invalid_argument);
+}
+
+TEST(Registry, PaperEvalNamesAreSubsetOfAll) {
+  const auto& all = all_names();
+  for (const auto& name : paper_eval_names()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end())
+        << name << " missing from all_names()";
+  }
+  EXPECT_EQ(paper_eval_names().size(), 4u);
+}
+
+/// Structural invariants every zoo model must satisfy.
+class RegistryModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RegistryModelTest, BuildsInferredAndWellFormed) {
+  const dnn::Graph g = build(GetParam());
+  EXPECT_TRUE(g.inferred());
+  EXPECT_EQ(g.name(), GetParam());
+  EXPECT_GT(g.size(), 5u);
+  EXPECT_GT(g.total_flops(), 0.0);
+  EXPECT_GT(g.total_params(), 0u);
+  // Single source (node 0), single sink (validated by infer()).
+  EXPECT_EQ(g.source(), 0u);
+  EXPECT_EQ(g.layer(0).kind(), dnn::LayerKind::kInput);
+}
+
+TEST_P(RegistryModelTest, EveryNodeOnSomePath) {
+  const dnn::Graph g = build(GetParam());
+  // Every node must be reachable from the source and reach the sink —
+  // i.e. be an ancestor of the sink and have the source as an ancestor.
+  const auto sink_anc = dnn::ancestors_inclusive(g, g.sink());
+  EXPECT_EQ(sink_anc.size(), g.size())
+      << "some nodes cannot reach the sink";
+}
+
+TEST_P(RegistryModelTest, ArticulationNodesIncludeEndpoints) {
+  const dnn::Graph g = build(GetParam());
+  const auto trunk = g.articulation_nodes();
+  ASSERT_GE(trunk.size(), 2u);
+  EXPECT_EQ(trunk.front(), g.source());
+  EXPECT_EQ(trunk.back(), g.sink());
+  EXPECT_TRUE(std::is_sorted(trunk.begin(), trunk.end()));
+}
+
+TEST_P(RegistryModelTest, OutputBytesPositiveEverywhere) {
+  const dnn::Graph g = build(GetParam());
+  for (dnn::NodeId id = 0; id < g.size(); ++id)
+    EXPECT_GT(g.info(id).output_bytes, 0u) << "node " << id;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, RegistryModelTest,
+                         ::testing::ValuesIn(all_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace jps::models

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "models/zoo.h"
+
+namespace jps::models {
+namespace {
+
+TEST(SyntheticLine, DefaultSpecIsLine) {
+  dnn::Graph g = synthetic_line(SyntheticLineSpec{});
+  g.infer();
+  EXPECT_TRUE(g.is_line());
+  EXPECT_EQ(g.path_count(), 1u);
+}
+
+TEST(SyntheticLine, BlockCountControlsDepth) {
+  SyntheticLineSpec small;
+  small.blocks = 2;
+  SyntheticLineSpec big;
+  big.blocks = 12;
+  dnn::Graph gs = synthetic_line(small);
+  dnn::Graph gb = synthetic_line(big);
+  EXPECT_LT(gs.size(), gb.size());
+}
+
+TEST(SyntheticLine, PoolingShrinksVolumeMonotonically) {
+  SyntheticLineSpec spec;
+  spec.blocks = 6;
+  spec.channel_double_every = 0;  // keep channels constant
+  dnn::Graph g = synthetic_line(spec);
+  g.infer();
+  // Volume after each pool layer must strictly decrease.
+  std::uint64_t last_pool_bytes = 0;
+  bool first = true;
+  for (dnn::NodeId id = 0; id < g.size(); ++id) {
+    if (g.layer(id).kind() == dnn::LayerKind::kPool2d) {
+      if (!first) {
+        EXPECT_LT(g.info(id).output_bytes, last_pool_bytes);
+      }
+      last_pool_bytes = g.info(id).output_bytes;
+      first = false;
+    }
+  }
+  EXPECT_FALSE(first) << "expected at least one pool layer";
+}
+
+TEST(SyntheticLine, GlobalPoolHeadWhenNoFc) {
+  SyntheticLineSpec spec;
+  spec.fc_sizes.clear();
+  dnn::Graph g = synthetic_line(spec);
+  g.infer();
+  bool has_gap = false;
+  for (dnn::NodeId id = 0; id < g.size(); ++id)
+    has_gap |= g.layer(id).kind() == dnn::LayerKind::kGlobalAvgPool;
+  EXPECT_TRUE(has_gap);
+}
+
+TEST(SyntheticLine, RejectsBadSpecs) {
+  SyntheticLineSpec bad;
+  bad.blocks = 0;
+  EXPECT_THROW(synthetic_line(bad), std::invalid_argument);
+  SyntheticLineSpec bad2;
+  bad2.pool_every = 0;
+  EXPECT_THROW(synthetic_line(bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jps::models

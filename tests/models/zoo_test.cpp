@@ -1,0 +1,175 @@
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "dnn/graph.h"
+
+namespace jps::models {
+namespace {
+
+using dnn::Graph;
+using dnn::NodeId;
+using dnn::TensorShape;
+
+TEST(AlexNet, MatchesTorchvisionParameterCount) {
+  Graph g = alexnet();
+  g.infer();
+  // The single-tower AlexNet has exactly 61,100,840 parameters (LRN and
+  // dropout are parameter-free, so the optional extras don't change this).
+  EXPECT_EQ(g.total_params(), 61'100'840u);
+}
+
+TEST(AlexNet, ClassifierShapes) {
+  Graph g = alexnet();
+  g.infer();
+  // Find the flatten node and check the canonical 256*6*6 = 9216 features.
+  bool found = false;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (g.layer(id).kind() == dnn::LayerKind::kFlatten) {
+      EXPECT_EQ(g.info(id).output_shape, TensorShape::flat(9216));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(g.info(g.sink()).output_shape, TensorShape::flat(1000));
+}
+
+TEST(AlexNet, IsLineStructured) {
+  Graph g = alexnet();
+  EXPECT_TRUE(g.is_line());
+  EXPECT_EQ(g.path_count(), 1u);
+}
+
+TEST(AlexNet, FlopsInExpectedRange) {
+  Graph g = alexnet();
+  g.infer();
+  // ~0.7 GMAC => ~1.4 GFLOP for the standard 224x224 input.
+  EXPECT_GT(g.total_flops(), 1.3e9);
+  EXPECT_LT(g.total_flops(), 1.6e9);
+}
+
+TEST(AlexNet, LrnToggleOnlyAddsParamFreeNodes) {
+  Graph with = alexnet(1000, true);
+  Graph without = alexnet(1000, false);
+  with.infer();
+  without.infer();
+  EXPECT_EQ(with.total_params(), without.total_params());
+  EXPECT_EQ(with.size(), without.size() + 2);
+}
+
+TEST(Vgg16, MatchesReferenceParameterCount) {
+  Graph g = vgg16();
+  g.infer();
+  EXPECT_EQ(g.total_params(), 138'357'544u);
+}
+
+TEST(Vgg16, FlattenIs25088) {
+  Graph g = vgg16();
+  g.infer();
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (g.layer(id).kind() == dnn::LayerKind::kFlatten) {
+      EXPECT_EQ(g.info(id).output_shape, TensorShape::flat(25088));
+    }
+  }
+  EXPECT_TRUE(g.is_line());
+  // VGG-16 is the classic ~15.5 GFLOP network.
+  EXPECT_GT(g.total_flops(), 29e9);   // 2 FLOPs per MAC
+  EXPECT_LT(g.total_flops(), 32e9);
+}
+
+TEST(ResNet18, MatchesTorchvisionParameterCount) {
+  Graph g = resnet18();
+  g.infer();
+  EXPECT_EQ(g.total_params(), 11'689'512u);
+}
+
+TEST(ResNet18, StructureAndPaths) {
+  Graph g = resnet18();
+  g.infer();
+  EXPECT_FALSE(g.is_line());
+  // 8 basic blocks, each contributing one 2-way branch: 2^8 paths.
+  EXPECT_EQ(g.path_count(), 256u);
+  EXPECT_EQ(g.info(g.sink()).output_shape, TensorShape::flat(1000));
+  // ~1.8 GMAC.
+  EXPECT_GT(g.total_flops(), 3.4e9);
+  EXPECT_LT(g.total_flops(), 3.9e9);
+}
+
+TEST(MobileNetV2, MatchesTorchvisionParameterCount) {
+  Graph g = mobilenet_v2();
+  g.infer();
+  EXPECT_EQ(g.total_params(), 3'504'872u);
+}
+
+TEST(MobileNetV2, BypassLinksMatchPaperFig10) {
+  Graph g = mobilenet_v2();
+  g.infer();
+  // 10 of the 17 bottlenecks have stride 1 and matching channels, so 2^10
+  // source->sink paths.
+  EXPECT_EQ(g.path_count(), 1024u);
+  // ~0.3 GMAC.
+  EXPECT_GT(g.total_flops(), 0.55e9);
+  EXPECT_LT(g.total_flops(), 0.70e9);
+}
+
+TEST(MobileNetV2, WidthMultiplierShrinksModel) {
+  Graph full = mobilenet_v2(1000, 1.0);
+  Graph half = mobilenet_v2(1000, 0.5);
+  full.infer();
+  half.infer();
+  EXPECT_LT(half.total_params(), full.total_params());
+  EXPECT_LT(half.total_flops(), full.total_flops());
+}
+
+TEST(GoogLeNet, ParameterAndPathCounts) {
+  Graph g = googlenet();
+  g.infer();
+  // ~7 M parameters (inference model with biases, no aux heads).
+  EXPECT_GT(g.total_params(), 6'000'000u);
+  EXPECT_LT(g.total_params(), 7'500'000u);
+  // 9 inception modules with 4 branches each: 4^9 paths.
+  EXPECT_EQ(g.path_count(), 262'144u);
+}
+
+TEST(GoogLeNet, InceptionOutputChannels) {
+  Graph g = googlenet();
+  g.infer();
+  // The canonical per-module concat channel counts, in order.
+  const std::vector<std::int64_t> expected{256, 480, 512, 512, 512,
+                                           528, 832, 832, 1024};
+  std::vector<std::int64_t> got;
+  for (NodeId id = 0; id < g.size(); ++id) {
+    if (g.layer(id).kind() == dnn::LayerKind::kConcat)
+      got.push_back(g.info(id).output_shape.channels());
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TinyYolo, DetectionHeadShape) {
+  Graph g = tiny_yolov2();
+  g.infer();
+  // 5 anchors * (5 + 20 classes) = 125 channels on a 13x13 grid.
+  EXPECT_EQ(g.info(g.sink()).output_shape, TensorShape::chw(125, 13, 13));
+  EXPECT_TRUE(g.is_line());
+}
+
+TEST(TinyYolo, ParameterCountRange) {
+  Graph g = tiny_yolov2();
+  g.infer();
+  // The darknet reference weights are ~15.8 M parameters.
+  EXPECT_GT(g.total_params(), 15'000'000u);
+  EXPECT_LT(g.total_params(), 16'500'000u);
+}
+
+TEST(Nin, GlobalAvgPoolClassifier) {
+  Graph g = nin();
+  g.infer();
+  EXPECT_TRUE(g.is_line());
+  EXPECT_EQ(g.info(g.sink()).output_shape, TensorShape::flat(1000));
+  // NiN has no dense layers at all.
+  for (NodeId id = 0; id < g.size(); ++id)
+    EXPECT_NE(g.layer(id).kind(), dnn::LayerKind::kDense);
+}
+
+}  // namespace
+}  // namespace jps::models

@@ -1,0 +1,69 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace jps::net {
+namespace {
+
+TEST(Channel, AffineModel) {
+  const Channel ch(8.0, /*setup_latency_ms=*/5.0);
+  // 8 Mbps = 1000 bytes/ms; 10 KB => 10 ms + 5 ms setup.
+  EXPECT_DOUBLE_EQ(ch.time_ms(10'000), 15.0);
+}
+
+TEST(Channel, ZeroBytesCostsNothing) {
+  const Channel ch(8.0, 5.0);
+  EXPECT_DOUBLE_EQ(ch.time_ms(0), 0.0);
+}
+
+TEST(Channel, TimeScalesInverselyWithBandwidth) {
+  const Channel slow(1.0, 0.0);
+  const Channel fast(4.0, 0.0);
+  EXPECT_NEAR(slow.time_ms(1'000'000) / fast.time_ms(1'000'000), 4.0, 1e-9);
+}
+
+TEST(Channel, PresetsMatchPaperRates) {
+  EXPECT_DOUBLE_EQ(Channel::preset_3g().bandwidth_mbps(), 1.1);
+  EXPECT_DOUBLE_EQ(Channel::preset_4g().bandwidth_mbps(), 5.85);
+  EXPECT_DOUBLE_EQ(Channel::preset_wifi().bandwidth_mbps(), 18.88);
+}
+
+TEST(Channel, WithBandwidthPreservesOtherParams) {
+  const Channel base(10.0, 3.0, 0.2);
+  const Channel scaled = base.with_bandwidth(20.0);
+  EXPECT_DOUBLE_EQ(scaled.bandwidth_mbps(), 20.0);
+  EXPECT_DOUBLE_EQ(scaled.setup_latency_ms(), 3.0);
+  EXPECT_DOUBLE_EQ(scaled.jitter_sigma(), 0.2);
+}
+
+TEST(Channel, Validation) {
+  EXPECT_THROW(Channel(0.0), std::invalid_argument);
+  EXPECT_THROW(Channel(-1.0), std::invalid_argument);
+  EXPECT_THROW(Channel(1.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(Channel(1.0, 0.0, -0.5), std::invalid_argument);
+}
+
+TEST(Channel, SampleWithoutJitterIsDeterministic) {
+  const Channel ch(10.0, 2.0, 0.0);
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(ch.sample_ms(50'000, rng), ch.time_ms(50'000));
+}
+
+TEST(Channel, SampleJitterMedianNearTruth) {
+  const Channel ch(10.0, 2.0, 0.15);
+  util::Rng rng(2);
+  std::vector<double> samples;
+  for (int i = 0; i < 4001; ++i) samples.push_back(ch.sample_ms(100'000, rng));
+  EXPECT_NEAR(util::median(samples), ch.time_ms(100'000),
+              0.03 * ch.time_ms(100'000));
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+}  // namespace
+}  // namespace jps::net

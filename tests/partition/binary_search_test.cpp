@@ -1,0 +1,130 @@
+#include "partition/binary_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "util/rng.h"
+
+namespace jps::partition {
+namespace {
+
+// Craft a monotone curve directly from (f, g) pairs.
+ProfileCurve make_curve(std::vector<std::pair<double, double>> fg) {
+  std::vector<CutPoint> candidates;
+  for (const auto& [f, g] : fg) {
+    CutPoint c;
+    c.f = f;
+    c.g = g;
+    c.offload_bytes = g > 0.0 ? static_cast<std::uint64_t>(g * 1000) : 0;
+    candidates.push_back(c);
+  }
+  CurveOptions opt;
+  opt.cluster = false;  // trust the caller's shape
+  return ProfileCurve::from_candidates("synthetic", std::move(candidates), opt);
+}
+
+TEST(BinarySearch, FindsLeftmostCrossing) {
+  const auto curve =
+      make_curve({{0, 10}, {2, 7}, {4, 5}, {6, 3}, {8, 1}, {10, 0}});
+  const CutDecision d = binary_search_cut(curve);
+  EXPECT_EQ(d.l_star, 3u);  // first index with f >= g (6 >= 3)
+  ASSERT_TRUE(d.l_minus.has_value());
+  EXPECT_EQ(*d.l_minus, 2u);
+  // ratio = floor((6-3)/(5-4)) = 3.
+  EXPECT_EQ(d.ratio, 3);
+}
+
+TEST(BinarySearch, ExactBalanceAtCrossing) {
+  const auto curve = make_curve({{0, 9}, {5, 5}, {8, 1}, {10, 0}});
+  const CutDecision d = binary_search_cut(curve);
+  EXPECT_EQ(d.l_star, 1u);  // f == g counts as crossing
+  EXPECT_EQ(d.ratio, 0);    // no surplus to balance
+}
+
+TEST(BinarySearch, CloudOnlyAlreadyComputationHeavy) {
+  const auto curve = make_curve({{5, 2}, {7, 1}, {9, 0}});
+  const CutDecision d = binary_search_cut(curve);
+  EXPECT_EQ(d.l_star, 0u);
+  EXPECT_FALSE(d.l_minus.has_value());
+  EXPECT_EQ(d.ratio, 0);
+}
+
+TEST(BinarySearch, CrossingOnlyAtLocalOnly) {
+  const auto curve = make_curve({{0, 100}, {1, 99}, {2, 98}, {3, 0}});
+  const CutDecision d = binary_search_cut(curve);
+  EXPECT_EQ(d.l_star, 3u);
+}
+
+TEST(BinarySearch, RejectsNonMonotoneCurves) {
+  const auto curve = make_curve({{0, 5}, {1, 7}, {2, 0}});  // g bumps up
+  EXPECT_THROW((void)binary_search_cut(curve), std::invalid_argument);
+  EXPECT_THROW((void)linear_scan_cut(curve), std::invalid_argument);
+}
+
+TEST(BinarySearch, MatchesLinearScanOnRandomMonotoneCurves) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int k = static_cast<int>(rng.uniform_int(2, 40));
+    std::vector<std::pair<double, double>> fg;
+    double f = 0.0;
+    double g = rng.uniform(10.0, 100.0);
+    for (int i = 0; i < k; ++i) {
+      fg.emplace_back(f, g);
+      f += rng.uniform(0.0, 6.0);
+      g = std::max(0.0, g - rng.uniform(0.0, 12.0));
+    }
+    fg.emplace_back(f, 0.0);
+    const auto curve = make_curve(std::move(fg));
+    const CutDecision bin = binary_search_cut(curve);
+    const CutDecision lin = linear_scan_cut(curve);
+    EXPECT_EQ(bin.l_star, lin.l_star) << "trial " << trial;
+    EXPECT_EQ(bin.l_minus, lin.l_minus) << "trial " << trial;
+    EXPECT_EQ(bin.ratio, lin.ratio) << "trial " << trial;
+  }
+}
+
+TEST(BinarySearch, LogarithmicIterationBound) {
+  // O(log k): the loop halves [lo, hi] every iteration.
+  util::Rng rng(99);
+  for (const int k : {4, 16, 64, 256, 1024}) {
+    std::vector<std::pair<double, double>> fg;
+    for (int i = 0; i < k; ++i)
+      fg.emplace_back(static_cast<double>(i),
+                      static_cast<double>(k - i) - 0.5);
+    fg.emplace_back(static_cast<double>(k), 0.0);
+    const auto curve = make_curve(std::move(fg));
+    const CutDecision d = binary_search_cut(curve);
+    EXPECT_LE(d.iterations,
+              static_cast<int>(std::ceil(std::log2(curve.size()))) + 1)
+        << "k=" << k;
+  }
+}
+
+TEST(BinarySearch, InvariantHoldsOnRealModels) {
+  // f(l*-1) < g(l*-1) and f(l*) >= g(l*) — the loop invariant of Alg. 2.
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  for (const auto& name : models::all_names()) {
+    const dnn::Graph g = models::build(name);
+    for (const double bw : {1.1, 5.85, 18.88}) {
+      const auto curve = ProfileCurve::build(g, mobile, net::Channel(bw));
+      const CutDecision d = binary_search_cut(curve);
+      EXPECT_GE(curve.f(d.l_star), curve.g(d.l_star)) << name << " " << bw;
+      if (d.l_minus) {
+        EXPECT_LT(curve.f(*d.l_minus), curve.g(*d.l_minus)) << name << " " << bw;
+      }
+    }
+  }
+}
+
+TEST(BinarySearch, EmptyCurveRejected) {
+  ProfileCurve empty;
+  EXPECT_THROW((void)binary_search_cut(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jps::partition

@@ -1,0 +1,114 @@
+#include "partition/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "models/registry.h"
+#include "net/channel.h"
+#include "partition/binary_search.h"
+#include "profile/device.h"
+
+namespace jps::partition {
+namespace {
+
+// Build a curve sampled from exactly the shapes Theorem 5.2 assumes:
+// f(x) = a + b x (linear increasing), g(x) = c e^{-dx} (convex decreasing).
+ProfileCurve ideal_curve(int k, double a, double b, double c, double d) {
+  std::vector<CutPoint> candidates;
+  for (int i = 0; i < k; ++i) {
+    CutPoint cut;
+    cut.f = (i == 0) ? 0.0 : a + b * static_cast<double>(i);
+    cut.g = c * std::exp(-d * static_cast<double>(i));
+    cut.offload_bytes = 1000;  // every cut offloads (pure curve study)
+    candidates.push_back(cut);
+  }
+  CutPoint last;
+  last.f = a + b * static_cast<double>(k);
+  last.g = 0.0;
+  last.offload_bytes = 0;
+  candidates.push_back(last);
+  CurveOptions opt;
+  opt.cluster = false;
+  return ProfileCurve::from_candidates("ideal", std::move(candidates), opt);
+}
+
+TEST(Continuous, SolvesFEqualsG) {
+  const auto curve = ideal_curve(20, 0.0, 2.0, 100.0, 0.3);
+  const ContinuousRelaxation r = relax_continuous(curve);
+  // x* solves 2x = 100 e^{-0.3x}: x* ~ 6.70 (2*6.70 = 13.4 = 100 e^{-2.01}).
+  EXPECT_NEAR(r.x_star, 6.70, 0.3);
+  EXPECT_NEAR(r.f_fit(r.x_star), r.g_fit(r.x_star), 0.5);
+  EXPECT_GT(r.f_fit.r2, 0.99);
+  EXPECT_GT(r.g_fit.r2, 0.99);
+}
+
+TEST(Continuous, XStarBracketsAlgorithm2Cut) {
+  // On ideal curves, the discrete l* of Alg. 2 is one of the two integers
+  // around the continuous x*.
+  const auto curve = ideal_curve(20, 0.0, 2.0, 100.0, 0.3);
+  const ContinuousRelaxation r = relax_continuous(curve);
+  const CutDecision d = binary_search_cut(curve);
+  EXPECT_GE(static_cast<double>(d.l_star) + 1.0, r.x_star - 1.0);
+  EXPECT_LE(static_cast<double>(d.l_star) - 1.0, r.x_star + 1.0);
+}
+
+TEST(Continuous, ClampsWhenNoInteriorCrossing) {
+  // f above g everywhere: x* = 0.
+  const auto high_f = ideal_curve(10, 50.0, 5.0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(relax_continuous(high_f).x_star, 0.0);
+}
+
+TEST(Continuous, RequiresAtLeastThreeCuts) {
+  std::vector<CutPoint> two(2);
+  two[0].g = 1.0;
+  two[1].f = 1.0;
+  CurveOptions opt;
+  opt.cluster = false;
+  const auto curve = ProfileCurve::from_candidates("tiny", std::move(two), opt);
+  EXPECT_THROW((void)relax_continuous(curve), std::invalid_argument);
+}
+
+TEST(Continuous, StageBoundInterpolation) {
+  const auto curve = ideal_curve(10, 0.0, 1.0, 20.0, 0.4);
+  // At an integer x the bound equals max(f, g) of that cut.
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_NEAR(interpolated_stage_bound(curve, static_cast<double>(i)),
+                std::max(curve.f(i), curve.g(i)), 1e-9);
+  }
+  // Clamped outside the domain.
+  EXPECT_NEAR(interpolated_stage_bound(curve, -3.0),
+              std::max(curve.f(0), curve.g(0)), 1e-9);
+  EXPECT_NEAR(
+      interpolated_stage_bound(curve, 1e6),
+      std::max(curve.f(curve.size() - 1), curve.g(curve.size() - 1)), 1e-9);
+}
+
+TEST(Continuous, XStarMinimizesInterpolatedBound) {
+  // Theorem 5.2: cutting everything at x* is optimal in the relaxation, so
+  // the interpolated bound at x* must (approximately) minimize over a grid.
+  const auto curve = ideal_curve(24, 0.0, 1.5, 120.0, 0.25);
+  const ContinuousRelaxation r = relax_continuous(curve);
+  const double at_star = interpolated_stage_bound(curve, r.x_star);
+  double grid_best = at_star;
+  for (double x = 0.0; x <= 23.0; x += 0.05)
+    grid_best = std::min(grid_best, interpolated_stage_bound(curve, x));
+  EXPECT_NEAR(at_star, grid_best, 0.05 * grid_best + 0.5);
+}
+
+TEST(Continuous, WorksOnRealAlexNetCurve) {
+  const dnn::Graph g = models::build("alexnet");
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const auto curve = ProfileCurve::build(g, mobile, net::Channel::preset_4g());
+  const ContinuousRelaxation r = relax_continuous(curve);
+  EXPECT_GE(r.x_star, 0.0);
+  EXPECT_LE(r.x_star, static_cast<double>(curve.size() - 1));
+  EXPECT_GT(r.f_fit.slope, 0.0);      // f increasing
+  EXPECT_GT(r.g_fit.decay, 0.0);      // g decaying
+  EXPECT_GT(r.f_fit.r2, 0.7);         // near-linear (paper's observation)
+  EXPECT_GT(r.g_fit.r2, 0.7);         // near-exponential
+}
+
+}  // namespace
+}  // namespace jps::partition

@@ -1,0 +1,196 @@
+#include "partition/general_dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "dnn/layer.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+
+namespace jps::partition {
+namespace {
+
+using dnn::Graph;
+using dnn::NodeId;
+using dnn::TensorShape;
+
+// Fig. 9(a): v0..v7, three source->sink paths.
+Graph make_fig9() {
+  Graph g("fig9");
+  const TensorShape s = TensorShape::chw(8, 16, 16);
+  const NodeId v0 = g.add(dnn::input(s));
+  const NodeId v1 = g.add(dnn::activation(dnn::ActivationKind::kReLU), {v0});
+  const NodeId v2 = g.add(dnn::activation(dnn::ActivationKind::kReLU), {v1});
+  const NodeId v3 = g.add(dnn::activation(dnn::ActivationKind::kReLU), {v1});
+  const NodeId v4 = g.add(dnn::add(), {v2, v3});
+  const NodeId v5 = g.add(dnn::activation(dnn::ActivationKind::kReLU), {v0});
+  const NodeId v6 = g.add(dnn::activation(dnn::ActivationKind::kReLU), {v5});
+  (void)g.add(dnn::add(), {v4, v6});
+  g.infer();
+  return g;
+}
+
+// A single-inception-module network: stem conv -> 4-way module -> head.
+Graph make_mini_inception() {
+  Graph g("mini_inception");
+  NodeId x = g.add(dnn::input(TensorShape::chw(3, 32, 32)));
+  x = g.add(dnn::conv2d(16, 3, 1, 1), {x});
+  const NodeId entry = g.add(dnn::activation(dnn::ActivationKind::kReLU), {x});
+  const NodeId b1 = g.add(dnn::conv2d(8, 1), {entry});
+  NodeId b2 = g.add(dnn::conv2d(4, 1), {entry});
+  b2 = g.add(dnn::conv2d(8, 3, 1, 1), {b2});
+  NodeId b3 = g.add(dnn::pool2d(dnn::PoolKind::kMax, 3, 1, 1), {entry});
+  b3 = g.add(dnn::conv2d(8, 1), {b3});
+  const NodeId join = g.add(dnn::concat(), {b1, b2, b3});
+  NodeId y = g.add(dnn::global_avg_pool(), {join});
+  y = g.add(dnn::flatten(), {y});
+  (void)g.add(dnn::dense(10), {y});
+  g.infer();
+  return g;
+}
+
+NodeTimeFn mobile_fn(const Graph& g) {
+  static const profile::LatencyModel model(
+      profile::DeviceProfile::raspberry_pi_4b());
+  return [&g](NodeId id) { return model.node_time_ms(g, id); };
+}
+
+CommTimeFn comm_fn() {
+  static const net::Channel channel = net::Channel::preset_4g();
+  return [](std::uint64_t bytes) { return channel.time_ms(bytes); };
+}
+
+TEST(ConvertToPaths, Fig9YieldsThreeIndependentPaths) {
+  const Graph g = make_fig9();
+  const PathDecomposition d = convert_to_paths(g);
+  ASSERT_EQ(d.paths.size(), 3u);
+  // The conversion duplicates v0 across paths (out-degree 2), so the same
+  // original id may appear in several paths, but within one path ids are
+  // unique and ordered.
+  for (const auto& path : d.paths) {
+    EXPECT_TRUE(std::is_sorted(path.begin(), path.end()));
+    EXPECT_EQ(std::set<NodeId>(path.begin(), path.end()).size(), path.size());
+  }
+}
+
+TEST(ConvertToPaths, RespectsCap) {
+  const Graph g = models::build("googlenet");
+  EXPECT_THROW(convert_to_paths(g, 1000), std::runtime_error);
+}
+
+TEST(Alg3PathCuts, OnePerPathWithValidPrefixes) {
+  const Graph g = make_fig9();
+  const auto cuts = alg3_path_cuts(g, mobile_fn(g), comm_fn());
+  ASSERT_EQ(cuts.size(), 3u);
+  const auto paths = convert_to_paths(g).paths;
+  for (const auto& cut : cuts) {
+    const auto& path = paths[cut.path_index];
+    ASSERT_LT(cut.cut_pos, path.size());
+    // local_nodes must be exactly the path prefix up to cut_pos.
+    ASSERT_EQ(cut.local_nodes.size(), cut.cut_pos + 1);
+    for (std::size_t i = 0; i <= cut.cut_pos; ++i)
+      EXPECT_EQ(cut.local_nodes[i], path[i]);
+    if (cut.cut_node) {
+      EXPECT_EQ(*cut.cut_node, path[cut.cut_pos]);
+      EXPECT_GT(cut.g_dup, 0.0);
+    } else {
+      EXPECT_EQ(cut.cut_pos, path.size() - 1);
+      EXPECT_DOUBLE_EQ(cut.g_dup, 0.0);
+    }
+    EXPECT_GE(cut.f_dup, 0.0);
+  }
+}
+
+TEST(DecomposeSegments, LineGraphHasNoBranchedSegments) {
+  const Graph g = models::build("alexnet");
+  const auto segments = decompose_segments(g);
+  EXPECT_EQ(segments.size(), g.size() - 1);  // consecutive trunk pairs
+  for (const auto& seg : segments) {
+    ASSERT_EQ(seg.branches.size(), 1u);
+    EXPECT_TRUE(seg.branches.front().empty());
+  }
+}
+
+TEST(DecomposeSegments, MiniInceptionModule) {
+  const Graph g = make_mini_inception();
+  const auto segments = decompose_segments(g);
+  // Exactly one segment has parallel branches (the module).
+  std::size_t branched = 0;
+  for (const auto& seg : segments) {
+    if (seg.branches.size() >= 2) {
+      ++branched;
+      EXPECT_EQ(seg.branches.size(), 3u);
+      // Interior nodes per branch: 1, 2, 2.
+      std::vector<std::size_t> sizes;
+      for (const auto& b : seg.branches) sizes.push_back(b.size());
+      std::sort(sizes.begin(), sizes.end());
+      EXPECT_EQ(sizes, (std::vector<std::size_t>{1, 2, 2}));
+    }
+  }
+  EXPECT_EQ(branched, 1u);
+}
+
+TEST(SpreadCuts, CombinationCountAndConsistency) {
+  const Graph g = make_mini_inception();
+  const auto spread = spread_cut_candidates(g, mobile_fn(g), comm_fn());
+  // (1+1)(2+1)(2+1) - 1 (all-zero skipped) = 17 candidates.
+  EXPECT_EQ(spread.size(), 17u);
+  for (const auto& c : spread) {
+    EXPECT_FALSE(c.cut_nodes.empty());
+    EXPECT_GT(c.offload_bytes, 0u);
+    EXPECT_GT(c.g, 0.0);
+    EXPECT_GT(c.f, 0.0);
+    // Local nodes are sorted and include the cut nodes' prefix.
+    EXPECT_TRUE(std::is_sorted(c.local_nodes.begin(), c.local_nodes.end()));
+    // Offload bytes must equal the sum of cut-node outputs.
+    std::uint64_t bytes = 0;
+    for (const NodeId v : c.cut_nodes) bytes += g.info(v).output_bytes;
+    EXPECT_EQ(bytes, c.offload_bytes);
+  }
+}
+
+TEST(SpreadCuts, EntryOutputCountedOnceWhenSharedBranchesUncut) {
+  const Graph g = make_fig9();
+  const auto spread = spread_cut_candidates(g, mobile_fn(g), comm_fn());
+  // Fig. 9 has a single segment (v0..v7) with branches of sizes 3 and 2:
+  // (3+1)(2+1) - 1 = 11 candidates.  Hmm — v1..v4 is itself branched, so
+  // the segment is complex and yields no spread candidates.
+  EXPECT_TRUE(spread.empty());
+}
+
+TEST(GeneralCurve, SupersetOfTrunkCurveAndMonotone) {
+  const Graph g = make_mini_inception();
+  const auto trunk =
+      ProfileCurve::build(g, mobile_fn(g), comm_fn());
+  const auto general = build_general_curve(g, mobile_fn(g), comm_fn());
+  EXPECT_TRUE(general.is_monotone());
+  EXPECT_GE(general.size(), 2u);
+  // Every kept general cut must dominate or equal trunk options; at minimum
+  // the general curve's best single-job latency cannot be worse.
+  double best_trunk = 1e300;
+  for (std::size_t i = 0; i < trunk.size(); ++i)
+    best_trunk = std::min(best_trunk, trunk.f(i) + trunk.g(i));
+  double best_general = 1e300;
+  for (std::size_t i = 0; i < general.size(); ++i)
+    best_general = std::min(best_general, general.f(i) + general.g(i));
+  EXPECT_LE(best_general, best_trunk + 1e-9);
+}
+
+TEST(GeneralCurve, GoogLeNetTractable) {
+  // GoogLeNet's 4^9 paths make Alg. 3 intractable, but the segment spread
+  // machinery enumerates its inception modules fine.
+  const Graph g = models::build("googlenet");
+  const auto curve = build_general_curve(g, mobile_fn(g), comm_fn());
+  EXPECT_TRUE(curve.is_monotone());
+  EXPECT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.f(0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.g(curve.local_only_index()), 0.0);
+}
+
+}  // namespace
+}  // namespace jps::partition

@@ -1,0 +1,191 @@
+#include "partition/profile_curve.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "models/registry.h"
+#include "models/zoo.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/profiler.h"
+
+namespace jps::partition {
+namespace {
+
+profile::LatencyModel mobile_model() {
+  return profile::LatencyModel(profile::DeviceProfile::raspberry_pi_4b());
+}
+
+TEST(ProfileCurve, EndpointsAreCloudOnlyAndLocalOnly) {
+  const dnn::Graph g = models::build("alexnet");
+  const auto curve =
+      ProfileCurve::build(g, mobile_model(), net::Channel::preset_4g());
+  ASSERT_GE(curve.size(), 2u);
+  // Cut 0: nothing computed locally except the free input node.
+  EXPECT_DOUBLE_EQ(curve.f(0), 0.0);
+  EXPECT_GT(curve.g(0), 0.0);
+  EXPECT_EQ(curve.cut(0).offload_bytes, 3u * 224 * 224 * 4);
+  // Last cut: everything local, nothing offloaded.
+  const std::size_t last = curve.local_only_index();
+  EXPECT_DOUBLE_EQ(curve.g(last), 0.0);
+  EXPECT_EQ(curve.cut(last).offload_bytes, 0u);
+  EXPECT_NEAR(curve.f(last), mobile_model().graph_time_ms(g), 1e-9);
+  EXPECT_TRUE(curve.cut(last).cut_nodes.empty());
+}
+
+TEST(ProfileCurve, ClusteredCurveIsMonotone) {
+  for (const auto& name : models::all_names()) {
+    const dnn::Graph g = models::build(name);
+    const auto curve =
+        ProfileCurve::build(g, mobile_model(), net::Channel::preset_wifi());
+    EXPECT_TRUE(curve.is_monotone()) << name;
+    EXPECT_GE(curve.size(), 2u) << name;
+  }
+}
+
+TEST(ProfileCurve, UnclusteredAlexNetHasNonMonotoneG) {
+  // AlexNet conv1 blows the volume up over the input (64x55x55 > 3x224x224);
+  // without clustering the curve must expose that bump.
+  const dnn::Graph g = models::build("alexnet");
+  CurveOptions raw;
+  raw.cluster = false;
+  const auto curve = ProfileCurve::build(g, mobile_model(),
+                                         net::Channel::preset_wifi(), raw);
+  EXPECT_FALSE(curve.is_monotone());
+  EXPECT_GT(curve.size(),
+            ProfileCurve::build(g, mobile_model(), net::Channel::preset_wifi())
+                .size());
+}
+
+TEST(ProfileCurve, ClusteringNeverLosesTheOptimalCut) {
+  // Every pruned candidate is dominated: some kept candidate has f <= its f
+  // and g <= its g.  Verify on all models at 4G.
+  for (const auto& name : models::all_names()) {
+    const dnn::Graph g = models::build(name);
+    CurveOptions raw;
+    raw.cluster = false;
+    const net::Channel ch = net::Channel::preset_4g();
+    const auto full = ProfileCurve::build(g, mobile_model(), ch, raw);
+    const auto clustered = ProfileCurve::build(g, mobile_model(), ch);
+    for (std::size_t i = 0; i < full.size(); ++i) {
+      bool dominated = false;
+      for (std::size_t j = 0; j < clustered.size(); ++j) {
+        if (clustered.f(j) <= full.f(i) + 1e-9 &&
+            clustered.g(j) <= full.g(i) + 1e-9) {
+          dominated = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(dominated) << name << " candidate " << i;
+    }
+  }
+}
+
+TEST(ProfileCurve, FIsPrefixSumOfMobileTimes) {
+  const dnn::Graph g = models::build("alexnet");  // line: trunk = all nodes
+  CurveOptions raw;
+  raw.cluster = false;
+  const auto curve = ProfileCurve::build(g, mobile_model(),
+                                         net::Channel::preset_4g(), raw);
+  ASSERT_EQ(curve.size(), g.size());
+  double prefix = 0.0;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    prefix += mobile_model().node_time_ms(g, i);
+    EXPECT_NEAR(curve.f(i), prefix, 1e-9);
+    EXPECT_EQ(curve.cut(i).local_nodes.size(), i + 1);
+  }
+}
+
+TEST(ProfileCurve, MobileNetCollapsesBottlenecksToVirtualBlocks) {
+  // §6.1: bottleneck residual modules must cluster into virtual blocks;
+  // no kept cut may sit strictly inside a bypass link.
+  const dnn::Graph g = models::build("mobilenet_v2");
+  const auto curve =
+      ProfileCurve::build(g, mobile_model(), net::Channel::preset_4g());
+  const auto trunk = g.articulation_nodes();
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve.cut(i).cut_nodes.empty()) continue;  // local-only endpoint
+    const dnn::NodeId node = curve.cut(i).cut_nodes.front();
+    EXPECT_NE(std::find(trunk.begin(), trunk.end(), node), trunk.end())
+        << "cut inside a residual block at node " << node;
+  }
+}
+
+TEST(ProfileCurve, LookupTableBuildMatchesModelBuild) {
+  const dnn::Graph g = models::build("alexnet");
+  // A noiseless profiling campaign reproduces the analytic model exactly,
+  // so the two build paths must agree.
+  profile::ProfilerOptions opt;
+  opt.noise_sigma = 0.0;
+  const profile::Profiler profiler(profile::DeviceProfile::raspberry_pi_4b(),
+                                   opt);
+  util::Rng rng(5);
+  profile::LookupTable table;
+  table.add_graph(g, profiler.measure_graph(g, rng));
+
+  const net::Channel ch = net::Channel::preset_4g();
+  const auto from_table = ProfileCurve::build(g, table, ch);
+  const auto from_model = ProfileCurve::build(g, mobile_model(), ch);
+  ASSERT_EQ(from_table.size(), from_model.size());
+  for (std::size_t i = 0; i < from_table.size(); ++i) {
+    EXPECT_NEAR(from_table.f(i), from_model.f(i), 1e-9);
+    EXPECT_NEAR(from_table.g(i), from_model.g(i), 1e-9);
+  }
+}
+
+TEST(ProfileCurve, CloudTimesFilledWhenRequested) {
+  const dnn::Graph g = models::build("alexnet");
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  CurveOptions opt;
+  opt.with_cloud_times = true;
+  const auto curve = ProfileCurve::build(g, mobile_model(),
+                                         net::Channel::preset_4g(), opt, &cloud);
+  // Cloud remainder shrinks as the cut moves deeper; zero at local-only.
+  for (std::size_t i = 1; i < curve.size(); ++i)
+    EXPECT_LE(curve.cut(i).cloud, curve.cut(i - 1).cloud + 1e-9);
+  EXPECT_NEAR(curve.cut(curve.local_only_index()).cloud, 0.0, 1e-9);
+  EXPECT_NEAR(curve.cut(0).cloud, cloud.graph_time_ms(g), 1e-9);
+}
+
+TEST(ProfileCurve, WithFittedCommKeepsEndpointsAndMonotonicity) {
+  const dnn::Graph g = models::build("alexnet");
+  const auto curve =
+      ProfileCurve::build(g, mobile_model(), net::Channel::preset_4g());
+  const auto smoothed = curve.with_fitted_comm();
+  EXPECT_EQ(smoothed.size(), curve.size());
+  EXPECT_EQ(smoothed.model_name(), curve.model_name() + "'");
+  // f untouched; local-only g stays 0.
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    EXPECT_DOUBLE_EQ(smoothed.f(i), curve.f(i));
+  EXPECT_DOUBLE_EQ(smoothed.g(smoothed.local_only_index()), 0.0);
+  EXPECT_TRUE(smoothed.is_monotone());
+}
+
+TEST(ProfileCurve, AsCutOptionsMirrorsFG) {
+  const dnn::Graph g = models::build("alexnet");
+  const auto curve =
+      ProfileCurve::build(g, mobile_model(), net::Channel::preset_4g());
+  const auto options = curve.as_cut_options();
+  ASSERT_EQ(options.size(), curve.size());
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    EXPECT_DOUBLE_EQ(options[i].f, curve.f(i));
+    EXPECT_DOUBLE_EQ(options[i].g, curve.g(i));
+  }
+}
+
+TEST(ProfileCurve, Validation) {
+  EXPECT_THROW(ProfileCurve::from_candidates("x", {}), std::invalid_argument);
+  const dnn::Graph g("uninfered");
+  ProfileCurve curve;
+  EXPECT_THROW((void)curve.cut(0), std::out_of_range);
+  dnn::Graph raw = models::alexnet();
+  EXPECT_THROW(ProfileCurve::build(
+                   raw, [](dnn::NodeId) { return 1.0; },
+                   [](std::uint64_t) { return 1.0; }),
+               std::invalid_argument);  // graph not inferred
+}
+
+}  // namespace
+}  // namespace jps::partition

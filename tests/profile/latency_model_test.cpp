@@ -1,0 +1,106 @@
+#include "profile/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include "models/registry.h"
+#include "profile/device.h"
+
+namespace jps::profile {
+namespace {
+
+TEST(DeviceProfiles, PresetsAreOrdered) {
+  const DeviceProfile pi = DeviceProfile::raspberry_pi_4b();
+  const DeviceProfile phone = DeviceProfile::midrange_phone();
+  const DeviceProfile cloud = DeviceProfile::cloud_gtx1080();
+  EXPECT_LT(pi.conv_gflops, phone.conv_gflops);
+  EXPECT_LT(phone.conv_gflops, cloud.conv_gflops);
+  EXPECT_LT(pi.memory_gbps, cloud.memory_gbps);
+}
+
+TEST(LatencyModel, InputNodeIsFree) {
+  const dnn::Graph g = models::build("alexnet");
+  const LatencyModel mobile(DeviceProfile::raspberry_pi_4b());
+  EXPECT_DOUBLE_EQ(mobile.node_time_ms(g, g.source()), 0.0);
+}
+
+TEST(LatencyModel, EveryOtherNodeCostsAtLeastOverhead) {
+  const dnn::Graph g = models::build("alexnet");
+  const DeviceProfile dev = DeviceProfile::raspberry_pi_4b();
+  const LatencyModel mobile(dev);
+  for (dnn::NodeId id = 1; id < g.size(); ++id)
+    EXPECT_GE(mobile.node_time_ms(g, id), dev.per_layer_overhead_ms);
+}
+
+TEST(LatencyModel, GraphTimeIsSumOfNodes) {
+  const dnn::Graph g = models::build("mobilenet_v2");
+  const LatencyModel mobile(DeviceProfile::raspberry_pi_4b());
+  double sum = 0.0;
+  for (dnn::NodeId id = 0; id < g.size(); ++id)
+    sum += mobile.node_time_ms(g, id);
+  EXPECT_DOUBLE_EQ(mobile.graph_time_ms(g), sum);
+}
+
+TEST(LatencyModel, CloudOrdersOfMagnitudeFaster) {
+  // The premise of §3.1/Fig. 4(a): cloud compute is negligible next to
+  // mobile compute.  Verify >= 20x on every paper model.
+  const LatencyModel mobile(DeviceProfile::raspberry_pi_4b());
+  const LatencyModel cloud(DeviceProfile::cloud_gtx1080());
+  for (const auto& name : models::paper_eval_names()) {
+    const dnn::Graph g = models::build(name);
+    EXPECT_GT(mobile.graph_time_ms(g), 20.0 * cloud.graph_time_ms(g)) << name;
+  }
+}
+
+TEST(LatencyModel, RooflineMemoryBoundPath) {
+  // A pooling layer has trivial FLOPs; its time must be dominated by the
+  // bandwidth term, so halving memory bandwidth roughly doubles it.
+  const dnn::Graph g = models::build("alexnet");
+  dnn::NodeId pool = 0;
+  for (dnn::NodeId id = 0; id < g.size(); ++id)
+    if (g.layer(id).kind() == dnn::LayerKind::kPool2d) pool = id;
+  ASSERT_NE(pool, 0u);
+
+  DeviceProfile fast = DeviceProfile::raspberry_pi_4b();
+  DeviceProfile slow = fast;
+  slow.memory_gbps = fast.memory_gbps / 2.0;
+  fast.per_layer_overhead_ms = slow.per_layer_overhead_ms = 0.0;
+  const double t_fast = LatencyModel(fast).node_time_ms(g, pool);
+  const double t_slow = LatencyModel(slow).node_time_ms(g, pool);
+  EXPECT_NEAR(t_slow / t_fast, 2.0, 0.01);
+}
+
+TEST(LatencyModel, ComputeBoundConvScalesWithRate) {
+  const dnn::Graph g = models::build("vgg16");
+  // vgg conv2 (node index 3: input, conv, relu, conv) is a fat 3x3 conv.
+  dnn::NodeId conv = 0;
+  int seen = 0;
+  for (dnn::NodeId id = 0; id < g.size() && seen < 2; ++id) {
+    if (g.layer(id).kind() == dnn::LayerKind::kConv2d) {
+      conv = id;
+      ++seen;
+    }
+  }
+  DeviceProfile fast = DeviceProfile::raspberry_pi_4b();
+  fast.per_layer_overhead_ms = 0.0;
+  DeviceProfile slow = fast;
+  slow.conv_gflops = fast.conv_gflops / 4.0;
+  const double t_fast = LatencyModel(fast).node_time_ms(g, conv);
+  const double t_slow = LatencyModel(slow).node_time_ms(g, conv);
+  EXPECT_NEAR(t_slow / t_fast, 4.0, 0.05);
+}
+
+TEST(LatencyModel, AbsoluteCalibrationSanity) {
+  // Pi-4B-class AlexNet inference sits in the 0.2-2 s band; GTX1080-class
+  // in the 1-50 ms band.  Coarse bands only — the algorithms depend on
+  // shapes, not absolutes.
+  const dnn::Graph g = models::build("alexnet");
+  const double pi = LatencyModel(DeviceProfile::raspberry_pi_4b()).graph_time_ms(g);
+  const double gpu = LatencyModel(DeviceProfile::cloud_gtx1080()).graph_time_ms(g);
+  EXPECT_GT(pi, 200.0);
+  EXPECT_LT(pi, 2000.0);
+  EXPECT_GT(gpu, 1.0);
+  EXPECT_LT(gpu, 50.0);
+}
+
+}  // namespace
+}  // namespace jps::profile

@@ -1,0 +1,80 @@
+#include "profile/lookup_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "models/registry.h"
+#include "profile/profiler.h"
+
+namespace jps::profile {
+namespace {
+
+TEST(LookupTable, SetGetAt) {
+  LookupTable table;
+  table.set("alexnet", 3, 12.5);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_DOUBLE_EQ(*table.get("alexnet", 3), 12.5);
+  EXPECT_FALSE(table.get("alexnet", 4).has_value());
+  EXPECT_FALSE(table.get("vgg16", 3).has_value());
+  EXPECT_DOUBLE_EQ(table.at("alexnet", 3), 12.5);
+  EXPECT_THROW((void)table.at("alexnet", 4), std::out_of_range);
+}
+
+TEST(LookupTable, OverwriteReplaces) {
+  LookupTable table;
+  table.set("m", 0, 1.0);
+  table.set("m", 0, 2.0);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.at("m", 0), 2.0);
+}
+
+TEST(LookupTable, SerializeRoundTrip) {
+  LookupTable table;
+  table.set("alexnet", 0, 0.0);
+  table.set("alexnet", 1, 17.25);
+  table.set("model with spaces", 2, 1e-6);
+  const LookupTable parsed = LookupTable::deserialize(table.serialize());
+  EXPECT_EQ(parsed.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed.at("alexnet", 1), 17.25);
+  EXPECT_DOUBLE_EQ(parsed.at("model with spaces", 2), 1e-6);
+}
+
+TEST(LookupTable, DeserializeRejectsGarbage) {
+  EXPECT_THROW(LookupTable::deserialize("not a header\n"), std::runtime_error);
+  EXPECT_THROW(
+      LookupTable::deserialize("jps-lookup-table v1\nbad line here\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      LookupTable::deserialize("jps-lookup-table v1\nm\tnotanum\t3.0\n"),
+      std::runtime_error);
+}
+
+TEST(LookupTable, SaveLoadFile) {
+  const std::string path = ::testing::TempDir() + "/jps_lookup_test.tsv";
+  LookupTable table;
+  table.set("resnet18", 7, 42.0);
+  table.save(path);
+  const LookupTable loaded = LookupTable::load(path);
+  EXPECT_DOUBLE_EQ(loaded.at("resnet18", 7), 42.0);
+  std::remove(path.c_str());
+}
+
+TEST(LookupTable, LoadMissingFileThrows) {
+  EXPECT_THROW(LookupTable::load("/nonexistent/jps.tsv"), std::runtime_error);
+}
+
+TEST(LookupTable, CoversAfterProfilingCampaign) {
+  const dnn::Graph g = models::build("alexnet");
+  const Profiler profiler(DeviceProfile::raspberry_pi_4b());
+  util::Rng rng(11);
+  LookupTable table;
+  EXPECT_FALSE(table.covers(g));
+  table.add_graph(g, profiler.measure_graph(g, rng));
+  EXPECT_TRUE(table.covers(g));
+  EXPECT_EQ(table.size(), g.size());
+}
+
+}  // namespace
+}  // namespace jps::profile

@@ -1,0 +1,81 @@
+#include "profile/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "models/registry.h"
+
+namespace jps::profile {
+namespace {
+
+TEST(Profiler, NoiselessMeasurementEqualsModel) {
+  const dnn::Graph g = models::build("alexnet");
+  ProfilerOptions opt;
+  opt.noise_sigma = 0.0;
+  opt.trials = 3;
+  const Profiler profiler(DeviceProfile::raspberry_pi_4b(), opt);
+  util::Rng rng(1);
+  for (dnn::NodeId id = 0; id < g.size(); ++id) {
+    const ProfileRecord rec = profiler.measure_node(g, id, rng);
+    EXPECT_DOUBLE_EQ(rec.median_ms, profiler.model().node_time_ms(g, id));
+    EXPECT_DOUBLE_EQ(rec.stddev_ms, 0.0);
+  }
+}
+
+TEST(Profiler, NoisyMedianTracksTruth) {
+  const dnn::Graph g = models::build("alexnet");
+  ProfilerOptions opt;
+  opt.noise_sigma = 0.10;
+  opt.trials = 101;
+  const Profiler profiler(DeviceProfile::raspberry_pi_4b(), opt);
+  util::Rng rng(7);
+  // The heaviest conv node: median of 101 log-normal samples within ~5%.
+  dnn::NodeId heavy = 1;
+  double heavy_t = 0.0;
+  for (dnn::NodeId id = 0; id < g.size(); ++id) {
+    const double t = profiler.model().node_time_ms(g, id);
+    if (t > heavy_t) {
+      heavy_t = t;
+      heavy = id;
+    }
+  }
+  const ProfileRecord rec = profiler.measure_node(g, heavy, rng);
+  EXPECT_NEAR(rec.median_ms, heavy_t, 0.05 * heavy_t);
+  EXPECT_GT(rec.stddev_ms, 0.0);
+}
+
+TEST(Profiler, MeasureGraphCoversAllNodes) {
+  const dnn::Graph g = models::build("mobilenet_v2");
+  const Profiler profiler(DeviceProfile::raspberry_pi_4b());
+  util::Rng rng(3);
+  const auto records = profiler.measure_graph(g, rng);
+  ASSERT_EQ(records.size(), g.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(records[i].node, i);
+}
+
+TEST(Profiler, RejectsBadOptions) {
+  ProfilerOptions bad;
+  bad.trials = 0;
+  EXPECT_THROW(Profiler(DeviceProfile::raspberry_pi_4b(), bad),
+               std::invalid_argument);
+  ProfilerOptions bad2;
+  bad2.noise_sigma = -0.1;
+  EXPECT_THROW(Profiler(DeviceProfile::raspberry_pi_4b(), bad2),
+               std::invalid_argument);
+}
+
+TEST(Profiler, DeterministicForFixedSeed) {
+  const dnn::Graph g = models::build("alexnet");
+  const Profiler profiler(DeviceProfile::raspberry_pi_4b());
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  const auto a = profiler.measure_graph(g, rng_a);
+  const auto b = profiler.measure_graph(g, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].median_ms, b[i].median_ms);
+}
+
+}  // namespace
+}  // namespace jps::profile

@@ -1,0 +1,183 @@
+#include "runtime/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dnn/layer.h"
+
+namespace jps::runtime {
+namespace {
+
+using dnn::TensorShape;
+
+Tensor make_tensor(const TensorShape& shape, std::initializer_list<float> v) {
+  Tensor t(shape);
+  std::size_t i = 0;
+  for (const float x : v) t[i++] = x;
+  EXPECT_EQ(i, t.size());
+  return t;
+}
+
+TEST(Kernels, Conv1x1IdentityCopiesChannel) {
+  // One input channel, one output channel, 1x1 kernel with weight 1.
+  const auto layer = dnn::conv2d(1, 1, 1, 0, 1, /*bias=*/false);
+  const Tensor in = make_tensor(TensorShape::chw(1, 2, 2), {1, 2, 3, 4});
+  LayerWeights w;
+  w.weights = {1.0f};
+  const Tensor out = run_layer(*layer, {{in}}, w);
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(Kernels, Conv3x3HandComputed) {
+  // 1 channel 3x3 input, 3x3 kernel of ones, padding 1: center output equals
+  // the sum of all 9 elements; corner output the sum of its 2x2 block.
+  const auto layer = dnn::conv2d(1, 3, 1, 1, 1, /*bias=*/false);
+  const Tensor in =
+      make_tensor(TensorShape::chw(1, 3, 3), {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  LayerWeights w;
+  w.weights.assign(9, 1.0f);
+  const Tensor out = run_layer(*layer, {{in}}, w);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 45.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1 + 2 + 4 + 5);
+  EXPECT_FLOAT_EQ(out.at(0, 2, 2), 5 + 6 + 8 + 9);
+}
+
+TEST(Kernels, ConvBiasAndStride) {
+  // 2x2 stride-2 kernel of ones + bias 10 over a 4x4 ramp.
+  const auto layer = dnn::conv2d(1, 2, 2, 0, 1, /*bias=*/true);
+  Tensor in(TensorShape::chw(1, 4, 4));
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = static_cast<float>(i);
+  LayerWeights w;
+  w.weights.assign(4, 1.0f);
+  w.bias = {10.0f};
+  const Tensor out = run_layer(*layer, {{in}}, w);
+  EXPECT_EQ(out.shape(), TensorShape::chw(1, 2, 2));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0 + 1 + 4 + 5 + 10);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 10 + 11 + 14 + 15 + 10);
+}
+
+TEST(Kernels, DepthwiseConvKeepsChannelsSeparate) {
+  const auto layer = dnn::depthwise_conv2d(1, 1, 0);  // 1x1 depthwise
+  const Tensor in = make_tensor(TensorShape::chw(2, 1, 2), {1, 2, 10, 20});
+  LayerWeights w;
+  w.weights = {3.0f, 5.0f};  // one weight per channel
+  const Tensor out = run_layer(*layer, {{in}}, w);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 0), 50.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0, 1), 100.0f);
+}
+
+TEST(Kernels, RectConv1x3) {
+  const auto layer = dnn::conv2d_rect(1, 1, 3, 0, 1, /*bias=*/false);
+  const Tensor in = make_tensor(TensorShape::chw(1, 1, 3), {1, 2, 3});
+  LayerWeights w;
+  w.weights = {1.0f, 1.0f, 1.0f};
+  const Tensor out = run_layer(*layer, {{in}}, w);
+  EXPECT_EQ(out.shape(), TensorShape::chw(1, 1, 3));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);   // 0-pad + 1 + 2
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 6.0f);   // 1 + 2 + 3
+  EXPECT_FLOAT_EQ(out.at(0, 0, 2), 5.0f);   // 2 + 3 + 0-pad
+}
+
+TEST(Kernels, MaxAndAvgPool) {
+  const Tensor in =
+      make_tensor(TensorShape::chw(1, 2, 2), {1, 2, 3, 4});
+  const LayerWeights none;
+  const auto max_pool = dnn::pool2d(dnn::PoolKind::kMax, 2, 2);
+  EXPECT_FLOAT_EQ(run_layer(*max_pool, {{in}}, none)[0], 4.0f);
+  const auto avg_pool = dnn::pool2d(dnn::PoolKind::kAvg, 2, 2);
+  EXPECT_FLOAT_EQ(run_layer(*avg_pool, {{in}}, none)[0], 2.5f);
+}
+
+TEST(Kernels, AvgPoolPaddingDividesByWindowCount) {
+  // 3x3/1 p1 average at the corner sees only 4 valid elements.
+  const Tensor in =
+      make_tensor(TensorShape::chw(1, 2, 2), {1, 2, 3, 4});
+  const auto pool = dnn::pool2d(dnn::PoolKind::kAvg, 3, 1, 1);
+  const LayerWeights none;
+  const Tensor out = run_layer(*pool, {{in}}, none);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), (1 + 2 + 3 + 4) / 4.0f);
+}
+
+TEST(Kernels, GlobalAvgPool) {
+  const Tensor in =
+      make_tensor(TensorShape::chw(2, 1, 2), {1, 3, 10, 30});
+  const auto gap = dnn::global_avg_pool();
+  const LayerWeights none;
+  const Tensor out = run_layer(*gap, {{in}}, none);
+  EXPECT_FLOAT_EQ(out[0], 2.0f);
+  EXPECT_FLOAT_EQ(out[1], 20.0f);
+}
+
+TEST(Kernels, DenseMatVec) {
+  const auto layer = dnn::dense(2, /*bias=*/true);
+  const Tensor in = make_tensor(TensorShape::flat(3), {1, 2, 3});
+  LayerWeights w;
+  w.weights = {1, 0, 0, /*row 2:*/ 1, 1, 1};
+  w.bias = {100, 200};
+  const Tensor out = run_layer(*layer, {{in}}, w);
+  EXPECT_FLOAT_EQ(out[0], 101.0f);
+  EXPECT_FLOAT_EQ(out[1], 206.0f);
+}
+
+TEST(Kernels, Activations) {
+  const LayerWeights none;
+  const Tensor in = make_tensor(TensorShape::flat(3), {-1, 3, 9});
+  const auto relu = dnn::activation(dnn::ActivationKind::kReLU);
+  const Tensor r = run_layer(*relu, {{in}}, none);
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[2], 9.0f);
+  const auto relu6 = dnn::activation(dnn::ActivationKind::kReLU6);
+  EXPECT_FLOAT_EQ(run_layer(*relu6, {{in}}, none)[2], 6.0f);
+  const auto softmax = dnn::activation(dnn::ActivationKind::kSoftmax);
+  const Tensor s = run_layer(*softmax, {{in}}, none);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GT(s[i], 0.0f);
+    sum += s[i];
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(Kernels, BatchNormAffine) {
+  const auto bn = dnn::batch_norm();
+  const Tensor in = make_tensor(TensorShape::chw(2, 1, 1), {3, 5});
+  LayerWeights w;
+  w.weights = {2.0f, 10.0f, /*beta:*/ 1.0f, -1.0f};
+  const Tensor out = run_layer(*bn, {{in}}, w);
+  EXPECT_FLOAT_EQ(out[0], 7.0f);    // 2*3 + 1
+  EXPECT_FLOAT_EQ(out[1], 49.0f);   // 10*5 - 1
+}
+
+TEST(Kernels, AddAndConcat) {
+  const LayerWeights none;
+  const Tensor a = make_tensor(TensorShape::chw(1, 1, 2), {1, 2});
+  const Tensor b = make_tensor(TensorShape::chw(1, 1, 2), {10, 20});
+  const auto add = dnn::add();
+  const Tensor sum = run_layer(*add, {{a, b}}, none);
+  EXPECT_FLOAT_EQ(sum[0], 11.0f);
+  const auto cat = dnn::concat();
+  const Tensor joined = run_layer(*cat, {{a, b}}, none);
+  EXPECT_EQ(joined.shape(), TensorShape::chw(2, 1, 2));
+  EXPECT_FLOAT_EQ(joined[0], 1.0f);
+  EXPECT_FLOAT_EQ(joined[2], 10.0f);
+}
+
+TEST(Kernels, WeightCountValidated) {
+  const auto layer = dnn::conv2d(1, 1, 1, 0, 1, /*bias=*/false);
+  const Tensor in(TensorShape::chw(1, 2, 2));
+  LayerWeights wrong;  // missing the single weight
+  EXPECT_THROW((void)run_layer(*layer, {{in}}, wrong), std::invalid_argument);
+}
+
+TEST(Kernels, InputNodesRejected) {
+  const auto layer = dnn::input(TensorShape::chw(1, 1, 1));
+  EXPECT_THROW((void)run_layer(*layer, {}, LayerWeights{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jps::runtime

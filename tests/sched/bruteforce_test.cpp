@@ -1,0 +1,142 @@
+#include "sched/bruteforce.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace jps::sched {
+namespace {
+
+// A random monotone cut set: f non-decreasing, g non-increasing — the shape
+// every clustered profile curve has.
+std::vector<CutOption> random_monotone_cuts(util::Rng& rng, int k) {
+  std::vector<CutOption> cuts(static_cast<std::size_t>(k));
+  double f = 0.0;
+  double g = rng.uniform(20.0, 40.0);
+  for (auto& c : cuts) {
+    c.f = f;
+    c.g = g;
+    f += rng.uniform(0.1, 5.0);
+    g = std::max(0.0, g - rng.uniform(0.1, 8.0));
+  }
+  cuts.back().g = 0.0;  // local-only endpoint
+  return cuts;
+}
+
+TEST(AssignmentMakespan, SingleCut) {
+  const std::vector<CutOption> cuts{{3.0, 4.0}};
+  const std::vector<int> assignment{0, 0};
+  // Two identical jobs (3,4): 3 + max(3, 4) + 4 = 11.
+  EXPECT_DOUBLE_EQ(assignment_makespan(cuts, assignment), 11.0);
+}
+
+TEST(BestPermutation, RejectsLargeInputs) {
+  JobList jobs(11);
+  EXPECT_THROW((void)best_permutation_makespan(jobs), std::invalid_argument);
+}
+
+TEST(BruteforceExact, FindsMixedOptimumOfPaperExample) {
+  // Fig. 2: cuts (f=4, g=6) and (f=7, g=2); two jobs.  Mixed partition
+  // gives 13, any homogeneous one gives 16.
+  const std::vector<CutOption> cuts{{4.0, 6.0}, {7.0, 2.0}};
+  const BruteForceResult result = bruteforce_exact(cuts, 2);
+  EXPECT_DOUBLE_EQ(result.makespan, 13.0);
+  EXPECT_EQ(result.cuts, (std::vector<int>{0, 1}));
+  EXPECT_EQ(result.evaluated, 3u);  // multisets {00, 01, 11}
+}
+
+TEST(BruteforceExact, EnumerationCountMatchesFormula) {
+  // C(n+k-1, k-1) multisets for n jobs over k cuts.
+  const std::vector<CutOption> cuts{{0, 5}, {1, 3}, {2, 0}};
+  const BruteForceResult result = bruteforce_exact(cuts, 4);
+  EXPECT_EQ(result.evaluated, 15u);  // C(6,2)
+}
+
+TEST(BruteforceExact, CapGuard) {
+  const std::vector<CutOption> cuts(20, CutOption{1.0, 1.0});
+  EXPECT_THROW(bruteforce_exact(cuts, 50, /*max_assignments=*/1000),
+               std::invalid_argument);
+}
+
+TEST(BruteforceExact, Validation) {
+  EXPECT_THROW(bruteforce_exact({}, 2), std::invalid_argument);
+  const std::vector<CutOption> cuts{{1, 1}};
+  EXPECT_THROW(bruteforce_exact(cuts, 0), std::invalid_argument);
+}
+
+TEST(BruteforceTwoType, CoversSingleTypeAssignments) {
+  // With one cut, the only assignment is all-jobs-at-0.
+  const std::vector<CutOption> cuts{{2.0, 3.0}};
+  const BruteForceResult result = bruteforce_two_type(cuts, 3);
+  EXPECT_EQ(result.cuts, (std::vector<int>{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(result.makespan, assignment_makespan(cuts, result.cuts));
+}
+
+TEST(BruteforceTwoType, NearOptimalWithVanishingBoundaryGap) {
+  // Theorem 5.3's two-type sufficiency is exact only under its stated
+  // conditions.  On general monotone cut sets a third cut type can shave
+  // the boundary terms f(x1)/g(xn) of Prop. 4.1, but that advantage is
+  // O(1/n): measured worst gaps on this distribution are ~14% at n=4 and
+  // ~3% at n=32.  Assert the 1.5/n envelope and the exact lower bound.
+  util::Rng rng(21);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int k = static_cast<int>(rng.uniform_int(2, 6));
+    const int n = static_cast<int>(rng.uniform_int(1, 7));
+    const auto cuts = random_monotone_cuts(rng, k);
+    const BruteForceResult exact = bruteforce_exact(cuts, n);
+    const BruteForceResult two = bruteforce_two_type(cuts, n);
+    EXPECT_GE(two.makespan, exact.makespan - 1e-9)
+        << "trial " << trial;  // exact enumerates a superset
+    EXPECT_LE(two.makespan,
+              exact.makespan * (1.0 + 1.5 / static_cast<double>(n)) + 1e-9)
+        << "trial " << trial << " k=" << k << " n=" << n;
+  }
+}
+
+TEST(BruteforceTwoType, BoundaryGapShrinksWithJobCount) {
+  // The same cut set, growing n: the two-type gap must fade (O(1/n)).
+  util::Rng rng(22);
+  const auto cuts = random_monotone_cuts(rng, 6);
+  double gap_small = 0.0;
+  double gap_large = 0.0;
+  for (const int n : {4, 32}) {
+    const BruteForceResult exact = bruteforce_exact(cuts, n, 50'000'000);
+    const BruteForceResult two = bruteforce_two_type(cuts, n);
+    const double gap = two.makespan / exact.makespan - 1.0;
+    (n == 4 ? gap_small : gap_large) = gap;
+  }
+  EXPECT_LE(gap_large, gap_small + 1e-9);
+  EXPECT_LE(gap_large, 0.05);
+}
+
+TEST(BruteforceTwoType, NeverWorseThanAnyHomogeneousAssignment) {
+  util::Rng rng(31);
+  const auto cuts = random_monotone_cuts(rng, 8);
+  const int n = 25;
+  const BruteForceResult result = bruteforce_two_type(cuts, n);
+  for (std::size_t c = 0; c < cuts.size(); ++c) {
+    const std::vector<int> homogeneous(static_cast<std::size_t>(n),
+                                       static_cast<int>(c));
+    EXPECT_LE(result.makespan,
+              assignment_makespan(cuts, homogeneous) + 1e-9);
+  }
+}
+
+TEST(BruteforceTwoType, ResultAssignmentIsConsistent) {
+  util::Rng rng(41);
+  const auto cuts = random_monotone_cuts(rng, 5);
+  const BruteForceResult result = bruteforce_two_type(cuts, 10);
+  ASSERT_EQ(result.cuts.size(), 10u);
+  EXPECT_NEAR(result.makespan, assignment_makespan(cuts, result.cuts), 1e-9);
+  // At most two distinct cut values.
+  std::vector<int> distinct = result.cuts;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()), distinct.end());
+  EXPECT_LE(distinct.size(), 2u);
+}
+
+}  // namespace
+}  // namespace jps::sched

@@ -1,0 +1,148 @@
+#include "sched/makespan.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/johnson.h"
+#include "util/rng.h"
+
+namespace jps::sched {
+namespace {
+
+JobList make_jobs(std::initializer_list<std::pair<double, double>> fg) {
+  JobList jobs;
+  int id = 0;
+  for (const auto& [f, g] : fg)
+    jobs.push_back(Job{.id = id++, .cut = -1, .f = f, .g = g});
+  return jobs;
+}
+
+TEST(Flowshop2, SingleJob) {
+  const JobList jobs = make_jobs({{3, 4}});
+  EXPECT_DOUBLE_EQ(flowshop2_makespan(jobs), 7.0);
+}
+
+TEST(Flowshop2, PipelineOverlaps) {
+  // Job 1 comp [0,4], comm [4,10]; job 2 comp [4,11], comm [11,13].
+  const JobList jobs = make_jobs({{4, 6}, {7, 2}});
+  EXPECT_DOUBLE_EQ(flowshop2_makespan(jobs), 13.0);
+  const auto timeline = flowshop2_timeline(jobs);
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].comm_start, 4.0);
+  EXPECT_DOUBLE_EQ(timeline[1].comp_start, 4.0);
+  EXPECT_DOUBLE_EQ(timeline[1].comm_start, 11.0);
+  EXPECT_DOUBLE_EQ(timeline[1].completion(), 13.0);
+}
+
+TEST(Flowshop2, CommQueuesBehindPreviousComm) {
+  // Job 2's comp finishes early but must wait for the link.
+  const JobList jobs = make_jobs({{1, 10}, {1, 5}});
+  const auto timeline = flowshop2_timeline(jobs);
+  EXPECT_DOUBLE_EQ(timeline[1].comp_end, 2.0);
+  EXPECT_DOUBLE_EQ(timeline[1].comm_start, 11.0);  // waits for job 1's comm
+  EXPECT_DOUBLE_EQ(flowshop2_makespan(jobs), 16.0);
+}
+
+TEST(Flowshop2, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(flowshop2_makespan(JobList{}), 0.0);
+}
+
+TEST(Flowshop2, TimelineMatchesMakespan) {
+  util::Rng rng(4);
+  JobList jobs;
+  for (int i = 0; i < 20; ++i)
+    jobs.push_back(Job{.id = i,
+                       .cut = -1,
+                       .f = rng.uniform(0.0, 5.0),
+                       .g = rng.uniform(0.0, 5.0)});
+  const auto timeline = flowshop2_timeline(jobs);
+  double max_completion = 0.0;
+  for (const auto& t : timeline)
+    max_completion = std::max(max_completion, t.completion());
+  EXPECT_DOUBLE_EQ(max_completion, flowshop2_makespan(jobs));
+}
+
+TEST(Flowshop3, CloudStageExtendsMakespan) {
+  JobList jobs = make_jobs({{4, 6}, {7, 2}});
+  for (auto& j : jobs) j.cloud = 1.0;
+  EXPECT_DOUBLE_EQ(flowshop3_makespan(jobs), 14.0);  // 13 + trailing cloud
+  // With zero cloud time the 3-stage result collapses to the 2-stage one.
+  for (auto& j : jobs) j.cloud = 0.0;
+  EXPECT_DOUBLE_EQ(flowshop3_makespan(jobs), flowshop2_makespan(jobs));
+}
+
+TEST(ClosedForm, MatchesPropositionFormula) {
+  // f(x1) + max{sum f(x_i>=2), sum g(x_i<=n-1)} + g(x_n).
+  const JobList jobs = make_jobs({{2, 9}, {3, 5}, {6, 1}});
+  const double expected = 2.0 + std::max(3.0 + 6.0, 9.0 + 5.0) + 1.0;
+  EXPECT_DOUBLE_EQ(closed_form_makespan(jobs), expected);
+}
+
+TEST(ClosedForm, LowerBoundsRecurrenceAlways) {
+  // The closed form is max over j in {1, n} of the flow-shop critical-path
+  // expression, hence never exceeds the full recurrence.
+  util::Rng rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    JobList jobs;
+    const int n = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < n; ++i)
+      jobs.push_back(Job{.id = i,
+                         .cut = -1,
+                         .f = rng.uniform(0.0, 10.0),
+                         .g = rng.uniform(0.0, 10.0)});
+    EXPECT_LE(closed_form_makespan(jobs), flowshop2_makespan(jobs) + 1e-9);
+  }
+}
+
+TEST(ClosedForm, ExactUnderJohnsonForTwoAdjacentCutTypes) {
+  // Proposition 4.1's setting: identical jobs from two adjacent cut types
+  // of a monotone curve, Johnson-ordered.  The closed form is then exact.
+  util::Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random adjacent pair: comm-heavy (f1 < g1) and comp-heavy (f2 >= g2)
+    // with f1 <= f2 and g1 >= g2 (monotone curve).
+    const double f1 = rng.uniform(0.0, 5.0);
+    const double g1 = f1 + rng.uniform(0.1, 5.0);
+    const double f2 = f1 + rng.uniform(0.0, 5.0);
+    const double g2 = rng.uniform(0.0, std::min(f2, g1));
+    JobList jobs;
+    const int n1 = static_cast<int>(rng.uniform_int(0, 6));
+    const int n2 = static_cast<int>(rng.uniform_int(0, 6));
+    if (n1 + n2 == 0) continue;
+    for (int i = 0; i < n1; ++i)
+      jobs.push_back(Job{.id = i, .cut = 0, .f = f1, .g = g1});
+    for (int i = 0; i < n2; ++i)
+      jobs.push_back(Job{.id = n1 + i, .cut = 1, .f = f2, .g = g2});
+    const JohnsonSchedule s = johnson_order(jobs);
+    const JobList ordered = apply_order(jobs, s.order);
+    EXPECT_NEAR(closed_form_makespan(ordered), flowshop2_makespan(ordered),
+                1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(AverageBound, MatchesHandComputation) {
+  const JobList jobs = make_jobs({{2, 8}, {4, 2}});
+  // max(sum f, sum g)/n = max(6, 10)/2 = 5.
+  EXPECT_DOUBLE_EQ(average_makespan_bound(jobs), 5.0);
+  EXPECT_DOUBLE_EQ(average_makespan_bound(JobList{}), 0.0);
+}
+
+TEST(AverageBound, LowerBoundsPerJobMakespan) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    JobList jobs;
+    const int n = static_cast<int>(rng.uniform_int(1, 15));
+    for (int i = 0; i < n; ++i)
+      jobs.push_back(Job{.id = i,
+                         .cut = -1,
+                         .f = rng.uniform(0.0, 10.0),
+                         .g = rng.uniform(0.0, 10.0)});
+    const JohnsonSchedule s = johnson_order(jobs);
+    const double makespan = flowshop2_makespan(apply_order(jobs, s.order));
+    EXPECT_LE(average_makespan_bound(jobs),
+              makespan / static_cast<double>(n) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace jps::sched

@@ -1,0 +1,128 @@
+#include "sched/release.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+#include "util/rng.h"
+
+namespace jps::sched {
+namespace {
+
+TimedJob make_timed(int id, double f, double g, double release) {
+  return TimedJob{Job{.id = id, .cut = -1, .f = f, .g = g}, release};
+}
+
+TEST(Release, ZeroReleasesMatchPlainFlowshop) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 10));
+    std::vector<TimedJob> timed;
+    JobList plain;
+    for (int i = 0; i < n; ++i) {
+      const double f = rng.uniform(0.0, 10.0);
+      const double g = rng.uniform(0.0, 10.0);
+      timed.push_back(make_timed(i, f, g, 0.0));
+      plain.push_back(timed.back().job);
+    }
+    EXPECT_NEAR(flowshop2_makespan_released(timed), flowshop2_makespan(plain),
+                1e-12);
+  }
+}
+
+TEST(Release, ComputationWaitsForRelease) {
+  const std::vector<TimedJob> jobs{make_timed(0, 2, 3, 10.0)};
+  const auto timeline = flowshop2_timeline_released(jobs);
+  EXPECT_DOUBLE_EQ(timeline[0].comp_start, 10.0);
+  EXPECT_DOUBLE_EQ(flowshop2_makespan_released(jobs), 15.0);
+}
+
+TEST(Release, PipelineAcrossArrivals) {
+  // Frame every 5 ms; comp 4, comm 6: the link becomes the bottleneck.
+  std::vector<TimedJob> jobs;
+  for (int i = 0; i < 4; ++i)
+    jobs.push_back(make_timed(i, 4, 6, 5.0 * i));
+  const auto timeline = flowshop2_timeline_released(jobs);
+  // comp: [0,4],[5,9],[10,14],[15,19]; comm chains: [4,10],[10,16],[16,22],[22,28].
+  EXPECT_DOUBLE_EQ(timeline[3].comm_end, 28.0);
+}
+
+TEST(Release, JohnsonByReleaseOrdering) {
+  std::vector<TimedJob> jobs{make_timed(0, 8, 1, 0.0), make_timed(1, 1, 9, 0.0),
+                             make_timed(2, 5, 5, 7.0)};
+  const auto order = johnson_by_release(jobs);
+  // Equal releases 0: Johnson prefers job 1 (min(f1,g0)=1 <= min(f0,g1)=8).
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(Release, BatchedJohnsonGroupsWindows) {
+  std::vector<TimedJob> jobs{
+      make_timed(0, 8, 1, 0.0), make_timed(1, 1, 9, 1.0),
+      make_timed(2, 9, 2, 20.0), make_timed(3, 2, 8, 21.0)};
+  const auto order = batched_johnson(jobs, 10.0);
+  // Window [0,10): Johnson -> 1 then 0.  Window [20,30): 3 then 2.
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0, 3, 2}));
+  EXPECT_THROW(batched_johnson(jobs, 0.0), std::invalid_argument);
+}
+
+TEST(Release, PoliciesNearPermutationOptimum) {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(2, 7));
+    std::vector<TimedJob> jobs;
+    for (int i = 0; i < n; ++i)
+      jobs.push_back(make_timed(i, rng.uniform(0.0, 10.0),
+                                rng.uniform(0.0, 10.0),
+                                rng.uniform(0.0, 20.0)));
+    const double best = best_permutation_makespan_released(jobs);
+
+    auto eval = [&](const std::vector<std::size_t>& order) {
+      std::vector<TimedJob> ordered;
+      for (const std::size_t idx : order) ordered.push_back(jobs[idx]);
+      return flowshop2_makespan_released(ordered);
+    };
+    const double stream = eval(johnson_by_release(jobs));
+    const double batched = eval(batched_johnson(jobs, 10.0));
+    EXPECT_GE(stream, best - 1e-9);
+    EXPECT_GE(batched, best - 1e-9);
+    // Online policies have no look-ahead, so only a coarse band holds on
+    // adversarial random instances (worst observed ~1.4x).
+    EXPECT_LE(std::min(stream, batched), 1.5 * best) << "trial " << trial;
+  }
+}
+
+TEST(Release, BatchingHelpsWhenArrivalsCluster) {
+  // Two bursts of mixed jobs: batching recovers Johnson's grouping inside
+  // each burst, beating strict arrival order.
+  std::vector<TimedJob> jobs;
+  int id = 0;
+  for (const double burst : {0.0, 100.0}) {
+    for (int i = 0; i < 4; ++i) {
+      // Alternate starting with a COMP-heavy job: strict arrival order then
+      // fronts a long computation, which Johnson's grouping avoids.
+      const bool comm_heavy = i % 2 == 1;
+      jobs.push_back(make_timed(id++, comm_heavy ? 2.0 : 9.0,
+                                comm_heavy ? 8.0 : 1.0,
+                                burst + 0.1 * i));
+    }
+  }
+  auto eval = [&](const std::vector<std::size_t>& order) {
+    std::vector<TimedJob> ordered;
+    for (const std::size_t idx : order) ordered.push_back(jobs[idx]);
+    return flowshop2_makespan_released(ordered);
+  };
+  const double stream = eval(johnson_by_release(jobs));
+  const double batched = eval(batched_johnson(jobs, 10.0));
+  EXPECT_LT(batched, stream);
+}
+
+TEST(Release, EmptyInput) {
+  EXPECT_DOUBLE_EQ(flowshop2_makespan_released({}), 0.0);
+  EXPECT_DOUBLE_EQ(best_permutation_makespan_released({}), 0.0);
+  EXPECT_TRUE(johnson_by_release({}).empty());
+}
+
+}  // namespace
+}  // namespace jps::sched

@@ -1,0 +1,129 @@
+#include "sim/event_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jps::sim {
+namespace {
+
+TEST(EventSim, SingleTask) {
+  EventSimulator sim;
+  const ResourceId r = sim.add_resource("cpu");
+  const TaskId t = sim.add_task(r, 5.0, {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.record(t).start, 0.0);
+  EXPECT_DOUBLE_EQ(sim.record(t).end, 5.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 5.0);
+  EXPECT_DOUBLE_EQ(sim.busy_time(r), 5.0);
+}
+
+TEST(EventSim, ResourceSerializesTasks) {
+  EventSimulator sim;
+  const ResourceId r = sim.add_resource("cpu");
+  const TaskId a = sim.add_task(r, 3.0, {});
+  const TaskId b = sim.add_task(r, 4.0, {});
+  sim.run();
+  // FIFO by submission index.
+  EXPECT_DOUBLE_EQ(sim.record(a).start, 0.0);
+  EXPECT_DOUBLE_EQ(sim.record(b).start, 3.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 7.0);
+}
+
+TEST(EventSim, IndependentResourcesRunInParallel) {
+  EventSimulator sim;
+  const ResourceId r1 = sim.add_resource("cpu");
+  const ResourceId r2 = sim.add_resource("link");
+  const TaskId a = sim.add_task(r1, 3.0, {});
+  const TaskId b = sim.add_task(r2, 4.0, {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.record(a).start, 0.0);
+  EXPECT_DOUBLE_EQ(sim.record(b).start, 0.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 4.0);
+}
+
+TEST(EventSim, DependenciesGateStart) {
+  EventSimulator sim;
+  const ResourceId cpu = sim.add_resource("cpu");
+  const ResourceId link = sim.add_resource("link");
+  const TaskId compute = sim.add_task(cpu, 3.0, {});
+  const TaskId transfer = sim.add_task(link, 2.0, {compute});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.record(transfer).start, 3.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 5.0);
+}
+
+TEST(EventSim, ReproducesTwoStageFlowShop) {
+  // Two jobs (f=4,g=6) and (f=7,g=2) in that order: the Fig. 2 pipeline,
+  // makespan 13.
+  EventSimulator sim;
+  const ResourceId cpu = sim.add_resource("cpu");
+  const ResourceId link = sim.add_resource("link");
+  const TaskId f1 = sim.add_task(cpu, 4.0, {});
+  const TaskId g1 = sim.add_task(link, 6.0, {f1});
+  const TaskId f2 = sim.add_task(cpu, 7.0, {});
+  const TaskId g2 = sim.add_task(link, 2.0, {f2});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.record(g1).start, 4.0);
+  EXPECT_DOUBLE_EQ(sim.record(f2).start, 4.0);
+  EXPECT_DOUBLE_EQ(sim.record(g2).start, 11.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 13.0);
+}
+
+TEST(EventSim, FifoPrefersLowerSubmissionIndex) {
+  EventSimulator sim;
+  const ResourceId cpu = sim.add_resource("cpu");
+  const TaskId gate = sim.add_task(cpu, 1.0, {});
+  // Both become ready when `gate` finishes; the earlier-submitted wins.
+  const TaskId second = sim.add_task(cpu, 1.0, {gate});
+  const TaskId third = sim.add_task(cpu, 1.0, {gate});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.record(second).start, 1.0);
+  EXPECT_DOUBLE_EQ(sim.record(third).start, 2.0);
+}
+
+TEST(EventSim, ZeroDurationTasksAreFine) {
+  EventSimulator sim;
+  const ResourceId cpu = sim.add_resource("cpu");
+  const TaskId a = sim.add_task(cpu, 0.0, {});
+  const TaskId b = sim.add_task(cpu, 2.0, {a});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.record(b).start, 0.0);
+  EXPECT_DOUBLE_EQ(sim.makespan(), 2.0);
+}
+
+TEST(EventSim, Validation) {
+  EventSimulator sim;
+  EXPECT_THROW(sim.add_task(0, 1.0, {}), std::invalid_argument);  // no resource
+  const ResourceId cpu = sim.add_resource("cpu");
+  EXPECT_THROW(sim.add_task(cpu, -1.0, {}), std::invalid_argument);
+  EXPECT_THROW(sim.add_task(cpu, 1.0, {5}), std::invalid_argument);
+  const TaskId t = sim.add_task(cpu, 1.0, {});
+  (void)t;
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);  // run once only
+  EXPECT_THROW((void)sim.record(99), std::out_of_range);
+  EXPECT_THROW((void)sim.busy_time(9), std::out_of_range);
+}
+
+TEST(EventSim, EmptySimulation) {
+  EventSimulator sim;
+  (void)sim.add_resource("cpu");
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.makespan(), 0.0);
+}
+
+TEST(EventSim, BusyTimeAccumulates) {
+  EventSimulator sim;
+  const ResourceId cpu = sim.add_resource("cpu");
+  (void)sim.add_task(cpu, 2.0, {});
+  (void)sim.add_task(cpu, 3.0, {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.busy_time(cpu), 5.0);
+  EXPECT_EQ(sim.resource_name(cpu), "cpu");
+  EXPECT_EQ(sim.task_count(), 2u);
+  EXPECT_EQ(sim.resource_count(), 1u);
+}
+
+}  // namespace
+}  // namespace jps::sim

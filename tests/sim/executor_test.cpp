@@ -1,0 +1,156 @@
+#include "sim/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+
+namespace jps::sim {
+namespace {
+
+struct Testbed {
+  dnn::Graph graph;
+  profile::LatencyModel mobile;
+  profile::LatencyModel cloud;
+  net::Channel channel;
+  partition::ProfileCurve curve;
+
+  explicit Testbed(const std::string& model, double mbps = 5.85)
+      : graph(models::build(model)),
+        mobile(profile::DeviceProfile::raspberry_pi_4b()),
+        cloud(profile::DeviceProfile::cloud_gtx1080()),
+        channel(mbps),
+        curve(partition::ProfileCurve::build(graph, mobile, channel)) {}
+};
+
+TEST(Executor, NoiselessTwoStageMatchesRecurrence) {
+  Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  for (const core::Strategy strat :
+       {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+        core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
+    const core::ExecutionPlan plan = planner.plan(strat, 12);
+    SimOptions opt;
+    opt.include_cloud = false;
+    util::Rng rng(1);
+    const SimResult result = simulate_plan(s.graph, s.curve, plan, s.mobile,
+                                           s.cloud, s.channel, opt, rng);
+    EXPECT_NEAR(result.makespan, plan.predicted_makespan,
+                1e-6 * plan.predicted_makespan + 1e-6)
+        << core::strategy_name(strat);
+  }
+}
+
+TEST(Executor, CloudStageAddsLittle) {
+  // The paper's premise: including the cloud stage changes the makespan only
+  // marginally (cloud is fast and pipelined).
+  Testbed s("resnet18");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 10);
+  SimOptions no_cloud;
+  no_cloud.include_cloud = false;
+  SimOptions with_cloud;
+  util::Rng rng1(1);
+  util::Rng rng2(1);
+  const double base = simulate_plan(s.graph, s.curve, plan, s.mobile, s.cloud,
+                                    s.channel, no_cloud, rng1)
+                          .makespan;
+  const double full = simulate_plan(s.graph, s.curve, plan, s.mobile, s.cloud,
+                                    s.channel, with_cloud, rng2)
+                          .makespan;
+  EXPECT_GE(full, base - 1e-9);
+  EXPECT_LE(full, 1.10 * base);  // < 10% inflation from the cloud stage
+}
+
+TEST(Executor, PerJobTimelinesAreOrderedAndConsistent) {
+  Testbed s("mobilenet_v2");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 8);
+  SimOptions opt;
+  util::Rng rng(2);
+  const SimResult result = simulate_plan(s.graph, s.curve, plan, s.mobile,
+                                         s.cloud, s.channel, opt, rng);
+  ASSERT_EQ(result.jobs.size(), 8u);
+  double prev_comp_end = 0.0;
+  double prev_comm_end = 0.0;
+  for (const SimJobResult& job : result.jobs) {
+    EXPECT_LE(job.comp_start, job.comp_end);
+    if (job.comm_end > 0.0) {
+      EXPECT_GE(job.comm_start, job.comp_end - 1e-9);  // own comp first
+      EXPECT_GE(job.comm_start, prev_comm_end - 1e-9);  // link is exclusive
+    }
+    EXPECT_GE(job.comp_start, prev_comp_end - 1e-9);  // CPU is exclusive
+    prev_comp_end = job.comp_end;
+    if (job.comm_end > 0.0) prev_comm_end = job.comm_end;
+    EXPECT_LE(job.completion(), result.makespan + 1e-9);
+  }
+}
+
+TEST(Executor, LocalOnlyNeverTouchesLinkOrCloud) {
+  Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kLocalOnly, 5);
+  SimOptions opt;
+  util::Rng rng(3);
+  const SimResult result = simulate_plan(s.graph, s.curve, plan, s.mobile,
+                                         s.cloud, s.channel, opt, rng);
+  EXPECT_DOUBLE_EQ(result.link_utilization, 0.0);
+  EXPECT_DOUBLE_EQ(result.cloud_utilization, 0.0);
+  EXPECT_GT(result.mobile_utilization, 0.99);
+  for (const auto& job : result.jobs) {
+    EXPECT_DOUBLE_EQ(job.comm_end, 0.0);
+    EXPECT_DOUBLE_EQ(job.cloud_end, 0.0);
+  }
+}
+
+TEST(Executor, CloudOnlySaturatesLink) {
+  Testbed s("alexnet", 1.1);
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kCloudOnly, 5);
+  SimOptions opt;
+  util::Rng rng(4);
+  const SimResult result = simulate_plan(s.graph, s.curve, plan, s.mobile,
+                                         s.cloud, s.channel, opt, rng);
+  EXPECT_GT(result.link_utilization, 0.95);
+  for (const auto& job : result.jobs) EXPECT_GT(job.cloud_end, 0.0);
+}
+
+TEST(Executor, NoiseChangesButStaysNearPrediction) {
+  Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 20);
+  SimOptions opt;
+  opt.comp_noise_sigma = 0.05;
+  opt.comm_noise_sigma = 0.05;
+  opt.include_cloud = false;
+  util::Rng rng(5);
+  const SimResult noisy = simulate_plan(s.graph, s.curve, plan, s.mobile,
+                                        s.cloud, s.channel, opt, rng);
+  EXPECT_NE(noisy.makespan, plan.predicted_makespan);
+  EXPECT_NEAR(noisy.makespan, plan.predicted_makespan,
+              0.15 * plan.predicted_makespan);
+}
+
+TEST(Executor, JpsBeatsBaselinesUnderSimulationToo) {
+  // The ranking must survive end-to-end execution, not just prediction.
+  Testbed s("googlenet", 5.85);
+  const core::Planner planner(s.curve);
+  SimOptions opt;
+  auto run = [&](core::Strategy strat) {
+    const core::ExecutionPlan plan = planner.plan(strat, 30);
+    util::Rng rng(6);
+    return simulate_plan(s.graph, s.curve, plan, s.mobile, s.cloud, s.channel,
+                         opt, rng)
+        .makespan;
+  };
+  const double lo = run(core::Strategy::kLocalOnly);
+  const double po = run(core::Strategy::kPartitionOnly);
+  const double jps = run(core::Strategy::kJPS);
+  EXPECT_LT(jps, po + 1e-6);
+  EXPECT_LT(jps, lo + 1e-6);
+}
+
+}  // namespace
+}  // namespace jps::sim

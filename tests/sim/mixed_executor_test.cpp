@@ -1,0 +1,101 @@
+// End-to-end simulation of heterogeneous plans via simulate_mixed_plan.
+#include <gtest/gtest.h>
+
+#include "core/hetero.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "sched/makespan.h"
+#include "sim/executor.h"
+
+namespace jps::sim {
+namespace {
+
+struct MixedTestbed {
+  dnn::Graph resnet = models::build("resnet18");
+  dnn::Graph mobilenet = models::build("mobilenet_v2");
+  profile::LatencyModel mobile{profile::DeviceProfile::raspberry_pi_4b()};
+  profile::LatencyModel cloud{profile::DeviceProfile::cloud_gtx1080()};
+  net::Channel channel{5.85};
+  partition::ProfileCurve resnet_curve =
+      partition::ProfileCurve::build(resnet, mobile, channel);
+  partition::ProfileCurve mobilenet_curve =
+      partition::ProfileCurve::build(mobilenet, mobile, channel);
+
+  std::vector<core::JobClass> classes() const {
+    return {{"resnet18", resnet_curve, 4}, {"mobilenet_v2", mobilenet_curve, 6}};
+  }
+
+  std::vector<MixedJob> to_mixed(const core::HeteroPlan& plan) const {
+    std::vector<MixedJob> jobs;
+    for (const core::HeteroUnit& unit : plan.scheduled) {
+      MixedJob job;
+      job.graph = unit.class_index == 0 ? &resnet : &mobilenet;
+      job.curve = unit.class_index == 0 ? &resnet_curve : &mobilenet_curve;
+      job.cut_index = unit.cut_index;
+      job.job_id = unit.job_id;
+      jobs.push_back(job);
+    }
+    return jobs;
+  }
+};
+
+TEST(MixedExecutor, NoiselessTwoStageMatchesRecurrence) {
+  const MixedTestbed tb;
+  const core::HeteroPlan plan =
+      core::plan_hetero(tb.classes(), core::Strategy::kJPS);
+
+  sched::JobList expected;
+  for (const core::HeteroUnit& unit : plan.scheduled)
+    expected.push_back(sched::Job{.id = unit.job_id,
+                                  .cut = static_cast<int>(unit.cut_index),
+                                  .f = unit.f,
+                                  .g = unit.g});
+
+  SimOptions options;
+  options.include_cloud = false;
+  util::Rng rng(1);
+  const SimResult result = simulate_mixed_plan(tb.to_mixed(plan), tb.mobile,
+                                               tb.cloud, tb.channel, options,
+                                               rng);
+  EXPECT_NEAR(result.makespan, sched::flowshop2_makespan(expected),
+              1e-6 * result.makespan + 1e-6);
+  EXPECT_NEAR(result.makespan, plan.makespan, 1e-6 * result.makespan + 1e-6);
+}
+
+TEST(MixedExecutor, CloudStageStaysNegligible) {
+  const MixedTestbed tb;
+  const core::HeteroPlan plan =
+      core::plan_hetero(tb.classes(), core::Strategy::kJPS);
+  util::Rng rng(2);
+  const SimResult full = simulate_mixed_plan(tb.to_mixed(plan), tb.mobile,
+                                             tb.cloud, tb.channel, {}, rng);
+  EXPECT_LE(full.makespan, 1.10 * plan.makespan);
+  EXPECT_GE(full.makespan, plan.makespan - 1e-6);
+}
+
+TEST(MixedExecutor, JobsKeepTheirModelIdentity) {
+  const MixedTestbed tb;
+  const core::HeteroPlan plan =
+      core::plan_hetero(tb.classes(), core::Strategy::kLocalOnly);
+  util::Rng rng(3);
+  const SimResult result = simulate_mixed_plan(tb.to_mixed(plan), tb.mobile,
+                                               tb.cloud, tb.channel, {}, rng);
+  ASSERT_EQ(result.jobs.size(), 10u);
+  // Local-only: total busy time equals the sum of both models' full times.
+  const double expected_busy = 4.0 * tb.mobile.graph_time_ms(tb.resnet) +
+                               6.0 * tb.mobile.graph_time_ms(tb.mobilenet);
+  EXPECT_NEAR(result.makespan, expected_busy, 1e-6 * expected_busy);
+}
+
+TEST(MixedExecutor, RejectsNullGraph) {
+  const MixedTestbed tb;
+  std::vector<MixedJob> jobs{MixedJob{}};
+  util::Rng rng(4);
+  EXPECT_THROW(simulate_mixed_plan(jobs, tb.mobile, tb.cloud, tb.channel, {},
+                                   rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jps::sim

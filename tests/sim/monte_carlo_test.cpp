@@ -1,0 +1,82 @@
+#include "sim/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+
+namespace jps::sim {
+namespace {
+
+struct McTestbed {
+  dnn::Graph graph = models::build("alexnet");
+  profile::LatencyModel mobile{profile::DeviceProfile::raspberry_pi_4b()};
+  profile::LatencyModel cloud{profile::DeviceProfile::cloud_gtx1080()};
+  net::Channel channel{5.85};
+  partition::ProfileCurve curve =
+      partition::ProfileCurve::build(graph, mobile, channel);
+};
+
+TEST(MonteCarlo, NoiselessCampaignIsDegenerate) {
+  const McTestbed tb;
+  const core::Planner planner(tb.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 8);
+  MonteCarloOptions options;
+  options.trials = 7;
+  options.comp_noise_sigma = 0.0;
+  options.comm_noise_sigma = 0.0;
+  options.include_cloud = false;
+  const util::Summary summary = monte_carlo_makespan(
+      tb.graph, tb.curve, plan, tb.mobile, tb.cloud, tb.channel, options);
+  EXPECT_EQ(summary.count, 7u);
+  EXPECT_NEAR(summary.stddev, 0.0, 1e-9);
+  EXPECT_NEAR(summary.median, plan.predicted_makespan,
+              1e-6 * plan.predicted_makespan);
+}
+
+TEST(MonteCarlo, NoiseWidensTheDistributionAroundPrediction) {
+  const McTestbed tb;
+  const core::Planner planner(tb.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 12);
+  MonteCarloOptions options;
+  options.trials = 51;
+  options.comp_noise_sigma = 0.10;
+  options.comm_noise_sigma = 0.10;
+  const util::Summary summary = monte_carlo_makespan(
+      tb.graph, tb.curve, plan, tb.mobile, tb.cloud, tb.channel, options);
+  EXPECT_GT(summary.stddev, 0.0);
+  EXPECT_LT(summary.min, summary.p95);
+  EXPECT_NEAR(summary.median, plan.predicted_makespan,
+              0.10 * plan.predicted_makespan);
+  EXPECT_GE(summary.p95, summary.median);
+}
+
+TEST(MonteCarlo, DeterministicForFixedSeed) {
+  const McTestbed tb;
+  const core::Planner planner(tb.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 6);
+  MonteCarloOptions options;
+  options.trials = 21;
+  const util::Summary a = monte_carlo_makespan(
+      tb.graph, tb.curve, plan, tb.mobile, tb.cloud, tb.channel, options);
+  const util::Summary b = monte_carlo_makespan(
+      tb.graph, tb.curve, plan, tb.mobile, tb.cloud, tb.channel, options);
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+}
+
+TEST(MonteCarlo, Validation) {
+  const McTestbed tb;
+  const core::Planner planner(tb.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 2);
+  MonteCarloOptions options;
+  options.trials = 0;
+  EXPECT_THROW((void)monte_carlo_makespan(tb.graph, tb.curve, plan, tb.mobile,
+                                    tb.cloud, tb.channel, options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jps::sim

@@ -1,0 +1,142 @@
+#include "sim/shared_link.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "models/registry.h"
+#include "profile/device.h"
+
+namespace jps::sim {
+namespace {
+
+struct Fleet {
+  dnn::Graph alexnet = models::build("alexnet");
+  dnn::Graph mobilenet = models::build("mobilenet_v2");
+  profile::LatencyModel cloud{profile::DeviceProfile::cloud_gtx1080()};
+
+  std::vector<SharedDevice> devices(int jobs_each = 6) const {
+    std::vector<SharedDevice> out;
+    out.push_back({"car_front", &alexnet,
+                   profile::LatencyModel(profile::DeviceProfile::raspberry_pi_4b()),
+                   jobs_each});
+    out.push_back({"car_rear", &mobilenet,
+                   profile::LatencyModel(profile::DeviceProfile::midrange_phone()),
+                   jobs_each});
+    return out;
+  }
+};
+
+TEST(SharedLink, Validation) {
+  const Fleet fleet;
+  util::Rng rng(1);
+  EXPECT_THROW(plan_and_simulate_shared({}, net::Channel(10.0),
+                                        core::Strategy::kJPS,
+                                        SharePolicy::kFairShare, fleet.cloud,
+                                        {}, rng),
+               std::invalid_argument);
+  auto devices = fleet.devices();
+  devices[0].jobs = 0;
+  EXPECT_THROW(plan_and_simulate_shared(devices, net::Channel(10.0),
+                                        core::Strategy::kJPS,
+                                        SharePolicy::kFairShare, fleet.cloud,
+                                        {}, rng),
+               std::invalid_argument);
+  devices[0].jobs = 2;
+  devices[0].graph = nullptr;
+  EXPECT_THROW(plan_and_simulate_shared(devices, net::Channel(10.0),
+                                        core::Strategy::kJPS,
+                                        SharePolicy::kFairShare, fleet.cloud,
+                                        {}, rng),
+               std::invalid_argument);
+}
+
+TEST(SharedLink, ResultShapes) {
+  const Fleet fleet;
+  util::Rng rng(2);
+  const SharedLinkResult result = plan_and_simulate_shared(
+      fleet.devices(4), net::Channel(10.0), core::Strategy::kJPS,
+      SharePolicy::kFairShare, fleet.cloud, {}, rng);
+  ASSERT_EQ(result.plans.size(), 2u);
+  ASSERT_EQ(result.device_makespans.size(), 2u);
+  EXPECT_EQ(result.plans[0].jobs.size(), 4u);
+  for (const double device_ms : result.device_makespans) {
+    EXPECT_GT(device_ms, 0.0);
+    EXPECT_LE(device_ms, result.makespan + 1e-9);
+  }
+  EXPECT_GE(result.link_utilization, 0.0);
+  EXPECT_LE(result.link_utilization, 1.0);
+}
+
+TEST(SharedLink, SingleDeviceMatchesSimulatePlan) {
+  // With one device the shared-link machinery must reduce to the ordinary
+  // executor.
+  const Fleet fleet;
+  std::vector<SharedDevice> one;
+  one.push_back({"solo", &fleet.alexnet,
+                 profile::LatencyModel(profile::DeviceProfile::raspberry_pi_4b()),
+                 8});
+  const net::Channel link(5.85);
+  util::Rng rng_a(3);
+  const SharedLinkResult shared = plan_and_simulate_shared(
+      one, link, core::Strategy::kJPS, SharePolicy::kFullBandwidth,
+      fleet.cloud, {}, rng_a);
+
+  const auto curve =
+      partition::ProfileCurve::build(fleet.alexnet, one[0].mobile, link);
+  const core::Planner planner(curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 8);
+  util::Rng rng_b(3);
+  const SimResult solo = simulate_plan(fleet.alexnet, curve, plan,
+                                       one[0].mobile, fleet.cloud, link, {},
+                                       rng_b);
+  EXPECT_NEAR(shared.makespan, solo.makespan, 1e-6 * solo.makespan);
+}
+
+TEST(SharedLink, ContentionSlowsEveryoneDown) {
+  // Two devices sharing the link finish later than either alone on it.
+  const Fleet fleet;
+  const net::Channel link(5.85);
+  util::Rng rng(4);
+  const SharedLinkResult both = plan_and_simulate_shared(
+      fleet.devices(6), link, core::Strategy::kJPS, SharePolicy::kFairShare,
+      fleet.cloud, {}, rng);
+  for (std::size_t d = 0; d < 2; ++d) {
+    std::vector<SharedDevice> solo{fleet.devices(6)[d]};
+    util::Rng solo_rng(4);
+    const SharedLinkResult alone = plan_and_simulate_shared(
+        solo, link, core::Strategy::kJPS, SharePolicy::kFullBandwidth,
+        fleet.cloud, {}, solo_rng);
+    EXPECT_GE(both.device_makespans[d], alone.makespan - 1e-6) << d;
+  }
+}
+
+TEST(SharedLink, FairSharePlanningBeatsNaiveUnderContention) {
+  // Four identical devices saturating a modest link: planning against B/M
+  // anticipates the queueing and must not lose to the naive policy.
+  dnn::Graph g = models::build("alexnet");
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  std::vector<SharedDevice> devices;
+  for (int d = 0; d < 4; ++d) {
+    devices.push_back({"dev" + std::to_string(d), &g,
+                       profile::LatencyModel(
+                           profile::DeviceProfile::raspberry_pi_4b()),
+                       6});
+  }
+  const net::Channel link(5.85);
+  util::Rng rng_naive(5);
+  util::Rng rng_fair(5);
+  const double naive =
+      plan_and_simulate_shared(devices, link, core::Strategy::kJPS,
+                               SharePolicy::kFullBandwidth, cloud, {},
+                               rng_naive)
+          .makespan;
+  const double fair =
+      plan_and_simulate_shared(devices, link, core::Strategy::kJPS,
+                               SharePolicy::kFairShare, cloud, {}, rng_fair)
+          .makespan;
+  EXPECT_LE(fair, naive + 1e-6);
+}
+
+}  // namespace
+}  // namespace jps::sim

@@ -1,0 +1,65 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+
+namespace jps::sim {
+namespace {
+
+SimResult sample_result() {
+  const dnn::Graph graph = models::build("alexnet");
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel = net::Channel::preset_4g();
+  const auto curve = partition::ProfileCurve::build(graph, mobile, channel);
+  const core::Planner planner(curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 4);
+  util::Rng rng(1);
+  return simulate_plan(graph, curve, plan, mobile, cloud, channel, {}, rng);
+}
+
+TEST(Trace, GanttHasOneRowPerJobPlusFrame) {
+  const SimResult result = sample_result();
+  const std::string gantt = ascii_gantt(result, 60);
+  std::size_t rows = 0;
+  std::size_t pos = 0;
+  while ((pos = gantt.find("job ", pos)) != std::string::npos) {
+    ++rows;
+    ++pos;
+  }
+  EXPECT_EQ(rows, result.jobs.size());
+  EXPECT_NE(gantt.find("legend"), std::string::npos);
+  EXPECT_NE(gantt.find('M'), std::string::npos);  // mobile bars present
+  EXPECT_NE(gantt.find('>'), std::string::npos);  // transfer bars present
+}
+
+TEST(Trace, GanttWidthClamped) {
+  const SimResult result = sample_result();
+  const std::string narrow = ascii_gantt(result, 1);  // clamped to >= 10
+  EXPECT_FALSE(narrow.empty());
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  const SimResult result = sample_result();
+  const std::string csv = timeline_csv(result);
+  EXPECT_EQ(csv.find("job_id,cut_index"), 0u);
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, result.jobs.size() + 1);
+}
+
+TEST(Trace, CsvValuesMatchResult) {
+  const SimResult result = sample_result();
+  const std::string csv = timeline_csv(result);
+  // The first job's id must appear at the start of line 2.
+  const std::size_t line2 = csv.find('\n') + 1;
+  EXPECT_EQ(csv[line2], static_cast<char>('0' + result.jobs[0].job_id % 10));
+}
+
+}  // namespace
+}  // namespace jps::sim

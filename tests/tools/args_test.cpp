@@ -1,0 +1,62 @@
+#include "args.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace jps::tools {
+namespace {
+
+Args make_args(std::vector<std::string> tokens) {
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(tokens);
+  storage.insert(storage.begin(), "jps_cli");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, CommandAndFlags) {
+  const Args args = make_args({"plan", "--model", "alexnet", "--jobs", "42"});
+  EXPECT_EQ(args.command(), "plan");
+  EXPECT_EQ(args.get("model", "x"), "alexnet");
+  EXPECT_EQ(args.get_int("jobs", 0), 42);
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Args, BareSwitches) {
+  const Args args = make_args({"plan", "--simulate", "--gantt", "--jobs", "3"});
+  EXPECT_TRUE(args.has("simulate"));
+  EXPECT_TRUE(args.has("gantt"));
+  EXPECT_FALSE(args.has("table"));
+  EXPECT_EQ(args.get_int("jobs", 0), 3);
+}
+
+TEST(Args, SwitchFollowedByFlagStaysBare) {
+  // "--simulate --model x": simulate must not swallow "--model".
+  const Args args = make_args({"plan", "--simulate", "--model", "vgg16"});
+  EXPECT_EQ(args.get("simulate", ""), "true");
+  EXPECT_EQ(args.get("model", ""), "vgg16");
+}
+
+TEST(Args, Doubles) {
+  const Args args = make_args({"plan", "--bandwidth", "5.85"});
+  EXPECT_DOUBLE_EQ(args.get_double("bandwidth", 0.0), 5.85);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+}
+
+TEST(Args, BadNumbersThrow) {
+  const Args args = make_args({"plan", "--jobs", "many", "--bandwidth", "fast"});
+  EXPECT_THROW((void)args.get_int("jobs", 0), std::invalid_argument);
+  EXPECT_THROW((void)args.get_double("bandwidth", 0.0), std::invalid_argument);
+}
+
+TEST(Args, NoCommand) {
+  const Args args = make_args({});
+  EXPECT_EQ(args.command(), "");
+}
+
+}  // namespace
+}  // namespace jps::tools

@@ -1,0 +1,64 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace jps::util {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/jps_csv_test.csv";
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.add_row(std::vector<std::string>{"1", "2"});
+    w.add_row(std::vector<double>{3.5, 4.25});
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  const std::string content = read_file(path_);
+  EXPECT_EQ(content, "a,b\n1,2\n3.5,4.25\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"text"});
+    w.add_row(std::vector<std::string>{"has,comma"});
+    w.add_row(std::vector<std::string>{"has\"quote"});
+  }
+  const std::string content = read_file(path_);
+  EXPECT_NE(content.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(content.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST_F(CsvTest, RejectsWidthMismatch) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.add_row(std::vector<std::string>{"only-one"}),
+               std::runtime_error);
+}
+
+TEST(CsvEscape, PassesPlainCells) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with space"), "with space");
+}
+
+TEST(CsvWriterStandalone, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jps::util

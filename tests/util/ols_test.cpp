@@ -1,0 +1,103 @@
+#include "util/ols.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace jps::util {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.5 + 2.0 * x);
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.5, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyLineStillClose) {
+  Rng rng(7);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(10.0 + 0.5 * x + rng.normal(0.0, 0.5));
+  }
+  const LinearFit fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 0.5, 0.01);
+  EXPECT_NEAR(fit.intercept, 10.0, 0.5);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(LinearFit, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(fit_linear({}, {}).slope, 0.0);
+  const LinearFit one = fit_linear(std::vector<double>{2.0},
+                                   std::vector<double>{5.0});
+  EXPECT_DOUBLE_EQ(one(123.0), 5.0);
+  // All-identical x: constant fit at the mean.
+  const LinearFit same = fit_linear(std::vector<double>{1.0, 1.0},
+                                    std::vector<double>{4.0, 6.0});
+  EXPECT_DOUBLE_EQ(same.slope, 0.0);
+  EXPECT_DOUBLE_EQ(same.intercept, 5.0);
+}
+
+TEST(ExponentialFit, RecoversExactCurve) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 10; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(100.0 * std::exp(-0.6 * x));  // floor = 0
+  }
+  const ExponentialFit fit = fit_exponential(xs, ys);
+  EXPECT_NEAR(fit.scale, 100.0, 1.0);
+  EXPECT_NEAR(fit.decay, 0.6, 0.01);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(ExponentialFit, RecoversCurveWithFloor) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 12; ++i) {
+    const double x = static_cast<double>(i);
+    xs.push_back(x);
+    ys.push_back(50.0 * std::exp(-0.5 * x) + 8.0);
+  }
+  const ExponentialFit fit = fit_exponential(xs, ys);
+  EXPECT_GT(fit.r2, 0.995);
+  // The fitted curve must track the data even if parameters trade off.
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_NEAR(fit(xs[i]), ys[i], 1.5);
+}
+
+TEST(ExponentialFit, FitIsDecreasingAndConvex) {
+  // The §3.2 shape requirements: strictly decreasing, convex.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i <= 8; ++i) {
+    xs.push_back(static_cast<double>(i));
+    ys.push_back(200.0 * std::exp(-0.8 * i) + 2.0);
+  }
+  const ExponentialFit fit = fit_exponential(xs, ys);
+  for (double x = 0.0; x < 8.0; x += 0.5) {
+    EXPECT_GT(fit(x), fit(x + 0.5));  // decreasing
+    const double mid = fit(x + 0.25);
+    EXPECT_LE(mid, 0.5 * (fit(x) + fit(x + 0.5)) + 1e-9);  // convex
+  }
+}
+
+TEST(RSquared, PerfectAndWorthless) {
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(ys, ys), 1.0);
+  const std::vector<double> constant{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(ys, constant), 0.0);
+}
+
+}  // namespace
+}  // namespace jps::util

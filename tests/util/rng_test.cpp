@@ -1,0 +1,75 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace jps::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    any_diff |= a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LognormalFactorMedianNearOne) {
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.lognormal_factor(0.2));
+  EXPECT_NEAR(median(samples), 1.0, 0.03);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(Rng, LognormalZeroSigmaIsExactlyOne) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(rng.lognormal_factor(0.0), 1.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(mean(samples), 5.0, 0.1);
+  EXPECT_NEAR(stddev(samples), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace jps::util

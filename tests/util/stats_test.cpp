@@ -1,0 +1,76 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jps::util {
+namespace {
+
+TEST(Stats, EmptyInputsAreZero) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(median(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(min(empty), 0.0);
+  EXPECT_DOUBLE_EQ(max(empty), 0.0);
+  EXPECT_DOUBLE_EQ(sum(empty), 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(mean(one), 42.0);
+  EXPECT_DOUBLE_EQ(median(one), 42.0);
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 99.0), 42.0);
+}
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  // Sample variance with n-1 denominator: sum of squares = 32, / 7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, MedianDoesNotMutateInput) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  (void)median(xs);
+  EXPECT_EQ(xs, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+  // Out-of-range p is clamped.
+  EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 10.0);
+}
+
+TEST(Stats, SummaryMatchesIndividualStats) {
+  const std::vector<double> xs{5.0, 3.0, 8.0, 1.0, 9.0, 2.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.mean, mean(xs));
+  EXPECT_DOUBLE_EQ(s.stddev, stddev(xs));
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.median, median(xs));
+  EXPECT_DOUBLE_EQ(s.p25, percentile(xs, 25.0));
+  EXPECT_DOUBLE_EQ(s.p95, percentile(xs, 95.0));
+}
+
+TEST(Stats, SummaryOfEmpty) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace jps::util

@@ -1,0 +1,52 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace jps::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a\tb\tc", '\t');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitNoDelimiter) {
+  const auto parts = split("single", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "single");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("jps-lookup", "jps"));
+  EXPECT_FALSE(starts_with("jp", "jps"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AlexNet-V2"), "alexnet-v2");
+}
+
+}  // namespace
+}  // namespace jps::util

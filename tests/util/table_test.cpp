@@ -1,0 +1,67 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace jps::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"model", "ms"});
+  t.add_row({"alexnet", "12.3"});
+  t.add_row({"vgg16", "45.6"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("alexnet"), std::string::npos);
+  EXPECT_NE(s.find("45.6"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, PadsShortRows) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.str().find("only"), std::string::npos);
+}
+
+TEST(Table, SeparatorNotCountedAsRow) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"k", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-key", "2"});
+  const std::string s = t.str();
+  // Each data line must have the same width as the rule lines.
+  std::size_t first_len = s.find('\n');
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t next = s.find('\n', pos);
+    if (next == std::string::npos) break;
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Formatting, Milliseconds) {
+  EXPECT_EQ(format_ms(123.456), "123.5");
+  EXPECT_EQ(format_ms(12.345), "12.35");
+  EXPECT_EQ(format_ms(0.5), "0.5000");
+}
+
+TEST(Formatting, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3u * 1024 * 1024), "3.0 MiB");
+}
+
+TEST(Formatting, Percent) { EXPECT_EQ(format_pct(0.421), "42.1%"); }
+
+TEST(Formatting, Fixed) { EXPECT_EQ(format_fixed(3.14159, 2), "3.14"); }
+
+}  // namespace
+}  // namespace jps::util

@@ -1,0 +1,33 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace jps::util {
+namespace {
+
+TEST(Units, MbpsToBytesPerMs) {
+  // 8 Mbps = 1 MB/s = 1000 bytes per ms.
+  EXPECT_DOUBLE_EQ(mbps_to_bytes_per_ms(8.0), 1000.0);
+}
+
+TEST(Units, TransferTime) {
+  // 1 MB over 8 Mbps = 1 second.
+  EXPECT_DOUBLE_EQ(transfer_time_ms(1'000'000, 8.0), 1000.0);
+  EXPECT_DOUBLE_EQ(transfer_time_ms(0, 8.0), 0.0);
+}
+
+TEST(Units, PaperBandwidthSanity) {
+  // The paper's 3G rate: 1.1 Mbps = 137.5 KB/s; a 173 KB AlexNet conv5
+  // tensor takes ~1.26 s.
+  EXPECT_NEAR(transfer_time_ms(173'056, 1.1), 1258.6, 1.0);
+}
+
+TEST(Units, BinarySizes) {
+  EXPECT_EQ(kib(4), 4096u);
+  EXPECT_EQ(mib(2), 2u * 1024 * 1024);
+}
+
+TEST(Units, GigaFlops) { EXPECT_DOUBLE_EQ(gflops(1.5), 1.5e9); }
+
+}  // namespace
+}  // namespace jps::util

@@ -1,0 +1,72 @@
+// Minimal flag parser for the CLI tools: --key value pairs plus a leading
+// positional subcommand.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jps::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          flags_[key] = argv[++i];
+        } else {
+          flags_[key] = "true";  // bare switch
+        }
+      } else {
+        positional_.push_back(token);
+      }
+    }
+  }
+
+  /// First positional argument (the subcommand), or "" when absent.
+  [[nodiscard]] std::string command() const {
+    return positional_.empty() ? std::string() : positional_.front();
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = flags_.find(key);
+    return it == flags_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + ": expected a number, got '" +
+                                  it->second + "'");
+    }
+  }
+
+  [[nodiscard]] int get_int(const std::string& key, int fallback) const {
+    const auto it = flags_.find(key);
+    if (it == flags_.end()) return fallback;
+    try {
+      return std::stoi(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("--" + key + ": expected an integer, got '" +
+                                  it->second + "'");
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags_.count(key) != 0;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace jps::tools

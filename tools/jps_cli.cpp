@@ -1,0 +1,306 @@
+// jps_cli — command-line front end to the library.
+//
+//   jps_cli models
+//   jps_cli profile --model alexnet --output table.tsv [--trials 15]
+//                   [--noise 0.05] [--seed 1]
+//   jps_cli curve   --model alexnet --bandwidth 5.85 [--table table.tsv]
+//   jps_cli plan    --model alexnet --bandwidth 5.85 --jobs 100
+//                   [--strategy jps|jps+|jps*|lo|co|po|bf] [--table table.tsv]
+//                   [--simulate] [--gantt]
+//   jps_cli sweep   --model alexnet --jobs 50 [--min 1] [--max 80] [--points 20]
+//   jps_cli dot     --model googlenet
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "args.h"
+#include "jps.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace jps;
+
+core::Strategy parse_strategy(const std::string& name) {
+  const std::string s = util::to_lower(name);
+  if (s == "lo") return core::Strategy::kLocalOnly;
+  if (s == "co") return core::Strategy::kCloudOnly;
+  if (s == "po") return core::Strategy::kPartitionOnly;
+  if (s == "jps") return core::Strategy::kJPS;
+  if (s == "jps*" || s == "jps-tuned") return core::Strategy::kJPSTuned;
+  if (s == "jps+" || s == "jps-hull") return core::Strategy::kJPSHull;
+  if (s == "bf") return core::Strategy::kBruteForce;
+  throw std::invalid_argument("unknown strategy '" + name + "'");
+}
+
+// Mobile-time source: an on-disk lookup table when provided, else the
+// analytic model.
+partition::ProfileCurve make_curve(const dnn::Graph& graph,
+                                   const net::Channel& channel,
+                                   const std::optional<std::string>& table_path,
+                                   const profile::LatencyModel& mobile) {
+  if (table_path) {
+    const profile::LookupTable table = profile::LookupTable::load(*table_path);
+    if (!table.covers(graph)) {
+      throw std::runtime_error("lookup table does not cover model '" +
+                               graph.name() + "'; run `jps_cli profile` first");
+    }
+    return partition::ProfileCurve::build(graph, table, channel);
+  }
+  return partition::ProfileCurve::build(graph, mobile, channel);
+}
+
+int cmd_models() {
+  util::Table table({"name", "layers", "paths", "GFLOPs", "params (M)",
+                     "structure"});
+  for (const auto& name : models::all_names()) {
+    const dnn::Graph g = models::build(name);
+    table.add_row({name, std::to_string(g.size()),
+                   std::to_string(g.path_count()),
+                   util::format_fixed(g.total_flops() / 1e9, 2),
+                   util::format_fixed(static_cast<double>(g.total_params()) / 1e6, 2),
+                   g.is_line() ? "line" : "general"});
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_profile(const tools::Args& args) {
+  const std::string model = args.get("model", "alexnet");
+  const std::string output = args.get("output", "jps_lookup.tsv");
+  profile::ProfilerOptions options;
+  options.trials = args.get_int("trials", 15);
+  options.noise_sigma = args.get_double("noise", 0.05);
+  const profile::Profiler profiler(profile::DeviceProfile::raspberry_pi_4b(),
+                                   options);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  const dnn::Graph g = models::build(model);
+  profile::LookupTable table;
+  table.add_graph(g, profiler.measure_graph(g, rng));
+  table.save(output);
+  std::cout << "profiled " << g.size() << " layers of " << model << " ("
+            << options.trials << " trials each, sigma "
+            << options.noise_sigma << ") -> " << output << "\n";
+  return 0;
+}
+
+int cmd_curve(const tools::Args& args) {
+  const std::string model = args.get("model", "alexnet");
+  const net::Channel channel(args.get_double("bandwidth", 5.85));
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build(model);
+  const std::optional<std::string> table_path =
+      args.has("table") ? std::optional(args.get("table", "")) : std::nullopt;
+  const auto curve = make_curve(g, channel, table_path, mobile);
+
+  util::Table table({"cut", "f (ms)", "g (ms)", "offload", "label"});
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    table.add_row({std::to_string(i), util::format_ms(curve.f(i)),
+                   util::format_ms(curve.g(i)),
+                   util::format_bytes(curve.cut(i).offload_bytes),
+                   curve.cut(i).label});
+  }
+  std::cout << table;
+  const auto decision = partition::binary_search_cut(curve);
+  std::cout << "Alg. 2: l* = " << decision.l_star
+            << (decision.l_minus
+                    ? ", l*-1 = " + std::to_string(*decision.l_minus) +
+                          ", ratio = " + std::to_string(decision.ratio)
+                    : std::string(" (no communication-heavy type)"))
+            << "\n";
+  return 0;
+}
+
+int cmd_plan(const tools::Args& args) {
+  const std::string model = args.get("model", "alexnet");
+  const net::Channel channel(args.get_double("bandwidth", 5.85));
+  const int jobs = args.get_int("jobs", 100);
+  const core::Strategy strategy = parse_strategy(args.get("strategy", "jps"));
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build(model);
+  const std::optional<std::string> table_path =
+      args.has("table") ? std::optional(args.get("table", "")) : std::nullopt;
+  const auto curve = make_curve(g, channel, table_path, mobile);
+
+  const core::Planner planner(curve);
+  const core::ExecutionPlan plan = planner.plan(strategy, jobs);
+  std::cout << core::strategy_name(strategy) << " plan for " << jobs << " x "
+            << model << " @ " << channel.bandwidth_mbps() << " Mbps\n"
+            << "  predicted makespan: "
+            << util::format_ms(plan.predicted_makespan) << " ms ("
+            << util::format_ms(plan.makespan_per_job()) << " ms/job)\n"
+            << "  decision overhead:  "
+            << util::format_ms(plan.decision_overhead_ms) << " ms\n";
+  std::map<std::size_t, int> mix;
+  for (const auto& job : plan.jobs) ++mix[job.cut_index];
+  std::cout << "  cut mix:";
+  for (const auto& [cut, count] : mix)
+    std::cout << "  " << count << " jobs @ cut " << cut << " ("
+              << curve.cut(cut).label << ")";
+  std::cout << "\n";
+
+  if (args.has("simulate") || args.has("gantt")) {
+    const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+    util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+    const sim::SimResult result =
+        sim::simulate_plan(g, curve, plan, mobile, cloud, channel, {}, rng);
+    std::cout << "  simulated makespan: " << util::format_ms(result.makespan)
+              << " ms (mobile " << util::format_pct(result.mobile_utilization)
+              << ", link " << util::format_pct(result.link_utilization)
+              << ", cloud " << util::format_pct(result.cloud_utilization)
+              << " busy)\n";
+    if (args.has("gantt")) std::cout << sim::ascii_gantt(result, 100);
+  }
+  if (args.has("save")) {
+    const std::string path = args.get("save", "plan.txt");
+    core::save_plan(plan, path);
+    std::cout << "  plan saved to " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_replay(const tools::Args& args) {
+  const core::ExecutionPlan plan = core::load_plan(args.get("plan", "plan.txt"));
+  std::cout << "replaying " << core::strategy_name(plan.strategy)
+            << " plan for " << plan.jobs.size() << " x " << plan.model
+            << " (recorded makespan "
+            << util::format_ms(plan.predicted_makespan) << " ms)\n";
+  const net::Channel channel(args.get_double("bandwidth", 5.85));
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const dnn::Graph g = models::build(plan.model);
+  const auto curve = partition::ProfileCurve::build(g, mobile, channel);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const sim::SimResult result =
+      sim::simulate_plan(g, curve, plan, mobile, cloud, channel, {}, rng);
+  std::cout << "simulated makespan at " << channel.bandwidth_mbps()
+            << " Mbps: " << util::format_ms(result.makespan) << " ms\n"
+            << sim::ascii_gantt(result, 100);
+  return 0;
+}
+
+int cmd_hetero(const tools::Args& args) {
+  // --classes model:count[,model:count...]
+  const std::string spec = args.get("classes", "resnet18:4,mobilenet_v2:8");
+  const net::Channel channel(args.get_double("bandwidth", 5.85));
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+
+  std::vector<core::JobClass> classes;
+  std::vector<dnn::Graph> graphs;  // keep the graphs alive past curve build
+  for (const std::string& entry : util::split(spec, ',')) {
+    const auto parts = util::split(entry, ':');
+    if (parts.size() != 2)
+      throw std::invalid_argument("--classes: expected model:count, got '" +
+                                  entry + "'");
+    graphs.push_back(models::build(parts[0]));
+    classes.push_back({parts[0],
+                       partition::ProfileCurve::build(graphs.back(), mobile,
+                                                      channel),
+                       std::stoi(parts[1])});
+  }
+
+  util::Table table({"strategy", "makespan (ms)", "ms/job"});
+  int total_jobs = 0;
+  for (const auto& jc : classes) total_jobs += jc.count;
+  for (const core::Strategy s :
+       {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+        core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
+    const core::HeteroPlan plan = core::plan_hetero(classes, s);
+    table.add_row({core::strategy_name(s), util::format_ms(plan.makespan),
+                   util::format_ms(plan.makespan / total_jobs)});
+  }
+  std::cout << "mixed workload: " << spec << " @ "
+            << channel.bandwidth_mbps() << " Mbps\n"
+            << table;
+
+  const core::HeteroPlan jps = core::plan_hetero(classes, core::Strategy::kJPS);
+  std::cout << "JPS order [class:cut]:";
+  for (const auto& unit : jps.scheduled)
+    std::cout << ' '
+              << classes[static_cast<std::size_t>(unit.class_index)].name
+              << ':' << unit.cut_index;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_sweep(const tools::Args& args) {
+  const std::string model = args.get("model", "alexnet");
+  const int jobs = args.get_int("jobs", 50);
+  const double lo_bw = args.get_double("min", 1.0);
+  const double hi_bw = args.get_double("max", 80.0);
+  const int points = args.get_int("points", 20);
+  const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build(model);
+
+  util::Table table({"Mbps", "LO", "CO", "PO", "JPS", "winner"});
+  for (int p = 0; p < points; ++p) {
+    const double mbps =
+        lo_bw + (hi_bw - lo_bw) * p / std::max(1, points - 1);
+    const auto curve =
+        partition::ProfileCurve::build(g, mobile, net::Channel(mbps));
+    const core::Planner planner(curve);
+    double best = 1e300;
+    const char* winner = "";
+    std::vector<std::string> row{util::format_fixed(mbps, 1)};
+    for (const core::Strategy s :
+         {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
+          core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
+      const double ms = planner.plan(s, jobs).predicted_makespan / jobs;
+      row.push_back(util::format_ms(ms));
+      if (ms < best) {
+        best = ms;
+        winner = core::strategy_name(s);
+      }
+    }
+    row.push_back(winner);
+    table.add_row(row);
+  }
+  std::cout << table;
+  return 0;
+}
+
+int cmd_dot(const tools::Args& args) {
+  const dnn::Graph g = models::build(args.get("model", "alexnet"));
+  std::cout << dnn::to_dot(g);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "jps_cli — joint DNN partition & scheduling (Duan & Wu, ICPP 2021)\n"
+      "commands:\n"
+      "  models                              list the model zoo\n"
+      "  profile --model M --output F        profiling campaign -> lookup table\n"
+      "  curve   --model M --bandwidth B     print the (f, g) cut curve\n"
+      "  plan    --model M --bandwidth B --jobs N [--strategy jps] [--gantt]\n"
+      "          [--save plan.txt]\n"
+      "  replay  --plan plan.txt [--bandwidth B]   re-execute a saved plan\n"
+      "  hetero  --classes m1:n1,m2:n2 --bandwidth B   mixed workload plan\n"
+      "  sweep   --model M --jobs N [--min 1 --max 80 --points 20]\n"
+      "  dot     --model M                   Graphviz export\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const jps::tools::Args args(argc, argv);
+  try {
+    const std::string command = args.command();
+    if (command == "models") return cmd_models();
+    if (command == "profile") return cmd_profile(args);
+    if (command == "curve") return cmd_curve(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "replay") return cmd_replay(args);
+    if (command == "hetero") return cmd_hetero(args);
+    if (command == "sweep") return cmd_sweep(args);
+    if (command == "dot") return cmd_dot(args);
+    usage();
+    return command.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
