@@ -11,20 +11,36 @@ Testbed::Testbed(const std::string& model_name)
       mobile_(profile::DeviceProfile::raspberry_pi_4b()),
       cloud_(profile::DeviceProfile::cloud_gtx1080()) {}
 
+std::shared_ptr<const partition::ProfileCurve> Testbed::cached_curve(
+    double mbps) const {
+  return core::PlanCache::global().curve(
+      {graph_.name(), mobile_.device().name, mbps}, [&] {
+        return partition::ProfileCurve::build(graph_, mobile_,
+                                              net::Channel(mbps));
+      });
+}
+
+std::shared_ptr<const core::ExecutionPlan> Testbed::cached_plan(
+    core::Strategy strategy, double mbps, int n_jobs) const {
+  return core::PlanCache::global().plan(
+      {graph_.name(), mobile_.device().name, mbps, strategy, n_jobs}, [&] {
+        return core::Planner(*cached_curve(mbps)).plan(strategy, n_jobs);
+      });
+}
+
 partition::ProfileCurve Testbed::curve(double mbps) const {
-  return partition::ProfileCurve::build(graph_, mobile_, net::Channel(mbps));
+  return *cached_curve(mbps);
 }
 
 Testbed::Outcome Testbed::run(core::Strategy strategy, double mbps, int n_jobs,
                               std::uint64_t seed) const {
   const net::Channel channel(mbps);
-  const partition::ProfileCurve c = curve(mbps);
-  const core::Planner planner(c);
+  const std::shared_ptr<const partition::ProfileCurve> c = cached_curve(mbps);
   Outcome outcome;
-  outcome.plan = planner.plan(strategy, n_jobs);
+  outcome.plan = *cached_plan(strategy, mbps, n_jobs);
   util::Rng rng(seed);
   outcome.simulated_makespan =
-      sim::simulate_plan(graph_, c, outcome.plan, mobile_, cloud_, channel,
+      sim::simulate_plan(graph_, *c, outcome.plan, mobile_, cloud_, channel,
                          sim::SimOptions{}, rng)
           .makespan;
   return outcome;
@@ -43,6 +59,15 @@ std::unique_ptr<util::CsvWriter> maybe_csv(
   auto writer = std::make_unique<util::CsvWriter>(path, header);
   std::cout << "(writing series to " << path << ")\n";
   return writer;
+}
+
+void print_cache_stats(const std::string& label) {
+  const core::PlanCache::Stats s = core::PlanCache::global().stats();
+  std::cout << label << ": plan cache " << s.curve_hits << "/"
+            << (s.curve_hits + s.curve_misses) << " curve hits, "
+            << s.plan_hits << "/" << (s.plan_hits + s.plan_misses)
+            << " plan hits (" << static_cast<int>(100.0 * s.hit_rate() + 0.5)
+            << "% overall)\n";
 }
 
 void print_banner(const std::string& figure, const std::string& description) {

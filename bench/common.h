@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/plan.h"
+#include "core/plan_cache.h"
 #include "util/csv.h"
 #include "core/planner.h"
 #include "dnn/graph.h"
@@ -28,8 +29,19 @@ class Testbed {
   [[nodiscard]] const profile::LatencyModel& mobile() const { return mobile_; }
   [[nodiscard]] const profile::LatencyModel& cloud() const { return cloud_; }
 
-  /// Clustered trunk curve at the given uplink bandwidth.
+  /// Clustered trunk curve at the given uplink bandwidth.  Memoized in
+  /// PlanCache::global(): sweeps asking for the same (model, bandwidth)
+  /// point — e.g. four strategies per bandwidth in Fig. 13 — build it once.
   [[nodiscard]] partition::ProfileCurve curve(double mbps) const;
+
+  /// The memoized curve without copying out of the cache.
+  [[nodiscard]] std::shared_ptr<const partition::ProfileCurve> cached_curve(
+      double mbps) const;
+
+  /// Plan through PlanCache::global(): repeated (strategy, mbps, n_jobs)
+  /// asks return the memoized plan.
+  [[nodiscard]] std::shared_ptr<const core::ExecutionPlan> cached_plan(
+      core::Strategy strategy, double mbps, int n_jobs) const;
 
   /// Plan `n_jobs` with `strategy` at `mbps` and execute the plan on the
   /// discrete-event simulator (3-stage, noiseless).  Returns the simulated
@@ -53,6 +65,9 @@ class Testbed {
 
 /// Standard bench banner: what is being reproduced and on what substrate.
 void print_banner(const std::string& figure, const std::string& description);
+
+/// Report PlanCache::global() hit/miss counters accumulated so far.
+void print_cache_stats(const std::string& label);
 
 /// When the JPS_BENCH_CSV_DIR environment variable is set, open
 /// "<dir>/<name>.csv" with the given header so figure benches can dump the

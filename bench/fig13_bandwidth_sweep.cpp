@@ -64,6 +64,7 @@ int main() {
               << util::format_fixed(benefit_hi, 0) << "] Mbps\n"
               << "(paper: both models speed up across [1, 20] Mbps — 3G\n"
               << "through Wi-Fi — with AlexNet's range extending past 50)\n";
+    bench::print_cache_stats(model);
   }
   return 0;
 }

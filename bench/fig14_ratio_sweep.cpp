@@ -61,6 +61,7 @@ int main() {
     }
     std::cout << "\n(paper: the optimum is not 1:1 and shifts with the "
                  "bandwidth)\n";
+    bench::print_cache_stats(model);
   }
   return 0;
 }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "sched/johnson.h"
 #include "sched/makespan.h"
+#include "util/thread_pool.h"
 
 namespace jps::core {
 
@@ -105,17 +107,26 @@ HeteroPlan balanced_plan(std::span<const JobClass> classes) {
   // endpoints disagree), keeping the best exact makespan seen.  Each move
   // trades total compute for total communication, so the sweep crosses the
   // balance point; the exact evaluation also captures the boundary terms.
-  for (std::size_t c = 0; c < classes.size(); ++c) {
-    if (cuts_lo[c] == cuts_hi[c]) continue;
+  // Each class's walk starts from the all-lo assignment and is independent
+  // of the others, so the walks run concurrently on the shared pool (each
+  // on its own assignment copy) and merge in class order afterwards —
+  // bit-identical to the sequential sweep.
+  std::vector<std::optional<HeteroPlan>> walk_best(classes.size());
+  util::parallel_for(classes.size(), [&](std::size_t c) {
+    if (cuts_lo[c] == cuts_hi[c]) return;
+    std::vector<std::vector<std::size_t>> local = assignment;
+    std::optional<HeteroPlan> class_best;
     for (int moved = 0; moved < classes[c].count; ++moved) {
-      assignment[c][static_cast<std::size_t>(moved)] = cuts_hi[c];
-      HeteroPlan candidate = evaluate(classes, assignment);
-      if (candidate.makespan < best.makespan) best = std::move(candidate);
+      local[c][static_cast<std::size_t>(moved)] = cuts_hi[c];
+      HeteroPlan candidate = evaluate(classes, local);
+      if (!class_best || candidate.makespan < class_best->makespan)
+        class_best = std::move(candidate);
     }
-    // Restore: evaluating further classes should start from the lo side so
-    // moves are considered independently, then combined greedily below.
-    assignment[c].assign(static_cast<std::size_t>(classes[c].count),
-                         cuts_lo[c]);
+    walk_best[c] = std::move(class_best);
+  });
+  for (std::optional<HeteroPlan>& candidate : walk_best) {
+    if (candidate && candidate->makespan < best.makespan)
+      best = std::move(*candidate);
   }
   // Combined greedy pass: move in whichever class best reduces |imbalance|
   // until no move helps the exact makespan.

@@ -1,0 +1,117 @@
+#include "core/plan_cache.h"
+
+#include <bit>
+#include <mutex>
+
+namespace jps::core {
+
+namespace {
+
+// splitmix64-style combine; good avalanche for composite keys.
+std::size_t hash_combine(std::size_t seed, std::size_t value) {
+  value += 0x9E3779B97F4A7C15ull + (seed << 6) + (seed >> 2);
+  value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9ull;
+  return seed ^ (value ^ (value >> 27));
+}
+
+std::size_t hash_double(double x) {
+  // +0.0 and -0.0 compare equal but have different bit patterns; normalize.
+  if (x == 0.0) x = 0.0;
+  return std::hash<std::uint64_t>{}(std::bit_cast<std::uint64_t>(x));
+}
+
+}  // namespace
+
+std::size_t PlanCache::CurveKeyHash::operator()(
+    const CurveCacheKey& k) const {
+  std::size_t h = std::hash<std::string>{}(k.model);
+  h = hash_combine(h, std::hash<std::string>{}(k.device));
+  h = hash_combine(h, hash_double(k.bandwidth_mbps));
+  return h;
+}
+
+std::size_t PlanCache::PlanKeyHash::operator()(const PlanCacheKey& k) const {
+  std::size_t h = std::hash<std::string>{}(k.model);
+  h = hash_combine(h, std::hash<std::string>{}(k.device));
+  h = hash_combine(h, hash_double(k.bandwidth_mbps));
+  h = hash_combine(h, static_cast<std::size_t>(k.strategy));
+  h = hash_combine(h, static_cast<std::size_t>(k.n_jobs));
+  return h;
+}
+
+std::shared_ptr<const partition::ProfileCurve> PlanCache::curve(
+    const CurveCacheKey& key, const CurveBuilder& build) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = curves_.find(key);
+    if (it != curves_.end()) {
+      curve_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  curve_misses_.fetch_add(1, std::memory_order_relaxed);
+  // Build outside the lock: curve construction walks the DNN graph and must
+  // not serialize concurrent misses for unrelated keys.
+  auto built = std::make_shared<const partition::ProfileCurve>(build());
+  std::unique_lock lock(mutex_);
+  const auto [it, inserted] = curves_.emplace(key, std::move(built));
+  return it->second;  // first insert wins for racing builders
+}
+
+std::shared_ptr<const ExecutionPlan> PlanCache::plan(const PlanCacheKey& key,
+                                                     const PlanBuilder& build) {
+  {
+    std::shared_lock lock(mutex_);
+    const auto it = plans_.find(key);
+    if (it != plans_.end()) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto built = std::make_shared<const ExecutionPlan>(build());
+  std::unique_lock lock(mutex_);
+  const auto [it, inserted] = plans_.emplace(key, std::move(built));
+  return it->second;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats s;
+  s.curve_hits = curve_hits_.load(std::memory_order_relaxed);
+  s.curve_misses = curve_misses_.load(std::memory_order_relaxed);
+  s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void PlanCache::reset_stats() {
+  curve_hits_.store(0, std::memory_order_relaxed);
+  curve_misses_.store(0, std::memory_order_relaxed);
+  plan_hits_.store(0, std::memory_order_relaxed);
+  plan_misses_.store(0, std::memory_order_relaxed);
+}
+
+void PlanCache::clear() {
+  std::unique_lock lock(mutex_);
+  curves_.clear();
+  plans_.clear();
+  lock.unlock();
+  reset_stats();
+}
+
+std::size_t PlanCache::curve_count() const {
+  std::shared_lock lock(mutex_);
+  return curves_.size();
+}
+
+std::size_t PlanCache::plan_count() const {
+  std::shared_lock lock(mutex_);
+  return plans_.size();
+}
+
+PlanCache& PlanCache::global() {
+  static PlanCache cache;
+  return cache;
+}
+
+}  // namespace jps::core

@@ -1,0 +1,129 @@
+// Memoization of profile curves and execution plans.
+//
+// Serving traffic means answering the same planning question again and
+// again: the fig13/fig14 sweeps ask for one curve per (model, bandwidth)
+// and four plans on top of it; a deployment asks for the same (model,
+// device, bandwidth, strategy, n) whenever two users share a network
+// condition.  Curve construction walks the whole DNN graph and planning
+// re-runs Johnson + makespan, so both are worth caching: results are pure
+// functions of their keys (deterministic by design — see
+// docs/PARALLELISM.md).
+//
+// Concurrency: reads take a shared lock; a miss builds *outside* any lock
+// (concurrent misses for one key may build twice — the first insert wins
+// and later builders adopt the cached value, keeping hit pointers stable).
+// Values are handed out as shared_ptr<const T> so entries stay alive across
+// clear() while a caller still uses them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/plan.h"
+#include "partition/profile_curve.h"
+
+namespace jps::core {
+
+/// Identity of a profile curve: one model on one device over one channel.
+struct CurveCacheKey {
+  std::string model;
+  /// Device/profile identity (e.g. DeviceProfile::name, or a lookup-table
+  /// path for profiled deployments).
+  std::string device;
+  double bandwidth_mbps = 0.0;
+
+  friend bool operator==(const CurveCacheKey&, const CurveCacheKey&) = default;
+};
+
+/// Identity of an execution plan: a curve identity plus the planning ask.
+struct PlanCacheKey {
+  std::string model;
+  std::string device;
+  double bandwidth_mbps = 0.0;
+  Strategy strategy = Strategy::kJPS;
+  int n_jobs = 0;
+
+  friend bool operator==(const PlanCacheKey&, const PlanCacheKey&) = default;
+};
+
+/// Thread-safe memo of curves and plans with hit/miss accounting.
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t curve_hits = 0;
+    std::uint64_t curve_misses = 0;
+    std::uint64_t plan_hits = 0;
+    std::uint64_t plan_misses = 0;
+
+    [[nodiscard]] std::uint64_t hits() const { return curve_hits + plan_hits; }
+    [[nodiscard]] std::uint64_t misses() const {
+      return curve_misses + plan_misses;
+    }
+    /// Hits over lookups across both tables (0 when never queried).
+    [[nodiscard]] double hit_rate() const {
+      const std::uint64_t total = hits() + misses();
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits()) /
+                              static_cast<double>(total);
+    }
+  };
+
+  using CurveBuilder = std::function<partition::ProfileCurve()>;
+  using PlanBuilder = std::function<ExecutionPlan()>;
+
+  PlanCache() = default;
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// The curve for `key`, building it with `build` on a miss.
+  [[nodiscard]] std::shared_ptr<const partition::ProfileCurve> curve(
+      const CurveCacheKey& key, const CurveBuilder& build);
+
+  /// The plan for `key`, building it with `build` on a miss.
+  [[nodiscard]] std::shared_ptr<const ExecutionPlan> plan(
+      const PlanCacheKey& key, const PlanBuilder& build);
+
+  /// Counters snapshot (monotone since construction or reset_stats()).
+  [[nodiscard]] Stats stats() const;
+
+  /// Zero the hit/miss counters (entries are kept).
+  void reset_stats();
+
+  /// Drop all entries and zero the counters.  Outstanding shared_ptrs stay
+  /// valid.
+  void clear();
+
+  [[nodiscard]] std::size_t curve_count() const;
+  [[nodiscard]] std::size_t plan_count() const;
+
+  /// The process-wide cache the benches, CLI, and serving paths share.
+  [[nodiscard]] static PlanCache& global();
+
+ private:
+  struct CurveKeyHash {
+    std::size_t operator()(const CurveCacheKey& k) const;
+  };
+  struct PlanKeyHash {
+    std::size_t operator()(const PlanCacheKey& k) const;
+  };
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<CurveCacheKey,
+                     std::shared_ptr<const partition::ProfileCurve>,
+                     CurveKeyHash>
+      curves_;
+  std::unordered_map<PlanCacheKey, std::shared_ptr<const ExecutionPlan>,
+                     PlanKeyHash>
+      plans_;
+  std::atomic<std::uint64_t> curve_hits_{0};
+  std::atomic<std::uint64_t> curve_misses_{0};
+  std::atomic<std::uint64_t> plan_hits_{0};
+  std::atomic<std::uint64_t> plan_misses_{0};
+};
+
+}  // namespace jps::core

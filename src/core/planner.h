@@ -42,6 +42,23 @@ struct PlannerOptions {
   std::uint64_t bf_exact_cap = 2'000'000;
 };
 
+/// Makespan of the two-cut-type schedule "n_a jobs at (f_a, g_a) then n_b
+/// jobs at (f_b, g_b)" in O(1), via the permutation-flow-shop identity
+///   makespan = max_i ( sum_{k<=i} f_k + sum_{k>=i} g_k ),
+/// whose inner maximum over each homogeneous run is attained at a run
+/// endpoint.  This is exactly flowshop2_makespan of that job sequence
+/// (up to floating-point association).
+[[nodiscard]] double two_type_makespan(double f_a, double g_a, double f_b,
+                                       double g_b, int n_a, int n_b);
+
+/// The split n_a (jobs at cut a; the remaining n - n_a sit at cut b)
+/// minimizing two_type_makespan, with the smallest minimizing n_a winning
+/// ties.  O(n).  Requires cut a to precede cut b on a monotone curve
+/// (f_a <= f_b, g_a >= g_b), which pins the Johnson order to "all a-jobs
+/// before all b-jobs" for every split.
+[[nodiscard]] int best_two_type_split(double f_a, double g_a, double f_b,
+                                      double g_b, int n_jobs);
+
 class Planner {
  public:
   /// The curve must be monotone (built with clustering on).
@@ -66,7 +83,8 @@ class Planner {
   [[nodiscard]] std::vector<std::size_t> lower_hull_cuts() const;
 
  private:
-  /// Best split of n jobs between cuts `a` and `b` by exact sweep.
+  /// Best split of n jobs between cuts `a` and `b` (a < b on the monotone
+  /// curve): O(n) sweep via best_two_type_split, then one finalize().
   [[nodiscard]] ExecutionPlan best_split_plan(Strategy strategy, std::size_t a,
                                               std::size_t b, int n_jobs) const;
 

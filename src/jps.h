@@ -15,6 +15,7 @@
 #include "core/energy.h"         // IWYU pragma: export
 #include "core/hetero.h"         // IWYU pragma: export
 #include "core/plan.h"           // IWYU pragma: export
+#include "core/plan_cache.h"     // IWYU pragma: export
 #include "core/plan_io.h"        // IWYU pragma: export
 #include "core/planner.h"        // IWYU pragma: export
 #include "core/ratio.h"          // IWYU pragma: export
@@ -51,4 +52,5 @@
 #include "util/rng.h"                 // IWYU pragma: export
 #include "util/stats.h"               // IWYU pragma: export
 #include "util/table.h"               // IWYU pragma: export
+#include "util/thread_pool.h"         // IWYU pragma: export
 #include "util/units.h"               // IWYU pragma: export

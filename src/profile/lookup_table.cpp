@@ -14,6 +14,13 @@ constexpr const char* kHeader = "jps-lookup-table v1";
 
 void LookupTable::set(const std::string& model, dnn::NodeId node,
                       double time_ms) {
+  // The text format is line- and tab-delimited, so these characters in a
+  // model name would serialize fine but corrupt the round-trip.  Reject
+  // them at insertion, where the caller can still see the bad name.
+  if (model.find_first_of("\t\n\r") != std::string::npos) {
+    throw std::invalid_argument(
+        "LookupTable::set: model name contains tab/newline: '" + model + "'");
+  }
   entries_[{model, node}] = time_ms;
 }
 

@@ -21,7 +21,9 @@ class LookupTable {
  public:
   LookupTable() = default;
 
-  /// Insert/overwrite the time of (model, node).
+  /// Insert/overwrite the time of (model, node).  Throws
+  /// std::invalid_argument when `model` contains a tab, newline, or carriage
+  /// return (the serialized format could not round-trip such names).
   void set(const std::string& model, dnn::NodeId node, double time_ms);
 
   /// Lookup; nullopt when the pair was never profiled.

@@ -23,13 +23,19 @@ util::Summary monte_carlo_makespan(const dnn::Graph& graph,
   sim_options.include_cloud = options.include_cloud;
 
   std::vector<double> makespans(static_cast<std::size_t>(options.trials));
-  // Each trial gets its own deterministic stream: seed + trial index.
-  util::parallel_for(makespans.size(), [&](std::size_t trial) {
-    util::Rng rng(options.seed + static_cast<std::uint64_t>(trial) * 1000003ull);
-    makespans[trial] = simulate_plan(graph, curve, plan, mobile, cloud,
-                                     channel, sim_options, rng)
-                           .makespan;
-  });
+  // Each trial gets its own deterministic stream: seed + trial index.  The
+  // per-trial streams make the result independent of how trials are spread
+  // across the pool, so any `threads` value produces identical summaries.
+  util::parallel_for(
+      makespans.size(),
+      [&](std::size_t trial) {
+        util::Rng rng(options.seed +
+                      static_cast<std::uint64_t>(trial) * 1000003ull);
+        makespans[trial] = simulate_plan(graph, curve, plan, mobile, cloud,
+                                         channel, sim_options, rng)
+                               .makespan;
+      },
+      options.threads);
   return util::summarize(makespans);
 }
 

@@ -4,6 +4,8 @@
 // AR/self-driving workloads of §1).
 #pragma once
 
+#include <cstddef>
+
 #include "sim/executor.h"
 #include "util/stats.h"
 
@@ -17,10 +19,14 @@ struct MonteCarloOptions {
   double comm_noise_sigma = 0.10;
   bool include_cloud = true;
   std::uint64_t seed = 1;
+  /// Concurrency cap for the campaign (0 = the library default: JPS_THREADS
+  /// or hardware_concurrency).  Every trial draws from its own seeded RNG
+  /// stream, so summaries are bit-identical for any thread count.
+  std::size_t threads = 0;
 };
 
 /// Run `plan` `trials` times with independent noise draws and summarize the
-/// resulting makespans.  Trials are spread across cores.
+/// resulting makespans.  Trials are spread across the shared worker pool.
 [[nodiscard]] util::Summary monte_carlo_makespan(
     const dnn::Graph& graph, const partition::ProfileCurve& curve,
     const core::ExecutionPlan& plan, const profile::LatencyModel& mobile,

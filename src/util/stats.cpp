@@ -28,7 +28,9 @@ double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
 namespace {
 
 // Percentile of an already-sorted vector with linear interpolation between
-// closest ranks (the "exclusive" scheme used by numpy's default).
+// closest ranks at fractional rank p/100 * (n-1) — numpy's default
+// method="linear" (inclusive) scheme, so percentile(xs, 50) is exactly
+// median(xs) for any n.
 double sorted_percentile(const std::vector<double>& s, double p) {
   if (s.empty()) return 0.0;
   if (s.size() == 1) return s.front();

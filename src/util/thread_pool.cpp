@@ -1,9 +1,27 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <exception>
+#include <string>
 
 namespace jps::util {
+
+namespace {
+
+// Set while a thread runs inside a ThreadPool::worker_loop.
+thread_local bool tl_pool_worker = false;
+// Depth of parallel_for bodies executing on this thread (workers and the
+// caller both count); nested parallel regions run inline.
+thread_local int tl_parallel_depth = 0;
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { ++tl_parallel_depth; }
+  ~ParallelRegionGuard() { --tl_parallel_depth; }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -21,20 +39,20 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-std::future<void> ThreadPool::submit(std::function<void()> task) {
-  std::packaged_task<void()> packaged(std::move(task));
-  std::future<void> fut = packaged.get_future();
+bool ThreadPool::on_worker_thread() { return tl_pool_worker; }
+
+void ThreadPool::enqueue(Task task) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push(std::move(packaged));
+    queue_.push(std::move(task));
   }
   cv_.notify_one();
-  return fut;
 }
 
 void ThreadPool::worker_loop() {
+  tl_pool_worker = true;
   while (true) {
-    std::packaged_task<void()> task;
+    Task task;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -42,45 +60,79 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // exceptions are captured in the packaged_task's future
+    task();  // exceptions are captured in the task's promise
   }
+}
+
+std::size_t default_thread_count() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("JPS_THREADS")) {
+      char* end = nullptr;
+      const long parsed = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0)
+        return static_cast<std::size_t>(parsed);
+    }
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }();
+  return cached;
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
 }
 
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads) {
   if (count == 0) return;
-  if (threads == 0)
-    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads == 0) threads = default_thread_count();
   threads = std::min(threads, count);
 
-  // Small trip counts are not worth thread start/wake costs.
-  if (threads <= 1 || count < 4) {
+  // Small trip counts are not worth a dispatch; nested regions and pool
+  // workers must not block on the pool they are part of.
+  if (threads <= 1 || count < 4 || ThreadPool::on_worker_thread() ||
+      tl_parallel_depth > 0) {
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
 
-  std::vector<std::thread> team;
-  team.reserve(threads);
+  // Static block decomposition: block b owns [b*chunk, min((b+1)*chunk, n)).
+  // Blocks are claimed from a shared counter by the caller and up to
+  // blocks-1 pool helpers, so the caller always makes progress even when
+  // every pool worker is busy elsewhere.
+  const std::size_t chunk = (count + threads - 1) / threads;
+  const std::size_t blocks = (count + chunk - 1) / chunk;
+  std::atomic<std::size_t> next_block{0};
+  std::atomic<bool> failed{false};
   std::mutex err_mutex;
   std::exception_ptr first_error;
 
-  // Static block decomposition: worker t owns [t*chunk, min((t+1)*chunk, n)).
-  const std::size_t chunk = (count + threads - 1) / threads;
-  for (std::size_t t = 0; t < threads; ++t) {
-    const std::size_t begin = t * chunk;
-    const std::size_t end = std::min(count, begin + chunk);
-    if (begin >= end) break;
-    team.emplace_back([&, begin, end] {
+  const auto drain = [&] {
+    ParallelRegionGuard region;
+    for (std::size_t b = next_block.fetch_add(1); b < blocks;
+         b = next_block.fetch_add(1)) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t begin = b * chunk;
+      const std::size_t end = std::min(count, begin + chunk);
       try {
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
         std::lock_guard lock(err_mutex);
         if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
       }
-    });
-  }
-  for (auto& th : team) th.join();
+    }
+  };
+
+  ThreadPool& pool = global_pool();
+  std::vector<std::future<void>> helpers;
+  const std::size_t helper_count = std::min(blocks - 1, pool.size());
+  helpers.reserve(helper_count);
+  for (std::size_t h = 0; h < helper_count; ++h)
+    helpers.push_back(pool.submit(drain));
+  drain();  // the caller participates
+  for (auto& f : helpers) f.get();  // synchronize; drain never throws
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,24 +1,42 @@
-// Fixed-size thread pool with a parallel_for helper.
+// Shared worker pool with a parallel_for helper.
 //
 // The heavy loops in this repo — brute-force partition search (Fig. 11),
-// bandwidth sweeps (Fig. 13), and Monte-Carlo simulator validation — are
-// embarrassingly parallel over independent work items, so a simple static
-// block decomposition (the OpenMP "schedule(static)" idiom) is enough.
+// bandwidth sweeps (Fig. 13), Monte-Carlo simulator validation, and the
+// numeric runtime kernels — are embarrassingly parallel over independent
+// work items.  Historically every parallel_for call spawned and joined a
+// fresh std::thread team; under request-serving load (many plan/simulate
+// calls per second) that thread churn dominates small campaigns.  All
+// parallel loops now dispatch through one lazily created process-wide pool
+// (global_pool()), and the calling thread works alongside the pool so a
+// busy pool can never deadlock a caller.
+//
+// Sizing: JPS_THREADS environment variable if set (a positive integer),
+// else std::thread::hardware_concurrency().  A parallel_for call may also
+// cap its own concurrency via the `threads` argument.
+//
+// Nested-call safety: a parallel_for issued from inside a pool worker (or
+// from inside another parallel_for body) runs inline on the calling thread.
+// Blocking a worker on sub-tasks could otherwise exhaust the pool and
+// deadlock; inline execution keeps the semantics and stays deterministic.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace jps::util {
 
-/// A joinable fixed-size worker pool.  Tasks are std::function<void()>.
-/// Destruction drains the queue and joins all workers (RAII; never detaches).
+/// A joinable fixed-size worker pool.  Tasks may be any move-constructible
+/// nullary callables (submit() type-erases them, so value-returning and
+/// move-only tasks both work).  Destruction drains the queue and joins all
+/// workers (RAII; never detaches).
 class ThreadPool {
  public:
   /// Start `threads` workers (defaults to hardware_concurrency, min 1).
@@ -30,26 +48,79 @@ class ThreadPool {
   /// Finish queued tasks and join.
   ~ThreadPool();
 
-  /// Enqueue a task; returns a future for its completion.
-  std::future<void> submit(std::function<void()> task);
+  /// Enqueue a callable; returns a future for its result.  Exceptions
+  /// thrown by the task are captured and rethrown by future::get().
+  template <typename F>
+  [[nodiscard]] auto submit(F&& task)
+      -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    std::packaged_task<R()> packaged(std::forward<F>(task));
+    std::future<R> fut = packaged.get_future();
+    enqueue(Task(std::move(packaged)));
+    return fut;
+  }
 
   /// Number of worker threads.
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of *any* ThreadPool.  Used by
+  /// parallel_for to run nested parallel regions inline instead of blocking
+  /// a worker on the pool it would need for progress.
+  [[nodiscard]] static bool on_worker_thread();
+
  private:
+  /// Move-only type-erased nullary task (std::function requires copyable
+  /// targets, which std::packaged_task is not).
+  class Task {
+   public:
+    Task() = default;
+    template <typename F>
+    explicit Task(F&& f)
+        : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+    void operator()() { impl_->run(); }
+    explicit operator bool() const { return impl_ != nullptr; }
+
+   private:
+    struct Base {
+      virtual ~Base() = default;
+      virtual void run() = 0;
+    };
+    template <typename F>
+    struct Impl final : Base {
+      explicit Impl(F f) : fn(std::move(f)) {}
+      void run() override { fn(); }
+      F fn;
+    };
+    std::unique_ptr<Base> impl_;
+  };
+
+  void enqueue(Task task);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<Task> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
 };
 
-/// Run body(i) for i in [0, count) across `threads` workers using static
-/// block decomposition.  Blocks until all iterations finish.  Exceptions in
-/// the body propagate to the caller (first one wins).
-/// With threads <= 1 or count small, runs inline with zero overhead.
+/// The number of threads parallel loops use by default: JPS_THREADS when the
+/// environment variable holds a positive integer, else hardware_concurrency
+/// (min 1).  Read once and cached for the process lifetime.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// The process-wide shared pool, created on first use with
+/// default_thread_count() workers.  Lives until process exit.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Run body(i) for i in [0, count) using static block decomposition, with
+/// chunks dispatched through global_pool(); the calling thread executes
+/// chunks too, so progress never depends on pool availability.  Blocks until
+/// all iterations finish.  Exceptions in the body propagate to the caller
+/// (first one recorded wins; remaining chunks are abandoned).
+/// `threads` caps the concurrency of this call (0 = default_thread_count()).
+/// With threads <= 1, small counts, or when called from a pool worker or a
+/// nested parallel region, runs inline with zero dispatch overhead.
 void parallel_for(std::size_t count,
                   const std::function<void(std::size_t)>& body,
                   std::size_t threads = 0);

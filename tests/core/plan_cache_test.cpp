@@ -1,0 +1,116 @@
+#include "core/plan_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "util/thread_pool.h"
+
+namespace jps::core {
+namespace {
+
+partition::ProfileCurve build_alexnet_curve(double mbps) {
+  static const dnn::Graph graph = models::build("alexnet");
+  static const profile::LatencyModel mobile(
+      profile::DeviceProfile::raspberry_pi_4b());
+  return partition::ProfileCurve::build(graph, mobile, net::Channel(mbps));
+}
+
+TEST(PlanCache, CurveMissesThenHits) {
+  PlanCache cache;
+  std::atomic<int> builds{0};
+  const CurveCacheKey key{"alexnet", "pi4b", 5.85};
+  const auto build = [&] {
+    builds.fetch_add(1);
+    return build_alexnet_curve(5.85);
+  };
+  const auto first = cache.curve(key, build);
+  const auto second = cache.curve(key, build);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(first.get(), second.get());  // hits return the cached object
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.curve_misses, 1u);
+  EXPECT_EQ(stats.curve_hits, 1u);
+  EXPECT_EQ(cache.curve_count(), 1u);
+}
+
+TEST(PlanCache, DistinctKeysDoNotCollide) {
+  PlanCache cache;
+  const auto at_5 = cache.curve({"alexnet", "pi4b", 5.0},
+                                [] { return build_alexnet_curve(5.0); });
+  const auto at_10 = cache.curve({"alexnet", "pi4b", 10.0},
+                                 [] { return build_alexnet_curve(10.0); });
+  const auto other_device = cache.curve(
+      {"alexnet", "jetson", 5.0}, [] { return build_alexnet_curve(5.0); });
+  EXPECT_EQ(cache.curve_count(), 3u);
+  EXPECT_NE(at_5.get(), at_10.get());
+  EXPECT_NE(at_5.get(), other_device.get());
+  // Same bandwidth, different device: independent entries, equal contents.
+  EXPECT_EQ(at_5->size(), other_device->size());
+}
+
+TEST(PlanCache, PlanKeyIncludesStrategyAndJobCount) {
+  PlanCache cache;
+  const auto curve = cache.curve({"alexnet", "pi4b", 5.85},
+                                 [] { return build_alexnet_curve(5.85); });
+  const auto plan_for = [&](Strategy s, int n) {
+    return cache.plan({"alexnet", "pi4b", 5.85, s, n},
+                      [&] { return Planner(*curve).plan(s, n); });
+  };
+  const auto jps_10 = plan_for(Strategy::kJPS, 10);
+  const auto jps_10_again = plan_for(Strategy::kJPS, 10);
+  const auto jps_20 = plan_for(Strategy::kJPS, 20);
+  const auto lo_10 = plan_for(Strategy::kLocalOnly, 10);
+  EXPECT_EQ(jps_10.get(), jps_10_again.get());
+  EXPECT_NE(jps_10.get(), jps_20.get());
+  EXPECT_NE(jps_10.get(), lo_10.get());
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.plan_misses, 3u);
+  EXPECT_EQ(stats.plan_hits, 1u);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+TEST(PlanCache, ClearDropsEntriesButKeepsOutstandingPointers) {
+  PlanCache cache;
+  const auto curve = cache.curve({"alexnet", "pi4b", 5.85},
+                                 [] { return build_alexnet_curve(5.85); });
+  const std::size_t size_before = curve->size();
+  cache.clear();
+  EXPECT_EQ(cache.curve_count(), 0u);
+  EXPECT_EQ(cache.stats().misses(), 0u);
+  EXPECT_EQ(curve->size(), size_before);  // shared_ptr keeps the value alive
+}
+
+TEST(PlanCache, ConcurrentMixedAccessIsSafeAndCoherent) {
+  // Hammer one cache from many threads over a handful of keys: every
+  // returned pointer for one key must be the same object, and lookups must
+  // add up.  Suitable for running under TSan.
+  PlanCache cache;
+  constexpr std::size_t kLookups = 200;
+  const double bandwidths[] = {1.0, 2.0, 4.0, 8.0};
+  std::vector<std::shared_ptr<const partition::ProfileCurve>> seen(kLookups);
+  util::parallel_for(kLookups, [&](std::size_t i) {
+    const double mbps = bandwidths[i % 4];
+    seen[i] = cache.curve({"alexnet", "pi4b", mbps},
+                          [&] { return build_alexnet_curve(mbps); });
+  });
+  EXPECT_EQ(cache.curve_count(), 4u);
+  for (std::size_t i = 4; i < kLookups; ++i)
+    EXPECT_EQ(seen[i].get(), seen[i % 4].get());
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.curve_hits + stats.curve_misses, kLookups);
+  EXPECT_GE(stats.curve_misses, 4u);  // racing builders may double-build
+}
+
+TEST(PlanCache, GlobalIsASingleton) {
+  EXPECT_EQ(&PlanCache::global(), &PlanCache::global());
+}
+
+}  // namespace
+}  // namespace jps::core

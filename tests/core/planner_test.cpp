@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
@@ -10,6 +12,9 @@
 #include "net/channel.h"
 #include "profile/device.h"
 #include "profile/latency_model.h"
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+#include "util/rng.h"
 
 namespace jps::core {
 namespace {
@@ -182,6 +187,127 @@ TEST(Planner, SingleJobPlansWork) {
     const ExecutionPlan plan = planner.plan(s, 1);
     EXPECT_EQ(plan.jobs.size(), 1u);
     EXPECT_GT(plan.predicted_makespan, 0.0);
+  }
+}
+
+// Reference evaluation of one split, replicating the pre-optimization
+// best_split_plan inner loop: n_a jobs at cut a, the rest at cut b, Johnson
+// order, sequential flow-shop recurrence.
+double brute_split_makespan(const partition::ProfileCurve& curve,
+                            std::size_t a, std::size_t b, int n_a, int n) {
+  sched::JobList jobs;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t cut = i < n_a ? a : b;
+    jobs.push_back(sched::Job{.id = i,
+                              .cut = static_cast<int>(cut),
+                              .f = curve.f(cut),
+                              .g = curve.g(cut)});
+  }
+  const sched::JohnsonSchedule schedule = sched::johnson_order(jobs);
+  return sched::flowshop2_makespan(sched::apply_order(jobs, schedule.order));
+}
+
+// Random monotone curve: f strictly ascending from 0, g strictly descending
+// to 0 — the shape clustering guarantees, with comm-heavy and comp-heavy
+// cuts both present.
+partition::ProfileCurve random_curve(util::Rng& rng, int k) {
+  std::vector<double> fs{0.0};
+  std::vector<double> gs;
+  for (int i = 0; i < k - 1; ++i) {
+    fs.push_back(rng.uniform(0.5, 100.0));
+    gs.push_back(rng.uniform(0.5, 100.0));
+  }
+  std::sort(fs.begin(), fs.end());
+  std::sort(gs.begin(), gs.end(), std::greater<>());
+  gs.push_back(0.0);
+  std::vector<partition::CutPoint> cuts(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    cuts[i].f = fs[i];
+    cuts[i].g = gs[i];
+    cuts[i].offload_bytes = i + 1 == cuts.size() ? 0 : 1000;
+  }
+  return partition::ProfileCurve::from_candidates("random", std::move(cuts));
+}
+
+TEST(Planner, TwoTypeMakespanMatchesFlowshopRecurrence) {
+  util::Rng rng(17);
+  for (int round = 0; round < 200; ++round) {
+    const double f_a = rng.uniform(0.0, 20.0);
+    const double f_b = f_a + rng.uniform(0.0, 20.0);
+    const double g_b = rng.uniform(0.0, 20.0);
+    const double g_a = g_b + rng.uniform(0.0, 20.0);
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    const int n_a = static_cast<int>(rng.uniform_int(0, n));
+    sched::JobList jobs;
+    for (int i = 0; i < n; ++i) {
+      jobs.push_back(sched::Job{.id = i,
+                                .cut = i < n_a ? 0 : 1,
+                                .f = i < n_a ? f_a : f_b,
+                                .g = i < n_a ? g_a : g_b});
+    }
+    const double reference = sched::flowshop2_makespan(jobs);
+    const double closed =
+        two_type_makespan(f_a, g_a, f_b, g_b, n_a, n - n_a);
+    EXPECT_NEAR(closed, reference, 1e-9 * std::max(1.0, reference))
+        << "n=" << n << " n_a=" << n_a;
+  }
+}
+
+TEST(Planner, IncrementalSplitSweepMatchesBruteSweepOnRandomCurves) {
+  // The O(n) incremental sweep must pick exactly the split the former
+  // O(n^2 log n) per-split finalize() sweep picked, and produce an
+  // identical plan.
+  util::Rng rng(23);
+  for (int round = 0; round < 30; ++round) {
+    const partition::ProfileCurve curve =
+        random_curve(rng, 4 + static_cast<int>(rng.uniform_int(0, 20)));
+    const Planner planner(curve);
+    const int n = static_cast<int>(rng.uniform_int(1, 60));
+    for (const Strategy strategy : {Strategy::kJPSTuned, Strategy::kJPSHull}) {
+      // Recover the mixing pair the planner uses for this strategy.
+      std::size_t a = 0;
+      std::size_t b = 0;
+      if (strategy == Strategy::kJPSTuned) {
+        if (!planner.decision().l_minus) continue;
+        a = *planner.decision().l_minus;
+        b = planner.decision().l_star;
+      } else {
+        const std::vector<std::size_t> hull = planner.lower_hull_cuts();
+        std::size_t pos = hull.size() - 1;
+        for (std::size_t i = 0; i < hull.size(); ++i) {
+          if (curve.f(hull[i]) >= curve.g(hull[i])) {
+            pos = i;
+            break;
+          }
+        }
+        if (pos == 0) continue;
+        a = hull[pos - 1];
+        b = hull[pos];
+      }
+
+      int best_n_a = 0;
+      double best_makespan = std::numeric_limits<double>::infinity();
+      for (int n_a = 0; n_a <= n; ++n_a) {
+        const double ms = brute_split_makespan(curve, a, b, n_a, n);
+        if (ms < best_makespan) {
+          best_makespan = ms;
+          best_n_a = n_a;
+        }
+      }
+
+      const ExecutionPlan plan = planner.plan(strategy, n);
+      EXPECT_DOUBLE_EQ(plan.predicted_makespan, best_makespan)
+          << strategy_name(strategy) << " round " << round << " n=" << n;
+      const auto at_a = std::count_if(
+          plan.jobs.begin(), plan.jobs.end(),
+          [&](const JobAssignment& j) { return j.cut_index == a; });
+      const auto at_b = std::count_if(
+          plan.jobs.begin(), plan.jobs.end(),
+          [&](const JobAssignment& j) { return j.cut_index == b; });
+      EXPECT_EQ(at_a, best_n_a) << strategy_name(strategy) << " round "
+                                << round << " n=" << n;
+      EXPECT_EQ(at_a + at_b, n);
+    }
   }
 }
 

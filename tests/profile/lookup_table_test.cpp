@@ -65,6 +65,28 @@ TEST(LookupTable, LoadMissingFileThrows) {
   EXPECT_THROW(LookupTable::load("/nonexistent/jps.tsv"), std::runtime_error);
 }
 
+TEST(LookupTable, RejectsModelNamesTheFormatCannotRoundTrip) {
+  // The serialized format is tab- and newline-delimited; such names used to
+  // serialize silently and corrupt deserialize().  Now set() refuses them.
+  LookupTable table;
+  EXPECT_THROW(table.set("alex\tnet", 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(table.set("alex\nnet", 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(table.set("alex\rnet", 0, 1.0), std::invalid_argument);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(LookupTable, SerializeRoundTripsAwkwardButLegalNames) {
+  LookupTable table;
+  table.set("model with spaces", 0, 1.25);
+  table.set("model:v2/variant-1", 3, 2.5);
+  table.set("unicode-модель", 7, 0.125);
+  const LookupTable restored = LookupTable::deserialize(table.serialize());
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_DOUBLE_EQ(restored.at("model with spaces", 0), 1.25);
+  EXPECT_DOUBLE_EQ(restored.at("model:v2/variant-1", 3), 2.5);
+  EXPECT_DOUBLE_EQ(restored.at("unicode-модель", 7), 0.125);
+}
+
 TEST(LookupTable, CoversAfterProfilingCampaign) {
   const dnn::Graph g = models::build("alexnet");
   const Profiler profiler(DeviceProfile::raspberry_pi_4b());

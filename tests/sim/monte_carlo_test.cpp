@@ -67,6 +67,33 @@ TEST(MonteCarlo, DeterministicForFixedSeed) {
   EXPECT_DOUBLE_EQ(a.p95, b.p95);
 }
 
+TEST(MonteCarlo, SummariesBitIdenticalAcrossThreadCounts) {
+  // Each trial draws from its own seeded stream, so the campaign result
+  // must not depend on how trials are spread across the pool.
+  const McTestbed tb;
+  const core::Planner planner(tb.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 10);
+  MonteCarloOptions options;
+  options.trials = 64;
+  options.comp_noise_sigma = 0.15;
+  options.comm_noise_sigma = 0.08;
+  options.threads = 1;
+  const util::Summary serial = monte_carlo_makespan(
+      tb.graph, tb.curve, plan, tb.mobile, tb.cloud, tb.channel, options);
+  for (const std::size_t threads : {2u, 4u, 8u}) {
+    options.threads = threads;
+    const util::Summary parallel = monte_carlo_makespan(
+        tb.graph, tb.curve, plan, tb.mobile, tb.cloud, tb.channel, options);
+    EXPECT_EQ(serial.count, parallel.count);
+    EXPECT_EQ(serial.mean, parallel.mean) << threads << " threads";
+    EXPECT_EQ(serial.stddev, parallel.stddev) << threads << " threads";
+    EXPECT_EQ(serial.min, parallel.min) << threads << " threads";
+    EXPECT_EQ(serial.max, parallel.max) << threads << " threads";
+    EXPECT_EQ(serial.median, parallel.median) << threads << " threads";
+    EXPECT_EQ(serial.p95, parallel.p95) << threads << " threads";
+  }
+}
+
 TEST(MonteCarlo, Validation) {
   const McTestbed tb;
   const core::Planner planner(tb.curve);

@@ -53,6 +53,36 @@ TEST(Stats, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 10.0);
 }
 
+TEST(Stats, PercentileFiftyIsExactlyTheMedian) {
+  // The implementation is numpy's default linear (inclusive) interpolation
+  // at fractional rank p/100 * (n-1), so p50 must equal the median for odd
+  // and even n alike.
+  const std::vector<double> odd{9.0, 1.0, 5.0, 3.0, 7.0};
+  const std::vector<double> even{4.0, 8.0, 1.0, 6.0};
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), median(odd));
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), median(even));
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), 5.0);
+}
+
+TEST(Stats, PercentileMatchesNumpyLinearFixture) {
+  // Reference values from numpy 1.26: np.percentile([1, 2, 3, 4, 10], p)
+  // with the default method="linear" — rank = p/100 * (n-1), interpolate.
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 75.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 90.0), 7.6);   // rank 3.6: 4 + 0.6 * 6
+  EXPECT_DOUBLE_EQ(percentile(xs, 95.0), 8.8);   // rank 3.8: 4 + 0.8 * 6
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 10.0);
+  // A second fixture with even n, where inclusive and exclusive rank
+  // schemes disagree at every interior percentile.
+  const std::vector<double> ys{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(ys, 10.0), 13.0);  // numpy: 13.0
+  EXPECT_DOUBLE_EQ(percentile(ys, 75.0), 32.5);  // numpy: 32.5
+}
+
 TEST(Stats, SummaryMatchesIndividualStats) {
   const std::vector<double> xs{5.0, 3.0, 8.0, 1.0, 9.0, 2.0};
   const Summary s = summarize(xs);

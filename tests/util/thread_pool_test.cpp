@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -69,6 +71,132 @@ TEST(ParallelFor, ExplicitThreadCount) {
   std::atomic<int> counter{0};
   parallel_for(64, [&](std::size_t) { counter.fetch_add(1); }, 2);
   EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  auto text = pool.submit([] { return std::string("pooled"); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_EQ(text.get(), "pooled");
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyTasks) {
+  ThreadPool pool(1);
+  auto payload = std::make_unique<int>(7);
+  auto fut = pool.submit([p = std::move(payload)] { return *p + 1; });
+  EXPECT_EQ(fut.get(), 8);
+}
+
+TEST(ThreadPool, GlobalPoolIsSharedAndSized) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.size(), default_thread_count());
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ThreadPool, ManySmallTasksStress) {
+  // The request-serving pattern: lots of tiny independent tasks.  Under
+  // TSan this exercises the queue handoff and future synchronization.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<int>> futures;
+  futures.reserve(2000);
+  for (int i = 0; i < 2000; ++i)
+    futures.push_back(pool.submit([&counter, i] {
+      counter.fetch_add(1, std::memory_order_relaxed);
+      return i;
+    }));
+  long long sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(counter.load(), 2000);
+  EXPECT_EQ(sum, 2000LL * 1999 / 2);
+}
+
+TEST(ParallelFor, RepeatedCallsReuseThePool) {
+  // The seed implementation spawned a fresh team per call; the pooled one
+  // must survive thousands of back-to-back campaigns without churn.
+  std::atomic<long long> total{0};
+  for (int call = 0; call < 500; ++call)
+    parallel_for(32, [&](std::size_t i) {
+      total.fetch_add(static_cast<long long>(i), std::memory_order_relaxed);
+    });
+  EXPECT_EQ(total.load(), 500LL * 32 * 31 / 2);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  // A body that itself calls parallel_for must not deadlock the pool and
+  // must still cover every inner index.
+  std::vector<std::atomic<int>> hits(16 * 16);
+  parallel_for(16, [&](std::size_t outer) {
+    parallel_for(16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SafeFromInsideAPoolTask) {
+  // Pool workers run nested parallel regions inline instead of blocking on
+  // the pool they occupy.
+  std::atomic<int> counter{0};
+  auto fut = global_pool().submit([&] {
+    EXPECT_TRUE(ThreadPool::on_worker_thread());
+    parallel_for(100, [&](std::size_t) { counter.fetch_add(1); });
+  });
+  fut.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, ConcurrentCallersShareThePool) {
+  // Several threads issuing parallel_for at once (the serving scenario).
+  // Each call must see exactly its own full index coverage.
+  constexpr int kCallers = 4;
+  constexpr std::size_t kCount = 512;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<long long>> sums(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&, t] {
+      for (int repeat = 0; repeat < 20; ++repeat) {
+        std::atomic<long long> sum{0};
+        parallel_for(kCount, [&](std::size_t i) {
+          sum.fetch_add(static_cast<long long>(i),
+                        std::memory_order_relaxed);
+        });
+        sums[static_cast<std::size_t>(t)].store(sum.load());
+      }
+    });
+  }
+  for (auto& th : callers) th.join();
+  for (const auto& s : sums)
+    EXPECT_EQ(s.load(), static_cast<long long>(kCount * (kCount - 1) / 2));
+}
+
+TEST(ParallelFor, ExceptionFromPooledChunkPropagates) {
+  // Large count so the failure happens in a pooled chunk, not inline.
+  EXPECT_THROW(
+      parallel_for(
+          10000,
+          [](std::size_t i) {
+            if (i == 9999) throw std::runtime_error("late failure");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ResultsIdenticalAcrossThreadCounts) {
+  // Independent per-index outputs must not depend on the thread count.
+  std::vector<double> one(1000);
+  std::vector<double> many(1000);
+  const auto body = [](std::size_t i) {
+    double acc = static_cast<double>(i);
+    for (int k = 0; k < 50; ++k) acc = acc * 1.0000001 + 0.5;
+    return acc;
+  };
+  parallel_for(one.size(), [&](std::size_t i) { one[i] = body(i); }, 1);
+  parallel_for(many.size(), [&](std::size_t i) { many[i] = body(i); }, 8);
+  EXPECT_EQ(one, many);
 }
 
 }  // namespace

@@ -236,19 +236,24 @@ int cmd_sweep(const tools::Args& args) {
   const dnn::Graph g = models::build(model);
 
   util::Table table({"Mbps", "LO", "CO", "PO", "JPS", "winner"});
+  core::PlanCache& cache = core::PlanCache::global();
+  const std::string device = profile::DeviceProfile::raspberry_pi_4b().name;
   for (int p = 0; p < points; ++p) {
     const double mbps =
         lo_bw + (hi_bw - lo_bw) * p / std::max(1, points - 1);
-    const auto curve =
-        partition::ProfileCurve::build(g, mobile, net::Channel(mbps));
-    const core::Planner planner(curve);
+    const auto curve = cache.curve({model, device, mbps}, [&] {
+      return partition::ProfileCurve::build(g, mobile, net::Channel(mbps));
+    });
     double best = 1e300;
     const char* winner = "";
     std::vector<std::string> row{util::format_fixed(mbps, 1)};
     for (const core::Strategy s :
          {core::Strategy::kLocalOnly, core::Strategy::kCloudOnly,
           core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
-      const double ms = planner.plan(s, jobs).predicted_makespan / jobs;
+      const auto plan = cache.plan({model, device, mbps, s, jobs}, [&] {
+        return core::Planner(*curve).plan(s, jobs);
+      });
+      const double ms = plan->predicted_makespan / jobs;
       row.push_back(util::format_ms(ms));
       if (ms < best) {
         best = ms;
@@ -259,6 +264,9 @@ int cmd_sweep(const tools::Args& args) {
     table.add_row(row);
   }
   std::cout << table;
+  const core::PlanCache::Stats stats = cache.stats();
+  std::cout << "plan cache: " << stats.hits() << " hits / "
+            << stats.misses() << " misses this run (repeat points are free)\n";
   return 0;
 }
 
@@ -280,7 +288,9 @@ void usage() {
       "  replay  --plan plan.txt [--bandwidth B]   re-execute a saved plan\n"
       "  hetero  --classes m1:n1,m2:n2 --bandwidth B   mixed workload plan\n"
       "  sweep   --model M --jobs N [--min 1 --max 80 --points 20]\n"
-      "  dot     --model M                   Graphviz export\n";
+      "  dot     --model M                   Graphviz export\n"
+      "environment:\n"
+      "  JPS_THREADS=N   size of the shared worker pool (default: all cores)\n";
 }
 
 }  // namespace
