@@ -1,8 +1,13 @@
 #include "common.h"
 
+#include <cstdlib>
 #include <iostream>
+#include <set>
 
 #include "models/registry.h"
+#include "obs/obs.h"
+#include "obs/trace_writer.h"
+#include "sim/trace.h"
 
 namespace jps::bench {
 
@@ -33,7 +38,8 @@ partition::ProfileCurve Testbed::curve(double mbps) const {
 }
 
 Testbed::Outcome Testbed::run(core::Strategy strategy, double mbps, int n_jobs,
-                              std::uint64_t seed) const {
+                              std::uint64_t seed,
+                              sim::EventSimulator* capture) const {
   const net::Channel channel(mbps);
   const std::shared_ptr<const partition::ProfileCurve> c = cached_curve(mbps);
   Outcome outcome;
@@ -41,7 +47,7 @@ Testbed::Outcome Testbed::run(core::Strategy strategy, double mbps, int n_jobs,
   util::Rng rng(seed);
   outcome.simulated_makespan =
       sim::simulate_plan(graph_, *c, outcome.plan, mobile_, cloud_, channel,
-                         sim::SimOptions{}, rng)
+                         sim::SimOptions{}, rng, capture)
           .makespan;
   return outcome;
 }
@@ -59,6 +65,31 @@ std::unique_ptr<util::CsvWriter> maybe_csv(
   auto writer = std::make_unique<util::CsvWriter>(path, header);
   std::cout << "(writing series to " << path << ")\n";
   return writer;
+}
+
+std::string maybe_trace_path(const std::string& name) {
+  const char* dir = std::getenv("JPS_TRACE_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  obs::set_enabled(true);
+  return std::string(dir) + "/" + name + ".json";
+}
+
+void write_trace_file(const std::string& path,
+                      const sim::EventSimulator* timeline) {
+  if (path.empty()) return;
+  obs::TraceWriter writer;
+  writer.set_process_name(0, "jps instrumentation");
+  const std::vector<obs::SpanRecord> spans = obs::Registry::global().spans();
+  std::set<std::uint64_t> threads;
+  for (const obs::SpanRecord& span : spans) threads.insert(span.thread);
+  for (const std::uint64_t t : threads)
+    writer.set_thread_name(0, t, "thread " + std::to_string(t));
+  writer.add_spans(spans, 0);
+  writer.add_counter_snapshot(obs::Registry::global().counters(), 0);
+  if (timeline != nullptr) sim::append_chrome_trace(*timeline, writer, 1);
+  writer.save(path);
+  std::cout << "(trace written to " << path
+            << "; open in about:tracing or Perfetto)\n";
 }
 
 void print_cache_stats(const std::string& label) {

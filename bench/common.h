@@ -49,13 +49,16 @@ class Testbed {
   [[nodiscard]] double simulate(core::Strategy strategy, double mbps,
                                 int n_jobs, std::uint64_t seed = 1) const;
 
-  /// Same, but returns the whole plan + simulated makespan pair.
+  /// Same, but returns the whole plan + simulated makespan pair.  When
+  /// `capture` is non-null the finished discrete-event engine is moved into
+  /// it (for write_trace_file).
   struct Outcome {
     core::ExecutionPlan plan;
     double simulated_makespan = 0.0;
   };
   [[nodiscard]] Outcome run(core::Strategy strategy, double mbps, int n_jobs,
-                            std::uint64_t seed = 1) const;
+                            std::uint64_t seed = 1,
+                            sim::EventSimulator* capture = nullptr) const;
 
  private:
   dnn::Graph graph_;
@@ -75,5 +78,16 @@ void print_cache_stats(const std::string& label);
 /// unset.
 [[nodiscard]] std::unique_ptr<util::CsvWriter> maybe_csv(
     const std::string& name, const std::vector<std::string>& header);
+
+/// When the JPS_TRACE_DIR environment variable is set, switch span
+/// recording on and return "<dir>/<name>.json"; returns "" (and records
+/// nothing) when unset.  Call at bench start so the whole run is spanned.
+[[nodiscard]] std::string maybe_trace_path(const std::string& name);
+
+/// Write a Chrome trace to `path`: the instrumentation spans + counters
+/// accumulated so far (pid 0) and, when given, a simulated timeline
+/// (pid 1).  No-op when `path` is empty (JPS_TRACE_DIR unset).
+void write_trace_file(const std::string& path,
+                      const sim::EventSimulator* timeline = nullptr);
 
 }  // namespace jps::bench

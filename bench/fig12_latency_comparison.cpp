@@ -6,10 +6,13 @@
 
 #include "common.h"
 #include "models/registry.h"
+#include "sim/event_sim.h"
 #include "util/table.h"
 
 int main() {
   using namespace jps;
+  // JPS_TRACE_DIR=dir turns the whole bench into a Chrome trace.
+  const std::string trace_path = bench::maybe_trace_path("fig12");
   bench::print_banner(
       "Figure 12",
       "Total latency of LO/CO/PO/JPS, 100 jobs per DNN, at the paper's\n"
@@ -65,10 +68,12 @@ int main() {
   std::cout << "\n--- Fig. 12(d): JPS decision overhead ---\n";
   util::Table overhead({"model", "plan overhead (ms)", "per-job latency (ms)",
                         "overhead ratio"});
+  sim::EventSimulator timeline;  // last model's simulated run, for the trace
   for (const auto& model : models::paper_eval_names()) {
     const bench::Testbed testbed(model);
-    const auto outcome =
-        testbed.run(core::Strategy::kJPS, net::kBandwidth4GMbps, kJobs);
+    const auto outcome = testbed.run(core::Strategy::kJPS,
+                                     net::kBandwidth4GMbps, kJobs, 1,
+                                     trace_path.empty() ? nullptr : &timeline);
     const double per_job = outcome.simulated_makespan / kJobs;
     overhead.add_row({model,
                       util::format_ms(outcome.plan.decision_overhead_ms),
@@ -79,5 +84,7 @@ int main() {
   std::cout << overhead
             << "(paper: overhead is negligible thanks to the lookup table +\n"
                "linear-regression estimators and the O(log k) search)\n";
+  bench::write_trace_file(trace_path,
+                          trace_path.empty() ? nullptr : &timeline);
   return 0;
 }

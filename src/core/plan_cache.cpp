@@ -3,7 +3,32 @@
 #include <bit>
 #include <mutex>
 
+#include "obs/obs.h"
+
 namespace jps::core {
+
+namespace {
+
+// Registry-side mirrors of the Stats counters so `--metrics` and trace
+// dumps see cache behaviour alongside every other subsystem.
+obs::Counter& curve_hit_counter() {
+  static obs::Counter& c = obs::counter("plan_cache.curve_hits");
+  return c;
+}
+obs::Counter& curve_miss_counter() {
+  static obs::Counter& c = obs::counter("plan_cache.curve_misses");
+  return c;
+}
+obs::Counter& plan_hit_counter() {
+  static obs::Counter& c = obs::counter("plan_cache.plan_hits");
+  return c;
+}
+obs::Counter& plan_miss_counter() {
+  static obs::Counter& c = obs::counter("plan_cache.plan_misses");
+  return c;
+}
+
+}  // namespace
 
 namespace {
 
@@ -46,10 +71,12 @@ std::shared_ptr<const partition::ProfileCurve> PlanCache::curve(
     const auto it = curves_.find(key);
     if (it != curves_.end()) {
       curve_hits_.fetch_add(1, std::memory_order_relaxed);
+      curve_hit_counter().add();
       return it->second;
     }
   }
   curve_misses_.fetch_add(1, std::memory_order_relaxed);
+  curve_miss_counter().add();
   // Build outside the lock: curve construction walks the DNN graph and must
   // not serialize concurrent misses for unrelated keys.
   auto built = std::make_shared<const partition::ProfileCurve>(build());
@@ -65,10 +92,12 @@ std::shared_ptr<const ExecutionPlan> PlanCache::plan(const PlanCacheKey& key,
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
       plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      plan_hit_counter().add();
       return it->second;
     }
   }
   plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  plan_miss_counter().add();
   auto built = std::make_shared<const ExecutionPlan>(build());
   std::unique_lock lock(mutex_);
   const auto [it, inserted] = plans_.emplace(key, std::move(built));

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "sched/bruteforce.h"
 #include "sched/johnson.h"
 
@@ -158,6 +159,18 @@ ExecutionPlan Planner::finalize(Strategy strategy,
 
 ExecutionPlan Planner::plan(Strategy strategy, int n_jobs) const {
   if (n_jobs < 1) throw std::invalid_argument("Planner::plan: n_jobs < 1");
+  static obs::Counter& plans = obs::counter("planner.plans");
+  plans.add();
+  obs::Span span("planner.plan", "core");
+  span.arg("strategy", strategy_name(strategy));
+  span.arg("n_jobs", std::to_string(n_jobs));
+  span.arg("model", curve_.model_name());
+  ExecutionPlan plan = plan_impl(strategy, n_jobs);
+  span.arg("makespan_ms", plan.predicted_makespan);
+  return plan;
+}
+
+ExecutionPlan Planner::plan_impl(Strategy strategy, int n_jobs) const {
   const auto start = Clock::now();
   const auto n = static_cast<std::size_t>(n_jobs);
 

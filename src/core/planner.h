@@ -48,6 +48,16 @@ struct PlannerOptions {
 /// whose inner maximum over each homogeneous run is attained at a run
 /// endpoint.  This is exactly flowshop2_makespan of that job sequence
 /// (up to floating-point association).
+///
+/// PRECONDITION: the endpoint reduction is exact ONLY for this two-type
+/// comm-heavy-before-comp-heavy shape (within a homogeneous run the
+/// critical-path term is linear in i, so interior positions never dominate
+/// their run's endpoints).  For an arbitrary job order interior terms can
+/// dominate — evaluate sched::closed_form_makespan (the full identity)
+/// instead.  The planner only calls this from best_split_plan, whose
+/// Johnson order on a monotone curve guarantees the shape; the differential
+/// tests in tests/core/planner_test.cpp cross-check the resulting plans
+/// against the discrete-event simulator.
 [[nodiscard]] double two_type_makespan(double f_a, double g_a, double f_b,
                                        double g_b, int n_a, int n_b);
 
@@ -91,6 +101,9 @@ class Planner {
   /// Assemble, order (Johnson) and evaluate a plan from per-job cut indices.
   [[nodiscard]] ExecutionPlan finalize(Strategy strategy,
                                        const std::vector<std::size_t>& cuts) const;
+
+  /// The uninstrumented planning body; plan() wraps it in an obs::Span.
+  [[nodiscard]] ExecutionPlan plan_impl(Strategy strategy, int n_jobs) const;
 
   partition::ProfileCurve curve_;
   PlannerOptions options_;

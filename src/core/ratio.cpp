@@ -34,6 +34,8 @@ std::vector<RatioPoint> sweep_type_ratio(const partition::ProfileCurve& curve,
 }
 
 RatioPoint best_ratio(const std::vector<RatioPoint>& sweep) {
+  if (sweep.empty())
+    throw std::invalid_argument("best_ratio: empty sweep");
   RatioPoint best;
   best.makespan = std::numeric_limits<double>::infinity();
   for (const RatioPoint& p : sweep) {

@@ -33,7 +33,8 @@ struct RatioPoint {
     const partition::ProfileCurve& curve, std::size_t cut_comm,
     std::size_t cut_comp, int n_jobs);
 
-/// The sweep point with the smallest makespan.
+/// The sweep point with the smallest makespan.  Throws std::invalid_argument
+/// on an empty sweep (a silent infinity-makespan default hid caller bugs).
 [[nodiscard]] RatioPoint best_ratio(const std::vector<RatioPoint>& sweep);
 
 }  // namespace jps::core

@@ -26,6 +26,8 @@
 #include "models/registry.h"     // IWYU pragma: export
 #include "models/zoo.h"          // IWYU pragma: export
 #include "net/channel.h"         // IWYU pragma: export
+#include "obs/obs.h"             // IWYU pragma: export
+#include "obs/trace_writer.h"    // IWYU pragma: export
 #include "partition/binary_search.h"  // IWYU pragma: export
 #include "partition/continuous.h"     // IWYU pragma: export
 #include "partition/general_dag.h"    // IWYU pragma: export

@@ -1,0 +1,143 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace jps::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("JPS_TRACE");
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  Clock::time_point epoch = Clock::now();
+
+  mutable std::mutex span_mutex;
+  std::vector<SpanRecord> spans;
+
+  mutable std::mutex counter_mutex;
+  // Node-based map: Counter& handles stay valid across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+
+  mutable std::mutex thread_mutex;
+  std::unordered_map<std::thread::id, std::uint64_t> thread_ids;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+// The singleton is never destroyed (static storage, intentionally leaked
+// Impl) so worker threads may record during process teardown.
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+void Registry::record(SpanRecord record) {
+  std::lock_guard lock(impl_->span_mutex);
+  impl_->spans.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Registry::spans() const {
+  std::lock_guard lock(impl_->span_mutex);
+  return impl_->spans;
+}
+
+std::size_t Registry::span_count() const {
+  std::lock_guard lock(impl_->span_mutex);
+  return impl_->spans.size();
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(impl_->counter_mutex);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard lock(impl_->counter_mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters)
+    out.emplace_back(name, counter->value());
+  return out;  // std::map iteration is already name-sorted
+}
+
+double Registry::now_ms() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
+      .count();
+}
+
+std::uint64_t Registry::thread_index() {
+  const std::thread::id id = std::this_thread::get_id();
+  std::lock_guard lock(impl_->thread_mutex);
+  const auto [it, inserted] =
+      impl_->thread_ids.emplace(id, impl_->thread_ids.size());
+  return it->second;
+}
+
+void Registry::clear_spans() {
+  std::lock_guard lock(impl_->span_mutex);
+  impl_->spans.clear();
+}
+
+void Registry::reset() {
+  clear_spans();
+  std::lock_guard lock(impl_->counter_mutex);
+  for (auto& [name, counter] : impl_->counters) counter->reset();
+}
+
+Span::Span(std::string name, std::string category) {
+  if (!enabled()) return;
+  active_ = true;
+  record_.name = std::move(name);
+  record_.category = std::move(category);
+  start_ms_ = Registry::global().now_ms();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Registry& registry = Registry::global();
+  record_.start_ms = start_ms_;
+  record_.dur_ms = registry.now_ms() - start_ms_;
+  record_.thread = registry.thread_index();
+  registry.record(std::move(record_));
+}
+
+void Span::arg(std::string key, std::string value) {
+  if (!active_) return;
+  record_.args.emplace_back(std::move(key), std::move(value));
+}
+
+void Span::arg(std::string key, double value) {
+  if (!active_) return;
+  std::string text = std::to_string(value);
+  record_.args.emplace_back(std::move(key), std::move(text));
+}
+
+}  // namespace jps::obs

@@ -1,0 +1,147 @@
+// Lightweight runtime observability: spans and counters.
+//
+// The planner, plan cache, profile-curve builder, thread pool and simulator
+// all claim analytic performance properties (O(n) sweeps, cache hits,
+// pooled dispatch).  This module makes those claims visible at runtime:
+// a Span records a wall-clock interval on the executing thread, a Counter
+// counts monotone events, and the process-wide Registry collects both so
+// tools can dump them (`jps_cli --metrics`) or render them as a Chrome
+// trace (`obs::TraceWriter`, `jps_cli --trace-out`).
+//
+// Cost model:
+//   * Counters are always live — one relaxed atomic add per event.
+//   * Spans are recorded only while tracing is enabled (the JPS_TRACE
+//     environment variable, or set_enabled(true)); a disabled Span does not
+//     read the clock.
+//
+// This is the lowest layer of the repo (depends on the standard library
+// only) so every other module may instrument itself freely.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jps::obs {
+
+/// True when span recording is on: JPS_TRACE set to a non-empty value other
+/// than "0" at first query, or the last set_enabled() call.
+[[nodiscard]] bool enabled();
+
+/// Force span recording on/off for this process (overrides JPS_TRACE).
+void set_enabled(bool on);
+
+/// One finished span as stored by the registry.
+struct SpanRecord {
+  std::string name;
+  std::string category;
+  /// Milliseconds since the process trace epoch (first registry use).
+  double start_ms = 0.0;
+  double dur_ms = 0.0;
+  /// Small stable index of the recording thread (0 = first thread seen).
+  std::uint64_t thread = 0;
+  /// Free-form key/value annotations (rendered as trace-event args).
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// RAII wall-clock span.  Construct to start, destroy to record.  When
+/// tracing is disabled at construction the span is inert (no clock reads,
+/// nothing recorded).
+class Span {
+ public:
+  explicit Span(std::string name, std::string category = "jps");
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attach an annotation (no-op when the span is inert).
+  void arg(std::string key, std::string value);
+  void arg(std::string key, double value);
+
+  /// Whether this span will be recorded on destruction.
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  double start_ms_ = 0.0;
+  SpanRecord record_;
+};
+
+/// A named monotone counter.  Handles are obtained from the registry (or the
+/// counter() convenience below) and stay valid for the process lifetime.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Zero the counter (tests and --metrics resets).
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Process-wide sink for spans and counters.  All methods are thread-safe.
+class Registry {
+ public:
+  /// The singleton every Span/Counter reports into.
+  [[nodiscard]] static Registry& global();
+
+  /// Append one finished span (called by ~Span).
+  void record(SpanRecord record);
+
+  /// Snapshot of all recorded spans, in completion order.
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// Get-or-create the counter registered under `name`.
+  [[nodiscard]] Counter& counter(const std::string& name);
+
+  /// Snapshot of (name, value) for every registered counter, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
+      const;
+
+  /// Milliseconds since the trace epoch (the first use of the registry).
+  [[nodiscard]] double now_ms() const;
+
+  /// Stable small index for the calling thread.
+  [[nodiscard]] std::uint64_t thread_index();
+
+  /// Drop recorded spans (counters keep their values).
+  void clear_spans();
+
+  /// Drop spans and zero every counter (test isolation).
+  void reset();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  Registry();
+  ~Registry();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience: the global registry's counter `name`.  Typical use binds a
+/// static reference once per call site:
+///   static obs::Counter& plans = obs::counter("planner.plans");
+[[nodiscard]] inline Counter& counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+
+}  // namespace jps::obs

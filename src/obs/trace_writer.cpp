@@ -1,0 +1,137 @@
+#include "obs/trace_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jps::obs {
+
+namespace {
+
+// Timestamps: the trace format's "ts"/"dur" are microseconds.
+void append_us(std::ostringstream& os, double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms * 1000.0);
+  os << buffer;
+}
+
+void append_args(std::ostringstream& os,
+                 const std::vector<std::pair<std::string, std::string>>& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json_escape(args[i].first) << "\":\""
+       << json_escape(args[i].second) << "\"";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void TraceWriter::set_process_name(int pid, const std::string& name) {
+  process_names_.emplace_back(pid, name);
+}
+
+void TraceWriter::set_thread_name(int pid, std::uint64_t tid,
+                                  const std::string& name) {
+  thread_names_.emplace_back(std::make_pair(pid, tid), name);
+}
+
+void TraceWriter::add_event(Event event) {
+  events_.push_back(std::move(event));
+}
+
+void TraceWriter::add_spans(const std::vector<SpanRecord>& spans, int pid) {
+  for (const SpanRecord& span : spans) {
+    Event event;
+    event.name = span.name;
+    event.category = span.category;
+    event.pid = pid;
+    event.tid = span.thread;
+    event.start_ms = span.start_ms;
+    event.dur_ms = span.dur_ms;
+    event.args = span.args;
+    events_.push_back(std::move(event));
+  }
+}
+
+void TraceWriter::add_counter_snapshot(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+    int pid) {
+  if (counters.empty()) return;
+  Event event;
+  event.name = "counters";
+  event.category = "obs";
+  event.pid = pid;
+  for (const auto& [name, value] : counters)
+    event.args.emplace_back(name, std::to_string(value));
+  events_.push_back(std::move(event));
+}
+
+std::string TraceWriter::json() const {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto separator = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    separator();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    separator();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":\""
+       << json_escape(name) << "\"}}";
+  }
+  for (const Event& event : events_) {
+    separator();
+    os << "{\"name\":\"" << json_escape(event.name) << "\",\"cat\":\""
+       << json_escape(event.category) << "\",\"ph\":\"X\",\"ts\":";
+    append_us(os, event.start_ms);
+    os << ",\"dur\":";
+    append_us(os, event.dur_ms);
+    os << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid << ",\"args\":";
+    append_args(os, event.args);
+    os << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+void TraceWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("TraceWriter: cannot open " + path);
+  out << json();
+  if (!out) throw std::runtime_error("TraceWriter: write failed for " + path);
+}
+
+}  // namespace jps::obs

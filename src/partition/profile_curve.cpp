@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/ols.h"
 
 namespace jps::partition {
@@ -19,6 +20,10 @@ ProfileCurve ProfileCurve::build(const dnn::Graph& graph,
                                  const CurveOptions& options) {
   if (!graph.inferred())
     throw std::invalid_argument("ProfileCurve::build: graph not inferred");
+  static obs::Counter& builds = obs::counter("curve.builds");
+  builds.add();
+  obs::Span span("curve.build", "partition");
+  span.arg("model", graph.name());
 
   const std::vector<dnn::NodeId> trunk = graph.articulation_nodes();
   const dnn::NodeId sink = graph.sink();
@@ -43,7 +48,10 @@ ProfileCurve ProfileCurve::build(const dnn::Graph& graph,
     c.label = graph.label(cut_node);
     candidates.push_back(std::move(c));
   }
-  return from_candidates(graph.name(), std::move(candidates), options);
+  ProfileCurve curve =
+      from_candidates(graph.name(), std::move(candidates), options);
+  span.arg("cuts", std::to_string(curve.size()));
+  return curve;
 }
 
 ProfileCurve ProfileCurve::build(const dnn::Graph& graph,

@@ -64,15 +64,22 @@ double flowshop3_makespan(std::span<const Job> jobs) {
 }
 
 double closed_form_makespan(std::span<const Job> jobs_in_order) {
-  if (jobs_in_order.empty()) return 0.0;
-  double sum_f_tail = 0.0;  // sum of f over jobs 2..n
-  double sum_g_head = 0.0;  // sum of g over jobs 1..n-1
-  for (std::size_t i = 1; i < jobs_in_order.size(); ++i)
-    sum_f_tail += jobs_in_order[i].f;
-  for (std::size_t i = 0; i + 1 < jobs_in_order.size(); ++i)
-    sum_g_head += jobs_in_order[i].g;
-  return jobs_in_order.front().f + std::max(sum_f_tail, sum_g_head) +
-         jobs_in_order.back().g;
+  // The exact critical-path identity for F2||Cmax in a fixed order:
+  //   Cmax = max_k ( sum_{i<=k} f_i + sum_{i>=k} g_i ).
+  // Evaluated with a running f-prefix and g-suffix in one O(n) pass.  An
+  // earlier version kept only the k=1 and k=n terms (the paper's Prop. 4.1
+  // rendering, which is exact only under Johnson order on a monotone
+  // curve); jobs (1,1),(10,10),(1,1) exposed the gap (13 vs the true 22).
+  double suffix_g = 0.0;
+  for (const Job& job : jobs_in_order) suffix_g += job.g;
+  double prefix_f = 0.0;
+  double makespan = 0.0;
+  for (const Job& job : jobs_in_order) {
+    prefix_f += job.f;                                  // now sum_{i<=k} f_i
+    makespan = std::max(makespan, prefix_f + suffix_g);  // g still holds g_k
+    suffix_g -= job.g;
+  }
+  return makespan;
 }
 
 double average_makespan_bound(std::span<const Job> jobs) {

@@ -47,10 +47,14 @@ struct JobTimeline {
 /// Makespan of the 3-stage pipeline in the given order.
 [[nodiscard]] double flowshop3_makespan(std::span<const Job> jobs);
 
-/// Proposition 4.1: closed-form makespan for jobs ALREADY in Johnson order:
-///   f(x1) + max{ sum_{i>=2} f(x_i), sum_{i<=n-1} g(x_i) } + g(x_n).
-/// Exact for Johnson-ordered line-DNN job sets; the tests verify it against
-/// flowshop2_makespan.
+/// The exact closed-form 2-stage makespan for the GIVEN order:
+///   max_k ( sum_{i<=k} f(x_i) + sum_{i>=k} g(x_i) )        (one O(n) pass)
+/// — always identical to flowshop2_makespan; the differential-oracle tests
+/// verify both against the discrete-event simulator.  Under Johnson order on
+/// a monotone curve the maximum sits at k in {1, n}, which recovers the
+/// paper's Prop. 4.1 rendering
+///   f(x1) + max{ sum_{i>=2} f(x_i), sum_{i<=n-1} g(x_i) } + g(x_n)
+/// as the special case (see docs/THEORY.md §2).
 [[nodiscard]] double closed_form_makespan(std::span<const Job> jobs_in_order);
 
 /// The average-makespan lower bound the paper optimizes after relaxation:

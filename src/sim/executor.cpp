@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "obs/obs.h"
 #include "sim/event_sim.h"
 #include "sim/executor_detail.h"
 
@@ -109,7 +111,13 @@ SimResult run_jobs(const std::vector<MixedJob>& jobs,
                    const profile::LatencyModel& mobile,
                    const profile::LatencyModel& cloud,
                    const net::Channel& channel, const SimOptions& options,
-                   util::Rng& rng) {
+                   util::Rng& rng, EventSimulator* capture) {
+  static obs::Counter& runs = obs::counter("sim.runs");
+  static obs::Counter& sim_jobs = obs::counter("sim.jobs");
+  runs.add();
+  sim_jobs.add(jobs.size());
+  obs::Span span("sim.run", "sim");
+  span.arg("jobs", std::to_string(jobs.size()));
   EventSimulator sim;
   const Resources resources{sim.add_resource("mobile_cpu"),
                             sim.add_resource("uplink"),
@@ -139,6 +147,9 @@ SimResult run_jobs(const std::vector<MixedJob>& jobs,
     result.link_utilization = sim.busy_time(resources.link) / result.makespan;
     result.cloud_utilization = sim.busy_time(resources.cloud) / result.makespan;
   }
+  span.arg("tasks", std::to_string(sim.task_count()));
+  span.arg("makespan_ms", result.makespan);
+  if (capture != nullptr) *capture = std::move(sim);
   return result;
 }
 
@@ -150,22 +161,23 @@ SimResult simulate_plan(const dnn::Graph& graph,
                         const profile::LatencyModel& mobile,
                         const profile::LatencyModel& cloud,
                         const net::Channel& channel, const SimOptions& options,
-                        util::Rng& rng) {
+                        util::Rng& rng, EventSimulator* capture) {
   std::vector<MixedJob> jobs;
   jobs.reserve(plan.jobs.size());
   for (const core::JobAssignment& assignment : plan.jobs) {
     jobs.push_back(MixedJob{&graph, &curve, assignment.cut_index,
                             assignment.job_id});
   }
-  return run_jobs(jobs, mobile, cloud, channel, options, rng);
+  return run_jobs(jobs, mobile, cloud, channel, options, rng, capture);
 }
 
 SimResult simulate_mixed_plan(const std::vector<MixedJob>& jobs,
                               const profile::LatencyModel& mobile,
                               const profile::LatencyModel& cloud,
                               const net::Channel& channel,
-                              const SimOptions& options, util::Rng& rng) {
-  return run_jobs(jobs, mobile, cloud, channel, options, rng);
+                              const SimOptions& options, util::Rng& rng,
+                              EventSimulator* capture) {
+  return run_jobs(jobs, mobile, cloud, channel, options, rng, capture);
 }
 
 }  // namespace jps::sim

@@ -16,6 +16,8 @@
 
 namespace jps::sim {
 
+class EventSimulator;  // sim/event_sim.h
+
 /// Noise and fidelity knobs for one simulated run.
 struct SimOptions {
   /// Log-normal sigma on every layer execution (both devices).
@@ -55,7 +57,9 @@ struct SimResult {
 /// Simulate `plan` for the jobs of `graph`.  `curve` must be the curve the
 /// plan was made from (it holds the per-cut local node sets).  Layer times
 /// come from the latency models; transfer times from the channel; noise and
-/// cloud fidelity from `options`.
+/// cloud fidelity from `options`.  When `capture` is non-null the finished
+/// discrete-event engine (per-task records included) is moved into it —
+/// feed it to sim::append_chrome_trace for a browsable timeline.
 [[nodiscard]] SimResult simulate_plan(const dnn::Graph& graph,
                                       const partition::ProfileCurve& curve,
                                       const core::ExecutionPlan& plan,
@@ -63,7 +67,8 @@ struct SimResult {
                                       const profile::LatencyModel& cloud,
                                       const net::Channel& channel,
                                       const SimOptions& options,
-                                      util::Rng& rng);
+                                      util::Rng& rng,
+                                      EventSimulator* capture = nullptr);
 
 /// One job of a mixed (multi-model) workload, in processing order.
 struct MixedJob {
@@ -81,6 +86,7 @@ struct MixedJob {
                                             const profile::LatencyModel& cloud,
                                             const net::Channel& channel,
                                             const SimOptions& options,
-                                            util::Rng& rng);
+                                            util::Rng& rng,
+                                            EventSimulator* capture = nullptr);
 
 }  // namespace jps::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace jps::sim {
 
@@ -37,6 +38,51 @@ std::string ascii_gantt(const SimResult& result, int width) {
   }
   os << "legend: M mobile compute, > uplink transfer, C cloud compute\n";
   return os.str();
+}
+
+void append_chrome_trace(const EventSimulator& sim, obs::TraceWriter& writer,
+                         int pid) {
+  writer.set_process_name(pid, "simulated timeline");
+  for (ResourceId r = 0; r < sim.resource_count(); ++r)
+    writer.set_thread_name(pid, r, sim.resource_name(r));
+  for (TaskId t = 0; t < sim.task_count(); ++t) {
+    const TaskRecord& record = sim.record(t);
+    if (record.start < 0.0) continue;  // never ran
+    obs::TraceWriter::Event event;
+    event.name = record.tag.empty() ? "task " + std::to_string(t) : record.tag;
+    event.category = "sim";
+    event.pid = pid;
+    event.tid = record.resource;
+    event.start_ms = record.start;
+    event.dur_ms = record.end - record.start;
+    writer.add_event(std::move(event));
+  }
+}
+
+void append_chrome_trace(const SimResult& result, obs::TraceWriter& writer,
+                         int pid) {
+  writer.set_process_name(pid, "simulated timeline");
+  writer.set_thread_name(pid, 0, "mobile_cpu");
+  writer.set_thread_name(pid, 1, "uplink");
+  writer.set_thread_name(pid, 2, "cloud_gpu");
+  const auto add_stage = [&](const SimJobResult& job, std::uint64_t tid,
+                             const char* stage, double start, double end) {
+    if (end <= start) return;
+    obs::TraceWriter::Event event;
+    event.name = "j" + std::to_string(job.job_id) + ":" + stage;
+    event.category = "sim";
+    event.pid = pid;
+    event.tid = tid;
+    event.start_ms = start;
+    event.dur_ms = end - start;
+    event.args.emplace_back("cut", std::to_string(job.cut_index));
+    writer.add_event(std::move(event));
+  };
+  for (const SimJobResult& job : result.jobs) {
+    add_stage(job, 0, "comp", job.comp_start, job.comp_end);
+    add_stage(job, 1, "tx", job.comm_start, job.comm_end);
+    add_stage(job, 2, "cloud", job.cloud_start, job.cloud_end);
+  }
 }
 
 std::string timeline_csv(const SimResult& result) {

@@ -1,8 +1,12 @@
-// Human-readable renderings of simulated timelines.
+// Renderings of simulated timelines: ASCII Gantt, CSV, and Chrome
+// trace-event JSON (via obs::TraceWriter) so any simulated plan opens in
+// about:tracing / Perfetto.
 #pragma once
 
 #include <string>
 
+#include "obs/trace_writer.h"
+#include "sim/event_sim.h"
 #include "sim/executor.h"
 
 namespace jps::sim {
@@ -13,5 +17,18 @@ namespace jps::sim {
 
 /// CSV rendering: one row per job with all stage start/end times.
 [[nodiscard]] std::string timeline_csv(const SimResult& result);
+
+/// Append every task record of a finished EventSimulator to `writer`:
+/// one thread track per resource (tid = ResourceId, named after the
+/// resource), one complete event per executed task (name = tag).
+void append_chrome_trace(const EventSimulator& sim, obs::TraceWriter& writer,
+                         int pid = 1);
+
+/// Append a SimResult's per-job stage intervals to `writer`: three tracks
+/// (mobile compute / uplink / cloud compute) with one event per nonempty
+/// stage.  Coarser than the EventSimulator rendering (stages, not layers)
+/// but available wherever only the aggregate survives.
+void append_chrome_trace(const SimResult& result, obs::TraceWriter& writer,
+                         int pid = 1);
 
 }  // namespace jps::sim

@@ -6,7 +6,7 @@
 namespace jps::util {
 
 std::string csv_escape(const std::string& cell) {
-  const bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  const bool needs_quote = cell.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quote) return cell;
   std::string out = "\"";
   for (char c : cell) {

@@ -6,6 +6,8 @@
 #include <exception>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace jps::util {
 
 namespace {
@@ -61,6 +63,8 @@ void ThreadPool::worker_loop() {
       queue_.pop();
     }
     task();  // exceptions are captured in the task's promise
+    static obs::Counter& tasks = obs::counter("thread_pool.tasks");
+    tasks.add();
   }
 }
 
@@ -93,9 +97,18 @@ void parallel_for(std::size_t count,
   // workers must not block on the pool they are part of.
   if (threads <= 1 || count < 4 || ThreadPool::on_worker_thread() ||
       tl_parallel_depth > 0) {
+    static obs::Counter& inline_calls =
+        obs::counter("thread_pool.parallel_for.inline");
+    inline_calls.add();
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  static obs::Counter& pooled_calls =
+      obs::counter("thread_pool.parallel_for.pooled");
+  pooled_calls.add();
+  obs::Span span("parallel_for", "util");
+  span.arg("count", std::to_string(count));
+  span.arg("threads", std::to_string(threads));
 
   // Static block decomposition: block b owns [b*chunk, min((b+1)*chunk, n)).
   // Blocks are claimed from a shared counter by the caller and up to

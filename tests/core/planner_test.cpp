@@ -14,6 +14,7 @@
 #include "profile/latency_model.h"
 #include "sched/johnson.h"
 #include "sched/makespan.h"
+#include "sim/event_sim.h"
 #include "util/rng.h"
 
 namespace jps::core {
@@ -307,6 +308,61 @@ TEST(Planner, IncrementalSplitSweepMatchesBruteSweepOnRandomCurves) {
       EXPECT_EQ(at_a, best_n_a) << strategy_name(strategy) << " round "
                                 << round << " n=" << n;
       EXPECT_EQ(at_a + at_b, n);
+    }
+  }
+}
+
+// Replay a plan's scheduled job sequence on the discrete-event simulator:
+// per job a compute task on the mobile CPU then a transfer on the uplink,
+// submitted in schedule order (FIFO resources reproduce the 2-stage
+// permutation flow shop the planner optimizes over).
+double simulated_plan_makespan(const ExecutionPlan& plan) {
+  sim::EventSimulator sim;
+  const sim::ResourceId cpu = sim.add_resource("mobile_cpu");
+  const sim::ResourceId link = sim.add_resource("uplink");
+  for (const sched::Job& job : plan.scheduled_jobs) {
+    const sim::TaskId comp = sim.add_task(cpu, job.f, {});
+    sim.add_task(link, job.g, {comp});
+  }
+  sim.run();
+  return sim.makespan();
+}
+
+TEST(Planner, PredictedMakespanMatchesEventSimulatorOnRandomCurves) {
+  // Differential check of every strategy against an oracle that shares no
+  // code with the analytic makespan path: whatever split and order the
+  // planner chose, actually executing it must take exactly the predicted
+  // time.  This is the test shape that catches bugs like the closed-form
+  // k-endpoint truncation (see sched::closed_form_makespan).
+  util::Rng rng(29);
+  for (int round = 0; round < 25; ++round) {
+    const partition::ProfileCurve curve =
+        random_curve(rng, 3 + static_cast<int>(rng.uniform_int(0, 12)));
+    const Planner planner(curve);
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    for (const Strategy strategy :
+         {Strategy::kLocalOnly, Strategy::kCloudOnly, Strategy::kPartitionOnly,
+          Strategy::kJPS, Strategy::kJPSTuned, Strategy::kJPSHull,
+          Strategy::kBruteForce}) {
+      const ExecutionPlan plan = planner.plan(strategy, n);
+      const double simulated = simulated_plan_makespan(plan);
+      EXPECT_NEAR(plan.predicted_makespan, simulated,
+                  1e-9 * std::max(1.0, simulated))
+          << strategy_name(strategy) << " round " << round << " n=" << n;
+    }
+  }
+}
+
+TEST(Planner, PredictedMakespanMatchesEventSimulatorOnRealCurves) {
+  for (const auto& model : models::paper_eval_names()) {
+    const Planner planner(curve_for(model, 5.85));
+    for (const Strategy strategy :
+         {Strategy::kJPS, Strategy::kJPSTuned, Strategy::kJPSHull}) {
+      const ExecutionPlan plan = planner.plan(strategy, 24);
+      const double simulated = simulated_plan_makespan(plan);
+      EXPECT_NEAR(plan.predicted_makespan, simulated,
+                  1e-9 * std::max(1.0, simulated))
+          << model << " " << strategy_name(strategy);
     }
   }
 }

@@ -101,5 +101,11 @@ TEST(RatioSweep, Validation) {
   EXPECT_THROW(sweep_type_ratio(curve, 0, 1, 1), std::invalid_argument);
 }
 
+TEST(RatioSweep, BestRatioRejectsEmptySweep) {
+  // Previously returned a default point with makespan = inf and a zero job
+  // mix, which silently propagated into reports.
+  EXPECT_THROW(best_ratio({}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace jps::core

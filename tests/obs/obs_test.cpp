@@ -1,0 +1,145 @@
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jps::obs {
+namespace {
+
+// Every test owns the global registry + enable flag; restore defaults so
+// ordering between tests (and other suites in the binary) cannot matter.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::global().reset(); }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(ObsTest, DisabledSpanRecordsNothing) {
+  set_enabled(false);
+  {
+    Span span("quiet", "test");
+    span.arg("key", "value");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_EQ(Registry::global().span_count(), 0u);
+}
+
+TEST_F(ObsTest, EnabledSpanRecordsNameCategoryAndArgs) {
+  set_enabled(true);
+  {
+    Span span("work", "test");
+    EXPECT_TRUE(span.active());
+    span.arg("label", "alpha");
+    span.arg("value", 2.5);
+  }
+  const std::vector<SpanRecord> spans = Registry::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].category, "test");
+  EXPECT_GE(spans[0].start_ms, 0.0);
+  EXPECT_GE(spans[0].dur_ms, 0.0);
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[0].first, "label");
+  EXPECT_EQ(spans[0].args[0].second, "alpha");
+  EXPECT_EQ(spans[0].args[1].first, "value");
+  // Numeric args are formatted with %g-style precision; prefix is enough.
+  EXPECT_EQ(spans[0].args[1].second.substr(0, 3), "2.5");
+}
+
+TEST_F(ObsTest, EnableStateGatesAtConstruction) {
+  set_enabled(false);
+  Span* span = nullptr;
+  {
+    Span local("late", "test");
+    span = &local;
+    set_enabled(true);  // too late for `local`, in time for the next one
+    EXPECT_FALSE(span->active());
+  }
+  EXPECT_EQ(Registry::global().span_count(), 0u);
+  { Span counted("on-time", "test"); }
+  EXPECT_EQ(Registry::global().span_count(), 1u);
+}
+
+TEST_F(ObsTest, CountersAccumulateAndReset) {
+  Counter& c = counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same handle.
+  EXPECT_EQ(&counter("test.counter"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, CountersSnapshotIsSortedByName) {
+  counter("test.zebra").add(1);
+  counter("test.apple").add(2);
+  counter("test.mango").add(3);
+  const auto snapshot = Registry::global().counters();
+  ASSERT_GE(snapshot.size(), 3u);
+  for (std::size_t i = 1; i < snapshot.size(); ++i)
+    EXPECT_LT(snapshot[i - 1].first, snapshot[i].first);
+}
+
+TEST_F(ObsTest, CounterHandleStableAcrossThreads) {
+  Counter& c = counter("test.threads");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter("test.threads").add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST_F(ObsTest, ConcurrentSpansAllRecorded) {
+  set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i)
+        Span span("t" + std::to_string(t), "test");
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const auto spans = Registry::global().spans();
+  EXPECT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  // Thread indices are small and stable, not raw thread ids.
+  for (const SpanRecord& s : spans) EXPECT_LT(s.thread, 64u);
+}
+
+TEST_F(ObsTest, ClearSpansKeepsCounters) {
+  set_enabled(true);
+  counter("test.kept").add(7);
+  { Span span("gone", "test"); }
+  ASSERT_EQ(Registry::global().span_count(), 1u);
+  Registry::global().clear_spans();
+  EXPECT_EQ(Registry::global().span_count(), 0u);
+  EXPECT_EQ(counter("test.kept").value(), 7u);
+}
+
+TEST_F(ObsTest, NowMsIsMonotone) {
+  const double a = Registry::global().now_ms();
+  const double b = Registry::global().now_ms();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0.0);
+}
+
+}  // namespace
+}  // namespace jps::obs

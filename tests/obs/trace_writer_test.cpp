@@ -1,0 +1,130 @@
+#include "obs/trace_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace jps::obs {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("planner.plan"), "planner.plan");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape("a\rb"), "a\\rb");
+  EXPECT_EQ(json_escape("a\tb"), "a\\tb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(TraceWriter, EmptyWriterIsValidEnvelope) {
+  TraceWriter writer;
+  const std::string json = writer.json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceWriter, CompleteEventCarriesMicrosecondTimes) {
+  TraceWriter writer;
+  TraceWriter::Event event;
+  event.name = "step";
+  event.category = "test";
+  event.pid = 1;
+  event.tid = 2;
+  event.start_ms = 1.5;   // -> 1500 us
+  event.dur_ms = 0.25;    // -> 250 us
+  event.args.emplace_back("cut", "3");
+  writer.add_event(event);
+
+  const std::string json = writer.json();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"step\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1500"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos);
+  EXPECT_NE(json.find("\"cut\":\"3\""), std::string::npos);
+}
+
+TEST(TraceWriter, MetadataEventsLabelTracks) {
+  TraceWriter writer;
+  writer.set_process_name(1, "simulated timeline");
+  writer.set_thread_name(1, 0, "mobile_cpu");
+  const std::string json = writer.json();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("simulated timeline"), std::string::npos);
+  EXPECT_NE(json.find("mobile_cpu"), std::string::npos);
+}
+
+TEST(TraceWriter, AddSpansMapsThreadToTid) {
+  SpanRecord record;
+  record.name = "planner.plan";
+  record.category = "core";
+  record.start_ms = 2.0;
+  record.dur_ms = 1.0;
+  record.thread = 5;
+  record.args.emplace_back("n_jobs", "8");
+
+  TraceWriter writer;
+  writer.add_spans({record}, /*pid=*/0);
+  ASSERT_EQ(writer.events().size(), 1u);
+  EXPECT_EQ(writer.events()[0].pid, 0);
+  EXPECT_EQ(writer.events()[0].tid, 5u);
+  EXPECT_EQ(writer.events()[0].name, "planner.plan");
+  EXPECT_NE(writer.json().find("\"n_jobs\":\"8\""), std::string::npos);
+}
+
+TEST(TraceWriter, CounterSnapshotTravelsAsArgs) {
+  TraceWriter writer;
+  writer.add_counter_snapshot({{"plan_cache.plan_hits", 12},
+                               {"planner.plans", 34}});
+  const std::string json = writer.json();
+  EXPECT_NE(json.find("plan_cache.plan_hits"), std::string::npos);
+  EXPECT_NE(json.find("\"12\""), std::string::npos);
+  EXPECT_NE(json.find("\"34\""), std::string::npos);
+}
+
+TEST(TraceWriter, EscapesEventNames) {
+  TraceWriter writer;
+  TraceWriter::Event event;
+  event.name = "weird \"name\"\n";
+  writer.add_event(event);
+  const std::string json = writer.json();
+  EXPECT_NE(json.find("weird \\\"name\\\"\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n', json.find("weird")),
+            json.rfind('\n'));  // no raw newline inside the literal
+}
+
+TEST(TraceWriter, SaveWritesJsonAndThrowsOnBadPath) {
+  TraceWriter writer;
+  TraceWriter::Event event;
+  event.name = "saved";
+  writer.add_event(event);
+
+  const std::string path =
+      ::testing::TempDir() + "/jps_trace_writer_test.json";
+  writer.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), writer.json());
+  std::remove(path.c_str());
+
+  EXPECT_THROW(writer.save("/nonexistent-dir/trace.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jps::obs

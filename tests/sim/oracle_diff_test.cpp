@@ -1,0 +1,151 @@
+// Differential oracle: the analytic makespan formulas of src/sched
+// (flowshop2/3 recurrences and the exact closed form) cross-checked against
+// the discrete-event simulator on randomized instances, plus the trace
+// export of the simulated timeline.
+//
+// This is the test layer the closed-form bug escaped: each oracle is an
+// independent implementation of the same flow-shop semantics, so any one of
+// them drifting (a dropped critical-path term, a FIFO policy change, a
+// trace timestamp bug) breaks the agreement here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "obs/trace_writer.h"
+#include "sched/job.h"
+#include "sched/johnson.h"
+#include "sched/makespan.h"
+#include "sim/event_sim.h"
+#include "sim/trace.h"
+#include "util/rng.h"
+
+namespace jps {
+namespace {
+
+// Run a job sequence through the event simulator as the paper's pipeline:
+// per job, a mobile-CPU task followed by an uplink task (and a cloud task
+// when with_cloud).  FIFO submission order reproduces the permutation
+// flow shop: each resource serves jobs in the given order.
+sim::EventSimulator simulate_jobs(const sched::JobList& jobs,
+                                  bool with_cloud) {
+  sim::EventSimulator sim;
+  const sim::ResourceId cpu = sim.add_resource("mobile_cpu");
+  const sim::ResourceId link = sim.add_resource("uplink");
+  const sim::ResourceId cloud =
+      with_cloud ? sim.add_resource("cloud_gpu") : 0;
+  for (const sched::Job& job : jobs) {
+    const std::string tag = "j" + std::to_string(job.id);
+    const sim::TaskId comp = sim.add_task(cpu, job.f, {}, tag + ":comp");
+    const sim::TaskId comm = sim.add_task(link, job.g, {comp}, tag + ":tx");
+    if (with_cloud) sim.add_task(cloud, job.cloud, {comm}, tag + ":cloud");
+  }
+  sim.run();
+  return sim;
+}
+
+sched::JobList random_jobs(util::Rng& rng, int n, bool with_cloud) {
+  sched::JobList jobs;
+  for (int i = 0; i < n; ++i) {
+    jobs.push_back(sched::Job{.id = i,
+                              .cut = -1,
+                              .f = rng.uniform(0.0, 10.0),
+                              .g = rng.uniform(0.0, 10.0),
+                              .cloud = with_cloud ? rng.uniform(0.0, 4.0)
+                                                  : 0.0});
+  }
+  return jobs;
+}
+
+TEST(OracleDiff, Flowshop2MatchesEventSimulator) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 16));
+    const sched::JobList jobs = random_jobs(rng, n, /*with_cloud=*/false);
+    const double analytic = sched::flowshop2_makespan(jobs);
+    const double simulated = simulate_jobs(jobs, false).makespan();
+    EXPECT_NEAR(simulated, analytic, 1e-9 * std::max(1.0, analytic))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(OracleDiff, Flowshop3MatchesEventSimulator) {
+  util::Rng rng(103);
+  for (int trial = 0; trial < 400; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 16));
+    const sched::JobList jobs = random_jobs(rng, n, /*with_cloud=*/true);
+    const double analytic = sched::flowshop3_makespan(jobs);
+    const double simulated = simulate_jobs(jobs, true).makespan();
+    EXPECT_NEAR(simulated, analytic, 1e-9 * std::max(1.0, analytic))
+        << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(OracleDiff, ClosedFormMatchesBothOraclesOnRandomSequences) {
+  // The acceptance bar of the closed-form fix: >= 1000 randomized job
+  // sequences where closed form == recurrence == discrete-event simulator.
+  util::Rng rng(107);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 14));
+    sched::JobList jobs = random_jobs(rng, n, /*with_cloud=*/false);
+    // Half the trials in Johnson order, half in raw (arbitrary) order, so
+    // both the proposition's setting and the general identity are covered.
+    if (trial % 2 == 0) {
+      jobs = sched::apply_order(jobs, sched::johnson_order(jobs).order);
+    }
+    const double closed = sched::closed_form_makespan(jobs);
+    const double recurrence = sched::flowshop2_makespan(jobs);
+    const double simulated = simulate_jobs(jobs, false).makespan();
+    const double tolerance = 1e-9 * std::max(1.0, recurrence);
+    EXPECT_NEAR(closed, recurrence, tolerance) << "trial " << trial;
+    EXPECT_NEAR(closed, simulated, tolerance) << "trial " << trial;
+  }
+}
+
+TEST(OracleDiff, ClosedFormCounterexampleJobSet) {
+  // (1,1),(10,10),(1,1): the k=2 critical path dominates.  The pre-fix
+  // closed form reported 13 here.
+  sched::JobList jobs;
+  jobs.push_back(sched::Job{.id = 0, .cut = -1, .f = 1.0, .g = 1.0});
+  jobs.push_back(sched::Job{.id = 1, .cut = -1, .f = 10.0, .g = 10.0});
+  jobs.push_back(sched::Job{.id = 2, .cut = -1, .f = 1.0, .g = 1.0});
+  EXPECT_DOUBLE_EQ(sched::closed_form_makespan(jobs), 22.0);
+  EXPECT_DOUBLE_EQ(sched::flowshop2_makespan(jobs), 22.0);
+  EXPECT_DOUBLE_EQ(simulate_jobs(jobs, false).makespan(), 22.0);
+}
+
+TEST(OracleDiff, ChromeTraceSpansMatchSimulatedMakespan) {
+  // The exported trace must tell the same story as the makespan number:
+  // events cover [0, makespan], tracks are the simulator's resources, and
+  // per-resource event time equals the resource's busy time.
+  util::Rng rng(109);
+  const sched::JobList jobs = random_jobs(rng, 10, /*with_cloud=*/true);
+  const sim::EventSimulator sim = simulate_jobs(jobs, true);
+
+  obs::TraceWriter writer;
+  sim::append_chrome_trace(sim, writer, /*pid=*/1);
+  ASSERT_EQ(writer.events().size(), 3u * jobs.size());
+
+  double last_end = 0.0;
+  double busy[3] = {0.0, 0.0, 0.0};
+  for (const auto& event : writer.events()) {
+    EXPECT_EQ(event.pid, 1);
+    EXPECT_GE(event.start_ms, 0.0);
+    ASSERT_LT(event.tid, 3u);
+    busy[event.tid] += event.dur_ms;
+    last_end = std::max(last_end, event.start_ms + event.dur_ms);
+  }
+  EXPECT_NEAR(last_end, sim.makespan(), 1e-9);
+  for (sim::ResourceId r = 0; r < 3; ++r)
+    EXPECT_NEAR(busy[r], sim.busy_time(r), 1e-9) << sim.resource_name(r);
+
+  // And the serialized form is well-formed enough to carry every task tag.
+  const std::string json = writer.json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("j0:comp"), std::string::npos);
+  EXPECT_NE(json.find("mobile_cpu"), std::string::npos);
+  EXPECT_NE(json.find("cloud_gpu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jps

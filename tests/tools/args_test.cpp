@@ -41,6 +41,26 @@ TEST(Args, SwitchFollowedByFlagStaysBare) {
   EXPECT_EQ(args.get("model", ""), "vgg16");
 }
 
+TEST(Args, EqualsSyntax) {
+  const Args args = make_args({"plan", "--model=alexnet", "--jobs=42",
+                               "--trace-out=/tmp/a=b.json", "--empty="});
+  EXPECT_EQ(args.get("model", "x"), "alexnet");
+  EXPECT_EQ(args.get_int("jobs", 0), 42);
+  // Only the first '=' splits; the rest belongs to the value.
+  EXPECT_EQ(args.get("trace-out", ""), "/tmp/a=b.json");
+  // "--key=" is an explicit empty value, not a bare switch.
+  EXPECT_TRUE(args.has("empty"));
+  EXPECT_EQ(args.get("empty", "fallback"), "");
+}
+
+TEST(Args, EqualsSyntaxMixesWithSpaceSyntax) {
+  const Args args =
+      make_args({"plan", "--model=vgg16", "--jobs", "7", "--simulate"});
+  EXPECT_EQ(args.get("model", ""), "vgg16");
+  EXPECT_EQ(args.get_int("jobs", 0), 7);
+  EXPECT_EQ(args.get("simulate", ""), "true");
+}
+
 TEST(Args, Doubles) {
   const Args args = make_args({"plan", "--bandwidth", "5.85"});
   EXPECT_DOUBLE_EQ(args.get_double("bandwidth", 0.0), 5.85);

@@ -55,6 +55,31 @@ TEST(CsvEscape, PassesPlainCells) {
   EXPECT_EQ(csv_escape("with space"), "with space");
 }
 
+TEST(CsvEscape, QuotesCarriageReturns) {
+  // Bare \r (and \r\n) cells must be quoted or readers see a phantom row
+  // boundary; regression for the missing \r in the quote set.
+  EXPECT_EQ(csv_escape("a\rb"), "\"a\rb\"");
+  EXPECT_EQ(csv_escape("a\r\nb"), "\"a\r\nb\"");
+}
+
+TEST_F(CsvTest, CarriageReturnRoundTrips) {
+  {
+    CsvWriter w(path_, {"text"});
+    w.add_row(std::vector<std::string>{"line1\rline2"});
+  }
+  const std::string content = read_file(path_);
+  // The cell is quoted, so a CSV reader sees exactly two records (header +
+  // one row) with the \r intact inside the quoted field.
+  EXPECT_NE(content.find("\"line1\rline2\""), std::string::npos);
+  std::size_t unquoted_rows = 0;
+  bool in_quotes = false;
+  for (const char c : content) {
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == '\n' && !in_quotes) ++unquoted_rows;
+  }
+  EXPECT_EQ(unquoted_rows, 2u);
+}
+
 TEST(CsvWriterStandalone, ThrowsOnBadPath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv", {"a"}),
                std::runtime_error);

@@ -1,5 +1,5 @@
-// Minimal flag parser for the CLI tools: --key value pairs plus a leading
-// positional subcommand.
+// Minimal flag parser for the CLI tools: --key value / --key=value pairs
+// plus a leading positional subcommand.
 #pragma once
 
 #include <map>
@@ -16,7 +16,11 @@ class Args {
       const std::string token = argv[i];
       if (token.rfind("--", 0) == 0) {
         const std::string key = token.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          // --key=value (value may be empty or contain further '=').
+          flags_[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
           flags_[key] = argv[++i];
         } else {
           flags_[key] = "true";  // bare switch

@@ -9,19 +9,31 @@
 //                   [--simulate] [--gantt]
 //   jps_cli sweep   --model alexnet --jobs 50 [--min 1] [--max 80] [--points 20]
 //   jps_cli dot     --model googlenet
+//
+// Global flags (any command):
+//   --trace-out=FILE   write a Chrome trace (about:tracing / Perfetto) of
+//                      the instrumentation spans and, for plan/replay with
+//                      a simulation, the simulated timeline
+//   --metrics          dump runtime counters and plan-cache stats on exit
 #include <algorithm>
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "args.h"
 #include "jps.h"
+#include "obs/obs.h"
+#include "obs/trace_writer.h"
 #include "util/strings.h"
 
 namespace {
 
 using namespace jps;
+
+// Simulator captured by plan/replay for the --trace-out timeline (pid 1).
+std::optional<sim::EventSimulator> g_sim_capture;
 
 core::Strategy parse_strategy(const std::string& name) {
   const std::string s = util::to_lower(name);
@@ -142,11 +154,14 @@ int cmd_plan(const tools::Args& args) {
               << curve.cut(cut).label << ")";
   std::cout << "\n";
 
-  if (args.has("simulate") || args.has("gantt")) {
+  // --trace-out implies a simulation: the traced timeline IS the simulation.
+  if (args.has("simulate") || args.has("gantt") || args.has("trace-out")) {
     const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
     util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-    const sim::SimResult result =
-        sim::simulate_plan(g, curve, plan, mobile, cloud, channel, {}, rng);
+    sim::EventSimulator capture;
+    const sim::SimResult result = sim::simulate_plan(
+        g, curve, plan, mobile, cloud, channel, {}, rng, &capture);
+    g_sim_capture = std::move(capture);
     std::cout << "  simulated makespan: " << util::format_ms(result.makespan)
               << " ms (mobile " << util::format_pct(result.mobile_utilization)
               << ", link " << util::format_pct(result.link_utilization)
@@ -174,8 +189,10 @@ int cmd_replay(const tools::Args& args) {
   const dnn::Graph g = models::build(plan.model);
   const auto curve = partition::ProfileCurve::build(g, mobile, channel);
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
-  const sim::SimResult result =
-      sim::simulate_plan(g, curve, plan, mobile, cloud, channel, {}, rng);
+  sim::EventSimulator capture;
+  const sim::SimResult result = sim::simulate_plan(
+      g, curve, plan, mobile, cloud, channel, {}, rng, &capture);
+  g_sim_capture = std::move(capture);
   std::cout << "simulated makespan at " << channel.bandwidth_mbps()
             << " Mbps: " << util::format_ms(result.makespan) << " ms\n"
             << sim::ascii_gantt(result, 100);
@@ -276,6 +293,44 @@ int cmd_dot(const tools::Args& args) {
   return 0;
 }
 
+// --metrics: one unified dump of the plan-cache statistics and every obs
+// counter touched during this invocation.
+void print_metrics() {
+  const core::PlanCache::Stats stats = core::PlanCache::global().stats();
+  std::cout << "metrics:\n"
+            << "  plan_cache: " << stats.curve_hits << "/"
+            << stats.curve_misses << " curve hits/misses, "
+            << stats.plan_hits << "/" << stats.plan_misses
+            << " plan hits/misses (" << util::format_pct(stats.hit_rate())
+            << " hit rate)\n";
+  for (const auto& [name, value] : obs::Registry::global().counters())
+    std::cout << "  " << name << " = " << value << "\n";
+}
+
+// --trace-out=FILE: Chrome trace with pid 0 = instrumentation spans (one
+// track per recording thread) and pid 1 = the captured simulated timeline
+// (one track per resource).
+void write_trace(const std::string& path) {
+  obs::TraceWriter writer;
+  writer.set_process_name(0, "jps instrumentation");
+  const std::vector<obs::SpanRecord> spans = obs::Registry::global().spans();
+  std::set<std::uint64_t> threads;
+  for (const obs::SpanRecord& span : spans) threads.insert(span.thread);
+  for (const std::uint64_t t : threads)
+    writer.set_thread_name(0, t, "thread " + std::to_string(t));
+  writer.add_spans(spans, 0);
+  writer.add_counter_snapshot(obs::Registry::global().counters(), 0);
+  if (g_sim_capture) sim::append_chrome_trace(*g_sim_capture, writer, 1);
+  writer.save(path);
+  std::cout << "trace written to " << path << " (" << spans.size()
+            << " spans"
+            << (g_sim_capture
+                    ? ", " + std::to_string(g_sim_capture->task_count()) +
+                          " simulated tasks"
+                    : std::string())
+            << "); open in about:tracing or https://ui.perfetto.dev\n";
+}
+
 void usage() {
   std::cout <<
       "jps_cli — joint DNN partition & scheduling (Duan & Wu, ICPP 2021)\n"
@@ -289,26 +344,39 @@ void usage() {
       "  hetero  --classes m1:n1,m2:n2 --bandwidth B   mixed workload plan\n"
       "  sweep   --model M --jobs N [--min 1 --max 80 --points 20]\n"
       "  dot     --model M                   Graphviz export\n"
+      "global flags:\n"
+      "  --trace-out=FILE  Chrome trace (spans + simulated timeline) for\n"
+      "                    about:tracing / Perfetto\n"
+      "  --metrics         dump runtime counters and plan-cache stats\n"
       "environment:\n"
-      "  JPS_THREADS=N   size of the shared worker pool (default: all cores)\n";
+      "  JPS_THREADS=N   size of the shared worker pool (default: all cores)\n"
+      "  JPS_TRACE=1     record instrumentation spans (implied by --trace-out)\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const jps::tools::Args args(argc, argv);
+  // Span recording must be on before any instrumented code runs.
+  if (args.has("trace-out")) jps::obs::set_enabled(true);
   try {
     const std::string command = args.command();
-    if (command == "models") return cmd_models();
-    if (command == "profile") return cmd_profile(args);
-    if (command == "curve") return cmd_curve(args);
-    if (command == "plan") return cmd_plan(args);
-    if (command == "replay") return cmd_replay(args);
-    if (command == "hetero") return cmd_hetero(args);
-    if (command == "sweep") return cmd_sweep(args);
-    if (command == "dot") return cmd_dot(args);
-    usage();
-    return command.empty() ? 0 : 1;
+    int status = 0;
+    if (command == "models") status = cmd_models();
+    else if (command == "profile") status = cmd_profile(args);
+    else if (command == "curve") status = cmd_curve(args);
+    else if (command == "plan") status = cmd_plan(args);
+    else if (command == "replay") status = cmd_replay(args);
+    else if (command == "hetero") status = cmd_hetero(args);
+    else if (command == "sweep") status = cmd_sweep(args);
+    else if (command == "dot") status = cmd_dot(args);
+    else {
+      usage();
+      return command.empty() ? 0 : 1;
+    }
+    if (args.has("metrics")) print_metrics();
+    if (args.has("trace-out")) write_trace(args.get("trace-out", "trace.json"));
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
