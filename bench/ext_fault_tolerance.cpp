@@ -1,0 +1,198 @@
+// Extension bench: fault tolerance.  The paper plans at one measured
+// bandwidth; real uplinks drift and drop.  This bench scores three
+// responses against the SAME randomized fault traces:
+//
+//   static — the paper's JPS plan at the nominal rate, executed as-is;
+//   robust — core::RobustPlanner's worst-case mix over the drift interval;
+//   replan — the static plan, but the fault executor re-cuts un-admitted
+//            jobs when the EWMA bandwidth estimate drifts (make_replan_hook).
+//
+// Two scenarios: a sustained mid-run bandwidth collapse (where the robust
+// mix and replanning beat the static plan's p95), and transient dips with
+// outages (where retry/backoff and local fallback keep every job
+// completing).
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "core/robust.h"
+#include "fault/fault_executor.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace jps;
+
+constexpr int kJobs = 30;
+constexpr int kTrials = 101;
+constexpr double kMbps = net::kBandwidth4GMbps;
+
+struct Campaign {
+  util::Summary makespan;
+  double mean_retries = 0.0;
+  double mean_fallbacks = 0.0;
+  double mean_replans = 0.0;
+};
+
+// Execute `plan` against every spec (noiseless, so only the faults differ
+// between approaches) and summarize.
+Campaign run_campaign(const bench::Testbed& testbed,
+                      const partition::ProfileCurve& curve,
+                      const core::ExecutionPlan& plan,
+                      const net::Channel& channel,
+                      const std::vector<fault::FaultSpec>& specs,
+                      bool replanning) {
+  fault::FaultExecOptions options;
+  options.replan.enabled = replanning;
+  fault::ReplanFn hook;
+  if (replanning)
+    hook = fault::make_replan_hook(curve, channel, core::Strategy::kJPSTuned);
+
+  const std::size_t n = specs.size();
+  std::vector<double> makespans(n);
+  std::vector<fault::FaultStats> stats(n);
+  util::parallel_for(n, [&](std::size_t trial) {
+    util::Rng rng(11 + static_cast<std::uint64_t>(trial) * 1000003ull);
+    const fault::FaultTimeline timeline(specs[trial], channel);
+    const fault::FaultSimResult r = fault::simulate_plan_under_faults(
+        testbed.graph(), curve, plan, testbed.mobile(), testbed.cloud(),
+        timeline, options, rng, nullptr, hook);
+    makespans[trial] = r.sim.makespan;
+    stats[trial] = r.stats;
+  });
+
+  Campaign c;
+  c.makespan = util::summarize(makespans);
+  for (const fault::FaultStats& s : stats) {
+    c.mean_retries += s.retries;
+    c.mean_fallbacks += s.fallbacks;
+    c.mean_replans += s.replans;
+  }
+  c.mean_retries /= static_cast<double>(n);
+  c.mean_fallbacks /= static_cast<double>(n);
+  c.mean_replans /= static_cast<double>(n);
+  return c;
+}
+
+// The uplink collapses at a random onset and stays degraded for the rest of
+// the run: the canonical case for replanning (the static plan keeps feeding
+// a 2-20x slower link; the re-cut pushes the remaining jobs local).
+std::vector<fault::FaultSpec> sustained_collapse_specs(double predicted_ms,
+                                                       double base_mbps) {
+  std::vector<fault::FaultSpec> specs;
+  specs.reserve(kTrials);
+  for (int t = 0; t < kTrials; ++t) {
+    util::Rng rng(500 + static_cast<std::uint64_t>(t) * 1000003ull);
+    const double onset = rng.uniform(0.1, 0.5) * predicted_ms;
+    const double factor = rng.uniform(0.05, 0.5);
+    fault::FaultSpec spec;
+    spec.events.push_back({fault::FaultKind::kDrift, onset, predicted_ms * 8.0,
+                           factor * base_mbps});
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+// Transient dips plus hard outages, all bounded by a horizon after which the
+// link recovers: stresses retry/backoff and local fallback.
+std::vector<fault::FaultSpec> transient_specs(double predicted_ms,
+                                              double base_mbps) {
+  fault::RandomFaultOptions fo;
+  fo.horizon_ms = predicted_ms * 1.5;
+  fo.base_mbps = base_mbps;
+  fo.drift_segments = 3;
+  fo.drift_duration_min_ms = fo.horizon_ms / 6.0;
+  fo.drift_duration_max_ms = fo.horizon_ms / 2.5;
+  fo.drift_factor_min = 0.05;  // deep dips: the hostile direction
+  fo.drift_factor_max = 0.4;
+  fo.outages = 2;
+  fo.outage_duration_min_ms = 50.0;
+  fo.outage_duration_max_ms = 200.0;
+
+  std::vector<fault::FaultSpec> specs;
+  specs.reserve(kTrials);
+  for (int t = 0; t < kTrials; ++t) {
+    util::Rng rng(500 + static_cast<std::uint64_t>(t) * 1000003ull);
+    specs.push_back(fault::FaultSpec::random(fo, rng));
+  }
+  return specs;
+}
+
+void scenario(const bench::Testbed& testbed,
+              const partition::ProfileCurve& curve,
+              const net::Channel& channel, const core::ExecutionPlan& static_plan,
+              const core::ExecutionPlan& robust_plan, const char* title,
+              const std::vector<fault::FaultSpec>& specs) {
+  std::cout << "\n--- " << title << " (" << specs.size() << " traces) ---\n";
+  util::Table table({"approach", "median (s)", "p95 (s)", "max (s)",
+                     "retries", "fallbacks", "replans"});
+  const auto add = [&](const char* name, const Campaign& c) {
+    table.add_row({name, util::format_fixed(c.makespan.median / 1e3, 2),
+                   util::format_fixed(c.makespan.p95 / 1e3, 2),
+                   util::format_fixed(c.makespan.max / 1e3, 2),
+                   util::format_fixed(c.mean_retries, 2),
+                   util::format_fixed(c.mean_fallbacks, 2),
+                   util::format_fixed(c.mean_replans, 2)});
+  };
+  add("static (JPS@nominal)",
+      run_campaign(testbed, curve, static_plan, channel, specs, false));
+  add("robust (worst-case)",
+      run_campaign(testbed, curve, robust_plan, channel, specs, false));
+  add("replan (EWMA drift)",
+      run_campaign(testbed, curve, static_plan, channel, specs, true));
+  std::cout << table;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner(
+      "Extension: fault tolerance",
+      "Static vs robust vs replanning under identical fault traces "
+      "(AlexNet, 4G nominal, 30 jobs, noiseless)");
+
+  const bench::Testbed testbed("alexnet");
+  const net::Channel channel(kMbps);
+  const auto curve = testbed.curve(kMbps);
+  const core::BandwidthInterval interval{kMbps * 0.2, kMbps};
+
+  const core::Planner planner(curve);
+  const core::ExecutionPlan static_plan =
+      planner.plan(core::Strategy::kJPS, kJobs);
+  const core::RobustPlanner robust(curve, channel, interval);
+  const core::ExecutionPlan robust_plan = robust.plan(kJobs);
+
+  // Analytic view first: each FIXED plan re-scored across the interval.
+  util::Table analytic({"plan", "nominal (s)", "worst-case (s)", "CVaR90 (s)"});
+  for (const auto& [name, plan] :
+       {std::pair<const char*, const core::ExecutionPlan&>{"static",
+                                                           static_plan},
+        {"robust", robust_plan}}) {
+    const std::vector<double> ms =
+        core::plan_makespans_over_interval(plan, curve, channel, interval, 33);
+    analytic.add_row({name,
+                      util::format_fixed(plan.predicted_makespan / 1e3, 2),
+                      util::format_fixed(util::max(ms) / 1e3, 2),
+                      util::format_fixed(core::cvar_tail_mean(ms, 0.9) / 1e3,
+                                         2)});
+  }
+  std::cout << "\n--- closed-form makespan over [" << interval.lo_mbps << ", "
+            << interval.hi_mbps << "] Mbps ---\n"
+            << analytic;
+
+  const double predicted = static_plan.predicted_makespan;
+  scenario(testbed, curve, channel, static_plan, robust_plan,
+           "sustained bandwidth collapse",
+           sustained_collapse_specs(predicted, kMbps));
+  scenario(testbed, curve, channel, static_plan, robust_plan,
+           "transient dips + outages", transient_specs(predicted, kMbps));
+
+  std::cout << "\n(The robust mix pre-pays a little nominal makespan to cap\n"
+               "the drift tail; replanning recovers most of that tail without\n"
+               "the nominal premium but needs a few jobs of reaction time.\n"
+               "Outage trials finish every job: exhausted retry budgets\n"
+               "degrade to local execution instead of aborting.)\n";
+  return 0;
+}

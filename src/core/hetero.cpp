@@ -199,6 +199,9 @@ HeteroPlan plan_hetero(std::span<const JobClass> classes, Strategy strategy) {
     case Strategy::kBruteForce:
       throw std::invalid_argument(
           "plan_hetero: no built-in brute force; enumerate externally");
+    case Strategy::kRobust:
+      throw std::invalid_argument(
+          "plan_hetero: robust planning is per-class; use core::RobustPlanner");
   }
   throw std::invalid_argument("plan_hetero: unknown strategy");
 }

@@ -22,9 +22,12 @@ enum class Strategy {
                  // fine convex curves (the paper's assumption) the two
                  // coincide, on coarse curves the hull pair is optimal
   kBruteForce,   // exact or two-type brute force (§6.2's BF)
+  kRobust,       // extension: uncertainty-aware mix minimizing worst-case /
+                 // CVaR makespan over a bandwidth interval (core/robust.h);
+                 // produced by RobustPlanner, not Planner::plan
 };
 
-/// Display name ("LO", "CO", "PO", "JPS", "JPS*", "JPS+", "BF").
+/// Display name ("LO", "CO", "PO", "JPS", "JPS*", "JPS+", "BF", "ROB").
 [[nodiscard]] const char* strategy_name(Strategy s);
 
 /// One job's slice of a plan.

@@ -16,7 +16,7 @@ Strategy parse_strategy_name(const std::string& name) {
   for (const Strategy s :
        {Strategy::kLocalOnly, Strategy::kCloudOnly, Strategy::kPartitionOnly,
         Strategy::kJPS, Strategy::kJPSTuned, Strategy::kJPSHull,
-        Strategy::kBruteForce}) {
+        Strategy::kBruteForce, Strategy::kRobust}) {
     if (name == strategy_name(s)) return s;
   }
   throw std::runtime_error("plan_io: unknown strategy '" + name + "'");

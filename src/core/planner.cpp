@@ -44,8 +44,35 @@ const char* strategy_name(Strategy s) {
     case Strategy::kJPSTuned: return "JPS*";
     case Strategy::kJPSHull: return "JPS+";
     case Strategy::kBruteForce: return "BF";
+    case Strategy::kRobust: return "ROB";
   }
   return "?";
+}
+
+ExecutionPlan assemble_plan(const partition::ProfileCurve& curve,
+                            Strategy strategy,
+                            const std::vector<std::size_t>& cuts) {
+  sched::JobList jobs;
+  jobs.reserve(cuts.size());
+  for (std::size_t i = 0; i < cuts.size(); ++i) {
+    jobs.push_back(sched::Job{.id = static_cast<int>(i),
+                              .cut = static_cast<int>(cuts[i]),
+                              .f = curve.f(cuts[i]),
+                              .g = curve.g(cuts[i])});
+  }
+  const sched::JohnsonSchedule schedule = sched::johnson_order(jobs);
+
+  ExecutionPlan plan;
+  plan.model = curve.model_name();
+  plan.strategy = strategy;
+  plan.comm_heavy_count = schedule.comm_heavy_count;
+  plan.scheduled_jobs = sched::apply_order(jobs, schedule.order);
+  plan.jobs.reserve(jobs.size());
+  for (const sched::Job& job : plan.scheduled_jobs) {
+    plan.jobs.push_back({job.id, static_cast<std::size_t>(job.cut)});
+  }
+  plan.predicted_makespan = sched::flowshop2_makespan(plan.scheduled_jobs);
+  return plan;
 }
 
 Planner::Planner(partition::ProfileCurve curve, PlannerOptions options)
@@ -133,28 +160,7 @@ ExecutionPlan Planner::best_split_plan(Strategy strategy, std::size_t a,
 
 ExecutionPlan Planner::finalize(Strategy strategy,
                                 const std::vector<std::size_t>& cuts) const {
-  sched::JobList jobs;
-  jobs.reserve(cuts.size());
-  for (std::size_t i = 0; i < cuts.size(); ++i) {
-    jobs.push_back(sched::Job{.id = static_cast<int>(i),
-                              .cut = static_cast<int>(cuts[i]),
-                              .f = curve_.f(cuts[i]),
-                              .g = curve_.g(cuts[i])});
-  }
-  const sched::JohnsonSchedule schedule = sched::johnson_order(jobs);
-
-  ExecutionPlan plan;
-  plan.model = curve_.model_name();
-  plan.strategy = strategy;
-  plan.comm_heavy_count = schedule.comm_heavy_count;
-  plan.scheduled_jobs = sched::apply_order(jobs, schedule.order);
-  plan.jobs.reserve(jobs.size());
-  for (const sched::Job& job : plan.scheduled_jobs) {
-    plan.jobs.push_back(
-        {job.id, static_cast<std::size_t>(job.cut)});
-  }
-  plan.predicted_makespan = sched::flowshop2_makespan(plan.scheduled_jobs);
-  return plan;
+  return assemble_plan(curve_, strategy, cuts);
 }
 
 ExecutionPlan Planner::plan(Strategy strategy, int n_jobs) const {
@@ -240,6 +246,10 @@ ExecutionPlan Planner::plan_impl(Strategy strategy, int n_jobs) const {
         cuts[i] = static_cast<std::size_t>(result.cuts[i]);
       break;
     }
+    case Strategy::kRobust:
+      throw std::invalid_argument(
+          "Planner::plan: robust plans need a bandwidth interval; use "
+          "core::RobustPlanner");
   }
 
   ExecutionPlan plan = finalize(strategy, cuts);

@@ -69,6 +69,13 @@ struct PlannerOptions {
 [[nodiscard]] int best_two_type_split(double f_a, double g_a, double f_b,
                                       double g_b, int n_jobs);
 
+/// Assemble, Johnson-order and evaluate a plan from per-job cut indices
+/// into `curve`.  Shared by Planner::finalize, the robust planner and the
+/// fault-aware replanning hook.
+[[nodiscard]] ExecutionPlan assemble_plan(const partition::ProfileCurve& curve,
+                                          Strategy strategy,
+                                          const std::vector<std::size_t>& cuts);
+
 class Planner {
  public:
   /// The curve must be monotone (built with clustering on).

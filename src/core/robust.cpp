@@ -1,0 +1,161 @@
+#include "core/robust.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/planner.h"
+#include "obs/obs.h"
+#include "sched/makespan.h"
+
+namespace jps::core {
+
+namespace {
+
+std::vector<double> grid_points(const BandwidthInterval& interval,
+                                int samples) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<std::size_t>(samples));
+  if (samples == 1) {
+    grid.push_back(0.5 * (interval.lo_mbps + interval.hi_mbps));
+    return grid;
+  }
+  const double step = (interval.hi_mbps - interval.lo_mbps) /
+                      static_cast<double>(samples - 1);
+  for (int s = 0; s < samples; ++s)
+    grid.push_back(interval.lo_mbps + step * static_cast<double>(s));
+  grid.back() = interval.hi_mbps;  // exact endpoint despite rounding
+  return grid;
+}
+
+std::vector<double> comm_times_at(const partition::ProfileCurve& curve,
+                                  const net::Channel& channel, double mbps) {
+  const net::Channel at_rate = channel.with_bandwidth(mbps);
+  std::vector<double> g(curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const std::uint64_t bytes = curve.cut(i).offload_bytes;
+    g[i] = bytes > 0 ? at_rate.time_ms(bytes) : 0.0;
+  }
+  return g;
+}
+
+}  // namespace
+
+double cvar_tail_mean(std::vector<double> samples, double alpha) {
+  if (samples.empty())
+    throw std::invalid_argument("cvar_tail_mean: no samples");
+  if (alpha < 0.0 || alpha >= 1.0)
+    throw std::invalid_argument("cvar_tail_mean: alpha outside [0, 1)");
+  const auto n = samples.size();
+  auto tail = static_cast<std::size_t>(
+      static_cast<double>(n) * (1.0 - alpha) + (1.0 - 1e-12));
+  tail = std::clamp<std::size_t>(tail, 1, n);
+  std::partial_sort(samples.begin(),
+                    samples.begin() + static_cast<std::ptrdiff_t>(tail),
+                    samples.end(), std::greater<>());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < tail; ++i) sum += samples[i];
+  return sum / static_cast<double>(tail);
+}
+
+RobustPlanner::RobustPlanner(partition::ProfileCurve curve,
+                             net::Channel channel, BandwidthInterval interval,
+                             RobustPlannerOptions options)
+    : curve_(std::move(curve)),
+      channel_(channel),
+      interval_(interval),
+      options_(options) {
+  if (curve_.size() == 0)
+    throw std::invalid_argument("RobustPlanner: empty curve");
+  if (!curve_.is_monotone())
+    throw std::invalid_argument("RobustPlanner: curve must be monotone");
+  if (interval_.lo_mbps <= 0.0 || interval_.hi_mbps < interval_.lo_mbps)
+    throw std::invalid_argument("RobustPlanner: bad bandwidth interval");
+  if (options_.samples < 1)
+    throw std::invalid_argument("RobustPlanner: samples < 1");
+  if (options_.cvar_alpha < 0.0 || options_.cvar_alpha >= 1.0)
+    throw std::invalid_argument("RobustPlanner: cvar_alpha outside [0, 1)");
+
+  for (const double mbps : bandwidth_grid())
+    g_grid_.push_back(comm_times_at(curve_, channel_, mbps));
+  g_nominal_.resize(curve_.size());
+  for (std::size_t i = 0; i < curve_.size(); ++i) g_nominal_[i] = curve_.g(i);
+}
+
+std::vector<double> RobustPlanner::bandwidth_grid() const {
+  return grid_points(interval_, options_.samples);
+}
+
+RobustDecision RobustPlanner::decide(int n_jobs) const {
+  if (n_jobs < 1)
+    throw std::invalid_argument("RobustPlanner::decide: n_jobs < 1");
+  obs::Span span("robust.decide", "core");
+  span.arg("n_jobs", std::to_string(n_jobs));
+  span.arg("samples", std::to_string(options_.samples));
+
+  // Per-sample makespans of one candidate, reused across candidates.
+  std::vector<double> ms(g_grid_.size());
+  RobustDecision best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < curve_.size(); ++a) {
+    for (std::size_t b = a; b < curve_.size(); ++b) {
+      // a == b only needs the pure split n_a = 0 (all jobs at b).
+      const int max_na = a == b ? 0 : n_jobs;
+      for (int n_a = 0; n_a <= max_na; ++n_a) {
+        for (std::size_t s = 0; s < g_grid_.size(); ++s) {
+          ms[s] = two_type_makespan(curve_.f(a), g_grid_[s][a], curve_.f(b),
+                                    g_grid_[s][b], n_a, n_jobs - n_a);
+        }
+        const double worst = *std::max_element(ms.begin(), ms.end());
+        const double risk = cvar_tail_mean(ms, options_.cvar_alpha);
+        const double score =
+            options_.objective == RobustObjective::kWorstCase ? worst : risk;
+        if (score < best_score) {
+          best_score = score;
+          best.cut_a = a;
+          best.cut_b = b;
+          best.n_a = n_a;
+          best.worst_case_ms = worst;
+          best.cvar_ms = risk;
+        }
+      }
+    }
+  }
+  best.nominal_ms =
+      two_type_makespan(curve_.f(best.cut_a), g_nominal_[best.cut_a],
+                        curve_.f(best.cut_b), g_nominal_[best.cut_b], best.n_a,
+                        n_jobs - best.n_a);
+  span.arg("worst_case_ms", best.worst_case_ms);
+  span.arg("cvar_ms", best.cvar_ms);
+  return best;
+}
+
+ExecutionPlan RobustPlanner::plan(int n_jobs) const {
+  const RobustDecision decision = decide(n_jobs);
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(n_jobs),
+                                decision.cut_b);
+  for (int i = 0; i < decision.n_a; ++i)
+    cuts[static_cast<std::size_t>(i)] = decision.cut_a;
+  return assemble_plan(curve_, Strategy::kRobust, cuts);
+}
+
+std::vector<double> plan_makespans_over_interval(
+    const ExecutionPlan& plan, const partition::ProfileCurve& curve,
+    const net::Channel& channel, BandwidthInterval interval, int samples) {
+  if (samples < 1)
+    throw std::invalid_argument("plan_makespans_over_interval: samples < 1");
+  if (interval.lo_mbps <= 0.0 || interval.hi_mbps < interval.lo_mbps)
+    throw std::invalid_argument("plan_makespans_over_interval: bad interval");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(samples));
+  for (const double mbps : grid_points(interval, samples)) {
+    const std::vector<double> g = comm_times_at(curve, channel, mbps);
+    sched::JobList jobs = plan.scheduled_jobs;
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+      jobs[i].g = g[plan.jobs[i].cut_index];
+    out.push_back(sched::closed_form_makespan(jobs));
+  }
+  return out;
+}
+
+}  // namespace jps::core

@@ -1,0 +1,117 @@
+// Uncertainty-aware planning over a bandwidth interval.
+//
+// The closed-form planner (core/planner.h) optimizes the makespan at one
+// nominal bandwidth.  When the uplink drifts, that plan can degrade badly:
+// a communication-heavy mix tuned to 19 Mbps stalls the pipeline at 6 Mbps.
+// RobustPlanner instead sweeps the same two-cut-type design space —
+// every pair (a <= b) on the monotone curve and every split n_a — but
+// scores each candidate across a grid of bandwidth samples spanning an
+// uncertainty interval [lo, hi], minimizing either
+//
+//   * worst-case makespan: max over samples, or
+//   * CVaR_alpha: the mean of the worst (1 - alpha) tail of the samples
+//     (alpha = 0.9 averages the worst 10%), a standard risk measure that
+//     is less conservative than pure min-max.
+//
+// Re-scoring a cut at bandwidth s only rescales its serialization term
+// (g is affine in offload bytes; see ProfileCurve::with_bandwidth), so f
+// is fixed and the Johnson order "a-jobs before b-jobs" holds at every
+// sample — each candidate evaluates in O(1) per sample via
+// two_type_makespan.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/plan.h"
+#include "net/channel.h"
+#include "partition/profile_curve.h"
+
+namespace jps::core {
+
+/// Closed uplink-bandwidth uncertainty interval [lo_mbps, hi_mbps].
+struct BandwidthInterval {
+  double lo_mbps = 0.0;
+  double hi_mbps = 0.0;
+};
+
+enum class RobustObjective {
+  kWorstCase,  // minimize the maximum makespan over the interval
+  kCVaR,       // minimize the mean of the worst (1 - alpha) tail
+};
+
+struct RobustPlannerOptions {
+  /// Bandwidth grid resolution (samples >= 1 evenly spaced over the
+  /// interval; 1 collapses to the midpoint).
+  int samples = 33;
+  /// CVaR tail parameter in [0, 1): alpha = 0.9 averages the worst 10% of
+  /// samples.  alpha = 0 degenerates to the plain mean.
+  double cvar_alpha = 0.9;
+  RobustObjective objective = RobustObjective::kWorstCase;
+};
+
+/// The chosen two-type mix plus its risk profile over the interval.
+struct RobustDecision {
+  std::size_t cut_a = 0;  ///< comm-heavy cut (earlier index, larger g)
+  std::size_t cut_b = 0;  ///< comp-heavy cut (a == b for a pure plan)
+  int n_a = 0;            ///< jobs at cut_a; the rest sit at cut_b
+  double worst_case_ms = 0.0;  ///< max makespan over the grid
+  double cvar_ms = 0.0;        ///< CVaR_alpha makespan over the grid
+  double nominal_ms = 0.0;     ///< makespan at the base channel's bandwidth
+};
+
+/// Sweeps (pair, split) candidates over a bandwidth grid.  The curve must be
+/// monotone (built with clustering on), matching Planner's precondition.
+class RobustPlanner {
+ public:
+  /// `channel` supplies the affine comm model (setup latency + rate) that is
+  /// re-based to each grid sample; its own bandwidth is the nominal point.
+  /// Throws std::invalid_argument on an empty/non-monotone curve, a bad
+  /// interval (lo <= 0 or hi < lo), samples < 1, or cvar_alpha outside
+  /// [0, 1).
+  RobustPlanner(partition::ProfileCurve curve, net::Channel channel,
+                BandwidthInterval interval, RobustPlannerOptions options = {});
+
+  /// The optimal (pair, split) for n_jobs under the configured objective.
+  /// Ties break toward the first candidate in (cut_a, cut_b, n_a) order,
+  /// keeping the choice deterministic.  Throws for n_jobs < 1.
+  [[nodiscard]] RobustDecision decide(int n_jobs) const;
+
+  /// decide() assembled into a full Strategy::kRobust ExecutionPlan (f and g
+  /// at the curve's nominal rates; predicted_makespan is the nominal one).
+  [[nodiscard]] ExecutionPlan plan(int n_jobs) const;
+
+  [[nodiscard]] const partition::ProfileCurve& curve() const { return curve_; }
+  [[nodiscard]] const net::Channel& channel() const { return channel_; }
+  [[nodiscard]] const BandwidthInterval& interval() const { return interval_; }
+
+  /// The evaluation grid: options.samples rates evenly spanning the
+  /// interval (inclusive endpoints; midpoint when samples == 1).
+  [[nodiscard]] std::vector<double> bandwidth_grid() const;
+
+ private:
+  partition::ProfileCurve curve_;
+  net::Channel channel_;
+  BandwidthInterval interval_;
+  RobustPlannerOptions options_;
+  /// g_grid_[s][i]: comm time of cut i at grid sample s.
+  std::vector<std::vector<double>> g_grid_;
+  /// g at the nominal (channel) bandwidth, indexed by cut.
+  std::vector<double> g_nominal_;
+};
+
+/// Mean of the worst (1 - alpha) tail of `samples` (each equiprobable).
+/// The tail always contains at least one sample.  Throws on empty input or
+/// alpha outside [0, 1).
+[[nodiscard]] double cvar_tail_mean(std::vector<double> samples, double alpha);
+
+/// Makespan of a FIXED plan (order and cuts kept) re-evaluated at each of
+/// `samples` bandwidths spanning `interval`: each job's g is rescaled via
+/// the channel's affine model at that rate and the exact closed-form
+/// makespan of the unchanged order is returned per sample.  This is how the
+/// fault bench scores a static plan against drifted links.
+[[nodiscard]] std::vector<double> plan_makespans_over_interval(
+    const ExecutionPlan& plan, const partition::ProfileCurve& curve,
+    const net::Channel& channel, BandwidthInterval interval, int samples);
+
+}  // namespace jps::core

@@ -1,0 +1,32 @@
+#include "fault/bandwidth_estimator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace jps::fault {
+
+BandwidthEstimator::BandwidthEstimator(double initial_mbps, double alpha)
+    : alpha_(alpha), estimate_mbps_(initial_mbps), baseline_mbps_(initial_mbps) {
+  if (initial_mbps <= 0.0)
+    throw std::invalid_argument("BandwidthEstimator: initial_mbps <= 0");
+  if (alpha <= 0.0 || alpha > 1.0)
+    throw std::invalid_argument("BandwidthEstimator: alpha outside (0, 1]");
+}
+
+void BandwidthEstimator::observe(std::uint64_t bytes, double duration_ms,
+                                 double setup_latency_ms) {
+  const double serialize_ms = duration_ms - setup_latency_ms;
+  if (bytes == 0 || serialize_ms <= 0.0) return;
+  const double bytes_per_ms = static_cast<double>(bytes) / serialize_ms;
+  const double observed_mbps = bytes_per_ms / util::mbps_to_bytes_per_ms(1.0);
+  estimate_mbps_ = alpha_ * observed_mbps + (1.0 - alpha_) * estimate_mbps_;
+  ++observations_;
+}
+
+double BandwidthEstimator::drift_ratio() const {
+  return std::abs(estimate_mbps_ - baseline_mbps_) / baseline_mbps_;
+}
+
+}  // namespace jps::fault

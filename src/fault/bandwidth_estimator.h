@@ -1,0 +1,52 @@
+// Online uplink-bandwidth estimation from observed transfer times.
+//
+// The fault-aware executor feeds every successful transfer (bytes, observed
+// duration) into this EWMA estimator; the replanning hook compares the
+// estimate against the bandwidth the current plan was made for and triggers
+// a replan of the not-yet-admitted jobs when the relative drift exceeds a
+// threshold.  All state is plain doubles — deterministic and copyable.
+#pragma once
+
+#include <cstdint>
+
+namespace jps::fault {
+
+class BandwidthEstimator {
+ public:
+  /// `initial_mbps` seeds both the estimate and the baseline (the rate the
+  /// active plan assumes).  `alpha` is the EWMA weight of each new
+  /// observation in (0, 1].  Throws std::invalid_argument on bad values.
+  explicit BandwidthEstimator(double initial_mbps, double alpha = 0.3);
+
+  /// Record one completed transfer.  The setup latency is subtracted so the
+  /// estimate tracks the serialization rate; observations with zero bytes
+  /// or non-positive serialize time are ignored.
+  void observe(std::uint64_t bytes, double duration_ms,
+               double setup_latency_ms);
+
+  [[nodiscard]] double estimate_mbps() const { return estimate_mbps_; }
+
+  /// The rate the current plan was computed for.
+  [[nodiscard]] double baseline_mbps() const { return baseline_mbps_; }
+
+  /// |estimate - baseline| / baseline.
+  [[nodiscard]] double drift_ratio() const;
+
+  /// True when the drift ratio exceeds `threshold`.
+  [[nodiscard]] bool drifted(double threshold) const {
+    return drift_ratio() > threshold;
+  }
+
+  /// Adopt the current estimate as the new baseline (call after replanning).
+  void rebase() { baseline_mbps_ = estimate_mbps_; }
+
+  [[nodiscard]] int observations() const { return observations_; }
+
+ private:
+  double alpha_;
+  double estimate_mbps_;
+  double baseline_mbps_;
+  int observations_ = 0;
+};
+
+}  // namespace jps::fault

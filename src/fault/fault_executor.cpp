@@ -1,0 +1,461 @@
+#include "fault/fault_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/plan_cache.h"
+#include "core/planner.h"
+#include "fault/bandwidth_estimator.h"
+#include "obs/obs.h"
+#include "sim/event_sim.h"
+#include "util/thread_pool.h"
+
+namespace jps::fault {
+
+namespace {
+
+using sim::EventSimulator;
+using sim::ResourceId;
+using sim::TaskId;
+
+constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+struct JobState {
+  std::size_t cut_index = 0;
+  int job_id = 0;
+  /// Comm noise factor drawn once at admission; retries reuse it (the
+  /// attempt-to-attempt variation comes from the channel state itself).
+  double comm_noise = 1.0;
+  int attempts = 0;  // transfer attempts submitted so far
+  bool fell_back = false;
+  std::vector<TaskId> node_task;  // per graph node, kNoTask if absent
+  std::vector<char> is_local;
+  std::vector<TaskId> local;
+  std::vector<TaskId> transfers;  // every attempt, in order
+  std::vector<TaskId> remote;
+  std::vector<TaskId> fallback;
+  // Outcome of the latest transfer attempt, written by its duration
+  // callback at start time and read by the finish hook.
+  bool last_completed = true;
+  bool last_perturbed = false;
+  double last_duration = 0.0;
+};
+
+/// One run's mutable state; the event engine's finish hook drives it.
+struct Engine {
+  EventSimulator& sim;
+  const dnn::Graph& graph;
+  const partition::ProfileCurve& curve;
+  const profile::LatencyModel& mobile;
+  const profile::LatencyModel& cloud;
+  const FaultTimeline& timeline;
+  const FaultExecOptions& opts;
+  util::Rng& rng;
+  const ReplanFn& replan_fn;
+
+  ResourceId mobile_res = 0;
+  ResourceId link_res = 0;
+  ResourceId cloud_res = 0;
+
+  BandwidthEstimator estimator;
+  std::vector<JobState> jobs;
+  std::size_t next_admit = 0;
+  FaultStats stats;
+  // Task -> job for transfer attempts, and for the "job resolved" marker of
+  // jobs without a transfer (their last mobile task).
+  std::unordered_map<TaskId, std::size_t> transfer_job;
+  std::unordered_map<TaskId, std::size_t> marker_job;
+
+  Engine(EventSimulator& s, const dnn::Graph& g,
+         const partition::ProfileCurve& c, const profile::LatencyModel& m,
+         const profile::LatencyModel& cl, const FaultTimeline& t,
+         const FaultExecOptions& o, util::Rng& r, const ReplanFn& rp)
+      : sim(s), graph(g), curve(c), mobile(m), cloud(cl), timeline(t),
+        opts(o), rng(r), replan_fn(rp),
+        estimator(t.channel().base().bandwidth_mbps(),
+                  o.replan.ewma_alpha) {}
+
+  /// Compute-stage duration resolved at start: nominal (noise already
+  /// applied) scaled by the device's slowdown window.  The == 1.0 guard
+  /// keeps fault-free durations bit-identical (and skips the stat).
+  sim::DurationFn compute_duration(double nominal, bool on_cloud) {
+    return [this, nominal, on_cloud](double start_ms) {
+      const double factor = on_cloud ? timeline.cloud_factor_at(start_ms)
+                                     : timeline.mobile_factor_at(start_ms);
+      if (factor == 1.0) return nominal;
+      ++stats.throttled_stages;
+      return nominal * factor;
+    };
+  }
+
+  /// Submit one job's mobile layers and (if it offloads) its first transfer
+  /// attempt.  All of a job's tasks share priority = job position, so work
+  /// submitted later (retries, fallback, lazy cloud stages) keeps the job's
+  /// place in each resource's FIFO.
+  void admit(std::size_t j) {
+    JobState& js = jobs[j];
+    const partition::CutPoint& cut = curve.cut(js.cut_index);
+    js.node_task.assign(graph.size(), kNoTask);
+    js.is_local.assign(graph.size(), 0);
+    for (const dnn::NodeId v : cut.local_nodes) js.is_local[v] = 1;
+
+    for (const dnn::NodeId v : cut.local_nodes) {
+      std::vector<TaskId> deps;
+      for (const dnn::NodeId p : graph.predecessors(v)) {
+        if (js.node_task[p] != kNoTask) deps.push_back(js.node_task[p]);
+      }
+      const double nominal = mobile.node_time_ms(graph, v) *
+                             rng.lognormal_factor(opts.sim.comp_noise_sigma);
+      js.node_task[v] = sim.add_dynamic_task(
+          mobile_res, compute_duration(nominal, /*on_cloud=*/false), deps,
+          "j" + std::to_string(j) + ":m:" + std::to_string(v), 0.0, j);
+      js.local.push_back(js.node_task[v]);
+    }
+
+    if (cut.offload_bytes > 0) {
+      js.comm_noise = rng.lognormal_factor(opts.sim.comm_noise_sigma);
+      submit_transfer(j, 0.0);
+    } else if (!js.local.empty()) {
+      // No transfer: the job resolves when its last mobile layer finishes.
+      marker_job[js.local.back()] = j;
+    }
+  }
+
+  void submit_transfer(std::size_t j, double release_ms) {
+    JobState& js = jobs[j];
+    const partition::CutPoint& cut = curve.cut(js.cut_index);
+    std::vector<TaskId> deps;
+    if (js.attempts == 0) {
+      for (const dnn::NodeId v : cut.cut_nodes)
+        deps.push_back(js.node_task[v]);
+    }  // retries: the cut tensors are already materialized
+    ++js.attempts;
+    const std::uint64_t bytes = cut.offload_bytes;
+    const TaskId id = sim.add_dynamic_task(
+        link_res,
+        [this, j, bytes](double start_ms) {
+          JobState& job = jobs[j];
+          const net::TimeVaryingChannel::Transfer attempt =
+              timeline.channel().transfer(start_ms, bytes);
+          job.last_completed = attempt.completed;
+          job.last_perturbed = attempt.perturbed;
+          double duration = attempt.duration_ms;
+          if (attempt.completed && job.comm_noise != 1.0)
+            duration *= job.comm_noise;
+          job.last_duration = duration;
+          return duration;
+        },
+        deps,
+        "j" + std::to_string(j) + ":tx" +
+            (js.attempts > 1 ? "#" + std::to_string(js.attempts) : ""),
+        release_ms, j);
+    transfer_job[id] = j;
+    js.transfers.push_back(id);
+  }
+
+  /// Cloud layers, submitted lazily once the job's transfer has landed
+  /// (an attempt may fail, so the stage cannot be scheduled up front).
+  void submit_cloud(std::size_t j) {
+    if (!opts.sim.include_cloud) return;
+    JobState& js = jobs[j];
+    for (dnn::NodeId v = 0; v < graph.size(); ++v) {
+      if (js.is_local[v]) continue;
+      std::vector<TaskId> deps;
+      for (const dnn::NodeId p : graph.predecessors(v)) {
+        if (!js.is_local[p] && js.node_task[p] != kNoTask)
+          deps.push_back(js.node_task[p]);
+      }  // locally produced inputs arrived with the (finished) transfer
+      const double nominal = cloud.node_time_ms(graph, v) *
+                             rng.lognormal_factor(opts.sim.comp_noise_sigma);
+      js.node_task[v] = sim.add_dynamic_task(
+          cloud_res, compute_duration(nominal, /*on_cloud=*/true), deps,
+          "j" + std::to_string(j) + ":c:" + std::to_string(v), 0.0, j);
+      js.remote.push_back(js.node_task[v]);
+    }
+  }
+
+  /// Graceful degradation: run the layers that would have gone to the cloud
+  /// on the mobile device instead.  Their inputs are the job's local tasks,
+  /// all long finished, so the work starts as soon as the CPU frees up.
+  void submit_fallback(std::size_t j) {
+    JobState& js = jobs[j];
+    js.fell_back = true;
+    ++stats.fallbacks;
+    for (dnn::NodeId v = 0; v < graph.size(); ++v) {
+      if (js.is_local[v]) continue;
+      std::vector<TaskId> deps;
+      for (const dnn::NodeId p : graph.predecessors(v)) {
+        if (js.node_task[p] != kNoTask) deps.push_back(js.node_task[p]);
+      }
+      const double nominal = mobile.node_time_ms(graph, v) *
+                             rng.lognormal_factor(opts.sim.comp_noise_sigma);
+      js.node_task[v] = sim.add_dynamic_task(
+          mobile_res, compute_duration(nominal, /*on_cloud=*/false), deps,
+          "j" + std::to_string(j) + ":fb:" + std::to_string(v), 0.0, j);
+      js.fallback.push_back(js.node_task[v]);
+    }
+  }
+
+  void on_transfer_finish(std::size_t j, double now_ms) {
+    JobState& js = jobs[j];
+    if (js.last_perturbed) ++stats.perturbed_transfers;
+    if (js.last_completed) {
+      estimator.observe(curve.cut(js.cut_index).offload_bytes,
+                        js.last_duration,
+                        timeline.channel().base().setup_latency_ms());
+      submit_cloud(j);
+      resolved();
+      return;
+    }
+    ++stats.transfer_failures;
+    if (js.attempts <= opts.retry.budget) {
+      ++stats.retries;
+      const int retry_index = js.attempts;  // 1-based
+      double backoff =
+          opts.retry.backoff_base_ms *
+          std::pow(opts.retry.backoff_factor,
+                   static_cast<double>(retry_index - 1));
+      backoff = std::min(backoff, opts.retry.backoff_max_ms);
+      if (opts.retry.jitter_frac > 0.0)
+        backoff *= 1.0 + rng.uniform(0.0, opts.retry.jitter_frac);
+      stats.backoff_ms += backoff;
+      submit_transfer(j, now_ms + backoff);
+    } else {
+      submit_fallback(j);
+      resolved();
+    }
+  }
+
+  /// A job's offload fate is settled (transfer landed, fallback queued, or
+  /// a transferless job finished): admit the next job of the window,
+  /// re-cutting the un-admitted remainder first if the bandwidth estimate
+  /// has drifted.
+  void resolved() {
+    if (!opts.replan.enabled || next_admit >= jobs.size()) return;
+    if (replan_fn && estimator.observations() > 0 &&
+        estimator.drifted(opts.replan.drift_threshold)) {
+      const std::size_t remaining = jobs.size() - next_admit;
+      const std::vector<std::size_t> cuts = replan_fn(
+          estimator.estimate_mbps(), static_cast<int>(remaining));
+      if (cuts.size() == remaining) {
+        for (std::size_t i = 0; i < remaining; ++i)
+          jobs[next_admit + i].cut_index = cuts[i];
+        ++stats.replans;
+        estimator.rebase();
+      }
+    }
+    admit(next_admit++);
+  }
+
+  void on_finish(TaskId id, double now_ms) {
+    if (const auto it = transfer_job.find(id); it != transfer_job.end()) {
+      on_transfer_finish(it->second, now_ms);
+    } else if (marker_job.count(id) != 0) {
+      resolved();
+    }
+  }
+
+  void run() {
+    if (opts.replan.enabled && opts.replan.admission_window < 1)
+      throw std::invalid_argument(
+          "simulate_plan_under_faults: admission_window < 1");
+    const std::size_t initial =
+        opts.replan.enabled
+            ? std::min(jobs.size(),
+                       static_cast<std::size_t>(opts.replan.admission_window))
+            : jobs.size();
+    sim.set_finish_hook(
+        [this](TaskId id, double now_ms) { on_finish(id, now_ms); });
+    for (std::size_t j = 0; j < initial; ++j) admit(j);
+    next_admit = initial;
+    sim.run();
+  }
+
+  [[nodiscard]] sim::SimJobResult collect(const JobState& js) const {
+    sim::SimJobResult r;
+    r.job_id = js.job_id;
+    r.cut_index = js.cut_index;
+    r.retries = js.attempts > 0 ? js.attempts - 1 : 0;
+    r.fell_back = js.fell_back;
+    const TaskId first_comp =
+        !js.local.empty() ? js.local.front()
+                          : (!js.fallback.empty() ? js.fallback.front()
+                                                  : kNoTask);
+    if (first_comp != kNoTask) {
+      r.has_comp = true;
+      r.comp_start = sim.record(first_comp).start;
+      r.comp_end = sim.record(first_comp).end;
+      for (const TaskId t : js.local)
+        r.comp_end = std::max(r.comp_end, sim.record(t).end);
+      for (const TaskId t : js.fallback)
+        r.comp_end = std::max(r.comp_end, sim.record(t).end);
+    }
+    if (!js.transfers.empty()) {
+      r.has_comm = true;
+      r.comm_start = sim.record(js.transfers.front()).start;
+      r.comm_end = sim.record(js.transfers.back()).end;
+    }
+    for (const TaskId t : js.remote) {
+      if (!r.has_cloud) {
+        r.has_cloud = true;
+        r.cloud_start = sim.record(t).start;
+        r.cloud_end = sim.record(t).end;
+      }
+      r.cloud_end = std::max(r.cloud_end, sim.record(t).end);
+    }
+    return r;
+  }
+};
+
+}  // namespace
+
+FaultSimResult simulate_plan_under_faults(
+    const dnn::Graph& graph, const partition::ProfileCurve& curve,
+    const core::ExecutionPlan& plan, const profile::LatencyModel& mobile,
+    const profile::LatencyModel& cloud, const FaultTimeline& timeline,
+    const FaultExecOptions& options, util::Rng& rng,
+    sim::EventSimulator* capture, const ReplanFn& replan) {
+  static obs::Counter& runs = obs::counter("fault.runs");
+  static obs::Counter& perturbed = obs::counter("fault.perturbed_transfers");
+  static obs::Counter& throttled = obs::counter("fault.throttled_stages");
+  static obs::Counter& failures = obs::counter("fault.transfer_failures");
+  static obs::Counter& retries = obs::counter("fault.retries");
+  static obs::Counter& fallbacks = obs::counter("fault.fallbacks");
+  static obs::Counter& replans = obs::counter("fault.replans");
+  runs.add();
+  obs::Span span("fault.run", "fault");
+  span.arg("jobs", std::to_string(plan.jobs.size()));
+
+  EventSimulator sim;
+  Engine engine(sim, graph, curve, mobile, cloud, timeline, options, rng,
+                replan);
+  engine.mobile_res = sim.add_resource("mobile_cpu");
+  engine.link_res = sim.add_resource("uplink");
+  engine.cloud_res = sim.add_resource("cloud_gpu");
+  engine.jobs.resize(plan.jobs.size());
+  for (std::size_t j = 0; j < plan.jobs.size(); ++j) {
+    engine.jobs[j].cut_index = plan.jobs[j].cut_index;
+    engine.jobs[j].job_id = plan.jobs[j].job_id;
+  }
+  engine.run();
+
+  FaultSimResult result;
+  result.stats = engine.stats;
+  result.sim.jobs.reserve(engine.jobs.size());
+  for (const JobState& js : engine.jobs)
+    result.sim.jobs.push_back(engine.collect(js));
+  result.sim.makespan = sim.makespan();
+  if (result.sim.makespan > 0.0) {
+    result.sim.mobile_utilization =
+        sim.busy_time(engine.mobile_res) / result.sim.makespan;
+    result.sim.link_utilization =
+        sim.busy_time(engine.link_res) / result.sim.makespan;
+    result.sim.cloud_utilization =
+        sim.busy_time(engine.cloud_res) / result.sim.makespan;
+  }
+
+  perturbed.add(static_cast<std::uint64_t>(result.stats.perturbed_transfers));
+  throttled.add(static_cast<std::uint64_t>(result.stats.throttled_stages));
+  failures.add(static_cast<std::uint64_t>(result.stats.transfer_failures));
+  retries.add(static_cast<std::uint64_t>(result.stats.retries));
+  fallbacks.add(static_cast<std::uint64_t>(result.stats.fallbacks));
+  replans.add(static_cast<std::uint64_t>(result.stats.replans));
+  span.arg("makespan_ms", result.sim.makespan);
+  span.arg("retries", std::to_string(result.stats.retries));
+  span.arg("fallbacks", std::to_string(result.stats.fallbacks));
+  span.arg("replans", std::to_string(result.stats.replans));
+  if (capture != nullptr) *capture = std::move(sim);
+  return result;
+}
+
+ReplanFn make_replan_hook(partition::ProfileCurve curve, net::Channel channel,
+                          core::Strategy strategy, double quantum_mbps) {
+  if (strategy == core::Strategy::kRobust)
+    throw std::invalid_argument(
+        "make_replan_hook: kRobust needs an interval; replan with a point "
+        "strategy (e.g. kJPSTuned)");
+  auto cache = std::make_shared<core::PlanCache>();
+  auto base = std::make_shared<const partition::ProfileCurve>(std::move(curve));
+  return [cache, base, channel, strategy,
+          quantum_mbps](double estimate_mbps, int n_jobs) {
+    double mbps = estimate_mbps;
+    if (quantum_mbps > 0.0)
+      mbps = std::max(quantum_mbps,
+                      std::round(estimate_mbps / quantum_mbps) * quantum_mbps);
+    const core::PlanCacheKey key{base->model_name(), "fault-replan", mbps,
+                                 strategy, n_jobs};
+    const std::shared_ptr<const core::ExecutionPlan> plan =
+        cache->plan(key, [&] {
+          return core::Planner(base->with_bandwidth(channel, mbps))
+              .plan(strategy, n_jobs);
+        });
+    std::vector<std::size_t> cuts;
+    cuts.reserve(plan->jobs.size());
+    for (const core::JobAssignment& a : plan->jobs)
+      cuts.push_back(a.cut_index);
+    return cuts;
+  };
+}
+
+FaultMonteCarloResult fault_monte_carlo(
+    const dnn::Graph& graph, const partition::ProfileCurve& curve,
+    const core::ExecutionPlan& plan, const profile::LatencyModel& mobile,
+    const profile::LatencyModel& cloud, const net::Channel& channel,
+    const FaultMonteCarloOptions& options, const ReplanFn& replan) {
+  if (options.trials < 1)
+    throw std::invalid_argument("fault_monte_carlo: trials < 1");
+
+  FaultExecOptions exec;
+  exec.sim.comp_noise_sigma = options.comp_noise_sigma;
+  exec.sim.comm_noise_sigma = options.comm_noise_sigma;
+  exec.sim.include_cloud = options.include_cloud;
+  exec.retry = options.retry;
+  exec.replan = options.replan;
+  RandomFaultOptions fault_options = options.faults;
+  fault_options.base_mbps = channel.bandwidth_mbps();
+
+  const auto n = static_cast<std::size_t>(options.trials);
+  std::vector<double> makespans(n);
+  std::vector<FaultStats> stats(n);
+  // Per-trial seeded streams (same scheme as sim::monte_carlo_makespan) make
+  // the campaign bit-identical for any thread count.
+  util::parallel_for(
+      n,
+      [&](std::size_t trial) {
+        util::Rng rng(options.seed +
+                      static_cast<std::uint64_t>(trial) * 1000003ull);
+        const FaultSpec spec = FaultSpec::random(fault_options, rng);
+        const FaultTimeline timeline(spec, channel);
+        const FaultSimResult r = simulate_plan_under_faults(
+            graph, curve, plan, mobile, cloud, timeline, exec, rng, nullptr,
+            replan);
+        makespans[trial] = r.sim.makespan;
+        stats[trial] = r.stats;
+      },
+      options.threads);
+
+  FaultMonteCarloResult result;
+  result.makespan = util::summarize(makespans);
+  std::size_t faulty = 0, replanned = 0;
+  double total_retries = 0.0, total_fallbacks = 0.0;
+  for (const FaultStats& s : stats) {
+    if (s.any_fault()) ++faulty;
+    if (s.replans > 0) ++replanned;
+    total_retries += static_cast<double>(s.retries);
+    total_fallbacks += static_cast<double>(s.fallbacks);
+  }
+  const auto trials = static_cast<double>(n);
+  result.fault_rate = static_cast<double>(faulty) / trials;
+  result.replan_rate = static_cast<double>(replanned) / trials;
+  result.mean_retries = total_retries / trials;
+  const double total_jobs = trials * static_cast<double>(plan.jobs.size());
+  result.fallback_rate = total_jobs > 0.0 ? total_fallbacks / total_jobs : 0.0;
+  return result;
+}
+
+}  // namespace jps::fault

@@ -1,0 +1,164 @@
+// Fault-aware plan execution: the discrete-event executor of sim/executor.h
+// threaded through a FaultTimeline.
+//
+// Differences from the fault-free executor:
+//   * transfer durations come from the time-varying channel, resolved when
+//     the transfer STARTS (dynamic tasks);
+//   * a transfer overlapping an outage FAILS and is retried with
+//     exponential backoff and a jittered delay, up to RetryPolicy::budget
+//     retries; the retry keeps its job's priority (it does not go to the
+//     back of the uplink queue);
+//   * an exhausted budget triggers graceful degradation: the job's
+//     remaining layers run on the MOBILE device (the curve's per-cut local
+//     node sets say exactly what is still missing), so every job completes
+//     — no aborts;
+//   * compute durations are scaled by the timeline's mobile-throttle /
+//     cloud-straggler windows (factor at the stage's start time);
+//   * successful transfers feed an EWMA BandwidthEstimator; with
+//     ReplanPolicy::enabled, jobs are admitted in a sliding window and the
+//     not-yet-admitted remainder is re-planned (via a ReplanFn, typically
+//     make_replan_hook) whenever the estimate drifts past the threshold.
+//
+// Determinism: the event loop is single-threaded and all randomness flows
+// through the caller's Rng in event order, so one (plan, timeline, seed) is
+// bit-reproducible at any thread count.  On a fault-free timeline with zero
+// noise and replanning off, the result is BIT-IDENTICAL to
+// sim::simulate_plan — the differential tests in tests/sim/ and
+// tests/fault/ enforce this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/plan.h"
+#include "fault/fault_spec.h"
+#include "sim/executor.h"
+#include "util/stats.h"
+
+namespace jps::fault {
+
+/// Transfer retry behavior.
+struct RetryPolicy {
+  /// Retries allowed per job after the first failed attempt (so a job makes
+  /// at most budget + 1 attempts before degrading to local execution).
+  int budget = 3;
+  /// Delay before retry k is base * factor^(k-1), capped at max.
+  double backoff_base_ms = 10.0;
+  double backoff_factor = 2.0;
+  double backoff_max_ms = 500.0;
+  /// Each backoff is stretched by uniform(0, jitter_frac) to de-synchronize
+  /// retries.  Draws from the run's Rng only when a retry actually happens,
+  /// so fault-free runs consume no extra randomness.  0 disables jitter.
+  double jitter_frac = 0.1;
+};
+
+/// Drift-triggered replanning behavior.
+struct ReplanPolicy {
+  bool enabled = false;
+  /// Replan when |estimate - baseline| / baseline exceeds this.
+  double drift_threshold = 0.25;
+  /// EWMA weight of each bandwidth observation.
+  double ewma_alpha = 0.3;
+  /// Jobs admitted (mobile + transfer submitted) ahead of execution.  Only
+  /// un-admitted jobs can be re-cut.  Must be >= 1.
+  int admission_window = 2;
+};
+
+/// Re-cut the remaining jobs for an estimated bandwidth: returns one cut
+/// index per remaining job, in admission order.  Returning a wrong-sized
+/// vector skips the replan.
+using ReplanFn =
+    std::function<std::vector<std::size_t>(double estimate_mbps, int n_jobs)>;
+
+struct FaultExecOptions {
+  sim::SimOptions sim;
+  RetryPolicy retry;
+  ReplanPolicy replan;
+};
+
+/// What the faults did to one run.
+struct FaultStats {
+  /// Transfers whose outcome a drift segment or outage altered.
+  int perturbed_transfers = 0;
+  /// Compute stages started inside a slowdown window.
+  int throttled_stages = 0;
+  int transfer_failures = 0;
+  int retries = 0;
+  /// Total backoff delay scheduled across all retries.
+  double backoff_ms = 0.0;
+  /// Jobs that exhausted their retry budget and completed on the mobile
+  /// device.
+  int fallbacks = 0;
+  int replans = 0;
+
+  [[nodiscard]] bool any_fault() const {
+    return perturbed_transfers > 0 || throttled_stages > 0;
+  }
+};
+
+struct FaultSimResult {
+  sim::SimResult sim;
+  FaultStats stats;
+};
+
+/// Execute `plan` under `timeline`.  Mirrors sim::simulate_plan otherwise:
+/// `curve` must be the plan's curve, noise comes from `options.sim`, and a
+/// non-null `capture` receives the finished event engine for tracing.
+/// `replan` is consulted only when options.replan.enabled.
+[[nodiscard]] FaultSimResult simulate_plan_under_faults(
+    const dnn::Graph& graph, const partition::ProfileCurve& curve,
+    const core::ExecutionPlan& plan, const profile::LatencyModel& mobile,
+    const profile::LatencyModel& cloud, const FaultTimeline& timeline,
+    const FaultExecOptions& options, util::Rng& rng,
+    sim::EventSimulator* capture = nullptr, const ReplanFn& replan = {});
+
+/// A ReplanFn that re-plans with core::Planner on the curve re-based to the
+/// (quantized) estimated bandwidth.  Estimates are snapped to multiples of
+/// `quantum_mbps` and results memoized in a private core::PlanCache, so a
+/// long run replans O(distinct rates) times, not O(drift events).  The
+/// returned hook is thread-safe and can be shared across Monte-Carlo
+/// trials.  `strategy` must be one Planner::plan accepts (not kRobust).
+[[nodiscard]] ReplanFn make_replan_hook(partition::ProfileCurve curve,
+                                        net::Channel channel,
+                                        core::Strategy strategy,
+                                        double quantum_mbps = 0.25);
+
+/// Monte-Carlo campaign over randomized fault traces.
+struct FaultMonteCarloOptions {
+  int trials = 101;
+  double comp_noise_sigma = 0.0;
+  double comm_noise_sigma = 0.0;
+  bool include_cloud = true;
+  std::uint64_t seed = 1;
+  /// Concurrency cap (0 = library default); per-trial seeded streams make
+  /// the result identical for any thread count.
+  std::size_t threads = 0;
+  /// Per-trial random trace parameters.  base_mbps is overwritten with the
+  /// channel's nominal bandwidth.
+  RandomFaultOptions faults;
+  RetryPolicy retry;
+  ReplanPolicy replan;
+};
+
+struct FaultMonteCarloResult {
+  util::Summary makespan;
+  /// Fraction of trials where at least one fault altered the run.
+  double fault_rate = 0.0;
+  /// Fraction of jobs (across all trials) that degraded to local execution.
+  double fallback_rate = 0.0;
+  /// Mean transfer retries per trial.
+  double mean_retries = 0.0;
+  /// Fraction of trials that re-planned at least once.
+  double replan_rate = 0.0;
+};
+
+/// Run `plan` `trials` times, each against an independently drawn fault
+/// trace (and noise draws), and summarize makespans plus fault outcomes.
+[[nodiscard]] FaultMonteCarloResult fault_monte_carlo(
+    const dnn::Graph& graph, const partition::ProfileCurve& curve,
+    const core::ExecutionPlan& plan, const profile::LatencyModel& mobile,
+    const profile::LatencyModel& cloud, const net::Channel& channel,
+    const FaultMonteCarloOptions& options, const ReplanFn& replan = {});
+
+}  // namespace jps::fault

@@ -1,0 +1,245 @@
+#include "fault/fault_spec.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace jps::fault {
+
+namespace {
+
+constexpr const char* kHeader = "jps-faults v1";
+
+bool kind_takes_value(FaultKind kind) { return kind != FaultKind::kOutage; }
+
+// Draw `count` pairwise-disjoint [start, end) windows over [0, horizon).
+// Rejection sampling with a bounded attempt budget: with a seeded rng the
+// result is deterministic, and an over-packed request simply yields fewer
+// windows rather than looping forever.
+std::vector<std::pair<double, double>> draw_windows(int count, double min_ms,
+                                                    double max_ms,
+                                                    double horizon_ms,
+                                                    util::Rng& rng) {
+  std::vector<std::pair<double, double>> windows;
+  if (count < 1 || horizon_ms <= 0.0) return windows;
+  int attempts = count * 64;
+  while (static_cast<int>(windows.size()) < count && attempts-- > 0) {
+    const double duration =
+        std::min(rng.uniform(min_ms, std::max(min_ms, max_ms)), horizon_ms);
+    const double latest = horizon_ms - duration;
+    const double start = latest > 0.0 ? rng.uniform(0.0, latest) : 0.0;
+    const double end = start + duration;
+    if (duration <= 0.0) continue;
+    const bool overlaps =
+        std::any_of(windows.begin(), windows.end(), [&](const auto& w) {
+          return start < w.second && w.first < end;
+        });
+    if (!overlaps) windows.emplace_back(start, end);
+  }
+  std::sort(windows.begin(), windows.end());
+  return windows;
+}
+
+// Validate and sort one kind's windows; throws on overlap or bad bounds.
+template <typename T>
+void check_windows(std::vector<T>& windows, const char* what) {
+  std::sort(windows.begin(), windows.end(),
+            [](const T& a, const T& b) { return a.start_ms < b.start_ms; });
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (windows[i].start_ms < 0.0 || windows[i].end_ms <= windows[i].start_ms)
+      throw std::invalid_argument(std::string("FaultTimeline: bad ") + what +
+                                  " window bounds");
+    if (i > 0 && windows[i].start_ms < windows[i - 1].end_ms)
+      throw std::invalid_argument(std::string("FaultTimeline: overlapping ") +
+                                  what + " windows");
+  }
+}
+
+double factor_at(const std::vector<FactorWindow>& windows, double t_ms) {
+  for (const FactorWindow& w : windows) {
+    if (w.start_ms > t_ms) break;  // sorted: nothing later can cover t
+    if (t_ms < w.end_ms) return w.factor;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrift: return "drift";
+    case FaultKind::kOutage: return "outage";
+    case FaultKind::kCloudSlow: return "cloud_slow";
+    case FaultKind::kMobileThrottle: return "mobile_throttle";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> FaultSpec::of_kind(FaultKind kind) const {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : events) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.start_ms < b.start_ms;
+            });
+  return out;
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || util::trim(line) != kHeader)
+    throw std::runtime_error("fault_spec: bad header (want 'jps-faults v1')");
+
+  FaultSpec spec;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string trimmed{util::trim(line)};
+    const std::size_t hash = trimmed.find('#');
+    if (hash != std::string::npos) trimmed = std::string(util::trim(trimmed.substr(0, hash)));
+    if (trimmed.empty()) continue;
+
+    std::istringstream fields(trimmed);
+    std::string keyword;
+    fields >> keyword;
+    const auto fail = [&](const char* why) {
+      throw std::runtime_error("fault_spec: " + std::string(why) + " at line " +
+                               std::to_string(line_no));
+    };
+
+    FaultEvent event;
+    if (keyword == "drift") {
+      event.kind = FaultKind::kDrift;
+    } else if (keyword == "outage") {
+      event.kind = FaultKind::kOutage;
+    } else if (keyword == "cloud_slow") {
+      event.kind = FaultKind::kCloudSlow;
+    } else if (keyword == "mobile_throttle") {
+      event.kind = FaultKind::kMobileThrottle;
+    } else {
+      fail("unknown keyword");
+    }
+    if (!(fields >> event.start_ms >> event.end_ms)) fail("bad window");
+    if (kind_takes_value(event.kind) && !(fields >> event.value))
+      fail("missing value");
+    std::string extra;
+    if (fields >> extra) fail("trailing fields");
+    spec.events.push_back(event);
+  }
+  return spec;
+}
+
+std::string FaultSpec::serialize() const {
+  std::ostringstream os;
+  os.precision(17);  // doubles round-trip exactly through the text format
+  os << kHeader << '\n';
+  for (const FaultEvent& e : events) {
+    os << fault_kind_name(e.kind) << ' ' << e.start_ms << ' ' << e.end_ms;
+    if (kind_takes_value(e.kind)) os << ' ' << e.value;
+    os << '\n';
+  }
+  return os.str();
+}
+
+FaultSpec FaultSpec::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("fault_spec: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void FaultSpec::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("fault_spec: cannot open " + path);
+  out << serialize();
+  if (!out) throw std::runtime_error("fault_spec: write failed for " + path);
+}
+
+FaultSpec FaultSpec::random(const RandomFaultOptions& options, util::Rng& rng) {
+  if (options.base_mbps <= 0.0)
+    throw std::invalid_argument("FaultSpec::random: base_mbps <= 0");
+  FaultSpec spec;
+  const auto add = [&](FaultKind kind, int count, double dur_min,
+                       double dur_max, double value_min, double value_max) {
+    for (const auto& [start, end] :
+         draw_windows(count, dur_min, dur_max, options.horizon_ms, rng)) {
+      FaultEvent e;
+      e.kind = kind;
+      e.start_ms = start;
+      e.end_ms = end;
+      if (kind_takes_value(kind)) {
+        double v = rng.uniform(value_min, std::max(value_min, value_max));
+        if (kind == FaultKind::kDrift) v *= options.base_mbps;
+        e.value = v;
+      }
+      spec.events.push_back(e);
+    }
+  };
+  // Fixed draw order (drift, outage, cloud, mobile) keeps traces
+  // reproducible from the seed alone.
+  add(FaultKind::kDrift, options.drift_segments, options.drift_duration_min_ms,
+      options.drift_duration_max_ms, options.drift_factor_min,
+      options.drift_factor_max);
+  add(FaultKind::kOutage, options.outages, options.outage_duration_min_ms,
+      options.outage_duration_max_ms, 0.0, 0.0);
+  add(FaultKind::kCloudSlow, options.cloud_slow_windows,
+      options.window_duration_min_ms, options.window_duration_max_ms,
+      options.cloud_factor_min, options.cloud_factor_max);
+  add(FaultKind::kMobileThrottle, options.mobile_throttle_windows,
+      options.window_duration_min_ms, options.window_duration_max_ms,
+      options.mobile_factor_min, options.mobile_factor_max);
+  return spec;
+}
+
+FaultTimeline::FaultTimeline(const FaultSpec& spec, net::Channel base)
+    : channel_(base) {
+  std::vector<net::BandwidthSegment> segments;
+  std::vector<net::Outage> outages;
+  for (const FaultEvent& e : spec.events) {
+    switch (e.kind) {
+      case FaultKind::kDrift:
+        segments.push_back({e.start_ms, e.end_ms, e.value});
+        break;
+      case FaultKind::kOutage:
+        outages.push_back({e.start_ms, e.end_ms});
+        break;
+      case FaultKind::kCloudSlow:
+        cloud_.push_back({e.start_ms, e.end_ms, e.value});
+        break;
+      case FaultKind::kMobileThrottle:
+        mobile_.push_back({e.start_ms, e.end_ms, e.value});
+        break;
+    }
+    horizon_ms_ = std::max(horizon_ms_, e.end_ms);
+  }
+  // TimeVaryingChannel validates the link events; slowdowns checked here.
+  channel_ = net::TimeVaryingChannel(base, std::move(segments),
+                                     std::move(outages));
+  check_windows(mobile_, "mobile_throttle");
+  check_windows(cloud_, "cloud_slow");
+  for (const FactorWindow& w : mobile_) {
+    if (w.factor <= 0.0)
+      throw std::invalid_argument("FaultTimeline: mobile factor <= 0");
+  }
+  for (const FactorWindow& w : cloud_) {
+    if (w.factor <= 0.0)
+      throw std::invalid_argument("FaultTimeline: cloud factor <= 0");
+  }
+}
+
+double FaultTimeline::mobile_factor_at(double t_ms) const {
+  return factor_at(mobile_, t_ms);
+}
+
+double FaultTimeline::cloud_factor_at(double t_ms) const {
+  return factor_at(cloud_, t_ms);
+}
+
+}  // namespace jps::fault

@@ -1,0 +1,159 @@
+// Scriptable fault timelines for robustness experiments.
+//
+// A FaultSpec is a list of timed fault events — uplink bandwidth drift
+// segments, link outages, cloud straggler windows, mobile thermal-throttle
+// windows — loadable from a small line-oriented text format and composable
+// with seeded randomness (FaultSpec::random).  A FaultTimeline compiles a
+// spec against a base net::Channel into the views the fault-aware executor
+// consumes: a net::TimeVaryingChannel for the uplink plus per-device
+// multiplicative slowdown windows.
+//
+// Text format ("jps-faults v1" header, '#' comments, blank lines ignored):
+//
+//   jps-faults v1
+//   drift           <start_ms> <end_ms> <mbps>     # uplink runs at <mbps>
+//   outage          <start_ms> <end_ms>            # overlapping transfers fail
+//   cloud_slow      <start_ms> <end_ms> <factor>   # cloud stages x<factor>
+//   mobile_throttle <start_ms> <end_ms> <factor>   # mobile stages x<factor>
+//
+// Windows of the same kind must not overlap (different kinds may).  An empty
+// spec compiles to a fault-free timeline that reproduces the stationary
+// simulation bit-for-bit (see net::TimeVaryingChannel).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "util/rng.h"
+
+namespace jps::fault {
+
+enum class FaultKind {
+  kDrift,           // uplink bandwidth override, value = mbps
+  kOutage,          // link down, value unused
+  kCloudSlow,       // cloud straggler window, value = slowdown factor
+  kMobileThrottle,  // thermal throttle window, value = slowdown factor
+};
+
+/// Keyword used in the text format ("drift", "outage", ...).
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDrift;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  /// Drift: absolute uplink rate in Mbps.  Slowdowns: multiplicative factor
+  /// applied to stage durations starting inside the window (> 1 slows).
+  /// Outage: unused (0).
+  double value = 0.0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Knobs for FaultSpec::random.  Windows of one kind are drawn disjoint and
+/// uniformly over [0, horizon_ms); durations are uniform in their range.
+struct RandomFaultOptions {
+  double horizon_ms = 2000.0;
+  /// Uplink rate the drift factors multiply (usually the channel's nominal).
+  double base_mbps = 10.0;
+
+  int drift_segments = 2;
+  double drift_duration_min_ms = 100.0;
+  double drift_duration_max_ms = 400.0;
+  double drift_factor_min = 0.3;
+  double drift_factor_max = 1.5;
+
+  int outages = 1;
+  double outage_duration_min_ms = 20.0;
+  double outage_duration_max_ms = 80.0;
+
+  int cloud_slow_windows = 0;
+  double cloud_factor_min = 1.5;
+  double cloud_factor_max = 4.0;
+
+  int mobile_throttle_windows = 0;
+  double mobile_factor_min = 1.25;
+  double mobile_factor_max = 2.5;
+
+  /// Duration range shared by the cloud/mobile slowdown windows.
+  double window_duration_min_ms = 50.0;
+  double window_duration_max_ms = 300.0;
+};
+
+struct FaultSpec {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const { return events.empty(); }
+
+  /// Events of one kind, sorted by start time.
+  [[nodiscard]] std::vector<FaultEvent> of_kind(FaultKind kind) const;
+
+  /// Parse the text format.  Throws std::runtime_error on a malformed
+  /// header, unknown keyword, or bad field.
+  [[nodiscard]] static FaultSpec parse(const std::string& text);
+
+  /// Serialize to the text format (doubles round-trip exactly).
+  [[nodiscard]] std::string serialize() const;
+
+  [[nodiscard]] static FaultSpec load(const std::string& path);
+  void save(const std::string& path) const;
+
+  /// Draw a random spec.  Deterministic for a given (options, rng state);
+  /// the rng is consumed in a fixed order, so the same seed always yields
+  /// the same trace.
+  [[nodiscard]] static FaultSpec random(const RandomFaultOptions& options,
+                                        util::Rng& rng);
+};
+
+/// One multiplicative slowdown window on a compute device.
+struct FactorWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double factor = 1.0;
+};
+
+/// A spec compiled against a base channel: the executable view of the
+/// faults.  Throws std::invalid_argument on invalid events (end <= start,
+/// negative start, non-positive drift rate or slowdown factor, overlap
+/// within a kind).
+class FaultTimeline {
+ public:
+  FaultTimeline(const FaultSpec& spec, net::Channel base);
+
+  /// The uplink with drift segments and outages applied.
+  [[nodiscard]] const net::TimeVaryingChannel& channel() const {
+    return channel_;
+  }
+
+  /// Multiplier for a mobile compute stage STARTING at `t_ms` (1 outside
+  /// all windows — exactly 1.0, so fault-free durations are unchanged).
+  [[nodiscard]] double mobile_factor_at(double t_ms) const;
+
+  /// Multiplier for a cloud compute stage starting at `t_ms`.
+  [[nodiscard]] double cloud_factor_at(double t_ms) const;
+
+  [[nodiscard]] const std::vector<FactorWindow>& mobile_windows() const {
+    return mobile_;
+  }
+  [[nodiscard]] const std::vector<FactorWindow>& cloud_windows() const {
+    return cloud_;
+  }
+
+  /// True when no event of any kind is scripted.
+  [[nodiscard]] bool fault_free() const {
+    return channel_.stationary() && mobile_.empty() && cloud_.empty();
+  }
+
+  /// End of the last scripted event (0 when fault-free).
+  [[nodiscard]] double horizon_ms() const { return horizon_ms_; }
+
+ private:
+  net::TimeVaryingChannel channel_;
+  std::vector<FactorWindow> mobile_;  // sorted, non-overlapping
+  std::vector<FactorWindow> cloud_;   // sorted, non-overlapping
+  double horizon_ms_ = 0.0;
+};
+
+}  // namespace jps::fault

@@ -19,7 +19,11 @@
 #include "core/plan_io.h"        // IWYU pragma: export
 #include "core/planner.h"        // IWYU pragma: export
 #include "core/ratio.h"          // IWYU pragma: export
+#include "core/robust.h"         // IWYU pragma: export
 #include "dnn/dot.h"             // IWYU pragma: export
+#include "fault/bandwidth_estimator.h"  // IWYU pragma: export
+#include "fault/fault_executor.h"       // IWYU pragma: export
+#include "fault/fault_spec.h"           // IWYU pragma: export
 #include "dnn/graph.h"           // IWYU pragma: export
 #include "dnn/layer.h"           // IWYU pragma: export
 #include "dnn/tensor_shape.h"    // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "net/channel.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 #include "util/units.h"
@@ -30,6 +32,130 @@ double Channel::sample_ms(std::uint64_t bytes, util::Rng& rng) const {
 
 Channel Channel::with_bandwidth(double mbps) const {
   return Channel(mbps, setup_latency_ms_, jitter_sigma_);
+}
+
+namespace {
+
+template <typename Interval>
+void validate_sorted_disjoint(std::vector<Interval>& intervals,
+                              const char* what) {
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start_ms < b.start_ms;
+            });
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].start_ms < 0.0 ||
+        intervals[i].end_ms <= intervals[i].start_ms)
+      throw std::invalid_argument(std::string("TimeVaryingChannel: bad ") +
+                                  what + " interval");
+    if (i > 0 && intervals[i].start_ms < intervals[i - 1].end_ms)
+      throw std::invalid_argument(std::string("TimeVaryingChannel: ") + what +
+                                  " intervals overlap");
+  }
+}
+
+}  // namespace
+
+TimeVaryingChannel::TimeVaryingChannel(Channel base)
+    : TimeVaryingChannel(base, {}, {}) {}
+
+TimeVaryingChannel::TimeVaryingChannel(Channel base,
+                                       std::vector<BandwidthSegment> segments,
+                                       std::vector<Outage> outages)
+    : base_(base),
+      segments_(std::move(segments)),
+      outages_(std::move(outages)) {
+  validate_sorted_disjoint(segments_, "bandwidth");
+  validate_sorted_disjoint(outages_, "outage");
+  for (const BandwidthSegment& s : segments_) {
+    if (s.mbps <= 0.0)
+      throw std::invalid_argument(
+          "TimeVaryingChannel: segment bandwidth must be positive");
+    horizon_ms_ = std::max(horizon_ms_, s.end_ms);
+  }
+  for (const Outage& o : outages_) horizon_ms_ = std::max(horizon_ms_, o.end_ms);
+}
+
+double TimeVaryingChannel::bandwidth_at(double t_ms) const {
+  if (in_outage(t_ms)) return 0.0;
+  for (const BandwidthSegment& s : segments_) {
+    if (s.start_ms > t_ms) break;
+    if (t_ms < s.end_ms) return s.mbps;
+  }
+  return base_.bandwidth_mbps();
+}
+
+bool TimeVaryingChannel::in_outage(double t_ms) const {
+  for (const Outage& o : outages_) {
+    if (o.start_ms > t_ms) break;
+    if (t_ms < o.end_ms) return true;
+  }
+  return false;
+}
+
+TimeVaryingChannel::Transfer TimeVaryingChannel::transfer(
+    double start_ms, std::uint64_t bytes) const {
+  if (bytes == 0) return {true, 0.0, false};  // matches Channel::time_ms(0)
+
+  // Serialization time over the piecewise-constant rate, outages ignored
+  // for now.  The untouched fast path returns the stationary prediction
+  // verbatim so fault-free timelines are bit-identical to the affine model.
+  const double naive = base_.time_ms(bytes);
+  const auto intersects = [&](double lo, double hi) {
+    for (const BandwidthSegment& s : segments_) {
+      if (s.start_ms >= hi) break;
+      if (s.end_ms > lo) return true;
+    }
+    return false;
+  };
+
+  double duration = naive;
+  bool perturbed = false;
+  if (intersects(start_ms, start_ms + naive)) {
+    perturbed = true;
+    // Walk boundaries from the end of the setup window.  Segment rates are
+    // positive and boundaries are finite, so the walk terminates.
+    double t = start_ms + base_.setup_latency_ms();
+    double remaining = static_cast<double>(bytes);
+    while (remaining > 0.0) {
+      double rate = base_.bandwidth_mbps();
+      double boundary = std::numeric_limits<double>::infinity();
+      for (const BandwidthSegment& s : segments_) {
+        if (s.start_ms > t) {
+          boundary = std::min(boundary, s.start_ms);
+          break;
+        }
+        if (t < s.end_ms) {
+          rate = s.mbps;
+          boundary = s.end_ms;
+          break;
+        }
+      }
+      const double bytes_per_ms = util::mbps_to_bytes_per_ms(rate);
+      const double need_ms = remaining / bytes_per_ms;
+      if (t + need_ms <= boundary) {
+        t += need_ms;
+        remaining = 0.0;
+      } else {
+        remaining -= (boundary - t) * bytes_per_ms;
+        t = boundary;
+      }
+    }
+    duration = t - start_ms;
+  }
+
+  // Any outage overlapping the attempt fails it.
+  for (const Outage& o : outages_) {
+    if (o.start_ms >= start_ms + duration) break;
+    if (o.end_ms <= start_ms) continue;
+    if (o.start_ms <= start_ms) {
+      // Attempted inside an outage: the connection times out after one
+      // setup latency.
+      return {false, base_.setup_latency_ms(), true};
+    }
+    return {false, o.start_ms - start_ms, true};
+  }
+  return {true, duration, perturbed};
 }
 
 }  // namespace jps::net

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -50,6 +51,85 @@ class Channel {
   double bandwidth_mbps_;
   double setup_latency_ms_;
   double jitter_sigma_;
+};
+
+/// One piecewise-constant bandwidth override: the link runs at `mbps`
+/// during [start_ms, end_ms) instead of the base rate.
+struct BandwidthSegment {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double mbps = 0.0;
+};
+
+/// One link outage: any transfer overlapping [start_ms, end_ms) fails.
+struct Outage {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+};
+
+/// Time-varying view of an uplink: the affine Channel plus piecewise
+/// bandwidth drift segments and outages.  The stationary channel is the
+/// special case with no segments and no outages, and on any transfer whose
+/// window touches no segment or outage, transfer() returns exactly
+/// base().time_ms(bytes) — bit-for-bit, so fault-free timelines reproduce
+/// the stationary model.
+///
+/// Semantics:
+///   * setup latency is time, not data: it is unaffected by drift segments;
+///   * serialization integrates bytes over the piecewise-constant rate;
+///   * a transfer overlapping an outage FAILS: if the outage begins
+///     mid-flight the failure is detected at the outage start; a transfer
+///     attempted inside an outage fails after one setup latency (the
+///     connection timeout).
+class TimeVaryingChannel {
+ public:
+  /// A fault-free view over `base`.
+  explicit TimeVaryingChannel(Channel base);
+
+  /// Segments and outages must each be non-overlapping within their kind;
+  /// they are sorted by start time here.  Throws std::invalid_argument on
+  /// overlap, end <= start, negative start, or non-positive segment rate.
+  TimeVaryingChannel(Channel base, std::vector<BandwidthSegment> segments,
+                     std::vector<Outage> outages);
+
+  /// Instantaneous uplink rate at time `t_ms`; 0 during an outage.
+  [[nodiscard]] double bandwidth_at(double t_ms) const;
+
+  /// True while the link is down.
+  [[nodiscard]] bool in_outage(double t_ms) const;
+
+  /// Outcome of one transfer attempt started at `start_ms`.
+  struct Transfer {
+    /// False when the attempt overlapped an outage.
+    bool completed = true;
+    /// Time the link is held: full transfer time on success, time until
+    /// the failure is detected otherwise.
+    double duration_ms = 0.0;
+    /// True when any drift segment or outage altered the attempt (i.e. the
+    /// result differs from the stationary model's).
+    bool perturbed = false;
+  };
+  [[nodiscard]] Transfer transfer(double start_ms, std::uint64_t bytes) const;
+
+  [[nodiscard]] const Channel& base() const { return base_; }
+  [[nodiscard]] const std::vector<BandwidthSegment>& segments() const {
+    return segments_;
+  }
+  [[nodiscard]] const std::vector<Outage>& outages() const { return outages_; }
+
+  /// End of the last scripted event (0 for a fault-free view).
+  [[nodiscard]] double horizon_ms() const { return horizon_ms_; }
+
+  /// True when no segment and no outage is scripted.
+  [[nodiscard]] bool stationary() const {
+    return segments_.empty() && outages_.empty();
+  }
+
+ private:
+  Channel base_;
+  std::vector<BandwidthSegment> segments_;  // sorted, non-overlapping
+  std::vector<Outage> outages_;             // sorted, non-overlapping
+  double horizon_ms_ = 0.0;
 };
 
 }  // namespace jps::net

@@ -124,6 +124,22 @@ void ProfileCurve::refresh_monotonicity() {
   }
 }
 
+ProfileCurve ProfileCurve::with_comm_times(const CommTimeFn& comm_time) const {
+  ProfileCurve rebased = *this;
+  for (CutPoint& c : rebased.cuts_) {
+    c.g = c.offload_bytes > 0 ? comm_time(c.offload_bytes) : 0.0;
+  }
+  rebased.refresh_monotonicity();
+  return rebased;
+}
+
+ProfileCurve ProfileCurve::with_bandwidth(const net::Channel& channel,
+                                          double mbps) const {
+  const net::Channel rebased = channel.with_bandwidth(mbps);
+  return with_comm_times(
+      [&rebased](std::uint64_t bytes) { return rebased.time_ms(bytes); });
+}
+
 ProfileCurve ProfileCurve::with_fitted_comm() const {
   // Fit g over cut index for the offloading cuts (bytes > 0).
   std::vector<double> xs;

@@ -117,6 +117,22 @@ class ProfileCurve {
   /// at construction, so Alg. 2's validation stays O(log k) overall.
   [[nodiscard]] bool is_monotone() const { return monotone_; }
 
+  /// Re-evaluate g of every cut with a different comm-time function while
+  /// KEEPING the cut order and indices (no re-sort, no re-clustering): cut i
+  /// of the returned curve has the same local/cut node sets as cut i here.
+  /// This is the replanning primitive — when the observed bandwidth drifts,
+  /// the planner re-decides over the same candidate cuts at the new rate,
+  /// and the resulting cut indices remain valid against the original curve
+  /// (and hence against work already executing).  Monotonicity is refreshed;
+  /// any comm model affine in bytes (net::Channel at any bandwidth)
+  /// preserves it.
+  [[nodiscard]] ProfileCurve with_comm_times(const CommTimeFn& comm_time) const;
+
+  /// Convenience: with_comm_times at `channel`'s affine model re-based to
+  /// `mbps`.
+  [[nodiscard]] ProfileCurve with_bandwidth(const net::Channel& channel,
+                                            double mbps) const;
+
   /// Replace g of every offloading cut by the value of a convex exponential
   /// fit at its index (the paper's synthetic AlexNet' of Fig. 11, whose
   /// "communication time is sampled from the fitted curve").  The local-only

@@ -1,24 +1,48 @@
 #include "sim/event_sim.h"
 
 #include <algorithm>
-#include <queue>
-#include <set>
 #include <stdexcept>
+#include <utility>
 
 namespace jps::sim {
 
 ResourceId EventSimulator::add_resource(std::string name) {
+  if (running_)
+    throw std::logic_error("EventSimulator::add_resource: mid-run");
   resources_.push_back(Resource{std::move(name), 0.0});
   return resources_.size() - 1;
 }
 
 TaskId EventSimulator::add_task(ResourceId resource, double duration,
                                 const std::vector<TaskId>& deps,
-                                std::string tag) {
-  if (resource >= resources_.size())
-    throw std::invalid_argument("EventSimulator::add_task: bad resource");
+                                std::string tag, std::uint64_t priority) {
   if (duration < 0.0)
     throw std::invalid_argument("EventSimulator::add_task: negative duration");
+  return add_task_impl(resource, duration, {}, deps, std::move(tag), 0.0,
+                       priority);
+}
+
+TaskId EventSimulator::add_dynamic_task(ResourceId resource,
+                                        DurationFn duration,
+                                        const std::vector<TaskId>& deps,
+                                        std::string tag, double release_ms,
+                                        std::uint64_t priority) {
+  if (!duration)
+    throw std::invalid_argument("EventSimulator::add_dynamic_task: no callback");
+  if (release_ms < 0.0)
+    throw std::invalid_argument(
+        "EventSimulator::add_dynamic_task: negative release");
+  return add_task_impl(resource, 0.0, std::move(duration), deps,
+                       std::move(tag), release_ms, priority);
+}
+
+TaskId EventSimulator::add_task_impl(ResourceId resource, double duration,
+                                     DurationFn duration_fn,
+                                     const std::vector<TaskId>& deps,
+                                     std::string tag, double release_ms,
+                                     std::uint64_t priority) {
+  if (resource >= resources_.size())
+    throw std::invalid_argument("EventSimulator::add_task: bad resource");
   const TaskId id = tasks_.size();
   // Validate everything before mutating any state, so a failed add leaves
   // the simulator usable.
@@ -30,65 +54,98 @@ TaskId EventSimulator::add_task(ResourceId resource, double duration,
   task.record.resource = resource;
   task.record.duration = duration;
   task.record.tag = std::move(tag);
-  task.unmet_deps = deps.size();
+  task.duration_fn = std::move(duration_fn);
+  task.release_ms = release_ms;
+  task.priority = priority == kAutoPriority ? id : priority;
+  // Mid-run adds may depend on work that already finished.
+  for (const TaskId dep : deps) {
+    if (!tasks_[dep].finished) ++task.unmet_deps;
+  }
+  const std::size_t unmet = task.unmet_deps;
   tasks_.push_back(std::move(task));
-  for (const TaskId dep : deps) tasks_[dep].dependents.push_back(id);
+  for (const TaskId dep : deps) {
+    if (!tasks_[dep].finished) tasks_[dep].dependents.push_back(id);
+  }
+  if (running_) {
+    ++remaining_;
+    if (unmet == 0) make_ready(id);
+  }
   return id;
+}
+
+// All dependencies met: queue on the resource now, or schedule the release
+// event if the task is still held back.
+void EventSimulator::make_ready(TaskId id) {
+  Task& task = tasks_[id];
+  if (task.release_ms > now_) {
+    events_.emplace(task.release_ms, 1, id);
+  } else {
+    ready_[task.record.resource].emplace(task.priority, id);
+  }
+}
+
+void EventSimulator::try_start(ResourceId r) {
+  if (resource_busy_[r] || ready_[r].empty()) return;
+  const TaskId id = ready_[r].begin()->second;
+  ready_[r].erase(ready_[r].begin());
+  Task& task = tasks_[id];
+  if (task.duration_fn) {
+    const double duration = task.duration_fn(now_);
+    if (!(duration >= 0.0))
+      throw std::logic_error(
+          "EventSimulator: dynamic duration must be non-negative");
+    task.record.duration = duration;
+  }
+  task.record.start = now_;
+  task.record.end = now_ + task.record.duration;
+  resources_[r].busy += task.record.duration;
+  resource_busy_[r] = true;
+  events_.emplace(task.record.end, 0, id);
 }
 
 void EventSimulator::run() {
   if (ran_) throw std::logic_error("EventSimulator::run: already ran");
   ran_ = true;
+  running_ = true;
 
-  // Per-resource ready sets ordered by submission index (FIFO by plan order).
-  std::vector<std::set<TaskId>> ready(resources_.size());
-  std::vector<bool> resource_busy(resources_.size(), false);
-
-  // Completion events: (time, task). Ties resolved by task index for
-  // determinism.
-  using Event = std::pair<double, TaskId>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-
-  std::size_t remaining = tasks_.size();
+  ready_.assign(resources_.size(), {});
+  resource_busy_.assign(resources_.size(), false);
+  now_ = 0.0;
+  remaining_ = tasks_.size();
   for (TaskId id = 0; id < tasks_.size(); ++id) {
-    if (tasks_[id].unmet_deps == 0)
-      ready[tasks_[id].record.resource].insert(id);
+    if (tasks_[id].unmet_deps == 0) make_ready(id);
   }
-
-  double now = 0.0;
-  auto try_start = [&](ResourceId r) {
-    if (resource_busy[r] || ready[r].empty()) return;
-    const TaskId id = *ready[r].begin();
-    ready[r].erase(ready[r].begin());
-    Task& task = tasks_[id];
-    task.record.start = now;
-    task.record.end = now + task.record.duration;
-    resources_[r].busy += task.record.duration;
-    resource_busy[r] = true;
-    events.emplace(task.record.end, id);
-  };
 
   for (ResourceId r = 0; r < resources_.size(); ++r) try_start(r);
 
-  while (!events.empty()) {
-    const auto [time, id] = events.top();
-    events.pop();
-    now = time;
-    makespan_ = std::max(makespan_, now);
-    --remaining;
+  while (!events_.empty()) {
+    const auto [time, kind, id] = events_.top();
+    events_.pop();
+    now_ = time;
 
-    Task& finished = tasks_[id];
-    resource_busy[finished.record.resource] = false;
-    for (const TaskId dep : finished.dependents) {
-      Task& t = tasks_[dep];
-      if (--t.unmet_deps == 0) ready[t.record.resource].insert(dep);
+    if (kind == 1) {
+      // Release: the task's dependencies were met earlier; it now joins the
+      // resource queue.
+      ready_[tasks_[id].record.resource].emplace(tasks_[id].priority, id);
+    } else {
+      makespan_ = std::max(makespan_, now_);
+      --remaining_;
+      tasks_[id].finished = true;
+      resource_busy_[tasks_[id].record.resource] = false;
+      // Index-based loop: the finish hook below may reallocate tasks_.
+      for (std::size_t d = 0; d < tasks_[id].dependents.size(); ++d) {
+        const TaskId dep = tasks_[id].dependents[d];
+        if (--tasks_[dep].unmet_deps == 0) make_ready(dep);
+      }
+      if (finish_hook_) finish_hook_(id, now_);
     }
     // The freed resource and any resource that just gained a ready task may
     // start work at `now`.
     for (ResourceId r = 0; r < resources_.size(); ++r) try_start(r);
   }
+  running_ = false;
 
-  if (remaining != 0)
+  if (remaining_ != 0)
     throw std::logic_error("EventSimulator::run: tasks never became ready");
 }
 

@@ -5,12 +5,28 @@
 // computes when everything actually runs.
 //
 // Scheduling policy: non-preemptive; a free resource starts the READY task
-// with the lowest submission index.  Submitting all of job i's tasks before
-// job i+1's therefore reproduces the paper's model where a job's stage,
-// once started, holds the whole resource.
+// with the lowest (priority, submission index) pair.  The default priority
+// is the submission index, so submitting all of job i's tasks before job
+// i+1's reproduces the paper's model where a job's stage, once started,
+// holds the whole resource.  Explicit priorities let late-submitted tasks
+// (retries, fallback work injected by a finish hook) keep their job's
+// place in the queue.
+//
+// Fault-aware extensions (all opt-in; the fixed-duration API is unchanged):
+//   * dynamic tasks resolve their duration when they START, so transfer
+//     times can depend on a time-varying channel and compute times on
+//     throttle windows;
+//   * a release time holds a task until a wall-clock instant even when its
+//     dependencies are met (retry backoff);
+//   * a finish hook runs after every task completion and may submit new
+//     tasks mid-run (retries, local fallback, lazily materialized stages).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +34,14 @@ namespace jps::sim {
 
 using ResourceId = std::size_t;
 using TaskId = std::size_t;
+
+/// Duration of a dynamic task, resolved at its start time.
+using DurationFn = std::function<double(double start_ms)>;
+
+/// Callback invoked after each task completes (the task is already marked
+/// finished; dependents have been notified).  May call add_task /
+/// add_dynamic_task to extend the simulation.
+using FinishHook = std::function<void(TaskId id, double now_ms)>;
 
 /// Execution record of one task, filled by run().
 struct TaskRecord {
@@ -35,9 +59,23 @@ class EventSimulator {
 
   /// Register a task of `duration` ms on `resource` that may start only
   /// after every task in `deps` has finished.  Dependencies must refer to
-  /// already-registered tasks.  `tag` is free-form for traces.
+  /// already-registered tasks.  `tag` is free-form for traces.  `priority`
+  /// orders ready tasks on a resource (lower first; ties by submission
+  /// index); the default kAutoPriority uses the submission index itself.
   TaskId add_task(ResourceId resource, double duration,
-                  const std::vector<TaskId>& deps, std::string tag = {});
+                  const std::vector<TaskId>& deps, std::string tag = {},
+                  std::uint64_t priority = kAutoPriority);
+
+  /// Register a task whose duration is resolved when it starts and that is
+  /// additionally held until `release_ms`.  The callback must return a
+  /// non-negative duration.
+  TaskId add_dynamic_task(ResourceId resource, DurationFn duration,
+                          const std::vector<TaskId>& deps, std::string tag = {},
+                          double release_ms = 0.0,
+                          std::uint64_t priority = kAutoPriority);
+
+  /// Install the completion callback (replaces any previous hook).
+  void set_finish_hook(FinishHook hook) { finish_hook_ = std::move(hook); }
 
   /// Execute all tasks. Throws std::logic_error if any task can never start
   /// (dependency cycle is impossible by construction, but an unregistered
@@ -59,21 +97,51 @@ class EventSimulator {
   [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
   [[nodiscard]] std::size_t resource_count() const { return resources_.size(); }
 
+  /// Sentinel: use the submission index as the priority.
+  static constexpr std::uint64_t kAutoPriority =
+      static_cast<std::uint64_t>(-1);
+
  private:
   struct Task {
     TaskRecord record;
     std::vector<TaskId> dependents;
     std::size_t unmet_deps = 0;
+    DurationFn duration_fn;  // empty -> fixed record.duration
+    double release_ms = 0.0;
+    std::uint64_t priority = 0;
+    bool finished = false;
   };
   struct Resource {
     std::string name;
     double busy = 0.0;
   };
 
+  TaskId add_task_impl(ResourceId resource, double duration,
+                       DurationFn duration_fn, const std::vector<TaskId>& deps,
+                       std::string tag, double release_ms,
+                       std::uint64_t priority);
+  void make_ready(TaskId id);
+  void try_start(ResourceId r);
+
   std::vector<Task> tasks_;
   std::vector<Resource> resources_;
+  FinishHook finish_hook_;
   double makespan_ = 0.0;
   bool ran_ = false;
+
+  // Live run state (valid only inside run(); members so the finish hook's
+  // add_task calls can join the in-flight simulation).
+  // Ready sets are ordered by (priority, submission index).
+  std::vector<std::set<std::pair<std::uint64_t, TaskId>>> ready_;
+  std::vector<bool> resource_busy_;
+  // Events: (time, kind, task).  kind 0 = completion, 1 = release; at equal
+  // times completions are processed first and ties break on task index for
+  // determinism.
+  using Event = std::tuple<double, int, TaskId>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0.0;
+  std::size_t remaining_ = 0;
+  bool running_ = false;
 };
 
 }  // namespace jps::sim

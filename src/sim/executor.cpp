@@ -82,16 +82,23 @@ SimJobResult collect(const EventSimulator& sim, const JobTasks& tasks,
   r.job_id = job_id;
   r.cut_index = cut_index;
   if (!tasks.local.empty()) {
+    r.has_comp = true;
     r.comp_start = sim.record(tasks.local.front()).start;
+    r.comp_end = sim.record(tasks.local.front()).end;
     for (const TaskId t : tasks.local)
       r.comp_end = std::max(r.comp_end, sim.record(t).end);
   }
   if (tasks.transfer != kNoTask) {
+    r.has_comm = true;
     r.comm_start = sim.record(tasks.transfer).start;
     r.comm_end = sim.record(tasks.transfer).end;
   }
   for (const TaskId t : tasks.remote) {
-    if (r.cloud_start == 0.0) r.cloud_start = sim.record(t).start;
+    if (!r.has_cloud) {
+      r.has_cloud = true;
+      r.cloud_start = sim.record(t).start;
+      r.cloud_end = sim.record(t).end;
+    }
     r.cloud_end = std::max(r.cloud_end, sim.record(t).end);
   }
   return r;

@@ -28,7 +28,10 @@ struct SimOptions {
   bool include_cloud = true;
 };
 
-/// Timeline of one simulated job.
+/// Timeline of one simulated job.  The has_* flags say which stages exist:
+/// a zero-duration stage ending at t=0 is a real stage (flag set), whereas
+/// an absent stage (e.g. no transfer for a local-only cut) leaves its flag
+/// false and its times meaningless.
 struct SimJobResult {
   int job_id = 0;
   std::size_t cut_index = 0;
@@ -38,9 +41,23 @@ struct SimJobResult {
   double comm_end = 0.0;
   double cloud_start = 0.0;
   double cloud_end = 0.0;
+  bool has_comp = false;
+  bool has_comm = false;
+  bool has_cloud = false;
+  /// Fault-aware runs only: transfer retries this job needed, and whether
+  /// it exhausted its retry budget and finished on the mobile device (its
+  /// fallback execution is folded into comp_end).
+  int retries = 0;
+  bool fell_back = false;
 
+  /// Completion time: the latest end among the stages that exist.  (With
+  /// local fallback the mobile stage can end after the failed transfer, so
+  /// this is a max, not a fixed stage order.)
   [[nodiscard]] double completion() const {
-    return cloud_end > 0.0 ? cloud_end : (comm_end > 0.0 ? comm_end : comp_end);
+    double done = has_comp ? comp_end : 0.0;
+    if (has_comm && comm_end > done) done = comm_end;
+    if (has_cloud && cloud_end > done) done = cloud_end;
+    return done;
   }
 };
 

@@ -1,0 +1,191 @@
+#include "core/robust.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "util/stats.h"
+
+namespace jps::core {
+namespace {
+
+struct Testbed {
+  dnn::Graph graph;
+  profile::LatencyModel mobile;
+  profile::LatencyModel cloud;
+  net::Channel channel;
+  partition::ProfileCurve curve;
+
+  explicit Testbed(const std::string& model, double mbps = 5.85)
+      : graph(models::build(model)),
+        mobile(profile::DeviceProfile::raspberry_pi_4b()),
+        cloud(profile::DeviceProfile::cloud_gtx1080()),
+        channel(mbps),
+        curve(partition::ProfileCurve::build(graph, mobile, channel)) {}
+};
+
+TEST(CvarTailMean, AlphaZeroIsPlainMean) {
+  EXPECT_DOUBLE_EQ(cvar_tail_mean({1.0, 2.0, 3.0, 4.0}, 0.0), 2.5);
+}
+
+TEST(CvarTailMean, TailAveragesTheWorstSamples) {
+  // alpha = 0.5 over 4 samples: the worst 2 => (4 + 3) / 2.
+  EXPECT_DOUBLE_EQ(cvar_tail_mean({1.0, 4.0, 2.0, 3.0}, 0.5), 3.5);
+  // alpha = 0.9 over 10 samples: the single worst.
+  EXPECT_DOUBLE_EQ(
+      cvar_tail_mean({1, 2, 3, 4, 5, 6, 7, 8, 9, 42}, 0.9), 42.0);
+}
+
+TEST(CvarTailMean, TailNeverEmpty) {
+  EXPECT_DOUBLE_EQ(cvar_tail_mean({7.0}, 0.99), 7.0);
+}
+
+TEST(CvarTailMean, Validation) {
+  EXPECT_THROW((void)cvar_tail_mean({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)cvar_tail_mean({1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)cvar_tail_mean({1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(RobustPlanner, Validation) {
+  const Testbed s("alexnet");
+  EXPECT_THROW(RobustPlanner(s.curve, s.channel, {0.0, 10.0}),
+               std::invalid_argument);  // lo <= 0
+  EXPECT_THROW(RobustPlanner(s.curve, s.channel, {10.0, 5.0}),
+               std::invalid_argument);  // hi < lo
+  RobustPlannerOptions bad_samples;
+  bad_samples.samples = 0;
+  EXPECT_THROW(RobustPlanner(s.curve, s.channel, {2.0, 10.0}, bad_samples),
+               std::invalid_argument);
+  RobustPlannerOptions bad_alpha;
+  bad_alpha.cvar_alpha = 1.0;
+  EXPECT_THROW(RobustPlanner(s.curve, s.channel, {2.0, 10.0}, bad_alpha),
+               std::invalid_argument);
+  const RobustPlanner ok(s.curve, s.channel, {2.0, 10.0});
+  EXPECT_THROW((void)ok.decide(0), std::invalid_argument);
+}
+
+TEST(RobustPlanner, GridSpansIntervalInclusive) {
+  const Testbed s("alexnet");
+  RobustPlannerOptions opt;
+  opt.samples = 5;
+  const RobustPlanner planner(s.curve, s.channel, {2.0, 10.0}, opt);
+  const auto grid = planner.bandwidth_grid();
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 2.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 10.0);
+  EXPECT_DOUBLE_EQ(grid[2], 6.0);
+
+  RobustPlannerOptions single;
+  single.samples = 1;
+  const RobustPlanner mid(s.curve, s.channel, {2.0, 10.0}, single);
+  ASSERT_EQ(mid.bandwidth_grid().size(), 1u);
+  EXPECT_DOUBLE_EQ(mid.bandwidth_grid().front(), 6.0);
+}
+
+TEST(RobustPlanner, DecideIsDeterministic) {
+  const Testbed s("resnet18");
+  const RobustPlanner p1(s.curve, s.channel, {2.0, 10.0});
+  const RobustPlanner p2(s.curve, s.channel, {2.0, 10.0});
+  const RobustDecision d1 = p1.decide(20);
+  const RobustDecision d2 = p2.decide(20);
+  EXPECT_EQ(d1.cut_a, d2.cut_a);
+  EXPECT_EQ(d1.cut_b, d2.cut_b);
+  EXPECT_EQ(d1.n_a, d2.n_a);
+  EXPECT_DOUBLE_EQ(d1.worst_case_ms, d2.worst_case_ms);
+}
+
+TEST(RobustPlanner, WorstCaseNoWorseThanStaticPlanOverTheInterval) {
+  // The static JPS mix is itself a (pair, split) candidate, so minimizing
+  // the max over the grid can only do at least as well.
+  const Testbed s("alexnet");
+  const BandwidthInterval interval{s.channel.bandwidth_mbps() * 0.25,
+                                   s.channel.bandwidth_mbps() * 1.25};
+  const int n = 24;
+  const RobustPlanner robust(s.curve, s.channel, interval);
+  const RobustDecision decision = robust.decide(n);
+
+  const Planner planner(s.curve);
+  const ExecutionPlan static_plan = planner.plan(Strategy::kJPSTuned, n);
+  const auto static_ms = plan_makespans_over_interval(static_plan, s.curve,
+                                                      s.channel, interval, 33);
+  EXPECT_LE(decision.worst_case_ms, util::max(static_ms) + 1e-6);
+  // And the static plan is optimal at the nominal point, so the robust
+  // premium there is non-negative.
+  EXPECT_GE(decision.nominal_ms,
+            planner.plan(Strategy::kBruteForce, n).predicted_makespan - 1e-6);
+  EXPECT_LE(decision.cvar_ms, decision.worst_case_ms + 1e-9);
+}
+
+TEST(RobustPlanner, DegenerateIntervalCollapsesToNominalOptimum) {
+  const Testbed s("alexnet");
+  const double mbps = s.channel.bandwidth_mbps();
+  const RobustPlanner robust(s.curve, s.channel, {mbps, mbps});
+  const RobustDecision d = robust.decide(12);
+  EXPECT_DOUBLE_EQ(d.worst_case_ms, d.nominal_ms);
+  EXPECT_DOUBLE_EQ(d.cvar_ms, d.nominal_ms);
+  // At a single bandwidth the pair x split sweep covers every candidate the
+  // tuned planner considers (and more), but less than full brute force:
+  // the optimum lands between the two.
+  const Planner planner(s.curve);
+  EXPECT_LE(d.nominal_ms,
+            planner.plan(Strategy::kJPSTuned, 12).predicted_makespan + 1e-6);
+  EXPECT_GE(d.nominal_ms,
+            planner.plan(Strategy::kBruteForce, 12).predicted_makespan - 1e-6);
+}
+
+TEST(RobustPlanner, PlanCarriesTheDecision) {
+  const Testbed s("resnet18");
+  const RobustPlanner robust(s.curve, s.channel, {2.0, 10.0});
+  const RobustDecision d = robust.decide(15);
+  const ExecutionPlan plan = robust.plan(15);
+  EXPECT_EQ(plan.strategy, Strategy::kRobust);
+  ASSERT_EQ(plan.jobs.size(), 15u);
+  EXPECT_DOUBLE_EQ(plan.predicted_makespan, d.nominal_ms);
+  int at_a = 0;
+  for (const JobAssignment& j : plan.jobs) {
+    EXPECT_TRUE(j.cut_index == d.cut_a || j.cut_index == d.cut_b);
+    if (j.cut_index == d.cut_a) ++at_a;
+  }
+  if (d.cut_a != d.cut_b) {
+    EXPECT_EQ(at_a, d.n_a);
+  }
+}
+
+TEST(RobustPlanner, CvarObjectiveIsLessConservative) {
+  const Testbed s("alexnet");
+  const BandwidthInterval interval{1.5, 12.0};
+  RobustPlannerOptions cvar;
+  cvar.objective = RobustObjective::kCVaR;
+  const RobustDecision worst =
+      RobustPlanner(s.curve, s.channel, interval).decide(20);
+  const RobustDecision risk =
+      RobustPlanner(s.curve, s.channel, interval, cvar).decide(20);
+  // The CVaR optimum cannot beat the min-max optimum on worst case, and the
+  // min-max optimum cannot beat the CVaR optimum on CVaR.
+  EXPECT_GE(risk.worst_case_ms, worst.worst_case_ms - 1e-9);
+  EXPECT_GE(worst.cvar_ms, risk.cvar_ms - 1e-9);
+}
+
+TEST(PlanMakespansOverInterval, MonotoneInBandwidth) {
+  const Testbed s("alexnet");
+  const Planner planner(s.curve);
+  const ExecutionPlan plan = planner.plan(Strategy::kJPS, 16);
+  const auto ms =
+      plan_makespans_over_interval(plan, s.curve, s.channel, {1.0, 19.0}, 19);
+  ASSERT_EQ(ms.size(), 19u);
+  // Faster uplink can only shrink every g, hence the makespan.
+  for (std::size_t i = 1; i < ms.size(); ++i)
+    EXPECT_LE(ms[i], ms[i - 1] + 1e-9);
+  // The nominal point agrees with the plan's own prediction.
+  const auto nominal = plan_makespans_over_interval(
+      plan, s.curve, s.channel,
+      {s.channel.bandwidth_mbps(), s.channel.bandwidth_mbps()}, 1);
+  EXPECT_NEAR(nominal.front(), plan.predicted_makespan, 1e-6);
+}
+
+}  // namespace
+}  // namespace jps::core

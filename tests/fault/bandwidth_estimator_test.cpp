@@ -1,0 +1,71 @@
+#include "fault/bandwidth_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace jps::fault {
+namespace {
+
+// A transfer of `bytes` at `mbps` plus setup, as the executor observes it.
+double duration_for(double mbps, std::uint64_t bytes, double setup_ms) {
+  return setup_ms + static_cast<double>(bytes) / util::mbps_to_bytes_per_ms(mbps);
+}
+
+TEST(BandwidthEstimator, StartsAtInitialWithZeroDrift) {
+  const BandwidthEstimator est(10.0);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 10.0);
+  EXPECT_DOUBLE_EQ(est.baseline_mbps(), 10.0);
+  EXPECT_DOUBLE_EQ(est.drift_ratio(), 0.0);
+  EXPECT_FALSE(est.drifted(0.0001));
+  EXPECT_EQ(est.observations(), 0);
+}
+
+TEST(BandwidthEstimator, ObservationAtTheTruthIsExact) {
+  // alpha = 1 makes the estimate the latest observation; the setup latency
+  // must be stripped before the rate is computed.
+  BandwidthEstimator est(10.0, 1.0);
+  est.observe(100'000, duration_for(4.0, 100'000, 8.0), 8.0);
+  EXPECT_NEAR(est.estimate_mbps(), 4.0, 1e-9);
+  EXPECT_NEAR(est.drift_ratio(), 0.6, 1e-9);
+  EXPECT_TRUE(est.drifted(0.25));
+  EXPECT_FALSE(est.drifted(0.7));
+  EXPECT_EQ(est.observations(), 1);
+}
+
+TEST(BandwidthEstimator, EwmaConvergesTowardSustainedRate) {
+  BandwidthEstimator est(10.0, 0.3);
+  for (int i = 0; i < 40; ++i)
+    est.observe(50'000, duration_for(2.0, 50'000, 8.0), 8.0);
+  EXPECT_NEAR(est.estimate_mbps(), 2.0, 0.01);
+  EXPECT_TRUE(est.drifted(0.25));
+}
+
+TEST(BandwidthEstimator, RebaseResetsTheDriftReference) {
+  BandwidthEstimator est(10.0, 1.0);
+  est.observe(100'000, duration_for(4.0, 100'000, 8.0), 8.0);
+  ASSERT_TRUE(est.drifted(0.25));
+  est.rebase();
+  EXPECT_NEAR(est.baseline_mbps(), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(est.drift_ratio(), 0.0);
+  EXPECT_FALSE(est.drifted(0.25));
+}
+
+TEST(BandwidthEstimator, IgnoresDegenerateObservations) {
+  BandwidthEstimator est(10.0, 1.0);
+  est.observe(0, 20.0, 8.0);       // nothing transferred
+  est.observe(50'000, 5.0, 8.0);   // duration <= setup: no serialization
+  EXPECT_EQ(est.observations(), 0);
+  EXPECT_DOUBLE_EQ(est.estimate_mbps(), 10.0);
+}
+
+TEST(BandwidthEstimator, Validation) {
+  EXPECT_THROW(BandwidthEstimator(0.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthEstimator(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(BandwidthEstimator(10.0, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jps::fault

@@ -1,0 +1,240 @@
+#include "fault/fault_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/planner.h"
+#include "core/robust.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+
+namespace jps::fault {
+namespace {
+
+struct Testbed {
+  dnn::Graph graph;
+  profile::LatencyModel mobile;
+  profile::LatencyModel cloud;
+  net::Channel channel;
+  partition::ProfileCurve curve;
+
+  explicit Testbed(const std::string& model, double mbps = 5.85)
+      : graph(models::build(model)),
+        mobile(profile::DeviceProfile::raspberry_pi_4b()),
+        cloud(profile::DeviceProfile::cloud_gtx1080()),
+        channel(mbps),
+        curve(partition::ProfileCurve::build(graph, mobile, channel)) {}
+};
+
+FaultSimResult run_under(const Testbed& s, const core::ExecutionPlan& plan,
+                         const FaultSpec& spec, const FaultExecOptions& options,
+                         std::uint64_t seed = 5, const ReplanFn& replan = {}) {
+  const FaultTimeline timeline(spec, s.channel);
+  util::Rng rng(seed);
+  return simulate_plan_under_faults(s.graph, s.curve, plan, s.mobile, s.cloud,
+                                    timeline, options, rng, nullptr, replan);
+}
+
+TEST(FaultExecutor, EmptySpecIsBitIdenticalToPlainSimulator) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 10);
+
+  util::Rng plain_rng(5);
+  const sim::SimResult plain =
+      sim::simulate_plan(s.graph, s.curve, plan, s.mobile, s.cloud, s.channel,
+                         sim::SimOptions{}, plain_rng);
+  const FaultSimResult faulty = run_under(s, plan, FaultSpec{}, {});
+
+  EXPECT_FALSE(faulty.stats.any_fault());
+  // EXPECT_EQ on the doubles: the fault-aware path must reproduce the
+  // stationary simulation bit-for-bit, not just approximately.
+  EXPECT_EQ(faulty.sim.makespan, plain.makespan);
+  ASSERT_EQ(faulty.sim.jobs.size(), plain.jobs.size());
+  for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+    EXPECT_EQ(faulty.sim.jobs[i].comp_end, plain.jobs[i].comp_end) << i;
+    EXPECT_EQ(faulty.sim.jobs[i].comm_end, plain.jobs[i].comm_end) << i;
+    EXPECT_EQ(faulty.sim.jobs[i].cloud_end, plain.jobs[i].cloud_end) << i;
+    EXPECT_EQ(faulty.sim.jobs[i].has_comm, plain.jobs[i].has_comm) << i;
+    EXPECT_EQ(faulty.sim.jobs[i].fell_back, false) << i;
+  }
+}
+
+TEST(FaultExecutor, PermanentOutageDegradesEveryJobToLocal) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const int n = 6;
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kCloudOnly, n);
+
+  FaultSpec spec;
+  spec.events.push_back({FaultKind::kOutage, 0.0, 1e9, 0.0});
+  FaultExecOptions options;
+  options.retry.budget = 1;
+  const FaultSimResult r = run_under(s, plan, spec, options);
+
+  // Every job offloads, every attempt fails, every job completes locally.
+  EXPECT_EQ(r.stats.fallbacks, n);
+  EXPECT_EQ(r.stats.retries, n);                  // 1 retry per job
+  EXPECT_EQ(r.stats.transfer_failures, 2 * n);    // budget + 1 attempts
+  EXPECT_GT(r.stats.backoff_ms, 0.0);
+  EXPECT_TRUE(r.stats.any_fault());
+  ASSERT_EQ(r.sim.jobs.size(), static_cast<std::size_t>(n));
+  for (const sim::SimJobResult& job : r.sim.jobs) {
+    EXPECT_TRUE(job.fell_back);
+    EXPECT_EQ(job.retries, 1);
+    EXPECT_FALSE(job.has_cloud);  // nothing ever reached the cloud
+    EXPECT_GT(job.completion(), 0.0);  // no aborts: the job finished
+  }
+  // The degraded run costs more than the local-only plan would predict
+  // never less (it wasted attempts first).
+  const core::ExecutionPlan local =
+      planner.plan(core::Strategy::kLocalOnly, n);
+  EXPECT_GE(r.sim.makespan, local.predicted_makespan - 1e-6);
+}
+
+TEST(FaultExecutor, ZeroRetryBudgetFailsStraightToFallback) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kCloudOnly, 3);
+
+  FaultSpec spec;
+  spec.events.push_back({FaultKind::kOutage, 0.0, 1e9, 0.0});
+  FaultExecOptions options;
+  options.retry.budget = 0;
+  const FaultSimResult r = run_under(s, plan, spec, options);
+  EXPECT_EQ(r.stats.retries, 0);
+  EXPECT_EQ(r.stats.transfer_failures, 3);
+  EXPECT_EQ(r.stats.fallbacks, 3);
+  EXPECT_DOUBLE_EQ(r.stats.backoff_ms, 0.0);
+}
+
+TEST(FaultExecutor, TransientOutageIsRetriedThroughBackoff) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kCloudOnly, 1);
+
+  // The link is down only briefly at the start; exponential backoff walks
+  // the retries past the outage and the transfer eventually lands.
+  FaultSpec spec;
+  spec.events.push_back({FaultKind::kOutage, 0.0, 40.0, 0.0});
+  FaultExecOptions options;
+  options.retry.budget = 6;
+  const FaultSimResult r = run_under(s, plan, spec, options);
+  EXPECT_EQ(r.stats.fallbacks, 0);
+  EXPECT_GE(r.stats.retries, 1);
+  EXPECT_LE(r.stats.retries, 6);
+  ASSERT_EQ(r.sim.jobs.size(), 1u);
+  EXPECT_FALSE(r.sim.jobs.front().fell_back);
+  EXPECT_TRUE(r.sim.jobs.front().has_cloud);  // it did reach the cloud
+}
+
+TEST(FaultExecutor, ThrottleWindowScalesComputeExactly) {
+  const Testbed s("resnet18");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kLocalOnly, 4);
+
+  const FaultSimResult clean = run_under(s, plan, FaultSpec{}, {});
+  FaultSpec spec;
+  spec.events.push_back({FaultKind::kMobileThrottle, 0.0, 1e9, 2.0});
+  const FaultSimResult hot = run_under(s, plan, spec, {});
+  // A local-only run inside a x2 throttle window takes exactly twice as
+  // long: every stage starts inside the window and scales by the factor.
+  EXPECT_NEAR(hot.sim.makespan, 2.0 * clean.sim.makespan,
+              1e-9 * hot.sim.makespan);
+  EXPECT_GT(hot.stats.throttled_stages, 0);
+  EXPECT_TRUE(hot.stats.any_fault());
+  EXPECT_EQ(hot.stats.transfer_failures, 0);
+}
+
+TEST(FaultExecutor, SameSeedSameTimelineIsBitReproducible) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 8);
+
+  RandomFaultOptions fo;
+  fo.horizon_ms = 3000.0;
+  fo.base_mbps = s.channel.bandwidth_mbps();
+  util::Rng spec_rng(99);
+  const FaultSpec spec = FaultSpec::random(fo, spec_rng);
+
+  FaultExecOptions options;
+  options.sim.comp_noise_sigma = 0.05;
+  options.sim.comm_noise_sigma = 0.05;
+  const FaultSimResult a = run_under(s, plan, spec, options, 7);
+  const FaultSimResult b = run_under(s, plan, spec, options, 7);
+  EXPECT_EQ(a.sim.makespan, b.sim.makespan);
+  EXPECT_EQ(a.stats.retries, b.stats.retries);
+  EXPECT_EQ(a.stats.fallbacks, b.stats.fallbacks);
+  EXPECT_EQ(a.stats.perturbed_transfers, b.stats.perturbed_transfers);
+}
+
+TEST(FaultExecutor, ReplanTriggersUnderSustainedDrift) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 12);
+
+  FaultSpec spec;  // the uplink collapses to 20% for the whole run
+  spec.events.push_back(
+      {FaultKind::kDrift, 0.0, 1e9, 0.2 * s.channel.bandwidth_mbps()});
+  FaultExecOptions options;
+  options.replan.enabled = true;
+  const ReplanFn hook =
+      make_replan_hook(s.curve, s.channel, core::Strategy::kJPSTuned);
+  const FaultSimResult r = run_under(s, plan, spec, options, 5, hook);
+  EXPECT_GE(r.stats.replans, 1);
+  EXPECT_GT(r.stats.perturbed_transfers, 0);
+  for (const sim::SimJobResult& job : r.sim.jobs)
+    EXPECT_GT(job.completion(), 0.0);
+}
+
+TEST(FaultExecutor, ReplanHookRejectsRobustStrategy) {
+  const Testbed s("alexnet");
+  EXPECT_THROW(
+      (void)make_replan_hook(s.curve, s.channel, core::Strategy::kRobust),
+      std::invalid_argument);
+}
+
+TEST(FaultMonteCarlo, ValidatesTrials) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 4);
+  FaultMonteCarloOptions options;
+  options.trials = 0;
+  EXPECT_THROW((void)fault_monte_carlo(s.graph, s.curve, plan, s.mobile,
+                                       s.cloud, s.channel, options),
+               std::invalid_argument);
+}
+
+TEST(FaultMonteCarlo, ThreadCountDoesNotChangeResults) {
+  const Testbed s("alexnet");
+  const core::Planner planner(s.curve);
+  const core::ExecutionPlan plan = planner.plan(core::Strategy::kJPS, 6);
+
+  FaultMonteCarloOptions options;
+  options.trials = 21;
+  options.seed = 3;
+  options.faults.horizon_ms = 3000.0;
+  options.faults.outages = 1;
+
+  options.threads = 1;
+  const FaultMonteCarloResult serial = fault_monte_carlo(
+      s.graph, s.curve, plan, s.mobile, s.cloud, s.channel, options);
+  options.threads = 4;
+  const FaultMonteCarloResult parallel = fault_monte_carlo(
+      s.graph, s.curve, plan, s.mobile, s.cloud, s.channel, options);
+
+  // Per-trial seeded streams: bit-identical aggregates at any concurrency.
+  EXPECT_EQ(serial.makespan.mean, parallel.makespan.mean);
+  EXPECT_EQ(serial.makespan.p95, parallel.makespan.p95);
+  EXPECT_EQ(serial.makespan.max, parallel.makespan.max);
+  EXPECT_EQ(serial.fault_rate, parallel.fault_rate);
+  EXPECT_EQ(serial.fallback_rate, parallel.fallback_rate);
+  EXPECT_EQ(serial.mean_retries, parallel.mean_retries);
+  EXPECT_GT(serial.fault_rate, 0.0);  // the traces actually did something
+}
+
+}  // namespace
+}  // namespace jps::fault

@@ -1,0 +1,151 @@
+#include "fault/fault_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace jps::fault {
+namespace {
+
+FaultSpec sample_spec() {
+  FaultSpec spec;
+  spec.events.push_back({FaultKind::kDrift, 100.0, 250.5, 2.75});
+  spec.events.push_back({FaultKind::kOutage, 300.0, 340.0, 0.0});
+  spec.events.push_back({FaultKind::kCloudSlow, 50.0, 90.0, 3.0});
+  spec.events.push_back({FaultKind::kMobileThrottle, 400.0, 800.0, 1.5});
+  return spec;
+}
+
+TEST(FaultSpec, SerializeParseRoundTripsExactly) {
+  const FaultSpec spec = sample_spec();
+  const FaultSpec back = FaultSpec::parse(spec.serialize());
+  EXPECT_EQ(back.events, spec.events);
+  // Including doubles with no short decimal form.
+  FaultSpec awkward;
+  awkward.events.push_back({FaultKind::kDrift, 0.1, 1.0 / 3.0, 5.85 * 0.3});
+  EXPECT_EQ(FaultSpec::parse(awkward.serialize()).events, awkward.events);
+}
+
+TEST(FaultSpec, ParseSkipsCommentsAndBlankLines) {
+  const FaultSpec spec = FaultSpec::parse(
+      "jps-faults v1\n"
+      "\n"
+      "# a full-line comment\n"
+      "  drift 10 20 4.5   # trailing comment\n"
+      "outage 30 40\n");
+  ASSERT_EQ(spec.events.size(), 2u);
+  EXPECT_EQ(spec.events[0].kind, FaultKind::kDrift);
+  EXPECT_DOUBLE_EQ(spec.events[0].value, 4.5);
+  EXPECT_EQ(spec.events[1].kind, FaultKind::kOutage);
+}
+
+TEST(FaultSpec, ParseRejectsMalformedInput) {
+  EXPECT_THROW(FaultSpec::parse(""), std::runtime_error);  // no header
+  EXPECT_THROW(FaultSpec::parse("jps-faults v2\n"), std::runtime_error);
+  EXPECT_THROW(FaultSpec::parse("jps-faults v1\nflood 0 1 2\n"),
+               std::runtime_error);  // unknown keyword
+  EXPECT_THROW(FaultSpec::parse("jps-faults v1\ndrift 0\n"),
+               std::runtime_error);  // bad window
+  EXPECT_THROW(FaultSpec::parse("jps-faults v1\ndrift 0 10\n"),
+               std::runtime_error);  // missing value
+  EXPECT_THROW(FaultSpec::parse("jps-faults v1\noutage 0 10 3\n"),
+               std::runtime_error);  // trailing fields
+}
+
+TEST(FaultSpec, OfKindFiltersAndSorts) {
+  FaultSpec spec;
+  spec.events.push_back({FaultKind::kDrift, 500.0, 600.0, 1.0});
+  spec.events.push_back({FaultKind::kOutage, 0.0, 10.0, 0.0});
+  spec.events.push_back({FaultKind::kDrift, 100.0, 200.0, 2.0});
+  const auto drifts = spec.of_kind(FaultKind::kDrift);
+  ASSERT_EQ(drifts.size(), 2u);
+  EXPECT_DOUBLE_EQ(drifts[0].start_ms, 100.0);
+  EXPECT_DOUBLE_EQ(drifts[1].start_ms, 500.0);
+}
+
+TEST(FaultSpec, RandomIsSeedDeterministicAndWithinBounds) {
+  RandomFaultOptions options;
+  options.horizon_ms = 1000.0;
+  options.base_mbps = 8.0;
+  options.drift_segments = 3;
+  options.outages = 2;
+  options.cloud_slow_windows = 1;
+  options.mobile_throttle_windows = 1;
+
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  const FaultSpec a = FaultSpec::random(options, rng1);
+  const FaultSpec b = FaultSpec::random(options, rng2);
+  EXPECT_EQ(a.events, b.events);
+
+  util::Rng rng3(43);
+  EXPECT_NE(FaultSpec::random(options, rng3).events, a.events);
+
+  for (const FaultEvent& e : a.events) {
+    EXPECT_GE(e.start_ms, 0.0);
+    EXPECT_LE(e.end_ms, options.horizon_ms);
+    EXPECT_LT(e.start_ms, e.end_ms);
+  }
+  for (const FaultEvent& e : a.of_kind(FaultKind::kDrift)) {
+    EXPECT_GE(e.value, options.drift_factor_min * options.base_mbps - 1e-9);
+    EXPECT_LE(e.value, options.drift_factor_max * options.base_mbps + 1e-9);
+  }
+  // Windows of one kind never overlap, so the spec always compiles.
+  const FaultTimeline timeline(a, net::Channel(options.base_mbps));
+  EXPECT_FALSE(timeline.fault_free());
+}
+
+TEST(FaultTimeline, CompilesEventsIntoChannelAndFactorWindows) {
+  const FaultSpec spec = sample_spec();
+  const net::Channel base(8.0, 5.0);
+  const FaultTimeline timeline(spec, base);
+
+  EXPECT_FALSE(timeline.fault_free());
+  EXPECT_DOUBLE_EQ(timeline.horizon_ms(), 800.0);
+  EXPECT_DOUBLE_EQ(timeline.channel().bandwidth_at(150.0), 2.75);
+  EXPECT_TRUE(timeline.channel().in_outage(320.0));
+
+  // Factors are EXACTLY 1 outside their windows so fault-free stage
+  // durations pass through unchanged.
+  EXPECT_EQ(timeline.cloud_factor_at(49.9), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.cloud_factor_at(50.0), 3.0);
+  EXPECT_EQ(timeline.cloud_factor_at(90.0), 1.0);
+  EXPECT_DOUBLE_EQ(timeline.mobile_factor_at(500.0), 1.5);
+  EXPECT_EQ(timeline.mobile_factor_at(900.0), 1.0);
+}
+
+TEST(FaultTimeline, EmptySpecIsFaultFree) {
+  const FaultTimeline timeline(FaultSpec{}, net::Channel(8.0));
+  EXPECT_TRUE(timeline.fault_free());
+  EXPECT_TRUE(timeline.channel().stationary());
+  EXPECT_DOUBLE_EQ(timeline.horizon_ms(), 0.0);
+  EXPECT_EQ(timeline.mobile_factor_at(123.0), 1.0);
+  EXPECT_EQ(timeline.cloud_factor_at(123.0), 1.0);
+}
+
+TEST(FaultTimeline, RejectsInvalidEvents) {
+  const net::Channel base(8.0);
+  FaultSpec bad_window;
+  bad_window.events.push_back({FaultKind::kMobileThrottle, 10.0, 5.0, 2.0});
+  EXPECT_THROW(FaultTimeline(bad_window, base), std::invalid_argument);
+
+  FaultSpec bad_factor;
+  bad_factor.events.push_back({FaultKind::kCloudSlow, 0.0, 10.0, 0.0});
+  EXPECT_THROW(FaultTimeline(bad_factor, base), std::invalid_argument);
+
+  FaultSpec overlap;
+  overlap.events.push_back({FaultKind::kDrift, 0.0, 10.0, 1.0});
+  overlap.events.push_back({FaultKind::kDrift, 5.0, 15.0, 2.0});
+  EXPECT_THROW(FaultTimeline(overlap, base), std::invalid_argument);
+
+  // Different kinds MAY overlap.
+  FaultSpec mixed;
+  mixed.events.push_back({FaultKind::kDrift, 0.0, 10.0, 1.0});
+  mixed.events.push_back({FaultKind::kMobileThrottle, 5.0, 15.0, 2.0});
+  EXPECT_NO_THROW(FaultTimeline(mixed, base));
+}
+
+}  // namespace
+}  // namespace jps::fault

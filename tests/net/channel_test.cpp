@@ -55,6 +55,15 @@ TEST(Channel, SampleWithoutJitterIsDeterministic) {
   EXPECT_DOUBLE_EQ(ch.sample_ms(50'000, rng), ch.time_ms(50'000));
 }
 
+TEST(Channel, ZeroBytesCostsNothingEvenUnderJitter) {
+  // The lognormal factor multiplies the deterministic time; an empty
+  // transfer must stay exactly free (and consume the same rng stream as a
+  // non-empty one would, which sample_ms guarantees by construction).
+  const Channel ch(10.0, 2.0, 0.5);
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(ch.sample_ms(0, rng), 0.0);
+}
+
 TEST(Channel, SampleJitterMedianNearTruth) {
   const Channel ch(10.0, 2.0, 0.15);
   util::Rng rng(2);
@@ -63,6 +72,102 @@ TEST(Channel, SampleJitterMedianNearTruth) {
   EXPECT_NEAR(util::median(samples), ch.time_ms(100'000),
               0.03 * ch.time_ms(100'000));
   for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(TimeVaryingChannel, FaultFreeViewIsBitIdenticalToAffineModel) {
+  const Channel base(5.85, 8.0, 0.3);
+  const TimeVaryingChannel tv(base);
+  EXPECT_TRUE(tv.stationary());
+  EXPECT_DOUBLE_EQ(tv.horizon_ms(), 0.0);
+  for (std::uint64_t bytes : {0ull, 1ull, 1337ull, 500'000ull, 3'000'000ull}) {
+    for (double start : {0.0, 12.5, 9999.0}) {
+      const auto t = tv.transfer(start, bytes);
+      EXPECT_TRUE(t.completed);
+      EXPECT_FALSE(t.perturbed);
+      // EXPECT_EQ, not NEAR: fault-free must reproduce the affine model
+      // bit-for-bit, which is what the oracle-differential tests rely on.
+      EXPECT_EQ(t.duration_ms, base.time_ms(bytes));
+    }
+  }
+}
+
+TEST(TimeVaryingChannel, TransferOutsideAllEventsIsUnperturbed) {
+  const Channel base(8.0, 5.0);
+  const TimeVaryingChannel tv(base, {{100.0, 200.0, 1.0}}, {{300.0, 350.0}});
+  const auto t = tv.transfer(400.0, 10'000);
+  EXPECT_TRUE(t.completed);
+  EXPECT_FALSE(t.perturbed);
+  EXPECT_EQ(t.duration_ms, base.time_ms(10'000));
+  EXPECT_DOUBLE_EQ(tv.horizon_ms(), 350.0);
+}
+
+TEST(TimeVaryingChannel, PiecewiseIntegrationHandComputed) {
+  // 8 Mbps = 1000 bytes/ms, no setup.  A 10 kB transfer starting at t=0
+  // moves 4000 bytes at full rate over [0, 4), then hits a segment at
+  // 4 Mbps (500 bytes/ms) over [4, 14) that carries 5000 bytes, and the
+  // last 1000 bytes go at full rate again => 4 + 10 + 1 = 15 ms.
+  const Channel base(8.0, 0.0);
+  const TimeVaryingChannel tv(base, {{4.0, 14.0, 4.0}}, {});
+  const auto t = tv.transfer(0.0, 10'000);
+  EXPECT_TRUE(t.completed);
+  EXPECT_TRUE(t.perturbed);
+  EXPECT_NEAR(t.duration_ms, 15.0, 1e-9);
+  EXPECT_DOUBLE_EQ(tv.bandwidth_at(5.0), 4.0);
+  EXPECT_DOUBLE_EQ(tv.bandwidth_at(14.0), 8.0);
+}
+
+TEST(TimeVaryingChannel, SetupLatencyIsTimeNotData) {
+  // The setup window [0, 5) sits entirely inside a slow segment, but setup
+  // is connection overhead, not bytes: only serialization slows down.
+  const Channel base(8.0, 5.0);
+  // Segment covers setup only; serialization [5, 15) runs at the base rate.
+  const TimeVaryingChannel tv(base, {{0.0, 5.0, 0.001}}, {});
+  const auto t = tv.transfer(0.0, 10'000);
+  EXPECT_TRUE(t.completed);
+  EXPECT_NEAR(t.duration_ms, 15.0, 1e-9);
+}
+
+TEST(TimeVaryingChannel, OutageFailsTransfers) {
+  const Channel base(8.0, 5.0);  // 10 kB => 15 ms
+  const TimeVaryingChannel tv(base, {}, {{10.0, 20.0}});
+
+  // Outage begins mid-flight: failure detected at the outage start.
+  const auto mid = tv.transfer(0.0, 10'000);
+  EXPECT_FALSE(mid.completed);
+  EXPECT_TRUE(mid.perturbed);
+  EXPECT_DOUBLE_EQ(mid.duration_ms, 10.0);
+
+  // Attempted inside the outage: times out after one setup latency.
+  const auto inside = tv.transfer(12.0, 10'000);
+  EXPECT_FALSE(inside.completed);
+  EXPECT_DOUBLE_EQ(inside.duration_ms, base.setup_latency_ms());
+
+  // Starting exactly at the outage end succeeds untouched.
+  const auto after = tv.transfer(20.0, 10'000);
+  EXPECT_TRUE(after.completed);
+  EXPECT_EQ(after.duration_ms, base.time_ms(10'000));
+
+  EXPECT_TRUE(tv.in_outage(10.0));
+  EXPECT_FALSE(tv.in_outage(20.0));
+  EXPECT_DOUBLE_EQ(tv.bandwidth_at(15.0), 0.0);
+}
+
+TEST(TimeVaryingChannel, Validation) {
+  const Channel base(8.0);
+  EXPECT_THROW(TimeVaryingChannel(base, {{10.0, 5.0, 1.0}}, {}),
+               std::invalid_argument);  // end <= start
+  EXPECT_THROW(TimeVaryingChannel(base, {{-1.0, 5.0, 1.0}}, {}),
+               std::invalid_argument);  // negative start
+  EXPECT_THROW(TimeVaryingChannel(base, {{0.0, 5.0, 0.0}}, {}),
+               std::invalid_argument);  // non-positive rate
+  EXPECT_THROW(
+      TimeVaryingChannel(base, {{0.0, 5.0, 1.0}, {4.0, 8.0, 2.0}}, {}),
+      std::invalid_argument);  // overlapping segments
+  EXPECT_THROW(TimeVaryingChannel(base, {}, {{0.0, 5.0}, {4.0, 8.0}}),
+               std::invalid_argument);  // overlapping outages
+  // Unsorted but disjoint input is accepted and sorted.
+  const TimeVaryingChannel ok(base, {{10.0, 20.0, 1.0}, {0.0, 5.0, 2.0}}, {});
+  EXPECT_DOUBLE_EQ(ok.segments().front().start_ms, 0.0);
 }
 
 }  // namespace

@@ -12,11 +12,16 @@
 #include <algorithm>
 #include <string>
 
+#include "core/planner.h"
+#include "fault/fault_executor.h"
+#include "models/registry.h"
 #include "obs/trace_writer.h"
+#include "profile/device.h"
 #include "sched/job.h"
 #include "sched/johnson.h"
 #include "sched/makespan.h"
 #include "sim/event_sim.h"
+#include "sim/executor.h"
 #include "sim/trace.h"
 #include "util/rng.h"
 
@@ -145,6 +150,63 @@ TEST(OracleDiff, ChromeTraceSpansMatchSimulatedMakespan) {
   EXPECT_NE(json.find("j0:comp"), std::string::npos);
   EXPECT_NE(json.find("mobile_cpu"), std::string::npos);
   EXPECT_NE(json.find("cloud_gpu"), std::string::npos);
+}
+
+TEST(OracleDiff, FaultAwareExecutorMatchesPlainSimWhenNoFaultFires) {
+  // Randomized fault traces whose every event lies BEYOND the run: the
+  // fault-aware executor walks the same scripted timeline machinery
+  // (time-varying channel, factor windows, retry bookkeeping) but nothing
+  // fires, so it must reproduce the fault-free simulation bit-for-bit.
+  const dnn::Graph graph = models::build("alexnet");
+  const profile::LatencyModel mobile(
+      profile::DeviceProfile::raspberry_pi_4b());
+  const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
+  const net::Channel channel(5.85);
+  const auto curve = partition::ProfileCurve::build(graph, mobile, channel);
+  const core::Planner planner(curve);
+
+  fault::RandomFaultOptions fo;
+  fo.horizon_ms = 5000.0;
+  fo.base_mbps = channel.bandwidth_mbps();
+  fo.drift_segments = 2;
+  fo.outages = 2;
+  fo.cloud_slow_windows = 1;
+  fo.mobile_throttle_windows = 1;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    util::Rng spec_rng(211 + static_cast<std::uint64_t>(trial));
+    fault::FaultSpec spec = fault::FaultSpec::random(fo, spec_rng);
+    const core::Strategy strategy = trial % 2 == 0 ? core::Strategy::kJPS
+                                                   : core::Strategy::kJPSTuned;
+    const int n = 2 + trial % 5;
+    const core::ExecutionPlan plan = planner.plan(strategy, n);
+    // Push every event past anything the run can reach.
+    const double offset = 100.0 * plan.predicted_makespan + fo.horizon_ms;
+    for (fault::FaultEvent& e : spec.events) {
+      e.start_ms += offset;
+      e.end_ms += offset;
+    }
+    const fault::FaultTimeline timeline(spec, channel);
+    ASSERT_FALSE(timeline.fault_free());  // events exist, they just miss
+
+    util::Rng plain_rng(7 + trial);
+    const sim::SimResult plain = sim::simulate_plan(
+        graph, curve, plan, mobile, cloud, channel, sim::SimOptions{},
+        plain_rng);
+    util::Rng fault_rng(7 + trial);
+    const fault::FaultSimResult faulty = fault::simulate_plan_under_faults(
+        graph, curve, plan, mobile, cloud, timeline, fault::FaultExecOptions{},
+        fault_rng);
+
+    EXPECT_FALSE(faulty.stats.any_fault()) << "trial " << trial;
+    EXPECT_EQ(faulty.stats.transfer_failures, 0) << "trial " << trial;
+    EXPECT_EQ(faulty.sim.makespan, plain.makespan) << "trial " << trial;
+    ASSERT_EQ(faulty.sim.jobs.size(), plain.jobs.size());
+    for (std::size_t i = 0; i < plain.jobs.size(); ++i) {
+      EXPECT_EQ(faulty.sim.jobs[i].completion(), plain.jobs[i].completion())
+          << "trial " << trial << " job " << i;
+    }
+  }
 }
 
 }  // namespace

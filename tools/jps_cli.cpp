@@ -5,9 +5,12 @@
 //                   [--noise 0.05] [--seed 1]
 //   jps_cli curve   --model alexnet --bandwidth 5.85 [--table table.tsv]
 //   jps_cli plan    --model alexnet --bandwidth 5.85 --jobs 100
-//                   [--strategy jps|jps+|jps*|lo|co|po|bf] [--table table.tsv]
-//                   [--simulate] [--gantt]
+//                   [--strategy jps|jps+|jps*|lo|co|po|bf|robust]
+//                   [--table table.tsv] [--simulate] [--gantt]
+//                   [--robust --bw-lo L --bw-hi H [--cvar]]
+//                   [--faults faults.txt [--retry-budget N] [--replan]]
 //   jps_cli sweep   --model alexnet --jobs 50 [--min 1] [--max 80] [--points 20]
+//   jps_cli faultgen --output faults.txt [--horizon 2000] [--outages 1]
 //   jps_cli dot     --model googlenet
 //
 // Global flags (any command):
@@ -44,6 +47,7 @@ core::Strategy parse_strategy(const std::string& name) {
   if (s == "jps*" || s == "jps-tuned") return core::Strategy::kJPSTuned;
   if (s == "jps+" || s == "jps-hull") return core::Strategy::kJPSHull;
   if (s == "bf") return core::Strategy::kBruteForce;
+  if (s == "rob" || s == "robust") return core::Strategy::kRobust;
   throw std::invalid_argument("unknown strategy '" + name + "'");
 }
 
@@ -130,15 +134,40 @@ int cmd_plan(const tools::Args& args) {
   const std::string model = args.get("model", "alexnet");
   const net::Channel channel(args.get_double("bandwidth", 5.85));
   const int jobs = args.get_int("jobs", 100);
-  const core::Strategy strategy = parse_strategy(args.get("strategy", "jps"));
+  core::Strategy strategy = parse_strategy(args.get("strategy", "jps"));
+  if (args.has("robust")) strategy = core::Strategy::kRobust;
   const profile::LatencyModel mobile(profile::DeviceProfile::raspberry_pi_4b());
   const dnn::Graph g = models::build(model);
   const std::optional<std::string> table_path =
       args.has("table") ? std::optional(args.get("table", "")) : std::nullopt;
   const auto curve = make_curve(g, channel, table_path, mobile);
 
-  const core::Planner planner(curve);
-  const core::ExecutionPlan plan = planner.plan(strategy, jobs);
+  core::ExecutionPlan plan;
+  if (strategy == core::Strategy::kRobust) {
+    const core::BandwidthInterval interval{
+        args.get_double("bw-lo", channel.bandwidth_mbps() * 0.5),
+        args.get_double("bw-hi", channel.bandwidth_mbps() * 1.5)};
+    core::RobustPlannerOptions robust_options;
+    robust_options.samples = args.get_int("bw-samples", 33);
+    robust_options.cvar_alpha = args.get_double("cvar-alpha", 0.9);
+    robust_options.objective = args.has("cvar")
+                                   ? core::RobustObjective::kCVaR
+                                   : core::RobustObjective::kWorstCase;
+    const core::RobustPlanner robust(curve, channel, interval, robust_options);
+    const core::RobustDecision decision = robust.decide(jobs);
+    plan = robust.plan(jobs);
+    std::cout << "robust decision over [" << interval.lo_mbps << ", "
+              << interval.hi_mbps << "] Mbps ("
+              << (args.has("cvar") ? "CVaR" : "worst-case") << "): "
+              << decision.n_a << " jobs @ cut " << decision.cut_a << ", "
+              << jobs - decision.n_a << " @ cut " << decision.cut_b
+              << "; worst-case " << util::format_ms(decision.worst_case_ms)
+              << " ms, CVaR " << util::format_ms(decision.cvar_ms)
+              << " ms, nominal " << util::format_ms(decision.nominal_ms)
+              << " ms\n";
+  } else {
+    plan = core::Planner(curve).plan(strategy, jobs);
+  }
   std::cout << core::strategy_name(strategy) << " plan for " << jobs << " x "
             << model << " @ " << channel.bandwidth_mbps() << " Mbps\n"
             << "  predicted makespan: "
@@ -155,12 +184,50 @@ int cmd_plan(const tools::Args& args) {
   std::cout << "\n";
 
   // --trace-out implies a simulation: the traced timeline IS the simulation.
-  if (args.has("simulate") || args.has("gantt") || args.has("trace-out")) {
+  if (args.has("simulate") || args.has("gantt") || args.has("trace-out") ||
+      args.has("faults")) {
     const profile::LatencyModel cloud(profile::DeviceProfile::cloud_gtx1080());
     util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
     sim::EventSimulator capture;
-    const sim::SimResult result = sim::simulate_plan(
-        g, curve, plan, mobile, cloud, channel, {}, rng, &capture);
+    sim::SimResult result;
+    if (args.has("faults")) {
+      // Fault-aware execution: scripted timeline, retry/backoff, local
+      // fallback, optional drift-triggered replanning.
+      const fault::FaultSpec spec =
+          fault::FaultSpec::load(args.get("faults", "faults.txt"));
+      const fault::FaultTimeline timeline(spec, channel);
+      fault::FaultExecOptions fault_options;
+      fault_options.retry.budget = args.get_int("retry-budget", 3);
+      fault_options.replan.enabled = args.has("replan");
+      fault_options.replan.admission_window = args.get_int("window", 2);
+      fault_options.replan.drift_threshold =
+          args.get_double("drift-threshold", 0.25);
+      fault::ReplanFn replan;
+      if (fault_options.replan.enabled) {
+        // Replanning needs a point strategy; a robust plan re-cuts with the
+        // exact-split sweep at the estimated rate.
+        const core::Strategy replan_strategy =
+            strategy == core::Strategy::kRobust ? core::Strategy::kJPSTuned
+                                                : strategy;
+        replan = fault::make_replan_hook(curve, channel, replan_strategy);
+      }
+      const fault::FaultSimResult fault_result =
+          fault::simulate_plan_under_faults(g, curve, plan, mobile, cloud,
+                                            timeline, fault_options, rng,
+                                            &capture, replan);
+      result = fault_result.sim;
+      const fault::FaultStats& stats = fault_result.stats;
+      std::cout << "  faults: " << stats.perturbed_transfers
+                << " perturbed transfers, " << stats.transfer_failures
+                << " failures, " << stats.retries << " retries ("
+                << util::format_ms(stats.backoff_ms) << " ms backoff), "
+                << stats.fallbacks << " local fallbacks, " << stats.replans
+                << " replans, " << stats.throttled_stages
+                << " throttled stages\n";
+    } else {
+      result = sim::simulate_plan(g, curve, plan, mobile, cloud, channel, {},
+                                  rng, &capture);
+    }
     g_sim_capture = std::move(capture);
     std::cout << "  simulated makespan: " << util::format_ms(result.makespan)
               << " ms (mobile " << util::format_pct(result.mobile_utilization)
@@ -287,6 +354,24 @@ int cmd_sweep(const tools::Args& args) {
   return 0;
 }
 
+int cmd_faultgen(const tools::Args& args) {
+  fault::RandomFaultOptions options;
+  options.horizon_ms = args.get_double("horizon", 2000.0);
+  options.base_mbps = args.get_double("bandwidth", 5.85);
+  options.drift_segments = args.get_int("drifts", 2);
+  options.outages = args.get_int("outages", 1);
+  options.cloud_slow_windows = args.get_int("cloud-slow", 0);
+  options.mobile_throttle_windows = args.get_int("mobile-throttle", 0);
+  util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const fault::FaultSpec spec = fault::FaultSpec::random(options, rng);
+  const std::string output = args.get("output", "faults.txt");
+  spec.save(output);
+  std::cout << "wrote " << spec.events.size() << " fault events over "
+            << util::format_ms(options.horizon_ms) << " ms to " << output
+            << "\n";
+  return 0;
+}
+
 int cmd_dot(const tools::Args& args) {
   const dnn::Graph g = models::build(args.get("model", "alexnet"));
   std::cout << dnn::to_dot(g);
@@ -340,9 +425,14 @@ void usage() {
       "  curve   --model M --bandwidth B     print the (f, g) cut curve\n"
       "  plan    --model M --bandwidth B --jobs N [--strategy jps] [--gantt]\n"
       "          [--save plan.txt]\n"
+      "          [--robust --bw-lo L --bw-hi H [--bw-samples 33] [--cvar]]\n"
+      "          [--faults FILE [--retry-budget 3] [--replan] [--window 2]]\n"
       "  replay  --plan plan.txt [--bandwidth B]   re-execute a saved plan\n"
       "  hetero  --classes m1:n1,m2:n2 --bandwidth B   mixed workload plan\n"
       "  sweep   --model M --jobs N [--min 1 --max 80 --points 20]\n"
+      "  faultgen --output faults.txt [--horizon 2000] [--drifts 2]\n"
+      "          [--outages 1] [--cloud-slow 0] [--mobile-throttle 0]\n"
+      "          [--bandwidth 5.85] [--seed 1]   random fault timeline\n"
       "  dot     --model M                   Graphviz export\n"
       "global flags:\n"
       "  --trace-out=FILE  Chrome trace (spans + simulated timeline) for\n"
@@ -369,6 +459,7 @@ int main(int argc, char** argv) {
     else if (command == "replay") status = cmd_replay(args);
     else if (command == "hetero") status = cmd_hetero(args);
     else if (command == "sweep") status = cmd_sweep(args);
+    else if (command == "faultgen") status = cmd_faultgen(args);
     else if (command == "dot") status = cmd_dot(args);
     else {
       usage();
