@@ -1,0 +1,61 @@
+// Lightweight design-by-contract macros for the library internals.
+//
+//   JPS_REQUIRE(cond, msg)    — precondition at function entry
+//   JPS_ENSURE(cond, msg)     — postcondition before returning
+//   JPS_INVARIANT(cond, msg)  — internal consistency mid-function
+//
+// On violation each throws check::ContractViolation (a std::logic_error)
+// carrying the kind, the failed expression, file:line and the message.
+// Contracts guard *programming* errors — caller-supplied data is validated
+// by the rule packs (lint_*.h), which report every problem instead of the
+// first and stay on in every build.
+//
+// Release toggle: configure with -DJPS_CONTRACTS=OFF (which defines
+// JPS_NO_CONTRACTS) and all three macros compile to a no-op that still
+// odr-uses nothing and evaluates nothing.  Never put side effects in a
+// contract condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace jps::check {
+
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expression, const char* file,
+                    long line, const std::string& message)
+      : std::logic_error(std::string(kind) + " violated: (" + expression +
+                         ") at " + file + ":" + std::to_string(line) + ": " +
+                         message),
+        kind_(kind) {}
+
+  /// "precondition", "postcondition" or "invariant".
+  [[nodiscard]] const char* kind() const { return kind_; }
+
+ private:
+  const char* kind_;
+};
+
+}  // namespace jps::check
+
+#ifdef JPS_NO_CONTRACTS
+
+#define JPS_REQUIRE(cond, msg) ((void)0)
+#define JPS_ENSURE(cond, msg) ((void)0)
+#define JPS_INVARIANT(cond, msg) ((void)0)
+
+#else
+
+#define JPS_CONTRACT_IMPL_(kind, cond, msg)                              \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      throw ::jps::check::ContractViolation(kind, #cond, __FILE__,       \
+                                            __LINE__, (msg));            \
+  } while (false)
+
+#define JPS_REQUIRE(cond, msg) JPS_CONTRACT_IMPL_("precondition", cond, msg)
+#define JPS_ENSURE(cond, msg) JPS_CONTRACT_IMPL_("postcondition", cond, msg)
+#define JPS_INVARIANT(cond, msg) JPS_CONTRACT_IMPL_("invariant", cond, msg)
+
+#endif  // JPS_NO_CONTRACTS

@@ -1,0 +1,122 @@
+#include "check/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace jps::check {
+
+namespace {
+
+std::string summarize(const std::string& context,
+                      const DiagnosticList& diagnostics) {
+  std::ostringstream os;
+  os << context << ": " << diagnostics.error_count() << " error(s)";
+  if (diagnostics.warning_count() > 0)
+    os << ", " << diagnostics.warning_count() << " warning(s)";
+  os << '\n' << diagnostics.to_text();
+  std::string text = os.str();
+  if (!text.empty() && text.back() == '\n') text.pop_back();
+  return text;
+}
+
+}  // namespace
+
+const char* severity_name(Severity severity) {
+  return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string to_string(const Diagnostic& diagnostic) {
+  std::string out = severity_name(diagnostic.severity);
+  out += '[';
+  out += diagnostic.code;
+  out += ']';
+  if (!diagnostic.location.empty()) {
+    out += ' ';
+    out += diagnostic.location;
+  }
+  out += ": ";
+  out += diagnostic.message;
+  return out;
+}
+
+void DiagnosticList::add(Severity severity, std::string code,
+                         std::string location, std::string message) {
+  items_.push_back({severity, std::move(code), std::move(location),
+                    std::move(message)});
+}
+
+void DiagnosticList::error(std::string code, std::string location,
+                           std::string message) {
+  add(Severity::kError, std::move(code), std::move(location),
+      std::move(message));
+}
+
+void DiagnosticList::warning(std::string code, std::string location,
+                             std::string message) {
+  add(Severity::kWarning, std::move(code), std::move(location),
+      std::move(message));
+}
+
+std::size_t DiagnosticList::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(items_.begin(), items_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::kError;
+      }));
+}
+
+std::size_t DiagnosticList::warning_count() const {
+  return items_.size() - error_count();
+}
+
+bool DiagnosticList::has_code(const std::string& code) const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+std::string DiagnosticList::first_error_code() const {
+  for (const Diagnostic& d : items_) {
+    if (d.severity == Severity::kError) return d.code;
+  }
+  return {};
+}
+
+std::string DiagnosticList::to_text(const std::string& context) const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    if (!context.empty()) {
+      out += context;
+      out += ": ";
+    }
+    out += to_string(d);
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagnosticList::merge(const DiagnosticList& other) {
+  items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+ParseError::ParseError(std::string context, DiagnosticList diagnostics)
+    : std::runtime_error(summarize(context, diagnostics)),
+      code_(diagnostics.first_error_code()),
+      diagnostics_(std::move(diagnostics)) {}
+
+ValidationError::ValidationError(std::string context,
+                                 DiagnosticList diagnostics)
+    : std::invalid_argument(summarize(context, diagnostics)),
+      code_(diagnostics.first_error_code()),
+      diagnostics_(std::move(diagnostics)) {}
+
+void throw_parse_error_if_any(const DiagnosticList& diagnostics,
+                              const std::string& context) {
+  if (diagnostics.has_errors()) throw ParseError(context, diagnostics);
+}
+
+void throw_validation_error_if_any(const DiagnosticList& diagnostics,
+                                   const std::string& context) {
+  if (diagnostics.has_errors()) throw ValidationError(context, diagnostics);
+}
+
+}  // namespace jps::check

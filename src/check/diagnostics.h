@@ -1,0 +1,121 @@
+// Diagnostic collection for the static-analysis layer.
+//
+// Every rule pack in src/check/ reports violations through a DiagnosticList
+// instead of throwing on the first problem: a lint run over a broken
+// artifact surfaces ALL violations, each tagged with a stable error code
+// (P001, G005, F003, ... — the full table lives in docs/STATIC_ANALYSIS.md)
+// so tests and CI match on codes, not message wording.
+//
+// The runtime parsers (core::deserialize_plan, fault::FaultSpec::parse,
+// dnn::Graph::infer) route their validation through the same packs and
+// convert an error-bearing list into a ParseError / ValidationError, which
+// still derive from the exception types callers historically caught
+// (std::runtime_error / std::invalid_argument) but additionally carry the
+// diagnostics and the first error code.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jps::check {
+
+enum class Severity {
+  kWarning,  // suspicious but admissible; jps_lint exits 2
+  kError,    // invariant violation; artifact must be rejected; exits 1
+};
+
+/// "warning" / "error".
+[[nodiscard]] const char* severity_name(Severity severity);
+
+/// One finding of one rule.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  /// Stable rule code ("P001", "G005", ...); see docs/STATIC_ANALYSIS.md.
+  std::string code;
+  /// Where the finding is anchored: a 1-based line for text artifacts, a
+  /// node/job/cut index rendered as "job 3" / "node 7", or empty.
+  std::string location;
+  std::string message;
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// Render one diagnostic as "error[P001] job 3: message".
+[[nodiscard]] std::string to_string(const Diagnostic& diagnostic);
+
+/// Accumulates findings across rule packs.
+class DiagnosticList {
+ public:
+  void add(Severity severity, std::string code, std::string location,
+           std::string message);
+  void error(std::string code, std::string location, std::string message);
+  void warning(std::string code, std::string location, std::string message);
+
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return items_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  [[nodiscard]] bool has_errors() const { return error_count() > 0; }
+
+  /// True when some diagnostic carries `code`.
+  [[nodiscard]] bool has_code(const std::string& code) const;
+
+  /// Code of the first error ("" when error-free) — what ParseError and
+  /// ValidationError report as their code().
+  [[nodiscard]] std::string first_error_code() const;
+
+  /// One line per diagnostic, each prefixed by `context` when non-empty.
+  [[nodiscard]] std::string to_text(const std::string& context = {}) const;
+
+  /// Append another list's findings.
+  void merge(const DiagnosticList& other);
+
+ private:
+  std::vector<Diagnostic> items_;
+};
+
+/// A text artifact failed parsing or post-parse lint.  Derives
+/// std::runtime_error, the type core::deserialize_plan and
+/// fault::FaultSpec::parse have always thrown.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string context, DiagnosticList diagnostics);
+
+  /// Stable code of the first error (e.g. "P010").
+  [[nodiscard]] const std::string& code() const { return code_; }
+  [[nodiscard]] const DiagnosticList& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::string code_;
+  DiagnosticList diagnostics_;
+};
+
+/// An in-memory artifact violates its invariants.  Derives
+/// std::invalid_argument, the type dnn::Graph::infer and fault::FaultTimeline
+/// have always thrown.
+class ValidationError : public std::invalid_argument {
+ public:
+  ValidationError(std::string context, DiagnosticList diagnostics);
+
+  [[nodiscard]] const std::string& code() const { return code_; }
+  [[nodiscard]] const DiagnosticList& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::string code_;
+  DiagnosticList diagnostics_;
+};
+
+/// Throw ParseError when `diagnostics` holds at least one error.
+void throw_parse_error_if_any(const DiagnosticList& diagnostics,
+                              const std::string& context);
+
+/// Throw ValidationError when `diagnostics` holds at least one error.
+void throw_validation_error_if_any(const DiagnosticList& diagnostics,
+                                   const std::string& context);
+
+}  // namespace jps::check

@@ -1,0 +1,166 @@
+#include "check/lint_artifact.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "check/lint_curve.h"
+#include "check/lint_fault.h"
+#include "check/lint_graph.h"
+#include "check/lint_plan.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "obs/trace_writer.h"  // json_escape
+#include "partition/profile_curve.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "util/strings.h"
+
+namespace jps::check {
+
+namespace {
+
+bool model_exists(const std::string& name) {
+  const auto& names = models::all_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+partition::ProfileCurve build_reference_curve(const dnn::Graph& graph,
+                                              double bandwidth_mbps) {
+  const profile::LatencyModel mobile(
+      profile::DeviceProfile::raspberry_pi_4b());
+  return partition::ProfileCurve::build(graph, mobile,
+                                        net::Channel(bandwidth_mbps));
+}
+
+void lint_plan_artifact(const std::string& text, const LintOptions& options,
+                        DiagnosticList& out) {
+  const std::optional<core::ExecutionPlan> plan = parse_plan_text(text, out);
+  if (!plan || out.has_errors()) return;  // semantic rules need a clean parse
+
+  PlanLintContext context;
+  context.tolerance = options.tolerance;
+  partition::ProfileCurve curve;  // keep alive across lint_plan
+  if (options.resolve_models) {
+    if (!model_exists(plan->model)) {
+      out.error("X001", {},
+                "plan references model '" + plan->model +
+                    "', which is not in the zoo");
+    } else {
+      const dnn::Graph graph = models::build(plan->model);
+      if (options.bandwidth_mbps) {
+        curve = build_reference_curve(graph, *options.bandwidth_mbps);
+        context.curve = &curve;
+      } else if (graph.is_line()) {
+        // Without a channel the exact curve is unknowable, but a line model
+        // can never have more candidate cuts than layer prefixes.
+        context.cut_bound = graph.size() + 1;
+      }
+    }
+  }
+  lint_plan(*plan, out, context);
+}
+
+void lint_fault_artifact(const std::string& text, DiagnosticList& out) {
+  const std::optional<fault::FaultSpec> spec =
+      parse_fault_spec_text(text, out);
+  if (!spec || out.has_errors()) return;
+  lint_fault_spec(*spec, out);
+}
+
+}  // namespace
+
+const char* artifact_kind_name(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kPlan: return "plan";
+    case ArtifactKind::kFaultSpec: return "faults";
+    case ArtifactKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+ArtifactKind sniff_artifact(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::getline(is, line);
+  const std::string_view header = util::trim(line);
+  if (util::starts_with(header, "jps-plan")) return ArtifactKind::kPlan;
+  if (util::starts_with(header, "jps-faults")) return ArtifactKind::kFaultSpec;
+  return ArtifactKind::kUnknown;
+}
+
+ArtifactKind lint_artifact_text(const std::string& text,
+                                const LintOptions& options,
+                                DiagnosticList& out) {
+  const ArtifactKind kind = sniff_artifact(text);
+  switch (kind) {
+    case ArtifactKind::kPlan:
+      lint_plan_artifact(text, options, out);
+      break;
+    case ArtifactKind::kFaultSpec:
+      lint_fault_artifact(text, out);
+      break;
+    case ArtifactKind::kUnknown:
+      out.error("L001", "line 1",
+                "unrecognized artifact; expected a 'jps-plan v1' or "
+                "'jps-faults v1' header");
+      break;
+  }
+  return kind;
+}
+
+ArtifactKind lint_artifact_file(const std::string& path,
+                                const LintOptions& options,
+                                DiagnosticList& out) {
+  std::ifstream in(path);
+  if (!in) {
+    out.error("L001", {}, "cannot open '" + path + "'");
+    return ArtifactKind::kUnknown;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_artifact_text(buffer.str(), options, out);
+}
+
+void lint_model(const std::string& name, const LintOptions& options,
+                DiagnosticList& out) {
+  if (!model_exists(name)) {
+    out.error("X001", {}, "model '" + name + "' is not in the zoo");
+    return;
+  }
+  const dnn::Graph graph = models::build(name);
+  lint_graph(graph, out);
+  if (out.has_errors()) return;
+  const double mbps =
+      options.bandwidth_mbps.value_or(net::Channel::preset_4g()
+                                          .bandwidth_mbps());
+  lint_curve(build_reference_curve(graph, mbps), out);
+}
+
+std::string lint_report_json(const std::vector<FileReport>& reports) {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::ostringstream os;
+  os << "{\"files\":[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const auto& [file, diagnostics] = reports[i];
+    errors += diagnostics.error_count();
+    warnings += diagnostics.warning_count();
+    if (i) os << ',';
+    os << "{\"file\":\"" << obs::json_escape(file) << "\",\"diagnostics\":[";
+    const auto& items = diagnostics.all();
+    for (std::size_t j = 0; j < items.size(); ++j) {
+      if (j) os << ',';
+      os << "{\"severity\":\"" << severity_name(items[j].severity)
+         << "\",\"code\":\"" << obs::json_escape(items[j].code)
+         << "\",\"location\":\"" << obs::json_escape(items[j].location)
+         << "\",\"message\":\"" << obs::json_escape(items[j].message)
+         << "\"}";
+    }
+    os << "]}";
+  }
+  os << "],\"errors\":" << errors << ",\"warnings\":" << warnings << "}";
+  return os.str();
+}
+
+}  // namespace jps::check

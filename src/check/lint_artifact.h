@@ -1,0 +1,65 @@
+// Artifact-level lint driver shared by tools/jps_lint, `jps_cli plan
+// --lint` / `jps_cli faultgen`, and the corpus golden test — so the CLI
+// gate, the dogfooding paths and the tests all run exactly the same rules.
+//
+// An artifact's kind is sniffed from its header line ("jps-plan v1",
+// "jps-faults v1"); plan artifacts additionally get the cross-artifact
+// rules:
+//   X001  plan references a model that is not in the zoo
+//   L001  file unreadable / artifact kind unrecognized
+// plus P001/X002/X003 against the model's profile curve when the caller
+// supplies the bandwidth to check at (the plan format does not record the
+// channel, so the curve cross-check is opt-in).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/diagnostics.h"
+
+namespace jps::check {
+
+enum class ArtifactKind { kPlan, kFaultSpec, kUnknown };
+
+/// "plan", "faults" or "unknown".
+[[nodiscard]] const char* artifact_kind_name(ArtifactKind kind);
+
+struct LintOptions {
+  /// Resolve plan model names against the zoo: unlocks X001 and the
+  /// graph-derived cut bound for P001.
+  bool resolve_models = true;
+  /// Build the model's profile curve at this uplink rate and cross-check
+  /// the plan against it (exact P001 bound, X002/X003).
+  std::optional<double> bandwidth_mbps;
+  /// Relative tolerance for latency/makespan comparisons.
+  double tolerance = 1e-6;
+};
+
+/// Identify an artifact by its header line only.
+[[nodiscard]] ArtifactKind sniff_artifact(const std::string& text);
+
+/// Lint artifact text of any supported kind, appending findings to `out`.
+ArtifactKind lint_artifact_text(const std::string& text,
+                                const LintOptions& options,
+                                DiagnosticList& out);
+
+/// Load `path` (L001 on failure) and lint its contents.
+ArtifactKind lint_artifact_file(const std::string& path,
+                                const LintOptions& options,
+                                DiagnosticList& out);
+
+/// Lint a zoo model: graph rules over its DAG, curve rules over its profile
+/// curve at options.bandwidth_mbps (4G preset rate when unset).
+void lint_model(const std::string& name, const LintOptions& options,
+                DiagnosticList& out);
+
+/// One lint run's findings for one input (a file path or a model name).
+using FileReport = std::pair<std::string, DiagnosticList>;
+
+/// Machine-readable report for CI (--format=json).
+[[nodiscard]] std::string lint_report_json(
+    const std::vector<FileReport>& reports);
+
+}  // namespace jps::check

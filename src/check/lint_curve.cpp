@@ -1,0 +1,56 @@
+#include "check/lint_curve.h"
+
+#include <cmath>
+#include <string>
+
+namespace jps::check {
+
+namespace {
+
+std::string cut_loc(std::size_t i) { return "cut " + std::to_string(i); }
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+void lint_curve(const partition::ProfileCurve& curve, DiagnosticList& out) {
+  if (curve.size() < 2) {
+    out.error("C001", {},
+              "curve has " + std::to_string(curve.size()) +
+                  " cut(s); need at least cloud-only and local-only");
+    return;
+  }
+  bool values_ok = true;
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (!finite_nonneg(curve.f(i)) || !finite_nonneg(curve.g(i))) {
+      out.error("C002", cut_loc(i),
+                "non-finite or negative stage time (f=" +
+                    std::to_string(curve.f(i)) + ", g=" +
+                    std::to_string(curve.g(i)) + ")");
+      values_ok = false;
+    }
+  }
+  if (!values_ok) return;  // order checks on garbage values just cascade
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    if (curve.f(i) < curve.f(i - 1))
+      out.error("C003", cut_loc(i),
+                "f decreases from " + std::to_string(curve.f(i - 1)) +
+                    " to " + std::to_string(curve.f(i)) +
+                    "; candidates must be sorted by non-decreasing f");
+    if (curve.g(i) > curve.g(i - 1))
+      out.error("C004", cut_loc(i),
+                "g increases from " + std::to_string(curve.g(i - 1)) +
+                    " to " + std::to_string(curve.g(i)) +
+                    "; the clustered profile curve must be non-increasing");
+  }
+  if (curve.f(0) != 0.0)
+    out.error("C005", cut_loc(0),
+              "first cut must be cloud-only (f = 0), got f = " +
+                  std::to_string(curve.f(0)));
+  if (curve.g(curve.size() - 1) != 0.0)
+    out.error("C005", cut_loc(curve.size() - 1),
+              "last cut must be local-only (g = 0), got g = " +
+                  std::to_string(curve.g(curve.size() - 1)));
+}
+
+}  // namespace jps::check

@@ -1,0 +1,25 @@
+// Profile-curve rule pack (C codes): the §3.2 monotonicity invariants every
+// planner in this repo relies on.
+//
+//   C001  fewer than two candidate cuts
+//   C002  non-finite or negative f/g value
+//   C003  f not non-decreasing across cut indices
+//   C004  g not non-increasing across cut indices
+//   C005  endpoints wrong: cut 0 must be cloud-only (f = 0) and the last cut
+//         local-only (g = 0)
+//
+// A clustered curve (CurveOptions::cluster, the default) satisfies all of
+// these by construction; the pack exists so jps_lint can vet curves built
+// from profiled lookup tables or synthetic candidates before they reach a
+// planner, and so ablation configurations fail loudly instead of silently
+// breaking Alg. 2's binary search.
+#pragma once
+
+#include "check/diagnostics.h"
+#include "partition/profile_curve.h"
+
+namespace jps::check {
+
+void lint_curve(const partition::ProfileCurve& curve, DiagnosticList& out);
+
+}  // namespace jps::check

@@ -1,0 +1,151 @@
+#include "check/lint_fault.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace jps::check {
+
+namespace {
+
+constexpr const char* kHeader = "jps-faults v1";
+constexpr const char* kHeaderPrefix = "jps-faults";
+
+std::string event_loc(std::size_t i) { return "event " + std::to_string(i); }
+
+std::string line_loc(std::size_t line_no) {
+  return "line " + std::to_string(line_no);
+}
+
+std::optional<fault::FaultKind> kind_from_keyword(const std::string& word) {
+  for (const fault::FaultKind kind :
+       {fault::FaultKind::kDrift, fault::FaultKind::kOutage,
+        fault::FaultKind::kCloudSlow, fault::FaultKind::kMobileThrottle}) {
+    if (word == fault::fault_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+bool takes_value(fault::FaultKind kind) {
+  return kind != fault::FaultKind::kOutage;
+}
+
+}  // namespace
+
+void lint_fault_spec(const fault::FaultSpec& spec, DiagnosticList& out) {
+  // F004 window bounds + F005/F006 values, indexed by the event's position
+  // in the spec (== its line order for parsed artifacts).
+  for (std::size_t i = 0; i < spec.events.size(); ++i) {
+    const fault::FaultEvent& e = spec.events[i];
+    const bool finite = std::isfinite(e.start_ms) && std::isfinite(e.end_ms);
+    if (!finite || e.start_ms < 0.0 || e.end_ms <= e.start_ms)
+      out.error("F004", event_loc(i),
+                std::string(fault::fault_kind_name(e.kind)) + " window [" +
+                    std::to_string(e.start_ms) + ", " +
+                    std::to_string(e.end_ms) +
+                    ") must satisfy 0 <= start < end");
+    if (e.kind == fault::FaultKind::kDrift &&
+        (!std::isfinite(e.value) || e.value <= 0.0))
+      out.error("F005", event_loc(i),
+                "drift bandwidth " + std::to_string(e.value) +
+                    " Mbps must be strictly positive (use `outage` for a "
+                    "dead link)");
+    if ((e.kind == fault::FaultKind::kCloudSlow ||
+         e.kind == fault::FaultKind::kMobileThrottle) &&
+        (!std::isfinite(e.value) || e.value <= 0.0))
+      out.error("F006", event_loc(i),
+                std::string(fault::fault_kind_name(e.kind)) + " factor " +
+                    std::to_string(e.value) + " must be strictly positive");
+  }
+
+  // F003: windows of one kind must be pairwise disjoint (different kinds may
+  // overlap).  Sort per kind by start and check neighbours.
+  std::map<fault::FaultKind, std::vector<std::size_t>> by_kind;
+  for (std::size_t i = 0; i < spec.events.size(); ++i)
+    by_kind[spec.events[i].kind].push_back(i);
+  for (auto& [kind, indices] : by_kind) {
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+      return spec.events[a].start_ms < spec.events[b].start_ms;
+    });
+    for (std::size_t i = 1; i < indices.size(); ++i) {
+      const fault::FaultEvent& prev = spec.events[indices[i - 1]];
+      const fault::FaultEvent& cur = spec.events[indices[i]];
+      if (cur.start_ms < prev.end_ms)
+        out.error("F003", event_loc(indices[i]),
+                  std::string(fault::fault_kind_name(kind)) + " window [" +
+                      std::to_string(cur.start_ms) + ", " +
+                      std::to_string(cur.end_ms) + ") overlaps [" +
+                      std::to_string(prev.start_ms) + ", " +
+                      std::to_string(prev.end_ms) + ")");
+    }
+  }
+}
+
+std::optional<fault::FaultSpec> parse_fault_spec_text(const std::string& text,
+                                                      DiagnosticList& out) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line)) {
+    out.error("F001", line_loc(1), "empty input; expected 'jps-faults v1'");
+    return std::nullopt;
+  }
+  const std::string header{util::trim(line)};
+  if (header != kHeader) {
+    const bool versioned = util::starts_with(header, kHeaderPrefix);
+    out.error("F001", line_loc(1),
+              versioned
+                  ? "unsupported version '" + header + "'; expected '" +
+                        kHeader + "'"
+                  : "bad header '" + header + "'; expected '" + kHeader + "'");
+    if (!versioned) return std::nullopt;  // not a fault artifact at all
+  }
+
+  fault::FaultSpec spec;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::string trimmed{util::trim(line)};
+    const std::size_t hash = trimmed.find('#');
+    if (hash != std::string::npos)
+      trimmed = std::string(util::trim(trimmed.substr(0, hash)));
+    if (trimmed.empty()) continue;
+
+    std::istringstream fields(trimmed);
+    std::string keyword;
+    fields >> keyword;
+    const auto kind = kind_from_keyword(keyword);
+    if (!kind) {
+      out.error("F002", line_loc(line_no), "unknown keyword '" + keyword + "'");
+      continue;
+    }
+    fault::FaultEvent event;
+    event.kind = *kind;
+    if (!(fields >> event.start_ms >> event.end_ms)) {
+      out.error("F007", line_loc(line_no),
+                "bad window; expected '" + keyword + " <start_ms> <end_ms>" +
+                    (takes_value(*kind) ? " <value>'" : "'"));
+      continue;
+    }
+    if (takes_value(*kind) && !(fields >> event.value)) {
+      out.error("F007", line_loc(line_no),
+                "missing value for '" + keyword + "'");
+      continue;
+    }
+    std::string extra;
+    if (fields >> extra) {
+      out.error("F007", line_loc(line_no),
+                "trailing fields after '" + keyword + "' event");
+      continue;
+    }
+    spec.events.push_back(event);
+  }
+  return spec;
+}
+
+}  // namespace jps::check

@@ -1,0 +1,35 @@
+// Fault-spec rule pack (F codes) for "jps-faults v1" artifacts.
+// fault::FaultSpec::parse and fault::FaultTimeline route through this pack.
+//
+// Parse rules:
+//   F001  bad or missing header / unknown version string
+//   F002  unknown keyword
+//   F007  malformed fields (bad window numbers, missing value, trailing
+//         fields)
+//
+// Semantic rules (in-memory FaultSpec):
+//   F003  overlapping windows of the same kind
+//   F004  bad window bounds: end <= start or negative start (non-monotone
+//         timestamps)
+//   F005  drift bandwidth not strictly positive (the uplink must stay up —
+//         a dead link is an `outage`, not a zero-rate drift)
+//   F006  slowdown factor not strictly positive
+#pragma once
+
+#include <optional>
+
+#include "check/diagnostics.h"
+#include "fault/fault_spec.h"
+
+namespace jps::check {
+
+/// Run the semantic rules over an in-memory spec.
+void lint_fault_spec(const fault::FaultSpec& spec, DiagnosticList& out);
+
+/// Parse the "jps-faults v1" text format, reporting F001/F002/F007 instead
+/// of throwing.  Returns nullopt when the header is not a fault artifact.
+/// Does NOT run the semantic rules.
+[[nodiscard]] std::optional<fault::FaultSpec> parse_fault_spec_text(
+    const std::string& text, DiagnosticList& out);
+
+}  // namespace jps::check

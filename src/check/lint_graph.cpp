@@ -1,0 +1,110 @@
+#include "check/lint_graph.h"
+
+#include <string>
+#include <vector>
+
+namespace jps::check {
+
+namespace {
+
+std::string node_loc(dnn::NodeId id) {
+  return "node " + std::to_string(id);
+}
+
+// G007: a node is dead when no source->sink path passes through it.  With
+// G002-G005 clean this cannot happen for append-only graphs, but lint also
+// sees graphs whose other rules already fired, so compute reachability
+// explicitly in both directions.
+void lint_dead_nodes(const dnn::Graph& graph, DiagnosticList& out) {
+  const std::size_t n = graph.size();
+  if (n == 0) return;
+  std::vector<char> from_source(n, 0);
+  std::vector<char> to_sink(n, 0);
+  // Insertion order is topological: one forward and one backward pass.
+  for (dnn::NodeId id = 0; id < n; ++id) {
+    if (graph.predecessors(id).empty()) {
+      from_source[id] = graph.layer(id).kind() == dnn::LayerKind::kInput;
+      continue;
+    }
+    for (const dnn::NodeId p : graph.predecessors(id)) {
+      if (from_source[p]) from_source[id] = 1;
+    }
+  }
+  for (dnn::NodeId id = n; id-- > 0;) {
+    if (graph.successors(id).empty()) {
+      to_sink[id] = 1;
+      continue;
+    }
+    for (const dnn::NodeId s : graph.successors(id)) {
+      if (to_sink[s]) to_sink[id] = 1;
+    }
+  }
+  // When the graph has several sinks G005 already fired; only the LAST
+  // pred-less/succ-less nodes are the canonical source/sink, but for the
+  // dead-node warning any input/sink anchoring keeps the signal useful.
+  for (dnn::NodeId id = 0; id < n; ++id) {
+    if (!from_source[id] || !to_sink[id]) {
+      out.warning("G007", node_loc(id),
+                  "dead node '" + graph.label(id) +
+                      "': on no source->sink path");
+    }
+  }
+}
+
+}  // namespace
+
+void lint_graph_structure(const dnn::Graph& graph, DiagnosticList& out) {
+  if (graph.size() == 0) {
+    out.error("G001", {}, "graph is empty");
+    return;
+  }
+  std::size_t input_nodes = 0;
+  std::size_t sinks = 0;
+  for (dnn::NodeId id = 0; id < graph.size(); ++id) {
+    const bool is_input = graph.layer(id).kind() == dnn::LayerKind::kInput;
+    if (is_input) {
+      ++input_nodes;
+      if (!graph.predecessors(id).empty())
+        out.error("G003", node_loc(id), "input node has predecessors");
+    } else if (graph.predecessors(id).empty()) {
+      out.error("G004", node_loc(id),
+                "non-input node '" + graph.label(id) +
+                    "' has no predecessors");
+    }
+    if (graph.successors(id).empty()) ++sinks;
+  }
+  if (input_nodes != 1)
+    out.error("G002", {},
+              "need exactly one input node, found " +
+                  std::to_string(input_nodes));
+  if (graph.layer(0).kind() != dnn::LayerKind::kInput)
+    out.error("G003", node_loc(0), "node 0 must be the input node");
+  if (sinks != 1)
+    out.error("G005", {},
+              "need exactly one sink node, found " + std::to_string(sinks));
+  lint_dead_nodes(graph, out);
+}
+
+void lint_graph(const dnn::Graph& graph, DiagnosticList& out) {
+  lint_graph_structure(graph, out);
+  if (out.has_errors()) return;  // shapes are meaningless on a broken DAG
+  // Re-run shape propagation without mutating the graph (G006).  The same
+  // Layer::infer calls Graph::infer makes, so lint and runtime agree.
+  std::vector<dnn::TensorShape> shapes(graph.size());
+  for (dnn::NodeId id = 0; id < graph.size(); ++id) {
+    std::vector<dnn::TensorShape> in_shapes;
+    in_shapes.reserve(graph.predecessors(id).size());
+    for (const dnn::NodeId p : graph.predecessors(id))
+      in_shapes.push_back(shapes[p]);
+    try {
+      shapes[id] = graph.layer(id).infer(in_shapes);
+    } catch (const std::exception& e) {
+      out.error("G006", node_loc(id),
+                "shape inference failed at '" + graph.label(id) +
+                    "': " + e.what());
+      return;  // downstream shapes are unknowable
+    }
+  }
+}
+
+}  // namespace jps::check

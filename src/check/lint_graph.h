@@ -1,0 +1,31 @@
+// Graph rule pack (G codes): structural admission checks for DNN DAGs.
+//
+//   G001  empty graph
+//   G002  input-node count != 1
+//   G003  node 0 is not the input, or an input node has predecessors
+//   G004  non-input node without predecessors (disconnected head)
+//   G005  sink count != 1
+//   G006  shape inference failed at a node
+//   G007  (warning) node on no source->sink path (dead node)
+//
+// dnn::Graph::infer() routes its admission checks through
+// lint_graph_structure, so the offline verifier and the runtime can never
+// disagree about what a well-formed graph is.  Acyclicity is structural for
+// graphs built through Graph::add (edges only point to earlier nodes) and is
+// therefore not a separate rule.
+#pragma once
+
+#include "check/diagnostics.h"
+#include "dnn/graph.h"
+
+namespace jps::check {
+
+/// Run the structural rules (G001-G005, G007) over `graph`.
+void lint_graph_structure(const dnn::Graph& graph, DiagnosticList& out);
+
+/// Structural rules plus per-node shape inference (G006).  Inference runs on
+/// a throwaway copy of the layer shapes, so `graph` is not mutated and need
+/// not have infer() run.
+void lint_graph(const dnn::Graph& graph, DiagnosticList& out);
+
+}  // namespace jps::check

@@ -1,33 +1,21 @@
 #include "core/plan_io.h"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
-#include "sched/makespan.h"
-#include "util/strings.h"
+#include "check/contracts.h"
+#include "check/lint_plan.h"
 
 namespace jps::core {
-
-namespace {
-constexpr const char* kHeader = "jps-plan v1";
-
-Strategy parse_strategy_name(const std::string& name) {
-  for (const Strategy s :
-       {Strategy::kLocalOnly, Strategy::kCloudOnly, Strategy::kPartitionOnly,
-        Strategy::kJPS, Strategy::kJPSTuned, Strategy::kJPSHull,
-        Strategy::kBruteForce, Strategy::kRobust}) {
-    if (name == strategy_name(s)) return s;
-  }
-  throw std::runtime_error("plan_io: unknown strategy '" + name + "'");
-}
-}  // namespace
 
 std::string serialize_plan(const ExecutionPlan& plan) {
   std::ostringstream os;
   // max_digits10: doubles round-trip exactly through the text format.
   os.precision(17);
-  os << kHeader << '\n';
+  os << "jps-plan v1" << '\n';
   os << "model " << plan.model << '\n';
   os << "strategy " << strategy_name(plan.strategy) << '\n';
   os << "comm_heavy " << plan.comm_heavy_count << '\n';
@@ -40,54 +28,17 @@ std::string serialize_plan(const ExecutionPlan& plan) {
 }
 
 ExecutionPlan deserialize_plan(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  if (!std::getline(is, line) || util::trim(line) != kHeader)
-    throw std::runtime_error("plan_io: bad header");
-
-  ExecutionPlan plan;
-  bool have_model = false;
-  bool have_strategy = false;
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
-    const std::string trimmed{util::trim(line)};
-    if (trimmed.empty()) continue;
-    std::istringstream fields(trimmed);
-    std::string key;
-    fields >> key;
-    const auto fail = [&] {
-      throw std::runtime_error("plan_io: bad line " + std::to_string(line_no));
-    };
-    if (key == "model") {
-      fields >> plan.model;
-      have_model = true;
-    } else if (key == "strategy") {
-      std::string name;
-      fields >> name;
-      plan.strategy = parse_strategy_name(name);
-      have_strategy = true;
-    } else if (key == "comm_heavy") {
-      if (!(fields >> plan.comm_heavy_count)) fail();
-    } else if (key == "makespan_ms") {
-      if (!(fields >> plan.predicted_makespan)) fail();
-    } else if (key == "job") {
-      JobAssignment assignment;
-      sched::Job job;
-      if (!(fields >> assignment.job_id >> assignment.cut_index >> job.f >>
-            job.g))
-        fail();
-      job.id = assignment.job_id;
-      job.cut = static_cast<int>(assignment.cut_index);
-      plan.jobs.push_back(assignment);
-      plan.scheduled_jobs.push_back(job);
-    } else {
-      fail();
-    }
-  }
-  if (!have_model || !have_strategy || plan.jobs.empty())
-    throw std::runtime_error("plan_io: incomplete plan");
-  return plan;
+  // Parse and semantic rules both run through the shared rule packs, so a
+  // plan that loads here is exactly a plan that passes `jps_lint` (up to the
+  // cross-artifact rules, which need a model/channel this API does not take).
+  check::DiagnosticList diagnostics;
+  std::optional<ExecutionPlan> plan = check::parse_plan_text(text, diagnostics);
+  if (plan && !diagnostics.has_errors())
+    check::lint_plan(*plan, diagnostics);
+  check::throw_parse_error_if_any(diagnostics, "plan_io");
+  JPS_INVARIANT(plan.has_value(),
+                "an error-free parse always produces a plan");
+  return std::move(*plan);
 }
 
 void save_plan(const ExecutionPlan& plan, const std::string& path) {

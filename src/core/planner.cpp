@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/contracts.h"
 #include "obs/obs.h"
 #include "sched/bruteforce.h"
 #include "sched/johnson.h"
@@ -77,6 +78,7 @@ ExecutionPlan assemble_plan(const partition::ProfileCurve& curve,
 
 Planner::Planner(partition::ProfileCurve curve, PlannerOptions options)
     : curve_(std::move(curve)), options_(options) {
+  JPS_REQUIRE(curve_.size() >= 1, "a plannable curve has at least one cut");
   decision_ = partition::binary_search_cut(curve_);
 }
 
@@ -173,6 +175,11 @@ ExecutionPlan Planner::plan(Strategy strategy, int n_jobs) const {
   span.arg("model", curve_.model_name());
   ExecutionPlan plan = plan_impl(strategy, n_jobs);
   span.arg("makespan_ms", plan.predicted_makespan);
+  JPS_ENSURE(plan.jobs.size() == static_cast<std::size_t>(n_jobs),
+             "every requested job must be scheduled");
+  JPS_ENSURE(std::isfinite(plan.predicted_makespan) &&
+                 plan.predicted_makespan >= 0.0,
+             "predicted makespan must be finite and non-negative");
   return plan;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/lint_graph.h"
+
 namespace jps::dnn {
 
 Graph::Graph(std::string name, DType dtype)
@@ -51,33 +53,30 @@ const std::vector<NodeId>& Graph::successors(NodeId id) const {
 }
 
 void Graph::infer() {
-  if (nodes_.empty()) throw std::invalid_argument("Graph::infer: empty graph");
-
-  std::size_t input_nodes = 0;
-  std::size_t sinks = 0;
-  for (const auto& n : nodes_) {
-    if (n.layer->kind() == LayerKind::kInput) {
-      ++input_nodes;
-      if (!n.inputs.empty())
-        throw std::invalid_argument("Graph::infer: input node has predecessors");
-    } else if (n.inputs.empty()) {
-      throw std::invalid_argument(
-          "Graph::infer: non-input node without predecessors");
-    }
-    if (n.outputs.empty()) ++sinks;
+  // Structural admission (G001-G005) runs through the shared graph rule
+  // pack, so this runtime gate and the offline `jps_lint` verifier can never
+  // disagree — and a broken graph reports ALL its violations at once.
+  {
+    check::DiagnosticList diagnostics;
+    check::lint_graph_structure(*this, diagnostics);
+    check::throw_validation_error_if_any(diagnostics, "Graph::infer");
   }
-  if (input_nodes != 1)
-    throw std::invalid_argument("Graph::infer: need exactly one input node");
-  if (nodes_.front().layer->kind() != LayerKind::kInput)
-    throw std::invalid_argument("Graph::infer: node 0 must be the input");
-  if (sinks != 1)
-    throw std::invalid_argument("Graph::infer: need exactly one sink node");
 
-  for (auto& n : nodes_) {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    Node& n = nodes_[id];
     std::vector<TensorShape> in_shapes;
     in_shapes.reserve(n.inputs.size());
     for (NodeId in : n.inputs) in_shapes.push_back(nodes_[in].info.output_shape);
-    n.info.output_shape = n.layer->infer(in_shapes);
+    try {
+      n.info.output_shape = n.layer->infer(in_shapes);
+    } catch (const std::exception& e) {
+      // G006: same code the lint pack reports for shape-inference failures.
+      check::DiagnosticList diagnostics;
+      diagnostics.error("G006", "node " + std::to_string(id),
+                        "shape inference failed at '" + n.label +
+                            "': " + e.what());
+      throw check::ValidationError("Graph::infer", diagnostics);
+    }
     n.info.flops = n.layer->flops(in_shapes, n.info.output_shape);
     n.info.params = n.layer->param_count(in_shapes, n.info.output_shape);
     n.info.output_bytes = n.info.output_shape.bytes(dtype_);

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
-#include "util/strings.h"
+#include "check/contracts.h"
+#include "check/lint_fault.h"
 
 namespace jps::fault {
 
@@ -43,21 +46,6 @@ std::vector<std::pair<double, double>> draw_windows(int count, double min_ms,
   return windows;
 }
 
-// Validate and sort one kind's windows; throws on overlap or bad bounds.
-template <typename T>
-void check_windows(std::vector<T>& windows, const char* what) {
-  std::sort(windows.begin(), windows.end(),
-            [](const T& a, const T& b) { return a.start_ms < b.start_ms; });
-  for (std::size_t i = 0; i < windows.size(); ++i) {
-    if (windows[i].start_ms < 0.0 || windows[i].end_ms <= windows[i].start_ms)
-      throw std::invalid_argument(std::string("FaultTimeline: bad ") + what +
-                                  " window bounds");
-    if (i > 0 && windows[i].start_ms < windows[i - 1].end_ms)
-      throw std::invalid_argument(std::string("FaultTimeline: overlapping ") +
-                                  what + " windows");
-  }
-}
-
 double factor_at(const std::vector<FactorWindow>& windows, double t_ms) {
   for (const FactorWindow& w : windows) {
     if (w.start_ms > t_ms) break;  // sorted: nothing later can cover t
@@ -91,48 +79,18 @@ std::vector<FaultEvent> FaultSpec::of_kind(FaultKind kind) const {
 }
 
 FaultSpec FaultSpec::parse(const std::string& text) {
-  std::istringstream is(text);
-  std::string line;
-  if (!std::getline(is, line) || util::trim(line) != kHeader)
-    throw std::runtime_error("fault_spec: bad header (want 'jps-faults v1')");
-
-  FaultSpec spec;
-  std::size_t line_no = 1;
-  while (std::getline(is, line)) {
-    ++line_no;
-    std::string trimmed{util::trim(line)};
-    const std::size_t hash = trimmed.find('#');
-    if (hash != std::string::npos) trimmed = std::string(util::trim(trimmed.substr(0, hash)));
-    if (trimmed.empty()) continue;
-
-    std::istringstream fields(trimmed);
-    std::string keyword;
-    fields >> keyword;
-    const auto fail = [&](const char* why) {
-      throw std::runtime_error("fault_spec: " + std::string(why) + " at line " +
-                               std::to_string(line_no));
-    };
-
-    FaultEvent event;
-    if (keyword == "drift") {
-      event.kind = FaultKind::kDrift;
-    } else if (keyword == "outage") {
-      event.kind = FaultKind::kOutage;
-    } else if (keyword == "cloud_slow") {
-      event.kind = FaultKind::kCloudSlow;
-    } else if (keyword == "mobile_throttle") {
-      event.kind = FaultKind::kMobileThrottle;
-    } else {
-      fail("unknown keyword");
-    }
-    if (!(fields >> event.start_ms >> event.end_ms)) fail("bad window");
-    if (kind_takes_value(event.kind) && !(fields >> event.value))
-      fail("missing value");
-    std::string extra;
-    if (fields >> extra) fail("trailing fields");
-    spec.events.push_back(event);
-  }
-  return spec;
+  // Parse and semantic rules run through the shared rule packs: a spec that
+  // loads here is exactly a spec `jps_lint` accepts, so a malformed or
+  // invariant-violating artifact is rejected before any execution.
+  check::DiagnosticList diagnostics;
+  std::optional<FaultSpec> spec =
+      check::parse_fault_spec_text(text, diagnostics);
+  if (spec && !diagnostics.has_errors())
+    check::lint_fault_spec(*spec, diagnostics);
+  check::throw_parse_error_if_any(diagnostics, "fault_spec");
+  JPS_INVARIANT(spec.has_value(),
+                "an error-free parse always produces a spec");
+  return std::move(*spec);
 }
 
 std::string FaultSpec::serialize() const {
@@ -200,6 +158,14 @@ FaultSpec FaultSpec::random(const RandomFaultOptions& options, util::Rng& rng) {
 
 FaultTimeline::FaultTimeline(const FaultSpec& spec, net::Channel base)
     : channel_(base) {
+  // Admission runs through the shared fault rule pack (F003-F006), so this
+  // compile step and `jps_lint` agree on what a valid spec is — and ALL
+  // violations are reported at once rather than just the first.
+  {
+    check::DiagnosticList diagnostics;
+    check::lint_fault_spec(spec, diagnostics);
+    check::throw_validation_error_if_any(diagnostics, "FaultTimeline");
+  }
   std::vector<net::BandwidthSegment> segments;
   std::vector<net::Outage> outages;
   for (const FaultEvent& e : spec.events) {
@@ -219,19 +185,14 @@ FaultTimeline::FaultTimeline(const FaultSpec& spec, net::Channel base)
     }
     horizon_ms_ = std::max(horizon_ms_, e.end_ms);
   }
-  // TimeVaryingChannel validates the link events; slowdowns checked here.
   channel_ = net::TimeVaryingChannel(base, std::move(segments),
                                      std::move(outages));
-  check_windows(mobile_, "mobile_throttle");
-  check_windows(cloud_, "cloud_slow");
-  for (const FactorWindow& w : mobile_) {
-    if (w.factor <= 0.0)
-      throw std::invalid_argument("FaultTimeline: mobile factor <= 0");
-  }
-  for (const FactorWindow& w : cloud_) {
-    if (w.factor <= 0.0)
-      throw std::invalid_argument("FaultTimeline: cloud factor <= 0");
-  }
+  // factor_at walks windows in start order; the pack proved them disjoint.
+  const auto by_start = [](const FactorWindow& a, const FactorWindow& b) {
+    return a.start_ms < b.start_ms;
+  };
+  std::sort(mobile_.begin(), mobile_.end(), by_start);
+  std::sort(cloud_.begin(), cloud_.end(), by_start);
 }
 
 double FaultTimeline::mobile_factor_at(double t_ms) const {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/contracts.h"
 #include "obs/obs.h"
 #include "util/ols.h"
 
@@ -51,6 +52,12 @@ ProfileCurve ProfileCurve::build(const dnn::Graph& graph,
   ProfileCurve curve =
       from_candidates(graph.name(), std::move(candidates), options);
   span.arg("cuts", std::to_string(curve.size()));
+  JPS_ENSURE(curve.size() >= 1,
+             "a graph always yields at least one cut (an input-only graph "
+             "collapses cloud-only and local-only into one)");
+  JPS_ENSURE(!options.cluster || curve.is_monotone(),
+             "clustering (3.2) must leave f non-decreasing and g "
+             "non-increasing");
   return curve;
 }
 

@@ -31,7 +31,7 @@ struct Resources {
 
 /// Submit every task of one partitioned job (mobile layers -> transfer ->
 /// cloud layers).  Submission order across calls defines FIFO priority.
-JobTasks submit_job(EventSimulator& sim, const Resources& resources,
+[[nodiscard]] JobTasks submit_job(EventSimulator& sim, const Resources& resources,
                     const dnn::Graph& graph, const partition::CutPoint& cut,
                     std::size_t job_tag, const profile::LatencyModel& mobile,
                     const profile::LatencyModel& cloud,
@@ -39,7 +39,7 @@ JobTasks submit_job(EventSimulator& sim, const Resources& resources,
                     util::Rng& rng);
 
 /// Read one job's stage timeline back out of a finished simulation.
-SimJobResult collect(const EventSimulator& sim, const JobTasks& tasks,
+[[nodiscard]] SimJobResult collect(const EventSimulator& sim, const JobTasks& tasks,
                      int job_id, std::size_t cut_index);
 
 }  // namespace jps::sim::detail

@@ -78,7 +78,7 @@ class ThreadPool {
     explicit Task(F&& f)
         : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
     void operator()() { impl_->run(); }
-    explicit operator bool() const { return impl_ != nullptr; }
+    [[nodiscard]] explicit operator bool() const { return impl_ != nullptr; }
 
    private:
     struct Base {

@@ -1,0 +1,54 @@
+#include "check/contracts.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace jps::check {
+namespace {
+
+TEST(Contracts, PassingConditionsAreSilent) {
+  EXPECT_NO_THROW(JPS_REQUIRE(1 + 1 == 2, "arithmetic"));
+  EXPECT_NO_THROW(JPS_ENSURE(true, "trivial"));
+  EXPECT_NO_THROW(JPS_INVARIANT(!false, "trivial"));
+}
+
+#ifndef JPS_NO_CONTRACTS
+
+TEST(Contracts, RequireThrowsPrecondition) {
+  try {
+    JPS_REQUIRE(2 < 1, "impossible ordering");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "precondition");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("impossible ordering"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, EnsureAndInvariantKinds) {
+  try {
+    JPS_ENSURE(false, "post");
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "postcondition");
+  }
+  try {
+    JPS_INVARIANT(false, "inv");
+    FAIL();
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "invariant");
+  }
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  EXPECT_THROW(JPS_INVARIANT(false, "x"), std::logic_error);
+}
+
+#endif  // JPS_NO_CONTRACTS
+
+}  // namespace
+}  // namespace jps::check

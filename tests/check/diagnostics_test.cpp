@@ -1,0 +1,96 @@
+#include "check/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "check/lint_artifact.h"
+
+namespace jps::check {
+namespace {
+
+TEST(DiagnosticList, CountsAndLookup) {
+  DiagnosticList list;
+  EXPECT_TRUE(list.empty());
+  list.error("P001", "job 0", "cut out of range");
+  list.warning("P008", "", "tie-break drift");
+  list.error("P005", "", "makespan mismatch");
+  EXPECT_FALSE(list.empty());
+  EXPECT_EQ(list.error_count(), 2u);
+  EXPECT_EQ(list.warning_count(), 1u);
+  EXPECT_TRUE(list.has_errors());
+  EXPECT_TRUE(list.has_code("P008"));
+  EXPECT_FALSE(list.has_code("F003"));
+  EXPECT_EQ(list.first_error_code(), "P001");
+}
+
+TEST(DiagnosticList, ToStringFormat) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = "P001";
+  d.location = "job 3";
+  d.message = "cut index 99 out of range";
+  EXPECT_EQ(to_string(d), "error[P001] job 3: cut index 99 out of range");
+  d.severity = Severity::kWarning;
+  d.location.clear();
+  EXPECT_EQ(to_string(d), "warning[P001]: cut index 99 out of range");
+}
+
+TEST(DiagnosticList, MergeAppends) {
+  DiagnosticList a;
+  a.error("G001", "", "empty");
+  DiagnosticList b;
+  b.warning("G007", "node 2", "dead node");
+  a.merge(b);
+  EXPECT_EQ(a.all().size(), 2u);
+  EXPECT_TRUE(a.has_code("G007"));
+}
+
+TEST(ParseErrorTest, CarriesCodeAndDerivesRuntimeError) {
+  DiagnosticList list;
+  list.warning("P008", "", "drift");
+  list.error("P010", "line 1", "bad header");
+  try {
+    throw_parse_error_if_any(list, "plan_io");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.code(), "P010");
+    EXPECT_EQ(e.diagnostics().error_count(), 1u);
+    EXPECT_NE(std::string(e.what()).find("P010"), std::string::npos);
+  }
+  // Callers that predate the diagnostics layer catch std::runtime_error.
+  EXPECT_THROW(throw_parse_error_if_any(list, "plan_io"), std::runtime_error);
+}
+
+TEST(ParseErrorTest, WarningsAloneDoNotThrow) {
+  DiagnosticList list;
+  list.warning("P008", "", "drift");
+  EXPECT_NO_THROW(throw_parse_error_if_any(list, "plan_io"));
+  EXPECT_NO_THROW(throw_validation_error_if_any(list, "plan_io"));
+}
+
+TEST(ValidationErrorTest, CarriesCodeAndDerivesInvalidArgument) {
+  DiagnosticList list;
+  list.error("F003", "event 1", "overlap");
+  EXPECT_THROW(throw_validation_error_if_any(list, "timeline"),
+               std::invalid_argument);
+  try {
+    throw_validation_error_if_any(list, "timeline");
+  } catch (const ValidationError& e) {
+    EXPECT_EQ(e.code(), "F003");
+  }
+}
+
+TEST(LintReportJson, EscapesAndCounts) {
+  DiagnosticList list;
+  list.error("L001", "line 1", "bad \"quote\"");
+  const std::string json = lint_report_json({{"a\\b.txt", list}});
+  EXPECT_NE(json.find("\"file\":\"a\\\\b.txt\""), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"L001\""), std::string::npos);
+  EXPECT_NE(json.find("bad \\\"quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"warnings\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jps::check

@@ -1,0 +1,98 @@
+// Golden test over the seeded corpus in tests/check/corpus/ — the same
+// artifacts the CI lint job feeds to the jps_lint binary.
+//
+//   valid/   must produce zero diagnostics
+//   broken/  must produce >= 1 error including the code embedded in the
+//            filename ("plan_cut_out_of_range.P001.txt" expects P001)
+//   warn/    must produce warnings only, including the embedded code
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/lint_artifact.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<fs::path> corpus_files(const std::string& bucket) {
+  const fs::path dir = fs::path(JPS_CORPUS_DIR) / bucket;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// "plan_cut_out_of_range.P001.txt" -> "P001".
+std::string expected_code(const fs::path& file) {
+  const std::string stem = file.stem().string();  // drops ".txt"
+  const std::size_t dot = stem.rfind('.');
+  EXPECT_NE(dot, std::string::npos) << file << ": no embedded code";
+  return dot == std::string::npos ? std::string() : stem.substr(dot + 1);
+}
+
+jps::check::DiagnosticList lint(const fs::path& file) {
+  jps::check::DiagnosticList out;
+  jps::check::lint_artifact_file(file.string(), {}, out);
+  return out;
+}
+
+TEST(LintCorpus, ValidArtifactsAreClean) {
+  const auto files = corpus_files("valid");
+  ASSERT_FALSE(files.empty());
+  for (const fs::path& file : files) {
+    const auto out = lint(file);
+    EXPECT_TRUE(out.empty())
+        << file.filename() << " should be clean:\n" << out.to_text();
+  }
+}
+
+TEST(LintCorpus, BrokenArtifactsFlagTheirCode) {
+  const auto files = corpus_files("broken");
+  ASSERT_FALSE(files.empty());
+  for (const fs::path& file : files) {
+    const auto out = lint(file);
+    const std::string code = expected_code(file);
+    EXPECT_TRUE(out.has_errors()) << file.filename() << " must be rejected";
+    EXPECT_TRUE(out.has_code(code))
+        << file.filename() << " should flag " << code << "; got:\n"
+        << out.to_text();
+  }
+}
+
+TEST(LintCorpus, WarnArtifactsWarnWithoutErrors) {
+  const auto files = corpus_files("warn");
+  ASSERT_FALSE(files.empty());
+  for (const fs::path& file : files) {
+    const auto out = lint(file);
+    const std::string code = expected_code(file);
+    EXPECT_FALSE(out.has_errors())
+        << file.filename() << " must stay admissible:\n" << out.to_text();
+    EXPECT_GT(out.warning_count(), 0u) << file.filename();
+    EXPECT_TRUE(out.has_code(code))
+        << file.filename() << " should flag " << code << "; got:\n"
+        << out.to_text();
+  }
+}
+
+// Every code referenced by a corpus filename must round-trip through the
+// runtime parsers with the SAME code (plans/faults share the rule packs), so
+// the corpus can never drift ahead of the library.
+TEST(LintCorpus, JsonReportCoversAllBuckets) {
+  std::vector<jps::check::FileReport> reports;
+  for (const std::string bucket : {"valid", "broken", "warn"}) {
+    for (const fs::path& file : corpus_files(bucket)) {
+      reports.emplace_back(file.filename().string(), lint(file));
+    }
+  }
+  const std::string json = jps::check::lint_report_json(reports);
+  EXPECT_NE(json.find("\"errors\":"), std::string::npos);
+  EXPECT_NE(json.find("plan_cut_out_of_range.P001.txt"), std::string::npos);
+  EXPECT_NE(json.find("\"code\":\"F003\""), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Negative-path coverage for the runtime text parsers: each malformed input
+// must surface a STABLE diagnostic code through ParseError, not just "some
+// exception".  The happy-path round-trips live in core/plan_io_test.cpp and
+// fault/fault_spec_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "check/diagnostics.h"
+#include "core/plan_io.h"
+#include "fault/fault_spec.h"
+
+namespace {
+
+using jps::check::ParseError;
+
+std::string code_of_plan_failure(const std::string& text) {
+  try {
+    (void)jps::core::deserialize_plan(text);
+  } catch (const ParseError& e) {
+    return e.code();
+  }
+  return "<no throw>";
+}
+
+std::string code_of_fault_failure(const std::string& text) {
+  try {
+    (void)jps::fault::FaultSpec::parse(text);
+  } catch (const ParseError& e) {
+    return e.code();
+  }
+  return "<no throw>";
+}
+
+constexpr const char* kValidPlan =
+    "jps-plan v1\n"
+    "model alexnet\n"
+    "strategy JPS\n"
+    "comm_heavy 0\n"
+    "makespan_ms 250\n"
+    "job 0 1 100 50\n"
+    "job 1 2 100 50\n";
+
+TEST(PlanNegative, EmptyInputIsP010) {
+  EXPECT_EQ(code_of_plan_failure(""), "P010");
+}
+
+TEST(PlanNegative, ForeignHeaderIsP010) {
+  EXPECT_EQ(code_of_plan_failure("totally not a plan\n"), "P010");
+}
+
+TEST(PlanNegative, UnknownVersionStringIsP010) {
+  // A future "jps-plan v2" file must be rejected with the version message,
+  // not misparsed as v1.
+  std::string text = kValidPlan;
+  text.replace(text.find("v1"), 2, "v7");
+  EXPECT_EQ(code_of_plan_failure(text), "P010");
+}
+
+TEST(PlanNegative, TruncatedFileIsP015) {
+  // Cut mid-artifact: header survives but strategy and job lines are gone.
+  const std::string full = kValidPlan;
+  const std::string text = full.substr(0, full.find("strategy"));
+  EXPECT_EQ(code_of_plan_failure(text), "P015");
+}
+
+TEST(PlanNegative, DuplicateKeysAreP014) {
+  std::string text = kValidPlan;
+  text.insert(text.find("strategy"), "model vgg16\n");
+  EXPECT_EQ(code_of_plan_failure(text), "P014");
+}
+
+TEST(PlanNegative, BadJobLineIsP011) {
+  std::string text = kValidPlan;
+  text.replace(text.find("job 0 1 100 50"), 14, "job 0 1 100 fifty");
+  EXPECT_EQ(code_of_plan_failure(text), "P011");
+}
+
+TEST(PlanNegative, UnknownStrategyIsP012) {
+  std::string text = kValidPlan;
+  text.replace(text.find("JPS"), 3, "WARP");
+  EXPECT_EQ(code_of_plan_failure(text), "P012");
+}
+
+TEST(PlanNegative, AllViolationsReportedTogether) {
+  // One pass reports every broken line, not just the first.
+  const std::string text =
+      "jps-plan v1\n"
+      "model alexnet\n"
+      "model again\n"
+      "strategy WARP\n"
+      "priority high\n";
+  try {
+    (void)jps::core::deserialize_plan(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_TRUE(e.diagnostics().has_code("P014"));
+    EXPECT_TRUE(e.diagnostics().has_code("P012"));
+    EXPECT_TRUE(e.diagnostics().has_code("P013"));
+    EXPECT_TRUE(e.diagnostics().has_code("P015"));
+  }
+}
+
+TEST(PlanNegative, CrlfLineEndingsParseCleanly) {
+  // Windows-authored artifacts are legal: trim strips the '\r'.
+  std::string text = kValidPlan;
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const jps::core::ExecutionPlan plan = jps::core::deserialize_plan(crlf);
+  EXPECT_EQ(plan.model, "alexnet");
+  EXPECT_EQ(plan.jobs.size(), 2u);
+}
+
+TEST(FaultNegative, EmptyInputIsF001) {
+  EXPECT_EQ(code_of_fault_failure(""), "F001");
+}
+
+TEST(FaultNegative, UnknownVersionStringIsF001) {
+  EXPECT_EQ(code_of_fault_failure("jps-faults v9\noutage 0 10\n"), "F001");
+}
+
+TEST(FaultNegative, UnknownKeywordIsF002) {
+  EXPECT_EQ(code_of_fault_failure("jps-faults v1\nmeteor 0 10\n"), "F002");
+}
+
+TEST(FaultNegative, TruncatedWindowIsF007) {
+  EXPECT_EQ(code_of_fault_failure("jps-faults v1\noutage 100\n"), "F007");
+}
+
+TEST(FaultNegative, MissingValueIsF007) {
+  EXPECT_EQ(code_of_fault_failure("jps-faults v1\ndrift 0 10\n"), "F007");
+}
+
+TEST(FaultNegative, OverlappingOutagesAreF003) {
+  EXPECT_EQ(code_of_fault_failure(
+                "jps-faults v1\noutage 0 500\noutage 400 800\n"),
+            "F003");
+}
+
+TEST(FaultNegative, CrlfWithCommentsParsesCleanly) {
+  const jps::fault::FaultSpec spec = jps::fault::FaultSpec::parse(
+      "jps-faults v1\r\n# comment\r\ndrift 0 500 4.2\r\noutage 600 700\r\n");
+  EXPECT_EQ(spec.events.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.events[0].value, 4.2);
+}
+
+}  // namespace

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "args.h"
+#include "check/lint_fault.h"
+#include "check/lint_plan.h"
 #include "jps.h"
 #include "obs/obs.h"
 #include "obs/trace_writer.h"
@@ -236,6 +238,21 @@ int cmd_plan(const tools::Args& args) {
               << " busy)\n";
     if (args.has("gantt")) std::cout << sim::ascii_gantt(result, 100);
   }
+  // --lint: verify the plan against the rule packs (including the curve it
+  // was planned over) BEFORE it can be saved — a plan this gate rejects
+  // would also be rejected by `jps_lint` and by deserialize_plan.
+  if (args.has("lint")) {
+    check::PlanLintContext context;
+    context.curve = &curve;
+    check::DiagnosticList diagnostics;
+    check::lint_plan(plan, diagnostics, context);
+    if (diagnostics.empty()) {
+      std::cout << "  lint: OK\n";
+    } else {
+      std::cout << diagnostics.to_text("  lint");
+      if (diagnostics.has_errors()) return 1;
+    }
+  }
   if (args.has("save")) {
     const std::string path = args.get("save", "plan.txt");
     core::save_plan(plan, path);
@@ -364,6 +381,14 @@ int cmd_faultgen(const tools::Args& args) {
   options.mobile_throttle_windows = args.get_int("mobile-throttle", 0);
   util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
   const fault::FaultSpec spec = fault::FaultSpec::random(options, rng);
+  // Generated specs are always linted before they reach disk; a rejected
+  // spec here would indicate a generator bug, so nothing is written.
+  check::DiagnosticList diagnostics;
+  check::lint_fault_spec(spec, diagnostics);
+  if (diagnostics.has_errors()) {
+    std::cerr << diagnostics.to_text("faultgen");
+    return 1;
+  }
   const std::string output = args.get("output", "faults.txt");
   spec.save(output);
   std::cout << "wrote " << spec.events.size() << " fault events over "
@@ -424,7 +449,7 @@ void usage() {
       "  profile --model M --output F        profiling campaign -> lookup table\n"
       "  curve   --model M --bandwidth B     print the (f, g) cut curve\n"
       "  plan    --model M --bandwidth B --jobs N [--strategy jps] [--gantt]\n"
-      "          [--save plan.txt]\n"
+      "          [--lint] [--save plan.txt]\n"
       "          [--robust --bw-lo L --bw-hi H [--bw-samples 33] [--cvar]]\n"
       "          [--faults FILE [--retry-budget 3] [--replan] [--window 2]]\n"
       "  replay  --plan plan.txt [--bandwidth B]   re-execute a saved plan\n"

@@ -1,0 +1,172 @@
+// jps_lint: offline static verifier for jps artifacts.
+//
+// Usage:
+//   jps_lint [options] <artifact>...          lint plan/fault-spec files
+//   jps_lint --model <name> [--model ...]     lint zoo models (graph + curve)
+//   jps_lint --all-models                     lint every model in the zoo
+//
+// Options:
+//   --format=text|json   output format (default text)
+//   --out <path>         also write the report to a file (any format)
+//   --bandwidth <mbps>   cross-check plans against the model's profile
+//                        curve at this uplink rate (enables X002/X003 and
+//                        the exact P001 bound)
+//   --no-models          skip model resolution (offline mode: no X001)
+//   --tolerance <rel>    relative tolerance for latency comparisons
+//   --quiet              suppress per-file OK lines
+//
+// Exit codes: 0 clean, 1 errors found, 2 warnings only, 64 usage/IO error.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "args.h"
+#include "check/lint_artifact.h"
+#include "models/registry.h"
+
+namespace {
+
+constexpr int kExitClean = 0;
+constexpr int kExitErrors = 1;
+constexpr int kExitWarnings = 2;
+constexpr int kExitUsage = 64;
+
+void print_usage() {
+  std::cout <<
+      "usage: jps_lint [options] <artifact>...\n"
+      "       jps_lint --model <name> | --all-models\n"
+      "\n"
+      "Statically verifies jps text artifacts (plans, fault specs) and zoo\n"
+      "models against the shared rule packs. See docs/STATIC_ANALYSIS.md\n"
+      "for the diagnostic code tables.\n"
+      "\n"
+      "options:\n"
+      "  --format=text|json   report format (default text)\n"
+      "  --out <path>         also write the report to <path>\n"
+      "  --bandwidth <mbps>   cross-check plans against the model's curve\n"
+      "  --no-models          do not resolve model names (disables X001)\n"
+      "  --tolerance <rel>    relative tolerance for comparisons (1e-6)\n"
+      "  --quiet              suppress per-file OK lines\n"
+      "exit codes: 0 clean, 1 errors, 2 warnings only, 64 usage error\n";
+}
+
+std::string text_report(const std::vector<jps::check::FileReport>& reports,
+                        bool quiet) {
+  std::string out;
+  for (const auto& [file, diagnostics] : reports) {
+    if (diagnostics.all().empty()) {
+      if (!quiet) out += file + ": OK\n";
+      continue;
+    }
+    for (const jps::check::Diagnostic& d : diagnostics.all()) {
+      out += file + ": " + jps::check::to_string(d) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using jps::check::DiagnosticList;
+  using jps::check::FileReport;
+
+  const jps::tools::Args args(argc, argv);
+  if (args.has("help") || args.has("h")) {
+    print_usage();
+    return kExitClean;
+  }
+
+  jps::check::LintOptions options;
+  options.resolve_models = !args.has("no-models");
+  options.tolerance = args.get_double("tolerance", options.tolerance);
+  if (args.has("bandwidth")) {
+    const double mbps = args.get_double("bandwidth", 0.0);
+    if (mbps <= 0.0) {
+      std::cerr << "jps_lint: --bandwidth must be positive\n";
+      return kExitUsage;
+    }
+    options.bandwidth_mbps = mbps;
+  }
+  const std::string format = args.get("format", "text");
+  if (format != "text" && format != "json") {
+    std::cerr << "jps_lint: unknown --format '" << format << "'\n";
+    return kExitUsage;
+  }
+
+  // Collect inputs: positional artifact paths and/or model names.
+  std::vector<std::string> models;
+  if (args.has("all-models")) {
+    models = jps::models::all_names();
+  } else if (args.has("model")) {
+    models.push_back(args.get("model", ""));
+  }
+  // Bare switches (--quiet, --no-models, ...) must not swallow the artifact
+  // path that follows them, so only these flags consume a value token.
+  const std::vector<std::string> value_flags = {"format", "out", "bandwidth",
+                                                "tolerance", "model"};
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      const bool takes_value =
+          key.find('=') == std::string::npos &&
+          std::find(value_flags.begin(), value_flags.end(), key) !=
+              value_flags.end();
+      if (takes_value && i + 1 < argc) ++i;
+      continue;
+    }
+    files.push_back(token);
+  }
+  if (files.empty() && models.empty()) {
+    print_usage();
+    return kExitUsage;
+  }
+
+  std::vector<FileReport> reports;
+  reports.reserve(files.size() + models.size());
+  for (const std::string& file : files) {
+    DiagnosticList diagnostics;
+    jps::check::lint_artifact_file(file, options, diagnostics);
+    reports.emplace_back(file, std::move(diagnostics));
+  }
+  for (const std::string& model : models) {
+    DiagnosticList diagnostics;
+    jps::check::lint_model(model, options, diagnostics);
+    reports.emplace_back("model:" + model, std::move(diagnostics));
+  }
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const auto& [file, diagnostics] : reports) {
+    errors += diagnostics.error_count();
+    warnings += diagnostics.warning_count();
+  }
+
+  const bool quiet = args.has("quiet");
+  const std::string report = format == "json"
+                                 ? jps::check::lint_report_json(reports)
+                                 : text_report(reports, quiet);
+  std::cout << report;
+  if (format == "text" && !quiet) {
+    std::cout << reports.size() << " input(s): " << errors << " error(s), "
+              << warnings << " warning(s)\n";
+  }
+
+  if (args.has("out")) {
+    const std::string path = args.get("out", "");
+    std::ofstream out(path);
+    out << report;
+    if (!out) {
+      std::cerr << "jps_lint: cannot write " << path << "\n";
+      return kExitUsage;
+    }
+  }
+
+  if (errors > 0) return kExitErrors;
+  if (warnings > 0) return kExitWarnings;
+  return kExitClean;
+}
