@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "common.h"
+#include "reporter.h"
 #include "sim/monte_carlo.h"
 #include "util/table.h"
 
@@ -15,7 +16,12 @@ int main() {
                       "Makespan distribution over 201 noisy executions "
                       "(sigma 0.10), AlexNet + ResNet-18, 4G, 30 jobs");
 
-  constexpr int kJobs = 30;
+  const int kJobs = bench::quick_scaled(30, 10);
+  const int kTrials = bench::quick_scaled(201, 31);
+  bench::BenchReporter reporter("ext_tail_latency");
+  reporter.set_iterations(kTrials);
+  reporter.note("jobs", kJobs);
+  reporter.note("sigma", 0.10);
   for (const char* model : {"alexnet", "resnet18"}) {
     const bench::Testbed testbed(model);
     const double mbps = net::kBandwidth4GMbps;
@@ -31,12 +37,16 @@ int main() {
           core::Strategy::kPartitionOnly, core::Strategy::kJPS}) {
       const core::ExecutionPlan plan = planner.plan(s, kJobs);
       sim::MonteCarloOptions options;
-      options.trials = 201;
+      options.trials = kTrials;
       options.comp_noise_sigma = 0.10;
       options.comm_noise_sigma = 0.10;
       const util::Summary summary = sim::monte_carlo_makespan(
           testbed.graph(), curve, plan, testbed.mobile(), testbed.cloud(),
           channel, options);
+      const std::string prefix =
+          std::string(model) + "." + core::strategy_name(s);
+      reporter.record(prefix + ".median_ms", summary.median);
+      reporter.record(prefix + ".p95_ms", summary.p95);
       table.add_row({core::strategy_name(s),
                      util::format_fixed(summary.median / 1e3, 2),
                      util::format_fixed(summary.p95 / 1e3, 2),

@@ -6,6 +6,7 @@
 
 #include "common.h"
 #include "models/registry.h"
+#include "reporter.h"
 #include "sim/event_sim.h"
 #include "util/table.h"
 
@@ -18,7 +19,11 @@ int main() {
       "Total latency of LO/CO/PO/JPS, 100 jobs per DNN, at the paper's\n"
       "3G (1.1), 4G (5.85) and Wi-Fi (18.88 Mbps) uplinks + JPS overhead");
 
-  constexpr int kJobs = 100;
+  const int kJobs = bench::quick_scaled(100, 20);
+  bench::BenchReporter reporter("fig12_latency_comparison");
+  reporter.set_iterations(kJobs);
+  reporter.note("jobs", kJobs);
+  reporter.note("networks", 3);
   const struct {
     const char* label;
     double mbps;
@@ -44,6 +49,12 @@ int main() {
       const double jps =
           testbed.simulate(core::Strategy::kJPS, network.mbps, kJobs);
       const double best_baseline = std::min({co, lo, po});
+      // One sample per (network, model) cell; the BENCH file carries the
+      // distribution across all cells of the figure.
+      reporter.record("co_ms_per_job", co / kJobs);
+      reporter.record("lo_ms_per_job", lo / kJobs);
+      reporter.record("po_ms_per_job", po / kJobs);
+      reporter.record("jps_ms_per_job", jps / kJobs);
       if (csv) {
         csv->add_row({util::format_fixed(network.mbps, 2), model,
                       util::format_fixed(co / kJobs, 3),
@@ -75,6 +86,7 @@ int main() {
                                      net::kBandwidth4GMbps, kJobs, 1,
                                      trace_path.empty() ? nullptr : &timeline);
     const double per_job = outcome.simulated_makespan / kJobs;
+    reporter.record("decision_overhead_ms", outcome.plan.decision_overhead_ms);
     overhead.add_row({model,
                       util::format_ms(outcome.plan.decision_overhead_ms),
                       util::format_ms(per_job),

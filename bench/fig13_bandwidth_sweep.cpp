@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common.h"
+#include "reporter.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
@@ -15,10 +16,19 @@ int main() {
                       "Latency vs uplink bandwidth in [1, 80] Mbps for "
                       "AlexNet and MobileNet-v2; benefit range of JPS");
 
-  constexpr int kJobs = 50;
+  const int kJobs = bench::quick_scaled(50, 10);
+  // Quick mode coarsens the sweep 4x; the benefit-range endpoints get
+  // blurrier but the BENCH distributions stay comparable in shape.
+  const double step_lo = bench::quick_mode() ? 4.0 : 1.0;
+  const double step_hi = bench::quick_mode() ? 16.0 : 4.0;
   std::vector<double> bandwidths;
-  for (double b = 1.0; b <= 80.0; b += (b < 20.0 ? 1.0 : 4.0))
+  for (double b = 1.0; b <= 80.0; b += (b < 20.0 ? step_lo : step_hi))
     bandwidths.push_back(b);
+
+  bench::BenchReporter reporter("fig13_bandwidth_sweep");
+  reporter.set_iterations(static_cast<int>(bandwidths.size()));
+  reporter.note("jobs", kJobs);
+  reporter.note("points", static_cast<int>(bandwidths.size()));
 
   for (const char* model : {"alexnet", "mobilenet_v2"}) {
     const bench::Testbed testbed(model);
@@ -45,6 +55,10 @@ int main() {
     double benefit_hi = -1.0;
     for (std::size_t i = 0; i < bandwidths.size(); ++i) {
       const Row& r = rows[i];
+      reporter.record("lo_ms_per_job", r.lo / kJobs);
+      reporter.record("co_ms_per_job", r.co / kJobs);
+      reporter.record("po_ms_per_job", r.po / kJobs);
+      reporter.record("jps_ms_per_job", r.jps / kJobs);
       const bool wins = r.jps < std::min(r.lo, r.co) * 0.999;
       if (wins && benefit_lo < 0.0) benefit_lo = bandwidths[i];
       if (wins) benefit_hi = bandwidths[i];

@@ -1,0 +1,111 @@
+#include "reporter.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "obs/obs.h"
+
+#ifndef JPS_GIT_SHA
+#define JPS_GIT_SHA "unknown"
+#endif
+#ifndef JPS_BUILD_TYPE
+#define JPS_BUILD_TYPE "unknown"
+#endif
+
+namespace jps::bench {
+
+bool quick_mode() {
+  const char* env = std::getenv("JPS_BENCH_QUICK");
+  return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+int quick_scaled(int n, int quick_n) { return quick_mode() ? quick_n : n; }
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {}
+
+BenchReporter::~BenchReporter() {
+  try {
+    write();
+  } catch (const std::exception& e) {
+    std::cerr << "(bench telemetry write failed: " << e.what() << ")\n";
+  }
+}
+
+void BenchReporter::note(const std::string& key, const std::string& value) {
+  config_.set(key, util::Json(value));
+}
+void BenchReporter::note(const std::string& key, const char* value) {
+  config_.set(key, util::Json(value));
+}
+void BenchReporter::note(const std::string& key, double value) {
+  config_.set(key, util::Json(value));
+}
+void BenchReporter::note(const std::string& key, int value) {
+  config_.set(key, util::Json(value));
+}
+
+obs::Histogram& BenchReporter::metric(const std::string& name) {
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    it = metrics_.emplace(name, std::make_unique<obs::Histogram>(name)).first;
+  }
+  return *it->second;
+}
+
+void BenchReporter::record(const std::string& name, double value) {
+  metric(name).record(value);
+}
+
+util::Json BenchReporter::to_json() const {
+  util::Json doc = util::Json::object();
+  doc.set("schema", util::Json("jps-bench-v1"));
+  doc.set("name", util::Json(name_));
+  doc.set("git_sha", util::Json(JPS_GIT_SHA));
+  doc.set("build_type", util::Json(JPS_BUILD_TYPE));
+  doc.set("compiler", util::Json(__VERSION__));
+  doc.set("quick", util::Json(quick_mode()));
+  doc.set("warmup", util::Json(warmup_));
+  doc.set("iterations", util::Json(iterations_));
+  doc.set("config", config_);
+
+  util::Json metrics = util::Json::object();
+  for (const auto& [name, hist] : metrics_) {
+    const obs::HistogramSnapshot snap = hist->snapshot();
+    util::Json m = util::Json::object();
+    m.set("count", util::Json(static_cast<double>(snap.count)));
+    m.set("mean", util::Json(snap.mean()));
+    m.set("p50", util::Json(snap.percentile(50.0)));
+    m.set("p95", util::Json(snap.percentile(95.0)));
+    m.set("p99", util::Json(snap.percentile(99.0)));
+    m.set("min", util::Json(snap.min));
+    m.set("max", util::Json(snap.max));
+    m.set("sum", util::Json(snap.sum));
+    metrics.set(name, std::move(m));
+  }
+  doc.set("metrics", std::move(metrics));
+
+  // Runtime counters give the diff tool context (how many simulator runs,
+  // cache hits, retries... produced these distributions).
+  util::Json counters = util::Json::object();
+  for (const auto& [name, value] : obs::Registry::global().counters())
+    counters.set(name, util::Json(static_cast<double>(value)));
+  doc.set("counters", std::move(counters));
+  return doc;
+}
+
+std::string BenchReporter::write() {
+  if (written_) return {};
+  const char* dir = std::getenv("JPS_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return {};
+  written_ = true;
+  const std::string path = std::string(dir) + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << to_json().dump(2);
+  std::cout << "(bench telemetry written to " << path << ")\n";
+  return path;
+}
+
+}  // namespace jps::bench

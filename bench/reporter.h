@@ -1,0 +1,91 @@
+// Bench telemetry: machine-readable BENCH_<name>.json files.
+//
+// Every figure bench prints human-readable tables; this adds the pipeline
+// that lets CI *compare* runs.  A BenchReporter accumulates named metric
+// distributions (backed by obs::Histogram, so p50/p95/p99 come with the
+// same bounded relative error as the runtime metrics) and, when the
+// JPS_BENCH_JSON_DIR environment variable is set, writes one
+// "<dir>/BENCH_<name>.json" on destruction.  `jps_bench_diff` consumes two
+// of these files and flags regressions.
+//
+// Schema "jps-bench-v1" (see bench/README.md):
+//   {
+//     "schema": "jps-bench-v1",
+//     "name": ...,              // bench name
+//     "git_sha": ...,           // short SHA of the producing build
+//     "build_type": ...,        // CMAKE_BUILD_TYPE
+//     "compiler": ...,          // __VERSION__
+//     "quick": true|false,      // JPS_BENCH_QUICK was set
+//     "warmup": N, "iterations": N,
+//     "config": {k: v, ...},    // free-form bench parameters
+//     "metrics": {name: {count, mean, p50, p95, p99, min, max, sum}, ...},
+//     "counters": {name: N, ...}  // obs registry counters at write time
+//   }
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace jps::bench {
+
+/// True when JPS_BENCH_QUICK is set to a non-empty value other than "0".
+/// Benches shrink their trial counts under quick mode so the CI smoke job
+/// finishes in seconds; the emitted JSON records which mode produced it.
+[[nodiscard]] bool quick_mode();
+
+/// Scale `n` down to `quick_n` when quick_mode() is on.
+[[nodiscard]] int quick_scaled(int n, int quick_n);
+
+/// Accumulates one bench's telemetry and writes BENCH_<name>.json at
+/// destruction (or on an explicit write()).  Writing is skipped entirely
+/// when JPS_BENCH_JSON_DIR is unset, so benches can construct one
+/// unconditionally.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name);
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Loop shape, recorded verbatim into the JSON.
+  void set_warmup(int warmup) { warmup_ = warmup; }
+  void set_iterations(int iterations) { iterations_ = iterations; }
+
+  /// Free-form config entries ("model": "alexnet", "jobs": 100, ...).
+  void note(const std::string& key, const std::string& value);
+  void note(const std::string& key, const char* value);
+  void note(const std::string& key, double value);
+  void note(const std::string& key, int value);
+
+  /// Get-or-create the named metric distribution.
+  [[nodiscard]] obs::Histogram& metric(const std::string& name);
+
+  /// Shorthand for metric(name).record(value).
+  void record(const std::string& name, double value);
+
+  /// Write BENCH_<name>.json now (idempotent; destructor then skips).
+  /// Returns the path written, or "" when JPS_BENCH_JSON_DIR is unset.
+  std::string write();
+
+  /// The document that write() serializes (exposed for tests).
+  [[nodiscard]] util::Json to_json() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  int warmup_ = 0;
+  int iterations_ = 0;
+  util::Json config_ = util::Json::object();
+  // Histogram is non-copyable and handed out by reference; keep stable
+  // addresses.  Ordered map so the JSON is deterministic.
+  std::map<std::string, std::unique_ptr<obs::Histogram>> metrics_;
+  bool written_ = false;
+};
+
+}  // namespace jps::bench

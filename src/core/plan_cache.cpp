@@ -3,6 +3,7 @@
 #include <bit>
 #include <mutex>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace jps::core {
@@ -26,6 +27,17 @@ obs::Counter& plan_hit_counter() {
 obs::Counter& plan_miss_counter() {
   static obs::Counter& c = obs::counter("plan_cache.plan_misses");
   return c;
+}
+
+// Distribution of the probe itself (shared-lock find; build time excluded)
+// and the live hit ratio across both tables.
+obs::Histogram& lookup_histogram() {
+  static obs::Histogram& h = obs::histogram("plan_cache.lookup_ms");
+  return h;
+}
+obs::Gauge& hit_ratio_gauge() {
+  static obs::Gauge& g = obs::gauge("plan_cache.hit_ratio");
+  return g;
 }
 
 }  // namespace
@@ -67,16 +79,19 @@ std::size_t PlanCache::PlanKeyHash::operator()(const PlanCacheKey& k) const {
 std::shared_ptr<const partition::ProfileCurve> PlanCache::curve(
     const CurveCacheKey& key, const CurveBuilder& build) {
   {
+    obs::ScopedTimer probe(lookup_histogram());
     std::shared_lock lock(mutex_);
     const auto it = curves_.find(key);
     if (it != curves_.end()) {
       curve_hits_.fetch_add(1, std::memory_order_relaxed);
       curve_hit_counter().add();
+      hit_ratio_gauge().set(stats().hit_rate());
       return it->second;
     }
   }
   curve_misses_.fetch_add(1, std::memory_order_relaxed);
   curve_miss_counter().add();
+  hit_ratio_gauge().set(stats().hit_rate());
   // Build outside the lock: curve construction walks the DNN graph and must
   // not serialize concurrent misses for unrelated keys.
   auto built = std::make_shared<const partition::ProfileCurve>(build());
@@ -88,16 +103,19 @@ std::shared_ptr<const partition::ProfileCurve> PlanCache::curve(
 std::shared_ptr<const ExecutionPlan> PlanCache::plan(const PlanCacheKey& key,
                                                      const PlanBuilder& build) {
   {
+    obs::ScopedTimer probe(lookup_histogram());
     std::shared_lock lock(mutex_);
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
       plan_hits_.fetch_add(1, std::memory_order_relaxed);
       plan_hit_counter().add();
+      hit_ratio_gauge().set(stats().hit_rate());
       return it->second;
     }
   }
   plan_misses_.fetch_add(1, std::memory_order_relaxed);
   plan_miss_counter().add();
+  hit_ratio_gauge().set(stats().hit_rate());
   auto built = std::make_shared<const ExecutionPlan>(build());
   std::unique_lock lock(mutex_);
   const auto [it, inserted] = plans_.emplace(key, std::move(built));

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/units.h"
 
 namespace jps::fault {
@@ -23,6 +25,11 @@ void BandwidthEstimator::observe(std::uint64_t bytes, double duration_ms,
   const double observed_mbps = bytes_per_ms / util::mbps_to_bytes_per_ms(1.0);
   estimate_mbps_ = alpha_ * observed_mbps + (1.0 - alpha_) * estimate_mbps_;
   ++observations_;
+  // Last EWMA estimate, visible in --metrics-out alongside the plan-cache
+  // and simulator series (the "effective bandwidth" the replanner acts on).
+  static obs::Gauge& estimate_gauge =
+      obs::gauge("fault.bandwidth_estimate_mbps");
+  estimate_gauge.set(estimate_mbps_);
 }
 
 double BandwidthEstimator::drift_ratio() const {

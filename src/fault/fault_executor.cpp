@@ -11,6 +11,7 @@
 #include "core/plan_cache.h"
 #include "core/planner.h"
 #include "fault/bandwidth_estimator.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "sim/event_sim.h"
 #include "util/thread_pool.h"
@@ -224,6 +225,8 @@ struct Engine {
       if (opts.retry.jitter_frac > 0.0)
         backoff *= 1.0 + rng.uniform(0.0, opts.retry.jitter_frac);
       stats.backoff_ms += backoff;
+      static obs::Histogram& backoff_hist = obs::histogram("fault.backoff_ms");
+      backoff_hist.record(backoff);
       submit_transfer(j, now_ms + backoff);
     } else {
       submit_fallback(j);
@@ -330,6 +333,13 @@ FaultSimResult simulate_plan_under_faults(
   runs.add();
   obs::Span span("fault.run", "fault");
   span.arg("jobs", std::to_string(plan.jobs.size()));
+
+  // Distribution of the scripted outage durations this run executes under
+  // (one sample per outage per run, so repeated Monte-Carlo trials weight
+  // the histogram by how often each outage was actually faced).
+  static obs::Histogram& outage_hist = obs::histogram("fault.outage_ms");
+  for (const net::Outage& outage : timeline.channel().outages())
+    outage_hist.record(outage.end_ms - outage.start_ms);
 
   EventSimulator sim;
   Engine engine(sim, graph, curve, mobile, cloud, timeline, options, rng,

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/units.h"
 
 namespace jps::net {
@@ -74,6 +76,14 @@ TimeVaryingChannel::TimeVaryingChannel(Channel base,
     horizon_ms_ = std::max(horizon_ms_, s.end_ms);
   }
   for (const Outage& o : outages_) horizon_ms_ = std::max(horizon_ms_, o.end_ms);
+
+  // Channel telemetry: the nominal uplink rate this view was built over and
+  // the distribution of scripted outage lengths (what the robust planner's
+  // bandwidth interval has to absorb).
+  static obs::Gauge& bandwidth_gauge = obs::gauge("net.channel_bandwidth_mbps");
+  bandwidth_gauge.set(base_.bandwidth_mbps());
+  static obs::Histogram& outage_hist = obs::histogram("net.outage_ms");
+  for (const Outage& o : outages_) outage_hist.record(o.end_ms - o.start_ms);
 }
 
 double TimeVaryingChannel::bandwidth_at(double t_ms) const {

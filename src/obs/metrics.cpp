@@ -1,0 +1,180 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace jps::obs {
+
+namespace {
+
+constexpr double min_value() { return 9.5367431640625e-07; }  // 2^-20
+constexpr double max_value() { return 1073741824.0; }         // 2^30
+
+constexpr double kMinSentinel = std::numeric_limits<double>::infinity();
+constexpr double kMaxSentinel = -std::numeric_limits<double>::infinity();
+
+// Relaxed CAS folds; shards start at +/-inf sentinels so no "first value"
+// special case is needed (snapshot() skips shards with count == 0).
+void fold_min(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void fold_max(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::string name)
+    : name_(std::move(name)), buckets_(kBucketCount) {}
+
+std::size_t Histogram::bucket_index(double value) {
+  if (!(value >= min_value())) return 0;  // zero, negative, tiny, or NaN
+  if (value >= max_value()) return kBucketCount - 1;
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp
+  // value lies in octave [2^(exp-1), 2^exp); m in [0.5, 1).
+  const auto octave = static_cast<std::size_t>(exp - 1 - kMinExp);
+  auto sub = static_cast<std::size_t>((mantissa - 0.5) *
+                                      (2.0 * static_cast<double>(kSubBuckets)));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // m == 1-ulp rounding guard
+  return 1 + octave * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(std::size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kBucketCount - 1) return max_value();
+  const std::size_t linear = index - 1;
+  const auto octave = static_cast<int>(linear / kSubBuckets);
+  const auto sub = static_cast<double>(linear % kSubBuckets);
+  return std::ldexp(1.0, kMinExp + octave) *
+         (1.0 + sub / static_cast<double>(kSubBuckets));
+}
+
+double Histogram::bucket_upper(std::size_t index) {
+  if (index == 0) return min_value();
+  if (index >= kBucketCount - 1) return max_value();
+  const std::size_t linear = index - 1;
+  const auto octave = static_cast<int>(linear / kSubBuckets);
+  const auto sub = static_cast<double>(linear % kSubBuckets) + 1.0;
+  return std::ldexp(1.0, kMinExp + octave) *
+         (1.0 + sub / static_cast<double>(kSubBuckets));
+}
+
+double Histogram::bucket_midpoint(std::size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kBucketCount - 1) return max_value();
+  return 0.5 * (bucket_lower(index) + bucket_upper(index));
+}
+
+Histogram::Shard& Histogram::shard() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shards_[index];
+}
+
+void Histogram::record(double value) {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shard();
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(value, std::memory_order_relaxed);
+  fold_min(s.min, value);
+  fold_max(s.max, value);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.count.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::sum() const {
+  double total = 0.0;
+  for (const Shard& s : shards_) total += s.sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  bool any = false;
+  for (const Shard& s : shards_) {
+    const std::uint64_t n = s.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    snap.count += n;
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    const double lo = s.min.load(std::memory_order_relaxed);
+    const double hi = s.max.load(std::memory_order_relaxed);
+    if (!any || lo < snap.min) snap.min = lo;
+    if (!any || hi > snap.max) snap.max = hi;
+    any = true;
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(kMinSentinel, std::memory_order_relaxed);
+    s.max.store(kMaxSentinel, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Same rank convention as util::percentile (inclusive, linear): the
+  // target rank is p% of the way through [0, count-1].
+  const double rank = p / 100.0 * static_cast<double>(count - 1);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative > 0 && static_cast<double>(cumulative - 1) >= rank)
+      return Histogram::bucket_midpoint(i);
+  }
+  // All mass below rank (racy snapshot): report the largest occupied bucket.
+  for (std::size_t i = buckets.size(); i-- > 0;)
+    if (buckets[i] > 0) return Histogram::bucket_midpoint(i);
+  return 0.0;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  if (other.buckets.empty() || other.count == 0) {
+    if (!other.buckets.empty() && buckets.empty()) buckets = other.buckets;
+    return;
+  }
+  if (buckets.empty()) {
+    *this = other;
+    return;
+  }
+  if (buckets.size() != other.buckets.size())
+    throw std::invalid_argument("HistogramSnapshot::merge: layout mismatch");
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    buckets[i] += other.buckets[i];
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+}
+
+}  // namespace jps::obs

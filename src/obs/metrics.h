@@ -1,0 +1,202 @@
+// Metrics primitives: log-linear histograms, gauges, and scoped timers.
+//
+// PR 2 gave the repo spans (wall-clock intervals) and counters (monotone
+// events).  Neither can answer the questions the paper's evaluation asks —
+// "what is the p95 makespan?", "what is the cache hit *ratio*?", "did this
+// change make planning slower?".  This header adds the missing shapes:
+//
+//   * Histogram   — a mergeable latency/size distribution with bounded
+//                   relative error and lock-free recording.
+//   * Gauge       — a last-value instrument (set/add), e.g. queue depth,
+//                   cache hit ratio, effective bandwidth.
+//   * ScopedTimer — RAII wall-clock interval that feeds a Histogram.
+//
+// Cost model (the reason these are safe to leave always-on):
+//   * Gauge::set/add       — one relaxed atomic op.
+//   * Histogram::record    — one relaxed fetch_add on the bucket plus four
+//                            relaxed ops on a per-thread shard (count, sum,
+//                            min, max).  No locks, no allocation.
+//   * ScopedTimer          — two steady_clock reads + one record().
+//
+// Bucket layout (log-linear, HdrHistogram-style): every power-of-two octave
+// in [2^kMinExp, 2^kMaxExp) is split into kSubBuckets equal-width linear
+// sub-buckets, plus an underflow bucket (zero, negative, or tiny values)
+// and an overflow bucket.  Within an octave the bucket width is
+// 2^octave / kSubBuckets and the bucket's lower bound is at least
+// 2^octave, so reporting a bucket midpoint is wrong by at most
+// 1 / (2 * kSubBuckets) relative — kRelativeError, ~1.6% at 32 sub-buckets.
+// Two histograms always share the same layout, so snapshots merge by
+// bucket-wise addition (exact, associative on counts).
+//
+// Like the rest of jps::obs this depends on the standard library only.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace jps::obs {
+
+/// Point-in-time copy of a histogram: plain integers/doubles, mergeable,
+/// queryable.  Obtained from Histogram::snapshot() or built by exporters.
+struct HistogramSnapshot {
+  /// Occupancy per bucket (Histogram::kBucketCount entries; empty when the
+  /// snapshot was default-constructed and never merged into).
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  /// Smallest/largest recorded values (0 when count == 0).
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Estimated p-th percentile (p in [0, 100]): the midpoint of the bucket
+  /// holding the rank, so relative error is bounded by
+  /// Histogram::kRelativeError.  0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+
+  /// sum / count (0 when empty).
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+
+  /// Bucket-wise addition.  Exact and associative on counts; sums are
+  /// floating-point adds.  Throws std::invalid_argument when the layouts
+  /// differ (cannot happen for snapshots of this library's histograms).
+  void merge(const HistogramSnapshot& other);
+};
+
+/// A mergeable log-linear latency/size distribution.  All methods are
+/// thread-safe; record() is lock-free (relaxed atomics only).  Handles from
+/// Registry::histogram() stay valid for the process lifetime.
+class Histogram {
+ public:
+  /// Smallest/largest finite octave: values in [2^kMinExp, 2^kMaxExp) land
+  /// in log-linear buckets; outside they clamp to underflow/overflow.  The
+  /// range covers sub-microsecond to ~12-day intervals in ms units.
+  static constexpr int kMinExp = -20;
+  static constexpr int kMaxExp = 30;
+  /// Linear sub-buckets per power-of-two octave.
+  static constexpr std::size_t kSubBuckets = 32;
+  /// underflow + 50 octaves * 32 + overflow.
+  static constexpr std::size_t kBucketCount =
+      2 + static_cast<std::size_t>(kMaxExp - kMinExp) * kSubBuckets;
+  /// Worst-case relative error of a bucket midpoint vs the true value.
+  static constexpr double kRelativeError = 0.5 / static_cast<double>(kSubBuckets);
+
+  explicit Histogram(std::string name = {});
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Record one observation.  Lock-free; safe from any thread.
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  /// Estimated percentile; see HistogramSnapshot::percentile.
+  [[nodiscard]] double percentile(double p) const {
+    return snapshot().percentile(p);
+  }
+
+  /// Consistent-enough copy for export: each atomic is read individually
+  /// (a racing record() may appear in the buckets but not yet in count, or
+  /// vice versa; quiescent histograms snapshot exactly).
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+  /// Zero every bucket and shard (test isolation; not linearizable against
+  /// concurrent record()).
+  void reset();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Index of the bucket `value` lands in.
+  [[nodiscard]] static std::size_t bucket_index(double value);
+  /// Inclusive lower / exclusive upper bound of bucket `index`.  The
+  /// underflow bucket spans [0, 2^kMinExp); the overflow bucket reports
+  /// [2^kMaxExp, 2^kMaxExp) — callers render its bound as +Inf.
+  [[nodiscard]] static double bucket_lower(std::size_t index);
+  [[nodiscard]] static double bucket_upper(std::size_t index);
+  /// The value reported for ranks inside bucket `index` (midpoint; 0 for
+  /// the underflow bucket, the range top for overflow).
+  [[nodiscard]] static double bucket_midpoint(std::size_t index);
+
+ private:
+  // Count/sum/min/max are striped across shards so concurrent recorders on
+  // different threads do not contend on one cache line; buckets are shared
+  // (different values hit different lines anyway).
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    // min/max start at +/-inf sentinels; snapshot() skips empty shards.
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  };
+  static constexpr std::size_t kShards = 8;
+
+  Shard& shard();
+
+  std::string name_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  Shard shards_[kShards];
+};
+
+/// A last-value instrument.  set()/add() are one relaxed atomic op, cheap
+/// enough to leave on hot paths unconditionally.  Handles from
+/// Registry::gauge() stay valid for the process lifetime.
+class Gauge {
+ public:
+  explicit Gauge(std::string name = {}) : name_(std::move(name)) {}
+
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { set(0.0); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// RAII wall-clock timer feeding a histogram in milliseconds.  Unlike Span
+/// it is always live (histogram recording is lock-free), so it is the right
+/// tool for distributions on hot paths; use Span when you want the interval
+/// on a trace timeline instead.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink)
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->record(elapsed_ms());
+  }
+
+  /// Milliseconds since construction.
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Detach: nothing is recorded at destruction.
+  void cancel() { sink_ = nullptr; }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace jps::obs

@@ -1,0 +1,172 @@
+#include "obs/metrics_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace jps::obs {
+
+namespace {
+
+// Shortest-ish round-trippable double rendering (%.17g trims to %g when
+// exact); OpenMetrics and JSON both accept plain decimal/exponent floats.
+std::string format_double(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  double parsed = 0.0;
+  std::sscanf(buffer, "%lf", &parsed);
+  if (parsed != value)
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::capture(const Registry& registry) {
+  MetricsSnapshot snapshot;
+  snapshot.counters = registry.counters();
+  snapshot.gauges = registry.gauges();
+  snapshot.histograms = registry.histograms();
+  return snapshot;
+}
+
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "jps_";
+  out.reserve(name.size() + 4);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_openmetrics(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = openmetrics_name(name);
+    out << "# TYPE " << metric << " counter\n"
+        << metric << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = openmetrics_name(name);
+    out << "# TYPE " << metric << " gauge\n"
+        << metric << " " << format_double(value) << "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string metric = openmetrics_name(name);
+    out << "# TYPE " << metric << " histogram\n";
+    // Cumulative buckets; empty buckets are elided (cumulative counts stay
+    // correct over any subset of boundaries) and `+Inf` always closes the
+    // series.  The count/`+Inf` samples come from the bucket totals so the
+    // exposition is internally consistent even against a racing record().
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (histogram.buckets[i] == 0) continue;
+      cumulative += histogram.buckets[i];
+      const bool overflow = i + 1 == histogram.buckets.size();
+      if (!overflow) {
+        out << metric << "_bucket{le=\""
+            << format_double(Histogram::bucket_upper(i)) << "\"} "
+            << cumulative << "\n";
+      }
+    }
+    out << metric << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+        << metric << "_sum " << format_double(histogram.sum) << "\n"
+        << metric << "_count " << cumulative << "\n";
+  }
+  out << "# EOF\n";
+  return out.str();
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(snapshot.counters[i].first)
+        << "\": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(snapshot.gauges[i].first)
+        << "\": " << format_double(snapshot.gauges[i].second);
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(name)
+        << "\": {\"count\": " << h.count
+        << ", \"sum\": " << format_double(h.sum)
+        << ", \"min\": " << format_double(h.min)
+        << ", \"max\": " << format_double(h.max)
+        << ", \"mean\": " << format_double(h.mean())
+        << ", \"p50\": " << format_double(h.percentile(50))
+        << ", \"p90\": " << format_double(h.percentile(90))
+        << ", \"p95\": " << format_double(h.percentile(95))
+        << ", \"p99\": " << format_double(h.percentile(99))
+        << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      const bool overflow = b + 1 == h.buckets.size();
+      out << (first_bucket ? "" : ", ") << "{\"le\": "
+          << (overflow ? std::string("\"+Inf\"")
+                       : format_double(Histogram::bucket_upper(b)))
+          << ", \"count\": " << h.buckets[b] << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void write_metrics_file(const std::string& path, const std::string& format,
+                        const MetricsSnapshot& snapshot) {
+  std::string body;
+  if (format == "openmetrics" || format == "prometheus") {
+    body = to_openmetrics(snapshot);
+  } else if (format == "json") {
+    body = to_json(snapshot);
+  } else {
+    throw std::invalid_argument("unknown metrics format '" + format +
+                                "' (expected openmetrics or json)");
+  }
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "' for write");
+  file << body;
+  if (!file.good())
+    throw std::runtime_error("failed writing metrics to '" + path + "'");
+}
+
+}  // namespace jps::obs

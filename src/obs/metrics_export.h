@@ -1,0 +1,52 @@
+// Metrics exposition: one snapshot struct, two text formats.
+//
+//   * OpenMetrics / Prometheus text — scrapeable by any Prometheus-family
+//     collector; histograms expose cumulative `_bucket{le="..."}` series
+//     plus `_sum`/`_count`, counters a `_total` sample, gauges a plain
+//     sample.  Ends with the mandatory `# EOF`.
+//   * JSON — machine-readable dump for scripts and the bench telemetry
+//     pipeline (histograms carry count/sum/min/max/mean/p50/p90/p95/p99
+//     plus the non-empty buckets).
+//
+// `jps_cli --metrics-out=FILE --metrics-format=openmetrics|json` writes
+// either one.  Naming: registry names are dotted (`plan_cache.hit_ratio`);
+// OpenMetrics output sanitizes them to `jps_plan_cache_hit_ratio`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace jps::obs {
+
+/// Point-in-time copy of every instrument in a registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Snapshot the given registry (default: the process-wide one).
+  [[nodiscard]] static MetricsSnapshot capture(
+      const Registry& registry = Registry::global());
+};
+
+/// Prometheus metric name: dots/dashes to underscores, `jps_` prefix.
+[[nodiscard]] std::string openmetrics_name(const std::string& name);
+
+/// OpenMetrics text exposition of the snapshot (ends with `# EOF`).
+[[nodiscard]] std::string to_openmetrics(const MetricsSnapshot& snapshot);
+
+/// JSON exposition of the snapshot.
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Serialize `snapshot` in `format` ("openmetrics" or "json") and write it
+/// to `path`.  Throws std::invalid_argument on an unknown format and
+/// std::runtime_error when the file cannot be written.
+void write_metrics_file(const std::string& path, const std::string& format,
+                        const MetricsSnapshot& snapshot);
+
+}  // namespace jps::obs

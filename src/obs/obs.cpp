@@ -8,6 +8,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace jps::obs {
 
 namespace {
@@ -35,10 +37,19 @@ struct Registry::Impl {
 
   mutable std::mutex span_mutex;
   std::vector<SpanRecord> spans;
+  std::size_t span_capacity = kDefaultSpanCapacity;
+  std::atomic<std::uint64_t> spans_dropped{0};
 
   mutable std::mutex counter_mutex;
-  // Node-based map: Counter& handles stay valid across inserts.
+  // Node-based maps: Counter&/Gauge&/Histogram& handles stay valid across
+  // inserts.
   std::map<std::string, std::unique_ptr<Counter>> counters;
+
+  mutable std::mutex gauge_mutex;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+
+  mutable std::mutex histogram_mutex;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
 
   mutable std::mutex thread_mutex;
   std::unordered_map<std::thread::id, std::uint64_t> thread_ids;
@@ -56,8 +67,28 @@ Registry& Registry::global() {
 }
 
 void Registry::record(SpanRecord record) {
+  static Counter& dropped = counter("obs.spans_dropped");
   std::lock_guard lock(impl_->span_mutex);
+  if (impl_->spans.size() >= impl_->span_capacity) {
+    impl_->spans_dropped.fetch_add(1, std::memory_order_relaxed);
+    dropped.add();
+    return;
+  }
   impl_->spans.push_back(std::move(record));
+}
+
+void Registry::set_span_capacity(std::size_t capacity) {
+  std::lock_guard lock(impl_->span_mutex);
+  impl_->span_capacity = capacity;
+}
+
+std::size_t Registry::span_capacity() const {
+  std::lock_guard lock(impl_->span_mutex);
+  return impl_->span_capacity;
+}
+
+std::uint64_t Registry::spans_dropped() const {
+  return impl_->spans_dropped.load(std::memory_order_relaxed);
 }
 
 std::vector<SpanRecord> Registry::spans() const {
@@ -88,6 +119,44 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   return out;  // std::map iteration is already name-sorted
 }
 
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(impl_->gauge_mutex);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(name, std::make_unique<Gauge>(name)).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard lock(impl_->histogram_mutex);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms.emplace(name, std::make_unique<Histogram>(name))
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard lock(impl_->gauge_mutex);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges)
+    out.emplace_back(name, gauge->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms()
+    const {
+  std::lock_guard lock(impl_->histogram_mutex);
+  std::vector<std::pair<std::string, HistogramSnapshot>> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, histogram] : impl_->histograms)
+    out.emplace_back(name, histogram->snapshot());
+  return out;
+}
+
 double Registry::now_ms() const {
   return std::chrono::duration<double, std::milli>(Clock::now() - impl_->epoch)
       .count();
@@ -107,9 +176,22 @@ void Registry::clear_spans() {
 }
 
 void Registry::reset() {
-  clear_spans();
-  std::lock_guard lock(impl_->counter_mutex);
-  for (auto& [name, counter] : impl_->counters) counter->reset();
+  {
+    std::lock_guard lock(impl_->span_mutex);
+    impl_->spans.clear();
+    impl_->span_capacity = kDefaultSpanCapacity;
+    impl_->spans_dropped.store(0, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard lock(impl_->counter_mutex);
+    for (auto& [name, counter] : impl_->counters) counter->reset();
+  }
+  {
+    std::lock_guard lock(impl_->gauge_mutex);
+    for (auto& [name, gauge] : impl_->gauges) gauge->reset();
+  }
+  std::lock_guard lock(impl_->histogram_mutex);
+  for (auto& [name, histogram] : impl_->histograms) histogram->reset();
 }
 
 Span::Span(std::string name, std::string category) {
@@ -138,6 +220,14 @@ void Span::arg(std::string key, double value) {
   if (!active_) return;
   std::string text = std::to_string(value);
   record_.args.emplace_back(std::move(key), std::move(text));
+}
+
+Gauge& gauge(const std::string& name) {
+  return Registry::global().gauge(name);
+}
+
+Histogram& histogram(const std::string& name) {
+  return Registry::global().histogram(name);
 }
 
 }  // namespace jps::obs

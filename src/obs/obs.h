@@ -1,18 +1,23 @@
-// Lightweight runtime observability: spans and counters.
+// Lightweight runtime observability: spans, counters, gauges, histograms.
 //
 // The planner, plan cache, profile-curve builder, thread pool and simulator
 // all claim analytic performance properties (O(n) sweeps, cache hits,
 // pooled dispatch).  This module makes those claims visible at runtime:
 // a Span records a wall-clock interval on the executing thread, a Counter
-// counts monotone events, and the process-wide Registry collects both so
-// tools can dump them (`jps_cli --metrics`) or render them as a Chrome
-// trace (`obs::TraceWriter`, `jps_cli --trace-out`).
+// counts monotone events, a Gauge holds a last value (queue depth, hit
+// ratio), a Histogram records a latency distribution (obs/metrics.h), and
+// the process-wide Registry collects all of them so tools can dump them
+// (`jps_cli --metrics`, `--metrics-out` OpenMetrics/JSON exposition) or
+// render spans as a Chrome trace (`obs::TraceWriter`, `jps_cli
+// --trace-out`).
 //
 // Cost model:
-//   * Counters are always live — one relaxed atomic add per event.
+//   * Counters and gauges are always live — one relaxed atomic op per event.
+//   * Histogram recording is always live and lock-free (see obs/metrics.h).
 //   * Spans are recorded only while tracing is enabled (the JPS_TRACE
 //     environment variable, or set_enabled(true)); a disabled Span does not
-//     read the clock.
+//     read the clock.  Span storage is bounded (set_span_capacity); spans
+//     beyond the cap are dropped and counted in `obs.spans_dropped`.
 //
 // This is the lowest layer of the repo (depends on the standard library
 // only) so every other module may instrument itself freely.
@@ -25,6 +30,10 @@
 #include <vector>
 
 namespace jps::obs {
+
+class Gauge;               // obs/metrics.h
+class Histogram;           // obs/metrics.h
+struct HistogramSnapshot;  // obs/metrics.h
 
 /// True when span recording is on: JPS_TRACE set to a non-empty value other
 /// than "0" at first query, or the last set_enabled() call.
@@ -95,14 +104,27 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
-/// Process-wide sink for spans and counters.  All methods are thread-safe.
+/// Process-wide sink for spans, counters, gauges and histograms.  All
+/// methods are thread-safe.
 class Registry {
  public:
+  /// Default bound on stored spans (see set_span_capacity).
+  static constexpr std::size_t kDefaultSpanCapacity = 1u << 17;  // 131072
+
   /// The singleton every Span/Counter reports into.
   [[nodiscard]] static Registry& global();
 
-  /// Append one finished span (called by ~Span).
+  /// Append one finished span (called by ~Span).  Once span_capacity()
+  /// spans are stored further records are dropped and counted in the
+  /// `obs.spans_dropped` counter, so a long traced run (e.g. a fault
+  /// Monte-Carlo with JPS_TRACE on) cannot grow memory without bound.
   void record(SpanRecord record);
+
+  /// Change the span storage bound (takes effect for future records).
+  void set_span_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t span_capacity() const;
+  /// Spans dropped by the capacity cap since the last reset().
+  [[nodiscard]] std::uint64_t spans_dropped() const;
 
   /// Snapshot of all recorded spans, in completion order.
   [[nodiscard]] std::vector<SpanRecord> spans() const;
@@ -111,9 +133,22 @@ class Registry {
   /// Get-or-create the counter registered under `name`.
   [[nodiscard]] Counter& counter(const std::string& name);
 
+  /// Get-or-create the gauge registered under `name`.
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+
+  /// Get-or-create the histogram registered under `name`.
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
   /// Snapshot of (name, value) for every registered counter, sorted by name.
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counters()
       const;
+
+  /// Snapshot of (name, value) for every registered gauge, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> gauges() const;
+
+  /// Snapshot of every registered histogram, sorted by name.
+  [[nodiscard]] std::vector<std::pair<std::string, HistogramSnapshot>>
+  histograms() const;
 
   /// Milliseconds since the trace epoch (the first use of the registry).
   [[nodiscard]] double now_ms() const;
@@ -124,7 +159,8 @@ class Registry {
   /// Drop recorded spans (counters keep their values).
   void clear_spans();
 
-  /// Drop spans and zero every counter (test isolation).
+  /// Drop spans and zero every counter, gauge and histogram (test
+  /// isolation).  The span capacity reverts to kDefaultSpanCapacity.
   void reset();
 
   Registry(const Registry&) = delete;
@@ -143,5 +179,11 @@ class Registry {
 [[nodiscard]] inline Counter& counter(const std::string& name) {
   return Registry::global().counter(name);
 }
+
+/// Convenience: the global registry's gauge `name` (see obs/metrics.h).
+[[nodiscard]] Gauge& gauge(const std::string& name);
+
+/// Convenience: the global registry's histogram `name` (see obs/metrics.h).
+[[nodiscard]] Histogram& histogram(const std::string& name);
 
 }  // namespace jps::obs

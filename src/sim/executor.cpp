@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "sim/event_sim.h"
 #include "sim/executor_detail.h"
@@ -142,13 +143,29 @@ SimResult run_jobs(const std::vector<MixedJob>& jobs,
   }
   sim.run();
 
+  // Distributions of the quantities the paper's evaluation reports
+  // (Figs. 12-14): per-stage busy intervals of each job, per-job
+  // completion, and the plan makespan.
+  static obs::Histogram& makespan_hist = obs::histogram("sim.makespan_ms");
+  static obs::Histogram& mobile_hist = obs::histogram("sim.stage_mobile_ms");
+  static obs::Histogram& uplink_hist = obs::histogram("sim.stage_uplink_ms");
+  static obs::Histogram& cloud_hist = obs::histogram("sim.stage_cloud_ms");
+  static obs::Histogram& completion_hist =
+      obs::histogram("sim.job_completion_ms");
+
   SimResult result;
   result.jobs.reserve(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     result.jobs.push_back(
         collect(sim, job_tasks[j], jobs[j].job_id, jobs[j].cut_index));
+    const SimJobResult& job = result.jobs.back();
+    if (job.has_comp) mobile_hist.record(job.comp_end - job.comp_start);
+    if (job.has_comm) uplink_hist.record(job.comm_end - job.comm_start);
+    if (job.has_cloud) cloud_hist.record(job.cloud_end - job.cloud_start);
+    completion_hist.record(job.completion());
   }
   result.makespan = sim.makespan();
+  makespan_hist.record(result.makespan);
   if (result.makespan > 0.0) {
     result.mobile_utilization = sim.busy_time(resources.mobile) / result.makespan;
     result.link_utilization = sim.busy_time(resources.link) / result.makespan;

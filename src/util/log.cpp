@@ -1,6 +1,9 @@
 #include "util/log.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
@@ -19,16 +22,99 @@ const char* level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+std::string lower(const char* text) {
+  std::string out;
+  for (const char* p = text; *p != '\0'; ++p)
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  return out;
+}
+
+// JPS_LOG is applied exactly once before the first line is emitted, so a
+// process that never calls apply_log_level_from_env() still honours it.
+void ensure_env_applied() {
+  static const bool applied = [] {
+    apply_log_level_from_env();
+    return true;
+  }();
+  (void)applied;
+}
+
+bool needs_quoting(const std::string& value) {
+  if (value.empty()) return true;
+  for (const char c : value) {
+    if (c == ' ' || c == '=' || c == '"' || c == '\\') return true;
+  }
+  return false;
+}
+
+void append_value(std::string& out, const std::string& value) {
+  if (!needs_quoting(value)) {
+    out += value;
+    return;
+  }
+  out.push_back('"');
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+LogLevel parse_log_level(const char* text, LogLevel fallback) {
+  if (text == nullptr) return fallback;
+  const std::string name = lower(text);
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return fallback;
+}
+
+void apply_log_level_from_env() {
+  const char* env = std::getenv("JPS_LOG");
+  if (env == nullptr) return;
+  g_level.store(parse_log_level(env, g_level.load()));
+}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  value = buf;
+}
+
+LogField::LogField(std::string k, long long v)
+    : key(std::move(k)), value(std::to_string(v)) {}
+
+LogField::LogField(std::string k, unsigned long long v)
+    : key(std::move(k)), value(std::to_string(v)) {}
+
+std::string format_fields(std::initializer_list<LogField> fields) {
+  std::string out;
+  for (const LogField& field : fields) {
+    out.push_back(' ');
+    out += field.key;
+    out.push_back('=');
+    append_value(out, field.value);
+  }
+  return out;
+}
+
 void log_line(LogLevel level, const std::string& message) {
+  ensure_env_applied();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   std::lock_guard lock(g_io_mutex);
   std::cerr << "[jps " << level_tag(level) << "] " << message << '\n';
+}
+
+void log_line(LogLevel level, const std::string& message,
+              std::initializer_list<LogField> fields) {
+  log_line(level, message + format_fields(fields));
 }
 
 }  // namespace jps::util

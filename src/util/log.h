@@ -1,6 +1,19 @@
 // Leveled logging to stderr.  Benches default to Info; tests silence to Warn.
+//
+// The threshold can be set from the environment: JPS_LOG=debug|info|warn|error
+// is applied once at process start (and on demand via
+// apply_log_level_from_env()); set_log_level() overrides it.
+//
+// Lines may carry an optional structured suffix of key=value fields:
+//
+//   log_line(LogLevel::kInfo, "replanned", {{"jobs", 12}, {"ms", 3.25}});
+//   // [jps INFO ] replanned jobs=12 ms=3.25
+//
+// Values containing spaces, '=', or quotes are double-quoted with inner
+// quotes and backslashes escaped, so the suffix stays machine-splittable.
 #pragma once
 
+#include <initializer_list>
 #include <sstream>
 #include <string>
 
@@ -14,8 +27,45 @@ void set_log_level(LogLevel level);
 /// Current global threshold.
 [[nodiscard]] LogLevel log_level();
 
+/// Parse "debug"/"info"/"warn"/"error" (case-insensitive).  Unknown or null
+/// input returns `fallback`.
+[[nodiscard]] LogLevel parse_log_level(const char* text,
+                                       LogLevel fallback = LogLevel::kInfo);
+
+/// Re-read JPS_LOG and apply it if set.  Called once automatically before
+/// the first log line; exposed so tests (and long-lived tools) can re-apply
+/// after changing the environment.
+void apply_log_level_from_env();
+
+/// One key=value field attached to a log line.  The converting constructors
+/// cover the value types the repo logs (counts, durations, names).
+struct LogField {
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, long long v);
+  LogField(std::string k, unsigned long long v);
+  LogField(std::string k, int v) : LogField(std::move(k), static_cast<long long>(v)) {}
+  LogField(std::string k, std::size_t v)
+      : LogField(std::move(k), static_cast<unsigned long long>(v)) {}
+  LogField(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false") {}
+
+  std::string key;
+  std::string value;
+};
+
+/// Render fields as " k1=v1 k2=v2" (leading space; empty list -> empty
+/// string), quoting values that contain spaces, '=', or quotes.
+[[nodiscard]] std::string format_fields(std::initializer_list<LogField> fields);
+
 /// Emit one line at `level` (thread-safe; single write per line).
 void log_line(LogLevel level, const std::string& message);
+
+/// Emit one line at `level` with a key=value field suffix.
+void log_line(LogLevel level, const std::string& message,
+              std::initializer_list<LogField> fields);
 
 namespace detail {
 /// Stream-style builder that emits on destruction.

@@ -6,6 +6,7 @@
 #include <exception>
 #include <string>
 
+#include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace jps::util {
@@ -22,6 +23,17 @@ struct ParallelRegionGuard {
   ParallelRegionGuard() { ++tl_parallel_depth; }
   ~ParallelRegionGuard() { --tl_parallel_depth; }
 };
+
+// Live pool telemetry: tasks waiting in the queue, and how long each task
+// ran once popped (both feed `--metrics-out` exposition).
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("thread_pool.queue_depth");
+  return g;
+}
+obs::Histogram& task_histogram() {
+  static obs::Histogram& h = obs::histogram("thread_pool.task_ms");
+  return h;
+}
 
 }  // namespace
 
@@ -47,6 +59,7 @@ void ThreadPool::enqueue(Task task) {
   {
     std::lock_guard lock(mutex_);
     queue_.push(std::move(task));
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }
   cv_.notify_one();
 }
@@ -61,8 +74,12 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
-    task();  // exceptions are captured in the task's promise
+    {
+      obs::ScopedTimer timer(task_histogram());
+      task();  // exceptions are captured in the task's promise
+    }
     static obs::Counter& tasks = obs::counter("thread_pool.tasks");
     tasks.add();
   }

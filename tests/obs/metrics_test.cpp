@@ -1,0 +1,344 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_export.h"
+#include "obs/obs.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace jps::obs {
+namespace {
+
+// Shares the obs fixture discipline: every test starts from and leaves
+// behind a clean global registry.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::global().reset(); }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::global().reset();
+  }
+};
+
+TEST_F(MetricsTest, BucketIndexEdgeCases) {
+  // Degenerate values go to the underflow bucket rather than UB.
+  EXPECT_EQ(Histogram::bucket_index(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(-3.5), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1e-12), 0u);
+  EXPECT_EQ(Histogram::bucket_index(std::nan("")), 0u);
+  // Huge and infinite values go to the overflow bucket.
+  EXPECT_EQ(Histogram::bucket_index(1e300), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::infinity()),
+            Histogram::kBucketCount - 1);
+  // In-range values land in a bucket whose bounds contain them.
+  for (const double v : {1e-6, 0.001, 0.5, 1.0, 3.14159, 1000.0, 8.5e8}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    ASSERT_GT(i, 0u);
+    ASSERT_LT(i, Histogram::kBucketCount - 1);
+    EXPECT_LE(Histogram::bucket_lower(i), v) << v;
+    EXPECT_GT(Histogram::bucket_upper(i), v) << v;
+  }
+}
+
+TEST_F(MetricsTest, BucketBoundsAreContiguousAndMonotone) {
+  for (std::size_t i = 1; i + 1 < Histogram::kBucketCount; ++i) {
+    EXPECT_LT(Histogram::bucket_lower(i), Histogram::bucket_upper(i)) << i;
+    EXPECT_DOUBLE_EQ(Histogram::bucket_upper(i), Histogram::bucket_lower(i + 1))
+        << i;
+  }
+}
+
+TEST_F(MetricsTest, CountSumMinMaxExact) {
+  Histogram h("test");
+  h.record(3.0);
+  h.record(1.0);
+  h.record(10.0);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 14.0);
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 10.0);
+  EXPECT_DOUBLE_EQ(snap.mean(), 14.0 / 3.0);
+}
+
+// The acceptance bound: histogram percentiles track the exact (sorted,
+// linearly interpolated) util::percentile within the documented relative
+// error on a large skewed sample.
+TEST_F(MetricsTest, PercentileMatchesExactWithinRelativeError) {
+  util::Rng rng(7);
+  Histogram h("test");
+  std::vector<double> samples;
+  constexpr int kSamples = 20000;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    // Lognormal-ish latencies spanning ~3 decades around 5 ms.
+    const double v = 5.0 * rng.lognormal_factor(1.0);
+    samples.push_back(v);
+    h.record(v);
+  }
+  // 2x the per-bucket bound: the exact value interpolates between two
+  // neighbouring order statistics which may straddle a bucket boundary.
+  const double tolerance = 2.0 * Histogram::kRelativeError;
+  for (const double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = util::percentile(samples, p);
+    const double approx = h.percentile(p);
+    EXPECT_NEAR(approx, exact, exact * tolerance) << "p" << p;
+  }
+}
+
+TEST_F(MetricsTest, PercentileEmptyAndSingle) {
+  Histogram h("test");
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 0.0);
+  h.record(42.0);
+  const double p50 = h.percentile(50.0);
+  EXPECT_NEAR(p50, 42.0, 42.0 * 2.0 * Histogram::kRelativeError);
+  // Every percentile of a single sample is that sample's bucket.
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), p50);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), p50);
+}
+
+// Merge must be associative: (a + b) + c == a + (b + c), bucket-wise and in
+// count.  Integer-valued samples make the sums exact too.
+TEST_F(MetricsTest, MergeIsAssociative) {
+  util::Rng rng(11);
+  Histogram ha("a"), hb("b"), hc("c");
+  for (int i = 0; i < 500; ++i) {
+    ha.record(static_cast<double>(rng.uniform_int(1, 1000)));
+    hb.record(static_cast<double>(rng.uniform_int(1, 100000)));
+    hc.record(static_cast<double>(rng.uniform_int(1, 50)));
+  }
+  const HistogramSnapshot a = ha.snapshot();
+  const HistogramSnapshot b = hb.snapshot();
+  const HistogramSnapshot c = hc.snapshot();
+
+  HistogramSnapshot left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  HistogramSnapshot bc = b;     // a + (b + c)
+  bc.merge(c);
+  HistogramSnapshot right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.count, 1500u);
+  EXPECT_DOUBLE_EQ(left.sum, right.sum);
+  EXPECT_DOUBLE_EQ(left.min, right.min);
+  EXPECT_DOUBLE_EQ(left.max, right.max);
+  ASSERT_EQ(left.buckets.size(), right.buckets.size());
+  for (std::size_t i = 0; i < left.buckets.size(); ++i)
+    EXPECT_EQ(left.buckets[i], right.buckets[i]) << i;
+}
+
+TEST_F(MetricsTest, MergeEmptySnapshotsAndLayoutMismatch) {
+  Histogram h("test");
+  h.record(2.0);
+  HistogramSnapshot snap = h.snapshot();
+  HistogramSnapshot empty;
+  snap.merge(empty);  // no-op
+  EXPECT_EQ(snap.count, 1u);
+  empty.merge(snap);  // adopts
+  EXPECT_EQ(empty.count, 1u);
+  HistogramSnapshot bad = snap;
+  bad.buckets.resize(3);
+  EXPECT_THROW(snap.merge(bad), std::invalid_argument);
+}
+
+// Concurrent recording must lose nothing: count and sum are exact when the
+// recorded values are integers (FP addition of integers is associative in
+// this range).  The TSan CI job runs this binary, so this test doubles as
+// the lock-free-recording race check.
+TEST_F(MetricsTest, ConcurrentRecordIsDeterministic) {
+  Histogram h("test");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<double>(t + 1));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // sum = kPerThread * (1 + 2 + ... + kThreads)
+  EXPECT_DOUBLE_EQ(snap.sum, kPerThread * (kThreads * (kThreads + 1) / 2.0));
+  EXPECT_DOUBLE_EQ(snap.min, 1.0);
+  EXPECT_DOUBLE_EQ(snap.max, static_cast<double>(kThreads));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST_F(MetricsTest, GaugeSetAddAndRegistryIdentity) {
+  Gauge& g = gauge("test.gauge");
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_EQ(&gauge("test.gauge"), &g);
+  EXPECT_NE(&gauge("test.other"), &g);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsOnceAndCancelDetaches) {
+  Histogram& h = histogram("test.timer_ms");
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.elapsed_ms(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  {
+    ScopedTimer timer(h);
+    timer.cancel();
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+// Regression test for the PR's satellite: reset() must clear the metric
+// types added after the original spans+counters implementation.
+TEST_F(MetricsTest, RegistryResetClearsGaugesAndHistograms) {
+  gauge("test.gauge").set(7.0);
+  histogram("test.hist").record(3.0);
+  counter("test.counter").add(5);
+  Registry::global().reset();
+  EXPECT_DOUBLE_EQ(gauge("test.gauge").value(), 0.0);
+  EXPECT_EQ(histogram("test.hist").count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram("test.hist").sum(), 0.0);
+  EXPECT_EQ(counter("test.counter").value(), 0u);
+  // A cleared histogram records correctly again (min/max sentinels rearmed).
+  histogram("test.hist").record(4.0);
+  const HistogramSnapshot snap = histogram("test.hist").snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.min, 4.0);
+  EXPECT_DOUBLE_EQ(snap.max, 4.0);
+}
+
+TEST_F(MetricsTest, SpanCapacityDropsAndCounts) {
+  set_enabled(true);
+  Registry::global().set_span_capacity(4);
+  for (int i = 0; i < 10; ++i) { Span span("s" + std::to_string(i), "test"); }
+  EXPECT_EQ(Registry::global().span_count(), 4u);
+  EXPECT_EQ(Registry::global().spans_dropped(), 6u);
+  EXPECT_EQ(counter("obs.spans_dropped").value(), 6u);
+  // reset() restores the default capacity and zeroes the drop count.
+  Registry::global().reset();
+  EXPECT_EQ(Registry::global().span_capacity(),
+            Registry::kDefaultSpanCapacity);
+  EXPECT_EQ(Registry::global().spans_dropped(), 0u);
+}
+
+TEST_F(MetricsTest, RegistrySnapshotsAreSortedByName) {
+  gauge("test.zebra").set(1.0);
+  gauge("test.apple").set(2.0);
+  histogram("test.zebra").record(1.0);
+  histogram("test.apple").record(2.0);
+  const auto gauges = Registry::global().gauges();
+  const auto histograms = Registry::global().histograms();
+  ASSERT_GE(gauges.size(), 2u);
+  ASSERT_GE(histograms.size(), 2u);
+  for (std::size_t i = 1; i < gauges.size(); ++i)
+    EXPECT_LT(gauges[i - 1].first, gauges[i].first);
+  for (std::size_t i = 1; i < histograms.size(); ++i)
+    EXPECT_LT(histograms[i - 1].first, histograms[i].first);
+}
+
+TEST_F(MetricsTest, OpenMetricsNameSanitization) {
+  EXPECT_EQ(openmetrics_name("plan_cache.hit_ratio"),
+            "jps_plan_cache_hit_ratio");
+  EXPECT_EQ(openmetrics_name("sim.makespan-ms"), "jps_sim_makespan_ms");
+  EXPECT_EQ(openmetrics_name("weird name!"), "jps_weird_name_");
+}
+
+// The OpenMetrics exposition must be internally consistent: cumulative
+// monotone buckets, +Inf bucket == _count, and the mandatory trailer.
+TEST_F(MetricsTest, OpenMetricsExposition) {
+  counter("test.events").add(3);
+  gauge("test.depth").set(2.5);
+  Histogram& h = histogram("test.latency_ms");
+  for (const double v : {0.5, 1.0, 2.0, 4.0, 1000.0}) h.record(v);
+
+  const MetricsSnapshot snapshot = MetricsSnapshot::capture();
+  const std::string text = to_openmetrics(snapshot);
+
+  EXPECT_NE(text.find("# TYPE jps_test_events counter\n"), std::string::npos);
+  EXPECT_NE(text.find("jps_test_events_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jps_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("jps_test_depth 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE jps_test_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("jps_test_latency_ms_bucket{le=\"+Inf\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("jps_test_latency_ms_count 5\n"), std::string::npos);
+  EXPECT_NE(text.find("jps_test_latency_ms_sum 1007.5\n"), std::string::npos);
+  // Must end with the OpenMetrics EOF marker.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+
+  // Bucket series are cumulative and monotone.
+  std::uint64_t last = 0;
+  std::size_t pos = 0;
+  int buckets_seen = 0;
+  const std::string needle = "jps_test_latency_ms_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const std::size_t value_at = text.find("} ", pos) + 2;
+    const std::uint64_t cumulative = std::stoull(text.substr(value_at));
+    EXPECT_GE(cumulative, last);
+    last = cumulative;
+    ++buckets_seen;
+    ++pos;
+  }
+  EXPECT_GE(buckets_seen, 2);
+  EXPECT_EQ(last, 5u);  // the +Inf bucket equals the count
+}
+
+// The JSON exposition must parse with the repo's own parser and round-trip
+// the instrument values.
+TEST_F(MetricsTest, JsonExpositionRoundTrips) {
+  counter("test.events").add(7);
+  gauge("test.ratio").set(0.75);
+  Histogram& h = histogram("test.latency_ms");
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+
+  const MetricsSnapshot snapshot = MetricsSnapshot::capture();
+  const util::Json doc = util::Json::parse(to_json(snapshot));
+
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("test.events").as_double(), 7.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("test.ratio").as_double(), 0.75);
+  const util::Json& hist = doc.at("histograms").at("test.latency_ms");
+  EXPECT_DOUBLE_EQ(hist.at("count").as_double(), 100.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_double(), 5050.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("max").as_double(), 100.0);
+  const double p50 = hist.at("p50").as_double();
+  EXPECT_NEAR(p50, 50.5, 50.5 * 2.0 * Histogram::kRelativeError);
+  // Bucket list: les are increasing, counts sum to the total.
+  const util::Json& buckets = hist.at("buckets");
+  ASSERT_TRUE(buckets.is_array());
+  double bucket_sum = 0.0;
+  for (std::size_t i = 0; i < buckets.size(); ++i)
+    bucket_sum += buckets.at(i).at("count").as_double();
+  EXPECT_DOUBLE_EQ(bucket_sum, 100.0);
+}
+
+TEST_F(MetricsTest, WriteMetricsFileRejectsUnknownFormat) {
+  EXPECT_THROW(
+      write_metrics_file("/tmp/jps_metrics_test.txt", "xml",
+                         MetricsSnapshot::capture()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jps::obs

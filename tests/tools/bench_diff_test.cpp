@@ -1,0 +1,134 @@
+#include "bench_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+
+namespace jps::tools::bench_diff {
+namespace {
+
+util::Json load_fixture(const std::string& name) {
+  const std::string path = std::string(JPS_BENCH_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return util::Json::parse(buffer.str());
+}
+
+util::Json minimal_doc(double p95) {
+  util::Json metrics = util::Json::object();
+  util::Json m = util::Json::object();
+  m.set("p50", util::Json(1.0));
+  m.set("p95", util::Json(p95));
+  m.set("p99", util::Json(p95 * 1.2));
+  metrics.set("lat_ms", std::move(m));
+  util::Json doc = util::Json::object();
+  doc.set("schema", util::Json(kSchema));
+  doc.set("name", util::Json("mini"));
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+TEST(BenchDiff, IdenticalFilesAreClean) {
+  const util::Json base = load_fixture("BENCH_fixture_base.json");
+  const Report report = compare(base, base);
+  EXPECT_FALSE(report.has_regressions());
+  EXPECT_TRUE(report.problems.empty());
+  EXPECT_EQ(report.exit_code(), kExitOk);
+  // Both metrics x three stats compared.
+  EXPECT_EQ(report.findings.size(), 6u);
+}
+
+TEST(BenchDiff, FlagsInjectedRegression) {
+  // The regressed fixture doubles plan_ms p95/p99 while makespan_ms stays
+  // within 1%: only the injected regression must fire.
+  const util::Json base = load_fixture("BENCH_fixture_base.json");
+  const util::Json regressed = load_fixture("BENCH_fixture_regressed.json");
+  const Report report = compare(base, regressed);
+  EXPECT_TRUE(report.has_regressions());
+  EXPECT_EQ(report.exit_code(), kExitRegression);
+  for (const Finding& f : report.findings) {
+    const bool expected = f.metric == "plan_ms" &&
+                          (f.stat == "p95" || f.stat == "p99");
+    EXPECT_EQ(f.regression, expected) << f.metric << "." << f.stat;
+  }
+}
+
+TEST(BenchDiff, ThresholdGatesRegression) {
+  const util::Json base = minimal_doc(1.0);
+  const util::Json current = minimal_doc(1.15);  // +15%
+  Options options;
+  options.threshold = 0.20;
+  EXPECT_FALSE(compare(base, current, options).has_regressions());
+  options.threshold = 0.10;
+  EXPECT_TRUE(compare(base, current, options).has_regressions());
+}
+
+TEST(BenchDiff, PerMetricOverrideWins) {
+  const util::Json base = minimal_doc(1.0);
+  const util::Json current = minimal_doc(1.5);  // +50%
+  Options options;
+  options.threshold = 0.10;
+  options.metric_thresholds["lat_ms"] = 0.60;  // loosened for this metric
+  EXPECT_FALSE(compare(base, current, options).has_regressions());
+}
+
+TEST(BenchDiff, ImprovementIsNotARegression) {
+  EXPECT_FALSE(compare(minimal_doc(2.0), minimal_doc(1.0)).has_regressions());
+}
+
+TEST(BenchDiff, ZeroBaselineFlagsAnyCost) {
+  const Report report = compare(minimal_doc(0.0), minimal_doc(0.5));
+  EXPECT_TRUE(report.has_regressions());
+}
+
+TEST(BenchDiff, SchemaMismatchesExitTwo) {
+  const util::Json good = minimal_doc(1.0);
+  util::Json bad_schema = minimal_doc(1.0);
+  bad_schema.set("schema", util::Json("jps-bench-v999"));
+  EXPECT_EQ(compare(bad_schema, good).exit_code(), kExitSchema);
+  EXPECT_EQ(compare(good, bad_schema).exit_code(), kExitSchema);
+
+  util::Json renamed = minimal_doc(1.0);
+  renamed.set("name", util::Json("other"));
+  EXPECT_EQ(compare(good, renamed).exit_code(), kExitSchema);
+}
+
+TEST(BenchDiff, LostMetricIsASchemaProblem) {
+  const util::Json base = minimal_doc(1.0);
+  util::Json current = minimal_doc(1.0);
+  current.set("metrics", util::Json::object());  // metric disappeared
+  const Report report = compare(base, current);
+  EXPECT_EQ(report.exit_code(), kExitSchema);
+  ASSERT_EQ(report.problems.size(), 1u);
+  EXPECT_NE(report.problems[0].find("lat_ms"), std::string::npos);
+}
+
+TEST(BenchDiff, CustomStatsListRestrictsComparison) {
+  const util::Json base = minimal_doc(1.0);
+  const util::Json current = minimal_doc(5.0);  // p95/p99 way up, p50 equal
+  Options options;
+  options.stats = {"p50"};
+  const Report report = compare(base, current, options);
+  EXPECT_FALSE(report.has_regressions());
+  EXPECT_EQ(report.findings.size(), 1u);
+}
+
+TEST(BenchDiff, TextReportNamesTheRegression) {
+  const Report report = compare(minimal_doc(1.0), minimal_doc(3.0));
+  const std::string text = to_text(report);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms.p95"), std::string::npos);
+  // Non-verbose output elides in-budget lines; verbose shows all.
+  const std::string verbose = to_text(report, true);
+  EXPECT_GT(verbose.size(), text.size());
+  EXPECT_NE(verbose.find("ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jps::tools::bench_diff

@@ -23,5 +23,49 @@ TEST(Log, SuppressedBelowThresholdAndStreams) {
   set_log_level(before);
 }
 
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("Warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("bogus", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(nullptr, LogLevel::kError), LogLevel::kError);
+}
+
+TEST(Log, EnvThresholdApplies) {
+  const LogLevel before = log_level();
+  ASSERT_EQ(setenv("JPS_LOG", "error", 1), 0);
+  apply_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Unknown values leave the current threshold untouched.
+  ASSERT_EQ(setenv("JPS_LOG", "shout", 1), 0);
+  apply_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  ASSERT_EQ(unsetenv("JPS_LOG"), 0);
+  apply_log_level_from_env();  // unset: no change
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+TEST(Log, FormatFieldsQuotesWhenNeeded) {
+  EXPECT_EQ(format_fields({}), "");
+  EXPECT_EQ(format_fields({{"jobs", 12}, {"ms", 3.25}}), " jobs=12 ms=3.25");
+  EXPECT_EQ(format_fields({{"model", "alexnet"}}), " model=alexnet");
+  EXPECT_EQ(format_fields({{"msg", "two words"}}), " msg=\"two words\"");
+  EXPECT_EQ(format_fields({{"expr", "a=b"}}), " expr=\"a=b\"");
+  EXPECT_EQ(format_fields({{"q", "say \"hi\""}}), " q=\"say \\\"hi\\\"\"");
+  EXPECT_EQ(format_fields({{"empty", ""}}), " empty=\"\"");
+  EXPECT_EQ(format_fields({{"ok", true}, {"n", std::size_t{7}}}),
+            " ok=true n=7");
+}
+
+TEST(Log, FieldSuffixOverloadDoesNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);  // suppressed: exercises the path only
+  log_line(LogLevel::kInfo, "planned", {{"jobs", 100}, {"model", "alexnet"}});
+  set_log_level(before);
+}
+
 }  // namespace
 }  // namespace jps::util

@@ -36,6 +36,11 @@ class Args {
     return positional_.empty() ? std::string() : positional_.front();
   }
 
+  /// All positional arguments in order (tools taking file operands).
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positional_;
+  }
+
   [[nodiscard]] std::string get(const std::string& key,
                                 const std::string& fallback) const {
     const auto it = flags_.find(key);

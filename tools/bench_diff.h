@@ -1,0 +1,171 @@
+// Comparison logic behind `jps_bench_diff`: load two BENCH_*.json telemetry
+// files (schema "jps-bench-v1", written by bench::BenchReporter) and flag
+// per-metric regressions.
+//
+// A metric stat regresses when current > base * (1 + threshold).  The
+// default threshold applies to every metric; per-metric overrides tighten or
+// loosen individual series (a noisy tail metric can tolerate 30% while a
+// deterministic mean stays at 5%).  Improvements and in-budget drift are
+// reported but never fail.
+//
+// Header-only so the CLI and the unit tests share one implementation
+// without another library target.  Exit codes follow the jps_lint
+// convention: 0 clean, 1 regressions, 2 schema mismatch, 64 usage error.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace jps::tools::bench_diff {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRegression = 1;
+inline constexpr int kExitSchema = 2;
+inline constexpr int kExitUsage = 64;
+
+inline constexpr const char* kSchema = "jps-bench-v1";
+
+struct Options {
+  /// Allowed relative increase before a stat counts as a regression.
+  double threshold = 0.10;
+  /// Which stats of each metric to compare.
+  std::vector<std::string> stats = {"p50", "p95", "p99"};
+  /// Per-metric threshold overrides (metric name -> allowed increase).
+  std::map<std::string, double> metric_thresholds;
+};
+
+/// One compared (metric, stat) pair.
+struct Finding {
+  std::string metric;
+  std::string stat;
+  double base = 0.0;
+  double current = 0.0;
+  /// current/base - 1 (0 when base == 0).
+  double delta = 0.0;
+  double threshold = 0.0;
+  bool regression = false;
+};
+
+struct Report {
+  std::vector<Finding> findings;
+  /// Schema-level problems (bad schema tag, metric disappeared, ...).
+  std::vector<std::string> problems;
+
+  [[nodiscard]] bool has_regressions() const {
+    for (const Finding& f : findings)
+      if (f.regression) return true;
+    return false;
+  }
+
+  [[nodiscard]] int exit_code() const {
+    if (!problems.empty()) return kExitSchema;
+    return has_regressions() ? kExitRegression : kExitOk;
+  }
+};
+
+inline std::string format_delta(double delta) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.1f%%", delta * 100.0);
+  return buf;
+}
+
+/// Compare two parsed BENCH documents.  Never throws on content problems —
+/// they land in Report::problems (malformed JSON should be caught by the
+/// caller around util::Json::parse).
+inline Report compare(const util::Json& base, const util::Json& current,
+                      const Options& options = {}) {
+  Report report;
+  for (const auto* doc : {&base, &current}) {
+    const util::Json* schema = doc->get("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->as_string() != kSchema) {
+      report.problems.push_back(std::string("not a ") + kSchema +
+                                " document (missing/wrong \"schema\")");
+      return report;
+    }
+  }
+  const util::Json* base_name = base.get("name");
+  const util::Json* current_name = current.get("name");
+  if (base_name != nullptr && current_name != nullptr &&
+      base_name->as_string() != current_name->as_string()) {
+    report.problems.push_back("bench names differ: \"" +
+                              base_name->as_string() + "\" vs \"" +
+                              current_name->as_string() + "\"");
+    return report;
+  }
+
+  const util::Json* base_metrics = base.get("metrics");
+  const util::Json* current_metrics = current.get("metrics");
+  if (base_metrics == nullptr || !base_metrics->is_object() ||
+      current_metrics == nullptr || !current_metrics->is_object()) {
+    report.problems.push_back("missing \"metrics\" object");
+    return report;
+  }
+
+  for (const auto& [metric, base_stats] : base_metrics->members()) {
+    const util::Json* current_stats = current_metrics->get(metric);
+    if (current_stats == nullptr) {
+      report.problems.push_back("metric \"" + metric +
+                                "\" missing from current file");
+      continue;
+    }
+    const auto override_it = options.metric_thresholds.find(metric);
+    const double threshold = override_it != options.metric_thresholds.end()
+                                 ? override_it->second
+                                 : options.threshold;
+    for (const std::string& stat : options.stats) {
+      const util::Json* base_value = base_stats.get(stat);
+      const util::Json* current_value = current_stats->get(stat);
+      if (base_value == nullptr || !base_value->is_number() ||
+          current_value == nullptr || !current_value->is_number()) {
+        continue;  // stat not recorded on both sides: nothing to compare
+      }
+      Finding f;
+      f.metric = metric;
+      f.stat = stat;
+      f.base = base_value->as_double();
+      f.current = current_value->as_double();
+      f.threshold = threshold;
+      if (f.base > 0.0) {
+        f.delta = f.current / f.base - 1.0;
+        f.regression = f.delta > threshold;
+      } else {
+        // Zero baseline: any positive current value is flagged (relative
+        // delta is undefined, but "was free, now costs" is a regression).
+        f.delta = 0.0;
+        f.regression = f.current > 0.0;
+      }
+      report.findings.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+/// Human-readable report: one line per regression (or per finding when
+/// `verbose`), then a summary line.
+inline std::string to_text(const Report& report, bool verbose = false) {
+  std::string out;
+  for (const std::string& problem : report.problems)
+    out += "schema: " + problem + "\n";
+  std::size_t regressions = 0;
+  for (const Finding& f : report.findings) {
+    if (f.regression) ++regressions;
+    if (!f.regression && !verbose) continue;
+    char line[256];
+    std::snprintf(line, sizeof(line), "%s %s.%s: %g -> %g (%s, budget %+.1f%%)\n",
+                  f.regression ? "REGRESSION" : "ok        ", f.metric.c_str(),
+                  f.stat.c_str(), f.base, f.current,
+                  format_delta(f.delta).c_str(), f.threshold * 100.0);
+    out += line;
+  }
+  out += std::to_string(report.findings.size()) + " stats compared, " +
+         std::to_string(regressions) + " regressions\n";
+  return out;
+}
+
+}  // namespace jps::tools::bench_diff

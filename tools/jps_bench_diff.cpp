@@ -1,0 +1,85 @@
+// jps_bench_diff — compare two BENCH_*.json telemetry files.
+//
+//   jps_bench_diff BASE.json CURRENT.json
+//       [--threshold 0.10]            default allowed relative increase
+//       [--stats p50,p95,p99]         which stats to compare
+//       [--thresholds m1=0.25,m2=0.05] per-metric overrides
+//       [--verbose]                   print in-budget stats too
+//
+// Exit codes (jps_lint convention):
+//   0   no regressions
+//   1   at least one stat exceeded its budget
+//   2   schema mismatch (wrong schema tag, different bench, lost metric)
+//   64  usage error (bad flags, unreadable/unparseable file)
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "args.h"
+#include "bench_diff.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace jps;
+using namespace jps::tools;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void usage() {
+  std::cout <<
+      "jps_bench_diff — flag regressions between two BENCH_*.json files\n"
+      "usage: jps_bench_diff BASE.json CURRENT.json\n"
+      "  --threshold R            allowed relative increase (default 0.10)\n"
+      "  --stats s1,s2            stats to compare (default p50,p95,p99)\n"
+      "  --thresholds m=R,m2=R2   per-metric threshold overrides\n"
+      "  --verbose                also print stats that stayed in budget\n"
+      "exit: 0 clean, 1 regression, 2 schema mismatch, 64 usage\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  if (args.has("help")) {
+    usage();
+    return bench_diff::kExitOk;
+  }
+  if (args.positionals().size() != 2) {
+    usage();
+    return bench_diff::kExitUsage;
+  }
+  try {
+    bench_diff::Options options;
+    options.threshold = args.get_double("threshold", options.threshold);
+    if (args.has("stats")) {
+      options.stats = util::split(args.get("stats", ""), ',');
+    }
+    for (const std::string& entry :
+         util::split(args.get("thresholds", ""), ',')) {
+      if (entry.empty()) continue;
+      const auto parts = util::split(entry, '=');
+      if (parts.size() != 2)
+        throw std::invalid_argument("--thresholds: expected metric=R, got '" +
+                                    entry + "'");
+      options.metric_thresholds[parts[0]] = std::stod(parts[1]);
+    }
+
+    const util::Json base = util::Json::parse(read_file(args.positionals()[0]));
+    const util::Json current =
+        util::Json::parse(read_file(args.positionals()[1]));
+    const bench_diff::Report report =
+        bench_diff::compare(base, current, options);
+    std::cout << bench_diff::to_text(report, args.has("verbose"));
+    return report.exit_code();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return bench_diff::kExitUsage;
+  }
+}

@@ -29,6 +29,7 @@
 #include "check/lint_fault.h"
 #include "check/lint_plan.h"
 #include "jps.h"
+#include "obs/metrics_export.h"
 #include "obs/obs.h"
 #include "obs/trace_writer.h"
 #include "util/strings.h"
@@ -404,7 +405,8 @@ int cmd_dot(const tools::Args& args) {
 }
 
 // --metrics: one unified dump of the plan-cache statistics and every obs
-// counter touched during this invocation.
+// instrument touched during this invocation (counters, gauges, and the tail
+// of each histogram).
 void print_metrics() {
   const core::PlanCache::Stats stats = core::PlanCache::global().stats();
   std::cout << "metrics:\n"
@@ -413,8 +415,20 @@ void print_metrics() {
             << stats.plan_hits << "/" << stats.plan_misses
             << " plan hits/misses (" << util::format_pct(stats.hit_rate())
             << " hit rate)\n";
-  for (const auto& [name, value] : obs::Registry::global().counters())
+  const obs::MetricsSnapshot snapshot = obs::MetricsSnapshot::capture();
+  for (const auto& [name, value] : snapshot.counters)
     std::cout << "  " << name << " = " << value << "\n";
+  for (const auto& [name, value] : snapshot.gauges)
+    std::cout << "  " << name << " = " << value << "\n";
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (hist.count == 0) continue;
+    std::cout << "  " << name << ": n=" << hist.count << " mean="
+              << util::format_ms(hist.mean()) << " p50="
+              << util::format_ms(hist.percentile(50.0)) << " p95="
+              << util::format_ms(hist.percentile(95.0)) << " p99="
+              << util::format_ms(hist.percentile(99.0)) << " max="
+              << util::format_ms(hist.max) << "\n";
+  }
 }
 
 // --trace-out=FILE: Chrome trace with pid 0 = instrumentation spans (one
@@ -462,10 +476,14 @@ void usage() {
       "global flags:\n"
       "  --trace-out=FILE  Chrome trace (spans + simulated timeline) for\n"
       "                    about:tracing / Perfetto\n"
-      "  --metrics         dump runtime counters and plan-cache stats\n"
+      "  --metrics         dump counters, gauges, histogram tails, and\n"
+      "                    plan-cache stats\n"
+      "  --metrics-out=FILE      write a metrics snapshot on exit\n"
+      "  --metrics-format=FMT    openmetrics (default) or json\n"
       "environment:\n"
       "  JPS_THREADS=N   size of the shared worker pool (default: all cores)\n"
-      "  JPS_TRACE=1     record instrumentation spans (implied by --trace-out)\n";
+      "  JPS_TRACE=1     record instrumentation spans (implied by --trace-out)\n"
+      "  JPS_LOG=LEVEL   log threshold: debug, info, warn, or error\n";
 }
 
 }  // namespace
@@ -491,6 +509,13 @@ int main(int argc, char** argv) {
       return command.empty() ? 0 : 1;
     }
     if (args.has("metrics")) print_metrics();
+    if (args.has("metrics-out")) {
+      const std::string path = args.get("metrics-out", "metrics.txt");
+      const std::string format = args.get("metrics-format", "openmetrics");
+      jps::obs::write_metrics_file(path, format,
+                                   jps::obs::MetricsSnapshot::capture());
+      std::cout << "metrics written to " << path << " (" << format << ")\n";
+    }
     if (args.has("trace-out")) write_trace(args.get("trace-out", "trace.json"));
     return status;
   } catch (const std::exception& e) {
