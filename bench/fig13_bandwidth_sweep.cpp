@@ -2,6 +2,15 @@
 // 1 to 80 Mbps, for AlexNet and MobileNet-v2 (50 jobs, per-job ms).  The
 // "benefit range" is the bandwidth interval where JPS strictly beats both
 // trivial strategies.
+//
+// The bench also measures planner throughput on this sweep's hot path:
+// per-point scalar planning (curve rebase + Planner + plan per bandwidth)
+// versus the batched Planner::plan_sweep over the curve's SoA lanes, and
+// verifies the two agree bit-for-bit before reporting plans_per_sec /
+// plans_per_sec_scalar / plan_sweep_speedup.  A disagreement exits 1, so
+// any CI job running this bench gates the batched path's correctness.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <vector>
 
@@ -9,6 +18,27 @@
 #include "reporter.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+
+namespace {
+
+// Bit-identity of one sweep lane against the scalar per-point plan: same
+// makespan double, same cut multiset.
+bool lane_matches_scalar(const jps::core::PlanSweep& sweep, std::size_t p,
+                         const jps::core::ExecutionPlan& scalar) {
+  if (sweep.makespan_ms[p] != scalar.predicted_makespan) return false;
+  std::vector<std::size_t> expected(
+      static_cast<std::size_t>(sweep.n_jobs), sweep.cut_b[p]);
+  for (int i = 0; i < sweep.n_a[p]; ++i)
+    expected[static_cast<std::size_t>(i)] = sweep.cut_a[p];
+  std::vector<std::size_t> actual;
+  actual.reserve(scalar.jobs.size());
+  for (const auto& job : scalar.jobs) actual.push_back(job.cut_index);
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  return expected == actual;
+}
+
+}  // namespace
 
 int main() {
   using namespace jps;
@@ -79,6 +109,74 @@ int main() {
               << "(paper: both models speed up across [1, 20] Mbps — 3G\n"
               << "through Wi-Fi — with AlexNet's range extending past 50)\n";
     bench::print_cache_stats(model);
+  }
+
+  // --- Planner throughput: scalar per-point path vs batched plan_sweep ---
+  {
+    using Clock = std::chrono::steady_clock;
+    const auto seconds = [](Clock::time_point a, Clock::time_point b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    const bench::Testbed testbed("alexnet");
+    const double kNominalMbps = 10.0;
+    const net::Channel channel(kNominalMbps);
+    const partition::ProfileCurve base = testbed.curve(kNominalMbps);
+    const core::Planner planner(base);
+    const core::Strategy kStrategy = core::Strategy::kJPSTuned;
+
+    // A dense grid: the throughput question only matters at sweep scale.
+    const int kPoints = bench::quick_scaled(2000, 300);
+    std::vector<double> grid;
+    grid.reserve(static_cast<std::size_t>(kPoints));
+    for (int i = 0; i < kPoints; ++i)
+      grid.push_back(1.0 + 79.0 * static_cast<double>(i) /
+                               static_cast<double>(kPoints - 1));
+
+    // Scalar pass: exactly what this bench (and any per-request service)
+    // did per point before plan_sweep existed.  Keep the plans for the
+    // bit-identity check below.
+    std::vector<core::ExecutionPlan> scalar_plans;
+    scalar_plans.reserve(grid.size());
+    const auto scalar_start = Clock::now();
+    for (const double mbps : grid)
+      scalar_plans.push_back(
+          core::Planner(base.with_bandwidth(channel, mbps))
+              .plan(kStrategy, kJobs));
+    const double scalar_s = seconds(scalar_start, Clock::now());
+
+    // Batched pass, repeated for a measurable interval.
+    const int kReps = 32;
+    core::PlanSweep sweep;
+    const auto batched_start = Clock::now();
+    for (int r = 0; r < kReps; ++r)
+      sweep = planner.plan_sweep(kStrategy, kJobs, grid, channel);
+    const double batched_s = seconds(batched_start, Clock::now()) / kReps;
+
+    for (std::size_t p = 0; p < grid.size(); ++p) {
+      if (!lane_matches_scalar(sweep, p, scalar_plans[p])) {
+        std::cerr << "FAIL: plan_sweep diverges from the scalar planner at "
+                  << grid[p] << " Mbps (batched " << sweep.makespan_ms[p]
+                  << " ms vs scalar " << scalar_plans[p].predicted_makespan
+                  << " ms)\n";
+        return 1;
+      }
+    }
+
+    const double per_sec_scalar = static_cast<double>(kPoints) / scalar_s;
+    const double per_sec_batched = static_cast<double>(kPoints) / batched_s;
+    const double speedup = per_sec_batched / per_sec_scalar;
+    reporter.note("sweep_points", kPoints);
+    reporter.note("sweep_strategy", "JPS*");
+    reporter.record("plans_per_sec", per_sec_batched);
+    reporter.record("plans_per_sec_scalar", per_sec_scalar);
+    reporter.record("plan_sweep_speedup", speedup);
+    std::cout << "\n--- planner throughput (" << kPoints
+              << "-point JPS* sweep, " << kJobs << " jobs) ---\n"
+              << "scalar per-point path: " << util::format_fixed(per_sec_scalar, 0)
+              << " plans/s\n"
+              << "batched plan_sweep:    " << util::format_fixed(per_sec_batched, 0)
+              << " plans/s  (" << util::format_fixed(speedup, 1)
+              << "x, bit-identical to scalar)\n";
   }
   return 0;
 }

@@ -3,10 +3,10 @@
 // 9 / 10 / 11 Mbps (100 jobs).  The paper observes the optimal ratio is not
 // 1 and shifts with bandwidth.
 #include <iostream>
+#include <vector>
 
 #include "common.h"
 #include "core/ratio.h"
-#include "partition/binary_search.h"
 #include "util/table.h"
 
 int main() {
@@ -22,20 +22,26 @@ int main() {
               << " jobs, s) ---\n";
     util::Table table({"ratio comp:comm", "9 Mbps", "10 Mbps", "11 Mbps"});
 
-    // One sweep per bandwidth on that bandwidth's own Alg. 2 pair.
+    // One sweep per bandwidth on that bandwidth's own Alg. 2 pair.  The
+    // pairs for all three rates come from a single batched plan_sweep over
+    // the curve's SoA lanes (JPS's cut_a/cut_b are exactly the scalar
+    // path's comm_cut/l_star), instead of one binary_search_cut per rate.
+    const std::vector<double> kRates = {9.0, 10.0, 11.0};
+    const net::Channel channel(kRates.front());
+    const core::Planner planner(testbed.curve(kRates.front()));
+    const core::PlanSweep decisions =
+        planner.plan_sweep(core::Strategy::kJPS, kJobs, kRates, channel);
+
     struct Sweep {
       std::vector<core::RatioPoint> points;
       core::RatioPoint best;
     };
     std::vector<Sweep> sweeps;
-    for (const double mbps : {9.0, 10.0, 11.0}) {
-      const auto curve = testbed.curve(mbps);
-      const auto decision = partition::binary_search_cut(curve);
-      const std::size_t comm_cut =
-          decision.l_minus ? *decision.l_minus : decision.l_star;
+    for (std::size_t s = 0; s < kRates.size(); ++s) {
+      const auto curve = testbed.curve(kRates[s]);
       Sweep sweep;
-      sweep.points =
-          core::sweep_type_ratio(curve, comm_cut, decision.l_star, kJobs);
+      sweep.points = core::sweep_type_ratio(curve, decisions.cut_a[s],
+                                            decisions.cut_b[s], kJobs);
       sweep.best = core::best_ratio(sweep.points);
       sweeps.push_back(std::move(sweep));
     }

@@ -273,6 +273,7 @@ std::optional<core::ExecutionPlan> parse_plan_text(const std::string& text,
   if (!have_strategy)
     out.error("P015", {}, "plan is missing its 'strategy' entry");
   if (plan.jobs.empty()) out.error("P015", {}, "plan schedules no jobs");
+  plan.refresh_lanes();  // parsed plans honor the SoA-lane invariant too
   return plan;
 }
 

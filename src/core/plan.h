@@ -47,12 +47,29 @@ struct ExecutionPlan {
   std::vector<JobAssignment> jobs;
   /// Stage lengths of each scheduled job (same order as `jobs`).
   sched::JobList scheduled_jobs;
+  /// SoA mirrors of scheduled_jobs[i].f / .g: the contiguous lanes the
+  /// branch-light makespan kernels iterate (sched::flowshop2_makespan /
+  /// closed_form_makespan span overloads).  Kept in sync by refresh_lanes();
+  /// assemble_plan and the plan parser maintain them, so they are valid on
+  /// every plan those paths produce.
+  std::vector<double> f_lane;
+  std::vector<double> g_lane;
   /// Number of leading communication-heavy jobs in the order (Johnson S1).
   std::size_t comm_heavy_count = 0;
   /// Makespan of the plan under the 2-stage flow-shop recurrence, ms.
   double predicted_makespan = 0.0;
   /// Wall-clock time the planner itself took (Fig. 12(d) overhead), ms.
   double decision_overhead_ms = 0.0;
+
+  /// Rebuild f_lane/g_lane from scheduled_jobs (call after mutating it).
+  void refresh_lanes() {
+    f_lane.resize(scheduled_jobs.size());
+    g_lane.resize(scheduled_jobs.size());
+    for (std::size_t i = 0; i < scheduled_jobs.size(); ++i) {
+      f_lane[i] = scheduled_jobs[i].f;
+      g_lane[i] = scheduled_jobs[i].g;
+    }
+  }
 
   /// Per-job stage timelines (computed from scheduled_jobs on demand).
   [[nodiscard]] std::vector<sched::JobTimeline> timeline() const {

@@ -1,12 +1,46 @@
 #include "core/plan_cache.h"
 
 #include <bit>
+#include <cmath>
 #include <mutex>
+#include <utility>
 
+#include "check/contracts.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
 namespace jps::core {
+
+namespace {
+
+// -0.0 == 0.0 but the two differ in bit pattern, so hashing the raw bits
+// would split one logical key across two buckets; NaN is worse — it is
+// unequal even to itself, so a NaN-keyed entry could never be found again
+// and would silently poison the table.  Both key types funnel their
+// bandwidth through here at construction.
+double canonical_bandwidth(double mbps) {
+  JPS_REQUIRE(std::isfinite(mbps),
+              "cache keys need a finite bandwidth: a NaN key is unequal to "
+              "itself and would poison the table");
+  return mbps == 0.0 ? 0.0 : mbps;
+}
+
+}  // namespace
+
+CurveCacheKey::CurveCacheKey(std::string model, std::string device,
+                             double bandwidth_mbps)
+    : model(std::move(model)),
+      device(std::move(device)),
+      bandwidth_mbps(canonical_bandwidth(bandwidth_mbps)) {}
+
+PlanCacheKey::PlanCacheKey(std::string model, std::string device,
+                           double bandwidth_mbps, Strategy strategy,
+                           int n_jobs)
+    : model(std::move(model)),
+      device(std::move(device)),
+      bandwidth_mbps(canonical_bandwidth(bandwidth_mbps)),
+      strategy(strategy),
+      n_jobs(n_jobs) {}
 
 namespace {
 
@@ -52,7 +86,9 @@ std::size_t hash_combine(std::size_t seed, std::size_t value) {
 }
 
 std::size_t hash_double(double x) {
-  // +0.0 and -0.0 compare equal but have different bit patterns; normalize.
+  // Key construction already canonicalized -0.0 and rejected non-finite
+  // values; normalize again here so even a key whose field was mutated
+  // after construction hashes consistently with operator==.
   if (x == 0.0) x = 0.0;
   return std::hash<std::uint64_t>{}(std::bit_cast<std::uint64_t>(x));
 }

@@ -30,6 +30,11 @@
 namespace jps::core {
 
 /// Identity of a profile curve: one model on one device over one channel.
+///
+/// The constructor canonicalizes the bandwidth (-0.0 becomes 0.0, so equal
+/// keys hash equally) and rejects non-finite values with a JPS_REQUIRE: a
+/// NaN bandwidth would compare unequal to itself, making the entry
+/// unreachable while it silently occupies (and poisons) the table.
 struct CurveCacheKey {
   std::string model;
   /// Device/profile identity (e.g. DeviceProfile::name, or a lookup-table
@@ -37,16 +42,24 @@ struct CurveCacheKey {
   std::string device;
   double bandwidth_mbps = 0.0;
 
+  CurveCacheKey() = default;
+  CurveCacheKey(std::string model, std::string device, double bandwidth_mbps);
+
   friend bool operator==(const CurveCacheKey&, const CurveCacheKey&) = default;
 };
 
 /// Identity of an execution plan: a curve identity plus the planning ask.
+/// Bandwidth canonicalization/validation as in CurveCacheKey.
 struct PlanCacheKey {
   std::string model;
   std::string device;
   double bandwidth_mbps = 0.0;
   Strategy strategy = Strategy::kJPS;
   int n_jobs = 0;
+
+  PlanCacheKey() = default;
+  PlanCacheKey(std::string model, std::string device, double bandwidth_mbps,
+               Strategy strategy = Strategy::kJPS, int n_jobs = 0);
 
   friend bool operator==(const PlanCacheKey&, const PlanCacheKey&) = default;
 };

@@ -10,6 +10,7 @@
 #include "obs/obs.h"
 #include "sched/bruteforce.h"
 #include "sched/johnson.h"
+#include "sched/makespan.h"
 
 namespace jps::core {
 
@@ -72,7 +73,11 @@ ExecutionPlan assemble_plan(const partition::ProfileCurve& curve,
   for (const sched::Job& job : plan.scheduled_jobs) {
     plan.jobs.push_back({job.id, static_cast<std::size_t>(job.cut)});
   }
-  plan.predicted_makespan = sched::flowshop2_makespan(plan.scheduled_jobs);
+  plan.refresh_lanes();
+  // The lane overload is bit-identical to the Job-span recurrence; it just
+  // streams two contiguous doubles per job instead of a 5-field struct.
+  plan.predicted_makespan =
+      sched::flowshop2_makespan(plan.f_lane, plan.g_lane);
   return plan;
 }
 
@@ -118,18 +123,63 @@ double two_type_makespan(double f_a, double g_a, double f_b, double g_b,
   // makespan = max_i (F_i + G_i) with F_i the f-prefix through job i and
   // G_i the g-suffix from job i.  Within a homogeneous run the term is
   // linear in i, so only the four run endpoints can attain the maximum.
+  //
+  // An empty run must be ignored entirely, not multiplied by a zero count:
+  // the old "count * value" terms turned an unused cut's inf/NaN stages
+  // into NaN, and std::max(-inf, NaN) then leaked -inf out as the result.
   const double a_count = static_cast<double>(n_a);
   const double b_count = static_cast<double>(n_b);
-  double best = -std::numeric_limits<double>::infinity();
-  if (n_a > 0) {
-    best = std::max(best, f_a + a_count * g_a + b_count * g_b);      // i = 1
-    best = std::max(best, a_count * f_a + g_a + b_count * g_b);      // i = n_a
+  if (n_a <= 0 && n_b <= 0) return 0.0;
+  if (n_b <= 0)  // pure a-run: endpoints i = 1 and i = n_a
+    return std::max(f_a + a_count * g_a, a_count * f_a + g_a);
+  if (n_a <= 0)  // pure b-run: endpoints i = 1 and i = n_b
+    return std::max(f_b + b_count * g_b, b_count * f_b + g_b);
+  double best = f_a + a_count * g_a + b_count * g_b;             // i = 1
+  best = std::max(best, a_count * f_a + g_a + b_count * g_b);    // i = n_a
+  best = std::max(best, a_count * f_a + f_b + b_count * g_b);    // i = n_a+1
+  best = std::max(best, a_count * f_a + b_count * f_b + g_b);    // i = n
+  return best;
+}
+
+void two_type_makespan_batch(double f_a, std::span<const double> g_a,
+                             double f_b, std::span<const double> g_b, int n_a,
+                             int n_b, std::span<double> out) {
+  if (g_a.size() != g_b.size() || out.size() != g_a.size())
+    throw std::invalid_argument("two_type_makespan_batch: span size mismatch");
+  const std::size_t samples = out.size();
+  const double a_count = static_cast<double>(n_a);
+  const double b_count = static_cast<double>(n_b);
+  if (n_a <= 0 && n_b <= 0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return;
   }
-  if (n_b > 0) {
-    best = std::max(best, a_count * f_a + f_b + b_count * g_b);      // i = n_a+1
-    best = std::max(best, a_count * f_a + b_count * f_b + g_b);      // i = n
+  // The count branches are per-candidate constants; hoisting them leaves
+  // one branch-free multiply-add-max pass per case.  Every arithmetic
+  // expression below keeps the scalar function's association, so out[s] is
+  // bit-identical to two_type_makespan(f_a, g_a[s], f_b, g_b[s], n_a, n_b).
+  if (n_b <= 0) {
+    const double af = a_count * f_a;
+    for (std::size_t s = 0; s < samples; ++s)
+      out[s] = std::max(f_a + a_count * g_a[s], af + g_a[s]);
+    return;
   }
-  return n_a + n_b > 0 ? best : 0.0;
+  if (n_a <= 0) {
+    const double bf = b_count * f_b;
+    for (std::size_t s = 0; s < samples; ++s)
+      out[s] = std::max(f_b + b_count * g_b[s], bf + g_b[s]);
+    return;
+  }
+  const double af = a_count * f_a;
+  const double af_fb = af + f_b;
+  const double af_bf = af + b_count * f_b;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double bg = b_count * g_b[s];
+    double best = f_a + a_count * g_a[s] + bg;  // i = 1
+    best = std::max(best, af + g_a[s] + bg);    // i = n_a
+    best = std::max(best, af_fb + bg);          // i = n_a+1
+    best = std::max(best, af_bf + g_b[s]);      // i = n
+    out[s] = best;
+  }
 }
 
 int best_two_type_split(double f_a, double g_a, double f_b, double g_b,
@@ -261,6 +311,216 @@ ExecutionPlan Planner::plan_impl(Strategy strategy, int n_jobs) const {
 
   ExecutionPlan plan = finalize(strategy, cuts);
   plan.decision_overhead_ms = ms_since(start);
+  return plan;
+}
+
+namespace {
+
+/// One sweep point's decision: the two-type mix (a, b, n_a).
+struct SweepDecision {
+  std::size_t cut_a = 0;
+  std::size_t cut_b = 0;
+  int n_a = 0;
+};
+
+// The scalar planner's decision logic re-expressed over (f, g) lanes.  Each
+// helper mirrors its ProfileCurve/Planner counterpart operation-for-
+// operation so the sweep's choices match the per-point scalar path exactly
+// (the plan_sweep differential suite pins this).
+
+// binary_search_cut's loop: leftmost index with f >= g on a monotone curve.
+std::size_t lane_l_star(std::span<const double> f, std::span<const double> g) {
+  std::size_t lo = 0;
+  std::size_t hi = f.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (f[mid] < g[mid]) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Planner::single_job_optimal_cut: first argmin of f + g.
+std::size_t lane_po_cut(std::span<const double> f, std::span<const double> g) {
+  std::size_t best = 0;
+  double best_latency = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const double latency = f[i] + g[i];
+    if (latency < best_latency) {
+      best_latency = latency;
+      best = i;
+    }
+  }
+  return best;
+}
+
+// Planner::lower_hull_cuts: Andrew's monotone chain, lower hull only.
+void lane_lower_hull(std::span<const double> f, std::span<const double> g,
+                     std::vector<std::size_t>& hull) {
+  const auto cross = [&](std::size_t o, std::size_t a, std::size_t b) {
+    return (f[a] - f[o]) * (g[b] - g[o]) - (g[a] - g[o]) * (f[b] - f[o]);
+  };
+  hull.clear();
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    while (hull.size() >= 2 &&
+           cross(hull[hull.size() - 2], hull.back(), i) <= 0.0) {
+      hull.pop_back();
+    }
+    hull.push_back(i);
+  }
+}
+
+SweepDecision lane_decide(Strategy strategy, int n_jobs,
+                          std::span<const double> f, std::span<const double> g,
+                          std::vector<std::size_t>& hull_scratch) {
+  SweepDecision d;
+  switch (strategy) {
+    case Strategy::kLocalOnly:
+      d.cut_a = d.cut_b = f.size() - 1;
+      break;
+    case Strategy::kCloudOnly:
+      d.cut_a = d.cut_b = 0;
+      break;
+    case Strategy::kPartitionOnly:
+      d.cut_a = d.cut_b = lane_po_cut(f, g);
+      break;
+    case Strategy::kJPS: {
+      const std::size_t l_star = lane_l_star(f, g);
+      d.cut_a = d.cut_b = l_star;
+      if (l_star > 0) {
+        d.cut_a = l_star - 1;
+        const double surplus = f[l_star] - g[l_star];
+        const double deficit = g[l_star - 1] - f[l_star - 1];
+        d.n_a = jobs_at_l_minus(surplus, deficit, n_jobs);
+      }
+      break;
+    }
+    case Strategy::kJPSTuned: {
+      const std::size_t l_star = lane_l_star(f, g);
+      d.cut_a = d.cut_b = l_star;
+      if (l_star > 0) {
+        d.cut_a = l_star - 1;
+        d.n_a = best_two_type_split(f[d.cut_a], g[d.cut_a], f[d.cut_b],
+                                    g[d.cut_b], n_jobs);
+      }
+      break;
+    }
+    case Strategy::kJPSHull: {
+      lane_lower_hull(f, g, hull_scratch);
+      std::size_t pos = hull_scratch.size() - 1;
+      for (std::size_t i = 0; i < hull_scratch.size(); ++i) {
+        if (f[hull_scratch[i]] >= g[hull_scratch[i]]) {
+          pos = i;
+          break;
+        }
+      }
+      if (pos == 0) {
+        d.cut_a = d.cut_b = hull_scratch.front();
+        break;
+      }
+      d.cut_a = hull_scratch[pos - 1];
+      d.cut_b = hull_scratch[pos];
+      d.n_a = best_two_type_split(f[d.cut_a], g[d.cut_a], f[d.cut_b],
+                                  g[d.cut_b], n_jobs);
+      break;
+    }
+    case Strategy::kBruteForce:
+    case Strategy::kRobust:
+      throw std::invalid_argument(
+          "Planner::plan_sweep: strategy is not O(cuts) per point; use "
+          "plan() / RobustPlanner");
+  }
+  return d;
+}
+
+}  // namespace
+
+PlanSweep Planner::plan_sweep(Strategy strategy, int n_jobs,
+                              std::span<const double> bandwidths,
+                              const net::Channel& channel) const {
+  if (n_jobs < 1)
+    throw std::invalid_argument("Planner::plan_sweep: n_jobs < 1");
+  if (strategy == Strategy::kBruteForce || strategy == Strategy::kRobust)
+    throw std::invalid_argument(
+        "Planner::plan_sweep: strategy is not O(cuts) per point; use "
+        "plan() / RobustPlanner");
+  for (const double mbps : bandwidths) {
+    if (!std::isfinite(mbps) || mbps <= 0.0)
+      throw std::invalid_argument(
+          "Planner::plan_sweep: bandwidth must be finite and > 0");
+  }
+  static obs::Counter& sweeps = obs::counter("planner.plan_sweeps");
+  sweeps.add();
+  static obs::Counter& points = obs::counter("planner.plan_sweep_points");
+  points.add(bandwidths.size());
+  obs::Span span("planner.plan_sweep", "core");
+  span.arg("strategy", strategy_name(strategy));
+  span.arg("n_jobs", std::to_string(n_jobs));
+  span.arg("points", std::to_string(bandwidths.size()));
+  span.arg("model", curve_.model_name());
+
+  const std::span<const double> f = curve_.f_lane();
+  const std::span<const std::uint64_t> bytes = curve_.offload_bytes_lane();
+  const std::size_t cuts = curve_.size();
+
+  PlanSweep sweep;
+  sweep.strategy = strategy;
+  sweep.n_jobs = n_jobs;
+  sweep.bandwidth_mbps.assign(bandwidths.begin(), bandwidths.end());
+  sweep.makespan_ms.resize(bandwidths.size());
+  sweep.cut_a.resize(bandwidths.size());
+  sweep.cut_b.resize(bandwidths.size());
+  sweep.n_a.resize(bandwidths.size());
+
+  std::vector<double> g(cuts);  // per-point comm lane, reused across points
+  std::vector<std::size_t> hull_scratch;
+  for (std::size_t p = 0; p < bandwidths.size(); ++p) {
+    // Re-derive g at this rate exactly as ProfileCurve::with_bandwidth does
+    // (same Channel::time_ms call on the same bytes), so every comparison
+    // below sees the same doubles the scalar path would.
+    const net::Channel at_rate = channel.with_bandwidth(bandwidths[p]);
+    for (std::size_t i = 0; i < cuts; ++i)
+      g[i] = bytes[i] > 0 ? at_rate.time_ms(bytes[i]) : 0.0;
+    // Parity with the scalar path's constructor-time monotonicity check
+    // (an affine rebase preserves monotonicity, but a custom-built curve
+    // may not start monotone).
+    for (std::size_t i = 1; i < cuts; ++i) {
+      if (f[i] < f[i - 1] || g[i] > g[i - 1])
+        throw std::invalid_argument(
+            "Planner::plan_sweep: curve is not monotone at this bandwidth; "
+            "cluster it first");
+    }
+    const SweepDecision d = lane_decide(strategy, n_jobs, f, g, hull_scratch);
+    sweep.cut_a[p] = d.cut_a;
+    sweep.cut_b[p] = d.cut_b;
+    sweep.n_a[p] = d.n_a;
+    // The Johnson order of any such mix is "all a-jobs before all b-jobs"
+    // (see best_split_plan), so the exact recurrence over the two runs
+    // reproduces finalize()'s flowshop2_makespan bit-for-bit.
+    sweep.makespan_ms[p] = sched::two_type_flowshop2_makespan(
+        f[d.cut_a], g[d.cut_a], d.n_a, f[d.cut_b], g[d.cut_b],
+        n_jobs - d.n_a);
+  }
+  return sweep;
+}
+
+ExecutionPlan Planner::materialize(const PlanSweep& sweep, std::size_t k,
+                                   const net::Channel& channel) const {
+  if (k >= sweep.size())
+    throw std::out_of_range("Planner::materialize: point out of range");
+  const partition::ProfileCurve rebased =
+      curve_.with_bandwidth(channel, sweep.bandwidth_mbps[k]);
+  std::vector<std::size_t> cuts(static_cast<std::size_t>(sweep.n_jobs),
+                                sweep.cut_b[k]);
+  for (int i = 0; i < sweep.n_a[k]; ++i)
+    cuts[static_cast<std::size_t>(i)] = sweep.cut_a[k];
+  ExecutionPlan plan = assemble_plan(rebased, sweep.strategy, cuts);
+  JPS_ENSURE(plan.predicted_makespan == sweep.makespan_ms[k],
+             "materialized plan must reproduce the sweep makespan "
+             "bit-for-bit");
   return plan;
 }
 

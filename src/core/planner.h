@@ -28,8 +28,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "core/plan.h"
+#include "net/channel.h"
 #include "partition/binary_search.h"
 #include "partition/profile_curve.h"
 
@@ -58,8 +60,24 @@ struct PlannerOptions {
 /// Johnson order on a monotone curve guarantees the shape; the differential
 /// tests in tests/core/planner_test.cpp cross-check the resulting plans
 /// against the discrete-event simulator.
+///
+/// An empty run is ignored entirely: its (f, g) pair is never read, so a
+/// degenerate cut (e.g. an infinite g from a zero-bandwidth probe) offered
+/// as the UNUSED type cannot contaminate the result, and the partial
+/// maximum can never escape as -inf.  Non-positive counts are empty runs;
+/// both empty returns 0.
 [[nodiscard]] double two_type_makespan(double f_a, double g_a, double f_b,
                                        double g_b, int n_a, int n_b);
+
+/// Batched two_type_makespan over per-sample g lanes: out[s] is exactly
+/// two_type_makespan(f_a, g_a[s], f_b, g_b[s], n_a, n_b) — bit-identical;
+/// the count branches are hoisted out of the sample loop so each case is a
+/// tight vectorizable pass.  This is RobustPlanner's inner kernel: one
+/// candidate (pair, split) scored across the whole bandwidth grid per call.
+/// Throws std::invalid_argument when the spans disagree in length.
+void two_type_makespan_batch(double f_a, std::span<const double> g_a,
+                             double f_b, std::span<const double> g_b, int n_a,
+                             int n_b, std::span<double> out);
 
 /// The split n_a (jobs at cut a; the remaining n - n_a sit at cut b)
 /// minimizing two_type_makespan, with the smallest minimizing n_a winning
@@ -76,6 +94,26 @@ struct PlannerOptions {
                                           Strategy strategy,
                                           const std::vector<std::size_t>& cuts);
 
+/// Structure-of-arrays result of Planner::plan_sweep: lane entry k is the
+/// plan decision at bandwidth_mbps[k].  Every strategy this planner family
+/// produces is a two-cut-type mix, so (cut_a, cut_b, n_a) describes a whole
+/// plan: the first n_a jobs sit at cut_a, the remaining n_jobs - n_a at
+/// cut_b (cut_a == cut_b with n_a == 0 for a pure plan).  makespan_ms[k]
+/// is bit-identical to what Planner(curve.with_bandwidth(channel, b_k))
+/// .plan(strategy, n_jobs).predicted_makespan would compute; use
+/// Planner::materialize to expand a lane into that full ExecutionPlan.
+struct PlanSweep {
+  Strategy strategy = Strategy::kJPS;
+  int n_jobs = 0;
+  std::vector<double> bandwidth_mbps;
+  std::vector<double> makespan_ms;
+  std::vector<std::size_t> cut_a;
+  std::vector<std::size_t> cut_b;
+  std::vector<int> n_a;
+
+  [[nodiscard]] std::size_t size() const { return bandwidth_mbps.size(); }
+};
+
 class Planner {
  public:
   /// The curve must be monotone (built with clustering on).
@@ -84,6 +122,36 @@ class Planner {
   /// Plan `n_jobs` identical jobs with the given strategy.
   /// Throws std::invalid_argument for n_jobs < 1.
   [[nodiscard]] ExecutionPlan plan(Strategy strategy, int n_jobs) const;
+
+  /// Batched bandwidth sweep: decide the plan for `n_jobs` at every rate in
+  /// `bandwidths` in ONE pass over the curve's SoA lanes, without building
+  /// a rebased ProfileCurve, a Planner, or an ExecutionPlan per point.
+  /// `channel` supplies the affine comm model (setup latency, jitter) that
+  /// is re-based to each rate, exactly as ProfileCurve::with_bandwidth
+  /// does, so lane k reproduces
+  ///   Planner(curve().with_bandwidth(channel, bandwidths[k]))
+  ///       .plan(strategy, n_jobs)
+  /// bit-for-bit in cuts, order and makespan (the differential suite in
+  /// tests/core/plan_sweep_test.cpp pins this).  This is the hot path of
+  /// the fig13/fig14 sweeps and any per-request planning service: the f
+  /// and offload-bytes lanes are hoisted once, and each point costs one
+  /// O(cuts + n_jobs) lane scan.
+  ///
+  /// Supported strategies: LO, CO, PO, JPS, JPS*, JPS+.  Throws
+  /// std::invalid_argument for n_jobs < 1, for kBruteForce/kRobust (they
+  /// are not O(cuts) per point; call plan()/RobustPlanner instead), or for
+  /// a non-finite or non-positive bandwidth.
+  [[nodiscard]] PlanSweep plan_sweep(Strategy strategy, int n_jobs,
+                                     std::span<const double> bandwidths,
+                                     const net::Channel& channel) const;
+
+  /// Expand lane `k` of a sweep into the full ExecutionPlan the scalar path
+  /// would have produced at that bandwidth (same cuts, same Johnson order,
+  /// bit-identical makespan).  Costs one curve rebase + assemble_plan; use
+  /// it for the points you actually execute, not for the whole sweep.
+  [[nodiscard]] ExecutionPlan materialize(const PlanSweep& sweep,
+                                          std::size_t k,
+                                          const net::Channel& channel) const;
 
   /// The Alg. 2 decision for this curve (exposed for benches/tests).
   [[nodiscard]] const partition::CutDecision& decision() const {

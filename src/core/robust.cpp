@@ -31,11 +31,10 @@ std::vector<double> grid_points(const BandwidthInterval& interval,
 std::vector<double> comm_times_at(const partition::ProfileCurve& curve,
                                   const net::Channel& channel, double mbps) {
   const net::Channel at_rate = channel.with_bandwidth(mbps);
+  const std::span<const std::uint64_t> bytes = curve.offload_bytes_lane();
   std::vector<double> g(curve.size());
-  for (std::size_t i = 0; i < curve.size(); ++i) {
-    const std::uint64_t bytes = curve.cut(i).offload_bytes;
-    g[i] = bytes > 0 ? at_rate.time_ms(bytes) : 0.0;
-  }
+  for (std::size_t i = 0; i < curve.size(); ++i)
+    g[i] = bytes[i] > 0 ? at_rate.time_ms(bytes[i]) : 0.0;
   return g;
 }
 
@@ -76,8 +75,16 @@ RobustPlanner::RobustPlanner(partition::ProfileCurve curve,
   if (options_.cvar_alpha < 0.0 || options_.cvar_alpha >= 1.0)
     throw std::invalid_argument("RobustPlanner: cvar_alpha outside [0, 1)");
 
-  for (const double mbps : bandwidth_grid())
-    g_grid_.push_back(comm_times_at(curve_, channel_, mbps));
+  // Fill the per-cut-contiguous grid: cut i's samples occupy
+  // g_grid_[i * samples .. i * samples + samples).
+  const auto samples = static_cast<std::size_t>(options_.samples);
+  g_grid_.resize(curve_.size() * samples);
+  const std::vector<double> grid = bandwidth_grid();
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    const std::vector<double> g = comm_times_at(curve_, channel_, grid[s]);
+    for (std::size_t i = 0; i < curve_.size(); ++i)
+      g_grid_[i * samples + s] = g[i];
+  }
   g_nominal_.resize(curve_.size());
   for (std::size_t i = 0; i < curve_.size(); ++i) g_nominal_[i] = curve_.g(i);
 }
@@ -94,18 +101,21 @@ RobustDecision RobustPlanner::decide(int n_jobs) const {
   span.arg("samples", std::to_string(options_.samples));
 
   // Per-sample makespans of one candidate, reused across candidates.
-  std::vector<double> ms(g_grid_.size());
+  std::vector<double> ms(static_cast<std::size_t>(options_.samples));
   RobustDecision best;
   double best_score = std::numeric_limits<double>::infinity();
   for (std::size_t a = 0; a < curve_.size(); ++a) {
+    const std::span<const double> g_a = cut_samples(a);
     for (std::size_t b = a; b < curve_.size(); ++b) {
+      const std::span<const double> g_b = cut_samples(b);
       // a == b only needs the pure split n_a = 0 (all jobs at b).
       const int max_na = a == b ? 0 : n_jobs;
       for (int n_a = 0; n_a <= max_na; ++n_a) {
-        for (std::size_t s = 0; s < g_grid_.size(); ++s) {
-          ms[s] = two_type_makespan(curve_.f(a), g_grid_[s][a], curve_.f(b),
-                                    g_grid_[s][b], n_a, n_jobs - n_a);
-        }
+        // One branch-light kernel call scores this candidate across the
+        // whole grid; out[s] is bit-identical to the scalar
+        // two_type_makespan at sample s.
+        two_type_makespan_batch(curve_.f(a), g_a, curve_.f(b), g_b, n_a,
+                                n_jobs - n_a, ms);
         const double worst = *std::max_element(ms.begin(), ms.end());
         const double risk = cvar_tail_mean(ms, options_.cvar_alpha);
         const double score =
@@ -146,14 +156,20 @@ std::vector<double> plan_makespans_over_interval(
     throw std::invalid_argument("plan_makespans_over_interval: samples < 1");
   if (interval.lo_mbps <= 0.0 || interval.hi_mbps < interval.lo_mbps)
     throw std::invalid_argument("plan_makespans_over_interval: bad interval");
+  // Hoist the fixed f lane once; per sample only the g lane is rewritten —
+  // no JobList copy, and the lane closed_form_makespan streams two
+  // contiguous arrays.
+  std::vector<double> f(plan.scheduled_jobs.size());
+  for (std::size_t i = 0; i < plan.scheduled_jobs.size(); ++i)
+    f[i] = plan.scheduled_jobs[i].f;
+  std::vector<double> g_jobs(plan.scheduled_jobs.size());
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(samples));
   for (const double mbps : grid_points(interval, samples)) {
     const std::vector<double> g = comm_times_at(curve, channel, mbps);
-    sched::JobList jobs = plan.scheduled_jobs;
-    for (std::size_t i = 0; i < jobs.size(); ++i)
-      jobs[i].g = g[plan.jobs[i].cut_index];
-    out.push_back(sched::closed_form_makespan(jobs));
+    for (std::size_t i = 0; i < g_jobs.size(); ++i)
+      g_jobs[i] = g[plan.jobs[i].cut_index];
+    out.push_back(sched::closed_form_makespan(f, g_jobs));
   }
   return out;
 }

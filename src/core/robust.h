@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/plan.h"
@@ -94,10 +95,21 @@ class RobustPlanner {
   net::Channel channel_;
   BandwidthInterval interval_;
   RobustPlannerOptions options_;
-  /// g_grid_[s][i]: comm time of cut i at grid sample s.
-  std::vector<std::vector<double>> g_grid_;
+  /// Per-cut-contiguous comm-time grid: g_grid_[i * samples + s] is the comm
+  /// time of cut i at grid sample s.  Keeping each cut's samples contiguous
+  /// lets decide() hand a candidate pair straight to two_type_makespan_batch
+  /// as two spans — one batched kernel call per (pair, split) instead of one
+  /// scalar call per sample.
+  std::vector<double> g_grid_;
   /// g at the nominal (channel) bandwidth, indexed by cut.
   std::vector<double> g_nominal_;
+
+  /// The `samples` comm times of cut i, one per grid rate.
+  [[nodiscard]] std::span<const double> cut_samples(std::size_t i) const {
+    return std::span<const double>(g_grid_)
+        .subspan(i * static_cast<std::size_t>(options_.samples),
+                 static_cast<std::size_t>(options_.samples));
+  }
 };
 
 /// Mean of the worst (1 - alpha) tail of `samples` (each equiprobable).

@@ -11,8 +11,12 @@
 namespace jps::partition {
 
 const CutPoint& ProfileCurve::cut(std::size_t i) const {
-  if (i >= cuts_.size()) throw std::out_of_range("ProfileCurve::cut");
+  check_index(i);
   return cuts_[i];
+}
+
+void ProfileCurve::check_index(std::size_t i) const {
+  if (i >= cuts_.size()) throw std::out_of_range("ProfileCurve::cut");
 }
 
 ProfileCurve ProfileCurve::build(const dnn::Graph& graph,
@@ -117,14 +121,22 @@ ProfileCurve ProfileCurve::from_candidates(std::string model_name,
   } else {
     curve.cuts_ = std::move(candidates);
   }
-  curve.refresh_monotonicity();
+  curve.refresh_derived();
   return curve;
 }
 
-void ProfileCurve::refresh_monotonicity() {
+void ProfileCurve::refresh_derived() {
+  f_lane_.resize(cuts_.size());
+  g_lane_.resize(cuts_.size());
+  bytes_lane_.resize(cuts_.size());
+  for (std::size_t i = 0; i < cuts_.size(); ++i) {
+    f_lane_[i] = cuts_[i].f;
+    g_lane_[i] = cuts_[i].g;
+    bytes_lane_[i] = cuts_[i].offload_bytes;
+  }
   monotone_ = true;
   for (std::size_t i = 1; i < cuts_.size(); ++i) {
-    if (cuts_[i].f < cuts_[i - 1].f || cuts_[i].g > cuts_[i - 1].g) {
+    if (f_lane_[i] < f_lane_[i - 1] || g_lane_[i] > g_lane_[i - 1]) {
       monotone_ = false;
       return;
     }
@@ -136,7 +148,7 @@ ProfileCurve ProfileCurve::with_comm_times(const CommTimeFn& comm_time) const {
   for (CutPoint& c : rebased.cuts_) {
     c.g = c.offload_bytes > 0 ? comm_time(c.offload_bytes) : 0.0;
   }
-  rebased.refresh_monotonicity();
+  rebased.refresh_derived();
   return rebased;
 }
 
@@ -165,7 +177,7 @@ ProfileCurve ProfileCurve::with_fitted_comm() const {
     if (smoothed.cuts_[i].offload_bytes > 0)
       smoothed.cuts_[i].g = fit(static_cast<double>(i));
   }
-  smoothed.refresh_monotonicity();
+  smoothed.refresh_derived();
   return smoothed;
 }
 

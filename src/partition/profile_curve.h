@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -96,11 +97,31 @@ class ProfileCurve {
 
   [[nodiscard]] const CutPoint& cut(std::size_t i) const;
 
-  /// f value of cut i, ms.
-  [[nodiscard]] double f(std::size_t i) const { return cut(i).f; }
+  /// f value of cut i, ms.  Reads the contiguous SoA lane, not the CutPoint.
+  [[nodiscard]] double f(std::size_t i) const {
+    check_index(i);
+    return f_lane_[i];
+  }
 
-  /// g value of cut i, ms.
-  [[nodiscard]] double g(std::size_t i) const { return cut(i).g; }
+  /// g value of cut i, ms.  Reads the contiguous SoA lane, not the CutPoint.
+  [[nodiscard]] double g(std::size_t i) const {
+    check_index(i);
+    return g_lane_[i];
+  }
+
+  /// The structure-of-arrays view of the curve: one contiguous double per
+  /// cut, indexed identically to cut().  These lanes are what the planner's
+  /// batched sweeps and makespan kernels iterate — no CutPoint (strings,
+  /// node vectors) is touched on the hot path.  Invalidated by destroying
+  /// or reassigning the curve, like any internal reference.
+  [[nodiscard]] std::span<const double> f_lane() const { return f_lane_; }
+  [[nodiscard]] std::span<const double> g_lane() const { return g_lane_; }
+
+  /// Bytes crossing each cut (0 for local-only), same indexing as f_lane().
+  /// Batched bandwidth sweeps re-derive g from this lane per rate.
+  [[nodiscard]] std::span<const std::uint64_t> offload_bytes_lane() const {
+    return bytes_lane_;
+  }
 
   /// Index of the cloud-only cut (always 0).
   [[nodiscard]] std::size_t cloud_only_index() const { return 0; }
@@ -143,11 +164,22 @@ class ProfileCurve {
   [[nodiscard]] std::vector<sched::CutOption> as_cut_options() const;
 
  private:
-  /// Recompute the cached monotonicity flag (call after mutating cuts_).
-  void refresh_monotonicity();
+  /// Recompute the cached monotonicity flag and rebuild the SoA lanes from
+  /// cuts_ (call after any mutation of cuts_).
+  void refresh_derived();
+
+  void check_index(std::size_t i) const;
 
   std::string model_name_;
+  /// AoS storage of the full per-cut records (node sets, labels, cloud
+  /// times).  The planner's hot paths never touch this; they read the
+  /// mirrored lanes below.
   std::vector<CutPoint> cuts_;
+  /// SoA mirrors of cuts_[i].f / .g / .offload_bytes, kept in sync by
+  /// refresh_derived().
+  std::vector<double> f_lane_;
+  std::vector<double> g_lane_;
+  std::vector<std::uint64_t> bytes_lane_;
   bool monotone_ = true;
 };
 

@@ -21,7 +21,7 @@ CommRegression CommRegression::fit(
   xs.reserve(observations.size());
   ys.reserve(observations.size());
   for (const auto& obs : observations) {
-    if (obs.bandwidth_mbps <= 0.0)
+    if (!std::isfinite(obs.bandwidth_mbps) || obs.bandwidth_mbps <= 0.0)
       throw std::invalid_argument("CommRegression: bad bandwidth");
     xs.push_back(ratio(obs.bytes, obs.bandwidth_mbps));
     ys.push_back(obs.time_ms);
@@ -62,6 +62,11 @@ CommRegression CommRegression::train_on_channel(const net::Channel& channel,
 
 double CommRegression::predict_ms(std::uint64_t bytes,
                                   double bandwidth_mbps) const {
+  // Same validation as net::Channel and fit(): an unchecked divide here
+  // turned a zero (or NaN) bandwidth into an inf/NaN prediction that
+  // wandered through the planner instead of failing at the source.
+  if (!std::isfinite(bandwidth_mbps) || bandwidth_mbps <= 0.0)
+    throw std::invalid_argument("CommRegression: bad bandwidth");
   if (bytes == 0) return 0.0;  // no transfer at all
   return fit_(ratio(bytes, bandwidth_mbps));
 }

@@ -40,7 +40,10 @@ class CommRegression {
                                          std::uint64_t max_bytes, int count,
                                          double noise_sigma, util::Rng& rng);
 
-  /// Predicted transfer time for `bytes` at `bandwidth_mbps`.
+  /// Predicted transfer time for `bytes` at `bandwidth_mbps`.  Throws
+  /// std::invalid_argument for a non-finite or non-positive bandwidth (the
+  /// same validation net::Channel applies), instead of letting the division
+  /// produce an inf/NaN prediction.
   [[nodiscard]] double predict_ms(std::uint64_t bytes,
                                   double bandwidth_mbps) const;
 

@@ -1,8 +1,18 @@
 #include "sched/makespan.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace jps::sched {
+
+namespace {
+
+void check_lanes(std::span<const double> f, std::span<const double> g) {
+  if (f.size() != g.size())
+    throw std::invalid_argument("makespan: f/g lane length mismatch");
+}
+
+}  // namespace
 
 std::vector<JobTimeline> flowshop2_timeline(std::span<const Job> jobs) {
   std::vector<JobTimeline> timeline;
@@ -31,6 +41,33 @@ double flowshop2_makespan(std::span<const Job> jobs) {
     link_free = std::max(cpu_free, link_free) + job.g;
   }
   return jobs.empty() ? 0.0 : link_free;
+}
+
+double flowshop2_makespan(std::span<const double> f,
+                          std::span<const double> g) {
+  check_lanes(f, g);
+  double cpu_free = 0.0;
+  double link_free = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    cpu_free += f[i];
+    link_free = std::max(cpu_free, link_free) + g[i];
+  }
+  return f.empty() ? 0.0 : link_free;
+}
+
+double two_type_flowshop2_makespan(double f_a, double g_a, int n_a, double f_b,
+                                   double g_b, int n_b) {
+  double cpu_free = 0.0;
+  double link_free = 0.0;
+  for (int i = 0; i < n_a; ++i) {
+    cpu_free += f_a;
+    link_free = std::max(cpu_free, link_free) + g_a;
+  }
+  for (int i = 0; i < n_b; ++i) {
+    cpu_free += f_b;
+    link_free = std::max(cpu_free, link_free) + g_b;
+  }
+  return n_a <= 0 && n_b <= 0 ? 0.0 : link_free;
 }
 
 std::vector<JobTimeline> flowshop3_timeline(std::span<const Job> jobs) {
@@ -78,6 +115,21 @@ double closed_form_makespan(std::span<const Job> jobs_in_order) {
     prefix_f += job.f;                                  // now sum_{i<=k} f_i
     makespan = std::max(makespan, prefix_f + suffix_g);  // g still holds g_k
     suffix_g -= job.g;
+  }
+  return makespan;
+}
+
+double closed_form_makespan(std::span<const double> f,
+                            std::span<const double> g) {
+  check_lanes(f, g);
+  double suffix_g = 0.0;
+  for (const double gi : g) suffix_g += gi;
+  double prefix_f = 0.0;
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    prefix_f += f[i];
+    makespan = std::max(makespan, prefix_f + suffix_g);
+    suffix_g -= g[i];
   }
   return makespan;
 }

@@ -39,6 +39,24 @@ struct JobTimeline {
 /// Makespan (max completion) of the 2-stage pipeline in the given order.
 [[nodiscard]] double flowshop2_makespan(std::span<const Job> jobs);
 
+/// Structure-of-arrays flowshop2_makespan: job i has stages (f[i], g[i]).
+/// Bit-identical to the Job-span overload on the same sequence (the
+/// recurrence runs the same additions in the same order); the contiguous
+/// lanes are what the batched planner sweeps feed it.  Throws
+/// std::invalid_argument when the lanes disagree in length.
+[[nodiscard]] double flowshop2_makespan(std::span<const double> f,
+                                        std::span<const double> g);
+
+/// flowshop2_makespan of the two-run sequence "n_a jobs of (f_a, g_a) then
+/// n_b jobs of (f_b, g_b)" without materializing the jobs.  Runs the exact
+/// recurrence (same additions, same order), so it is bit-identical to
+/// flowshop2_makespan on that sequence — unlike core::two_type_makespan,
+/// which evaluates the O(1) endpoint identity and may differ in the last
+/// ulp.  Negative counts are treated as empty runs.
+[[nodiscard]] double two_type_flowshop2_makespan(double f_a, double g_a,
+                                                 int n_a, double f_b,
+                                                 double g_b, int n_b);
+
 /// 3-stage variant including each job's cloud stage (permutation flow shop
 /// recurrence on three machines).
 [[nodiscard]] std::vector<JobTimeline> flowshop3_timeline(
@@ -56,6 +74,14 @@ struct JobTimeline {
 ///   f(x1) + max{ sum_{i>=2} f(x_i), sum_{i<=n-1} g(x_i) } + g(x_n)
 /// as the special case (see docs/THEORY.md §2).
 [[nodiscard]] double closed_form_makespan(std::span<const Job> jobs_in_order);
+
+/// Structure-of-arrays closed_form_makespan: the same identity over
+/// contiguous (f, g) lanes.  Bit-identical to the Job-span overload on the
+/// same sequence; branch-light (one max per element, no struct loads), so
+/// the compiler can keep both running sums in registers.  Throws
+/// std::invalid_argument when the lanes disagree in length.
+[[nodiscard]] double closed_form_makespan(std::span<const double> f,
+                                          std::span<const double> g);
 
 /// The average-makespan lower bound the paper optimizes after relaxation:
 ///   max( sum f / n , sum g / n ).

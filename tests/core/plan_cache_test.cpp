@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <vector>
 
+#include "check/contracts.h"
 #include "core/planner.h"
 #include "models/registry.h"
 #include "net/channel.h"
@@ -37,6 +40,52 @@ TEST(PlanCache, CurveMissesThenHits) {
   const PlanCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.curve_misses, 1u);
   EXPECT_EQ(stats.curve_hits, 1u);
+  EXPECT_EQ(cache.curve_count(), 1u);
+}
+
+TEST(PlanCache, KeysRejectNonFiniteBandwidth) {
+  // Regression: a NaN bandwidth would build a key unequal to itself —
+  // every lookup misses and the entry is unreachable forever.  The key
+  // constructors refuse instead of poisoning the table.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(CurveCacheKey("alexnet", "pi4b", nan),
+               check::ContractViolation);
+  EXPECT_THROW(CurveCacheKey("alexnet", "pi4b", inf),
+               check::ContractViolation);
+  EXPECT_THROW(CurveCacheKey("alexnet", "pi4b", -inf),
+               check::ContractViolation);
+  EXPECT_THROW(PlanCacheKey("alexnet", "pi4b", nan, Strategy::kJPS, 10),
+               check::ContractViolation);
+  EXPECT_THROW(PlanCacheKey("alexnet", "pi4b", inf, Strategy::kJPS, 10),
+               check::ContractViolation);
+}
+
+TEST(PlanCache, KeysCanonicalizeNegativeZero) {
+  // Regression: -0.0 == 0.0 but their bit patterns differ, so a hash built
+  // from the bits would scatter equal keys across buckets.  Construction
+  // canonicalizes the sign away.
+  const CurveCacheKey negative{"alexnet", "pi4b", -0.0};
+  const CurveCacheKey positive{"alexnet", "pi4b", 0.0};
+  EXPECT_FALSE(std::signbit(negative.bandwidth_mbps));
+  EXPECT_EQ(negative, positive);
+
+  const PlanCacheKey plan_negative{"alexnet", "pi4b", -0.0, Strategy::kJPS, 4};
+  EXPECT_FALSE(std::signbit(plan_negative.bandwidth_mbps));
+  EXPECT_EQ(plan_negative,
+            (PlanCacheKey{"alexnet", "pi4b", 0.0, Strategy::kJPS, 4}));
+
+  // End to end: a -0.0 lookup must hash into and hit the +0.0 entry, not
+  // rebuild it.
+  PlanCache cache;
+  std::atomic<int> builds{0};
+  const auto build = [&] {
+    builds.fetch_add(1);
+    return build_alexnet_curve(5.85);
+  };
+  cache.curve({"alexnet", "pi4b", 0.0}, build);
+  cache.curve({"alexnet", "pi4b", -0.0}, build);
+  EXPECT_EQ(builds.load(), 1);
   EXPECT_EQ(cache.curve_count(), 1u);
 }
 

@@ -254,6 +254,62 @@ TEST(Planner, TwoTypeMakespanMatchesFlowshopRecurrence) {
   }
 }
 
+TEST(Planner, TwoTypeMakespanIgnoresEmptyRuns) {
+  // Regression: with n_a == 0 the a-run contributes nothing, so its f/g
+  // values must not leak into the result.  Pre-fix, f_a = inf produced
+  // 0 * inf = NaN inside the endpoint terms and std::max propagated the
+  // -inf seed instead of the pure-b makespan.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(two_type_makespan(inf, inf, 1.0, 1.0, 0, 3), 4.0);
+  EXPECT_EQ(two_type_makespan(1.0, 1.0, inf, inf, 3, 0), 4.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(two_type_makespan(nan, nan, 2.0, 3.0, 0, 2), 2.0 + 2 * 3.0);
+  EXPECT_EQ(two_type_makespan(2.0, 3.0, nan, nan, 2, 0), 2.0 + 2 * 3.0);
+  // Both runs empty: an empty schedule takes no time.
+  EXPECT_EQ(two_type_makespan(inf, inf, inf, inf, 0, 0), 0.0);
+  EXPECT_EQ(two_type_makespan(5.0, 7.0, 11.0, 13.0, 0, 0), 0.0);
+  // Negative counts behave like empty runs, not like negative work.
+  EXPECT_EQ(two_type_makespan(inf, inf, 1.0, 1.0, -2, 3), 4.0);
+  EXPECT_EQ(two_type_makespan(5.0, 7.0, 11.0, 13.0, -1, -1), 0.0);
+}
+
+TEST(Planner, TwoTypeMakespanExhaustiveSmallCounts) {
+  // Every (n_a, n_b) in 0..6 x 0..6 against the exact two-run flowshop
+  // recurrence.  Integer-valued stage times keep all sums exact in FP, so
+  // the comparison is bitwise.
+  const double grid[][4] = {
+      {1.0, 4.0, 3.0, 2.0},  {0.0, 5.0, 2.0, 0.0},  {3.0, 3.0, 3.0, 3.0},
+      {0.0, 0.0, 7.0, 1.0},  {2.0, 9.0, 6.0, 4.0},  {8.0, 1.0, 10.0, 0.0},
+  };
+  for (const auto& p : grid) {
+    const double f_a = p[0], g_a = p[1], f_b = p[2], g_b = p[3];
+    for (int n_a = 0; n_a <= 6; ++n_a) {
+      for (int n_b = 0; n_b <= 6; ++n_b) {
+        const double expected =
+            sched::two_type_flowshop2_makespan(f_a, g_a, n_a, f_b, g_b, n_b);
+        EXPECT_EQ(two_type_makespan(f_a, g_a, f_b, g_b, n_a, n_b), expected)
+            << "f_a=" << f_a << " g_a=" << g_a << " f_b=" << f_b
+            << " g_b=" << g_b << " n_a=" << n_a << " n_b=" << n_b;
+      }
+    }
+  }
+}
+
+TEST(Planner, TwoTypeMakespanBatchHandlesEmptyRuns) {
+  // The batched kernel shares the guard: empty runs contribute nothing,
+  // and a fully empty schedule fills the output with zeros.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<double> g_a = {inf, inf, inf};
+  const std::vector<double> g_b = {1.0, 2.0, 3.0};
+  std::vector<double> out(3, -1.0);
+  two_type_makespan_batch(inf, g_a, 1.0, g_b, 0, 3, out);
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    EXPECT_EQ(out[s], two_type_makespan(inf, inf, 1.0, g_b[s], 0, 3)) << s;
+  }
+  two_type_makespan_batch(inf, g_a, 1.0, g_b, 0, 0, out);
+  for (const double ms : out) EXPECT_EQ(ms, 0.0);
+}
+
 TEST(Planner, IncrementalSplitSweepMatchesBruteSweepOnRandomCurves) {
   // The O(n) incremental sweep must pick exactly the split the former
   // O(n^2 log n) per-split finalize() sweep picked, and produce an

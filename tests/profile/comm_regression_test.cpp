@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <stdexcept>
 
 #include "util/units.h"
@@ -58,6 +59,30 @@ TEST(CommRegression, FitValidation) {
   EXPECT_THROW(CommRegression::fit({}), std::invalid_argument);
   EXPECT_THROW(CommRegression::fit({{100, 1.0, 5.0}}), std::invalid_argument);
   EXPECT_THROW(CommRegression::fit({{100, 0.0, 5.0}, {200, 1.0, 6.0}}),
+               std::invalid_argument);
+}
+
+TEST(CommRegression, PredictValidation) {
+  // Regression: predict_ms divided by the bandwidth unchecked, so 0 gave
+  // +inf, a negative rate gave a negative latency, and NaN/inf wandered
+  // straight into the planner's comparisons.  Now it refuses.
+  const net::Channel channel(10.0, 8.0);
+  util::Rng rng(7);
+  const CommRegression model = CommRegression::train_on_channel(
+      channel, 1024, 4u * 1024 * 1024, 24, 0.0, rng);
+  EXPECT_THROW(model.predict_ms(1000, 0.0), std::invalid_argument);
+  EXPECT_THROW(model.predict_ms(1000, -1.0), std::invalid_argument);
+  EXPECT_THROW(model.predict_ms(1000, std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+  EXPECT_THROW(model.predict_ms(1000, std::numeric_limits<double>::infinity()),
+               std::invalid_argument);
+  // A valid rate still predicts.
+  EXPECT_GT(model.predict_ms(1000, 10.0), 0.0);
+}
+
+TEST(CommRegression, FitRejectsNonFiniteBandwidth) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(CommRegression::fit({{100, nan, 5.0}, {200, 1.0, 6.0}}),
                std::invalid_argument);
 }
 

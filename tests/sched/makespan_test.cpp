@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "sched/johnson.h"
 #include "util/rng.h"
 
@@ -132,6 +135,70 @@ TEST(ClosedForm, ExactUnderJohnsonForTwoAdjacentCutTypes) {
                 1e-9)
         << "trial " << trial;
   }
+}
+
+TEST(Lanes, MatchJobSpanOverloadsBitwise) {
+  // The SoA overloads run the same additions in the same order as the
+  // Job-span ones, so on identical sequences the doubles must match
+  // bit for bit — that is the contract the batched planner path leans on.
+  util::Rng rng(29);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = static_cast<int>(rng.uniform_int(1, 30));
+    JobList jobs;
+    std::vector<double> f(n), g(n);
+    for (int i = 0; i < n; ++i) {
+      f[i] = rng.uniform(0.0, 10.0);
+      g[i] = rng.uniform(0.0, 10.0);
+      jobs.push_back(Job{.id = i, .cut = -1, .f = f[i], .g = g[i]});
+    }
+    EXPECT_EQ(flowshop2_makespan(f, g), flowshop2_makespan(jobs))
+        << "trial " << trial;
+    EXPECT_EQ(closed_form_makespan(f, g), closed_form_makespan(jobs))
+        << "trial " << trial;
+  }
+}
+
+TEST(Lanes, RejectMismatchedLengths) {
+  const std::vector<double> f = {1.0, 2.0};
+  const std::vector<double> g = {3.0};
+  EXPECT_THROW(flowshop2_makespan(f, g), std::invalid_argument);
+  EXPECT_THROW(closed_form_makespan(f, g), std::invalid_argument);
+}
+
+TEST(Lanes, EmptyLanesAreZero) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(flowshop2_makespan(none, none), 0.0);
+  EXPECT_DOUBLE_EQ(closed_form_makespan(none, none), 0.0);
+}
+
+TEST(TwoTypeFlowshop2, MatchesMaterializedSequenceBitwise) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double f_a = rng.uniform(0.0, 10.0);
+    const double g_a = rng.uniform(0.0, 10.0);
+    const double f_b = rng.uniform(0.0, 10.0);
+    const double g_b = rng.uniform(0.0, 10.0);
+    const int n_a = static_cast<int>(rng.uniform_int(0, 8));
+    const int n_b = static_cast<int>(rng.uniform_int(0, 8));
+    JobList jobs;
+    for (int i = 0; i < n_a; ++i)
+      jobs.push_back(Job{.id = i, .cut = 0, .f = f_a, .g = g_a});
+    for (int i = 0; i < n_b; ++i)
+      jobs.push_back(Job{.id = n_a + i, .cut = 1, .f = f_b, .g = g_b});
+    EXPECT_EQ(two_type_flowshop2_makespan(f_a, g_a, n_a, f_b, g_b, n_b),
+              flowshop2_makespan(jobs))
+        << "trial " << trial << " n_a=" << n_a << " n_b=" << n_b;
+  }
+}
+
+TEST(TwoTypeFlowshop2, NegativeAndZeroCountsAreEmptyRuns) {
+  EXPECT_DOUBLE_EQ(two_type_flowshop2_makespan(1.0, 2.0, 0, 3.0, 4.0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(two_type_flowshop2_makespan(1.0, 2.0, -3, 3.0, 4.0, -1),
+                   0.0);
+  // One empty run: identical to the pure run of the other type.
+  const JobList pure_b = make_jobs({{3, 4}, {3, 4}});
+  EXPECT_EQ(two_type_flowshop2_makespan(9.0, 9.0, -2, 3.0, 4.0, 2),
+            flowshop2_makespan(pure_b));
 }
 
 TEST(AverageBound, MatchesHandComputation) {

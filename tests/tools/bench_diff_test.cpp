@@ -87,6 +87,70 @@ TEST(BenchDiff, ZeroBaselineFlagsAnyCost) {
   EXPECT_TRUE(report.has_regressions());
 }
 
+util::Json throughput_doc(const std::string& metric, double p50) {
+  util::Json m = util::Json::object();
+  m.set("p50", util::Json(p50));
+  util::Json metrics = util::Json::object();
+  metrics.set(metric, std::move(m));
+  util::Json doc = util::Json::object();
+  doc.set("schema", util::Json(kSchema));
+  doc.set("name", util::Json("mini"));
+  doc.set("metrics", std::move(metrics));
+  return doc;
+}
+
+TEST(BenchDiff, HigherBetterSuffixFlipsTheComparison) {
+  // *_per_sec and *_speedup metrics are throughputs: a DROP regresses, an
+  // increase never does — the mirror of the latency default.
+  Options options;
+  options.stats = {"p50"};
+  options.threshold = 0.10;
+  for (const char* metric : {"plans_per_sec", "plan_sweep_speedup"}) {
+    const util::Json base = throughput_doc(metric, 100.0);
+    EXPECT_TRUE(compare(base, throughput_doc(metric, 80.0), options)
+                    .has_regressions())
+        << metric << " -20%";
+    EXPECT_FALSE(compare(base, throughput_doc(metric, 95.0), options)
+                     .has_regressions())
+        << metric << " -5% in budget";
+    EXPECT_FALSE(compare(base, throughput_doc(metric, 300.0), options)
+                     .has_regressions())
+        << metric << " 3x faster is not a regression";
+  }
+}
+
+TEST(BenchDiff, ExplicitHigherBetterOptionWins) {
+  // A metric without the throughput suffix can still be forced via
+  // Options::higher_better (the CLI's --higher-better flag).
+  Options options;
+  options.stats = {"p50"};
+  options.threshold = 0.10;
+  const util::Json base = throughput_doc("cache_hit_rate", 0.9);
+  const util::Json dropped = throughput_doc("cache_hit_rate", 0.5);
+  EXPECT_FALSE(compare(base, dropped, options).has_regressions());
+  options.higher_better.insert("cache_hit_rate");
+  const Report report = compare(base, dropped, options);
+  EXPECT_TRUE(report.has_regressions());
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_TRUE(report.findings[0].higher_better);
+  // And the flipped direction tolerates what lower-is-better would flag.
+  EXPECT_FALSE(compare(base, throughput_doc("cache_hit_rate", 2.0), options)
+                   .has_regressions());
+}
+
+TEST(BenchDiff, ZeroThroughputBaselineNeverRegresses) {
+  // A zero higher-is-better baseline can only improve; the "was free, now
+  // costs" rule is for latencies.
+  Options options;
+  options.stats = {"p50"};
+  EXPECT_FALSE(compare(throughput_doc("plans_per_sec", 0.0),
+                       throughput_doc("plans_per_sec", 123.0), options)
+                   .has_regressions());
+  EXPECT_FALSE(compare(throughput_doc("plans_per_sec", 0.0),
+                       throughput_doc("plans_per_sec", 0.0), options)
+                   .has_regressions());
+}
+
 TEST(BenchDiff, SchemaMismatchesExitTwo) {
   const util::Json good = minimal_doc(1.0);
   util::Json bad_schema = minimal_doc(1.0);

@@ -2,11 +2,15 @@
 // files (schema "jps-bench-v1", written by bench::BenchReporter) and flag
 // per-metric regressions.
 //
-// A metric stat regresses when current > base * (1 + threshold).  The
-// default threshold applies to every metric; per-metric overrides tighten or
-// loosen individual series (a noisy tail metric can tolerate 30% while a
-// deterministic mean stays at 5%).  Improvements and in-budget drift are
-// reported but never fail.
+// A lower-is-better metric stat regresses when current > base *
+// (1 + threshold); a HIGHER-is-better one (a throughput or speedup series)
+// when current < base * (1 - threshold).  Metrics named *_per_sec or
+// *_speedup are treated as higher-is-better automatically; anything else
+// can be forced with Options::higher_better (the CLI's --higher-better
+// flag).  The default threshold applies to every metric; per-metric
+// overrides tighten or loosen individual series (a noisy tail metric can
+// tolerate 30% while a deterministic mean stays at 5%).  Improvements and
+// in-budget drift are reported but never fail.
 //
 // Header-only so the CLI and the unit tests share one implementation
 // without another library target.  Exit codes follow the jps_lint
@@ -16,6 +20,7 @@
 #include <cmath>
 #include <cstdio>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,13 +36,32 @@ inline constexpr int kExitUsage = 64;
 inline constexpr const char* kSchema = "jps-bench-v1";
 
 struct Options {
-  /// Allowed relative increase before a stat counts as a regression.
+  /// Allowed relative drift before a stat counts as a regression
+  /// (an increase for lower-is-better metrics, a decrease for
+  /// higher-is-better ones).
   double threshold = 0.10;
   /// Which stats of each metric to compare.
   std::vector<std::string> stats = {"p50", "p95", "p99"};
-  /// Per-metric threshold overrides (metric name -> allowed increase).
+  /// Per-metric threshold overrides (metric name -> allowed drift).
   std::map<std::string, double> metric_thresholds;
+  /// Metrics where MORE is better (throughput, speedups): a regression is
+  /// current < base * (1 - threshold).  Names ending in "_per_sec" or
+  /// "_speedup" get this treatment without being listed here.
+  std::set<std::string> higher_better;
 };
+
+/// True when `metric` should be compared as higher-is-better: listed in
+/// `options.higher_better` or carrying a throughput/speedup suffix.
+inline bool is_higher_better(const std::string& metric,
+                             const Options& options) {
+  if (options.higher_better.count(metric) != 0) return true;
+  const auto ends_with = [&](const std::string& suffix) {
+    return metric.size() >= suffix.size() &&
+           metric.compare(metric.size() - suffix.size(), suffix.size(),
+                          suffix) == 0;
+  };
+  return ends_with("_per_sec") || ends_with("_speedup");
+}
 
 /// One compared (metric, stat) pair.
 struct Finding {
@@ -48,6 +72,8 @@ struct Finding {
   /// current/base - 1 (0 when base == 0).
   double delta = 0.0;
   double threshold = 0.0;
+  /// True when this metric is compared as higher-is-better.
+  bool higher_better = false;
   bool regression = false;
 };
 
@@ -131,9 +157,15 @@ inline Report compare(const util::Json& base, const util::Json& current,
       f.base = base_value->as_double();
       f.current = current_value->as_double();
       f.threshold = threshold;
+      f.higher_better = is_higher_better(metric, options);
       if (f.base > 0.0) {
         f.delta = f.current / f.base - 1.0;
-        f.regression = f.delta > threshold;
+        f.regression =
+            f.higher_better ? f.delta < -threshold : f.delta > threshold;
+      } else if (f.higher_better) {
+        // Zero throughput baseline: any value >= 0 can only improve.
+        f.delta = 0.0;
+        f.regression = false;
       } else {
         // Zero baseline: any positive current value is flagged (relative
         // delta is undefined, but "was free, now costs" is a regression).
@@ -160,7 +192,9 @@ inline std::string to_text(const Report& report, bool verbose = false) {
     std::snprintf(line, sizeof(line), "%s %s.%s: %g -> %g (%s, budget %+.1f%%)\n",
                   f.regression ? "REGRESSION" : "ok        ", f.metric.c_str(),
                   f.stat.c_str(), f.base, f.current,
-                  format_delta(f.delta).c_str(), f.threshold * 100.0);
+                  format_delta(f.delta).c_str(),
+                  f.higher_better ? -f.threshold * 100.0
+                                  : f.threshold * 100.0);
     out += line;
   }
   out += std::to_string(report.findings.size()) + " stats compared, " +

@@ -1,9 +1,12 @@
 // jps_bench_diff — compare two BENCH_*.json telemetry files.
 //
 //   jps_bench_diff BASE.json CURRENT.json
-//       [--threshold 0.10]            default allowed relative increase
+//       [--threshold 0.10]            default allowed relative drift
 //       [--stats p50,p95,p99]         which stats to compare
 //       [--thresholds m1=0.25,m2=0.05] per-metric overrides
+//       [--higher-better m1,m2]       metrics where MORE is better; a drop
+//                                     below base*(1-threshold) regresses
+//                                     (*_per_sec/*_speedup are automatic)
 //       [--verbose]                   print in-budget stats too
 //
 // Exit codes (jps_lint convention):
@@ -36,9 +39,12 @@ void usage() {
   std::cout <<
       "jps_bench_diff — flag regressions between two BENCH_*.json files\n"
       "usage: jps_bench_diff BASE.json CURRENT.json\n"
-      "  --threshold R            allowed relative increase (default 0.10)\n"
+      "  --threshold R            allowed relative drift (default 0.10)\n"
       "  --stats s1,s2            stats to compare (default p50,p95,p99)\n"
       "  --thresholds m=R,m2=R2   per-metric threshold overrides\n"
+      "  --higher-better m1,m2    metrics where more is better; regression\n"
+      "                           is a drop below base*(1-threshold)\n"
+      "                           (*_per_sec and *_speedup are automatic)\n"
       "  --verbose                also print stats that stayed in budget\n"
       "exit: 0 clean, 1 regression, 2 schema mismatch, 64 usage\n";
 }
@@ -69,6 +75,10 @@ int main(int argc, char** argv) {
         throw std::invalid_argument("--thresholds: expected metric=R, got '" +
                                     entry + "'");
       options.metric_thresholds[parts[0]] = std::stod(parts[1]);
+    }
+    for (const std::string& metric :
+         util::split(args.get("higher-better", ""), ',')) {
+      if (!metric.empty()) options.higher_better.insert(metric);
     }
 
     const util::Json base = util::Json::parse(read_file(args.positionals()[0]));
