@@ -1,0 +1,150 @@
+// Extension bench: closed-loop throughput/latency of the plan server.
+//
+// N client threads drive one in-process serve::Server back to back (closed
+// loop: each client's next request waits for its previous reply), cycling a
+// small set of (model, bandwidth-bucket) keys so the serving fast paths —
+// request coalescing and the sharded plan cache — carry the steady state,
+// exactly as a fleet of devices sharing network conditions would.  Emits
+// BENCH_ext_serve.json with requests/sec and the end-to-end latency
+// distribution (p50/p95/p99); CI gates it with jps_bench_diff.
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "reporter.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace jps;
+
+// Client's view of a shared in-process stream end (Client wants ownership).
+class BorrowedStream final : public serve::ByteStream {
+ public:
+  explicit BorrowedStream(std::shared_ptr<serve::ByteStream> inner)
+      : inner_(std::move(inner)) {}
+  std::size_t read(char* out, std::size_t max) override {
+    return inner_->read(out, max);
+  }
+  void write(const char* data, std::size_t size) override {
+    inner_->write(data, size);
+  }
+  void shutdown_read() override { inner_->shutdown_read(); }
+  void close() override { inner_->close(); }
+
+ private:
+  std::shared_ptr<serve::ByteStream> inner_;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Extension: plan server throughput",
+                      "Closed-loop clients against the in-process server: "
+                      "coalescing + sharded cache on the hot path");
+
+  const int kClients = bench::quick_scaled(8, 4);
+  const int kRequests = bench::quick_scaled(400, 60);  // per client
+  const int kWarmup = bench::quick_scaled(40, 10);
+
+  bench::BenchReporter reporter("ext_serve");
+  reporter.set_warmup(kWarmup);
+  reporter.set_iterations(kRequests);
+  reporter.note("clients", kClients);
+  reporter.note("requests_per_client", kRequests);
+
+  serve::ServerOptions options;
+  options.workers = 4;
+  options.max_inflight = static_cast<std::size_t>(kClients) + 4;
+  serve::Server server(options);
+
+  // The request mix: three models at two buckets each; every key repeats
+  // across clients so the steady state is cache hits with occasional
+  // coalesced bursts.
+  std::vector<serve::PlanRequest> mix;
+  for (const char* model : {"alexnet", "vgg16", "nin"}) {
+    for (const double mbps : {4.0, 25.0}) {
+      serve::PlanRequest request;
+      request.tenant = "bench";
+      request.model = model;
+      request.bandwidth_mbps = mbps;
+      request.strategy = core::Strategy::kJPS;
+      request.n_jobs = 8;
+      mix.push_back(request);
+    }
+  }
+  reporter.note("distinct_keys", static_cast<int>(mix.size()));
+
+  obs::Histogram& latency = reporter.metric("request_latency_ms");
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> server_threads;
+  std::vector<std::thread> client_threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    serve::StreamPair pair = serve::make_in_process_pair();
+    server_threads.emplace_back(
+        [&server, s = std::shared_ptr<serve::ByteStream>(
+                      std::move(pair.first))] { server.handle_connection(*s); });
+    client_threads.emplace_back(
+        [&, c, end = std::shared_ptr<serve::ByteStream>(
+                   std::move(pair.second))]() {
+          serve::Client client(std::make_unique<BorrowedStream>(end));
+          for (int r = 0; r < kWarmup + kRequests; ++r) {
+            const serve::PlanRequest& request =
+                mix[static_cast<std::size_t>(c + r) % mix.size()];
+            const auto t0 = std::chrono::steady_clock::now();
+            const serve::PlanReply reply = client.plan(request);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            if (!reply.ok()) failures.fetch_add(1);
+            if (r >= kWarmup) latency.record(ms);
+          }
+          client.close();
+        });
+  }
+  for (std::thread& t : client_threads) t.join();
+  for (std::thread& t : server_threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  server.stop();
+
+  const double total_requests =
+      static_cast<double>(kClients) * (kWarmup + kRequests);
+  const double rps = total_requests / elapsed_s;
+  reporter.record("requests_per_sec", rps);
+
+  const serve::ServerStats stats = server.stats();
+  reporter.note("coalesce_hits", static_cast<int>(stats.coalesce_hits));
+  reporter.note("cache_hits", static_cast<int>(stats.cache_hits));
+  reporter.note("plans_computed", static_cast<int>(stats.plans_computed));
+
+  const obs::HistogramSnapshot snap = latency.snapshot();
+  util::Table table({"metric", "value"});
+  table.add_row({"clients", std::to_string(kClients)});
+  table.add_row({"requests", std::to_string(static_cast<long>(total_requests))});
+  table.add_row({"requests/sec", util::format_fixed(rps, 0)});
+  table.add_row({"p50 (ms)", util::format_ms(snap.percentile(50))});
+  table.add_row({"p95 (ms)", util::format_ms(snap.percentile(95))});
+  table.add_row({"p99 (ms)", util::format_ms(snap.percentile(99))});
+  table.add_row({"coalesce hits", std::to_string(stats.coalesce_hits)});
+  table.add_row({"cache hits", std::to_string(stats.cache_hits)});
+  table.add_row({"plans computed", std::to_string(stats.plans_computed)});
+  std::cout << table;
+
+  if (failures.load() != 0) {
+    std::cerr << "ext_serve: " << failures.load() << " failed replies\n";
+    return 1;
+  }
+  return 0;
+}

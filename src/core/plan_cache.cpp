@@ -1,5 +1,6 @@
 #include "core/plan_cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <mutex>
@@ -195,6 +196,62 @@ std::size_t PlanCache::plan_count() const {
 PlanCache& PlanCache::global() {
   static PlanCache cache;
   return cache;
+}
+
+ShardedPlanCache::ShardedPlanCache(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(1, shards));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, shards); ++i)
+    shards_.push_back(std::make_unique<PlanCache>());
+}
+
+std::size_t ShardedPlanCache::shard_of(const CurveCacheKey& key) const {
+  return PlanCache::CurveKeyHash{}(key) % shards_.size();
+}
+
+std::size_t ShardedPlanCache::shard_of(const PlanCacheKey& key) const {
+  return PlanCache::PlanKeyHash{}(key) % shards_.size();
+}
+
+std::shared_ptr<const partition::ProfileCurve> ShardedPlanCache::curve(
+    const CurveCacheKey& key, const PlanCache::CurveBuilder& build) {
+  return shards_[shard_of(key)]->curve(key, build);
+}
+
+std::shared_ptr<const ExecutionPlan> ShardedPlanCache::plan(
+    const PlanCacheKey& key, const PlanCache::PlanBuilder& build) {
+  return shards_[shard_of(key)]->plan(key, build);
+}
+
+PlanCache::Stats ShardedPlanCache::stats() const {
+  PlanCache::Stats total;
+  for (const auto& shard : shards_) {
+    const PlanCache::Stats s = shard->stats();
+    total.curve_hits += s.curve_hits;
+    total.curve_misses += s.curve_misses;
+    total.plan_hits += s.plan_hits;
+    total.plan_misses += s.plan_misses;
+  }
+  return total;
+}
+
+void ShardedPlanCache::reset_stats() {
+  for (const auto& shard : shards_) shard->reset_stats();
+}
+
+void ShardedPlanCache::clear() {
+  for (const auto& shard : shards_) shard->clear();
+}
+
+std::size_t ShardedPlanCache::curve_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->curve_count();
+  return n;
+}
+
+std::size_t ShardedPlanCache::plan_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->plan_count();
+  return n;
 }
 
 }  // namespace jps::core

@@ -23,6 +23,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/plan.h"
 #include "partition/profile_curve.h"
@@ -125,6 +126,8 @@ class PlanCache {
     std::size_t operator()(const PlanCacheKey& k) const;
   };
 
+  friend class ShardedPlanCache;
+
   mutable std::shared_mutex mutex_;
   std::unordered_map<CurveCacheKey,
                      std::shared_ptr<const partition::ProfileCurve>,
@@ -137,6 +140,48 @@ class PlanCache {
   std::atomic<std::uint64_t> curve_misses_{0};
   std::atomic<std::uint64_t> plan_hits_{0};
   std::atomic<std::uint64_t> plan_misses_{0};
+};
+
+/// PlanCache striped across N independent shards, each with its own
+/// shared_mutex.  One PlanCache is enough for a bench loop, but a
+/// multi-tenant plan server answers concurrent requests for *different*
+/// (model, bandwidth-bucket) keys, and a single writer inserting a miss
+/// would stall every reader behind one lock.  Keys are routed to a shard by
+/// their hash (curve and plan keys with equal (model, device, bandwidth)
+/// stay on potentially different shards — the tables are independent, so
+/// that is fine), which keeps PlanCache itself untouched while serving gets
+/// lock striping for free.
+class ShardedPlanCache {
+ public:
+  /// `shards` is clamped to at least 1.
+  explicit ShardedPlanCache(std::size_t shards = 8);
+
+  ShardedPlanCache(const ShardedPlanCache&) = delete;
+  ShardedPlanCache& operator=(const ShardedPlanCache&) = delete;
+
+  /// Same contract as PlanCache::curve / PlanCache::plan.
+  [[nodiscard]] std::shared_ptr<const partition::ProfileCurve> curve(
+      const CurveCacheKey& key, const PlanCache::CurveBuilder& build);
+  [[nodiscard]] std::shared_ptr<const ExecutionPlan> plan(
+      const PlanCacheKey& key, const PlanCache::PlanBuilder& build);
+
+  /// Counters aggregated across every shard.
+  [[nodiscard]] PlanCache::Stats stats() const;
+
+  void reset_stats();
+  void clear();
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t curve_count() const;
+  [[nodiscard]] std::size_t plan_count() const;
+
+  /// Shard index a key routes to (exposed so tests can pin the routing).
+  [[nodiscard]] std::size_t shard_of(const CurveCacheKey& key) const;
+  [[nodiscard]] std::size_t shard_of(const PlanCacheKey& key) const;
+
+ private:
+  // unique_ptr: PlanCache is neither movable nor copyable.
+  std::vector<std::unique_ptr<PlanCache>> shards_;
 };
 
 }  // namespace jps::core

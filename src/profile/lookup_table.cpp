@@ -1,6 +1,8 @@
 #include "profile/lookup_table.h"
 
+#include <cstdint>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -74,13 +76,15 @@ LookupTable LookupTable::deserialize(const std::string& text) {
     const auto fields = util::split(line, '\t');
     if (fields.size() != 3)
       throw std::runtime_error("LookupTable: bad line " + std::to_string(line_no));
-    try {
-      table.set(fields[0], static_cast<dnn::NodeId>(std::stoull(fields[1])),
-                std::stod(fields[2]));
-    } catch (const std::exception&) {
+    // parse_int/parse_double are strict (whole field, C locale): stod used
+    // to truncate "3.5" to 3 under a comma-decimal locale and silently
+    // accepted trailing garbage.
+    const std::optional<std::int64_t> node = util::parse_int(fields[1]);
+    const std::optional<double> ms = util::parse_double(fields[2]);
+    if (!node || *node < 0 || !ms)
       throw std::runtime_error("LookupTable: unparsable line " +
                                std::to_string(line_no));
-    }
+    table.set(fields[0], static_cast<dnn::NodeId>(*node), *ms);
   }
   return table;
 }

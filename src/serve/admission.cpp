@@ -1,0 +1,55 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace jps::serve {
+
+TokenBucket::TokenBucket(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec),
+      burst_(std::max(1.0, burst)),
+      tokens_(burst_) {}
+
+void TokenBucket::refill(double now_ms) {
+  if (!started_) {
+    started_ = true;
+    last_ms_ = now_ms;
+    return;
+  }
+  const double elapsed_ms = now_ms - last_ms_;
+  if (elapsed_ms <= 0.0) return;  // non-monotone caller clock: no refill
+  last_ms_ = now_ms;
+  tokens_ = std::min(burst_, tokens_ + rate_per_sec_ * elapsed_ms / 1000.0);
+}
+
+bool TokenBucket::try_acquire(double now_ms, double tokens) {
+  if (rate_per_sec_ <= 0.0) return true;  // limiting disabled
+  refill(now_ms);
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::available(double now_ms) {
+  refill(now_ms);
+  return tokens_;
+}
+
+TenantAdmission::TenantAdmission(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec), burst_(burst) {}
+
+bool TenantAdmission::admit(const std::string& tenant, double now_ms) {
+  if (rate_per_sec_ <= 0.0) return true;
+  std::lock_guard lock(mutex_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(tenant, TokenBucket(rate_per_sec_, burst_)).first;
+  }
+  return it->second.try_acquire(now_ms);
+}
+
+std::size_t TenantAdmission::tenant_count() const {
+  std::lock_guard lock(mutex_);
+  return buckets_.size();
+}
+
+}  // namespace jps::serve

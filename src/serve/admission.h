@@ -1,0 +1,66 @@
+// Per-tenant admission control: one token bucket per tenant id.
+//
+// A fleet-facing plan server must not let one chatty device (or one buggy
+// tenant integration) starve everyone else's planning budget.  The classic
+// answer is a token bucket per tenant: `rate_per_sec` tokens accrue
+// continuously up to a cap of `burst`, one request spends one token, and a
+// request that finds the bucket empty is shed with RESOURCE_EXHAUSTED —
+// cheap rejection up front instead of queueing work the pool would do late.
+//
+// Time is injected by the caller (milliseconds on any monotone clock), so
+// tests drive the refill deterministically and the server passes a single
+// steady_clock read per request.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace jps::serve {
+
+/// Continuous-refill token bucket.  Not thread-safe on its own; the
+/// per-tenant map below serializes access.
+class TokenBucket {
+ public:
+  /// `rate_per_sec` <= 0 disables limiting (try_acquire always succeeds).
+  /// `burst` is the bucket capacity, clamped to at least 1 token.
+  TokenBucket(double rate_per_sec, double burst);
+
+  /// Spend `tokens` if available at `now_ms`; false when the bucket is
+  /// empty.  `now_ms` may come from any monotone clock; going backwards is
+  /// treated as no time elapsed.
+  [[nodiscard]] bool try_acquire(double now_ms, double tokens = 1.0);
+
+  /// Tokens currently available at `now_ms` (refills first).
+  [[nodiscard]] double available(double now_ms);
+
+ private:
+  void refill(double now_ms);
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  double last_ms_ = 0.0;
+  bool started_ = false;
+};
+
+/// Lazily creates one TokenBucket per tenant id.  Thread-safe.
+class TenantAdmission {
+ public:
+  /// `rate_per_sec` <= 0 admits everything (the single-tenant default).
+  TenantAdmission(double rate_per_sec, double burst);
+
+  /// True when `tenant` may proceed at `now_ms`.
+  [[nodiscard]] bool admit(const std::string& tenant, double now_ms);
+
+  [[nodiscard]] std::size_t tenant_count() const;
+
+ private:
+  double rate_per_sec_;
+  double burst_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace jps::serve

@@ -1,0 +1,31 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace jps::serve {
+
+Client::Client(std::unique_ptr<ByteStream> stream)
+    : stream_(std::move(stream)) {
+  if (!stream_) throw ProtocolError("serve: Client needs a stream");
+}
+
+PlanReply Client::plan(const PlanRequest& request) {
+  write_frame(*stream_, encode_plan_request(request));
+  const std::optional<std::string> payload = read_frame(*stream_);
+  if (!payload)
+    throw ProtocolError("serve: connection closed before plan reply");
+  return decode_plan_reply(*payload);
+}
+
+bool Client::ping() {
+  write_frame(*stream_, encode_ping());
+  const std::optional<std::string> payload = read_frame(*stream_);
+  if (!payload) return false;
+  return peek_op(*payload) == Op::kPingReply;
+}
+
+void Client::close() {
+  if (stream_) stream_->close();
+}
+
+}  // namespace jps::serve

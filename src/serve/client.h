@@ -1,0 +1,40 @@
+// Blocking client for the plan server: one request, one reply, in order.
+//
+// A Client owns one ByteStream (in-process pipe end or connected socket)
+// and is NOT thread-safe — the protocol has no request ids, so replies are
+// matched to requests purely by order.  Use one Client per thread; the
+// server multiplexes across connections, not within one.
+#pragma once
+
+#include <memory>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace jps::serve {
+
+class Client {
+ public:
+  /// Takes ownership of the stream; the connection closes with the Client.
+  explicit Client(std::unique_ptr<ByteStream> stream);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one plan request and block for the reply.  Transport failures
+  /// (connection closed before a reply) and malformed replies throw
+  /// ProtocolError; application-level failures come back as non-OK
+  /// statuses in the reply itself.
+  [[nodiscard]] PlanReply plan(const PlanRequest& request);
+
+  /// Liveness probe: true when the server answered the ping.
+  [[nodiscard]] bool ping();
+
+  /// Close the connection (also happens at destruction).
+  void close();
+
+ private:
+  std::unique_ptr<ByteStream> stream_;
+};
+
+}  // namespace jps::serve

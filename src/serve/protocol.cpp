@@ -1,0 +1,275 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace jps::serve {
+
+namespace {
+
+constexpr std::uint8_t kFlagCoalesced = 1u << 0;
+constexpr std::uint8_t kFlagCacheHit = 1u << 1;
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+}
+
+void put_str16(std::string& out, const std::string& s) {
+  if (s.size() > 0xFFFF)
+    throw ProtocolError("serve: string field exceeds 65535 bytes");
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out += s;
+}
+
+// Bounds-checked cursor over a received payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    const auto lo = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[pos_]));
+    const auto hi = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[pos_ + 1]));
+    pos_ += 2;
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  double f64() {
+    need(8);
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+    pos_ += 8;
+    return std::bit_cast<double>(bits);
+  }
+
+  std::string str16() {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  void expect_done() const {
+    if (pos_ != data_.size())
+      throw ProtocolError("serve: trailing bytes after payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n)
+      throw ProtocolError("serve: truncated payload");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+std::string header(Op op) {
+  std::string out;
+  put_u8(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(op));
+  return out;
+}
+
+Op check_header(Reader& reader) {
+  if (reader.u8() != kMagic) throw ProtocolError("serve: bad magic byte");
+  if (reader.u8() != kVersion)
+    throw ProtocolError("serve: unsupported protocol version");
+  const std::uint8_t op = reader.u8();
+  switch (static_cast<Op>(op)) {
+    case Op::kPlan:
+    case Op::kPing:
+    case Op::kPlanReply:
+    case Op::kPingReply:
+      return static_cast<Op>(op);
+  }
+  throw ProtocolError("serve: unknown op " + std::to_string(op));
+}
+
+// Read exactly `size` bytes or fail.  `any` reports whether anything had
+// been read before EOF — the caller distinguishes clean EOF (nothing) from
+// a frame truncated mid-way.
+bool read_exact(ByteStream& stream, char* out, std::size_t size, bool* any) {
+  std::size_t got = 0;
+  while (got < size) {
+    const std::size_t n = stream.read(out + got, size - got);
+    if (n == 0) {
+      if (any != nullptr) *any = got > 0;
+      return false;
+    }
+    got += n;
+  }
+  if (any != nullptr) *any = got > 0;
+  return true;
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "OK";
+    case Status::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Status::kNotFound: return "NOT_FOUND";
+    case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Status::kUnavailable: return "UNAVAILABLE";
+    case Status::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string encode_plan_request(const PlanRequest& request) {
+  std::string out = header(Op::kPlan);
+  put_str16(out, request.tenant);
+  put_str16(out, request.model);
+  put_f64(out, request.bandwidth_mbps);
+  put_u8(out, static_cast<std::uint8_t>(request.strategy));
+  put_u32(out, static_cast<std::uint32_t>(request.n_jobs));
+  return out;
+}
+
+std::string encode_plan_reply(const PlanReply& reply) {
+  std::string out = header(Op::kPlanReply);
+  put_u8(out, static_cast<std::uint8_t>(reply.status));
+  std::uint8_t flags = 0;
+  if (reply.coalesced) flags |= kFlagCoalesced;
+  if (reply.cache_hit) flags |= kFlagCacheHit;
+  put_u8(out, flags);
+  put_str16(out, reply.message);
+  put_f64(out, reply.bandwidth_bucket_mbps);
+  put_f64(out, reply.makespan_ms);
+  put_u32(out, static_cast<std::uint32_t>(reply.mix.size()));
+  for (const CutMix& m : reply.mix) {
+    put_u32(out, m.cut);
+    put_u32(out, m.count);
+  }
+  return out;
+}
+
+std::string encode_ping() { return header(Op::kPing); }
+
+std::string encode_ping_reply() { return header(Op::kPingReply); }
+
+Op peek_op(std::string_view payload) {
+  Reader reader(payload);
+  return check_header(reader);
+}
+
+PlanRequest decode_plan_request(std::string_view payload) {
+  Reader reader(payload);
+  if (check_header(reader) != Op::kPlan)
+    throw ProtocolError("serve: payload is not a plan request");
+  PlanRequest request;
+  request.tenant = reader.str16();
+  request.model = reader.str16();
+  request.bandwidth_mbps = reader.f64();
+  const std::uint8_t strategy = reader.u8();
+  if (strategy > static_cast<std::uint8_t>(core::Strategy::kRobust))
+    throw ProtocolError("serve: unknown strategy code " +
+                        std::to_string(strategy));
+  request.strategy = static_cast<core::Strategy>(strategy);
+  const std::uint32_t n_jobs = reader.u32();
+  if (n_jobs > 0x7FFFFFFFu)
+    throw ProtocolError("serve: n_jobs out of range");
+  request.n_jobs = static_cast<std::int32_t>(n_jobs);
+  reader.expect_done();
+  return request;
+}
+
+PlanReply decode_plan_reply(std::string_view payload) {
+  Reader reader(payload);
+  if (check_header(reader) != Op::kPlanReply)
+    throw ProtocolError("serve: payload is not a plan reply");
+  PlanReply reply;
+  const std::uint8_t status = reader.u8();
+  if (status > static_cast<std::uint8_t>(Status::kInternal))
+    throw ProtocolError("serve: unknown status code " + std::to_string(status));
+  reply.status = static_cast<Status>(status);
+  const std::uint8_t flags = reader.u8();
+  reply.coalesced = (flags & kFlagCoalesced) != 0;
+  reply.cache_hit = (flags & kFlagCacheHit) != 0;
+  reply.message = reader.str16();
+  reply.bandwidth_bucket_mbps = reader.f64();
+  reply.makespan_ms = reader.f64();
+  const std::uint32_t mix_count = reader.u32();
+  // 8 bytes per entry: a count this large cannot fit the bounded payload.
+  if (mix_count > kMaxFrameBytes / 8)
+    throw ProtocolError("serve: mix count too large");
+  reply.mix.reserve(mix_count);
+  for (std::uint32_t i = 0; i < mix_count; ++i) {
+    CutMix m;
+    m.cut = reader.u32();
+    m.count = reader.u32();
+    reply.mix.push_back(m);
+  }
+  reader.expect_done();
+  return reply;
+}
+
+void write_frame(ByteStream& stream, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes)
+    throw ProtocolError("serve: frame exceeds kMaxFrameBytes");
+  std::string wire;
+  wire.reserve(4 + payload.size());
+  put_u32(wire, static_cast<std::uint32_t>(payload.size()));
+  wire.append(payload);
+  stream.write(wire.data(), wire.size());
+}
+
+std::optional<std::string> read_frame(ByteStream& stream) {
+  char prefix[4];
+  bool any = false;
+  if (!read_exact(stream, prefix, sizeof(prefix), &any)) {
+    if (any) throw ProtocolError("serve: truncated length prefix");
+    return std::nullopt;  // clean EOF at a frame boundary
+  }
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i)
+    length |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(prefix[i]))
+              << (8 * i);
+  if (length > kMaxFrameBytes)
+    throw ProtocolError("serve: frame length " + std::to_string(length) +
+                        " exceeds cap " + std::to_string(kMaxFrameBytes));
+  std::string payload(length, '\0');
+  if (length > 0 && !read_exact(stream, payload.data(), length, nullptr))
+    throw ProtocolError("serve: truncated frame payload");
+  return payload;
+}
+
+}  // namespace jps::serve

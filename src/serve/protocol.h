@@ -1,0 +1,139 @@
+// Wire protocol of the plan server: length-prefixed binary frames.
+//
+// Frame layout (all integers little-endian, doubles as IEEE-754 bits):
+//
+//   frame   := u32 payload_length | payload           (length excludes itself)
+//   payload := u8 magic (0x4A 'J') | u8 version (1) | u8 op | body
+//
+// Ops and bodies:
+//
+//   kPlan (1) — plan request
+//     body := str16 tenant | str16 model | f64 bandwidth_mbps
+//             | u8 strategy | u32 n_jobs
+//   kPing (2) — liveness probe; empty body
+//   kPlanReply (129)
+//     body := u8 status | u8 flags | str16 message
+//             | f64 bandwidth_bucket_mbps | f64 makespan_ms
+//             | u32 mix_count | mix_count * (u32 cut | u32 count)
+//   kPingReply (130) — empty body
+//
+//   str16 := u16 length | bytes (no terminator)
+//   flags: bit 0 = coalesced (this reply shared another request's
+//          computation), bit 1 = cache_hit (the plan came out of the
+//          PlanCache rather than a fresh Planner run)
+//
+// A payload longer than kMaxFrameBytes is a protocol error: the reader
+// refuses it *before* allocating, so a hostile or corrupt length prefix
+// cannot balloon memory.  Truncated input (EOF mid-prefix or mid-payload)
+// is also a ProtocolError — distinct from a clean EOF at a frame boundary,
+// which read_frame reports as nullopt.
+//
+// Decoders never trust the remote side: every read is bounds-checked and
+// malformed payloads throw ProtocolError, which the server maps to an
+// error reply (or a connection close when the stream can no longer be
+// resynchronized) — never a crash of the connection loop.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/plan.h"
+#include "serve/transport.h"
+
+namespace jps::serve {
+
+inline constexpr std::uint8_t kMagic = 0x4A;
+inline constexpr std::uint8_t kVersion = 1;
+/// Largest accepted payload.  Plan replies are ~tens of bytes per distinct
+/// cut; 1 MiB leaves three orders of magnitude of headroom.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class Op : std::uint8_t {
+  kPlan = 1,
+  kPing = 2,
+  kPlanReply = 129,
+  kPingReply = 130,
+};
+
+/// Reply status (gRPC-style vocabulary).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // malformed request (NaN bandwidth, n_jobs < 1, ...)
+  kNotFound = 2,          // unknown model id
+  kResourceExhausted = 3, // shed: tenant over rate limit or queue bound hit
+  kUnavailable = 4,       // server draining/stopped
+  kInternal = 5,          // planning threw (bug; message carries the what())
+};
+
+[[nodiscard]] const char* status_name(Status status);
+
+/// Malformed or truncated wire data.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct PlanRequest {
+  /// Admission-control identity; "" is a valid (anonymous) tenant.
+  std::string tenant;
+  std::string model;
+  /// The device's live uplink estimate; quantized server-side.
+  double bandwidth_mbps = 0.0;
+  core::Strategy strategy = core::Strategy::kJPS;
+  std::int32_t n_jobs = 1;
+
+  friend bool operator==(const PlanRequest&, const PlanRequest&) = default;
+};
+
+/// One (cut index, job count) entry of the reply's cut mix.
+struct CutMix {
+  std::uint32_t cut = 0;
+  std::uint32_t count = 0;
+
+  friend bool operator==(const CutMix&, const CutMix&) = default;
+};
+
+struct PlanReply {
+  Status status = Status::kOk;
+  /// Human-readable detail for non-OK statuses.
+  std::string message;
+  /// This reply shared a concurrent identical request's computation.
+  bool coalesced = false;
+  /// The plan came from the PlanCache (no Planner run for this request).
+  bool cache_hit = false;
+  /// The quantized bandwidth the plan was actually computed at.
+  double bandwidth_bucket_mbps = 0.0;
+  double makespan_ms = 0.0;
+  /// Scheduled cut mix, ascending by cut index; counts sum to n_jobs.
+  std::vector<CutMix> mix;
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+
+  friend bool operator==(const PlanReply&, const PlanReply&) = default;
+};
+
+/// Payload encoders (everything after the length prefix).
+[[nodiscard]] std::string encode_plan_request(const PlanRequest& request);
+[[nodiscard]] std::string encode_plan_reply(const PlanReply& reply);
+[[nodiscard]] std::string encode_ping();
+[[nodiscard]] std::string encode_ping_reply();
+
+/// Payload decoders; throw ProtocolError on bad magic/version/op, a
+/// truncated body, or trailing bytes.
+[[nodiscard]] Op peek_op(std::string_view payload);
+[[nodiscard]] PlanRequest decode_plan_request(std::string_view payload);
+[[nodiscard]] PlanReply decode_plan_reply(std::string_view payload);
+
+/// Write one frame (length prefix + payload).
+void write_frame(ByteStream& stream, std::string_view payload);
+
+/// Read one frame's payload.  nullopt on clean EOF (connection ended at a
+/// frame boundary); ProtocolError on truncation mid-frame or an oversized
+/// length prefix.
+[[nodiscard]] std::optional<std::string> read_frame(ByteStream& stream);
+
+}  // namespace jps::serve

@@ -1,0 +1,339 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "partition/profile_curve.h"
+#include "profile/latency_model.h"
+
+namespace jps::serve {
+
+namespace {
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Coalescing/backpressure key: every field that changes the answer.  The
+// bucket's raw bits (not its decimal rendering) so two doubles coalesce
+// exactly when the cache would treat them as one key.
+std::string inflight_key(const PlanRequest& request, double bucket_mbps) {
+  std::string key = request.model;
+  key += '|';
+  key += std::to_string(static_cast<int>(request.strategy));
+  key += '|';
+  key += std::to_string(request.n_jobs);
+  key += '|';
+  key += std::to_string(std::bit_cast<std::uint64_t>(bucket_mbps));
+  return key;
+}
+
+PlanReply error_reply(Status status, std::string message) {
+  PlanReply reply;
+  reply.status = status;
+  reply.message = std::move(message);
+  return reply;
+}
+
+}  // namespace
+
+double quantize_bandwidth(double bandwidth_mbps, double step_mbps) {
+  const double buckets = std::round(bandwidth_mbps / step_mbps);
+  return std::max(1.0, buckets) * step_mbps;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      pool_(std::max<std::size_t>(1, options_.workers)),
+      admission_(options_.tenant_rate_per_sec, options_.tenant_burst),
+      cache_(std::max<std::size_t>(1, options_.cache_shards)) {
+  options_.max_inflight = std::max<std::size_t>(1, options_.max_inflight);
+}
+
+Server::~Server() { stop(); }
+
+Server::PlanOutcome Server::compute_plan(const PlanRequest& request,
+                                         double bucket_mbps) {
+  if (options_.debug_plan_delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.debug_plan_delay_ms));
+  }
+
+  std::shared_ptr<const dnn::Graph> graph;
+  {
+    std::lock_guard lock(graphs_mutex_);
+    auto it = graphs_.find(request.model);
+    if (it != graphs_.end()) graph = it->second;
+  }
+  if (!graph) {
+    // models::build throws std::invalid_argument for unknown names; the
+    // caller maps that to NOT_FOUND.  Build outside the map lock (graph
+    // construction is the expensive part); last insert wins harmlessly.
+    auto built = std::make_shared<const dnn::Graph>(models::build(request.model));
+    std::lock_guard lock(graphs_mutex_);
+    graph = graphs_.emplace(request.model, std::move(built)).first->second;
+  }
+
+  const net::Channel channel(bucket_mbps);
+  const core::CurveCacheKey curve_key(request.model, options_.device.name,
+                                      bucket_mbps);
+  auto curve = cache_.curve(curve_key, [&] {
+    const profile::LatencyModel mobile(options_.device);
+    return partition::ProfileCurve::build(*graph, mobile, channel);
+  });
+
+  PlanOutcome outcome;
+  outcome.bucket_mbps = bucket_mbps;
+  bool built = false;
+  const core::PlanCacheKey plan_key(request.model, options_.device.name,
+                                    bucket_mbps, request.strategy,
+                                    request.n_jobs);
+  outcome.plan = cache_.plan(plan_key, [&] {
+    built = true;
+    return core::Planner(*curve).plan(request.strategy, request.n_jobs);
+  });
+  outcome.cache_hit = !built;
+  if (built) plans_computed_.fetch_add(1, std::memory_order_relaxed);
+  return outcome;
+}
+
+PlanReply Server::to_reply(const PlanOutcome& outcome) const {
+  PlanReply reply;
+  reply.status = Status::kOk;
+  reply.cache_hit = outcome.cache_hit;
+  reply.bandwidth_bucket_mbps = outcome.bucket_mbps;
+  reply.makespan_ms = outcome.plan->predicted_makespan;
+  // Aggregate per-job assignments into a (cut -> count) mix, ascending.
+  std::map<std::size_t, std::uint32_t> mix;
+  for (const core::JobAssignment& job : outcome.plan->jobs)
+    ++mix[job.cut_index];
+  reply.mix.reserve(mix.size());
+  for (const auto& [cut, count] : mix)
+    reply.mix.push_back({static_cast<std::uint32_t>(cut), count});
+  return reply;
+}
+
+PlanReply Server::handle_plan(const PlanRequest& request) {
+  static obs::Counter& requests_total = obs::counter("serve.requests");
+  static obs::Counter& coalesce_hits = obs::counter("serve.coalesce_hits");
+  static obs::Counter& cache_hits = obs::counter("serve.cache_hits");
+  static obs::Counter& shed_rate = obs::counter("serve.shed_rate_limited");
+  static obs::Counter& shed_overload = obs::counter("serve.shed_overload");
+  static obs::Histogram& plan_ms = obs::histogram("serve.plan_ms");
+  static obs::Gauge& inflight_gauge = obs::gauge("serve.inflight");
+
+  obs::ScopedTimer timer(plan_ms);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_total.add();
+
+  if (stopping_.load(std::memory_order_acquire))
+    return error_reply(Status::kUnavailable, "server is draining");
+
+  if (!std::isfinite(request.bandwidth_mbps) || request.bandwidth_mbps <= 0.0)
+    return error_reply(Status::kInvalidArgument,
+                       "bandwidth_mbps must be finite and > 0");
+  if (request.n_jobs < 1)
+    return error_reply(Status::kInvalidArgument, "n_jobs must be >= 1");
+  if (request.strategy == core::Strategy::kBruteForce ||
+      request.strategy == core::Strategy::kRobust)
+    return error_reply(Status::kInvalidArgument,
+                       std::string("strategy ") +
+                           core::strategy_name(request.strategy) +
+                           " is not servable");
+
+  if (!admission_.admit(request.tenant, steady_now_ms())) {
+    shed_rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    shed_rate.add();
+    return error_reply(Status::kResourceExhausted,
+                       "tenant '" + request.tenant + "' over rate limit");
+  }
+
+  const double bucket =
+      quantize_bandwidth(request.bandwidth_mbps, options_.bandwidth_bucket_mbps);
+  const std::string key = inflight_key(request, bucket);
+
+  std::shared_future<PlanOutcome> future;
+  bool leader = false;
+  {
+    std::lock_guard lock(inflight_mutex_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      future = it->second;
+    } else {
+      if (inflight_.size() >= options_.max_inflight) {
+        shed_overload_.fetch_add(1, std::memory_order_relaxed);
+        shed_overload.add();
+        return error_reply(Status::kResourceExhausted,
+                           "server overloaded (" +
+                               std::to_string(inflight_.size()) +
+                               " computations in flight)");
+      }
+      try {
+        future = pool_.submit([this, request, bucket] {
+                        return compute_plan(request, bucket);
+                      })
+                     .share();
+      } catch (const std::exception&) {
+        // Pool already shut down: we lost the race with stop().
+        return error_reply(Status::kUnavailable, "server is draining");
+      }
+      inflight_.emplace(key, future);
+      leader = true;
+      inflight_gauge.set(static_cast<double>(inflight_.size()));
+    }
+  }
+
+  if (!leader) {
+    coalesce_hits_.fetch_add(1, std::memory_order_relaxed);
+    coalesce_hits.add();
+  }
+
+  PlanReply reply;
+  try {
+    const PlanOutcome& outcome = future.get();
+    reply = to_reply(outcome);
+    if (outcome.cache_hit && leader) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits.add();
+    }
+  } catch (const std::invalid_argument& e) {
+    // models::build (unknown model) and Planner argument checks land here.
+    reply = error_reply(Status::kNotFound, e.what());
+  } catch (const std::exception& e) {
+    reply = error_reply(Status::kInternal, e.what());
+  }
+  reply.coalesced = !leader;
+
+  if (leader) {
+    std::lock_guard lock(inflight_mutex_);
+    inflight_.erase(key);
+    inflight_gauge.set(static_cast<double>(inflight_.size()));
+  }
+  return reply;
+}
+
+void Server::handle_connection(ByteStream& stream) {
+  static obs::Counter& protocol_errors = obs::counter("serve.protocol_errors");
+  static obs::Histogram& ping_ms = obs::histogram("serve.ping_ms");
+  static obs::Gauge& connections_gauge = obs::gauge("serve.connections");
+
+  std::size_t slot;
+  {
+    std::lock_guard lock(connections_mutex_);
+    const auto it =
+        std::find(connections_.begin(), connections_.end(), nullptr);
+    if (it != connections_.end()) {
+      slot = static_cast<std::size_t>(it - connections_.begin());
+      *it = &stream;
+    } else {
+      slot = connections_.size();
+      connections_.push_back(&stream);
+    }
+    connections_gauge.add(1.0);
+  }
+  // stop() may half-close the stream at any point from here on; every exit
+  // path below must unregister the slot.
+
+  while (true) {
+    std::optional<std::string> payload;
+    try {
+      payload = read_frame(stream);
+    } catch (const ProtocolError&) {
+      // Truncated or oversized frame: the byte stream cannot be
+      // resynchronized, so the only safe move is to drop the connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors.add();
+      break;
+    }
+    if (!payload) break;  // clean EOF
+
+    PlanReply reply;
+    bool is_ping = false;
+    try {
+      switch (peek_op(*payload)) {
+        case Op::kPing:
+          is_ping = true;
+          break;
+        case Op::kPlan:
+          reply = handle_plan(decode_plan_request(*payload));
+          break;
+        default:
+          throw ProtocolError("serve: unexpected op from client");
+      }
+    } catch (const ProtocolError& e) {
+      // The frame boundary held, so the connection is still usable — answer
+      // with an error instead of hanging up.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors.add();
+      reply = error_reply(Status::kInvalidArgument, e.what());
+    }
+
+    try {
+      if (is_ping) {
+        obs::ScopedTimer timer(ping_ms);
+        write_frame(stream, encode_ping_reply());
+      } else {
+        write_frame(stream, encode_plan_reply(reply));
+      }
+    } catch (const std::exception&) {
+      break;  // peer went away mid-reply
+    }
+  }
+
+  // Unregister FIRST (stop() touches streams only under this lock, so after
+  // the slot is nulled nobody else holds the pointer), THEN close so the
+  // peer sees EOF promptly — especially after an unresynchronizable frame.
+  {
+    std::lock_guard lock(connections_mutex_);
+    connections_[slot] = nullptr;
+    connections_gauge.add(-1.0);
+  }
+  stream.close();
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    // Another stop() is (or was) draining; wait for the pool regardless so
+    // every caller of stop() gets the "all work done" postcondition.
+    pool_.shutdown();
+    return;
+  }
+  {
+    std::lock_guard lock(connections_mutex_);
+    for (ByteStream* stream : connections_)
+      if (stream != nullptr) stream->shutdown_read();
+  }
+  pool_.shutdown();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.plans_computed = plans_computed_.load(std::memory_order_relaxed);
+  s.coalesce_hits = coalesce_hits_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.shed_rate_limited = shed_rate_limited_.load(std::memory_order_relaxed);
+  s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t Server::inflight() const {
+  std::lock_guard lock(inflight_mutex_);
+  return inflight_.size();
+}
+
+}  // namespace jps::serve

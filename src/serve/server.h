@@ -1,0 +1,181 @@
+// The multi-tenant plan server: admission, coalescing, caching, backpressure.
+//
+// A fleet of mobile devices keeps asking one question — "given my model, my
+// device class and my current uplink, how should I split and order my
+// jobs?" — and the answer is a pure function of (model, strategy, n_jobs,
+// bandwidth).  This server turns the repo's Planner into a long-running
+// service around that purity:
+//
+//   * Bandwidth quantization — live uplink estimates are noisy; requests
+//     are snapped to `bandwidth_bucket_mbps` buckets so nearby estimates
+//     share one answer.  The reply reports the bucket actually planned at.
+//   * Request coalescing — concurrent requests for the same (model,
+//     strategy, n_jobs, bucket) share ONE Planner run via a shared_future
+//     map: the first arrival (the leader) computes, everyone else joins.
+//   * Plan caching — completed answers land in a ShardedPlanCache, so a
+//     repeat request after the burst has passed is a lock-striped lookup.
+//   * Admission control — a token bucket per tenant id sheds chatty tenants
+//     with RESOURCE_EXHAUSTED before any planning work is queued.
+//   * Backpressure — at most `max_inflight` distinct computations may be in
+//     flight; beyond that new leaders are shed with RESOURCE_EXHAUSTED
+//     instead of queueing unboundedly ("fail fast beats fail late").
+//
+// Transport: handle_connection() speaks the serve/protocol.h framing over
+// any ByteStream, so tests drive the full server through in-process pipes
+// and the jps_serve daemon runs the same loop over accepted sockets.  The
+// connection loop never lets an exception escape: malformed payloads get an
+// error reply, unframeable streams are closed.
+//
+// Drain: stop() flips the server to UNAVAILABLE, half-closes the read side
+// of every active connection (loops exit at the next frame boundary while
+// in-flight replies still flow out), then ThreadPool::shutdown() guarantees
+// every admitted computation has completed before stop() returns.
+//
+// Replies are bit-identical to a direct
+//   Planner(ProfileCurve::build(models::build(m), LatencyModel(device),
+//                               Channel(bucket))).plan(strategy, n)
+// — the serve layer adds routing, never arithmetic.  Metrics: see
+// docs/SERVING.md for the instrument table.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/plan_cache.h"
+#include "profile/device.h"
+#include "serve/admission.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
+#include "util/thread_pool.h"
+
+namespace jps::serve {
+
+/// Round `bandwidth_mbps` to the nearest positive multiple of `step_mbps`
+/// (the bucket all coalescing/caching keys on).  A rounded-to-zero estimate
+/// snaps up to one step so the planner never sees a zero-bandwidth channel.
+/// Precondition: both arguments finite and > 0.
+[[nodiscard]] double quantize_bandwidth(double bandwidth_mbps,
+                                        double step_mbps);
+
+struct ServerOptions {
+  /// Planner worker threads (the pool all plan computations run on).
+  std::size_t workers = 4;
+  /// Bound on distinct computations in flight; further leaders are shed
+  /// with RESOURCE_EXHAUSTED.  Clamped to at least 1.
+  std::size_t max_inflight = 8;
+  /// Bandwidth quantization step (Mbps).
+  double bandwidth_bucket_mbps = 0.25;
+  /// Per-tenant admission rate; <= 0 disables admission control.
+  double tenant_rate_per_sec = 0.0;
+  /// Per-tenant burst allowance (token bucket capacity).
+  double tenant_burst = 16.0;
+  /// Lock stripes of the plan cache.
+  std::size_t cache_shards = 8;
+  /// Device whose latency model plans are computed against.
+  profile::DeviceProfile device = profile::DeviceProfile::raspberry_pi_4b();
+  /// Test hook: artificial delay inside each Planner run (ms).  Lets tests
+  /// hold a leader's computation open deterministically to observe
+  /// coalescing and overload shedding.  0 in production.
+  double debug_plan_delay_ms = 0.0;
+};
+
+/// Point-in-time counters (also mirrored into jps::obs as serve.*).
+struct ServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t plans_computed = 0;
+  std::uint64_t coalesce_hits = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t shed_rate_limited = 0;
+  std::uint64_t shed_overload = 0;
+  std::uint64_t protocol_errors = 0;
+
+  [[nodiscard]] std::uint64_t shed_total() const {
+    return shed_rate_limited + shed_overload;
+  }
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Answer one request directly (no transport).  Never throws: failures
+  /// come back as non-OK statuses.  This is the exact computation
+  /// handle_connection performs per kPlan frame.
+  [[nodiscard]] PlanReply handle_plan(const PlanRequest& request);
+
+  /// Serve one connection on the calling thread until the peer closes (or
+  /// stop() half-closes it).  Frame/decoding errors never escape: payloads
+  /// that parse as no known request get an INVALID_ARGUMENT reply; streams
+  /// broken mid-frame are closed.  The daemon runs one thread per accepted
+  /// socket; tests call this with an in-process stream.
+  void handle_connection(ByteStream& stream);
+
+  /// Drain: refuse new work (UNAVAILABLE), half-close active connections,
+  /// and join the worker pool.  Every admitted computation completes before
+  /// stop() returns.  Idempotent.
+  void stop();
+
+  [[nodiscard]] bool stopped() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  /// Distinct computations currently in flight (leaders, not joiners).
+  [[nodiscard]] std::size_t inflight() const;
+  [[nodiscard]] const core::ShardedPlanCache& cache() const { return cache_; }
+
+ private:
+  struct PlanOutcome {
+    std::shared_ptr<const core::ExecutionPlan> plan;
+    bool cache_hit = false;
+    double bucket_mbps = 0.0;
+  };
+
+  /// The Planner run (graph -> curve -> plan) behind every leader.
+  [[nodiscard]] PlanOutcome compute_plan(const PlanRequest& request,
+                                         double bucket_mbps);
+  [[nodiscard]] PlanReply to_reply(const PlanOutcome& outcome) const;
+
+  ServerOptions options_;
+  util::ThreadPool pool_;
+  TenantAdmission admission_;
+  core::ShardedPlanCache cache_;
+
+  std::atomic<bool> stopping_{false};
+
+  // Built model graphs, one per model name (graph construction + shape
+  // inference is far more expensive than a map lookup).
+  std::mutex graphs_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const dnn::Graph>> graphs_;
+
+  // Coalescing: key -> the in-flight computation's shared future.  Size of
+  // this map is the backpressure bound.
+  mutable std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::shared_future<PlanOutcome>> inflight_;
+
+  // Active connections, so stop() can half-close them.  Slots are nulled on
+  // connection exit and reused.
+  std::mutex connections_mutex_;
+  std::vector<ByteStream*> connections_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> plans_computed_{0};
+  std::atomic<std::uint64_t> coalesce_hits_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> shed_rate_limited_{0};
+  std::atomic<std::uint64_t> shed_overload_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace jps::serve

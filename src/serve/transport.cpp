@@ -1,0 +1,231 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace jps::serve {
+
+namespace {
+
+// One direction of an in-process connection: a bounded byte ring with
+// close semantics.  Writers block when the buffer is full (backpressure),
+// readers block when it is empty; closing either end wakes both sides.
+class Pipe {
+ public:
+  explicit Pipe(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+  std::size_t read(char* out, std::size_t max) {
+    std::unique_lock lock(mutex_);
+    readable_.wait(lock, [&] { return !buffer_.empty() || closed_; });
+    if (buffer_.empty()) return 0;  // closed and drained => EOF
+    const std::size_t n = std::min(max, buffer_.size());
+    std::copy_n(buffer_.begin(), n, out);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
+    lock.unlock();
+    writable_.notify_all();
+    return n;
+  }
+
+  void write(const char* data, std::size_t size) {
+    std::size_t written = 0;
+    while (written < size) {
+      std::unique_lock lock(mutex_);
+      writable_.wait(lock, [&] { return buffer_.size() < capacity_ || closed_; });
+      if (closed_) throw std::runtime_error("serve: connection closed by peer");
+      const std::size_t n =
+          std::min(size - written, capacity_ - buffer_.size());
+      buffer_.insert(buffer_.end(), data + written, data + written + n);
+      written += n;
+      lock.unlock();
+      readable_.notify_all();
+    }
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    readable_.notify_all();
+    writable_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex mutex_;
+  std::condition_variable readable_;
+  std::condition_variable writable_;
+  std::deque<char> buffer_;
+  bool closed_ = false;
+};
+
+class InProcessStream final : public ByteStream {
+ public:
+  InProcessStream(std::shared_ptr<Pipe> in, std::shared_ptr<Pipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+  ~InProcessStream() override { close(); }
+
+  std::size_t read(char* out, std::size_t max) override {
+    return in_->read(out, max);
+  }
+  void write(const char* data, std::size_t size) override {
+    out_->write(data, size);
+  }
+  void shutdown_read() override { in_->close(); }
+  void close() override {
+    in_->close();
+    out_->close();
+  }
+
+ private:
+  std::shared_ptr<Pipe> in_;
+  std::shared_ptr<Pipe> out_;
+};
+
+void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+class SocketStream final : public ByteStream {
+ public:
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() override { close(); }
+
+  std::size_t read(char* out, std::size_t max) override {
+    while (true) {
+      const int fd = fd_.load(std::memory_order_acquire);
+      if (fd < 0) return 0;  // closed locally: EOF
+      const ssize_t n = ::recv(fd, out, max, 0);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      return 0;  // reset/closed peer reads as EOF at the frame layer
+    }
+  }
+
+  void write(const char* data, std::size_t size) override {
+    std::size_t written = 0;
+    while (written < size) {
+      const int fd = fd_.load(std::memory_order_acquire);
+      if (fd < 0) throw_errno("serve: send on closed stream");
+      const ssize_t n =
+          ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw_errno("serve: send");
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  void shutdown_read() override {
+    // Races a blocked read() by design (the server's drain path); fd_ is
+    // atomic so the handoff is clean under TSan too.
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd >= 0) ::shutdown(fd, SHUT_RD);
+  }
+
+  void close() override {
+    const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+    if (fd >= 0) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+  }
+
+ private:
+  std::atomic<int> fd_;
+};
+
+}  // namespace
+
+StreamPair make_in_process_pair(std::size_t capacity) {
+  auto a_to_b = std::make_shared<Pipe>(capacity);
+  auto b_to_a = std::make_shared<Pipe>(capacity);
+  StreamPair pair;
+  pair.first = std::make_unique<InProcessStream>(b_to_a, a_to_b);
+  pair.second = std::make_unique<InProcessStream>(a_to_b, b_to_a);
+  return pair;
+}
+
+SocketListener::SocketListener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve: socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("serve: bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw_errno("serve: listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  fd_.store(fd, std::memory_order_release);
+}
+
+SocketListener::~SocketListener() { close(); }
+
+std::unique_ptr<ByteStream> SocketListener::accept() {
+  while (true) {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return nullptr;  // close() already ran
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return std::make_unique<SocketStream>(client);
+    }
+    if (errno == EINTR) continue;
+    return nullptr;  // listener closed (or unrecoverable): stop accepting
+  }
+}
+
+void SocketListener::close() {
+  // shutdown() wakes a blocked accept(); the lock-free exchange plus both
+  // syscalls are async-signal-safe, so the daemon's SIGINT handler may
+  // call this while the accept loop is blocked in another thread.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+std::unique_ptr<ByteStream> socket_connect(const std::string& host,
+                                           std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("serve: socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("serve: bad IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("serve: connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::make_unique<SocketStream>(fd);
+}
+
+}  // namespace jps::serve

@@ -1,0 +1,95 @@
+// Byte transports for the plan server: an in-process pipe pair (tests,
+// selfcheck, benches — no real network, no ports, deterministic teardown)
+// and blocking loopback/TCP sockets (the jps_serve daemon).
+//
+// The server and client only ever see the ByteStream interface, so every
+// protocol and concurrency test runs against the exact code path the
+// socket daemon uses — the transports differ only below read()/write().
+//
+// Shutdown vocabulary (CycloneDDS-style half-close):
+//   * close()          — tear down both directions; a blocked reader wakes
+//                        with EOF, a blocked writer fails.
+//   * shutdown_read()  — stop only the incoming direction.  This is the
+//                        server's drain primitive: the connection loop sees
+//                        EOF at the next frame boundary while replies for
+//                        requests already admitted still flow out.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace jps::serve {
+
+/// A blocking, connected, bidirectional byte stream.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Read up to `max` bytes into `out`; blocks until at least one byte is
+  /// available.  Returns the number of bytes read, or 0 on EOF (peer closed
+  /// or shutdown_read()).
+  [[nodiscard]] virtual std::size_t read(char* out, std::size_t max) = 0;
+
+  /// Write all `size` bytes.  Throws std::runtime_error when the peer is
+  /// gone or the stream is closed.
+  virtual void write(const char* data, std::size_t size) = 0;
+
+  /// Stop the incoming direction only: a blocked read() (and every later
+  /// one) returns 0 once buffered bytes are drained; write() keeps working.
+  virtual void shutdown_read() = 0;
+
+  /// Tear down both directions.  Idempotent.
+  virtual void close() = 0;
+};
+
+/// Two connected in-process endpoints: bytes written to one are read from
+/// the other, through bounded buffers (`capacity` bytes per direction, so a
+/// stalled reader backpressures the writer just like a TCP window).
+struct StreamPair {
+  std::unique_ptr<ByteStream> first;
+  std::unique_ptr<ByteStream> second;
+};
+[[nodiscard]] StreamPair make_in_process_pair(std::size_t capacity = 64 * 1024);
+
+/// Accepts connections for Server::serve.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block until a connection arrives; nullptr once close() was called.
+  [[nodiscard]] virtual std::unique_ptr<ByteStream> accept() = 0;
+
+  /// Unblock accept() permanently.  Idempotent, callable from any thread
+  /// (including a signal-triggered shutdown path).
+  virtual void close() = 0;
+};
+
+/// Blocking TCP listener bound to 127.0.0.1:`port` (0 picks an ephemeral
+/// port; see port()).  Throws std::runtime_error when the socket cannot be
+/// bound.
+class SocketListener final : public Listener {
+ public:
+  explicit SocketListener(std::uint16_t port);
+  ~SocketListener() override;
+
+  [[nodiscard]] std::unique_ptr<ByteStream> accept() override;
+  void close() override;
+
+  /// The bound port (the chosen one when constructed with 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  // Atomic: close() races a blocked accept() by design (drain path, signal
+  // handler), and a lock-free exchange keeps it async-signal-safe.
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to a jps_serve daemon.  Throws std::runtime_error on failure.
+[[nodiscard]] std::unique_ptr<ByteStream> socket_connect(
+    const std::string& host, std::uint16_t port);
+
+}  // namespace jps::serve

@@ -5,6 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+
+#include "util/strings.h"
 
 namespace jps::util {
 
@@ -209,13 +212,12 @@ class Parser {
       while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
     }
     const std::string token = text_.substr(start, pos_ - start);
-    // strtod over from_chars: glibc's from_chars<double> is fine, but strtod
-    // keeps this file free of compiler-version #ifs and the token is already
-    // validated above.
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("invalid number");
-    return Json(value);
+    // parse_double is locale-independent; strtod would read the token under
+    // the global locale, where a comma-decimal environment (de_DE) rejects
+    // the '.' this grammar just validated.
+    const std::optional<double> value = parse_double(token);
+    if (!value) fail("invalid number");
+    return Json(*value);
   }
 
   const std::string& text_;
@@ -253,17 +255,20 @@ void append_number(std::string& out, double value) {
     out += "null";
     return;
   }
+#if defined(__cpp_lib_to_chars)
+  // to_chars emits the shortest round-tripping form and, unlike snprintf's
+  // %g, never consults LC_NUMERIC — a comma-decimal locale would otherwise
+  // serialize 3.5 as "3,5", which is not JSON.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  // Prefer the shortest representation that round-trips.
-  char shorter[40];
-  std::snprintf(shorter, sizeof(shorter), "%g", value);
-  char* end = nullptr;
-  if (std::strtod(shorter, &end) == value && end != shorter) {
-    out += shorter;
-  } else {
-    out += buf;
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec == std::errc()) {
+    out.append(buf, ptr);
+    return;
   }
+#endif
+  char fallback[40];
+  std::snprintf(fallback, sizeof(fallback), "%.17g", value);
+  out += fallback;
 }
 
 void append_indent(std::string& out, int indent, int depth) {

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+
+#if !defined(__cpp_lib_to_chars)
+#include <locale>
+#include <sstream>
+#endif
 
 namespace jps::util {
 
@@ -48,6 +54,39 @@ std::string to_lower(std::string_view s) {
     return static_cast<char>(std::tolower(c));
   });
   return out;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+#if defined(__cpp_lib_to_chars)
+  // from_chars is locale-independent by definition.  It rejects a leading
+  // '+', which the CLI layer historically accepted via stod; strip it here
+  // so "+5.85" keeps parsing (a bare "+" stays invalid: s becomes empty).
+  if (s.front() == '+') s.remove_prefix(1);
+  if (s.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
+#else
+  // Portable fallback: a stringstream pinned to the classic ("C") locale.
+  std::istringstream in{std::string(s)};
+  in.imbue(std::locale::classic());
+  double value = 0.0;
+  in >> value;
+  if (in.fail() || !in.eof()) return std::nullopt;
+  return value;
+#endif
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  if (s.front() == '+') s.remove_prefix(1);  // match parse_double's contract
+  if (s.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  return value;
 }
 
 }  // namespace jps::util

@@ -1,6 +1,8 @@
 // String helpers shared by the lookup-table serializer and the harnesses.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,5 +24,19 @@ namespace jps::util {
 
 /// Lower-case ASCII copy.
 [[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Strict, locale-independent double parse.  The ENTIRE string must be a
+/// number in the C locale ("3.5", "-1.2e-3", "inf", "nan"); anything else —
+/// trailing garbage ("0.1x"), a comma decimal point ("3,5"), leading
+/// whitespace, or an empty string — yields nullopt.  Unlike std::stod this
+/// never consults the global locale (under de_DE, stod reads "3.5" as 3)
+/// and never accepts a prefix, so every caller gets the same bytes-in,
+/// value-out behavior regardless of environment.  Shared by the JSON
+/// parser, the lookup-table deserializer, and the CLI flag layer.
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Strict base-10 integer parse with the same whole-string contract as
+/// parse_double ("12x" and "1.5" both yield nullopt).
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
 
 }  // namespace jps::util

@@ -44,13 +44,23 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  std::lock_guard join_lock(join_mutex_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+bool ThreadPool::accepting() const {
+  std::lock_guard lock(mutex_);
+  return !stopping_;
 }
 
 bool ThreadPool::on_worker_thread() { return tl_pool_worker; }
@@ -58,6 +68,14 @@ bool ThreadPool::on_worker_thread() { return tl_pool_worker; }
 void ThreadPool::enqueue(Task task) {
   {
     std::lock_guard lock(mutex_);
+    if (stopping_) {
+      // Rejecting here (under the queue lock) is what makes the contract
+      // deterministic: a task is either enqueued before shutdown drains the
+      // queue — and therefore runs — or it is refused.  Silently enqueueing
+      // would leave a future that never becomes ready once the workers are
+      // gone.
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
     queue_.push(std::move(task));
     queue_depth_gauge().set(static_cast<double>(queue_.size()));
   }

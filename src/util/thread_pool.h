@@ -45,11 +45,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Finish queued tasks and join.
+  /// Finish queued tasks and join (equivalent to shutdown()).
   ~ThreadPool();
+
+  /// Begin an orderly stop: no new tasks are accepted, every task already
+  /// queued still runs, and all workers are joined before returning.
+  /// Idempotent and safe to call from several threads.  The moment
+  /// shutdown() (or the destructor) has set the pool stopping, submit()
+  /// throws std::runtime_error deterministically instead of racing the
+  /// worker teardown — the contract jps_serve's drain path relies on: stop
+  /// admitting, shutdown() the pool, and every admitted request is
+  /// guaranteed to have produced its reply future.
+  void shutdown();
+
+  /// False once shutdown has begun (submit() would throw).
+  [[nodiscard]] bool accepting() const;
 
   /// Enqueue a callable; returns a future for its result.  Exceptions
   /// thrown by the task are captured and rethrown by future::get().
+  /// Throws std::runtime_error if shutdown has begun.
   template <typename F>
   [[nodiscard]] auto submit(F&& task)
       -> std::future<std::invoke_result_t<std::decay_t<F>>> {
@@ -99,9 +113,12 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<Task> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  /// Serializes the join loop so concurrent shutdown() calls cannot both
+  /// join the same worker.
+  std::mutex join_mutex_;
 };
 
 /// The number of threads parallel loops use by default: JPS_THREADS when the

@@ -161,5 +161,95 @@ TEST(PlanCache, GlobalIsASingleton) {
   EXPECT_EQ(&PlanCache::global(), &PlanCache::global());
 }
 
+// ---- ShardedPlanCache: the lock-striped wrapper jps_serve sits on ----
+
+TEST(ShardedPlanCache, DelegatesAndAggregatesStats) {
+  ShardedPlanCache cache(4);
+  EXPECT_EQ(cache.shard_count(), 4u);
+  std::atomic<int> curve_builds{0};
+  std::atomic<int> plan_builds{0};
+  // Distinct bandwidths scatter across shards; each key misses once, hits
+  // once, and stats() must add up across every shard.
+  for (const double mbps : {1.0, 2.0, 3.0, 4.0, 5.0}) {
+    const CurveCacheKey curve_key{"alexnet", "pi4b", mbps};
+    for (int round = 0; round < 2; ++round) {
+      const auto curve = cache.curve(curve_key, [&] {
+        curve_builds.fetch_add(1);
+        return build_alexnet_curve(mbps);
+      });
+      const PlanCacheKey plan_key{"alexnet", "pi4b", mbps, Strategy::kJPS, 4};
+      const auto plan = cache.plan(plan_key, [&] {
+        plan_builds.fetch_add(1);
+        return Planner(*curve).plan(Strategy::kJPS, 4);
+      });
+      ASSERT_NE(plan, nullptr);
+    }
+  }
+  EXPECT_EQ(curve_builds.load(), 5);
+  EXPECT_EQ(plan_builds.load(), 5);
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.curve_misses, 5u);
+  EXPECT_EQ(stats.curve_hits, 5u);
+  EXPECT_EQ(stats.plan_misses, 5u);
+  EXPECT_EQ(stats.plan_hits, 5u);
+  EXPECT_EQ(cache.curve_count(), 5u);
+  EXPECT_EQ(cache.plan_count(), 5u);
+}
+
+TEST(ShardedPlanCache, RoutingIsDeterministicAndInRange) {
+  ShardedPlanCache cache(8);
+  const CurveCacheKey a{"alexnet", "pi4b", 5.0};
+  const CurveCacheKey b{"alexnet", "pi4b", 5.0};
+  EXPECT_EQ(cache.shard_of(a), cache.shard_of(b));  // equal keys, one shard
+  EXPECT_LT(cache.shard_of(a), cache.shard_count());
+  const PlanCacheKey p{"alexnet", "pi4b", 5.0, Strategy::kJPS, 4};
+  EXPECT_LT(cache.shard_of(p), cache.shard_count());
+  // -0.0 canonicalizes before hashing, so it routes with +0.0.
+  EXPECT_EQ(cache.shard_of(CurveCacheKey{"alexnet", "pi4b", -0.0}),
+            cache.shard_of(CurveCacheKey{"alexnet", "pi4b", 0.0}));
+}
+
+TEST(ShardedPlanCache, ShardCountClampsToAtLeastOne) {
+  ShardedPlanCache cache(0);
+  EXPECT_EQ(cache.shard_count(), 1u);
+  EXPECT_EQ(cache.shard_of(CurveCacheKey{"alexnet", "pi4b", 2.5}), 0u);
+}
+
+TEST(ShardedPlanCache, ClearAndResetStatsTouchEveryShard) {
+  ShardedPlanCache cache(4);
+  for (const double mbps : {1.0, 2.0, 3.0, 4.0}) {
+    (void)cache.curve({"alexnet", "pi4b", mbps},
+                      [&] { return build_alexnet_curve(mbps); });
+  }
+  EXPECT_EQ(cache.curve_count(), 4u);
+  cache.clear();
+  EXPECT_EQ(cache.curve_count(), 0u);
+  EXPECT_EQ(cache.plan_count(), 0u);
+  cache.reset_stats();
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.curve_misses, 0u);
+  EXPECT_EQ(stats.curve_hits, 0u);
+}
+
+TEST(ShardedPlanCache, ConcurrentMixedAccessIsSafeAndCoherent) {
+  // Same contract as the single-cache test, through the striped wrapper:
+  // one object per key no matter which thread asked.  TSan target.
+  ShardedPlanCache cache(4);
+  constexpr std::size_t kLookups = 200;
+  const double bandwidths[] = {1.0, 2.0, 4.0, 8.0};
+  std::vector<std::shared_ptr<const partition::ProfileCurve>> seen(kLookups);
+  util::parallel_for(kLookups, [&](std::size_t i) {
+    const double mbps = bandwidths[i % 4];
+    seen[i] = cache.curve({"alexnet", "pi4b", mbps},
+                          [&] { return build_alexnet_curve(mbps); });
+  });
+  EXPECT_EQ(cache.curve_count(), 4u);
+  for (std::size_t i = 4; i < kLookups; ++i)
+    EXPECT_EQ(seen[i].get(), seen[i % 4].get());
+  const PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.curve_hits + stats.curve_misses, kLookups);
+  EXPECT_GE(stats.curve_misses, 4u);  // racing builders may double-build
+}
+
 }  // namespace
 }  // namespace jps::core

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdio>
 #include <stdexcept>
+#include <string>
 
 #include "models/registry.h"
 #include "profile/profiler.h"
@@ -96,6 +98,41 @@ TEST(LookupTable, CoversAfterProfilingCampaign) {
   table.add_graph(g, profiler.measure_graph(g, rng));
   EXPECT_TRUE(table.covers(g));
   EXPECT_EQ(table.size(), g.size());
+}
+
+TEST(LookupTable, UnparsableLineReportsItsLineNumber) {
+  // "2.5x" used to parse as 2.5 via std::stod's prefix rule, silently
+  // loading a corrupt table; now it is refused, naming the line.
+  try {
+    (void)LookupTable::deserialize(
+        "jps-lookup-table v1\nm\t0\t1.0\nm\t1\t2.5x\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LookupTable, DeserializeIsLocaleIndependent) {
+  // Under a comma-decimal locale std::stod reads "17.25" as 17 — every
+  // profiled latency silently truncated.  The parser must not care.
+  const std::string saved = std::setlocale(LC_ALL, nullptr);
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_ALL, "de_DE") == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  double value = 0.0;
+  std::string error;
+  try {
+    const LookupTable parsed = LookupTable::deserialize(
+        "jps-lookup-table v1\nalexnet\t1\t17.25\n");
+    value = parsed.at("alexnet", 1);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  std::setlocale(LC_ALL, saved.c_str());
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_DOUBLE_EQ(value, 17.25);
 }
 
 }  // namespace

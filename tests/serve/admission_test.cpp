@@ -1,0 +1,72 @@
+// Token-bucket admission control under an injected clock.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+namespace jps::serve {
+namespace {
+
+TEST(TokenBucket, BurstThenStarve) {
+  TokenBucket bucket(/*rate_per_sec=*/10.0, /*burst=*/3.0);
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.0));  // burst spent, no time passed
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket bucket(10.0, 3.0);  // 10 tokens/s == 1 token per 100 ms
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(50.0));   // half a token accrued
+  EXPECT_TRUE(bucket.try_acquire(100.0));   // a full one
+  EXPECT_FALSE(bucket.try_acquire(100.0));  // and only one
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket bucket(10.0, 2.0);
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  // An hour idle refills to the cap, not to rate * elapsed.
+  EXPECT_NEAR(bucket.available(3'600'000.0), 2.0, 1e-9);
+  EXPECT_TRUE(bucket.try_acquire(3'600'000.0));
+  EXPECT_TRUE(bucket.try_acquire(3'600'000.0));
+  EXPECT_FALSE(bucket.try_acquire(3'600'000.0));
+}
+
+TEST(TokenBucket, NonMonotoneClockIsNoRefill) {
+  TokenBucket bucket(1000.0, 1.0);
+  EXPECT_TRUE(bucket.try_acquire(100.0));
+  EXPECT_FALSE(bucket.try_acquire(50.0));  // clock went backwards
+  EXPECT_FALSE(bucket.try_acquire(100.0));
+  EXPECT_TRUE(bucket.try_acquire(101.0));  // 1 ms at 1000/s = 1 token
+}
+
+TEST(TokenBucket, DisabledRateAdmitsEverything) {
+  TokenBucket bucket(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_acquire(0.0));
+}
+
+TEST(TenantAdmission, TenantsAreIsolated) {
+  TenantAdmission admission(/*rate_per_sec=*/10.0, /*burst=*/1.0);
+  EXPECT_TRUE(admission.admit("a", 0.0));
+  EXPECT_FALSE(admission.admit("a", 0.0));  // a's bucket is empty...
+  EXPECT_TRUE(admission.admit("b", 0.0));   // ...b's is untouched
+  EXPECT_EQ(admission.tenant_count(), 2u);
+}
+
+TEST(TenantAdmission, AnonymousTenantIsATenant) {
+  TenantAdmission admission(10.0, 1.0);
+  EXPECT_TRUE(admission.admit("", 0.0));
+  EXPECT_FALSE(admission.admit("", 0.0));
+}
+
+TEST(TenantAdmission, UnlimitedRateNeverCreatesBuckets) {
+  TenantAdmission admission(0.0, 1.0);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(admission.admit("a", 0.0));
+  EXPECT_EQ(admission.tenant_count(), 0u);
+}
+
+}  // namespace
+}  // namespace jps::serve

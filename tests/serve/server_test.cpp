@@ -1,0 +1,282 @@
+// Server semantics: bit-identity with the direct Planner, quantization,
+// admission/backpressure statuses, drain, and the connection loop's
+// guarantee that hostile frames produce error replies or clean closes —
+// never an escaped exception.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <thread>
+
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "partition/profile_curve.h"
+#include "profile/latency_model.h"
+#include "serve/client.h"
+
+namespace jps::serve {
+namespace {
+
+PlanRequest request_for(const std::string& model, double mbps, int jobs,
+                        core::Strategy strategy = core::Strategy::kJPS) {
+  PlanRequest request;
+  request.tenant = "test";
+  request.model = model;
+  request.bandwidth_mbps = mbps;
+  request.strategy = strategy;
+  request.n_jobs = jobs;
+  return request;
+}
+
+// The reply the server must reproduce, computed directly.
+core::ExecutionPlan direct_plan(const ServerOptions& options,
+                                const PlanRequest& request) {
+  const double bucket = quantize_bandwidth(request.bandwidth_mbps,
+                                           options.bandwidth_bucket_mbps);
+  const dnn::Graph graph = models::build(request.model);
+  const profile::LatencyModel mobile(options.device);
+  const auto curve =
+      partition::ProfileCurve::build(graph, mobile, net::Channel(bucket));
+  return core::Planner(curve).plan(request.strategy, request.n_jobs);
+}
+
+TEST(Quantize, SnapsToNearestBucketAndNeverZero) {
+  EXPECT_DOUBLE_EQ(quantize_bandwidth(7.3, 0.25), 7.25);
+  EXPECT_DOUBLE_EQ(quantize_bandwidth(7.4, 0.25), 7.5);
+  EXPECT_DOUBLE_EQ(quantize_bandwidth(0.25, 0.25), 0.25);
+  // Estimates that would round to zero snap up to one step.
+  EXPECT_DOUBLE_EQ(quantize_bandwidth(0.01, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(quantize_bandwidth(1e-9, 0.25), 0.25);
+}
+
+TEST(Server, ReplyIsBitIdenticalToDirectPlanner) {
+  ServerOptions options;
+  options.workers = 2;
+  Server server(options);
+  const PlanRequest request = request_for("alexnet", 9.87, 7);
+  const PlanReply reply = server.handle_plan(request);
+  ASSERT_TRUE(reply.ok()) << reply.message;
+
+  const core::ExecutionPlan expected = direct_plan(options, request);
+  EXPECT_EQ(reply.makespan_ms, expected.predicted_makespan);  // exact, not near
+  EXPECT_DOUBLE_EQ(reply.bandwidth_bucket_mbps, 9.75);  // round(9.87/0.25)*0.25
+
+  int total = 0;
+  for (const CutMix& m : reply.mix) total += static_cast<int>(m.count);
+  EXPECT_EQ(total, request.n_jobs);
+}
+
+TEST(Server, NearbyBandwidthsShareABucketAndTheCache) {
+  Server server{ServerOptions{}};
+  const PlanReply a = server.handle_plan(request_for("alexnet", 10.05, 4));
+  const PlanReply b = server.handle_plan(request_for("alexnet", 9.95, 4));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.bandwidth_bucket_mbps, b.bandwidth_bucket_mbps);
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+  EXPECT_FALSE(a.cache_hit);  // first computed it
+  EXPECT_TRUE(b.cache_hit);   // second came from the sharded cache
+  EXPECT_EQ(server.stats().plans_computed, 1u);
+}
+
+TEST(Server, InvalidArgumentsGetStatusesNotThrows) {
+  Server server{ServerOptions{}};
+  EXPECT_EQ(server
+                .handle_plan(request_for(
+                    "alexnet", std::numeric_limits<double>::quiet_NaN(), 4))
+                .status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(server.handle_plan(request_for("alexnet", -1.0, 4)).status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(
+      server
+          .handle_plan(request_for(
+              "alexnet", std::numeric_limits<double>::infinity(), 4))
+          .status,
+      Status::kInvalidArgument);
+  EXPECT_EQ(server.handle_plan(request_for("alexnet", 10.0, 0)).status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(server
+                .handle_plan(request_for("alexnet", 10.0, 4,
+                                         core::Strategy::kBruteForce))
+                .status,
+            Status::kInvalidArgument);
+  EXPECT_EQ(
+      server.handle_plan(request_for("alexnet", 10.0, 4,
+                                     core::Strategy::kRobust))
+          .status,
+      Status::kInvalidArgument);
+}
+
+TEST(Server, UnknownModelIsNotFound) {
+  Server server{ServerOptions{}};
+  const PlanReply reply = server.handle_plan(request_for("not-a-model", 10, 4));
+  EXPECT_EQ(reply.status, Status::kNotFound);
+  EXPECT_FALSE(reply.message.empty());
+}
+
+TEST(Server, TenantRateLimitSheds) {
+  ServerOptions options;
+  options.tenant_rate_per_sec = 0.001;  // effectively no refill in-test
+  options.tenant_burst = 2.0;
+  Server server(options);
+  EXPECT_TRUE(server.handle_plan(request_for("alexnet", 10, 1)).ok());
+  EXPECT_TRUE(server.handle_plan(request_for("alexnet", 10, 1)).ok());
+  const PlanReply shed = server.handle_plan(request_for("alexnet", 10, 1));
+  EXPECT_EQ(shed.status, Status::kResourceExhausted);
+  EXPECT_EQ(server.stats().shed_rate_limited, 1u);
+
+  // A different tenant is admitted immediately.
+  PlanRequest other = request_for("alexnet", 10, 1);
+  other.tenant = "other";
+  EXPECT_TRUE(server.handle_plan(other).ok());
+}
+
+TEST(Server, OverloadShedsWithResourceExhausted) {
+  ServerOptions options;
+  options.workers = 2;
+  options.max_inflight = 1;
+  options.debug_plan_delay_ms = 200.0;  // hold the leader's computation open
+  Server server(options);
+
+  std::thread leader(
+      [&] { EXPECT_TRUE(server.handle_plan(request_for("alexnet", 5, 2)).ok()); });
+  // Wait until the leader's computation occupies the single inflight slot.
+  while (server.inflight() == 0) std::this_thread::yield();
+
+  // A DIFFERENT key cannot start a second computation: shed, not queue.
+  const PlanReply shed = server.handle_plan(request_for("alexnet", 50, 2));
+  EXPECT_EQ(shed.status, Status::kResourceExhausted);
+  EXPECT_EQ(server.stats().shed_overload, 1u);
+  leader.join();
+
+  // With the burst over, the previously shed key now computes fine.
+  EXPECT_TRUE(server.handle_plan(request_for("alexnet", 50, 2)).ok());
+}
+
+TEST(Server, IdenticalConcurrentRequestsCoalesce) {
+  ServerOptions options;
+  options.workers = 2;
+  options.debug_plan_delay_ms = 100.0;
+  Server server(options);
+
+  std::thread leader(
+      [&] { EXPECT_TRUE(server.handle_plan(request_for("alexnet", 5, 2)).ok()); });
+  while (server.inflight() == 0) std::this_thread::yield();
+
+  // Same key while the leader holds it: joins the computation.
+  const PlanReply follower = server.handle_plan(request_for("alexnet", 5, 2));
+  leader.join();
+  ASSERT_TRUE(follower.ok());
+  EXPECT_TRUE(follower.coalesced);
+  EXPECT_EQ(server.stats().coalesce_hits, 1u);
+  EXPECT_EQ(server.stats().plans_computed, 1u);  // one Planner run for both
+}
+
+TEST(Server, StopDrainsAndRefusesNewWork) {
+  Server server{ServerOptions{}};
+  EXPECT_TRUE(server.handle_plan(request_for("alexnet", 10, 2)).ok());
+  server.stop();
+  EXPECT_TRUE(server.stopped());
+  const PlanReply reply = server.handle_plan(request_for("alexnet", 10, 2));
+  EXPECT_EQ(reply.status, Status::kUnavailable);
+  server.stop();  // idempotent
+}
+
+// ---- connection-loop negative paths (satellite: protocol robustness) ----
+
+TEST(Connection, PlanAndPingOverTheWire) {
+  Server server{ServerOptions{}};
+  StreamPair pair = make_in_process_pair();
+  std::thread conn([&] { server.handle_connection(*pair.first); });
+  Client client(std::move(pair.second));
+  EXPECT_TRUE(client.ping());
+  const PlanReply reply = client.plan(request_for("alexnet", 10, 4));
+  EXPECT_TRUE(reply.ok());
+  client.close();
+  conn.join();
+}
+
+TEST(Connection, UnknownModelAndBadBandwidthAreRepliesNotDisconnects) {
+  Server server{ServerOptions{}};
+  StreamPair pair = make_in_process_pair();
+  std::thread conn([&] { server.handle_connection(*pair.first); });
+  Client client(std::move(pair.second));
+
+  EXPECT_EQ(client.plan(request_for("no-such-model", 10, 4)).status,
+            Status::kNotFound);
+  EXPECT_EQ(client
+                .plan(request_for("alexnet",
+                                  std::numeric_limits<double>::quiet_NaN(), 4))
+                .status,
+            Status::kInvalidArgument);
+  // The connection survived both errors.
+  EXPECT_TRUE(client.plan(request_for("alexnet", 10, 4)).ok());
+  client.close();
+  conn.join();
+}
+
+TEST(Connection, MalformedPayloadGetsErrorReplyAndConnectionSurvives) {
+  Server server{ServerOptions{}};
+  StreamPair pair = make_in_process_pair();
+  std::thread conn([&] { server.handle_connection(*pair.first); });
+
+  // A well-framed payload that decodes as no known request.
+  write_frame(*pair.second, "garbage-bytes");
+  const auto reply_payload = read_frame(*pair.second);
+  ASSERT_TRUE(reply_payload.has_value());
+  EXPECT_EQ(decode_plan_reply(*reply_payload).status,
+            Status::kInvalidArgument);
+
+  // A reply op sent TO the server is equally malformed from its viewpoint.
+  write_frame(*pair.second, encode_ping_reply());
+  const auto reply2 = read_frame(*pair.second);
+  ASSERT_TRUE(reply2.has_value());
+  EXPECT_EQ(decode_plan_reply(*reply2).status, Status::kInvalidArgument);
+
+  // Still alive afterwards.
+  Client client(std::move(pair.second));
+  EXPECT_TRUE(client.ping());
+  client.close();
+  conn.join();
+  EXPECT_GE(server.stats().protocol_errors, 2u);
+}
+
+TEST(Connection, TruncatedLengthPrefixClosesConnectionQuietly) {
+  Server server{ServerOptions{}};
+  StreamPair pair = make_in_process_pair();
+  std::thread conn([&] { server.handle_connection(*pair.first); });
+  pair.second->write("\x10\x00", 2);  // half a prefix
+  pair.second->close();
+  conn.join();  // loop must exit, not throw
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+}
+
+TEST(Connection, OversizedFrameClosesConnectionQuietly) {
+  Server server{ServerOptions{}};
+  StreamPair pair = make_in_process_pair();
+  std::thread conn([&] { server.handle_connection(*pair.first); });
+  pair.second->write("\xFF\xFF\xFF\x7F", 4);  // ~2 GiB announcement
+  // The server hangs up; our next read sees EOF.
+  char b;
+  EXPECT_EQ(pair.second->read(&b, 1), 0u);
+  conn.join();
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+}
+
+TEST(Connection, StopHalfClosesActiveConnections) {
+  Server server{ServerOptions{}};
+  StreamPair pair = make_in_process_pair();
+  std::thread conn([&] { server.handle_connection(*pair.first); });
+  Client client(std::move(pair.second));
+  EXPECT_TRUE(client.ping());  // connection is up and registered
+  server.stop();               // half-closes the server side
+  conn.join();                 // loop exited at the frame boundary
+}
+
+}  // namespace
+}  // namespace jps::serve

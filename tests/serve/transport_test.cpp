@@ -1,0 +1,121 @@
+// Byte transports: in-process pipe semantics (backpressure, half-close,
+// EOF) and the loopback socket listener.
+#include "serve/transport.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace jps::serve {
+namespace {
+
+std::string read_all(ByteStream& stream) {
+  std::string out;
+  char buf[256];
+  while (const std::size_t n = stream.read(buf, sizeof(buf)))
+    out.append(buf, n);
+  return out;
+}
+
+TEST(InProcessPair, BytesFlowBothWays) {
+  StreamPair pair = make_in_process_pair();
+  pair.first->write("ping", 4);
+  char buf[8];
+  ASSERT_EQ(pair.second->read(buf, sizeof(buf)), 4u);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  pair.second->write("pong!", 5);
+  ASSERT_EQ(pair.first->read(buf, sizeof(buf)), 5u);
+  EXPECT_EQ(std::string(buf, 5), "pong!");
+}
+
+TEST(InProcessPair, CloseGivesReaderEofAfterDrainingBuffer) {
+  StreamPair pair = make_in_process_pair();
+  pair.first->write("tail", 4);
+  pair.first->close();
+  EXPECT_EQ(read_all(*pair.second), "tail");  // buffered bytes then EOF
+  char b;
+  EXPECT_EQ(pair.second->read(&b, 1), 0u);  // EOF is sticky
+}
+
+TEST(InProcessPair, BoundedBufferBackpressuresWriter) {
+  StreamPair pair = make_in_process_pair(/*capacity=*/16);
+  std::atomic<bool> writer_done{false};
+  const std::string big(1024, 'x');
+  std::thread writer([&] {
+    pair.first->write(big.data(), big.size());
+    writer_done.store(true);
+  });
+  // The writer cannot finish until the reader drains: 1024 bytes through a
+  // 16-byte window.
+  std::string got;
+  char buf[64];
+  while (got.size() < big.size()) {
+    const std::size_t n = pair.second->read(buf, sizeof(buf));
+    ASSERT_GT(n, 0u);
+    got.append(buf, n);
+  }
+  writer.join();
+  EXPECT_TRUE(writer_done.load());
+  EXPECT_EQ(got, big);
+}
+
+TEST(InProcessPair, ShutdownReadUnblocksReaderButKeepsWrites) {
+  StreamPair pair = make_in_process_pair();
+  std::thread unblocker([&] { pair.second->shutdown_read(); });
+  char b;
+  EXPECT_EQ(pair.second->read(&b, 1), 0u);  // woken with EOF
+  unblocker.join();
+  // The opposite direction still works: half-close, not close.
+  pair.second->write("reply", 5);
+  char buf[8];
+  EXPECT_EQ(pair.first->read(buf, sizeof(buf)), 5u);
+}
+
+TEST(InProcessPair, WriteToClosedPeerThrows) {
+  StreamPair pair = make_in_process_pair(/*capacity=*/4);
+  pair.second->close();
+  EXPECT_THROW(pair.first->write("0123456789", 10), std::runtime_error);
+}
+
+TEST(SocketTransport, EphemeralPortEchoAndShutdown) {
+  SocketListener listener(0);
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread server([&] {
+    const std::unique_ptr<ByteStream> conn = listener.accept();
+    ASSERT_NE(conn, nullptr);
+    char buf[16];
+    const std::size_t n = conn->read(buf, sizeof(buf));
+    conn->write(buf, n);  // echo
+  });
+
+  const std::unique_ptr<ByteStream> client =
+      socket_connect("127.0.0.1", listener.port());
+  client->write("hello", 5);
+  char buf[16];
+  ASSERT_EQ(client->read(buf, sizeof(buf)), 5u);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  server.join();
+
+  // close() unblocks a pending accept with nullptr.
+  std::thread closer([&] { listener.close(); });
+  EXPECT_EQ(listener.accept(), nullptr);
+  closer.join();
+}
+
+TEST(SocketTransport, ConnectToClosedPortThrows) {
+  // Bind-then-close to obtain a port that is (almost surely) not listening.
+  std::uint16_t dead_port;
+  {
+    SocketListener listener(0);
+    dead_port = listener.port();
+  }
+  EXPECT_THROW((void)socket_connect("127.0.0.1", dead_port),
+               std::runtime_error);
+  EXPECT_THROW((void)socket_connect("not-an-ip", 1), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jps::serve

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace jps::tools {
@@ -76,6 +77,35 @@ TEST(Args, BadNumbersThrow) {
 TEST(Args, NoCommand) {
   const Args args = make_args({});
   EXPECT_EQ(args.command(), "");
+}
+
+TEST(Args, TrailingGarbageIsAUsageErrorNotAPrefixParse) {
+  // Regression: the tools used unguarded std::stod/stoi, so "--threshold
+  // 0.1x" silently ran with 0.1 (stod stops at the 'x') and "--jobs 12q"
+  // ran with 12 jobs.  Strict parsing rejects both with a UsageError the
+  // tool's main() turns into exit 64 plus a usage message.
+  const Args args = make_args({"diff", "--threshold", "0.1x", "--jobs", "12q"});
+  EXPECT_THROW((void)args.get_double("threshold", 0.0), UsageError);
+  EXPECT_THROW((void)args.get_int("jobs", 0), UsageError);
+}
+
+TEST(Args, IntRejectsFractionsAndOverflow) {
+  const Args args =
+      make_args({"plan", "--jobs", "1.5", "--huge", "99999999999999999999"});
+  EXPECT_THROW((void)args.get_int("jobs", 0), UsageError);
+  EXPECT_THROW((void)args.get_int("huge", 0), UsageError);
+}
+
+TEST(Args, UsageErrorsNameTheFlagAndValue) {
+  const Args args = make_args({"plan", "--bandwidth", "fast"});
+  try {
+    (void)args.get_double("bandwidth", 0.0);
+    FAIL() << "expected UsageError";
+  } catch (const UsageError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--bandwidth"), std::string::npos) << what;
+    EXPECT_NE(what.find("fast"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <limits>
 #include <string>
 
@@ -135,6 +136,32 @@ TEST(Json, ParseErrorCarriesOffset) {
     EXPECT_GE(e.offset(), 7u);
     EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
   }
+}
+
+TEST(Json, NumbersIgnoreTheGlobalLocale) {
+  // Regression: number parsing/printing went through std::stod and
+  // stream insertion, both locale-sensitive — under de_DE a BENCH_*.json
+  // would read "1.5" as 1 and dump "2,25", which no JSON parser accepts.
+  const std::string saved = std::setlocale(LC_ALL, nullptr);
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_ALL, "de_DE") == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  double parsed = 0.0;
+  std::string dumped;
+  std::string error;
+  try {
+    parsed = Json::parse("[1.5]").at(0).as_double();
+    Json arr = Json::array();
+    arr.push_back(Json(2.25));
+    dumped = arr.dump();
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  std::setlocale(LC_ALL, saved.c_str());
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_DOUBLE_EQ(parsed, 1.5);
+  EXPECT_EQ(dumped, "[2.25]");  // never "[2,25]"
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <optional>
+#include <string>
+
 namespace jps::util {
 namespace {
 
@@ -46,6 +50,48 @@ TEST(Strings, Join) {
 
 TEST(Strings, ToLower) {
   EXPECT_EQ(to_lower("AlexNet-V2"), "alexnet-v2");
+}
+
+TEST(Strings, ParseDoubleAcceptsWholeStringNumbersOnly) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double("-1.2e-3"), -1.2e-3);
+  EXPECT_DOUBLE_EQ(*parse_double("+0.25"), 0.25);
+  EXPECT_DOUBLE_EQ(*parse_double("42"), 42.0);
+  EXPECT_FALSE(parse_double("0.1x").has_value());  // trailing garbage
+  EXPECT_FALSE(parse_double("3,5").has_value());   // comma decimal point
+  EXPECT_FALSE(parse_double(" 1.0").has_value());  // leading whitespace
+  EXPECT_FALSE(parse_double("1.0 ").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("fast").has_value());
+  EXPECT_FALSE(parse_double("+").has_value());
+}
+
+TEST(Strings, ParseDoubleIsLocaleIndependent) {
+  // The whole point: std::stod under a comma-decimal locale reads "3.5" as
+  // 3.  parse_double must never consult the global locale.
+  const std::string saved = std::setlocale(LC_ALL, nullptr);
+  if (std::setlocale(LC_ALL, "de_DE.UTF-8") == nullptr &&
+      std::setlocale(LC_ALL, "de_DE") == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  const std::optional<double> dot = parse_double("3.5");
+  const std::optional<double> comma = parse_double("3,5");
+  std::setlocale(LC_ALL, saved.c_str());
+  ASSERT_TRUE(dot.has_value());
+  EXPECT_DOUBLE_EQ(*dot, 3.5);
+  EXPECT_FALSE(comma.has_value());
+}
+
+TEST(Strings, ParseIntIsStrict) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int("-7"), -7);
+  EXPECT_EQ(*parse_int("+9"), 9);
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("1.5").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int(" 3").has_value());
+  EXPECT_FALSE(parse_int("+").has_value());
+  EXPECT_FALSE(parse_int("99999999999999999999").has_value());  // overflow
 }
 
 }  // namespace

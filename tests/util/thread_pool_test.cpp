@@ -199,5 +199,61 @@ TEST(ParallelFor, ResultsIdenticalAcrossThreadCounts) {
   EXPECT_EQ(one, many);
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrowsDeterministically) {
+  // The jps_serve drain contract: once shutdown() has begun, submit() must
+  // throw instead of racing the worker teardown (a task silently dropped
+  // would leave a client waiting on a reply future forever).
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_FALSE(pool.accepting());
+  EXPECT_THROW((void)pool.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownRunsEveryQueuedTask) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  ThreadPool pool(2);
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([&] { ran.fetch_add(1); }));
+  pool.shutdown();  // drain barrier: everything already queued must run
+  EXPECT_EQ(ran.load(), 64);
+  for (auto& f : futures) f.get();  // and every future is ready, none lost
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndConcurrent) {
+  ThreadPool pool(2);
+  std::thread a([&] { pool.shutdown(); });
+  std::thread b([&] { pool.shutdown(); });
+  a.join();
+  b.join();
+  pool.shutdown();  // and again from the original thread
+  EXPECT_FALSE(pool.accepting());
+}
+
+TEST(ThreadPool, ConcurrentSubmittersRaceShutdownWithoutLostTasks) {
+  // Submitters either get a future that completes or a deterministic
+  // throw — never an abandoned future.  Run under TSan in CI.
+  ThreadPool pool(2);
+  std::atomic<int> accepted{0}, rejected{0}, completed{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        try {
+          auto f = pool.submit([&] { completed.fetch_add(1); });
+          accepted.fetch_add(1);
+          f.wait();
+        } catch (const std::runtime_error&) {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  pool.shutdown();  // races the submitters on purpose
+  for (std::thread& t : submitters) t.join();
+  EXPECT_EQ(accepted.load(), completed.load());
+  EXPECT_EQ(accepted.load() + rejected.load(), 4 * 200);
+}
+
 }  // namespace
 }  // namespace jps::util

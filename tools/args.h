@@ -2,12 +2,28 @@
 // plus a leading positional subcommand.
 #pragma once
 
-#include <map>
+#include <limits>
 #include <stdexcept>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "util/strings.h"
+
 namespace jps::tools {
+
+/// Exit code for command-line misuse (BSD sysexits EX_USAGE); shared by
+/// every jps_* tool.
+inline constexpr int kExitUsage = 64;
+
+/// A bad flag value or malformed operand.  Tools catch this at top level,
+/// print the message plus a usage pointer, and exit kExitUsage — a typo'd
+/// `--bandwidth fast` must never surface as an uncaught std::stod abort.
+class UsageError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
 
 class Args {
  public:
@@ -47,26 +63,30 @@ class Args {
     return it == flags_.end() ? fallback : it->second;
   }
 
+  /// The flag as a double.  util::parse_double is strict and
+  /// locale-independent: "0.1x" is rejected instead of silently reading as
+  /// 0.1, and a comma-decimal locale cannot truncate "3.5" to 3.
   [[nodiscard]] double get_double(const std::string& key, double fallback) const {
     const auto it = flags_.find(key);
     if (it == flags_.end()) return fallback;
-    try {
-      return std::stod(it->second);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("--" + key + ": expected a number, got '" +
-                                  it->second + "'");
+    const std::optional<double> value = util::parse_double(it->second);
+    if (!value) {
+      throw UsageError("--" + key + ": expected a number, got '" + it->second +
+                       "'");
     }
+    return *value;
   }
 
   [[nodiscard]] int get_int(const std::string& key, int fallback) const {
     const auto it = flags_.find(key);
     if (it == flags_.end()) return fallback;
-    try {
-      return std::stoi(it->second);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("--" + key + ": expected an integer, got '" +
-                                  it->second + "'");
+    const std::optional<std::int64_t> value = util::parse_int(it->second);
+    if (!value || *value < std::numeric_limits<int>::min() ||
+        *value > std::numeric_limits<int>::max()) {
+      throw UsageError("--" + key + ": expected an integer, got '" +
+                       it->second + "'");
     }
+    return static_cast<int>(*value);
   }
 
   [[nodiscard]] bool has(const std::string& key) const {

@@ -16,6 +16,7 @@
 //   64  usage error (bad flags, unreadable/unparseable file)
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "args.h"
@@ -72,9 +73,15 @@ int main(int argc, char** argv) {
       if (entry.empty()) continue;
       const auto parts = util::split(entry, '=');
       if (parts.size() != 2)
-        throw std::invalid_argument("--thresholds: expected metric=R, got '" +
-                                    entry + "'");
-      options.metric_thresholds[parts[0]] = std::stod(parts[1]);
+        throw UsageError("--thresholds: expected metric=R, got '" + entry +
+                         "'");
+      // Strict parse: stod would abort the process on "metric=abc" and
+      // silently read "metric=0.1x" as 0.1.
+      const std::optional<double> threshold = util::parse_double(parts[1]);
+      if (!threshold)
+        throw UsageError("--thresholds: expected a number for '" + parts[0] +
+                         "', got '" + parts[1] + "'");
+      options.metric_thresholds[parts[0]] = *threshold;
     }
     for (const std::string& metric :
          util::split(args.get("higher-better", ""), ',')) {
@@ -88,7 +95,12 @@ int main(int argc, char** argv) {
         bench_diff::compare(base, current, options);
     std::cout << bench_diff::to_text(report, args.has("verbose"));
     return report.exit_code();
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    usage();
+    return bench_diff::kExitUsage;
   } catch (const std::exception& e) {
+    // Unreadable/unparseable input files are usage errors too (see header).
     std::cerr << "error: " << e.what() << "\n";
     return bench_diff::kExitUsage;
   }

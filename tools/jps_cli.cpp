@@ -51,7 +51,7 @@ core::Strategy parse_strategy(const std::string& name) {
   if (s == "jps+" || s == "jps-hull") return core::Strategy::kJPSHull;
   if (s == "bf") return core::Strategy::kBruteForce;
   if (s == "rob" || s == "robust") return core::Strategy::kRobust;
-  throw std::invalid_argument("unknown strategy '" + name + "'");
+  throw tools::UsageError("unknown strategy '" + name + "'");
 }
 
 // Mobile-time source: an on-disk lookup table when provided, else the
@@ -295,13 +295,17 @@ int cmd_hetero(const tools::Args& args) {
   for (const std::string& entry : util::split(spec, ',')) {
     const auto parts = util::split(entry, ':');
     if (parts.size() != 2)
-      throw std::invalid_argument("--classes: expected model:count, got '" +
-                                  entry + "'");
+      throw tools::UsageError("--classes: expected model:count, got '" +
+                              entry + "'");
+    const std::optional<std::int64_t> count = util::parse_int(parts[1]);
+    if (!count || *count < 1)
+      throw tools::UsageError("--classes: expected a positive count in '" +
+                              entry + "'");
     graphs.push_back(models::build(parts[0]));
     classes.push_back({parts[0],
                        partition::ProfileCurve::build(graphs.back(), mobile,
                                                       channel),
-                       std::stoi(parts[1])});
+                       static_cast<int>(*count)});
   }
 
   util::Table table({"strategy", "makespan (ms)", "ms/job"});
@@ -518,6 +522,13 @@ int main(int argc, char** argv) {
     }
     if (args.has("trace-out")) write_trace(args.get("trace-out", "trace.json"));
     return status;
+  } catch (const jps::tools::UsageError& e) {
+    // Malformed flag values (--jobs many, --bandwidth 5,85) are usage
+    // errors: exit 64 with a pointer at the usage text, never an uncaught
+    // parse exception.
+    std::cerr << "error: " << e.what() << "\n"
+              << "run `jps_cli` with no arguments for usage\n";
+    return jps::tools::kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

@@ -1,0 +1,330 @@
+// jps_serve: the multi-tenant plan server daemon and its client commands.
+//
+//   jps_serve serve [--port N] [--workers N] [--max-inflight N]
+//                   [--bucket-mbps X] [--tenant-rate X] [--tenant-burst X]
+//                   [--metrics-out FILE] [--metrics-format openmetrics|json]
+//       Run the daemon on 127.0.0.1:PORT (0 picks an ephemeral port, printed
+//       on stdout).  SIGINT/SIGTERM drains: stop accepting, finish admitted
+//       work, write metrics, exit 0.
+//
+//   jps_serve plan --model M [--bandwidth X] [--strategy S] [--jobs N]
+//                  [--tenant T] [--host H] [--port N]
+//       Send one plan request and print the reply.
+//
+//   jps_serve ping [--host H] [--port N]
+//       Liveness probe; exit 0 when the server answers.
+//
+//   jps_serve selfcheck [--clients N] [--requests N]
+//       In-process end-to-end check (no sockets): start a server, drive it
+//       with concurrent clients over pipe transports, verify every reply
+//       against a direct Planner run.  CI's smoke test.
+//
+// Exit codes: 0 success, 1 runtime failure, 64 usage error.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "args.h"
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "obs/metrics_export.h"
+#include "partition/profile_curve.h"
+#include "profile/latency_model.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/transport.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace jps;
+
+void usage() {
+  std::cout <<
+      "usage: jps_serve <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  serve       run the daemon on 127.0.0.1 (blocks until SIGINT/SIGTERM)\n"
+      "  plan        request one plan from a running daemon\n"
+      "  ping        probe a running daemon\n"
+      "  selfcheck   in-process server + concurrent clients, no sockets\n"
+      "\n"
+      "serve flags:\n"
+      "  --port N              listen port (default 7421; 0 = ephemeral)\n"
+      "  --workers N           planner threads (default 4)\n"
+      "  --max-inflight N      distinct computations in flight before\n"
+      "                        shedding RESOURCE_EXHAUSTED (default 8)\n"
+      "  --bucket-mbps X       bandwidth quantization step (default 0.25)\n"
+      "  --tenant-rate X       per-tenant requests/sec (default 0 = unlimited)\n"
+      "  --tenant-burst X      per-tenant burst allowance (default 16)\n"
+      "  --cache-shards N      plan-cache lock stripes (default 8)\n"
+      "  --metrics-out FILE    write a metrics snapshot at shutdown\n"
+      "  --metrics-format F    openmetrics (default) or json\n"
+      "\n"
+      "plan/ping flags:\n"
+      "  --host H --port N     daemon address (default 127.0.0.1:7421)\n"
+      "  --model M             zoo model name (plan only; required)\n"
+      "  --bandwidth X         uplink estimate, Mbps (default 10)\n"
+      "  --strategy S          lo|co|po|jps|jps*|jps+ (default jps)\n"
+      "  --jobs N              job count (default 4)\n"
+      "  --tenant T            tenant id for admission control (default \"\")\n"
+      "\n"
+      "selfcheck flags:\n"
+      "  --clients N --requests N   concurrency and per-client request count\n";
+}
+
+core::Strategy parse_strategy(const std::string& name) {
+  const std::string s = util::to_lower(name);
+  if (s == "lo") return core::Strategy::kLocalOnly;
+  if (s == "co") return core::Strategy::kCloudOnly;
+  if (s == "po") return core::Strategy::kPartitionOnly;
+  if (s == "jps") return core::Strategy::kJPS;
+  if (s == "jps*" || s == "jps-tuned") return core::Strategy::kJPSTuned;
+  if (s == "jps+" || s == "jps-hull") return core::Strategy::kJPSHull;
+  throw tools::UsageError("unknown servable strategy '" + name + "'");
+}
+
+serve::ServerOptions server_options(const tools::Args& args) {
+  serve::ServerOptions options;
+  options.workers = static_cast<std::size_t>(args.get_int("workers", 4));
+  options.max_inflight =
+      static_cast<std::size_t>(args.get_int("max-inflight", 8));
+  options.bandwidth_bucket_mbps = args.get_double("bucket-mbps", 0.25);
+  options.tenant_rate_per_sec = args.get_double("tenant-rate", 0.0);
+  options.tenant_burst = args.get_double("tenant-burst", 16.0);
+  options.cache_shards =
+      static_cast<std::size_t>(args.get_int("cache-shards", 8));
+  if (options.bandwidth_bucket_mbps <= 0.0)
+    throw tools::UsageError("--bucket-mbps must be > 0");
+  return options;
+}
+
+void print_reply(const serve::PlanReply& reply) {
+  std::cout << "status: " << serve::status_name(reply.status) << "\n";
+  if (!reply.message.empty()) std::cout << "message: " << reply.message << "\n";
+  if (!reply.ok()) return;
+  std::cout << "bandwidth_bucket_mbps: " << reply.bandwidth_bucket_mbps << "\n"
+            << "makespan_ms: " << reply.makespan_ms << "\n"
+            << "coalesced: " << (reply.coalesced ? "yes" : "no") << "\n"
+            << "cache_hit: " << (reply.cache_hit ? "yes" : "no") << "\n"
+            << "mix:";
+  for (const serve::CutMix& m : reply.mix)
+    std::cout << " cut" << m.cut << "x" << m.count;
+  std::cout << "\n";
+}
+
+// The daemon's listener, reachable from the signal handler.  Closing the
+// listener is async-signal-safe (shutdown(2)/close(2) only) and unblocks
+// the accept loop, which then drains the server.
+serve::SocketListener* g_listener = nullptr;
+
+extern "C" void handle_shutdown_signal(int) {
+  if (g_listener != nullptr) g_listener->close();
+}
+
+int cmd_serve(const tools::Args& args) {
+  serve::Server server(server_options(args));
+  const int port = args.get_int("port", 7421);
+  if (port < 0 || port > 65535) throw tools::UsageError("--port out of range");
+  serve::SocketListener listener(static_cast<std::uint16_t>(port));
+  g_listener = &listener;
+  std::signal(SIGINT, handle_shutdown_signal);
+  std::signal(SIGTERM, handle_shutdown_signal);
+
+  std::cout << "jps_serve listening on 127.0.0.1:" << listener.port()
+            << std::endl;
+
+  std::vector<std::thread> connections;
+  while (auto stream = listener.accept()) {
+    connections.emplace_back(
+        [&server, s = std::shared_ptr<serve::ByteStream>(std::move(stream))] {
+          server.handle_connection(*s);
+        });
+  }
+
+  // Listener closed (signal): drain — half-close live connections, finish
+  // admitted work, join connection threads.
+  server.stop();
+  for (std::thread& t : connections) t.join();
+  g_listener = nullptr;
+
+  const serve::ServerStats stats = server.stats();
+  std::cout << "drained: requests=" << stats.requests
+            << " plans_computed=" << stats.plans_computed
+            << " coalesce_hits=" << stats.coalesce_hits
+            << " cache_hits=" << stats.cache_hits
+            << " shed=" << stats.shed_total()
+            << " protocol_errors=" << stats.protocol_errors << std::endl;
+
+  if (args.has("metrics-out")) {
+    obs::write_metrics_file(args.get("metrics-out", "metrics.txt"),
+                            args.get("metrics-format", "openmetrics"),
+                            obs::MetricsSnapshot::capture());
+  }
+  return 0;
+}
+
+serve::Client connect_client(const tools::Args& args) {
+  const int port = args.get_int("port", 7421);
+  if (port < 1 || port > 65535) throw tools::UsageError("--port out of range");
+  return serve::Client(serve::socket_connect(
+      args.get("host", "127.0.0.1"), static_cast<std::uint16_t>(port)));
+}
+
+int cmd_plan(const tools::Args& args) {
+  if (!args.has("model")) throw tools::UsageError("plan requires --model");
+  serve::PlanRequest request;
+  request.tenant = args.get("tenant", "");
+  request.model = args.get("model", "");
+  request.bandwidth_mbps = args.get_double("bandwidth", 10.0);
+  request.strategy = parse_strategy(args.get("strategy", "jps"));
+  request.n_jobs = args.get_int("jobs", 4);
+  serve::Client client = connect_client(args);
+  const serve::PlanReply reply = client.plan(request);
+  print_reply(reply);
+  return reply.ok() ? 0 : 1;
+}
+
+int cmd_ping(const tools::Args& args) {
+  serve::Client client = connect_client(args);
+  if (client.ping()) {
+    std::cout << "pong\n";
+    return 0;
+  }
+  std::cout << "no reply\n";
+  return 1;
+}
+
+int cmd_selfcheck(const tools::Args& args) {
+  const int clients = args.get_int("clients", 8);
+  const int requests = args.get_int("requests", 16);
+  if (clients < 1 || requests < 1)
+    throw tools::UsageError("--clients and --requests must be >= 1");
+
+  serve::ServerOptions options = server_options(args);
+  options.tenant_rate_per_sec = 0.0;  // selfcheck verifies replies, not sheds
+  // Never shed in selfcheck: every reply must be verifiable.
+  options.max_inflight = static_cast<std::size_t>(clients) + 8;
+  serve::Server server(options);
+
+  // The request mix: a few distinct keys, hit repeatedly from every client
+  // so coalescing and caching both engage.  Expected makespans come from a
+  // direct Planner run on an identically built curve — the bit-identity
+  // contract the server guarantees.
+  struct Case {
+    serve::PlanRequest request;
+    double expected_makespan = 0.0;
+  };
+  const std::vector<std::string> model_pool = {"alexnet", "vgg16", "nin"};
+  const std::vector<double> bandwidth_pool = {2.0, 10.1, 40.0};
+  std::vector<Case> cases;
+  const profile::LatencyModel mobile(options.device);
+  for (std::size_t i = 0; i < model_pool.size(); ++i) {
+    Case c;
+    c.request.tenant = "selfcheck";
+    c.request.model = model_pool[i];
+    c.request.bandwidth_mbps = bandwidth_pool[i];
+    c.request.strategy = core::Strategy::kJPS;
+    c.request.n_jobs = 6;
+    const double bucket = serve::quantize_bandwidth(
+        c.request.bandwidth_mbps, options.bandwidth_bucket_mbps);
+    const dnn::Graph graph = models::build(c.request.model);
+    const auto curve = partition::ProfileCurve::build(graph, mobile,
+                                                      net::Channel(bucket));
+    c.expected_makespan =
+        core::Planner(curve).plan(c.request.strategy, c.request.n_jobs)
+            .predicted_makespan;
+    cases.push_back(std::move(c));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> server_threads;
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    serve::StreamPair pair = serve::make_in_process_pair();
+    server_threads.emplace_back(
+        [&server, s = std::shared_ptr<serve::ByteStream>(
+                      std::move(pair.first))] { server.handle_connection(*s); });
+    client_threads.emplace_back(
+        [&cases, &failures, requests, c,
+         stream = std::shared_ptr<serve::ByteStream>(std::move(pair.second))]() {
+          try {
+            struct Borrowed final : serve::ByteStream {
+              explicit Borrowed(std::shared_ptr<serve::ByteStream> inner)
+                  : inner_(std::move(inner)) {}
+              std::size_t read(char* out, std::size_t max) override {
+                return inner_->read(out, max);
+              }
+              void write(const char* data, std::size_t size) override {
+                inner_->write(data, size);
+              }
+              void shutdown_read() override { inner_->shutdown_read(); }
+              void close() override { inner_->close(); }
+              std::shared_ptr<serve::ByteStream> inner_;
+            };
+            serve::Client client(std::make_unique<Borrowed>(stream));
+            if (!client.ping()) throw std::runtime_error("ping failed");
+            for (int r = 0; r < requests; ++r) {
+              const Case& expect =
+                  cases[static_cast<std::size_t>(c + r) % cases.size()];
+              const serve::PlanReply reply = client.plan(expect.request);
+              if (!reply.ok() ||
+                  reply.makespan_ms != expect.expected_makespan) {
+                std::fprintf(stderr,
+                             "selfcheck: %s mismatch (status %s, got %.17g, "
+                             "want %.17g)\n",
+                             expect.request.model.c_str(),
+                             serve::status_name(reply.status),
+                             reply.makespan_ms, expect.expected_makespan);
+                failures.fetch_add(1);
+              }
+            }
+            client.close();
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "selfcheck: client error: %s\n", e.what());
+            failures.fetch_add(1);
+          }
+        });
+  }
+  for (std::thread& t : client_threads) t.join();
+  for (std::thread& t : server_threads) t.join();
+  server.stop();
+
+  const serve::ServerStats stats = server.stats();
+  std::cout << "selfcheck: clients=" << clients << " requests="
+            << stats.requests << " plans_computed=" << stats.plans_computed
+            << " coalesce_hits=" << stats.coalesce_hits
+            << " cache_hits=" << stats.cache_hits
+            << " failures=" << failures.load() << std::endl;
+  return failures.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const jps::tools::Args args(argc, argv);
+  const std::string command = args.command();
+  try {
+    if (command == "serve") return cmd_serve(args);
+    if (command == "plan") return cmd_plan(args);
+    if (command == "ping") return cmd_ping(args);
+    if (command == "selfcheck") return cmd_selfcheck(args);
+    if (!command.empty())
+      std::cerr << "jps_serve: unknown command '" << command << "'\n\n";
+    usage();
+    return jps::tools::kExitUsage;
+  } catch (const jps::tools::UsageError& e) {
+    std::cerr << "jps_serve: " << e.what() << "\n\n";
+    usage();
+    return jps::tools::kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "jps_serve: " << e.what() << "\n";
+    return 1;
+  }
+}
