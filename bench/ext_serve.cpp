@@ -4,9 +4,13 @@
 // loop: each client's next request waits for its previous reply), cycling a
 // small set of (model, bandwidth-bucket) keys so the serving fast paths —
 // request coalescing and the sharded plan cache — carry the steady state,
-// exactly as a fleet of devices sharing network conditions would.  Emits
-// BENCH_ext_serve.json with requests/sec and the end-to-end latency
-// distribution (p50/p95/p99); CI gates it with jps_bench_diff.
+// exactly as a fleet of devices sharing network conditions would.  A second
+// phase replays the same load through serve::FaultyByteStream (scripted
+// delays + 1-byte transfers) and reports GOODPUT under faults — successful,
+// verified replies per second — the serving-side robustness figure.  Emits
+// BENCH_ext_serve.json with requests/sec, goodput_under_faults_per_sec and
+// the end-to-end latency distribution (p50/p95/p99); CI gates it with
+// jps_bench_diff.
 #include <atomic>
 #include <chrono>
 #include <iostream>
@@ -15,7 +19,9 @@
 #include <vector>
 
 #include "common.h"
+#include "fault/fault_spec.h"
 #include "reporter.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/transport.h"
@@ -25,23 +31,22 @@ namespace {
 
 using namespace jps;
 
-// Client's view of a shared in-process stream end (Client wants ownership).
-class BorrowedStream final : public serve::ByteStream {
- public:
-  explicit BorrowedStream(std::shared_ptr<serve::ByteStream> inner)
-      : inner_(std::move(inner)) {}
-  std::size_t read(char* out, std::size_t max) override {
-    return inner_->read(out, max);
+// Scripted chaos for the goodput phase: a 1-byte-transfer window and a tiny
+// delay window repeating every 8 KiB of each stream direction, so faults
+// keep biting however long the run is.  Delays and short transfers lose no
+// bytes — every reply must still verify, making goodput == throughput the
+// pass condition and the slowdown the measured cost.
+fault::FaultSpec chaos_spec() {
+  fault::FaultSpec spec;
+  for (int k = 0; k < 4096; ++k) {
+    const double base = static_cast<double>(k) * 8192.0;
+    spec.events.push_back(
+        {fault::FaultKind::kNetShort, base, base + 256.0, 0.0});
+    spec.events.push_back(
+        {fault::FaultKind::kNetDelay, base + 4096.0, base + 4160.0, 0.02});
   }
-  void write(const char* data, std::size_t size) override {
-    inner_->write(data, size);
-  }
-  void shutdown_read() override { inner_->shutdown_read(); }
-  void close() override { inner_->close(); }
-
- private:
-  std::shared_ptr<serve::ByteStream> inner_;
-};
+  return spec;
+}
 
 }  // namespace
 
@@ -96,7 +101,7 @@ int main() {
     client_threads.emplace_back(
         [&, c, end = std::shared_ptr<serve::ByteStream>(
                    std::move(pair.second))]() {
-          serve::Client client(std::make_unique<BorrowedStream>(end));
+          serve::Client client(std::make_unique<serve::BorrowedStream>(end));
           for (int r = 0; r < kWarmup + kRequests; ++r) {
             const serve::PlanRequest& request =
                 mix[static_cast<std::size_t>(c + r) % mix.size()];
@@ -117,12 +122,62 @@ int main() {
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  server.stop();
 
   const double total_requests =
       static_cast<double>(kClients) * (kWarmup + kRequests);
   const double rps = total_requests / elapsed_s;
   reporter.record("requests_per_sec", rps);
+
+  // ---- Phase 2: the same closed loop through chaos transports. ----
+  const fault::FaultSpec chaos = chaos_spec();
+  obs::Histogram& chaos_latency = reporter.metric("chaos_request_latency_ms");
+  std::atomic<long> chaos_ok{0};
+  std::atomic<int> chaos_failures{0};
+  const int kChaosRequests = bench::quick_scaled(120, 30);  // per client
+
+  std::vector<std::thread> chaos_server_threads;
+  std::vector<std::thread> chaos_client_threads;
+  const auto chaos_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < kClients; ++c) {
+    serve::StreamPair pair = serve::make_in_process_pair();
+    chaos_server_threads.emplace_back(
+        [&server, s = std::shared_ptr<serve::ByteStream>(
+                      std::move(pair.first))] { server.handle_connection(*s); });
+    chaos_client_threads.emplace_back(
+        [&, c, end = std::shared_ptr<serve::ByteStream>(
+                   std::move(pair.second))]() {
+          serve::Client client(std::make_unique<serve::FaultyByteStream>(
+              std::make_unique<serve::BorrowedStream>(end), chaos));
+          for (int r = 0; r < kChaosRequests; ++r) {
+            const serve::PlanRequest& request =
+                mix[static_cast<std::size_t>(c + r) % mix.size()];
+            const auto t0 = std::chrono::steady_clock::now();
+            const serve::PlanReply reply = client.plan(request);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            chaos_latency.record(ms);
+            if (reply.ok())
+              chaos_ok.fetch_add(1);
+            else
+              chaos_failures.fetch_add(1);
+          }
+          client.close();
+        });
+  }
+  for (std::thread& t : chaos_client_threads) t.join();
+  for (std::thread& t : chaos_server_threads) t.join();
+  const double chaos_elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    chaos_start)
+          .count();
+  server.stop();
+
+  const double goodput = static_cast<double>(chaos_ok.load()) / chaos_elapsed_s;
+  reporter.record("goodput_under_faults_per_sec", goodput);
+  reporter.note("chaos_requests_per_client", kChaosRequests);
+  reporter.note("chaos_failures", chaos_failures.load());
 
   const serve::ServerStats stats = server.stats();
   reporter.note("coalesce_hits", static_cast<int>(stats.coalesce_hits));
@@ -140,10 +195,14 @@ int main() {
   table.add_row({"coalesce hits", std::to_string(stats.coalesce_hits)});
   table.add_row({"cache hits", std::to_string(stats.cache_hits)});
   table.add_row({"plans computed", std::to_string(stats.plans_computed)});
+  table.add_row({"goodput under faults/sec", util::format_fixed(goodput, 0)});
+  const obs::HistogramSnapshot chaos_snap = chaos_latency.snapshot();
+  table.add_row({"chaos p95 (ms)", util::format_ms(chaos_snap.percentile(95))});
   std::cout << table;
 
-  if (failures.load() != 0) {
-    std::cerr << "ext_serve: " << failures.load() << " failed replies\n";
+  if (failures.load() != 0 || chaos_failures.load() != 0) {
+    std::cerr << "ext_serve: " << failures.load() << " failed replies, "
+              << chaos_failures.load() << " failed chaos replies\n";
     return 1;
   }
   return 0;

@@ -25,14 +25,16 @@ std::string line_loc(std::size_t line_no) {
 std::optional<fault::FaultKind> kind_from_keyword(const std::string& word) {
   for (const fault::FaultKind kind :
        {fault::FaultKind::kDrift, fault::FaultKind::kOutage,
-        fault::FaultKind::kCloudSlow, fault::FaultKind::kMobileThrottle}) {
+        fault::FaultKind::kCloudSlow, fault::FaultKind::kMobileThrottle,
+        fault::FaultKind::kNetDelay, fault::FaultKind::kNetShort,
+        fault::FaultKind::kNetDrop, fault::FaultKind::kNetCorrupt}) {
     if (word == fault::fault_kind_name(kind)) return kind;
   }
   return std::nullopt;
 }
 
 bool takes_value(fault::FaultKind kind) {
-  return kind != fault::FaultKind::kOutage;
+  return fault::fault_kind_takes_value(kind);
 }
 
 }  // namespace
@@ -61,6 +63,18 @@ void lint_fault_spec(const fault::FaultSpec& spec, DiagnosticList& out) {
       out.error("F006", event_loc(i),
                 std::string(fault::fault_kind_name(e.kind)) + " factor " +
                     std::to_string(e.value) + " must be strictly positive");
+    if (e.kind == fault::FaultKind::kNetDelay &&
+        (!std::isfinite(e.value) || e.value <= 0.0))
+      out.error("F008", event_loc(i),
+                "net_delay of " + std::to_string(e.value) +
+                    " ms must be strictly positive");
+    if (e.kind == fault::FaultKind::kNetCorrupt &&
+        (!std::isfinite(e.value) || e.value != std::floor(e.value) ||
+         e.value < 1.0 || e.value > 255.0))
+      out.error("F008", event_loc(i),
+                "net_corrupt mask " + std::to_string(e.value) +
+                    " must be an integer in [1, 255] (XORing with 0 would "
+                    "corrupt nothing)");
   }
 
   // F003: windows of one kind must be pairwise disjoint (different kinds may

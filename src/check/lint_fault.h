@@ -14,6 +14,8 @@
 //   F005  drift bandwidth not strictly positive (the uplink must stay up —
 //         a dead link is an `outage`, not a zero-rate drift)
 //   F006  slowdown factor not strictly positive
+//   F008  bad net_* chaos value: net_delay must be > 0 ms, net_corrupt's
+//         XOR mask must be an integer in [1, 255]
 #pragma once
 
 #include <optional>

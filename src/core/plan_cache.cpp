@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <iterator>
 #include <mutex>
 #include <utility>
 
@@ -159,6 +160,42 @@ std::shared_ptr<const ExecutionPlan> PlanCache::plan(const PlanCacheKey& key,
   return it->second;
 }
 
+void PlanCache::insert_plan(const PlanCacheKey& key,
+                            std::shared_ptr<const ExecutionPlan> plan) {
+  if (!plan) return;
+  std::unique_lock lock(mutex_);
+  plans_.emplace(key, std::move(plan));  // first insert wins
+}
+
+std::vector<PlanCache::PlanEntry> PlanCache::plan_entries() const {
+  std::shared_lock lock(mutex_);
+  std::vector<PlanEntry> out;
+  out.reserve(plans_.size());
+  for (const auto& [key, plan] : plans_) out.emplace_back(key, plan);
+  return out;
+}
+
+std::shared_ptr<const ExecutionPlan> PlanCache::nearest_plan(
+    const PlanCacheKey& want, double* bandwidth_out) const {
+  std::shared_lock lock(mutex_);
+  std::shared_ptr<const ExecutionPlan> best;
+  double best_bw = 0.0;
+  for (const auto& [key, plan] : plans_) {
+    if (key.model != want.model || key.device != want.device ||
+        key.strategy != want.strategy || key.n_jobs != want.n_jobs)
+      continue;
+    const double diff = std::abs(key.bandwidth_mbps - want.bandwidth_mbps);
+    const double best_diff = std::abs(best_bw - want.bandwidth_mbps);
+    if (!best || diff < best_diff ||
+        (diff == best_diff && key.bandwidth_mbps < best_bw)) {
+      best = plan;
+      best_bw = key.bandwidth_mbps;
+    }
+  }
+  if (best && bandwidth_out != nullptr) *bandwidth_out = best_bw;
+  return best;
+}
+
 PlanCache::Stats PlanCache::stats() const {
   Stats s;
   s.curve_hits = curve_hits_.load(std::memory_order_relaxed);
@@ -220,6 +257,40 @@ std::shared_ptr<const partition::ProfileCurve> ShardedPlanCache::curve(
 std::shared_ptr<const ExecutionPlan> ShardedPlanCache::plan(
     const PlanCacheKey& key, const PlanCache::PlanBuilder& build) {
   return shards_[shard_of(key)]->plan(key, build);
+}
+
+void ShardedPlanCache::insert_plan(const PlanCacheKey& key,
+                                   std::shared_ptr<const ExecutionPlan> plan) {
+  shards_[shard_of(key)]->insert_plan(key, std::move(plan));
+}
+
+std::vector<PlanCache::PlanEntry> ShardedPlanCache::plan_entries() const {
+  std::vector<PlanCache::PlanEntry> out;
+  for (const auto& shard : shards_) {
+    auto entries = shard->plan_entries();
+    out.insert(out.end(), std::make_move_iterator(entries.begin()),
+               std::make_move_iterator(entries.end()));
+  }
+  return out;
+}
+
+std::shared_ptr<const ExecutionPlan> ShardedPlanCache::nearest_plan(
+    const PlanCacheKey& want, double* bandwidth_out) const {
+  std::shared_ptr<const ExecutionPlan> best;
+  double best_bw = 0.0;
+  for (const auto& shard : shards_) {
+    double bw = 0.0;
+    auto candidate = shard->nearest_plan(want, &bw);
+    if (!candidate) continue;
+    const double diff = std::abs(bw - want.bandwidth_mbps);
+    const double best_diff = std::abs(best_bw - want.bandwidth_mbps);
+    if (!best || diff < best_diff || (diff == best_diff && bw < best_bw)) {
+      best = std::move(candidate);
+      best_bw = bw;
+    }
+  }
+  if (best && bandwidth_out != nullptr) *bandwidth_out = best_bw;
+  return best;
 }
 
 PlanCache::Stats ShardedPlanCache::stats() const {

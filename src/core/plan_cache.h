@@ -23,6 +23,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/plan.h"
@@ -102,6 +103,26 @@ class PlanCache {
   [[nodiscard]] std::shared_ptr<const ExecutionPlan> plan(
       const PlanCacheKey& key, const PlanBuilder& build);
 
+  /// One exported plan-table entry (snapshot format, tests).
+  using PlanEntry = std::pair<PlanCacheKey, std::shared_ptr<const ExecutionPlan>>;
+
+  /// Quiet insert for warm-start: no hit/miss accounting, first insert wins
+  /// (an already-cached key keeps its value — a reloaded snapshot must
+  /// never clobber a plan computed after startup).
+  void insert_plan(const PlanCacheKey& key,
+                   std::shared_ptr<const ExecutionPlan> plan);
+
+  /// Every plan-table entry, unordered.  Values are shared, not copied.
+  [[nodiscard]] std::vector<PlanEntry> plan_entries() const;
+
+  /// The cached plan whose key matches `want` on every field except
+  /// bandwidth, minimizing |bandwidth - want.bandwidth_mbps| (ties to the
+  /// lower bandwidth, so the answer is deterministic).  Degraded-mode
+  /// lookup for an open circuit breaker: "a plan for roughly this uplink
+  /// beats no plan at all".  nullptr when no candidate exists.
+  [[nodiscard]] std::shared_ptr<const ExecutionPlan> nearest_plan(
+      const PlanCacheKey& want, double* bandwidth_out = nullptr) const;
+
   /// Counters snapshot (monotone since construction or reset_stats()).
   [[nodiscard]] Stats stats() const;
 
@@ -164,6 +185,14 @@ class ShardedPlanCache {
       const CurveCacheKey& key, const PlanCache::CurveBuilder& build);
   [[nodiscard]] std::shared_ptr<const ExecutionPlan> plan(
       const PlanCacheKey& key, const PlanCache::PlanBuilder& build);
+
+  /// Same contract as the PlanCache counterparts; entries aggregate across
+  /// shards and nearest_plan scans every shard for the global minimum.
+  void insert_plan(const PlanCacheKey& key,
+                   std::shared_ptr<const ExecutionPlan> plan);
+  [[nodiscard]] std::vector<PlanCache::PlanEntry> plan_entries() const;
+  [[nodiscard]] std::shared_ptr<const ExecutionPlan> nearest_plan(
+      const PlanCacheKey& want, double* bandwidth_out = nullptr) const;
 
   /// Counters aggregated across every shard.
   [[nodiscard]] PlanCache::Stats stats() const;

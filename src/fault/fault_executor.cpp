@@ -18,6 +18,20 @@
 
 namespace jps::fault {
 
+double backoff_delay_ms(const RetryPolicy& policy, int retry_index,
+                        util::Rng& rng, bool full_jitter) {
+  double backoff = policy.backoff_base_ms *
+                   std::pow(policy.backoff_factor,
+                            static_cast<double>(retry_index - 1));
+  backoff = std::min(backoff, policy.backoff_max_ms);
+  if (full_jitter) {
+    backoff = rng.uniform(0.0, backoff);
+  } else if (policy.jitter_frac > 0.0) {
+    backoff *= 1.0 + rng.uniform(0.0, policy.jitter_frac);
+  }
+  return backoff;
+}
+
 namespace {
 
 using sim::EventSimulator;
@@ -216,14 +230,8 @@ struct Engine {
     ++stats.transfer_failures;
     if (js.attempts <= opts.retry.budget) {
       ++stats.retries;
-      const int retry_index = js.attempts;  // 1-based
-      double backoff =
-          opts.retry.backoff_base_ms *
-          std::pow(opts.retry.backoff_factor,
-                   static_cast<double>(retry_index - 1));
-      backoff = std::min(backoff, opts.retry.backoff_max_ms);
-      if (opts.retry.jitter_frac > 0.0)
-        backoff *= 1.0 + rng.uniform(0.0, opts.retry.jitter_frac);
+      const double backoff =
+          backoff_delay_ms(opts.retry, /*retry_index=*/js.attempts, rng);
       stats.backoff_ms += backoff;
       static obs::Histogram& backoff_hist = obs::histogram("fault.backoff_ms");
       backoff_hist.record(backoff);

@@ -53,6 +53,18 @@ struct RetryPolicy {
   double jitter_frac = 0.1;
 };
 
+/// The delay before retry `retry_index` (1-based) under `policy`: capped
+/// exponential base * factor^(retry_index-1), then jittered.  With
+/// `full_jitter` false (the simulator's historical behavior) the capped
+/// delay is stretched by uniform(0, jitter_frac); with `full_jitter` true
+/// the whole delay is redrawn as uniform(0, capped] — AWS-style full
+/// jitter, which serve::Client uses so a fleet retrying one outage does not
+/// re-synchronize into a thundering herd.  Consumes rng only when jitter
+/// actually applies.
+[[nodiscard]] double backoff_delay_ms(const RetryPolicy& policy,
+                                      int retry_index, util::Rng& rng,
+                                      bool full_jitter = false);
+
 /// Drift-triggered replanning behavior.
 struct ReplanPolicy {
   bool enabled = false;

@@ -16,8 +16,6 @@ namespace {
 
 constexpr const char* kHeader = "jps-faults v1";
 
-bool kind_takes_value(FaultKind kind) { return kind != FaultKind::kOutage; }
-
 // Draw `count` pairwise-disjoint [start, end) windows over [0, horizon).
 // Rejection sampling with a bounded attempt budget: with a seeded rng the
 // result is deterministic, and an over-packed request simply yields fewer
@@ -62,8 +60,40 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kOutage: return "outage";
     case FaultKind::kCloudSlow: return "cloud_slow";
     case FaultKind::kMobileThrottle: return "mobile_throttle";
+    case FaultKind::kNetDelay: return "net_delay";
+    case FaultKind::kNetShort: return "net_short";
+    case FaultKind::kNetDrop: return "net_drop";
+    case FaultKind::kNetCorrupt: return "net_corrupt";
   }
   return "?";
+}
+
+bool fault_kind_takes_value(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kOutage:
+    case FaultKind::kNetShort:
+    case FaultKind::kNetDrop:
+      return false;
+    case FaultKind::kDrift:
+    case FaultKind::kCloudSlow:
+    case FaultKind::kMobileThrottle:
+    case FaultKind::kNetDelay:
+    case FaultKind::kNetCorrupt:
+      return true;
+  }
+  return false;
+}
+
+bool fault_kind_is_net(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNetDelay:
+    case FaultKind::kNetShort:
+    case FaultKind::kNetDrop:
+    case FaultKind::kNetCorrupt:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::vector<FaultEvent> FaultSpec::of_kind(FaultKind kind) const {
@@ -99,7 +129,7 @@ std::string FaultSpec::serialize() const {
   os << kHeader << '\n';
   for (const FaultEvent& e : events) {
     os << fault_kind_name(e.kind) << ' ' << e.start_ms << ' ' << e.end_ms;
-    if (kind_takes_value(e.kind)) os << ' ' << e.value;
+    if (fault_kind_takes_value(e.kind)) os << ' ' << e.value;
     os << '\n';
   }
   return os.str();
@@ -132,7 +162,7 @@ FaultSpec FaultSpec::random(const RandomFaultOptions& options, util::Rng& rng) {
       e.kind = kind;
       e.start_ms = start;
       e.end_ms = end;
-      if (kind_takes_value(kind)) {
+      if (fault_kind_takes_value(kind)) {
         double v = rng.uniform(value_min, std::max(value_min, value_max));
         if (kind == FaultKind::kDrift) v *= options.base_mbps;
         e.value = v;
@@ -169,6 +199,9 @@ FaultTimeline::FaultTimeline(const FaultSpec& spec, net::Channel base)
   std::vector<net::BandwidthSegment> segments;
   std::vector<net::Outage> outages;
   for (const FaultEvent& e : spec.events) {
+    // net_* windows are byte offsets with no time axis: they neither shape
+    // the channel nor extend the horizon (FaultyByteStream consumes them).
+    if (fault_kind_is_net(e.kind)) continue;
     switch (e.kind) {
       case FaultKind::kDrift:
         segments.push_back({e.start_ms, e.end_ms, e.value});
@@ -181,6 +214,8 @@ FaultTimeline::FaultTimeline(const FaultSpec& spec, net::Channel base)
         break;
       case FaultKind::kMobileThrottle:
         mobile_.push_back({e.start_ms, e.end_ms, e.value});
+        break;
+      default:
         break;
     }
     horizon_ms_ = std::max(horizon_ms_, e.end_ms);

@@ -16,9 +16,21 @@
 //   cloud_slow      <start_ms> <end_ms> <factor>   # cloud stages x<factor>
 //   mobile_throttle <start_ms> <end_ms> <factor>   # mobile stages x<factor>
 //
+// Transport (chaos) kinds, consumed by serve::FaultyByteStream.  Their
+// windows are BYTE OFFSETS into one stream direction, not milliseconds —
+// byte-addressed faults replay identically regardless of timing, which is
+// what makes `jps_serve selfcheck --chaos` deterministic:
+//
+//   net_delay       <start_b> <end_b> <ms>         # ops sleep <ms> in window
+//   net_short       <start_b> <end_b>              # 1-byte reads/writes
+//   net_drop        <start_b> <end_b>              # peer dies at <start_b>
+//   net_corrupt     <start_b> <end_b> <xor_mask>   # read bytes ^= mask
+//
 // Windows of the same kind must not overlap (different kinds may).  An empty
 // spec compiles to a fault-free timeline that reproduces the stationary
-// simulation bit-for-bit (see net::TimeVaryingChannel).
+// simulation bit-for-bit (see net::TimeVaryingChannel).  FaultTimeline
+// ignores net_* events (they have no time axis); FaultyByteStream ignores
+// the four timeline kinds symmetrically.
 #pragma once
 
 #include <cstdint>
@@ -35,10 +47,22 @@ enum class FaultKind {
   kOutage,          // link down, value unused
   kCloudSlow,       // cloud straggler window, value = slowdown factor
   kMobileThrottle,  // thermal throttle window, value = slowdown factor
+  kNetDelay,        // chaos: ops in [start, end) bytes sleep value ms
+  kNetShort,        // chaos: 1-byte reads/writes in the window, value unused
+  kNetDrop,         // chaos: stream dies once an offset reaches start
+  kNetCorrupt,      // chaos: read bytes XORed with value (integer 1..255)
 };
 
 /// Keyword used in the text format ("drift", "outage", ...).
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// Whether the kind's text line carries a trailing <value> field.  Shared by
+/// the serializer and the lint pack so the two can never disagree.
+[[nodiscard]] bool fault_kind_takes_value(FaultKind kind);
+
+/// True for the byte-addressed transport kinds (net_*), which
+/// FaultTimeline skips and serve::FaultyByteStream consumes.
+[[nodiscard]] bool fault_kind_is_net(FaultKind kind);
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kDrift;
@@ -46,7 +70,9 @@ struct FaultEvent {
   double end_ms = 0.0;
   /// Drift: absolute uplink rate in Mbps.  Slowdowns: multiplicative factor
   /// applied to stage durations starting inside the window (> 1 slows).
-  /// Outage: unused (0).
+  /// net_delay: per-op sleep in ms.  net_corrupt: XOR mask, integer 1..255.
+  /// Outage, net_short, net_drop: unused (0).  For net_* kinds the window
+  /// bounds are byte offsets, not milliseconds.
   double value = 0.0;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;

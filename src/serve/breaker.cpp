@@ -1,0 +1,110 @@
+#include "serve/breaker.h"
+
+#include <algorithm>
+
+namespace jps::serve {
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options)
+    : options_(options) {
+  options_.window = std::max<std::size_t>(1, options_.window);
+  options_.min_samples =
+      std::clamp<std::size_t>(options_.min_samples, 1, options_.window);
+}
+
+void CircuitBreaker::push_outcome(Tenant& t, bool failure) {
+  t.outcomes.push_back(failure);
+  if (failure) ++t.failures;
+  while (t.outcomes.size() > options_.window) {
+    if (t.outcomes.front()) --t.failures;
+    t.outcomes.pop_front();
+  }
+}
+
+CircuitBreaker::Decision CircuitBreaker::admit(const std::string& tenant,
+                                               double now_ms) {
+  std::lock_guard lock(mutex_);
+  Tenant& t = tenants_[tenant];
+  switch (t.state) {
+    case State::kClosed:
+      return Decision::kClosed;
+    case State::kOpen:
+      if (now_ms - t.opened_at_ms >= options_.cooldown_ms) {
+        t.state = State::kHalfOpen;
+        t.probe_inflight = true;
+        return Decision::kProbe;
+      }
+      return Decision::kOpen;
+    case State::kHalfOpen:
+      if (!t.probe_inflight) {
+        t.probe_inflight = true;
+        return Decision::kProbe;
+      }
+      return Decision::kOpen;  // one probe at a time
+  }
+  return Decision::kClosed;
+}
+
+void CircuitBreaker::record(const std::string& tenant, double now_ms,
+                            bool failure, double latency_ms) {
+  std::lock_guard lock(mutex_);
+  Tenant& t = tenants_[tenant];
+  const bool slow = options_.latency_threshold_ms > 0.0 &&
+                    latency_ms > options_.latency_threshold_ms;
+  const bool bad = failure || slow;
+
+  if (t.state == State::kHalfOpen && t.probe_inflight) {
+    // The probe settles the breaker: recovery resets history (the window's
+    // failures belong to the outage era), relapse re-arms the cooldown.
+    t.probe_inflight = false;
+    if (bad) {
+      t.state = State::kOpen;
+      t.opened_at_ms = now_ms;
+    } else {
+      t.state = State::kClosed;
+      t.outcomes.clear();
+      t.failures = 0;
+    }
+    return;
+  }
+  if (t.state != State::kClosed) return;  // stragglers from the pre-open era
+
+  push_outcome(t, bad);
+  if (t.outcomes.size() >= options_.min_samples &&
+      static_cast<double>(t.failures) >=
+          options_.failure_ratio * static_cast<double>(t.outcomes.size())) {
+    t.state = State::kOpen;
+    t.opened_at_ms = now_ms;
+    ++opens_;
+  }
+}
+
+void CircuitBreaker::cancel_probe(const std::string& tenant) {
+  std::lock_guard lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.state == State::kHalfOpen)
+    it->second.probe_inflight = false;
+}
+
+bool CircuitBreaker::open(const std::string& tenant, double now_ms) const {
+  (void)now_ms;  // openness is settled by admit/record, not wall time
+  std::lock_guard lock(mutex_);
+  const auto it = tenants_.find(tenant);
+  return it != tenants_.end() && it->second.state != State::kClosed;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard lock(mutex_);
+  return opens_;
+}
+
+std::size_t CircuitBreaker::open_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, t] : tenants_) {
+    (void)name;
+    if (t.state != State::kClosed) ++n;
+  }
+  return n;
+}
+
+}  // namespace jps::serve

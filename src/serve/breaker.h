@@ -1,0 +1,107 @@
+// Per-tenant circuit breaker for the plan server's degraded mode.
+//
+// A wedged or crashing planner turns every request into a slow failure;
+// without a breaker each tenant keeps paying the full failure latency and
+// the server keeps burning pool slots on work it cannot finish.  The
+// breaker watches a rolling window of per-tenant outcomes and, once the
+// recent failure ratio crosses a threshold, OPENS: further requests skip
+// planning entirely and the server degrades to the nearest-bandwidth stale
+// plan from the cache (kOkStale) — the serving-side analogue of the fault
+// executor's local fallback ("a usable answer now beats a perfect answer
+// never").  After a cooldown one PROBE request is let through; its outcome
+// closes the breaker or re-arms the cooldown.
+//
+// States (classic three-state breaker):
+//   closed     normal operation; outcomes feed the rolling window
+//   open       requests are served stale (or UNAVAILABLE when the cache
+//              has nothing nearby) until cooldown_ms elapses
+//   half-open  exactly one in-flight probe; success closes, failure reopens
+//
+// What counts as a failure is the caller's choice via record(): the server
+// counts kInternal and kDeadlineExceeded (planner broken or too slow), not
+// client-caused statuses like kInvalidArgument/kNotFound, and optionally
+// classifies slow successes via latency_threshold_ms.
+//
+// Time is injected (steady milliseconds) for deterministic tests.
+// Thread-safe; one mutex — decisions are two comparisons and a ring-buffer
+// write, far off the planning path's cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace jps::serve {
+
+struct BreakerOptions {
+  /// Rolling outcomes remembered per tenant.
+  std::size_t window = 32;
+  /// No judgement before this many outcomes are in the window (a single
+  /// early failure must not open a breaker).
+  std::size_t min_samples = 8;
+  /// Open when failures / window_size >= this ratio.
+  double failure_ratio = 0.5;
+  /// > 0: a SUCCESS slower than this also counts as a failure (latency is
+  /// an SLO breach even when the status is kOk).  0 disables.
+  double latency_threshold_ms = 0.0;
+  /// How long an open breaker waits before letting one probe through.
+  double cooldown_ms = 1000.0;
+};
+
+class CircuitBreaker {
+ public:
+  enum class Decision {
+    kClosed,  // proceed normally
+    kOpen,    // do not plan; serve degraded
+    kProbe,   // proceed, and report the outcome — it settles the breaker
+  };
+
+  explicit CircuitBreaker(BreakerOptions options = {});
+
+  /// Gate one request for `tenant` at `now_ms` (steady, caller-supplied).
+  [[nodiscard]] Decision admit(const std::string& tenant, double now_ms);
+
+  /// Report a planning attempt's outcome.  Must be called for every
+  /// admitted (kClosed or kProbe) request that reached planning; degraded
+  /// (kOpen) replies are NOT outcomes and must not be recorded.
+  void record(const std::string& tenant, double now_ms, bool failure,
+              double latency_ms);
+
+  /// A kProbe admission that never reached planning (shed, drain) returns
+  /// its probe slot; the next admit() may probe again.  Without this a
+  /// half-open breaker whose probe was shed would wait forever.
+  void cancel_probe(const std::string& tenant);
+
+  /// True when the tenant's breaker is currently open (cooldown pending or
+  /// a probe still in flight).
+  [[nodiscard]] bool open(const std::string& tenant, double now_ms) const;
+
+  /// Total closed->open transitions across all tenants (monotone).
+  [[nodiscard]] std::uint64_t opens() const;
+
+  /// Tenants currently open.
+  [[nodiscard]] std::size_t open_count() const;
+
+ private:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Tenant {
+    State state = State::kClosed;
+    std::deque<bool> outcomes;  // true = failure; bounded by options.window
+    std::size_t failures = 0;
+    double opened_at_ms = 0.0;
+    bool probe_inflight = false;
+  };
+
+  void push_outcome(Tenant& t, bool failure);
+
+  BreakerOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Tenant> tenants_;
+  std::uint64_t opens_ = 0;
+};
+
+}  // namespace jps::serve

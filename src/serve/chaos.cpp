@@ -1,0 +1,144 @@
+#include "serve/chaos.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace jps::serve {
+
+FaultyByteStream::FaultyByteStream(std::unique_ptr<ByteStream> inner,
+                                   const fault::FaultSpec& spec,
+                                   double delay_scale)
+    : inner_(std::move(inner)), delay_scale_(delay_scale) {
+  if (!inner_)
+    throw std::invalid_argument("FaultyByteStream: inner stream is null");
+  for (const fault::FaultEvent& e : spec.events) {
+    if (!fault::fault_kind_is_net(e.kind)) continue;
+    Window w;
+    w.start = static_cast<std::uint64_t>(e.start_ms);
+    w.end = static_cast<std::uint64_t>(e.end_ms);
+    w.value = e.value;
+    switch (e.kind) {
+      case fault::FaultKind::kNetDelay: delay_.push_back(w); break;
+      case fault::FaultKind::kNetShort: shorten_.push_back(w); break;
+      case fault::FaultKind::kNetDrop: drop_.push_back(w); break;
+      case fault::FaultKind::kNetCorrupt: corrupt_.push_back(w); break;
+      default: break;
+    }
+  }
+  const auto by_start = [](const Window& a, const Window& b) {
+    return a.start < b.start;
+  };
+  std::sort(delay_.begin(), delay_.end(), by_start);
+  std::sort(shorten_.begin(), shorten_.end(), by_start);
+  std::sort(corrupt_.begin(), corrupt_.end(), by_start);
+  std::sort(drop_.begin(), drop_.end(), by_start);
+}
+
+FaultyByteStream::~FaultyByteStream() { close(); }
+
+const FaultyByteStream::Window* FaultyByteStream::find(
+    const std::vector<Window>& windows, std::uint64_t offset) {
+  for (const Window& w : windows) {
+    if (w.start > offset) break;  // sorted: nothing later can cover offset
+    if (offset < w.end) return &w;
+  }
+  return nullptr;
+}
+
+bool FaultyByteStream::drop_fired(std::uint64_t offset) {
+  if (dropped_.load(std::memory_order_acquire)) return true;
+  for (const Window& w : drop_) {
+    if (offset >= w.start) {
+      dropped_.store(true, std::memory_order_release);
+      // A dead peer is dead in both directions; severing the inner stream
+      // wakes whoever is blocked on the other side.
+      inner_->close();
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultyByteStream::sleep_for_ms(double ms) {
+  const double scaled = ms * delay_scale_;
+  if (scaled <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(scaled));
+}
+
+std::size_t FaultyByteStream::read(char* out, std::size_t max) {
+  if (max == 0) return 0;
+  if (drop_fired(read_offset_)) return 0;  // dead peer: EOF
+  if (const Window* w = find(delay_, read_offset_)) {
+    delayed_ops_.fetch_add(1, std::memory_order_relaxed);
+    sleep_for_ms(w->value);
+  }
+  std::size_t cap = max;
+  if (find(shorten_, read_offset_) != nullptr) {
+    short_ops_.fetch_add(1, std::memory_order_relaxed);
+    cap = 1;
+  }
+  // Never transfer past an upcoming drop boundary: bytes up to it arrive,
+  // then the next call reports the death.
+  for (const Window& w : drop_) {
+    if (w.start > read_offset_)
+      cap = std::min<std::uint64_t>(cap, w.start - read_offset_);
+  }
+  const std::size_t n = inner_->read(out, cap);
+  if (n > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const Window* w = find(corrupt_, read_offset_ + i)) {
+        out[i] = static_cast<char>(static_cast<unsigned char>(out[i]) ^
+                                   static_cast<unsigned char>(w->value));
+        corrupted_bytes_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    read_offset_ += n;
+  }
+  return n;
+}
+
+void FaultyByteStream::write(const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    if (drop_fired(write_offset_))
+      throw std::runtime_error("serve: chaos drop severed the connection");
+    if (const Window* w = find(delay_, write_offset_)) {
+      delayed_ops_.fetch_add(1, std::memory_order_relaxed);
+      sleep_for_ms(w->value);
+    }
+    std::size_t chunk = size - written;
+    if (find(shorten_, write_offset_) != nullptr) {
+      short_ops_.fetch_add(1, std::memory_order_relaxed);
+      chunk = 1;
+    }
+    for (const Window& w : drop_) {
+      if (w.start > write_offset_)
+        chunk = std::min<std::uint64_t>(chunk, w.start - write_offset_);
+    }
+    inner_->write(data + written, chunk);
+    written += chunk;
+    write_offset_ += chunk;
+  }
+}
+
+void FaultyByteStream::shutdown_read() { inner_->shutdown_read(); }
+
+void FaultyByteStream::close() { inner_->close(); }
+
+void FaultyByteStream::set_read_timeout_ms(double ms) {
+  inner_->set_read_timeout_ms(ms);
+}
+
+ChaosStats FaultyByteStream::stats() const {
+  ChaosStats s;
+  s.delayed_ops = delayed_ops_.load(std::memory_order_relaxed);
+  s.short_ops = short_ops_.load(std::memory_order_relaxed);
+  s.corrupted_bytes = corrupted_bytes_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace jps::serve

@@ -1,0 +1,104 @@
+// Chaos transport: a ByteStream decorator that injects scripted faults.
+//
+// FaultyByteStream wraps any ByteStream and perturbs its traffic according
+// to the net_* events of a fault::FaultSpec (the same "jps-faults v1" text
+// format the device-side fault executor consumes, so one artifact language
+// scripts both halves of the system):
+//
+//   net_delay   <start_b> <end_b> <ms>   ops starting in the window sleep
+//   net_short   <start_b> <end_b>        reads/writes clipped to 1 byte
+//   net_drop    <start_b> <end_b>        stream dies at offset <start_b>
+//   net_corrupt <start_b> <end_b> <mask> read bytes XORed with <mask>
+//
+// Windows are BYTE OFFSETS into this endpoint's own streams (reads and
+// writes each keep their own monotone offset; a window applies to both
+// directions).  Byte-addressed faults fire at exactly the same place in the
+// conversation every run, regardless of scheduling or timing — that
+// determinism is what lets `jps_serve selfcheck --chaos` assert bit-exact
+// replies under injected failure.
+//
+// Fault semantics:
+//   * delay    — an op whose starting offset lies in a window sleeps
+//                value ms (once per read()/write() call, not per byte).
+//   * short    — an op starting in a window transfers at most 1 byte
+//                (writes still complete by looping; reads return short, so
+//                the frame layer's read_exact loop is exercised for real).
+//   * drop     — once EITHER direction's offset reaches start_b, the
+//                stream behaves like a dead peer: reads EOF, writes throw.
+//                Mid-frame death (after a length prefix, before the body)
+//                is scripted by dropping at the prefix boundary.
+//   * corrupt  — bytes READ whose offset lies in a window are XORed with
+//                the mask (1..255).  Reads only: corrupting our own writes
+//                would test the peer, not us.
+//
+// The decorator is as thread-safe as the wrapped stream for one reader +
+// one writer thread (offsets are per-direction); per-op stats are atomics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "serve/transport.h"
+
+namespace jps::serve {
+
+struct ChaosStats {
+  std::uint64_t delayed_ops = 0;
+  std::uint64_t short_ops = 0;
+  std::uint64_t corrupted_bytes = 0;
+  /// The scripted drop fired (the stream is dead from the caller's view).
+  bool dropped = false;
+};
+
+class FaultyByteStream final : public ByteStream {
+ public:
+  /// Wraps `inner`; only net_* events of `spec` are consulted (timeline
+  /// kinds are ignored, symmetric with FaultTimeline ignoring net_*).
+  /// `delay_scale` multiplies every scripted delay (benches dial chaos
+  /// sleeps down under quick mode without editing the spec).
+  FaultyByteStream(std::unique_ptr<ByteStream> inner,
+                   const fault::FaultSpec& spec, double delay_scale = 1.0);
+  ~FaultyByteStream() override;
+
+  [[nodiscard]] std::size_t read(char* out, std::size_t max) override;
+  void write(const char* data, std::size_t size) override;
+  void shutdown_read() override;
+  void close() override;
+  void set_read_timeout_ms(double ms) override;
+
+  [[nodiscard]] ChaosStats stats() const;
+
+ private:
+  struct Window {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+    double value = 0.0;
+  };
+
+  /// First window containing `offset`, or nullptr.
+  [[nodiscard]] static const Window* find(const std::vector<Window>& windows,
+                                          std::uint64_t offset);
+  /// True (and latches `dropped_`) once `offset` reached any drop window.
+  [[nodiscard]] bool drop_fired(std::uint64_t offset);
+  void sleep_for_ms(double ms);
+
+  std::unique_ptr<ByteStream> inner_;
+  double delay_scale_ = 1.0;
+  std::vector<Window> delay_;    // sorted by start
+  std::vector<Window> shorten_;  // sorted by start
+  std::vector<Window> corrupt_;  // sorted by start
+  std::vector<Window> drop_;     // sorted by start
+
+  std::uint64_t read_offset_ = 0;   // owned by the reading thread
+  std::uint64_t write_offset_ = 0;  // owned by the writing thread
+  std::atomic<bool> dropped_{false};
+
+  std::atomic<std::uint64_t> delayed_ops_{0};
+  std::atomic<std::uint64_t> short_ops_{0};
+  std::atomic<std::uint64_t> corrupted_bytes_{0};
+};
+
+}  // namespace jps::serve

@@ -1,27 +1,156 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace jps::serve {
 
-Client::Client(std::unique_ptr<ByteStream> stream)
-    : stream_(std::move(stream)) {
-  if (!stream_) throw ProtocolError("serve: Client needs a stream");
+namespace {
+
+constexpr std::size_t kLatencyWindow = 64;
+
+double steady_now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-PlanReply Client::plan(const PlanRequest& request) {
+}  // namespace
+
+Client::Client(std::unique_ptr<ByteStream> stream)
+    : Client(std::move(stream), ClientRetryOptions{}, {}) {}
+
+Client::Client(std::unique_ptr<ByteStream> stream, ClientRetryOptions options,
+               StreamFactory reconnect)
+    : stream_(std::move(stream)),
+      options_(options),
+      factory_(std::move(reconnect)),
+      rng_(options.seed) {
+  if (!stream_) throw ProtocolError("serve: Client needs a stream");
+  options_.max_attempts = std::max(1, options_.max_attempts);
+}
+
+PlanReply Client::plan_once(const PlanRequest& request, double timeout_ms) {
+  stream_->set_read_timeout_ms(timeout_ms);
   write_frame(*stream_, encode_plan_request(request));
   const std::optional<std::string> payload = read_frame(*stream_);
   if (!payload)
-    throw ProtocolError("serve: connection closed before plan reply");
+    throw TransportError("serve: connection closed before plan reply");
   return decode_plan_reply(*payload);
 }
 
+bool Client::reconnect() {
+  if (!factory_) return false;
+  std::unique_ptr<ByteStream> fresh;
+  try {
+    fresh = factory_();
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (!fresh) return false;
+  stream_->close();
+  stream_ = std::move(fresh);
+  ++stats_.reconnects;
+  return true;
+}
+
+void Client::record_latency(double ms) {
+  if (latencies_.size() < kLatencyWindow) {
+    latencies_.push_back(ms);
+  } else {
+    latencies_[latency_pos_] = ms;
+    latency_pos_ = (latency_pos_ + 1) % kLatencyWindow;
+  }
+}
+
+double Client::latency_p95() const {
+  if (latencies_.size() < options_.hedge_min_samples) return 0.0;
+  std::vector<double> sorted = latencies_;
+  const auto nth =
+      sorted.begin() +
+      static_cast<std::ptrdiff_t>((sorted.size() * 95) / 100);
+  const auto pos = nth == sorted.end() ? sorted.end() - 1 : nth;
+  std::nth_element(sorted.begin(), pos, sorted.end());
+  return *pos;
+}
+
+PlanReply Client::plan(const PlanRequest& request) {
+  for (int attempt = 1;; ++attempt) {
+    // The hedge deadline (a fraction of the hard timeout, adapted to the
+    // observed p95) arms only while a fresh connection is available to
+    // resend on.
+    double hedge_deadline = 0.0;
+    if (options_.hedge && factory_) {
+      const double p95 = latency_p95();
+      if (p95 > 0.0)
+        hedge_deadline =
+            std::max(options_.hedge_min_ms, options_.hedge_multiplier * p95);
+      if (options_.read_timeout_ms > 0.0 &&
+          (hedge_deadline <= 0.0 || hedge_deadline > options_.read_timeout_ms))
+        hedge_deadline = 0.0;  // the hard deadline fires first anyway
+    }
+
+    ++stats_.attempts;
+    try {
+      const double started = steady_now_ms();
+      PlanReply reply;
+      if (hedge_deadline > 0.0) {
+        try {
+          reply = plan_once(request, hedge_deadline);
+        } catch (const TransportTimeout&) {
+          // Tail read: abandon the (now desynchronized) connection and
+          // resend once on a fresh one, with only the hard deadline armed.
+          ++stats_.hedges;
+          if (!reconnect()) throw;
+          ++stats_.attempts;
+          reply = plan_once(request, options_.read_timeout_ms);
+        }
+      } else {
+        reply = plan_once(request, options_.read_timeout_ms);
+      }
+      record_latency(steady_now_ms() - started);
+      if (!status_is_retryable(reply.status) ||
+          attempt >= options_.max_attempts)
+        return reply;
+      // Retryable status; the connection is still in sync — no reconnect.
+    } catch (const TransportTimeout&) {
+      ++stats_.timeouts;
+      // A timed-out stream is desynchronized (the late reply would answer
+      // the NEXT request): retrying requires a fresh connection.
+      if (attempt >= options_.max_attempts || !reconnect()) throw;
+    } catch (const TransportError&) {
+      if (attempt >= options_.max_attempts || !reconnect()) throw;
+    } catch (const ProtocolError&) {
+      throw;  // decode error: the peer will be just as wrong next time
+    } catch (const std::runtime_error& e) {
+      // Write-side transport failure (broken pipe, chaos drop).
+      if (attempt >= options_.max_attempts || !reconnect())
+        throw TransportError(std::string("serve: send failed: ") + e.what());
+    }
+
+    ++stats_.retries;
+    const double delay_ms = fault::backoff_delay_ms(
+        options_.backoff, attempt, rng_, options_.full_jitter);
+    if (delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+  }
+}
+
 bool Client::ping() {
-  write_frame(*stream_, encode_ping());
-  const std::optional<std::string> payload = read_frame(*stream_);
-  if (!payload) return false;
-  return peek_op(*payload) == Op::kPingReply;
+  try {
+    stream_->set_read_timeout_ms(options_.read_timeout_ms);
+    write_frame(*stream_, encode_ping());
+    const std::optional<std::string> payload = read_frame(*stream_);
+    if (!payload) return false;
+    return peek_op(*payload) == Op::kPingReply;
+  } catch (const TransportTimeout&) {
+    ++stats_.timeouts;
+    return false;
+  }
 }
 
 void Client::close() {

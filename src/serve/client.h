@@ -4,37 +4,121 @@
 // and is NOT thread-safe — the protocol has no request ids, so replies are
 // matched to requests purely by order.  Use one Client per thread; the
 // server multiplexes across connections, not within one.
+//
+// Resilience (opt-in via ClientRetryOptions; the defaults change nothing):
+//   * Read deadlines — read_timeout_ms arms the stream's read timeout, so a
+//     silent server throws TransportTimeout instead of blocking forever.
+//   * Retries — up to max_attempts tries per plan() call.  Transport
+//     failures (peer died, timeout) and retryable reply statuses
+//     (UNAVAILABLE, DEADLINE_EXCEEDED) retry after a capped-exponential
+//     backoff with FULL jitter (uniform(0, capped]) so a fleet retrying one
+//     outage de-synchronizes; decode errors (ProtocolError proper) never
+//     retry — a peer speaking garbage will speak garbage again.
+//   * Reconnects — a StreamFactory lets retries open a fresh connection.
+//     After a timeout the old stream is DESYNCHRONIZED (the late reply may
+//     still arrive and would be matched to the wrong request), so timeout
+//     retries require a factory; without one the timeout propagates.
+//   * Hedging — after enough latency samples, a read exceeding
+//     hedge_multiplier * observed p95 abandons the connection and resends
+//     once on a fresh one immediately (no backoff), bounding tail latency
+//     without the double-send race a shared-connection hedge would cause.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <vector>
 
+#include "fault/fault_executor.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
+#include "util/rng.h"
 
 namespace jps::serve {
+
+/// Opens a fresh connection to the same server (retry / hedge path).
+/// Returning nullptr or throwing means "cannot reconnect right now".
+using StreamFactory = std::function<std::unique_ptr<ByteStream>()>;
+
+struct ClientRetryOptions {
+  /// Total attempts per plan() call; 1 = no retries (the default keeps the
+  /// pre-resilience behavior exactly).
+  int max_attempts = 1;
+  /// Backoff schedule between attempts (budget is ignored — max_attempts
+  /// governs; base/factor/max shape the delay).
+  fault::RetryPolicy backoff{};
+  /// Redraw each backoff as uniform(0, capped] (AWS-style full jitter)
+  /// instead of the simulator's stretch-by-jitter_frac.
+  bool full_jitter = true;
+  /// > 0: arm the stream's read deadline; a reply slower than this throws
+  /// TransportTimeout (retryable when a StreamFactory is set).
+  double read_timeout_ms = 0.0;
+  /// Hedge tail reads: after hedge_min_samples successful replies, a read
+  /// slower than max(hedge_min_ms, hedge_multiplier * p95) reconnects and
+  /// resends once immediately.  Requires a StreamFactory.
+  bool hedge = false;
+  std::size_t hedge_min_samples = 8;
+  double hedge_multiplier = 2.0;
+  double hedge_min_ms = 1.0;
+  /// Seed for the backoff jitter Rng (deterministic tests).
+  std::uint64_t seed = 0x5EEDC11E47ull;
+};
+
+/// Per-client counters (the client is single-threaded; so are these).
+struct ClientStats {
+  std::uint64_t attempts = 0;    // plan() sends, including retries/hedges
+  std::uint64_t retries = 0;     // backed-off re-sends
+  std::uint64_t hedges = 0;      // p95-triggered immediate re-sends
+  std::uint64_t timeouts = 0;    // reads that hit a deadline
+  std::uint64_t reconnects = 0;  // fresh streams opened by retry/hedge
+};
 
 class Client {
  public:
   /// Takes ownership of the stream; the connection closes with the Client.
   explicit Client(std::unique_ptr<ByteStream> stream);
 
+  /// Resilient client: `reconnect` (may be empty) opens replacement
+  /// connections for retry and hedge paths.
+  Client(std::unique_ptr<ByteStream> stream, ClientRetryOptions options,
+         StreamFactory reconnect = {});
+
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Send one plan request and block for the reply.  Transport failures
-  /// (connection closed before a reply) and malformed replies throw
-  /// ProtocolError; application-level failures come back as non-OK
+  /// Send one plan request and block for the reply, retrying per the
+  /// options.  Transport failures that outlive the retry budget throw
+  /// TransportError (or TransportTimeout for deadlines); malformed replies
+  /// throw ProtocolError; application-level failures come back as non-OK
   /// statuses in the reply itself.
   [[nodiscard]] PlanReply plan(const PlanRequest& request);
 
-  /// Liveness probe: true when the server answered the ping.
+  /// Liveness probe: true when the server answered the ping (a read
+  /// timeout counts as "no").
   [[nodiscard]] bool ping();
 
   /// Close the connection (also happens at destruction).
   void close();
 
+  [[nodiscard]] const ClientStats& stats() const { return stats_; }
+
  private:
+  /// One send/receive on the current stream with `timeout_ms` armed.
+  [[nodiscard]] PlanReply plan_once(const PlanRequest& request,
+                                    double timeout_ms);
+  /// Swap in a fresh stream from the factory; false when impossible.
+  bool reconnect();
+  void record_latency(double ms);
+  /// Observed p95 of recent reply latencies; 0 until enough samples.
+  [[nodiscard]] double latency_p95() const;
+
   std::unique_ptr<ByteStream> stream_;
+  ClientRetryOptions options_;
+  StreamFactory factory_;
+  util::Rng rng_;
+  std::vector<double> latencies_;  // ring of recent reply latencies (ms)
+  std::size_t latency_pos_ = 0;
+  ClientStats stats_;
 };
 
 }  // namespace jps::serve

@@ -9,6 +9,13 @@ namespace {
 
 constexpr std::uint8_t kFlagCoalesced = 1u << 0;
 constexpr std::uint8_t kFlagCacheHit = 1u << 1;
+constexpr std::uint8_t kFlagStale = 1u << 2;
+
+void check_version_arg(std::uint8_t version) {
+  if (version < kMinVersion || version > kVersion)
+    throw ProtocolError("serve: cannot encode protocol version " +
+                        std::to_string(version));
+}
 
 void put_u8(std::string& out, std::uint8_t v) {
   out.push_back(static_cast<char>(v));
@@ -100,25 +107,34 @@ class Reader {
   std::size_t pos_ = 0;
 };
 
-std::string header(Op op) {
+std::string header(Op op, std::uint8_t version = kVersion) {
   std::string out;
   put_u8(out, kMagic);
-  put_u8(out, kVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<std::uint8_t>(op));
   return out;
 }
 
-Op check_header(Reader& reader) {
+struct Header {
+  std::uint8_t version = kVersion;
+  Op op = Op::kPing;
+};
+
+Header check_header(Reader& reader) {
   if (reader.u8() != kMagic) throw ProtocolError("serve: bad magic byte");
-  if (reader.u8() != kVersion)
-    throw ProtocolError("serve: unsupported protocol version");
+  Header h;
+  h.version = reader.u8();
+  if (h.version < kMinVersion || h.version > kVersion)
+    throw ProtocolError("serve: unsupported protocol version " +
+                        std::to_string(h.version));
   const std::uint8_t op = reader.u8();
   switch (static_cast<Op>(op)) {
     case Op::kPlan:
     case Op::kPing:
     case Op::kPlanReply:
     case Op::kPingReply:
-      return static_cast<Op>(op);
+      h.op = static_cast<Op>(op);
+      return h;
   }
   throw ProtocolError("serve: unknown op " + std::to_string(op));
 }
@@ -150,26 +166,46 @@ const char* status_name(Status status) {
     case Status::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case Status::kUnavailable: return "UNAVAILABLE";
     case Status::kInternal: return "INTERNAL";
+    case Status::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case Status::kOkStale: return "OK_STALE";
   }
   return "UNKNOWN";
 }
 
-std::string encode_plan_request(const PlanRequest& request) {
-  std::string out = header(Op::kPlan);
+bool status_is_retryable(Status status) {
+  return status == Status::kUnavailable ||
+         status == Status::kDeadlineExceeded;
+}
+
+std::string encode_plan_request(const PlanRequest& request,
+                                std::uint8_t version) {
+  check_version_arg(version);
+  std::string out = header(Op::kPlan, version);
   put_str16(out, request.tenant);
   put_str16(out, request.model);
   put_f64(out, request.bandwidth_mbps);
   put_u8(out, static_cast<std::uint8_t>(request.strategy));
   put_u32(out, static_cast<std::uint32_t>(request.n_jobs));
+  if (version >= 2) put_f64(out, request.deadline_ms);
   return out;
 }
 
-std::string encode_plan_reply(const PlanReply& reply) {
-  std::string out = header(Op::kPlanReply);
-  put_u8(out, static_cast<std::uint8_t>(reply.status));
+std::string encode_plan_reply(const PlanReply& reply, std::uint8_t version) {
+  check_version_arg(version);
+  std::string out = header(Op::kPlanReply, version);
+  Status status = reply.status;
+  if (version < 2) {
+    // Downgrade v2-only statuses for old decoders.  kOkStale stays a
+    // usable plan (the stale flag bit below preserves the distinction);
+    // kDeadlineExceeded becomes the closest "retry later" a v1 client knows.
+    if (status == Status::kOkStale) status = Status::kOk;
+    if (status == Status::kDeadlineExceeded) status = Status::kUnavailable;
+  }
+  put_u8(out, static_cast<std::uint8_t>(status));
   std::uint8_t flags = 0;
   if (reply.coalesced) flags |= kFlagCoalesced;
   if (reply.cache_hit) flags |= kFlagCacheHit;
+  if (reply.stale || reply.status == Status::kOkStale) flags |= kFlagStale;
   put_u8(out, flags);
   put_str16(out, reply.message);
   put_f64(out, reply.bandwidth_bucket_mbps);
@@ -188,12 +224,18 @@ std::string encode_ping_reply() { return header(Op::kPingReply); }
 
 Op peek_op(std::string_view payload) {
   Reader reader(payload);
-  return check_header(reader);
+  return check_header(reader).op;
+}
+
+std::uint8_t peek_version(std::string_view payload) {
+  Reader reader(payload);
+  return check_header(reader).version;
 }
 
 PlanRequest decode_plan_request(std::string_view payload) {
   Reader reader(payload);
-  if (check_header(reader) != Op::kPlan)
+  const Header h = check_header(reader);
+  if (h.op != Op::kPlan)
     throw ProtocolError("serve: payload is not a plan request");
   PlanRequest request;
   request.tenant = reader.str16();
@@ -208,22 +250,24 @@ PlanRequest decode_plan_request(std::string_view payload) {
   if (n_jobs > 0x7FFFFFFFu)
     throw ProtocolError("serve: n_jobs out of range");
   request.n_jobs = static_cast<std::int32_t>(n_jobs);
+  if (h.version >= 2) request.deadline_ms = reader.f64();
   reader.expect_done();
   return request;
 }
 
 PlanReply decode_plan_reply(std::string_view payload) {
   Reader reader(payload);
-  if (check_header(reader) != Op::kPlanReply)
+  if (check_header(reader).op != Op::kPlanReply)
     throw ProtocolError("serve: payload is not a plan reply");
   PlanReply reply;
   const std::uint8_t status = reader.u8();
-  if (status > static_cast<std::uint8_t>(Status::kInternal))
+  if (status > static_cast<std::uint8_t>(Status::kOkStale))
     throw ProtocolError("serve: unknown status code " + std::to_string(status));
   reply.status = static_cast<Status>(status);
   const std::uint8_t flags = reader.u8();
   reply.coalesced = (flags & kFlagCoalesced) != 0;
   reply.cache_hit = (flags & kFlagCacheHit) != 0;
+  reply.stale = (flags & kFlagStale) != 0;
   reply.message = reader.str16();
   reply.bandwidth_bucket_mbps = reader.f64();
   reply.makespan_ms = reader.f64();
@@ -256,7 +300,7 @@ std::optional<std::string> read_frame(ByteStream& stream) {
   char prefix[4];
   bool any = false;
   if (!read_exact(stream, prefix, sizeof(prefix), &any)) {
-    if (any) throw ProtocolError("serve: truncated length prefix");
+    if (any) throw TransportError("serve: truncated length prefix");
     return std::nullopt;  // clean EOF at a frame boundary
   }
   std::uint32_t length = 0;
@@ -268,7 +312,7 @@ std::optional<std::string> read_frame(ByteStream& stream) {
                         " exceeds cap " + std::to_string(kMaxFrameBytes));
   std::string payload(length, '\0');
   if (length > 0 && !read_exact(stream, payload.data(), length, nullptr))
-    throw ProtocolError("serve: truncated frame payload");
+    throw TransportError("serve: truncated frame payload");
   return payload;
 }
 

@@ -3,13 +3,14 @@
 // Frame layout (all integers little-endian, doubles as IEEE-754 bits):
 //
 //   frame   := u32 payload_length | payload           (length excludes itself)
-//   payload := u8 magic (0x4A 'J') | u8 version (1) | u8 op | body
+//   payload := u8 magic (0x4A 'J') | u8 version (1 or 2) | u8 op | body
 //
 // Ops and bodies:
 //
 //   kPlan (1) — plan request
 //     body := str16 tenant | str16 model | f64 bandwidth_mbps
 //             | u8 strategy | u32 n_jobs
+//             | f64 deadline_ms                        (version >= 2 only)
 //   kPing (2) — liveness probe; empty body
 //   kPlanReply (129)
 //     body := u8 status | u8 flags | str16 message
@@ -20,7 +21,19 @@
 //   str16 := u16 length | bytes (no terminator)
 //   flags: bit 0 = coalesced (this reply shared another request's
 //          computation), bit 1 = cache_hit (the plan came out of the
-//          PlanCache rather than a fresh Planner run)
+//          PlanCache rather than a fresh Planner run), bit 2 = stale (a
+//          degraded-mode reply: the plan came from a nearby bandwidth
+//          bucket while the tenant's breaker is open).  Decoders ignore
+//          unknown flag bits, which is what makes adding bits minor-
+//          version-compatible.
+//
+// Versioning: version 2 added the plan request's trailing deadline_ms and
+// the kDeadlineExceeded/kOkStale statuses.  Servers accept any version in
+// [kMinVersion, kVersion] and answer each frame at the version it arrived
+// with: a v1 request simply has no deadline, and a v1 reply downgrades
+// kOkStale to kOk + the stale flag bit (old decoders ignore the bit;
+// new ones recover staleness from it) and kDeadlineExceeded to
+// kUnavailable (both are "retry later" to a v1 client).
 //
 // A payload longer than kMaxFrameBytes is a protocol error: the reader
 // refuses it *before* allocating, so a hostile or corrupt length prefix
@@ -47,7 +60,10 @@
 namespace jps::serve {
 
 inline constexpr std::uint8_t kMagic = 0x4A;
-inline constexpr std::uint8_t kVersion = 1;
+/// Current (preferred) protocol version; encoders default to it.
+inline constexpr std::uint8_t kVersion = 2;
+/// Oldest version still accepted — deployed v1 clients keep working.
+inline constexpr std::uint8_t kMinVersion = 1;
 /// Largest accepted payload.  Plan replies are ~tens of bytes per distinct
 /// cut; 1 MiB leaves three orders of magnitude of headroom.
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
@@ -65,16 +81,35 @@ enum class Status : std::uint8_t {
   kInvalidArgument = 1,   // malformed request (NaN bandwidth, n_jobs < 1, ...)
   kNotFound = 2,          // unknown model id
   kResourceExhausted = 3, // shed: tenant over rate limit or queue bound hit
-  kUnavailable = 4,       // server draining/stopped
+  kUnavailable = 4,       // server draining/stopped, or breaker open with
+                          // no stale plan to degrade to
   kInternal = 5,          // planning threw (bug; message carries the what())
+  kDeadlineExceeded = 6,  // v2: the request's deadline passed server-side
+  kOkStale = 7,           // v2: degraded mode — a usable plan from a nearby
+                          // bandwidth bucket, served while the tenant's
+                          // breaker is open
 };
 
 [[nodiscard]] const char* status_name(Status status);
+
+/// True for statuses a client may retry (the server's condition is
+/// transient): kUnavailable and kDeadlineExceeded.
+[[nodiscard]] bool status_is_retryable(Status status);
 
 /// Malformed or truncated wire data.
 class ProtocolError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// The peer vanished mid-conversation: a frame truncated by EOF, or a
+/// connection that closed before the expected reply.  A subclass of
+/// ProtocolError (every existing catch still works) that callers may treat
+/// as retryable — the bytes that DID arrive were well-formed; the failure
+/// is the transport's, not the peer's encoder's.
+class TransportError : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
 };
 
 struct PlanRequest {
@@ -85,6 +120,11 @@ struct PlanRequest {
   double bandwidth_mbps = 0.0;
   core::Strategy strategy = core::Strategy::kJPS;
   std::int32_t n_jobs = 1;
+  /// Relative budget, measured from server-side arrival (no clock sync
+  /// needed): the server answers kDeadlineExceeded once the budget is
+  /// spent.  0 means no deadline.  Wire version >= 2 only; decoding a v1
+  /// request leaves it 0.
+  double deadline_ms = 0.0;
 
   friend bool operator==(const PlanRequest&, const PlanRequest&) = default;
 };
@@ -105,6 +145,11 @@ struct PlanReply {
   bool coalesced = false;
   /// The plan came from the PlanCache (no Planner run for this request).
   bool cache_hit = false;
+  /// Degraded mode: the plan was computed for a NEARBY bandwidth bucket
+  /// (reported in bandwidth_bucket_mbps) while the tenant's breaker was
+  /// open.  True exactly when the stale flag bit is set; survives the
+  /// v1 status downgrade of kOkStale to kOk.
+  bool stale = false;
   /// The quantized bandwidth the plan was actually computed at.
   double bandwidth_bucket_mbps = 0.0;
   double makespan_ms = 0.0;
@@ -112,19 +157,30 @@ struct PlanReply {
   std::vector<CutMix> mix;
 
   [[nodiscard]] bool ok() const { return status == Status::kOk; }
+  /// The reply carries a usable plan (fresh or degraded-mode stale).
+  [[nodiscard]] bool has_plan() const {
+    return status == Status::kOk || status == Status::kOkStale;
+  }
 
   friend bool operator==(const PlanReply&, const PlanReply&) = default;
 };
 
-/// Payload encoders (everything after the length prefix).
-[[nodiscard]] std::string encode_plan_request(const PlanRequest& request);
-[[nodiscard]] std::string encode_plan_reply(const PlanReply& reply);
+/// Payload encoders (everything after the length prefix).  `version` lets
+/// the server answer a v1 client in v1 (and tests emit old-client frames);
+/// it must lie in [kMinVersion, kVersion].
+[[nodiscard]] std::string encode_plan_request(const PlanRequest& request,
+                                              std::uint8_t version = kVersion);
+[[nodiscard]] std::string encode_plan_reply(const PlanReply& reply,
+                                            std::uint8_t version = kVersion);
 [[nodiscard]] std::string encode_ping();
 [[nodiscard]] std::string encode_ping_reply();
 
 /// Payload decoders; throw ProtocolError on bad magic/version/op, a
 /// truncated body, or trailing bytes.
 [[nodiscard]] Op peek_op(std::string_view payload);
+/// The version byte of a payload (validated against [kMinVersion,
+/// kVersion]); the server answers each frame at the version it arrived in.
+[[nodiscard]] std::uint8_t peek_version(std::string_view payload);
 [[nodiscard]] PlanRequest decode_plan_request(std::string_view payload);
 [[nodiscard]] PlanReply decode_plan_reply(std::string_view payload);
 
@@ -132,8 +188,10 @@ struct PlanReply {
 void write_frame(ByteStream& stream, std::string_view payload);
 
 /// Read one frame's payload.  nullopt on clean EOF (connection ended at a
-/// frame boundary); ProtocolError on truncation mid-frame or an oversized
-/// length prefix.
+/// frame boundary); TransportError on truncation mid-frame (the peer died,
+/// retryable); plain ProtocolError on an oversized length prefix (the peer
+/// is broken, not retryable).  TransportTimeout from a timed stream
+/// propagates unchanged.
 [[nodiscard]] std::optional<std::string> read_frame(ByteStream& stream);
 
 }  // namespace jps::serve

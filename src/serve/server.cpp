@@ -16,6 +16,8 @@
 #include "obs/obs.h"
 #include "partition/profile_curve.h"
 #include "profile/latency_model.h"
+#include "serve/snapshot.h"
+#include "util/log.h"
 
 namespace jps::serve {
 
@@ -59,8 +61,34 @@ Server::Server(ServerOptions options)
     : options_(std::move(options)),
       pool_(std::max<std::size_t>(1, options_.workers)),
       admission_(options_.tenant_rate_per_sec, options_.tenant_burst),
-      cache_(std::max<std::size_t>(1, options_.cache_shards)) {
+      cache_(std::max<std::size_t>(1, options_.cache_shards)),
+      breaker_(options_.breaker) {
   options_.max_inflight = std::max<std::size_t>(1, options_.max_inflight);
+
+  if (!options_.snapshot_path.empty()) {
+    const SnapshotLoadResult loaded =
+        load_cache_snapshot(cache_, options_.snapshot_path);
+    if (loaded.entries > 0) {
+      warm_start_entries_.store(loaded.entries, std::memory_order_relaxed);
+      obs::counter("serve.warm_start_entries").add(loaded.entries);
+    }
+    if (options_.snapshot_interval_ms > 0.0) {
+      snapshot_thread_ = std::thread([this] {
+        const auto interval = std::chrono::duration<double, std::milli>(
+            options_.snapshot_interval_ms);
+        std::unique_lock lock(snapshot_mutex_);
+        while (!stopping_.load(std::memory_order_acquire)) {
+          snapshot_cv_.wait_for(lock, interval, [this] {
+            return stopping_.load(std::memory_order_acquire);
+          });
+          if (stopping_.load(std::memory_order_acquire)) break;
+          lock.unlock();
+          save_snapshot_if_configured();
+          lock.lock();
+        }
+      });
+    }
+  }
 }
 
 Server::~Server() { stop(); }
@@ -126,15 +154,46 @@ PlanReply Server::to_reply(const PlanOutcome& outcome) const {
   return reply;
 }
 
+PlanReply Server::stale_reply(const PlanRequest& request, double bucket_mbps) {
+  static obs::Counter& stale_counter = obs::counter("serve.stale_served");
+
+  const core::PlanCacheKey want(request.model, options_.device.name,
+                                bucket_mbps, request.strategy,
+                                request.n_jobs);
+  double stale_bw = 0.0;
+  auto plan = cache_.nearest_plan(want, &stale_bw);
+  if (!plan) {
+    return error_reply(Status::kUnavailable,
+                       "breaker open for tenant '" + request.tenant +
+                           "' and no stale plan cached");
+  }
+  PlanOutcome outcome;
+  outcome.plan = std::move(plan);
+  outcome.cache_hit = true;
+  outcome.bucket_mbps = stale_bw;
+  PlanReply reply = to_reply(outcome);
+  reply.status = Status::kOkStale;
+  reply.stale = true;
+  reply.message = "breaker open; stale plan from bucket " +
+                  std::to_string(stale_bw) + " Mbps";
+  stale_served_.fetch_add(1, std::memory_order_relaxed);
+  stale_counter.add();
+  return reply;
+}
+
 PlanReply Server::handle_plan(const PlanRequest& request) {
   static obs::Counter& requests_total = obs::counter("serve.requests");
   static obs::Counter& coalesce_hits = obs::counter("serve.coalesce_hits");
   static obs::Counter& cache_hits = obs::counter("serve.cache_hits");
   static obs::Counter& shed_rate = obs::counter("serve.shed_rate_limited");
   static obs::Counter& shed_overload = obs::counter("serve.shed_overload");
+  static obs::Counter& deadline_count = obs::counter("serve.deadline_exceeded");
+  static obs::Counter& breaker_opens = obs::counter("serve.breaker_opens");
   static obs::Histogram& plan_ms = obs::histogram("serve.plan_ms");
   static obs::Gauge& inflight_gauge = obs::gauge("serve.inflight");
+  static obs::Gauge& breaker_gauge = obs::gauge("serve.breaker_open");
 
+  const double arrival_ms = steady_now_ms();
   obs::ScopedTimer timer(plan_ms);
   requests_.fetch_add(1, std::memory_order_relaxed);
   requests_total.add();
@@ -153,6 +212,31 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
                        std::string("strategy ") +
                            core::strategy_name(request.strategy) +
                            " is not servable");
+  if (!std::isfinite(request.deadline_ms) || request.deadline_ms < 0.0)
+    return error_reply(Status::kInvalidArgument,
+                       "deadline_ms must be finite and >= 0");
+
+  const bool has_deadline = request.deadline_ms > 0.0;
+  const auto deadline_expired = [&] {
+    return has_deadline &&
+           steady_now_ms() - arrival_ms >= request.deadline_ms;
+  };
+  const auto deadline_reply = [&](const char* where) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    deadline_count.add();
+    return error_reply(Status::kDeadlineExceeded,
+                       "deadline of " + std::to_string(request.deadline_ms) +
+                           " ms exhausted " + where);
+  };
+
+  if (options_.debug_admission_delay_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.debug_admission_delay_ms));
+  }
+
+  // Deadline check 1/3: a request that arrives already expired (or expired
+  // in the accept queue) must not consume an admission token.
+  if (deadline_expired()) return deadline_reply("at admission");
 
   if (!admission_.admit(request.tenant, steady_now_ms())) {
     shed_rate_limited_.fetch_add(1, std::memory_order_relaxed);
@@ -163,6 +247,21 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
 
   const double bucket =
       quantize_bandwidth(request.bandwidth_mbps, options_.bandwidth_bucket_mbps);
+
+  // Deadline check 2/3: before any planning work is queued.  Running this
+  // BEFORE the breaker gate means an expired probe never needs cancelling.
+  if (deadline_expired()) return deadline_reply("before planning");
+
+  CircuitBreaker::Decision decision = CircuitBreaker::Decision::kClosed;
+  if (options_.breaker_enabled) {
+    decision = breaker_.admit(request.tenant, steady_now_ms());
+    if (decision == CircuitBreaker::Decision::kOpen) {
+      breaker_gauge.set(static_cast<double>(breaker_.open_count()));
+      return stale_reply(request, bucket);
+    }
+  }
+  const bool probe = decision == CircuitBreaker::Decision::kProbe;
+
   const std::string key = inflight_key(request, bucket);
 
   std::shared_future<PlanOutcome> future;
@@ -176,6 +275,9 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
       if (inflight_.size() >= options_.max_inflight) {
         shed_overload_.fetch_add(1, std::memory_order_relaxed);
         shed_overload.add();
+        // A shed is not a planning outcome: return the probe slot instead
+        // of recording, or a half-open breaker would wait forever.
+        if (probe) breaker_.cancel_probe(request.tenant);
         return error_reply(Status::kResourceExhausted,
                            "server overloaded (" +
                                std::to_string(inflight_.size()) +
@@ -188,6 +290,7 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
                      .share();
       } catch (const std::exception&) {
         // Pool already shut down: we lost the race with stop().
+        if (probe) breaker_.cancel_probe(request.tenant);
         return error_reply(Status::kUnavailable, "server is draining");
       }
       inflight_.emplace(key, future);
@@ -221,6 +324,29 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
     std::lock_guard lock(inflight_mutex_);
     inflight_.erase(key);
     inflight_gauge.set(static_cast<double>(inflight_.size()));
+  }
+
+  // Deadline check 3/3: planning finished but too late.  The computed plan
+  // stays cached (the NEXT request gets it cheaply); only this reply turns
+  // into kDeadlineExceeded.
+  if (reply.status == Status::kOk && deadline_expired()) {
+    const bool was_coalesced = reply.coalesced;
+    reply = deadline_reply("before reply");
+    reply.coalesced = was_coalesced;
+  }
+
+  if (options_.breaker_enabled) {
+    // kInternal (planner broken) and kDeadlineExceeded (planner too slow)
+    // are server-health failures; client-caused statuses are not.
+    const bool failure = reply.status == Status::kInternal ||
+                         reply.status == Status::kDeadlineExceeded;
+    breaker_.record(request.tenant, steady_now_ms(), failure,
+                    steady_now_ms() - arrival_ms);
+    const std::uint64_t opens_now = breaker_.opens();
+    const std::uint64_t opens_prev =
+        breaker_opens_seen_.exchange(opens_now, std::memory_order_relaxed);
+    if (opens_now > opens_prev) breaker_opens.add(opens_now - opens_prev);
+    breaker_gauge.set(static_cast<double>(breaker_.open_count()));
   }
   return reply;
 }
@@ -262,7 +388,12 @@ void Server::handle_connection(ByteStream& stream) {
 
     PlanReply reply;
     bool is_ping = false;
+    // Answer each frame at the version it arrived with, so one connection
+    // may mix v1 and v2 requests (and an unparseable header falls back to
+    // the current version for the error reply).
+    std::uint8_t version = kVersion;
     try {
+      version = peek_version(*payload);
       switch (peek_op(*payload)) {
         case Op::kPing:
           is_ping = true;
@@ -278,6 +409,7 @@ void Server::handle_connection(ByteStream& stream) {
       // with an error instead of hanging up.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       protocol_errors.add();
+      version = kVersion;
       reply = error_reply(Status::kInvalidArgument, e.what());
     }
 
@@ -286,7 +418,7 @@ void Server::handle_connection(ByteStream& stream) {
         obs::ScopedTimer timer(ping_ms);
         write_frame(stream, encode_ping_reply());
       } else {
-        write_frame(stream, encode_plan_reply(reply));
+        write_frame(stream, encode_plan_reply(reply, version));
       }
     } catch (const std::exception&) {
       break;  // peer went away mid-reply
@@ -304,6 +436,21 @@ void Server::handle_connection(ByteStream& stream) {
   stream.close();
 }
 
+void Server::save_snapshot_if_configured() {
+  if (options_.snapshot_path.empty()) return;
+  static obs::Counter& saves = obs::counter("serve.snapshot_saves");
+  try {
+    save_cache_snapshot(cache_, options_.snapshot_path);
+    snapshot_saves_.fetch_add(1, std::memory_order_relaxed);
+    saves.add();
+  } catch (const std::exception& e) {
+    // A failed save costs warmth after the NEXT restart, never availability
+    // now — and the previous snapshot (if any) is still intact.
+    util::log_line(util::LogLevel::kWarn, "plan-cache snapshot save failed",
+                   {{"path", options_.snapshot_path}, {"error", e.what()}});
+  }
+}
+
 void Server::stop() {
   if (stopping_.exchange(true, std::memory_order_acq_rel)) {
     // Another stop() is (or was) draining; wait for the pool regardless so
@@ -312,11 +459,21 @@ void Server::stop() {
     return;
   }
   {
+    // Lock/unlock pairs with the snapshot thread's predicate re-check, so
+    // the notify below cannot slot between its check and its wait.
+    std::lock_guard lock(snapshot_mutex_);
+  }
+  snapshot_cv_.notify_all();
+  {
     std::lock_guard lock(connections_mutex_);
     for (ByteStream* stream : connections_)
       if (stream != nullptr) stream->shutdown_read();
   }
   pool_.shutdown();
+  if (snapshot_thread_.joinable()) snapshot_thread_.join();
+  // Final save AFTER the pool has drained: every admitted computation's plan
+  // is in the cache, so the snapshot a restart warm-starts from is complete.
+  save_snapshot_if_configured();
 }
 
 ServerStats Server::stats() const {
@@ -328,6 +485,11 @@ ServerStats Server::stats() const {
   s.shed_rate_limited = shed_rate_limited_.load(std::memory_order_relaxed);
   s.shed_overload = shed_overload_.load(std::memory_order_relaxed);
   s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.stale_served = stale_served_.load(std::memory_order_relaxed);
+  s.breaker_opens = breaker_.opens();
+  s.warm_start_entries = warm_start_entries_.load(std::memory_order_relaxed);
+  s.snapshot_saves = snapshot_saves_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -26,6 +26,20 @@
 // connection loop never lets an exception escape: malformed payloads get an
 // error reply, unframeable streams are closed.
 //
+// Resilience (PR 8 — see docs/ROBUSTNESS.md "Serve-path resilience"):
+//   * Deadlines — a v2 request may carry a relative deadline_ms budget,
+//     checked at admission, before planning, and again before the reply;
+//     an expired request answers kDeadlineExceeded immediately instead of
+//     occupying the planner (a computed plan still lands in the cache).
+//   * Circuit breaker — per-tenant rolling failure window (serve/breaker.h);
+//     when open, requests skip planning and degrade to the nearest-
+//     bandwidth stale plan from the cache, tagged kOkStale.  No stale
+//     candidate => kUnavailable.
+//   * Snapshots — with options.snapshot_path set, the plan cache is
+//     reloaded at startup and saved atomically on drain (and every
+//     snapshot_interval_ms while running), so a restart answers from warm
+//     cache instead of stampeding the planner (serve/snapshot.h).
+//
 // Drain: stop() flips the server to UNAVAILABLE, half-closes the read side
 // of every active connection (loops exit at the next frame boundary while
 // in-flight replies still flow out), then ThreadPool::shutdown() guarantees
@@ -39,17 +53,20 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/plan_cache.h"
 #include "profile/device.h"
 #include "serve/admission.h"
+#include "serve/breaker.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
 #include "util/thread_pool.h"
@@ -79,10 +96,23 @@ struct ServerOptions {
   std::size_t cache_shards = 8;
   /// Device whose latency model plans are computed against.
   profile::DeviceProfile device = profile::DeviceProfile::raspberry_pi_4b();
+  /// Per-tenant circuit breaker (degraded mode).  The defaults need >= 8
+  /// failed outcomes in a 32-request window, which no healthy workload
+  /// reaches; set breaker_enabled = false to disable entirely.
+  bool breaker_enabled = true;
+  BreakerOptions breaker{};
+  /// Plan-cache snapshot file for crash-safe warm-start; "" disables.
+  /// Loaded at construction, saved atomically on drain.
+  std::string snapshot_path;
+  /// > 0: additionally save the snapshot every this-many ms while running.
+  double snapshot_interval_ms = 0.0;
   /// Test hook: artificial delay inside each Planner run (ms).  Lets tests
   /// hold a leader's computation open deterministically to observe
   /// coalescing and overload shedding.  0 in production.
   double debug_plan_delay_ms = 0.0;
+  /// Test hook: artificial delay before the admission deadline check (ms).
+  /// Lets tests expire a request's deadline deterministically server-side.
+  double debug_admission_delay_ms = 0.0;
 };
 
 /// Point-in-time counters (also mirrored into jps::obs as serve.*).
@@ -94,6 +124,15 @@ struct ServerStats {
   std::uint64_t shed_rate_limited = 0;
   std::uint64_t shed_overload = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t deadline_exceeded = 0;
+  /// Degraded-mode replies served from a stale bucket (kOkStale).
+  std::uint64_t stale_served = 0;
+  /// Closed -> open breaker transitions across all tenants.
+  std::uint64_t breaker_opens = 0;
+  /// Entries reloaded from the snapshot at startup.
+  std::uint64_t warm_start_entries = 0;
+  /// Successful snapshot saves (timer + drain).
+  std::uint64_t snapshot_saves = 0;
 
   [[nodiscard]] std::uint64_t shed_total() const {
     return shed_rate_limited + shed_overload;
@@ -146,13 +185,25 @@ class Server {
   [[nodiscard]] PlanOutcome compute_plan(const PlanRequest& request,
                                          double bucket_mbps);
   [[nodiscard]] PlanReply to_reply(const PlanOutcome& outcome) const;
+  /// Degraded-mode reply for an open breaker: nearest-bucket stale plan
+  /// (kOkStale) or kUnavailable when the cache has no candidate.
+  [[nodiscard]] PlanReply stale_reply(const PlanRequest& request,
+                                      double bucket_mbps);
+  /// Write the snapshot if configured; never throws (failures are logged).
+  void save_snapshot_if_configured();
 
   ServerOptions options_;
   util::ThreadPool pool_;
   TenantAdmission admission_;
   core::ShardedPlanCache cache_;
+  CircuitBreaker breaker_;
 
   std::atomic<bool> stopping_{false};
+
+  // Periodic snapshot writer; joined (after a final save) by stop().
+  std::thread snapshot_thread_;
+  std::mutex snapshot_mutex_;
+  std::condition_variable snapshot_cv_;
 
   // Built model graphs, one per model name (graph construction + shape
   // inference is far more expensive than a map lookup).
@@ -176,6 +227,12 @@ class Server {
   std::atomic<std::uint64_t> shed_rate_limited_{0};
   std::atomic<std::uint64_t> shed_overload_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> stale_served_{0};
+  std::atomic<std::uint64_t> warm_start_entries_{0};
+  std::atomic<std::uint64_t> snapshot_saves_{0};
+  // Last breaker_.opens() mirrored into the serve.breaker_opens counter.
+  std::atomic<std::uint64_t> breaker_opens_seen_{0};
 };
 
 }  // namespace jps::serve

@@ -1,0 +1,268 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/plan_io.h"
+#include "util/crc32.h"
+#include "util/log.h"
+
+namespace jps::serve {
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'J', 'P', 'S', 'S', 'N', 'A', 'P', '\n'};
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+}
+
+void put_str16(std::string& out, const std::string& s) {
+  if (s.size() > 0xFFFF)
+    throw std::runtime_error("snapshot: string field exceeds 65535 bytes");
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out += s;
+}
+
+// Minimal bounds-checked cursor (failure = reject the whole snapshot, so a
+// bool-returning style keeps decode_cache_snapshot exception-free).
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool u8(std::uint8_t& out) {
+    if (!need(1)) return false;
+    out = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool u16(std::uint16_t& out) {
+    if (!need(2)) return false;
+    out = static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(data_[pos_]) |
+        (static_cast<std::uint16_t>(static_cast<std::uint8_t>(data_[pos_ + 1]))
+         << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool u32(std::uint32_t& out) {
+    if (!need(4)) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i)
+      out |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  bool f64(double& out) {
+    if (!need(8)) return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+      bits |= static_cast<std::uint64_t>(
+                  static_cast<std::uint8_t>(data_[pos_ + i]))
+              << (8 * i);
+    pos_ += 8;
+    out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  bool str16(std::string& out) {
+    std::uint16_t len = 0;
+    if (!u16(len) || !need(len)) return false;
+    out.assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool bytes(std::string& out, std::size_t len) {
+    if (!need(len)) return false;
+    out.assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == data_.size(); }
+
+ private:
+  [[nodiscard]] bool need(std::size_t n) const {
+    return data_.size() - pos_ >= n;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+SnapshotLoadResult reject(std::string why) {
+  SnapshotLoadResult r;
+  r.ok = false;
+  r.error = std::move(why);
+  return r;
+}
+
+}  // namespace
+
+std::string encode_cache_snapshot(const core::ShardedPlanCache& cache) {
+  auto entries = cache.plan_entries();
+  // Deterministic byte stream: sort by the full key so two saves of the
+  // same cache are identical (and CI can diff snapshots).
+  std::sort(entries.begin(), entries.end(),
+            [](const core::PlanCache::PlanEntry& a,
+               const core::PlanCache::PlanEntry& b) {
+              return std::tie(a.first.model, a.first.device,
+                              a.first.bandwidth_mbps, a.first.strategy,
+                              a.first.n_jobs) <
+                     std::tie(b.first.model, b.first.device,
+                              b.first.bandwidth_mbps, b.first.strategy,
+                              b.first.n_jobs);
+            });
+
+  std::string out(kSnapshotMagic, sizeof(kSnapshotMagic));
+  put_u32(out, kSnapshotVersion);
+  put_u32(out, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [key, plan] : entries) {
+    put_str16(out, key.model);
+    put_str16(out, key.device);
+    put_f64(out, key.bandwidth_mbps);
+    put_u8(out, static_cast<std::uint8_t>(key.strategy));
+    put_u32(out, static_cast<std::uint32_t>(key.n_jobs));
+    const std::string text = core::serialize_plan(*plan);
+    put_u32(out, static_cast<std::uint32_t>(text.size()));
+    out += text;
+  }
+  put_u32(out, util::crc32(out));
+  return out;
+}
+
+SnapshotLoadResult decode_cache_snapshot(const std::string& bytes,
+                                         core::ShardedPlanCache& cache) {
+  if (bytes.size() < sizeof(kSnapshotMagic) + 12)
+    return reject("snapshot shorter than header + trailer");
+  if (bytes.compare(0, sizeof(kSnapshotMagic), kSnapshotMagic,
+                    sizeof(kSnapshotMagic)) != 0)
+    return reject("bad snapshot magic");
+
+  // CRC gate first: a single flipped or missing byte anywhere rejects the
+  // file before any entry is trusted.
+  const std::string_view body(bytes.data(), bytes.size() - 4);
+  std::uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i)
+    stored |= static_cast<std::uint32_t>(
+                  static_cast<std::uint8_t>(bytes[bytes.size() - 4 +
+                                                  static_cast<std::size_t>(i)]))
+              << (8 * i);
+  const std::uint32_t actual = util::crc32(body);
+  if (stored != actual)
+    return reject("snapshot CRC mismatch (stored " + std::to_string(stored) +
+                  ", computed " + std::to_string(actual) + ")");
+
+  Cursor cursor(body.substr(sizeof(kSnapshotMagic)));
+  std::uint32_t version = 0;
+  std::uint32_t count = 0;
+  if (!cursor.u32(version)) return reject("truncated snapshot version");
+  if (version != kSnapshotVersion)
+    return reject("unsupported snapshot version " + std::to_string(version));
+  if (!cursor.u32(count)) return reject("truncated snapshot entry count");
+
+  // Decode everything into a staging list; only a fully-valid snapshot
+  // touches the cache.
+  std::vector<core::PlanCache::PlanEntry> staged;
+  staged.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string model;
+    std::string device;
+    double bandwidth = 0.0;
+    std::uint8_t strategy = 0;
+    std::uint32_t n_jobs = 0;
+    std::uint32_t plan_len = 0;
+    std::string plan_text;
+    if (!cursor.str16(model) || !cursor.str16(device) ||
+        !cursor.f64(bandwidth) || !cursor.u8(strategy) ||
+        !cursor.u32(n_jobs) || !cursor.u32(plan_len) ||
+        !cursor.bytes(plan_text, plan_len))
+      return reject("truncated snapshot entry " + std::to_string(i));
+    if (strategy > static_cast<std::uint8_t>(core::Strategy::kRobust))
+      return reject("snapshot entry " + std::to_string(i) +
+                    " has unknown strategy code " + std::to_string(strategy));
+    try {
+      // deserialize_plan lints on parse; a key whose bandwidth is
+      // non-finite is rejected by PlanCacheKey's own contract check, so
+      // wrap both in the same guard.
+      core::PlanCacheKey key(model, device, bandwidth,
+                             static_cast<core::Strategy>(strategy),
+                             static_cast<int>(n_jobs));
+      auto plan = std::make_shared<const core::ExecutionPlan>(
+          core::deserialize_plan(plan_text));
+      staged.emplace_back(std::move(key), std::move(plan));
+    } catch (const std::exception& e) {
+      return reject("snapshot entry " + std::to_string(i) +
+                    " rejected: " + e.what());
+    }
+  }
+  if (!cursor.done()) return reject("trailing bytes after snapshot entries");
+
+  for (auto& [key, plan] : staged) cache.insert_plan(key, std::move(plan));
+  SnapshotLoadResult r;
+  r.entries = staged.size();
+  return r;
+}
+
+void save_cache_snapshot(const core::ShardedPlanCache& cache,
+                         const std::string& path) {
+  const std::string bytes = encode_cache_snapshot(cache);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("snapshot: cannot open " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("snapshot: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: rename " + tmp + " -> " + path +
+                             " failed");
+  }
+}
+
+SnapshotLoadResult load_cache_snapshot(core::ShardedPlanCache& cache,
+                                       const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};  // no snapshot: a normal cold start
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  SnapshotLoadResult result = decode_cache_snapshot(buffer.str(), cache);
+  if (!result.ok) {
+    // Corrupt snapshots cost warmth, never availability: log and move on.
+    util::log_line(util::LogLevel::kWarn,
+                   "ignoring corrupt plan-cache snapshot",
+                   {{"path", path}, {"reason", result.error}});
+  }
+  return result;
+}
+
+}  // namespace jps::serve

@@ -1,6 +1,8 @@
 #include "serve/transport.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -11,6 +13,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 namespace jps::serve {
@@ -24,9 +27,19 @@ class Pipe {
  public:
   explicit Pipe(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
 
-  std::size_t read(char* out, std::size_t max) {
+  std::size_t read(char* out, std::size_t max, double timeout_ms) {
     std::unique_lock lock(mutex_);
-    readable_.wait(lock, [&] { return !buffer_.empty() || closed_; });
+    const auto ready = [&] { return !buffer_.empty() || closed_; };
+    if (timeout_ms > 0.0) {
+      if (!readable_.wait_for(lock,
+                              std::chrono::duration<double, std::milli>(
+                                  timeout_ms),
+                              ready))
+        throw TransportTimeout("serve: read timed out after " +
+                               std::to_string(timeout_ms) + " ms");
+    } else {
+      readable_.wait(lock, ready);
+    }
     if (buffer_.empty()) return 0;  // closed and drained => EOF
     const std::size_t n = std::min(max, buffer_.size());
     std::copy_n(buffer_.begin(), n, out);
@@ -76,7 +89,7 @@ class InProcessStream final : public ByteStream {
   ~InProcessStream() override { close(); }
 
   std::size_t read(char* out, std::size_t max) override {
-    return in_->read(out, max);
+    return in_->read(out, max, read_timeout_ms_);
   }
   void write(const char* data, std::size_t size) override {
     out_->write(data, size);
@@ -86,10 +99,12 @@ class InProcessStream final : public ByteStream {
     in_->close();
     out_->close();
   }
+  void set_read_timeout_ms(double ms) override { read_timeout_ms_ = ms; }
 
  private:
   std::shared_ptr<Pipe> in_;
   std::shared_ptr<Pipe> out_;
+  double read_timeout_ms_ = 0.0;  // reads and timeout-sets share one thread
 };
 
 void throw_errno(const std::string& what) {
@@ -108,6 +123,10 @@ class SocketStream final : public ByteStream {
       const ssize_t n = ::recv(fd, out, max, 0);
       if (n >= 0) return static_cast<std::size_t>(n);
       if (errno == EINTR) continue;
+      if ((errno == EAGAIN || errno == EWOULDBLOCK) && timed_) {
+        // SO_RCVTIMEO expired: the peer is stalled, not gone.
+        throw TransportTimeout("serve: socket read timed out");
+      }
       return 0;  // reset/closed peer reads as EOF at the frame layer
     }
   }
@@ -142,8 +161,28 @@ class SocketStream final : public ByteStream {
     }
   }
 
+  void set_read_timeout_ms(double ms) override {
+    const int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return;
+    timeval tv{};
+    if (ms > 0.0) {
+      // Round up so a sub-microsecond request still arms the timer (a zero
+      // timeval means "block forever" to SO_RCVTIMEO).
+      const double usec_total = std::ceil(ms * 1000.0);
+      tv.tv_sec = static_cast<time_t>(usec_total / 1e6);
+      tv.tv_usec = static_cast<suseconds_t>(
+          usec_total - static_cast<double>(tv.tv_sec) * 1e6);
+      if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+    }
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    timed_ = ms > 0.0;
+  }
+
  private:
   std::atomic<int> fd_;
+  // Whether a deadline is armed; EAGAIN on an un-timed blocking socket (not
+  // expected, but possible with exotic socket options) keeps mapping to EOF.
+  std::atomic<bool> timed_{false};
 };
 
 }  // namespace

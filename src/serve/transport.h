@@ -19,9 +19,19 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace jps::serve {
+
+/// A read() exceeded the stream's configured read timeout.  Distinct from
+/// EOF (the peer may still be alive, just slow) and from ProtocolError (the
+/// bytes that did arrive were fine) — serve::Client treats it as retryable.
+class TransportTimeout : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A blocking, connected, bidirectional byte stream.
 class ByteStream {
@@ -30,7 +40,8 @@ class ByteStream {
 
   /// Read up to `max` bytes into `out`; blocks until at least one byte is
   /// available.  Returns the number of bytes read, or 0 on EOF (peer closed
-  /// or shutdown_read()).
+  /// or shutdown_read()).  Throws TransportTimeout when a read deadline is
+  /// set (set_read_timeout_ms) and no byte arrives in time.
   [[nodiscard]] virtual std::size_t read(char* out, std::size_t max) = 0;
 
   /// Write all `size` bytes.  Throws std::runtime_error when the peer is
@@ -43,6 +54,38 @@ class ByteStream {
 
   /// Tear down both directions.  Idempotent.
   virtual void close() = 0;
+
+  /// Per-read() deadline: a read that sees no byte for `ms` milliseconds
+  /// throws TransportTimeout instead of blocking forever (a peer that
+  /// accepts then stalls must not hang the caller).  <= 0 restores
+  /// block-forever.  Sockets implement this with SO_RCVTIMEO; pipes with a
+  /// timed condition wait.
+  virtual void set_read_timeout_ms(double ms) = 0;
+};
+
+/// Non-owning view of a shared stream end, forwarding every call.  Client
+/// wants sole ownership of its ByteStream; tests, selfcheck, and benches
+/// want to keep a handle to the same end (to sever or inspect it mid-run) —
+/// they hold the shared_ptr and hand the Client a BorrowedStream.
+class BorrowedStream final : public ByteStream {
+ public:
+  explicit BorrowedStream(std::shared_ptr<ByteStream> target)
+      : target_(std::move(target)) {}
+
+  [[nodiscard]] std::size_t read(char* out, std::size_t max) override {
+    return target_->read(out, max);
+  }
+  void write(const char* data, std::size_t size) override {
+    target_->write(data, size);
+  }
+  void shutdown_read() override { target_->shutdown_read(); }
+  void close() override { target_->close(); }
+  void set_read_timeout_ms(double ms) override {
+    target_->set_read_timeout_ms(ms);
+  }
+
+ private:
+  std::shared_ptr<ByteStream> target_;
 };
 
 /// Two connected in-process endpoints: bytes written to one are read from

@@ -1,0 +1,38 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace jps::util {
+
+namespace {
+
+// Reflected table for polynomial 0xEDB88320, built once at first use.
+const std::array<std::uint32_t, 256>& table() {
+  static const std::array<std::uint32_t, 256> t = [] {
+    std::array<std::uint32_t, 256> out{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit)
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      out[i] = c;
+    }
+    return out;
+  }();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = table()[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace jps::util

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte buffers.
+//
+// Used as the integrity trailer of the plan-cache snapshot format
+// (serve/snapshot.h): a restarted server must be able to tell a torn or
+// bit-flipped snapshot from a valid one *before* trusting any entry, and a
+// 4-byte CRC catches every burst error shorter than 32 bits plus all odd
+// numbers of bit flips.  Not cryptographic — the snapshot threat model is
+// crashes and partial writes, not adversaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace jps::util {
+
+/// CRC-32 of `data`, with `seed` allowing incremental computation:
+/// crc32(a + b) == crc32(b, crc32(a)).
+[[nodiscard]] std::uint32_t crc32(std::string_view data,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace jps::util

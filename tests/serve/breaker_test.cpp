@@ -1,0 +1,126 @@
+#include "serve/breaker.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jps::serve {
+namespace {
+
+BreakerOptions small_breaker() {
+  BreakerOptions options;
+  options.window = 8;
+  options.min_samples = 4;
+  options.failure_ratio = 0.5;
+  options.cooldown_ms = 100.0;
+  return options;
+}
+
+TEST(CircuitBreaker, StaysClosedOnHealthyTraffic) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(breaker.admit("t", i), CircuitBreaker::Decision::kClosed);
+    breaker.record("t", i, /*failure=*/false, /*latency_ms=*/1.0);
+  }
+  EXPECT_FALSE(breaker.open("t", 100.0));
+  EXPECT_EQ(breaker.opens(), 0u);
+}
+
+TEST(CircuitBreaker, SingleEarlyFailureDoesNotOpen) {
+  CircuitBreaker breaker(small_breaker());
+  breaker.record("t", 0.0, /*failure=*/true, 1.0);
+  // Only 1 outcome < min_samples of 4: no judgement yet.
+  EXPECT_EQ(breaker.admit("t", 1.0), CircuitBreaker::Decision::kClosed);
+}
+
+TEST(CircuitBreaker, OpensAtFailureRatioAndServesOpenUntilCooldown) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record("t", i, /*failure=*/true, 1.0);
+  EXPECT_TRUE(breaker.open("t", 4.0));
+  EXPECT_EQ(breaker.opens(), 1u);
+  // Before the cooldown: open.
+  EXPECT_EQ(breaker.admit("t", 50.0), CircuitBreaker::Decision::kOpen);
+  // After the cooldown: exactly one probe; concurrent admits stay open.
+  EXPECT_EQ(breaker.admit("t", 104.0), CircuitBreaker::Decision::kProbe);
+  EXPECT_EQ(breaker.admit("t", 105.0), CircuitBreaker::Decision::kOpen);
+}
+
+TEST(CircuitBreaker, ProbeSuccessClosesAndClearsHistory) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record("t", i, /*failure=*/true, 1.0);
+  ASSERT_EQ(breaker.admit("t", 104.0), CircuitBreaker::Decision::kProbe);
+  breaker.record("t", 105.0, /*failure=*/false, 1.0);
+  EXPECT_FALSE(breaker.open("t", 106.0));
+  // History cleared: one subsequent failure must not re-open instantly.
+  breaker.record("t", 107.0, /*failure=*/true, 1.0);
+  EXPECT_EQ(breaker.admit("t", 108.0), CircuitBreaker::Decision::kClosed);
+}
+
+TEST(CircuitBreaker, ProbeFailureRearmsTheCooldown) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record("t", i, /*failure=*/true, 1.0);
+  ASSERT_EQ(breaker.admit("t", 104.0), CircuitBreaker::Decision::kProbe);
+  breaker.record("t", 105.0, /*failure=*/true, 1.0);
+  // Re-opened at 105: still open at 150, probes again at 205+.
+  EXPECT_EQ(breaker.admit("t", 150.0), CircuitBreaker::Decision::kOpen);
+  EXPECT_EQ(breaker.admit("t", 206.0), CircuitBreaker::Decision::kProbe);
+}
+
+TEST(CircuitBreaker, CancelProbeReturnsTheSlot) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record("t", i, /*failure=*/true, 1.0);
+  ASSERT_EQ(breaker.admit("t", 104.0), CircuitBreaker::Decision::kProbe);
+  // The probe was shed before planning; without cancel the breaker would
+  // wait for an outcome that never comes.
+  breaker.cancel_probe("t");
+  EXPECT_EQ(breaker.admit("t", 105.0), CircuitBreaker::Decision::kProbe);
+}
+
+TEST(CircuitBreaker, SlowSuccessesCountWhenThresholdSet) {
+  BreakerOptions options = small_breaker();
+  options.latency_threshold_ms = 10.0;
+  CircuitBreaker breaker(options);
+  for (int i = 0; i < 4; ++i)
+    breaker.record("t", i, /*failure=*/false, /*latency_ms=*/50.0);
+  EXPECT_TRUE(breaker.open("t", 4.0));
+}
+
+TEST(CircuitBreaker, LatencyIgnoredWithoutThreshold) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 8; ++i)
+    breaker.record("t", i, /*failure=*/false, /*latency_ms=*/1e6);
+  EXPECT_FALSE(breaker.open("t", 8.0));
+}
+
+TEST(CircuitBreaker, TenantsAreIndependent) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record("bad", i, /*failure=*/true, 1.0);
+  EXPECT_TRUE(breaker.open("bad", 4.0));
+  EXPECT_EQ(breaker.admit("good", 5.0), CircuitBreaker::Decision::kClosed);
+  EXPECT_EQ(breaker.open_count(), 1u);
+}
+
+TEST(CircuitBreaker, RollingWindowForgetsOldFailures) {
+  CircuitBreaker breaker(small_breaker());
+  // Failures spaced below the trip ratio, then a long run of successes
+  // pushes them out of the window entirely.
+  breaker.record("t", 0.0, /*failure=*/true, 1.0);
+  for (int i = 1; i < 4; ++i) breaker.record("t", i, /*failure=*/false, 1.0);
+  breaker.record("t", 4.0, /*failure=*/true, 1.0);
+  for (int i = 5; i < 20; ++i) breaker.record("t", i, /*failure=*/false, 1.0);
+  // One fresh failure against a window now full of successes: closed.
+  breaker.record("t", 20.0, /*failure=*/true, 1.0);
+  EXPECT_EQ(breaker.admit("t", 21.0), CircuitBreaker::Decision::kClosed);
+}
+
+TEST(CircuitBreaker, RecordsWhileOpenAreIgnored) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 4; ++i) breaker.record("t", i, /*failure=*/true, 1.0);
+  ASSERT_TRUE(breaker.open("t", 4.0));
+  // A straggler success from the pre-open era must not settle anything.
+  breaker.record("t", 5.0, /*failure=*/false, 1.0);
+  EXPECT_TRUE(breaker.open("t", 6.0));
+}
+
+}  // namespace
+}  // namespace jps::serve

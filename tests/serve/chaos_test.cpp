@@ -1,0 +1,158 @@
+#include "serve/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "fault/fault_spec.h"
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace jps::serve {
+namespace {
+
+fault::FaultSpec parse(const std::string& body) {
+  return fault::FaultSpec::parse("jps-faults v1\n" + body);
+}
+
+std::string read_all(ByteStream& stream, std::size_t want) {
+  std::string out;
+  char buf[256];
+  while (out.size() < want) {
+    const std::size_t n =
+        stream.read(buf, std::min(sizeof(buf), want - out.size()));
+    if (n == 0) break;
+    out.append(buf, n);
+  }
+  return out;
+}
+
+TEST(ChaosTransport, CleanSpecIsTransparent) {
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(std::move(pair.first), fault::FaultSpec{});
+  pair.second->write("hello", 5);
+  EXPECT_EQ(read_all(faulty, 5), "hello");
+  faulty.write("world", 5);
+  EXPECT_EQ(read_all(*pair.second, 5), "world");
+  const ChaosStats stats = faulty.stats();
+  EXPECT_EQ(stats.delayed_ops, 0u);
+  EXPECT_EQ(stats.short_ops, 0u);
+  EXPECT_EQ(stats.corrupted_bytes, 0u);
+  EXPECT_FALSE(stats.dropped);
+}
+
+TEST(ChaosTransport, ShortWindowClipsToOneByteButLosesNothing) {
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(std::move(pair.first), parse("net_short 0 1000\n"));
+
+  pair.second->write("abcdef", 6);
+  char buf[16];
+  // Every read in the window returns exactly 1 byte even though more is
+  // buffered.
+  EXPECT_EQ(faulty.read(buf, sizeof(buf)), 1u);
+  EXPECT_EQ(buf[0], 'a');
+  EXPECT_EQ(read_all(faulty, 5), "bcdef");
+
+  // Writes still deliver everything (the decorator loops internally).
+  faulty.write("123456", 6);
+  EXPECT_EQ(read_all(*pair.second, 6), "123456");
+  EXPECT_GT(faulty.stats().short_ops, 0u);
+}
+
+TEST(ChaosTransport, CorruptWindowXorsExactlyTheScriptedBytes) {
+  StreamPair pair = make_in_process_pair();
+  // Read offsets [2, 4) XORed with 0xFF; everything else untouched.
+  FaultyByteStream faulty(std::move(pair.first), parse("net_corrupt 2 4 255\n"));
+  pair.second->write("abcdef", 6);
+  const std::string got = read_all(faulty, 6);
+  ASSERT_EQ(got.size(), 6u);
+  EXPECT_EQ(got[0], 'a');
+  EXPECT_EQ(got[1], 'b');
+  EXPECT_EQ(got[2], static_cast<char>('c' ^ 0xFF));
+  EXPECT_EQ(got[3], static_cast<char>('d' ^ 0xFF));
+  EXPECT_EQ(got[4], 'e');
+  EXPECT_EQ(got[5], 'f');
+  EXPECT_EQ(faulty.stats().corrupted_bytes, 2u);
+
+  // Writes are never corrupted (that would test the peer, not us).
+  faulty.write("XYZW", 4);
+  EXPECT_EQ(read_all(*pair.second, 4), "XYZW");
+}
+
+TEST(ChaosTransport, DropOnWriteDeliversPrefixThenThrows) {
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(std::move(pair.first), parse("net_drop 4 1000\n"));
+  // Write offset reaches 4 mid-call: the first 4 bytes are delivered, the
+  // connection then dies — exactly a peer crashing mid-frame.
+  EXPECT_THROW(faulty.write("abcdefgh", 8), std::runtime_error);
+  EXPECT_EQ(read_all(*pair.second, 4), "abcd");
+  EXPECT_TRUE(faulty.stats().dropped);
+  // Dead in both directions afterwards.
+  char buf[4];
+  EXPECT_EQ(faulty.read(buf, sizeof(buf)), 0u);
+  EXPECT_THROW(faulty.write("x", 1), std::runtime_error);
+}
+
+TEST(ChaosTransport, DropOnReadLooksLikeEof) {
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(std::move(pair.first), parse("net_drop 3 1000\n"));
+  pair.second->write("abcdef", 6);
+  // Reads deliver up to the drop boundary, then EOF.
+  EXPECT_EQ(read_all(faulty, 6), "abc");
+  char buf[4];
+  EXPECT_EQ(faulty.read(buf, sizeof(buf)), 0u);
+  EXPECT_TRUE(faulty.stats().dropped);
+}
+
+TEST(ChaosTransport, DelayWindowCountsOps) {
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(std::move(pair.first), parse("net_delay 0 100 0.1\n"));
+  faulty.write("abc", 3);
+  EXPECT_EQ(read_all(*pair.second, 3), "abc");
+  pair.second->write("xyz", 3);
+  EXPECT_EQ(read_all(faulty, 3), "xyz");
+  EXPECT_GE(faulty.stats().delayed_ops, 2u);
+}
+
+TEST(ChaosTransport, DelayScaleZeroDisablesSleepsButStillCounts) {
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(std::move(pair.first), parse("net_delay 0 100 50\n"),
+                          /*delay_scale=*/0.0);
+  faulty.write("abc", 3);  // would sleep 50 ms per op at scale 1
+  EXPECT_EQ(read_all(*pair.second, 3), "abc");
+  EXPECT_GE(faulty.stats().delayed_ops, 1u);
+}
+
+TEST(ChaosTransport, FramesSurviveShortAndDelayWindows) {
+  // End-to-end over the frame layer: a frame pushed through 1-byte
+  // transfers and delays arrives bit-identical.
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(
+      std::move(pair.first),
+      parse("net_short 0 4096\nnet_delay 0 64 0.05\n"));
+  const std::string payload(300, '\x5A');
+  std::thread writer([&] { write_frame(faulty, payload); });
+  const auto got = read_frame(*pair.second);
+  writer.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+}
+
+TEST(ChaosTransport, TimelineKindsAreIgnored) {
+  // A spec mixing timeline and net kinds: the decorator only consumes
+  // net_*, symmetric with FaultTimeline skipping net_*.
+  StreamPair pair = make_in_process_pair();
+  FaultyByteStream faulty(
+      std::move(pair.first),
+      parse("drift 0 100 5\noutage 200 300\nnet_corrupt 0 1 1\n"));
+  pair.second->write("a", 1);
+  char buf[1];
+  ASSERT_EQ(faulty.read(buf, 1), 1u);
+  EXPECT_EQ(buf[0], static_cast<char>('a' ^ 0x01));
+}
+
+}  // namespace
+}  // namespace jps::serve

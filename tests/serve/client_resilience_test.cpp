@@ -1,0 +1,355 @@
+// Client-side resilience: read deadlines (a silent server cannot hang the
+// caller), clean TransportError on mid-frame peer death (never a partial
+// decode), retry/backoff/hedge behavior, and the no-retry rule for decode
+// errors.
+#include "serve/client.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/transport.h"
+
+namespace jps::serve {
+namespace {
+
+PlanRequest sample_request() {
+  PlanRequest request;
+  request.tenant = "tenant";
+  request.model = "alexnet";
+  request.bandwidth_mbps = 10.0;
+  request.n_jobs = 4;
+  return request;
+}
+
+/// Answers every plan request on `end`, taking per-request statuses from
+/// `script` (kOk once the script runs out).  Exits on EOF / peer close.
+void respond_loop(ByteStream& end, std::vector<Status> script = {}) {
+  std::size_t i = 0;
+  try {
+    while (const auto payload = read_frame(end)) {
+      if (peek_op(*payload) == Op::kPing) {
+        write_frame(end, encode_ping_reply());
+        continue;
+      }
+      PlanReply reply;
+      reply.status = i < script.size() ? script[i] : Status::kOk;
+      reply.makespan_ms = 42.0;
+      if (reply.status != Status::kOk) reply.message = "scripted failure";
+      write_frame(end, encode_plan_reply(reply));
+      ++i;
+    }
+  } catch (const std::exception&) {
+    // Peer died mid-frame or the pipe closed under us: a normal way for a
+    // test connection to end.
+  }
+}
+
+/// Reads one request then goes silent until the peer hangs up.
+void silent_loop(ByteStream& end) {
+  try {
+    while (read_frame(end)) {
+    }
+  } catch (const std::exception&) {
+  }
+}
+
+fault::RetryPolicy fast_backoff() {
+  fault::RetryPolicy policy;
+  policy.backoff_base_ms = 0.1;
+  policy.backoff_factor = 2.0;
+  policy.backoff_max_ms = 0.5;
+  return policy;
+}
+
+// ---- Satellite: a silent server must time out, not hang ------------------
+
+TEST(ClientResilience, SilentServerTimesOutOverAPipe) {
+  StreamPair pair = make_in_process_pair();
+  std::thread server([end = std::move(pair.second)] { silent_loop(*end); });
+
+  ClientRetryOptions options;
+  options.read_timeout_ms = 30.0;  // no factory: the timeout propagates
+  Client client(std::move(pair.first), options);
+  EXPECT_THROW((void)client.plan(sample_request()), TransportTimeout);
+  EXPECT_EQ(client.stats().timeouts, 1u);
+  client.close();
+  server.join();
+}
+
+TEST(ClientResilience, SilentServerTimesOutOverASocket) {
+  // Same regression through the SO_RCVTIMEO implementation.
+  SocketListener listener(0);
+  std::thread server([&] {
+    const auto conn = listener.accept();
+    if (conn) silent_loop(*conn);
+  });
+
+  ClientRetryOptions options;
+  options.read_timeout_ms = 30.0;
+  Client client(socket_connect("127.0.0.1", listener.port()), options);
+  EXPECT_THROW((void)client.plan(sample_request()), TransportTimeout);
+  client.close();
+  listener.close();
+  server.join();
+}
+
+TEST(ClientResilience, SilentServerPingReturnsFalse) {
+  StreamPair pair = make_in_process_pair();
+  std::thread server([end = std::move(pair.second)] { silent_loop(*end); });
+
+  ClientRetryOptions options;
+  options.read_timeout_ms = 30.0;
+  Client client(std::move(pair.first), options);
+  EXPECT_FALSE(client.ping());
+  client.close();
+  server.join();
+}
+
+// ---- Satellite: peer death mid-frame is a clean TransportError -----------
+
+TEST(ClientResilience, TruncatedReplyAtEveryByteOffsetIsATransportError) {
+  // Record one valid reply frame (length prefix + payload), then replay
+  // every strict prefix of it followed by EOF.  Each one must surface as
+  // TransportError — never a partial decode or an INVALID_ARGUMENT-style
+  // ProtocolError.
+  PlanReply reply;
+  reply.makespan_ms = 17.5;
+  reply.bandwidth_bucket_mbps = 10.0;
+  reply.mix.push_back({3, 4});
+  const std::string payload = encode_plan_reply(reply);
+  std::string frame;
+  for (int shift = 0; shift < 32; shift += 8)
+    frame.push_back(static_cast<char>((payload.size() >> shift) & 0xFF));
+  frame += payload;
+
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    StreamPair pair = make_in_process_pair();
+    std::thread server([end = std::move(pair.second), &frame, len]() mutable {
+      try {
+        (void)read_frame(*end);  // consume the request
+        if (len > 0) end->write(frame.data(), len);
+      } catch (const std::exception&) {
+      }
+      end->close();  // peer dies mid-frame; buffered bytes still drain
+    });
+
+    ClientRetryOptions options;
+    options.read_timeout_ms = 2000.0;  // fail loudly instead of hanging
+    Client client(std::move(pair.first), options);
+    EXPECT_THROW((void)client.plan(sample_request()), TransportError)
+        << "prefix of " << len << " bytes";
+    server.join();
+  }
+}
+
+// ---- Retry behavior ------------------------------------------------------
+
+TEST(ClientResilience, RetryReconnectsAfterPeerDeath) {
+  // Connection 1 is dead on arrival; the factory's connection 2 answers.
+  StreamPair dead = make_in_process_pair();
+  dead.second->close();
+
+  std::thread responder;
+  StreamFactory factory = [&] {
+    StreamPair fresh = make_in_process_pair();
+    responder = std::thread(
+        [end = std::move(fresh.second)] { respond_loop(*end); });
+    return std::move(fresh.first);
+  };
+
+  ClientRetryOptions options;
+  options.max_attempts = 3;
+  options.backoff = fast_backoff();
+  options.read_timeout_ms = 2000.0;
+  Client client(std::move(dead.first), options, factory);
+
+  const PlanReply reply = client.plan(sample_request());
+  EXPECT_TRUE(reply.ok());
+  EXPECT_DOUBLE_EQ(reply.makespan_ms, 42.0);
+  EXPECT_EQ(client.stats().reconnects, 1u);
+  EXPECT_GE(client.stats().retries, 1u);
+  client.close();
+  responder.join();
+}
+
+TEST(ClientResilience, RetryableStatusRetriesOnTheSameConnection) {
+  StreamPair pair = make_in_process_pair();
+  std::thread server([end = std::move(pair.second)] {
+    respond_loop(*end, {Status::kUnavailable, Status::kOk});
+  });
+
+  ClientRetryOptions options;
+  options.max_attempts = 3;
+  options.backoff = fast_backoff();
+  options.read_timeout_ms = 2000.0;
+  Client client(std::move(pair.first), options);  // note: no factory
+
+  const PlanReply reply = client.plan(sample_request());
+  EXPECT_TRUE(reply.ok());
+  EXPECT_EQ(client.stats().attempts, 2u);
+  EXPECT_EQ(client.stats().retries, 1u);
+  EXPECT_EQ(client.stats().reconnects, 0u);
+  client.close();
+  server.join();
+}
+
+TEST(ClientResilience, NonRetryableStatusReturnsImmediately) {
+  StreamPair pair = make_in_process_pair();
+  std::thread server([end = std::move(pair.second)] {
+    respond_loop(*end, {Status::kNotFound});
+  });
+
+  ClientRetryOptions options;
+  options.max_attempts = 3;
+  options.backoff = fast_backoff();
+  Client client(std::move(pair.first), options);
+
+  const PlanReply reply = client.plan(sample_request());
+  EXPECT_EQ(reply.status, Status::kNotFound);
+  EXPECT_EQ(client.stats().attempts, 1u);
+  EXPECT_EQ(client.stats().retries, 0u);
+  client.close();
+  server.join();
+}
+
+TEST(ClientResilience, ProtocolErrorNeverRetries) {
+  // A well-framed but undecodable reply: the peer will be just as wrong
+  // next time, so the client must throw without touching the factory.
+  StreamPair pair = make_in_process_pair();
+  std::thread server([end = std::move(pair.second)] {
+    try {
+      (void)read_frame(*end);
+      write_frame(*end, "\xFF\xFF\xFF garbage");
+      while (read_frame(*end)) {
+      }
+    } catch (const std::exception&) {
+    }
+  });
+
+  std::atomic<int> factory_calls{0};
+  StreamFactory factory = [&]() -> std::unique_ptr<ByteStream> {
+    ++factory_calls;
+    return nullptr;
+  };
+  ClientRetryOptions options;
+  options.max_attempts = 3;
+  options.backoff = fast_backoff();
+  options.read_timeout_ms = 2000.0;
+  Client client(std::move(pair.first), options, factory);
+
+  EXPECT_THROW((void)client.plan(sample_request()), ProtocolError);
+  EXPECT_EQ(factory_calls.load(), 0);
+  EXPECT_EQ(client.stats().attempts, 1u);
+  client.close();
+  server.join();
+}
+
+TEST(ClientResilience, ExhaustedAttemptsRethrowTheTransportError) {
+  // Every connection the factory makes is already dead.
+  auto dead_stream = [] {
+    StreamPair pair = make_in_process_pair();
+    pair.second->close();
+    return std::move(pair.first);
+  };
+
+  ClientRetryOptions options;
+  options.max_attempts = 3;
+  options.backoff = fast_backoff();
+  options.read_timeout_ms = 2000.0;
+  Client client(dead_stream(), options, dead_stream);
+
+  EXPECT_THROW((void)client.plan(sample_request()), TransportError);
+  EXPECT_EQ(client.stats().attempts, 3u);
+  EXPECT_EQ(client.stats().reconnects, 2u);
+}
+
+// ---- Hedging -------------------------------------------------------------
+
+TEST(ClientResilience, HedgeResendsOnTailLatency) {
+  // The first connection answers 4 requests quickly (building the latency
+  // window), then goes silent; the hedge must abandon it and resend on a
+  // fresh connection instead of waiting out the hard deadline.
+  constexpr int kWarmup = 4;
+  StreamPair pair = make_in_process_pair();
+  std::thread first([end = std::move(pair.second)] {
+    try {
+      for (int i = 0; i < kWarmup; ++i) {
+        const auto payload = read_frame(*end);
+        if (!payload) return;
+        PlanReply reply;
+        reply.makespan_ms = 1.0;
+        write_frame(*end, encode_plan_reply(reply));
+      }
+      silent_loop(*end);  // request kWarmup+1 never gets its reply
+    } catch (const std::exception&) {
+    }
+  });
+
+  std::thread responder;
+  StreamFactory factory = [&] {
+    StreamPair fresh = make_in_process_pair();
+    responder = std::thread(
+        [end = std::move(fresh.second)] { respond_loop(*end); });
+    return std::move(fresh.first);
+  };
+
+  ClientRetryOptions options;
+  options.hedge = true;
+  options.hedge_min_samples = kWarmup;
+  options.hedge_multiplier = 2.0;
+  options.hedge_min_ms = 10.0;
+  options.read_timeout_ms = 5000.0;  // the hedge must fire long before this
+  Client client(std::move(pair.first), options, factory);
+
+  const PlanRequest request = sample_request();
+  for (int i = 0; i < kWarmup; ++i) EXPECT_TRUE(client.plan(request).ok());
+  EXPECT_EQ(client.stats().hedges, 0u);
+
+  const PlanReply reply = client.plan(request);
+  EXPECT_TRUE(reply.ok());
+  EXPECT_DOUBLE_EQ(reply.makespan_ms, 42.0);
+  EXPECT_EQ(client.stats().hedges, 1u);
+  EXPECT_EQ(client.stats().reconnects, 1u);
+  client.close();
+  first.join();
+  responder.join();
+}
+
+// ---- Backoff shape -------------------------------------------------------
+
+TEST(ClientResilience, BackoffIsDeterministicPerSeedAndBounded) {
+  fault::RetryPolicy policy;
+  policy.backoff_base_ms = 10.0;
+  policy.backoff_factor = 2.0;
+  policy.backoff_max_ms = 100.0;
+
+  util::Rng a(42);
+  util::Rng b(42);
+  util::Rng c(43);
+  bool any_difference = false;
+  for (int attempt = 1; attempt <= 16; ++attempt) {
+    const double d1 = fault::backoff_delay_ms(policy, attempt, a,
+                                              /*full_jitter=*/true);
+    const double d2 = fault::backoff_delay_ms(policy, attempt, b,
+                                              /*full_jitter=*/true);
+    const double d3 = fault::backoff_delay_ms(policy, attempt, c,
+                                              /*full_jitter=*/true);
+    EXPECT_EQ(d1, d2) << "attempt " << attempt;  // same seed, same delay
+    any_difference |= d1 != d3;
+    EXPECT_GT(d1, 0.0);
+    EXPECT_LE(d1, policy.backoff_max_ms);
+  }
+  // Different seeds must actually de-synchronize the fleet.
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace jps::serve

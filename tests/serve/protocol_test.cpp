@@ -120,10 +120,15 @@ TEST(Protocol, WrongOpForDecoderThrows) {
 }
 
 TEST(Protocol, UnknownStrategyAndStatusCodesThrow) {
+  // v2 tail layout: u8 strategy | u32 n_jobs | f64 deadline_ms.
   std::string payload = encode_plan_request(sample_request());
-  // strategy byte sits 4 + 8 bytes from the end (u8 strategy | u32 n_jobs).
-  payload[payload.size() - 5] = 0x7F;
+  payload[payload.size() - 13] = 0x7F;
   EXPECT_THROW((void)decode_plan_request(payload), ProtocolError);
+
+  // v1 tail layout: u8 strategy | u32 n_jobs.
+  std::string v1 = encode_plan_request(sample_request(), /*version=*/1);
+  v1[v1.size() - 5] = 0x7F;
+  EXPECT_THROW((void)decode_plan_request(v1), ProtocolError);
 
   std::string reply = encode_plan_reply(sample_reply());
   reply[3] = 0x7F;  // status byte right after the header
@@ -138,6 +143,83 @@ TEST(Protocol, HostileMixCountRefusedBeforeAllocation) {
   for (std::size_t i = payload.size() - 4; i < payload.size(); ++i)
     payload[i] = static_cast<char>(0xFF);
   EXPECT_THROW((void)decode_plan_reply(payload), ProtocolError);
+}
+
+TEST(Versioning, V2RequestCarriesTheDeadline) {
+  PlanRequest request = sample_request();
+  request.deadline_ms = 12.5;
+  const std::string payload = encode_plan_request(request);
+  EXPECT_EQ(peek_version(payload), kVersion);
+  const PlanRequest decoded = decode_plan_request(payload);
+  EXPECT_DOUBLE_EQ(decoded.deadline_ms, 12.5);
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(Versioning, V1RequestDecodesWithNoDeadline) {
+  // An old client cannot express a deadline; the field must come back 0
+  // ("no deadline"), never garbage.
+  PlanRequest request = sample_request();
+  request.deadline_ms = 99.0;  // dropped by the v1 encoder
+  const std::string payload = encode_plan_request(request, /*version=*/1);
+  EXPECT_EQ(peek_version(payload), 1);
+  const PlanRequest decoded = decode_plan_request(payload);
+  EXPECT_DOUBLE_EQ(decoded.deadline_ms, 0.0);
+  request.deadline_ms = 0.0;
+  EXPECT_EQ(decoded, request);
+}
+
+TEST(Versioning, V1ReplyDowngradesStaleToOkButKeepsTheFlag) {
+  PlanReply reply = sample_reply();
+  reply.status = Status::kOkStale;
+  reply.stale = true;
+  const PlanReply decoded =
+      decode_plan_reply(encode_plan_reply(reply, /*version=*/1));
+  EXPECT_EQ(decoded.status, Status::kOk);  // v1 client sees a usable plan
+  EXPECT_TRUE(decoded.stale);              // the flag bit survives
+  EXPECT_TRUE(decoded.has_plan());
+}
+
+TEST(Versioning, V1ReplyDowngradesDeadlineExceededToUnavailable) {
+  PlanReply reply;
+  reply.status = Status::kDeadlineExceeded;
+  reply.message = "deadline";
+  const PlanReply decoded =
+      decode_plan_reply(encode_plan_reply(reply, /*version=*/1));
+  // Both mean "retry later" to a v1 client; retryability is preserved.
+  EXPECT_EQ(decoded.status, Status::kUnavailable);
+  EXPECT_TRUE(status_is_retryable(decoded.status));
+}
+
+TEST(Versioning, V2ReplyRoundTripsTheNewStatuses) {
+  for (const Status s : {Status::kOkStale, Status::kDeadlineExceeded}) {
+    PlanReply reply = sample_reply();
+    reply.status = s;
+    if (s == Status::kOkStale) reply.stale = true;
+    EXPECT_EQ(decode_plan_reply(encode_plan_reply(reply)).status, s);
+  }
+}
+
+TEST(Versioning, OutOfRangeVersionsAreRefused) {
+  const PlanRequest request = sample_request();
+  EXPECT_THROW((void)encode_plan_request(request, 0), ProtocolError);
+  EXPECT_THROW((void)encode_plan_request(request, kVersion + 1),
+               ProtocolError);
+  // A frame claiming a future version is rejected at the header.
+  std::string payload = encode_plan_request(request);
+  payload[1] = static_cast<char>(kVersion + 1);
+  EXPECT_THROW((void)peek_version(payload), ProtocolError);
+  EXPECT_THROW((void)decode_plan_request(payload), ProtocolError);
+}
+
+TEST(Protocol, RetryableStatusVocabulary) {
+  EXPECT_TRUE(status_is_retryable(Status::kUnavailable));
+  EXPECT_TRUE(status_is_retryable(Status::kDeadlineExceeded));
+  EXPECT_FALSE(status_is_retryable(Status::kOk));
+  EXPECT_FALSE(status_is_retryable(Status::kOkStale));
+  EXPECT_FALSE(status_is_retryable(Status::kInvalidArgument));
+  EXPECT_FALSE(status_is_retryable(Status::kNotFound));
+  EXPECT_FALSE(status_is_retryable(Status::kResourceExhausted));
+  EXPECT_FALSE(status_is_retryable(Status::kInternal));
 }
 
 TEST(Framing, RoundTripAndCleanEof) {

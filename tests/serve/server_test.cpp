@@ -6,9 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "core/planner.h"
@@ -185,6 +189,233 @@ TEST(Server, StopDrainsAndRefusesNewWork) {
   const PlanReply reply = server.handle_plan(request_for("alexnet", 10, 2));
   EXPECT_EQ(reply.status, Status::kUnavailable);
   server.stop();  // idempotent
+}
+
+// ---- deadlines (tentpole: deadline propagation) -------------------------
+
+TEST(Server, ExpiredDeadlineIsRefusedAtAdmission) {
+  ServerOptions options;
+  options.debug_admission_delay_ms = 5.0;  // arrival -> check takes >= 5 ms
+  Server server(options);
+
+  PlanRequest request = request_for("alexnet", 10, 2);
+  request.deadline_ms = 0.5;  // long gone by the time admission looks
+  const PlanReply refused = server.handle_plan(request);
+  EXPECT_EQ(refused.status, Status::kDeadlineExceeded);
+
+  // No deadline means no refusal, same knobs.
+  request.deadline_ms = 0.0;
+  EXPECT_TRUE(server.handle_plan(request).ok());
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  // The refused request never reached the planner.
+  EXPECT_EQ(stats.plans_computed, 1u);
+}
+
+TEST(Server, DeadlinePassingDuringPlanningStillCachesThePlan) {
+  ServerOptions options;
+  options.debug_plan_delay_ms = 20.0;  // planning outlives the deadline
+  Server server(options);
+
+  PlanRequest request = request_for("alexnet", 10, 2);
+  request.deadline_ms = 5.0;
+  const PlanReply late = server.handle_plan(request);
+  EXPECT_EQ(late.status, Status::kDeadlineExceeded);
+
+  // The computation was not wasted: a later request hits the cache.
+  request.deadline_ms = 0.0;
+  const PlanReply cached = server.handle_plan(request);
+  EXPECT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.cache_hit);
+  EXPECT_EQ(server.stats().plans_computed, 1u);
+}
+
+TEST(Server, InvalidDeadlinesAreInvalidArgument) {
+  Server server{ServerOptions{}};
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(),
+        std::numeric_limits<double>::infinity(), -1.0}) {
+    PlanRequest request = request_for("alexnet", 10, 2);
+    request.deadline_ms = bad;
+    EXPECT_EQ(server.handle_plan(request).status, Status::kInvalidArgument)
+        << bad;
+  }
+}
+
+// ---- circuit breaker + degraded mode (tentpole) -------------------------
+
+TEST(Server, OpenBreakerServesStaleFromTheNearestBucket) {
+  ServerOptions options;
+  options.debug_plan_delay_ms = 10.0;  // planning always outlives 2 ms
+  options.breaker.window = 8;
+  options.breaker.min_samples = 4;
+  options.breaker.failure_ratio = 0.5;
+  options.breaker.cooldown_ms = 60'000.0;  // stays open for the whole test
+  Server server(options);
+
+  // Prime the cache at bucket 10.0 with a healthy tenant.
+  PlanRequest prime = request_for("alexnet", 10.0, 4);
+  prime.tenant = "healthy";
+  const PlanReply fresh = server.handle_plan(prime);
+  ASSERT_TRUE(fresh.ok());
+
+  // Trip the victim tenant's breaker: each request plans a FRESH bucket
+  // (no cache rescue), so the 10 ms planner run outlives the 2 ms budget
+  // and the reply lands as kDeadlineExceeded — a recorded server-health
+  // failure.
+  for (int i = 0; i < 4; ++i) {
+    PlanRequest doomed = request_for("alexnet", 20.0 + 10.0 * i, 4);
+    doomed.tenant = "victim";
+    doomed.deadline_ms = 2.0;
+    ASSERT_EQ(server.handle_plan(doomed).status, Status::kDeadlineExceeded);
+  }
+
+  // Open breaker, nearby bucket asked for: a stale plan, clearly labeled.
+  PlanRequest degraded = request_for("alexnet", 12.0, 4);
+  degraded.tenant = "victim";
+  const PlanReply stale = server.handle_plan(degraded);
+  EXPECT_EQ(stale.status, Status::kOkStale);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_TRUE(stale.has_plan());
+  EXPECT_DOUBLE_EQ(stale.bandwidth_bucket_mbps, 10.0);  // the primed bucket
+  EXPECT_DOUBLE_EQ(stale.makespan_ms, fresh.makespan_ms);
+
+  // Open breaker but nothing cached for that shape: UNAVAILABLE, not OK.
+  PlanRequest uncached = request_for("nin", 10.0, 4);
+  uncached.tenant = "victim";
+  EXPECT_EQ(server.handle_plan(uncached).status, Status::kUnavailable);
+
+  // The healthy tenant is untouched (per-tenant isolation).
+  EXPECT_TRUE(server.handle_plan(prime).ok());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.breaker_opens, 1u);
+  EXPECT_GE(stats.stale_served, 1u);
+  EXPECT_GE(stats.deadline_exceeded, 4u);
+}
+
+TEST(Server, BreakerCanBeDisabled) {
+  ServerOptions options;
+  options.debug_plan_delay_ms = 10.0;
+  options.breaker_enabled = false;
+  options.breaker.window = 8;
+  options.breaker.min_samples = 4;
+  options.breaker.failure_ratio = 0.5;
+  Server server(options);
+
+  // A failure pattern that WOULD open the small breaker above.
+  for (int i = 0; i < 5; ++i) {
+    PlanRequest doomed = request_for("alexnet", 20.0 + 10.0 * i, 4);
+    doomed.tenant = "victim";
+    doomed.deadline_ms = 2.0;
+    ASSERT_EQ(server.handle_plan(doomed).status, Status::kDeadlineExceeded);
+  }
+
+  // With the breaker off the tenant still gets fresh (non-stale) answers.
+  PlanRequest request = request_for("alexnet", 20.0, 4);
+  request.tenant = "victim";
+  const PlanReply reply = server.handle_plan(request);
+  EXPECT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.stale);
+  EXPECT_EQ(server.stats().breaker_opens, 0u);
+}
+
+// ---- snapshot warm-start (tentpole: crash-safe cache) -------------------
+
+TEST(Server, SnapshotWarmStartAnswersFromCacheAfterRestart) {
+  const std::string path =
+      ::testing::TempDir() + "/jps_server_snapshot_test.bin";
+  std::remove(path.c_str());
+
+  const PlanRequest request = request_for("alexnet", 10.0, 4);
+  double makespan = 0.0;
+  {
+    ServerOptions options;
+    options.snapshot_path = path;
+    Server server(options);
+    const PlanReply reply = server.handle_plan(request);
+    ASSERT_TRUE(reply.ok());
+    makespan = reply.makespan_ms;
+    server.stop();  // drain saves the snapshot
+    EXPECT_GE(server.stats().snapshot_saves, 1u);
+  }
+  {
+    ServerOptions options;
+    options.snapshot_path = path;
+    Server server(options);  // "restarted process"
+    EXPECT_EQ(server.stats().warm_start_entries, 1u);
+    const PlanReply reply = server.handle_plan(request);
+    EXPECT_TRUE(reply.ok());
+    EXPECT_TRUE(reply.cache_hit);
+    EXPECT_EQ(reply.makespan_ms, makespan);  // bit-identical across restart
+    EXPECT_EQ(server.stats().plans_computed, 0u);
+    EXPECT_EQ(server.stats().cache_hits, 1u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Server, CorruptSnapshotIsIgnoredNeverFatal) {
+  const std::string path =
+      ::testing::TempDir() + "/jps_server_snapshot_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "JPSSNAP\nnot really a snapshot";
+  }
+  ServerOptions options;
+  options.snapshot_path = path;
+  Server server(options);  // must construct cleanly
+  EXPECT_EQ(server.stats().warm_start_entries, 0u);
+  EXPECT_TRUE(server.handle_plan(request_for("alexnet", 10, 2)).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Server, SnapshotTimerSavesWhileRunning) {
+  const std::string path =
+      ::testing::TempDir() + "/jps_server_snapshot_timer.bin";
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.snapshot_path = path;
+  options.snapshot_interval_ms = 20.0;
+  Server server(options);
+  ASSERT_TRUE(server.handle_plan(request_for("alexnet", 10, 2)).ok());
+  // The timer must fire without any drain happening.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().snapshot_saves == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server.stats().snapshot_saves, 1u);
+  server.stop();
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+
+// ---- mixed-version connections (tentpole: deadline propagation) ---------
+
+TEST(Connection, V1AndV2FramesShareAConnectionAndGetMatchingReplies) {
+  Server server{ServerOptions{}};
+  StreamPair pair = make_in_process_pair();
+  std::thread conn([&] { server.handle_connection(*pair.first); });
+
+  // v1 frame: answered in v1.
+  write_frame(*pair.second,
+              encode_plan_request(request_for("alexnet", 10, 4), 1));
+  auto payload = read_frame(*pair.second);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(peek_version(*payload), 1);
+  EXPECT_TRUE(decode_plan_reply(*payload).ok());
+
+  // v2 frame on the SAME connection: answered in v2.
+  write_frame(*pair.second,
+              encode_plan_request(request_for("alexnet", 10, 4), kVersion));
+  payload = read_frame(*pair.second);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(peek_version(*payload), kVersion);
+  EXPECT_TRUE(decode_plan_reply(*payload).ok());
+
+  pair.second->close();
+  conn.join();
 }
 
 // ---- connection-loop negative paths (satellite: protocol robustness) ----

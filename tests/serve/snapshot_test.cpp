@@ -1,0 +1,224 @@
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/plan_cache.h"
+#include "core/planner.h"
+#include "models/registry.h"
+#include "net/channel.h"
+#include "profile/device.h"
+#include "profile/latency_model.h"
+#include "util/crc32.h"
+
+namespace jps::serve {
+namespace {
+
+using core::ExecutionPlan;
+using core::PlanCacheKey;
+using core::ShardedPlanCache;
+using core::Strategy;
+
+std::shared_ptr<const ExecutionPlan> sample_plan(
+    const std::string& model, Strategy strategy = Strategy::kJPS,
+    int n_jobs = 6) {
+  static const profile::LatencyModel mobile(
+      profile::DeviceProfile::raspberry_pi_4b());
+  const dnn::Graph g = models::build(model);
+  const auto curve =
+      partition::ProfileCurve::build(g, mobile, net::Channel::preset_4g());
+  return std::make_shared<const ExecutionPlan>(
+      core::Planner(curve).plan(strategy, n_jobs));
+}
+
+/// A cache with three distinct keys (two models, two bandwidth buckets).
+void populate(ShardedPlanCache& cache) {
+  cache.insert_plan(PlanCacheKey("alexnet", "pi4b", 2.0, Strategy::kJPS, 6),
+                    sample_plan("alexnet"));
+  cache.insert_plan(PlanCacheKey("alexnet", "pi4b", 10.0, Strategy::kJPS, 6),
+                    sample_plan("alexnet"));
+  cache.insert_plan(PlanCacheKey("nin", "pi4b", 2.0, Strategy::kJPSTuned, 4),
+                    sample_plan("nin", Strategy::kJPSTuned, 4));
+}
+
+TEST(Snapshot, RoundTripPreservesEveryEntry) {
+  ShardedPlanCache cache(4);
+  populate(cache);
+  const std::string bytes = encode_cache_snapshot(cache);
+
+  ShardedPlanCache reloaded(2);
+  const SnapshotLoadResult result = decode_cache_snapshot(bytes, reloaded);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.entries, 3u);
+
+  // Every original entry reloads with a bit-identical makespan under the
+  // same key (compare via the sorted entry lists).
+  auto want = cache.plan_entries();
+  auto got = reloaded.plan_entries();
+  ASSERT_EQ(got.size(), want.size());
+  for (const auto& [key, plan] : want) {
+    bool found = false;
+    for (const auto& [rkey, rplan] : got) {
+      if (rkey == key) {
+        found = true;
+        EXPECT_EQ(rplan->predicted_makespan, plan->predicted_makespan);
+        EXPECT_EQ(rplan->strategy, plan->strategy);
+        EXPECT_EQ(rplan->jobs, plan->jobs);
+      }
+    }
+    EXPECT_TRUE(found) << key.model << "@" << key.bandwidth_mbps;
+  }
+}
+
+TEST(Snapshot, EncodeIsDeterministic) {
+  ShardedPlanCache a(8);
+  ShardedPlanCache b(3);  // different shard count, same logical content
+  populate(a);
+  populate(b);
+  const std::string first = encode_cache_snapshot(a);
+  EXPECT_EQ(first, encode_cache_snapshot(a));
+  EXPECT_EQ(first, encode_cache_snapshot(b));
+
+  // encode(decode(bytes)) is canonical too.
+  ShardedPlanCache reloaded(1);
+  ASSERT_TRUE(decode_cache_snapshot(first, reloaded).ok);
+  EXPECT_EQ(encode_cache_snapshot(reloaded), first);
+}
+
+TEST(Snapshot, EmptyCacheRoundTrips) {
+  ShardedPlanCache cache(1);
+  const std::string bytes = encode_cache_snapshot(cache);
+  ShardedPlanCache reloaded(1);
+  const SnapshotLoadResult result = decode_cache_snapshot(bytes, reloaded);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.entries, 0u);
+  EXPECT_EQ(reloaded.plan_count(), 0u);
+}
+
+TEST(Snapshot, EveryByteFlipIsRejectedAndLeavesCacheUntouched) {
+  ShardedPlanCache cache(2);
+  cache.insert_plan(PlanCacheKey("alexnet", "pi4b", 2.0), sample_plan("alexnet"));
+  const std::string bytes = encode_cache_snapshot(cache);
+
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string bad = bytes;
+    bad[i] = static_cast<char>(bad[i] ^ 0xFF);
+    ShardedPlanCache victim(1);
+    const SnapshotLoadResult result = decode_cache_snapshot(bad, victim);
+    EXPECT_FALSE(result.ok) << "flip at byte " << i << " was accepted";
+    EXPECT_EQ(result.entries, 0u);
+    // All-or-nothing: a rejected snapshot inserts nothing.
+    EXPECT_EQ(victim.plan_count(), 0u) << "flip at byte " << i;
+  }
+}
+
+TEST(Snapshot, EveryTruncationIsRejected) {
+  ShardedPlanCache cache(2);
+  cache.insert_plan(PlanCacheKey("nin", "pi4b", 4.0), sample_plan("nin"));
+  const std::string bytes = encode_cache_snapshot(cache);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    ShardedPlanCache victim(1);
+    const SnapshotLoadResult result =
+        decode_cache_snapshot(bytes.substr(0, len), victim);
+    EXPECT_FALSE(result.ok) << "truncation to " << len << " bytes accepted";
+    EXPECT_EQ(victim.plan_count(), 0u);
+  }
+}
+
+TEST(Snapshot, TrailingBytesAreRejected) {
+  ShardedPlanCache cache(1);
+  cache.insert_plan(PlanCacheKey("alexnet", "pi4b", 2.0), sample_plan("alexnet"));
+  std::string bytes = encode_cache_snapshot(cache);
+  bytes += '\0';  // one stray byte after the CRC trailer
+  ShardedPlanCache victim(1);
+  EXPECT_FALSE(decode_cache_snapshot(bytes, victim).ok);
+}
+
+TEST(Snapshot, FirstInsertWinsOnWarmStart) {
+  // Snapshot carries a kJPS plan; the victim cache already holds a
+  // *different* plan (kCloudOnly) under the same key.  Warm-start must not
+  // clobber the fresher entry.
+  ShardedPlanCache source(1);
+  const PlanCacheKey key("alexnet", "pi4b", 2.0, Strategy::kJPS, 6);
+  source.insert_plan(key, sample_plan("alexnet", Strategy::kJPS));
+  const std::string bytes = encode_cache_snapshot(source);
+
+  ShardedPlanCache victim(1);
+  const auto existing = sample_plan("alexnet", Strategy::kCloudOnly);
+  victim.insert_plan(key, existing);
+  const SnapshotLoadResult result = decode_cache_snapshot(bytes, victim);
+  EXPECT_TRUE(result.ok) << result.error;
+
+  const auto entries = victim.plan_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].second->strategy, Strategy::kCloudOnly);
+  EXPECT_EQ(entries[0].second.get(), existing.get());
+}
+
+TEST(Snapshot, MissingFileIsACleanColdStart) {
+  ShardedPlanCache cache(1);
+  const SnapshotLoadResult result = load_cache_snapshot(
+      cache, ::testing::TempDir() + "/jps_snapshot_does_not_exist.bin");
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.entries, 0u);
+  EXPECT_TRUE(result.error.empty());
+}
+
+TEST(Snapshot, FileRoundTripThroughAtomicSave) {
+  const std::string path = ::testing::TempDir() + "/jps_snapshot_test.bin";
+  ShardedPlanCache cache(4);
+  populate(cache);
+  save_cache_snapshot(cache, path);
+
+  // The atomic tmp file must not linger after a successful rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  ShardedPlanCache reloaded(4);
+  const SnapshotLoadResult result = load_cache_snapshot(reloaded, path);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.entries, 3u);
+  EXPECT_EQ(reloaded.plan_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, CorruptFileLoadsAsRejectionNotThrow) {
+  const std::string path = ::testing::TempDir() + "/jps_snapshot_garbage.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "JPSSNAP\nthis is not a valid snapshot body at all............";
+  }
+  ShardedPlanCache cache(1);
+  SnapshotLoadResult result;
+  EXPECT_NO_THROW(result = load_cache_snapshot(cache, path));
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(cache.plan_count(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, UnknownVersionIsRejectedWithReason) {
+  ShardedPlanCache cache(1);
+  std::string bytes = encode_cache_snapshot(cache);
+  // Patch the version field (bytes 8..11) and re-stamp the CRC so only the
+  // version check can fire.
+  bytes[8] = 9;
+  const std::uint32_t crc =
+      util::crc32(std::string_view(bytes).substr(0, bytes.size() - 4));
+  for (int i = 0; i < 4; ++i)
+    bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+  ShardedPlanCache victim(1);
+  const SnapshotLoadResult result = decode_cache_snapshot(bytes, victim);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("version"), std::string::npos) << result.error;
+}
+
+}  // namespace
+}  // namespace jps::serve

@@ -91,21 +91,8 @@ TEST(ServeStress, SixteenConcurrentClientsMixedTenants) {
     client_threads.emplace_back([&, c,
                                  end = std::shared_ptr<ByteStream>(
                                      std::move(pair.second))]() mutable {
-      struct Borrowed final : ByteStream {
-        explicit Borrowed(std::shared_ptr<ByteStream> inner)
-            : inner_(std::move(inner)) {}
-        std::size_t read(char* out, std::size_t max) override {
-          return inner_->read(out, max);
-        }
-        void write(const char* data, std::size_t size) override {
-          inner_->write(data, size);
-        }
-        void shutdown_read() override { inner_->shutdown_read(); }
-        void close() override { inner_->close(); }
-        std::shared_ptr<ByteStream> inner_;
-      };
       try {
-        Client client(std::make_unique<Borrowed>(end));
+        Client client(std::make_unique<BorrowedStream>(end));
         for (int r = 0; r < kRequestsPerClient; ++r) {
           const std::size_t k = static_cast<std::size_t>(c + r) % mix.size();
           PlanRequest request = mix[k];

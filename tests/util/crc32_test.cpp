@@ -1,0 +1,46 @@
+#include "util/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jps::util {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The classic IEEE CRC-32 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(crc32("abc"), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    const std::uint32_t head = crc32(std::string_view(data).substr(0, split));
+    const std::uint32_t whole =
+        crc32(std::string_view(data).substr(split), head);
+    EXPECT_EQ(whole, crc32(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32, PointerOverloadAgrees) {
+  const std::string data = "binary\0payload with embedded nul";
+  EXPECT_EQ(crc32(data.data(), data.size()), crc32(data));
+}
+
+TEST(Crc32, EveryBitFlipChangesTheSum) {
+  const std::string data = "snapshot integrity gate";
+  const std::uint32_t clean = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = data;
+      flipped[i] = static_cast<char>(flipped[i] ^ (1 << bit));
+      EXPECT_NE(crc32(flipped), clean) << "byte " << i << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jps::util

@@ -14,12 +14,19 @@
 //   jps_serve ping [--host H] [--port N]
 //       Liveness probe; exit 0 when the server answers.
 //
-//   jps_serve selfcheck [--clients N] [--requests N]
+//   jps_serve selfcheck [--clients N] [--requests N] [--chaos]
 //       In-process end-to-end check (no sockets): start a server, drive it
 //       with concurrent clients over pipe transports, verify every reply
-//       against a direct Planner run.  CI's smoke test.
+//       against a direct Planner run.  CI's smoke test.  With --chaos the
+//       same check runs under scripted transport faults (delays, 1-byte
+//       reads, mid-frame disconnects, corrupted bytes) — every SUCCESSFUL
+//       reply must still be bit-identical — and finishes with a
+//       kill-and-restart cycle proving snapshot warm-start.
 //
 // Exit codes: 0 success, 1 runtime failure, 64 usage error.
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
@@ -31,11 +38,13 @@
 
 #include "args.h"
 #include "core/planner.h"
+#include "fault/fault_spec.h"
 #include "models/registry.h"
 #include "net/channel.h"
 #include "obs/metrics_export.h"
 #include "partition/profile_curve.h"
 #include "profile/latency_model.h"
+#include "serve/chaos.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/transport.h"
@@ -64,6 +73,14 @@ void usage() {
       "  --tenant-rate X       per-tenant requests/sec (default 0 = unlimited)\n"
       "  --tenant-burst X      per-tenant burst allowance (default 16)\n"
       "  --cache-shards N      plan-cache lock stripes (default 8)\n"
+      "  --snapshot FILE       plan-cache snapshot: load at start, save on\n"
+      "                        drain (crash-safe warm-start)\n"
+      "  --snapshot-interval-ms X  also save every X ms while running\n"
+      "  --no-breaker          disable the per-tenant circuit breaker\n"
+      "  --breaker-window N    rolling outcomes per tenant (default 32)\n"
+      "  --breaker-min-samples N   outcomes before judgement (default 8)\n"
+      "  --breaker-ratio X     open at this failure ratio (default 0.5)\n"
+      "  --breaker-cooldown-ms X   wait before the probe (default 1000)\n"
       "  --metrics-out FILE    write a metrics snapshot at shutdown\n"
       "  --metrics-format F    openmetrics (default) or json\n"
       "\n"
@@ -74,9 +91,14 @@ void usage() {
       "  --strategy S          lo|co|po|jps|jps*|jps+ (default jps)\n"
       "  --jobs N              job count (default 4)\n"
       "  --tenant T            tenant id for admission control (default \"\")\n"
+      "  --deadline-ms X       server-side deadline budget (plan only)\n"
+      "  --timeout-ms X        client read timeout (0 = block forever)\n"
+      "  --retries N           extra attempts on retryable failures\n"
       "\n"
       "selfcheck flags:\n"
-      "  --clients N --requests N   concurrency and per-client request count\n";
+      "  --clients N --requests N   concurrency and per-client request count\n"
+      "  --chaos                    inject scripted transport faults and\n"
+      "                             verify bit-identity + snapshot warm-start\n";
 }
 
 core::Strategy parse_strategy(const std::string& name) {
@@ -100,6 +122,15 @@ serve::ServerOptions server_options(const tools::Args& args) {
   options.tenant_burst = args.get_double("tenant-burst", 16.0);
   options.cache_shards =
       static_cast<std::size_t>(args.get_int("cache-shards", 8));
+  options.snapshot_path = args.get("snapshot", "");
+  options.snapshot_interval_ms = args.get_double("snapshot-interval-ms", 0.0);
+  options.breaker_enabled = !args.has("no-breaker");
+  options.breaker.window =
+      static_cast<std::size_t>(args.get_int("breaker-window", 32));
+  options.breaker.min_samples =
+      static_cast<std::size_t>(args.get_int("breaker-min-samples", 8));
+  options.breaker.failure_ratio = args.get_double("breaker-ratio", 0.5);
+  options.breaker.cooldown_ms = args.get_double("breaker-cooldown-ms", 1000.0);
   if (options.bandwidth_bucket_mbps <= 0.0)
     throw tools::UsageError("--bucket-mbps must be > 0");
   return options;
@@ -108,11 +139,12 @@ serve::ServerOptions server_options(const tools::Args& args) {
 void print_reply(const serve::PlanReply& reply) {
   std::cout << "status: " << serve::status_name(reply.status) << "\n";
   if (!reply.message.empty()) std::cout << "message: " << reply.message << "\n";
-  if (!reply.ok()) return;
+  if (!reply.has_plan()) return;
   std::cout << "bandwidth_bucket_mbps: " << reply.bandwidth_bucket_mbps << "\n"
             << "makespan_ms: " << reply.makespan_ms << "\n"
             << "coalesced: " << (reply.coalesced ? "yes" : "no") << "\n"
             << "cache_hit: " << (reply.cache_hit ? "yes" : "no") << "\n"
+            << "stale: " << (reply.stale ? "yes" : "no") << "\n"
             << "mix:";
   for (const serve::CutMix& m : reply.mix)
     std::cout << " cut" << m.cut << "x" << m.count;
@@ -160,7 +192,12 @@ int cmd_serve(const tools::Args& args) {
             << " coalesce_hits=" << stats.coalesce_hits
             << " cache_hits=" << stats.cache_hits
             << " shed=" << stats.shed_total()
-            << " protocol_errors=" << stats.protocol_errors << std::endl;
+            << " protocol_errors=" << stats.protocol_errors
+            << " deadline_exceeded=" << stats.deadline_exceeded
+            << " stale_served=" << stats.stale_served
+            << " breaker_opens=" << stats.breaker_opens
+            << " warm_start_entries=" << stats.warm_start_entries
+            << " snapshot_saves=" << stats.snapshot_saves << std::endl;
 
   if (args.has("metrics-out")) {
     obs::write_metrics_file(args.get("metrics-out", "metrics.txt"),
@@ -173,8 +210,20 @@ int cmd_serve(const tools::Args& args) {
 serve::Client connect_client(const tools::Args& args) {
   const int port = args.get_int("port", 7421);
   if (port < 1 || port > 65535) throw tools::UsageError("--port out of range");
-  return serve::Client(serve::socket_connect(
-      args.get("host", "127.0.0.1"), static_cast<std::uint16_t>(port)));
+  const std::string host = args.get("host", "127.0.0.1");
+
+  serve::ClientRetryOptions retry;
+  retry.max_attempts = 1 + std::max(0, args.get_int("retries", 0));
+  retry.read_timeout_ms = args.get_double("timeout-ms", 0.0);
+  serve::StreamFactory factory;
+  if (retry.max_attempts > 1) {
+    factory = [host, port] {
+      return serve::socket_connect(host, static_cast<std::uint16_t>(port));
+    };
+  }
+  return serve::Client(
+      serve::socket_connect(host, static_cast<std::uint16_t>(port)), retry,
+      std::move(factory));
 }
 
 int cmd_plan(const tools::Args& args) {
@@ -185,10 +234,11 @@ int cmd_plan(const tools::Args& args) {
   request.bandwidth_mbps = args.get_double("bandwidth", 10.0);
   request.strategy = parse_strategy(args.get("strategy", "jps"));
   request.n_jobs = args.get_int("jobs", 4);
+  request.deadline_ms = args.get_double("deadline-ms", 0.0);
   serve::Client client = connect_client(args);
   const serve::PlanReply reply = client.plan(request);
   print_reply(reply);
-  return reply.ok() ? 0 : 1;
+  return reply.has_plan() ? 0 : 1;
 }
 
 int cmd_ping(const tools::Args& args) {
@@ -201,33 +251,23 @@ int cmd_ping(const tools::Args& args) {
   return 1;
 }
 
-int cmd_selfcheck(const tools::Args& args) {
-  const int clients = args.get_int("clients", 8);
-  const int requests = args.get_int("requests", 16);
-  if (clients < 1 || requests < 1)
-    throw tools::UsageError("--clients and --requests must be >= 1");
+// One verifiable request: the expected makespan comes from a direct Planner
+// run on an identically built curve — the bit-identity contract the server
+// guarantees for every successful reply, chaos or not.
+struct Case {
+  serve::PlanRequest request;
+  double expected_makespan = 0.0;
+};
 
-  serve::ServerOptions options = server_options(args);
-  options.tenant_rate_per_sec = 0.0;  // selfcheck verifies replies, not sheds
-  // Never shed in selfcheck: every reply must be verifiable.
-  options.max_inflight = static_cast<std::size_t>(clients) + 8;
-  serve::Server server(options);
-
-  // The request mix: a few distinct keys, hit repeatedly from every client
-  // so coalescing and caching both engage.  Expected makespans come from a
-  // direct Planner run on an identically built curve — the bit-identity
-  // contract the server guarantees.
-  struct Case {
-    serve::PlanRequest request;
-    double expected_makespan = 0.0;
-  };
+std::vector<Case> build_cases(const serve::ServerOptions& options,
+                              const std::string& tenant) {
   const std::vector<std::string> model_pool = {"alexnet", "vgg16", "nin"};
   const std::vector<double> bandwidth_pool = {2.0, 10.1, 40.0};
   std::vector<Case> cases;
   const profile::LatencyModel mobile(options.device);
   for (std::size_t i = 0; i < model_pool.size(); ++i) {
     Case c;
-    c.request.tenant = "selfcheck";
+    c.request.tenant = tenant;
     c.request.model = model_pool[i];
     c.request.bandwidth_mbps = bandwidth_pool[i];
     c.request.strategy = core::Strategy::kJPS;
@@ -242,6 +282,225 @@ int cmd_selfcheck(const tools::Args& args) {
             .predicted_makespan;
     cases.push_back(std::move(c));
   }
+  return cases;
+}
+
+bool verify_reply(const Case& expect, const serve::PlanReply& reply,
+                  const char* where) {
+  if (reply.has_plan() && reply.makespan_ms == expect.expected_makespan)
+    return true;
+  std::fprintf(stderr,
+               "selfcheck[%s]: %s mismatch (status %s, got %.17g, "
+               "want %.17g)\n",
+               where, expect.request.model.c_str(),
+               serve::status_name(reply.status), reply.makespan_ms,
+               expect.expected_makespan);
+  return false;
+}
+
+// Chaos group A: every client's transport suffers scripted delays and
+// 1-byte reads/writes.  Nothing is lost, so EVERY reply must verify.
+int chaos_delay_short(serve::Server& server, const std::vector<Case>& cases,
+                      int clients, int requests) {
+  const fault::FaultSpec spec = fault::FaultSpec::parse(
+      "jps-faults v1\n"
+      "net_delay 0 32 0.2\n"
+      "net_short 16 256\n"
+      "net_delay 400 432 0.2\n"
+      "net_short 512 4096\n");
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> server_threads;
+  std::vector<std::thread> client_threads;
+  for (int c = 0; c < clients; ++c) {
+    serve::StreamPair pair = serve::make_in_process_pair();
+    server_threads.emplace_back(
+        [&server, s = std::shared_ptr<serve::ByteStream>(
+                      std::move(pair.first))] { server.handle_connection(*s); });
+    client_threads.emplace_back(
+        [&cases, &failures, &spec, requests, c,
+         stream = std::shared_ptr<serve::ByteStream>(std::move(pair.second))] {
+          try {
+            serve::Client client(std::make_unique<serve::FaultyByteStream>(
+                std::make_unique<serve::BorrowedStream>(stream), spec));
+            for (int r = 0; r < requests; ++r) {
+              const Case& expect =
+                  cases[static_cast<std::size_t>(c + r) % cases.size()];
+              if (!verify_reply(expect, client.plan(expect.request), "chaos-a"))
+                failures.fetch_add(1);
+            }
+            client.close();
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "selfcheck[chaos-a]: client error: %s\n",
+                         e.what());
+            failures.fetch_add(1);
+          }
+        });
+  }
+  for (std::thread& t : client_threads) t.join();
+  for (std::thread& t : server_threads) t.join();
+  return failures.load();
+}
+
+// Chaos group B: the connection dies mid-frame at a scripted byte offset —
+// once while SENDING a request (the server sees a truncated frame), once a
+// whole frame later (the second request dies instead).  The client's
+// retry-with-reconnect must land every request, bit-identically.
+int chaos_drop_retry(serve::Server& server, const std::vector<Case>& cases) {
+  int failures = 0;
+  std::vector<std::thread> server_threads;
+
+  for (const std::uint64_t drop_at : {std::uint64_t{6}, std::uint64_t{48}}) {
+    const fault::FaultSpec spec = fault::FaultSpec::parse(
+        "jps-faults v1\n"
+        "net_drop " + std::to_string(drop_at) + " 1000000000\n");
+    int connection = 0;
+    auto factory = [&server, &server_threads, &spec,
+                    &connection]() -> std::unique_ptr<serve::ByteStream> {
+      serve::StreamPair pair = serve::make_in_process_pair();
+      server_threads.emplace_back(
+          [&server, s = std::shared_ptr<serve::ByteStream>(std::move(
+                        pair.first))] { server.handle_connection(*s); });
+      std::unique_ptr<serve::ByteStream> end = std::move(pair.second);
+      // Only the FIRST connection is faulty; reconnects get clean pipes
+      // (the scripted outage has "ended").
+      if (connection++ == 0)
+        end = std::make_unique<serve::FaultyByteStream>(std::move(end), spec);
+      return end;
+    };
+
+    serve::ClientRetryOptions retry;
+    retry.max_attempts = 4;
+    retry.backoff.backoff_base_ms = 1.0;
+    retry.backoff.backoff_max_ms = 4.0;
+    try {
+      serve::Client client(factory(), retry, factory);
+      for (int r = 0; r < 2; ++r) {
+        const Case& expect = cases[static_cast<std::size_t>(r) % cases.size()];
+        if (!verify_reply(expect, client.plan(expect.request), "chaos-b"))
+          ++failures;
+      }
+      if (client.stats().reconnects == 0) {
+        std::fprintf(stderr,
+                     "selfcheck[chaos-b]: drop at byte %llu never fired\n",
+                     static_cast<unsigned long long>(drop_at));
+        ++failures;
+      }
+      client.close();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "selfcheck[chaos-b]: client error: %s\n", e.what());
+      ++failures;
+    }
+  }
+  for (std::thread& t : server_threads) t.join();
+  return failures;
+}
+
+// Chaos group C: the SERVER's first received frame has one payload byte
+// corrupted (the magic, at read offset 4 — after the length prefix, so the
+// frame boundary holds).  The server must answer INVALID_ARGUMENT and keep
+// the connection; every later frame is clean and must verify.
+int chaos_corrupt(serve::Server& server, const std::vector<Case>& cases) {
+  const fault::FaultSpec spec = fault::FaultSpec::parse(
+      "jps-faults v1\n"
+      "net_corrupt 4 5 255\n");
+
+  int failures = 0;
+  serve::StreamPair pair = serve::make_in_process_pair();
+  std::thread server_thread(
+      [&server, &spec,
+       s = std::shared_ptr<serve::ByteStream>(std::move(pair.first))] {
+        serve::FaultyByteStream faulty(
+            std::make_unique<serve::BorrowedStream>(s), spec);
+        server.handle_connection(faulty);
+      });
+  try {
+    serve::Client client(std::move(pair.second));
+    const serve::PlanReply poisoned = client.plan(cases[0].request);
+    if (poisoned.status != serve::Status::kInvalidArgument) {
+      std::fprintf(stderr,
+                   "selfcheck[chaos-c]: corrupted frame answered %s, want "
+                   "INVALID_ARGUMENT\n",
+                   serve::status_name(poisoned.status));
+      ++failures;
+    }
+    for (const Case& expect : cases)
+      if (!verify_reply(expect, client.plan(expect.request), "chaos-c"))
+        ++failures;
+    client.close();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selfcheck[chaos-c]: client error: %s\n", e.what());
+    ++failures;
+  }
+  server_thread.join();
+  return failures;
+}
+
+// Kill-and-restart: a server with a snapshot path is driven, drained (which
+// saves), and REPLACED; the successor must warm-start from the snapshot and
+// answer every request from cache without recomputing a single plan.
+int chaos_warm_start(const serve::ServerOptions& base,
+                     const std::vector<Case>& cases) {
+  int failures = 0;
+  const std::string snap_path =
+      "/tmp/jps_serve_chaos_snapshot." + std::to_string(::getpid());
+  serve::ServerOptions options = base;
+  options.snapshot_path = snap_path;
+
+  {
+    serve::Server first(options);
+    for (const Case& expect : cases)
+      if (!verify_reply(expect, first.handle_plan(expect.request),
+                        "warm-start/first"))
+        ++failures;
+    first.stop();  // drain writes the snapshot
+  }
+  {
+    serve::Server second(options);
+    const serve::ServerStats born = second.stats();
+    if (born.warm_start_entries == 0) {
+      std::fprintf(stderr,
+                   "selfcheck[warm-start]: restart loaded 0 entries\n");
+      ++failures;
+    }
+    for (const Case& expect : cases)
+      if (!verify_reply(expect, second.handle_plan(expect.request),
+                        "warm-start/second"))
+        ++failures;
+    const serve::ServerStats stats = second.stats();
+    if (stats.plans_computed != 0 ||
+        stats.cache_hits != cases.size()) {
+      std::fprintf(stderr,
+                   "selfcheck[warm-start]: expected all %zu replies from warm "
+                   "cache, got plans_computed=%llu cache_hits=%llu\n",
+                   cases.size(),
+                   static_cast<unsigned long long>(stats.plans_computed),
+                   static_cast<unsigned long long>(stats.cache_hits));
+      ++failures;
+    }
+    second.stop();
+    std::cout << "selfcheck[warm-start]: entries=" << born.warm_start_entries
+              << " cache_hits=" << stats.cache_hits << "\n";
+  }
+  std::remove(snap_path.c_str());
+  std::remove((snap_path + ".tmp").c_str());
+  return failures;
+}
+
+int cmd_selfcheck(const tools::Args& args) {
+  const int clients = args.get_int("clients", 8);
+  const int requests = args.get_int("requests", 16);
+  if (clients < 1 || requests < 1)
+    throw tools::UsageError("--clients and --requests must be >= 1");
+  const bool chaos = args.has("chaos");
+
+  serve::ServerOptions options = server_options(args);
+  options.tenant_rate_per_sec = 0.0;  // selfcheck verifies replies, not sheds
+  // Never shed in selfcheck: every reply must be verifiable.
+  options.max_inflight = static_cast<std::size_t>(clients) + 8;
+  serve::Server server(options);
+
+  const std::vector<Case> cases = build_cases(options, "selfcheck");
 
   std::atomic<int> failures{0};
   std::vector<std::thread> server_threads;
@@ -255,35 +514,13 @@ int cmd_selfcheck(const tools::Args& args) {
         [&cases, &failures, requests, c,
          stream = std::shared_ptr<serve::ByteStream>(std::move(pair.second))]() {
           try {
-            struct Borrowed final : serve::ByteStream {
-              explicit Borrowed(std::shared_ptr<serve::ByteStream> inner)
-                  : inner_(std::move(inner)) {}
-              std::size_t read(char* out, std::size_t max) override {
-                return inner_->read(out, max);
-              }
-              void write(const char* data, std::size_t size) override {
-                inner_->write(data, size);
-              }
-              void shutdown_read() override { inner_->shutdown_read(); }
-              void close() override { inner_->close(); }
-              std::shared_ptr<serve::ByteStream> inner_;
-            };
-            serve::Client client(std::make_unique<Borrowed>(stream));
+            serve::Client client(std::make_unique<serve::BorrowedStream>(stream));
             if (!client.ping()) throw std::runtime_error("ping failed");
             for (int r = 0; r < requests; ++r) {
               const Case& expect =
                   cases[static_cast<std::size_t>(c + r) % cases.size()];
-              const serve::PlanReply reply = client.plan(expect.request);
-              if (!reply.ok() ||
-                  reply.makespan_ms != expect.expected_makespan) {
-                std::fprintf(stderr,
-                             "selfcheck: %s mismatch (status %s, got %.17g, "
-                             "want %.17g)\n",
-                             expect.request.model.c_str(),
-                             serve::status_name(reply.status),
-                             reply.makespan_ms, expect.expected_makespan);
+              if (!verify_reply(expect, client.plan(expect.request), "base"))
                 failures.fetch_add(1);
-              }
             }
             client.close();
           } catch (const std::exception& e) {
@@ -294,13 +531,27 @@ int cmd_selfcheck(const tools::Args& args) {
   }
   for (std::thread& t : client_threads) t.join();
   for (std::thread& t : server_threads) t.join();
+
+  if (chaos) {
+    failures.fetch_add(chaos_delay_short(server, cases, clients, requests));
+    failures.fetch_add(chaos_drop_retry(server, cases));
+    failures.fetch_add(chaos_corrupt(server, cases));
+    if (server.inflight() != 0) {
+      std::fprintf(stderr, "selfcheck: %zu computations leaked in flight\n",
+                   server.inflight());
+      failures.fetch_add(1);
+    }
+  }
   server.stop();
+  if (chaos) failures.fetch_add(chaos_warm_start(options, cases));
 
   const serve::ServerStats stats = server.stats();
   std::cout << "selfcheck: clients=" << clients << " requests="
             << stats.requests << " plans_computed=" << stats.plans_computed
             << " coalesce_hits=" << stats.coalesce_hits
             << " cache_hits=" << stats.cache_hits
+            << " protocol_errors=" << stats.protocol_errors
+            << " chaos=" << (chaos ? "on" : "off")
             << " failures=" << failures.load() << std::endl;
   return failures.load() == 0 ? 0 : 1;
 }
