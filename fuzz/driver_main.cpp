@@ -1,0 +1,60 @@
+// Standalone replay driver for builds without libFuzzer (GCC, or clang
+// with JPS_BUILD_FUZZERS on but no fuzzing intended): runs every corpus
+// file given on the command line (directories are walked recursively)
+// through LLVMFuzzerTestOneInput exactly once and exits non-zero if any
+// input crashes the process (a crash simply propagates).
+//
+// Under clang this file is NOT linked — libFuzzer provides main() and the
+// same binary both fuzzes and replays (`target -runs=0 corpus/`).
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int run_one(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot read %s\n",
+                 path.string().c_str());
+    return 1;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path arg(argv[i]);
+    if (fs::is_directory(arg)) {
+      for (const auto& entry : fs::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "usage: %s <corpus file or dir>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (const fs::path& input : inputs) failures += run_one(input);
+  std::printf("fuzz driver: replayed %zu inputs, %d unreadable\n",
+              inputs.size(), failures);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+// Fuzz fault::FaultSpec::parse (the jps-faults v1 text format).
+//
+// Contract: parse() either returns a validated spec or throws
+// std::runtime_error (bad header, unknown keyword, malformed numbers,
+// overlapping outages, non-positive factors...).  A spec that parses must
+// round-trip through serialize(): the parser and printer agree on the
+// format.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_spec.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using jps::fault::FaultSpec;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const FaultSpec spec = FaultSpec::parse(text);
+    const FaultSpec again = FaultSpec::parse(spec.serialize());
+    if (again.serialize() != spec.serialize()) __builtin_trap();
+  } catch (const std::runtime_error&) {
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzz util::Json::parse.
+//
+// Contract: parse() either returns a value or throws JsonParseError —
+// including on deep nesting (kMaxDepth bounds recursion, so no stack
+// overflow), huge numbers, broken escapes, and truncated input.  A value
+// that parses must round-trip: dump() -> parse() -> dump() is a fixed
+// point (dump emits valid JSON, and parsing it back loses nothing).
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using jps::util::Json;
+  using jps::util::JsonParseError;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const Json value = Json::parse(text);
+    const std::string once = value.dump();
+    const std::string twice = Json::parse(once).dump();
+    if (once != twice) __builtin_trap();
+    // Pretty-printed output must reparse to the same value too.
+    if (Json::parse(value.dump(2)).dump() != once) __builtin_trap();
+  } catch (const JsonParseError&) {
+  }
+  return 0;
+}

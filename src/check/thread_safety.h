@@ -1,0 +1,102 @@
+// Clang Thread Safety Analysis — the repo's capability-annotation layer.
+//
+// PR 4 made artifact admission a static property (lint rule packs); this
+// header does the same for lock discipline.  Every mutex-guarded field in
+// src/ carries JPS_GUARDED_BY(<its mutex>), every helper that assumes a
+// held lock carries JPS_REQUIRES(<mutex>), and the annotated wrappers in
+// util/mutex.h (util::Mutex / SharedMutex / MutexLock / SharedLock) give
+// the analysis the ACQUIRE/RELEASE events it needs.  Under clang with
+// -Wthread-safety -Wthread-safety-beta (the CI `thread-safety` job builds
+// with both as errors) a guarded field touched without its mutex is a
+// BUILD BREAK — a proof over all interleavings, where TSan can only flag
+// the interleavings a test happened to schedule.
+//
+// Off-clang (GCC builds, including the tier-1 container) every macro
+// expands to nothing, so the annotations cost nothing and constrain
+// nothing at runtime.  The dynamic complement — the lock-order checker in
+// util/mutex.h — works on every compiler.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md "Thread-safety analysis"):
+//   * fields:        int x_ JPS_GUARDED_BY(mutex_);
+//   * locked helpers: void f_locked() JPS_REQUIRES(mutex_);
+//   * reader helpers: void g_locked() const JPS_REQUIRES_SHARED(mutex_);
+//   * never annotate around a warning — restructure so the lock is
+//     provably held (the only JPS_NO_THREAD_SAFETY_ANALYSIS allowed
+//     outside this header/util/mutex.* is none).
+//
+// The macro set mirrors the clang documentation's canonical mutex.h so
+// readers coming from abseil/chromium find the familiar vocabulary.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define JPS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define JPS_THREAD_ANNOTATION__(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "shared_mutex", ...).
+#define JPS_CAPABILITY(x) JPS_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define JPS_SCOPED_CAPABILITY JPS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define JPS_GUARDED_BY(x) JPS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer field: the *pointee* is guarded by `x` (the pointer itself not).
+#define JPS_PT_GUARDED_BY(x) JPS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Declares a required acquisition order between capabilities.
+#define JPS_ACQUIRED_BEFORE(...) \
+  JPS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define JPS_ACQUIRED_AFTER(...) \
+  JPS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability held (exclusively / shared) on entry,
+/// and does not release it.
+#define JPS_REQUIRES(...) \
+  JPS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define JPS_REQUIRES_SHARED(...) \
+  JPS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it on
+/// return.  With no argument (on a capability's own method or a scoped
+/// capability's member) it refers to `this`.
+#define JPS_ACQUIRE(...) \
+  JPS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define JPS_ACQUIRE_SHARED(...) \
+  JPS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define JPS_RELEASE(...) \
+  JPS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define JPS_RELEASE_SHARED(...) \
+  JPS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define JPS_RELEASE_GENERIC(...) \
+  JPS_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define JPS_TRY_ACQUIRE(...) \
+  JPS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define JPS_TRY_ACQUIRE_SHARED(...) \
+  JPS_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability held (non-reentrancy;
+/// deadlock prevention).
+#define JPS_EXCLUDES(...) JPS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held (for code paths
+/// the analysis cannot follow).
+#define JPS_ASSERT_CAPABILITY(x) \
+  JPS_THREAD_ANNOTATION__(assert_capability(x))
+#define JPS_ASSERT_SHARED_CAPABILITY(x) \
+  JPS_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define JPS_RETURN_CAPABILITY(x) JPS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function.  Reserved for the
+/// wrapper internals in util/mutex.*; do not use elsewhere (the CI grep
+/// gate counts occurrences).
+#define JPS_NO_THREAD_SAFETY_ANALYSIS \
+  JPS_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -4,7 +4,6 @@
 #include <bit>
 #include <cmath>
 #include <iterator>
-#include <mutex>
 #include <utility>
 
 #include "check/contracts.h"
@@ -118,7 +117,7 @@ std::shared_ptr<const partition::ProfileCurve> PlanCache::curve(
     const CurveCacheKey& key, const CurveBuilder& build) {
   {
     obs::ScopedTimer probe(lookup_histogram());
-    std::shared_lock lock(mutex_);
+    util::SharedLock lock(mutex_);
     const auto it = curves_.find(key);
     if (it != curves_.end()) {
       curve_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -133,7 +132,7 @@ std::shared_ptr<const partition::ProfileCurve> PlanCache::curve(
   // Build outside the lock: curve construction walks the DNN graph and must
   // not serialize concurrent misses for unrelated keys.
   auto built = std::make_shared<const partition::ProfileCurve>(build());
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto [it, inserted] = curves_.emplace(key, std::move(built));
   return it->second;  // first insert wins for racing builders
 }
@@ -142,7 +141,7 @@ std::shared_ptr<const ExecutionPlan> PlanCache::plan(const PlanCacheKey& key,
                                                      const PlanBuilder& build) {
   {
     obs::ScopedTimer probe(lookup_histogram());
-    std::shared_lock lock(mutex_);
+    util::SharedLock lock(mutex_);
     const auto it = plans_.find(key);
     if (it != plans_.end()) {
       plan_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -155,7 +154,7 @@ std::shared_ptr<const ExecutionPlan> PlanCache::plan(const PlanCacheKey& key,
   plan_miss_counter().add();
   hit_ratio_gauge().set(stats().hit_rate());
   auto built = std::make_shared<const ExecutionPlan>(build());
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto [it, inserted] = plans_.emplace(key, std::move(built));
   return it->second;
 }
@@ -163,12 +162,12 @@ std::shared_ptr<const ExecutionPlan> PlanCache::plan(const PlanCacheKey& key,
 void PlanCache::insert_plan(const PlanCacheKey& key,
                             std::shared_ptr<const ExecutionPlan> plan) {
   if (!plan) return;
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   plans_.emplace(key, std::move(plan));  // first insert wins
 }
 
 std::vector<PlanCache::PlanEntry> PlanCache::plan_entries() const {
-  std::shared_lock lock(mutex_);
+  util::SharedLock lock(mutex_);
   std::vector<PlanEntry> out;
   out.reserve(plans_.size());
   for (const auto& [key, plan] : plans_) out.emplace_back(key, plan);
@@ -177,7 +176,7 @@ std::vector<PlanCache::PlanEntry> PlanCache::plan_entries() const {
 
 std::shared_ptr<const ExecutionPlan> PlanCache::nearest_plan(
     const PlanCacheKey& want, double* bandwidth_out) const {
-  std::shared_lock lock(mutex_);
+  util::SharedLock lock(mutex_);
   std::shared_ptr<const ExecutionPlan> best;
   double best_bw = 0.0;
   for (const auto& [key, plan] : plans_) {
@@ -213,7 +212,7 @@ void PlanCache::reset_stats() {
 }
 
 void PlanCache::clear() {
-  std::unique_lock lock(mutex_);
+  util::MutexLock lock(mutex_);
   curves_.clear();
   plans_.clear();
   lock.unlock();
@@ -221,12 +220,12 @@ void PlanCache::clear() {
 }
 
 std::size_t PlanCache::curve_count() const {
-  std::shared_lock lock(mutex_);
+  util::SharedLock lock(mutex_);
   return curves_.size();
 }
 
 std::size_t PlanCache::plan_count() const {
-  std::shared_lock lock(mutex_);
+  util::SharedLock lock(mutex_);
   return plans_.size();
 }
 

@@ -20,7 +20,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -28,6 +27,7 @@
 
 #include "core/plan.h"
 #include "partition/profile_curve.h"
+#include "util/mutex.h"
 
 namespace jps::core {
 
@@ -149,14 +149,17 @@ class PlanCache {
 
   friend class ShardedPlanCache;
 
-  mutable std::shared_mutex mutex_;
+  // One lock-order name per cache *class*: every shard (and the global
+  // cache) is interchangeable in the acquisition graph, and no code path
+  // nests two of them.
+  mutable util::SharedMutex mutex_{"core.plan_cache"};
   std::unordered_map<CurveCacheKey,
                      std::shared_ptr<const partition::ProfileCurve>,
                      CurveKeyHash>
-      curves_;
+      curves_ JPS_GUARDED_BY(mutex_);
   std::unordered_map<PlanCacheKey, std::shared_ptr<const ExecutionPlan>,
                      PlanKeyHash>
-      plans_;
+      plans_ JPS_GUARDED_BY(mutex_);
   std::atomic<std::uint64_t> curve_hits_{0};
   std::atomic<std::uint64_t> curve_misses_{0};
   std::atomic<std::uint64_t> plan_hits_{0};

@@ -4,11 +4,11 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "obs/metrics.h"
+#include "util/mutex.h"
 
 namespace jps::obs {
 
@@ -35,24 +35,28 @@ void set_enabled(bool on) {
 struct Registry::Impl {
   Clock::time_point epoch = Clock::now();
 
-  mutable std::mutex span_mutex;
-  std::vector<SpanRecord> spans;
-  std::size_t span_capacity = kDefaultSpanCapacity;
+  mutable util::Mutex span_mutex{"obs.spans"};
+  std::vector<SpanRecord> spans JPS_GUARDED_BY(span_mutex);
+  std::size_t span_capacity JPS_GUARDED_BY(span_mutex) = kDefaultSpanCapacity;
   std::atomic<std::uint64_t> spans_dropped{0};
 
-  mutable std::mutex counter_mutex;
+  mutable util::Mutex counter_mutex{"obs.counters"};
   // Node-based maps: Counter&/Gauge&/Histogram& handles stay valid across
   // inserts.
-  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Counter>> counters
+      JPS_GUARDED_BY(counter_mutex);
 
-  mutable std::mutex gauge_mutex;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  mutable util::Mutex gauge_mutex{"obs.gauges"};
+  std::map<std::string, std::unique_ptr<Gauge>> gauges
+      JPS_GUARDED_BY(gauge_mutex);
 
-  mutable std::mutex histogram_mutex;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  mutable util::Mutex histogram_mutex{"obs.histograms"};
+  std::map<std::string, std::unique_ptr<Histogram>> histograms
+      JPS_GUARDED_BY(histogram_mutex);
 
-  mutable std::mutex thread_mutex;
-  std::unordered_map<std::thread::id, std::uint64_t> thread_ids;
+  mutable util::Mutex thread_mutex{"obs.threads"};
+  std::unordered_map<std::thread::id, std::uint64_t> thread_ids
+      JPS_GUARDED_BY(thread_mutex);
 };
 
 Registry::Registry() : impl_(new Impl) {}
@@ -68,7 +72,7 @@ Registry& Registry::global() {
 
 void Registry::record(SpanRecord record) {
   static Counter& dropped = counter("obs.spans_dropped");
-  std::lock_guard lock(impl_->span_mutex);
+  util::MutexLock lock(impl_->span_mutex);
   if (impl_->spans.size() >= impl_->span_capacity) {
     impl_->spans_dropped.fetch_add(1, std::memory_order_relaxed);
     dropped.add();
@@ -78,12 +82,12 @@ void Registry::record(SpanRecord record) {
 }
 
 void Registry::set_span_capacity(std::size_t capacity) {
-  std::lock_guard lock(impl_->span_mutex);
+  util::MutexLock lock(impl_->span_mutex);
   impl_->span_capacity = capacity;
 }
 
 std::size_t Registry::span_capacity() const {
-  std::lock_guard lock(impl_->span_mutex);
+  util::MutexLock lock(impl_->span_mutex);
   return impl_->span_capacity;
 }
 
@@ -92,17 +96,17 @@ std::uint64_t Registry::spans_dropped() const {
 }
 
 std::vector<SpanRecord> Registry::spans() const {
-  std::lock_guard lock(impl_->span_mutex);
+  util::MutexLock lock(impl_->span_mutex);
   return impl_->spans;
 }
 
 std::size_t Registry::span_count() const {
-  std::lock_guard lock(impl_->span_mutex);
+  util::MutexLock lock(impl_->span_mutex);
   return impl_->spans.size();
 }
 
 Counter& Registry::counter(const std::string& name) {
-  std::lock_guard lock(impl_->counter_mutex);
+  util::MutexLock lock(impl_->counter_mutex);
   auto it = impl_->counters.find(name);
   if (it == impl_->counters.end()) {
     it = impl_->counters.emplace(name, std::make_unique<Counter>(name)).first;
@@ -111,7 +115,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
-  std::lock_guard lock(impl_->counter_mutex);
+  util::MutexLock lock(impl_->counter_mutex);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(impl_->counters.size());
   for (const auto& [name, counter] : impl_->counters)
@@ -120,7 +124,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  std::lock_guard lock(impl_->gauge_mutex);
+  util::MutexLock lock(impl_->gauge_mutex);
   auto it = impl_->gauges.find(name);
   if (it == impl_->gauges.end()) {
     it = impl_->gauges.emplace(name, std::make_unique<Gauge>(name)).first;
@@ -129,7 +133,7 @@ Gauge& Registry::gauge(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard lock(impl_->histogram_mutex);
+  util::MutexLock lock(impl_->histogram_mutex);
   auto it = impl_->histograms.find(name);
   if (it == impl_->histograms.end()) {
     it = impl_->histograms.emplace(name, std::make_unique<Histogram>(name))
@@ -139,7 +143,7 @@ Histogram& Registry::histogram(const std::string& name) {
 }
 
 std::vector<std::pair<std::string, double>> Registry::gauges() const {
-  std::lock_guard lock(impl_->gauge_mutex);
+  util::MutexLock lock(impl_->gauge_mutex);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(impl_->gauges.size());
   for (const auto& [name, gauge] : impl_->gauges)
@@ -149,7 +153,7 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
 
 std::vector<std::pair<std::string, HistogramSnapshot>> Registry::histograms()
     const {
-  std::lock_guard lock(impl_->histogram_mutex);
+  util::MutexLock lock(impl_->histogram_mutex);
   std::vector<std::pair<std::string, HistogramSnapshot>> out;
   out.reserve(impl_->histograms.size());
   for (const auto& [name, histogram] : impl_->histograms)
@@ -164,33 +168,33 @@ double Registry::now_ms() const {
 
 std::uint64_t Registry::thread_index() {
   const std::thread::id id = std::this_thread::get_id();
-  std::lock_guard lock(impl_->thread_mutex);
+  util::MutexLock lock(impl_->thread_mutex);
   const auto [it, inserted] =
       impl_->thread_ids.emplace(id, impl_->thread_ids.size());
   return it->second;
 }
 
 void Registry::clear_spans() {
-  std::lock_guard lock(impl_->span_mutex);
+  util::MutexLock lock(impl_->span_mutex);
   impl_->spans.clear();
 }
 
 void Registry::reset() {
   {
-    std::lock_guard lock(impl_->span_mutex);
+    util::MutexLock lock(impl_->span_mutex);
     impl_->spans.clear();
     impl_->span_capacity = kDefaultSpanCapacity;
     impl_->spans_dropped.store(0, std::memory_order_relaxed);
   }
   {
-    std::lock_guard lock(impl_->counter_mutex);
+    util::MutexLock lock(impl_->counter_mutex);
     for (auto& [name, counter] : impl_->counters) counter->reset();
   }
   {
-    std::lock_guard lock(impl_->gauge_mutex);
+    util::MutexLock lock(impl_->gauge_mutex);
     for (auto& [name, gauge] : impl_->gauges) gauge->reset();
   }
-  std::lock_guard lock(impl_->histogram_mutex);
+  util::MutexLock lock(impl_->histogram_mutex);
   for (auto& [name, histogram] : impl_->histograms) histogram->reset();
 }
 

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <limits>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
 #include "sched/johnson.h"
 #include "sched/makespan.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace jps::sched {
@@ -107,7 +107,7 @@ BruteForceResult bruteforce_two_type(std::span<const CutOption> cuts,
   if (n_jobs < 1) throw std::invalid_argument("bruteforce_two_type: n_jobs < 1");
   const std::size_t k = cuts.size();
 
-  std::mutex best_mutex;
+  util::Mutex best_mutex("sched.bruteforce.best");
   BruteForceResult best;
   best.makespan = std::numeric_limits<double>::infinity();
   std::atomic<std::uint64_t> evaluated{0};
@@ -134,7 +134,7 @@ BruteForceResult bruteforce_two_type(std::span<const CutOption> cuts,
       }
     }
     evaluated.fetch_add(local_evaluated, std::memory_order_relaxed);
-    std::lock_guard lock(best_mutex);
+    util::MutexLock lock(best_mutex);
     if (local.makespan < best.makespan) {
       best.makespan = local.makespan;
       best.cuts = std::move(local.cuts);

@@ -39,7 +39,7 @@ TenantAdmission::TenantAdmission(double rate_per_sec, double burst)
 
 bool TenantAdmission::admit(const std::string& tenant, double now_ms) {
   if (rate_per_sec_ <= 0.0) return true;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = buckets_.find(tenant);
   if (it == buckets_.end()) {
     it = buckets_.emplace(tenant, TokenBucket(rate_per_sec_, burst_)).first;
@@ -48,7 +48,7 @@ bool TenantAdmission::admit(const std::string& tenant, double now_ms) {
 }
 
 std::size_t TenantAdmission::tenant_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return buckets_.size();
 }
 

@@ -13,9 +13,10 @@
 #pragma once
 
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 namespace jps::serve {
 
@@ -59,8 +60,8 @@ class TenantAdmission {
  private:
   double rate_per_sec_;
   double burst_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, TokenBucket> buckets_;
+  mutable util::Mutex mutex_{"serve.admission"};
+  std::unordered_map<std::string, TokenBucket> buckets_ JPS_GUARDED_BY(mutex_);
 };
 
 }  // namespace jps::serve

@@ -22,7 +22,7 @@ void CircuitBreaker::push_outcome(Tenant& t, bool failure) {
 
 CircuitBreaker::Decision CircuitBreaker::admit(const std::string& tenant,
                                                double now_ms) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Tenant& t = tenants_[tenant];
   switch (t.state) {
     case State::kClosed:
@@ -46,7 +46,7 @@ CircuitBreaker::Decision CircuitBreaker::admit(const std::string& tenant,
 
 void CircuitBreaker::record(const std::string& tenant, double now_ms,
                             bool failure, double latency_ms) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   Tenant& t = tenants_[tenant];
   const bool slow = options_.latency_threshold_ms > 0.0 &&
                     latency_ms > options_.latency_threshold_ms;
@@ -79,7 +79,7 @@ void CircuitBreaker::record(const std::string& tenant, double now_ms,
 }
 
 void CircuitBreaker::cancel_probe(const std::string& tenant) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = tenants_.find(tenant);
   if (it != tenants_.end() && it->second.state == State::kHalfOpen)
     it->second.probe_inflight = false;
@@ -87,18 +87,18 @@ void CircuitBreaker::cancel_probe(const std::string& tenant) {
 
 bool CircuitBreaker::open(const std::string& tenant, double now_ms) const {
   (void)now_ms;  // openness is settled by admit/record, not wall time
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = tenants_.find(tenant);
   return it != tenants_.end() && it->second.state != State::kClosed;
 }
 
 std::uint64_t CircuitBreaker::opens() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return opens_;
 }
 
 std::size_t CircuitBreaker::open_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& [name, t] : tenants_) {
     (void)name;

@@ -30,9 +30,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "util/mutex.h"
 
 namespace jps::serve {
 
@@ -96,12 +97,12 @@ class CircuitBreaker {
     bool probe_inflight = false;
   };
 
-  void push_outcome(Tenant& t, bool failure);
+  void push_outcome(Tenant& t, bool failure) JPS_REQUIRES(mutex_);
 
   BreakerOptions options_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Tenant> tenants_;
-  std::uint64_t opens_ = 0;
+  mutable util::Mutex mutex_{"serve.breaker"};
+  std::unordered_map<std::string, Tenant> tenants_ JPS_GUARDED_BY(mutex_);
+  std::uint64_t opens_ JPS_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace jps::serve

@@ -76,11 +76,15 @@ Server::Server(ServerOptions options)
       snapshot_thread_ = std::thread([this] {
         const auto interval = std::chrono::duration<double, std::milli>(
             options_.snapshot_interval_ms);
-        std::unique_lock lock(snapshot_mutex_);
+        util::MutexLock lock(snapshot_mutex_);
         while (!stopping_.load(std::memory_order_acquire)) {
-          snapshot_cv_.wait_for(lock, interval, [this] {
-            return stopping_.load(std::memory_order_acquire);
-          });
+          // Fixed deadline so spurious wakeups re-enter the wait with the
+          // remaining budget; a stop() notification breaks out early.
+          const auto deadline = std::chrono::steady_clock::now() + interval;
+          while (!stopping_.load(std::memory_order_acquire) &&
+                 snapshot_cv_.wait_until(lock, deadline) !=
+                     std::cv_status::timeout) {
+          }
           if (stopping_.load(std::memory_order_acquire)) break;
           lock.unlock();
           save_snapshot_if_configured();
@@ -102,7 +106,7 @@ Server::PlanOutcome Server::compute_plan(const PlanRequest& request,
 
   std::shared_ptr<const dnn::Graph> graph;
   {
-    std::lock_guard lock(graphs_mutex_);
+    util::MutexLock lock(graphs_mutex_);
     auto it = graphs_.find(request.model);
     if (it != graphs_.end()) graph = it->second;
   }
@@ -111,7 +115,7 @@ Server::PlanOutcome Server::compute_plan(const PlanRequest& request,
     // caller maps that to NOT_FOUND.  Build outside the map lock (graph
     // construction is the expensive part); last insert wins harmlessly.
     auto built = std::make_shared<const dnn::Graph>(models::build(request.model));
-    std::lock_guard lock(graphs_mutex_);
+    util::MutexLock lock(graphs_mutex_);
     graph = graphs_.emplace(request.model, std::move(built)).first->second;
   }
 
@@ -267,7 +271,7 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
   std::shared_future<PlanOutcome> future;
   bool leader = false;
   {
-    std::lock_guard lock(inflight_mutex_);
+    util::MutexLock lock(inflight_mutex_);
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       future = it->second;
@@ -321,7 +325,7 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
   reply.coalesced = !leader;
 
   if (leader) {
-    std::lock_guard lock(inflight_mutex_);
+    util::MutexLock lock(inflight_mutex_);
     inflight_.erase(key);
     inflight_gauge.set(static_cast<double>(inflight_.size()));
   }
@@ -358,7 +362,7 @@ void Server::handle_connection(ByteStream& stream) {
 
   std::size_t slot;
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     const auto it =
         std::find(connections_.begin(), connections_.end(), nullptr);
     if (it != connections_.end()) {
@@ -429,7 +433,7 @@ void Server::handle_connection(ByteStream& stream) {
   // the slot is nulled nobody else holds the pointer), THEN close so the
   // peer sees EOF promptly — especially after an unresynchronizable frame.
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     connections_[slot] = nullptr;
     connections_gauge.add(-1.0);
   }
@@ -452,20 +456,24 @@ void Server::save_snapshot_if_configured() {
 }
 
 void Server::stop() {
-  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
-    // Another stop() is (or was) draining; wait for the pool regardless so
-    // every caller of stop() gets the "all work done" postcondition.
-    pool_.shutdown();
-    return;
-  }
+  // Refuse new work first (idempotent), then serialize the drain itself
+  // under stop_mutex_: the previous exchange-and-return-early scheme let a
+  // concurrent stop() return after only pool_.shutdown(), BEFORE the winner
+  // had half-closed connections, joined the snapshot thread, and saved the
+  // final snapshot — so its caller could destroy the Server out from under
+  // the still-draining winner.  Every caller now owns the full
+  // postcondition when stop() returns (ServerStopRace regression test).
+  stopping_.store(true, std::memory_order_release);
+  util::MutexLock stop_lock(stop_mutex_);
+  if (stop_complete_) return;
   {
     // Lock/unlock pairs with the snapshot thread's predicate re-check, so
     // the notify below cannot slot between its check and its wait.
-    std::lock_guard lock(snapshot_mutex_);
+    util::MutexLock lock(snapshot_mutex_);
   }
   snapshot_cv_.notify_all();
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     for (ByteStream* stream : connections_)
       if (stream != nullptr) stream->shutdown_read();
   }
@@ -474,6 +482,7 @@ void Server::stop() {
   // Final save AFTER the pool has drained: every admitted computation's plan
   // is in the cache, so the snapshot a restart warm-starts from is complete.
   save_snapshot_if_configured();
+  stop_complete_ = true;
 }
 
 ServerStats Server::stats() const {
@@ -494,7 +503,7 @@ ServerStats Server::stats() const {
 }
 
 std::size_t Server::inflight() const {
-  std::lock_guard lock(inflight_mutex_);
+  util::MutexLock lock(inflight_mutex_);
   return inflight_.size();
 }
 

@@ -53,11 +53,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -69,6 +67,7 @@
 #include "serve/breaker.h"
 #include "serve/protocol.h"
 #include "serve/transport.h"
+#include "util/mutex.h"
 #include "util/thread_pool.h"
 
 namespace jps::serve {
@@ -200,25 +199,35 @@ class Server {
 
   std::atomic<bool> stopping_{false};
 
+  // Serializes the drain itself: every stop() caller — not just the first —
+  // returns only after connections are half-closed, the snapshot thread is
+  // joined, and the final snapshot is saved.  Before this lock existed, a
+  // second concurrent stop() returned early and its caller could destroy
+  // the Server while the first was still draining.
+  util::Mutex stop_mutex_{"serve.server.stop"};
+  bool stop_complete_ JPS_GUARDED_BY(stop_mutex_) = false;
+
   // Periodic snapshot writer; joined (after a final save) by stop().
   std::thread snapshot_thread_;
-  std::mutex snapshot_mutex_;
-  std::condition_variable snapshot_cv_;
+  util::Mutex snapshot_mutex_{"serve.server.snapshot"};
+  util::CondVar snapshot_cv_;
 
   // Built model graphs, one per model name (graph construction + shape
   // inference is far more expensive than a map lookup).
-  std::mutex graphs_mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const dnn::Graph>> graphs_;
+  util::Mutex graphs_mutex_{"serve.server.graphs"};
+  std::unordered_map<std::string, std::shared_ptr<const dnn::Graph>> graphs_
+      JPS_GUARDED_BY(graphs_mutex_);
 
   // Coalescing: key -> the in-flight computation's shared future.  Size of
   // this map is the backpressure bound.
-  mutable std::mutex inflight_mutex_;
-  std::unordered_map<std::string, std::shared_future<PlanOutcome>> inflight_;
+  mutable util::Mutex inflight_mutex_{"serve.server.inflight"};
+  std::unordered_map<std::string, std::shared_future<PlanOutcome>> inflight_
+      JPS_GUARDED_BY(inflight_mutex_);
 
   // Active connections, so stop() can half-close them.  Slots are nulled on
   // connection exit and reused.
-  std::mutex connections_mutex_;
-  std::vector<ByteStream*> connections_;
+  util::Mutex connections_mutex_{"serve.server.connections"};
+  std::vector<ByteStream*> connections_ JPS_GUARDED_BY(connections_mutex_);
 
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> plans_computed_{0};

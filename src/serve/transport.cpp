@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
+
+#include "util/mutex.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -28,17 +28,21 @@ class Pipe {
   explicit Pipe(std::size_t capacity) : capacity_(std::max<std::size_t>(1, capacity)) {}
 
   std::size_t read(char* out, std::size_t max, double timeout_ms) {
-    std::unique_lock lock(mutex_);
-    const auto ready = [&] { return !buffer_.empty() || closed_; };
+    util::MutexLock lock(mutex_);
+    // Explicit wait loops (not predicate lambdas) keep the guarded reads
+    // visible to -Wthread-safety.
     if (timeout_ms > 0.0) {
-      if (!readable_.wait_for(lock,
-                              std::chrono::duration<double, std::milli>(
-                                  timeout_ms),
-                              ready))
-        throw TransportTimeout("serve: read timed out after " +
-                               std::to_string(timeout_ms) + " ms");
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration<double, std::milli>(timeout_ms);
+      while (buffer_.empty() && !closed_) {
+        if (readable_.wait_until(lock, deadline) == std::cv_status::timeout &&
+            buffer_.empty() && !closed_)
+          throw TransportTimeout("serve: read timed out after " +
+                                 std::to_string(timeout_ms) + " ms");
+      }
     } else {
-      readable_.wait(lock, ready);
+      while (buffer_.empty() && !closed_) readable_.wait(lock);
     }
     if (buffer_.empty()) return 0;  // closed and drained => EOF
     const std::size_t n = std::min(max, buffer_.size());
@@ -52,8 +56,8 @@ class Pipe {
   void write(const char* data, std::size_t size) {
     std::size_t written = 0;
     while (written < size) {
-      std::unique_lock lock(mutex_);
-      writable_.wait(lock, [&] { return buffer_.size() < capacity_ || closed_; });
+      util::MutexLock lock(mutex_);
+      while (buffer_.size() >= capacity_ && !closed_) writable_.wait(lock);
       if (closed_) throw std::runtime_error("serve: connection closed by peer");
       const std::size_t n =
           std::min(size - written, capacity_ - buffer_.size());
@@ -66,7 +70,7 @@ class Pipe {
 
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     readable_.notify_all();
@@ -75,11 +79,11 @@ class Pipe {
 
  private:
   const std::size_t capacity_;
-  std::mutex mutex_;
-  std::condition_variable readable_;
-  std::condition_variable writable_;
-  std::deque<char> buffer_;
-  bool closed_ = false;
+  util::Mutex mutex_{"serve.pipe"};
+  util::CondVar readable_;
+  util::CondVar writable_;
+  std::deque<char> buffer_ JPS_GUARDED_BY(mutex_);
+  bool closed_ JPS_GUARDED_BY(mutex_) = false;
 };
 
 class InProcessStream final : public ByteStream {

@@ -5,13 +5,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace jps::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_io_mutex;
+Mutex g_io_mutex("util.log.io");
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -108,7 +109,7 @@ std::string format_fields(std::initializer_list<LogField> fields) {
 void log_line(LogLevel level, const std::string& message) {
   ensure_env_applied();
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-  std::lock_guard lock(g_io_mutex);
+  MutexLock lock(g_io_mutex);
   std::cerr << "[jps " << level_tag(level) << "] " << message << '\n';
 }
 

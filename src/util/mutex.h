@@ -1,0 +1,250 @@
+// Annotated mutex wrappers + runtime lock-order (deadlock) checker.
+//
+// Every mutex member in src/ is one of these wrappers, never a raw
+// std::mutex / std::shared_mutex (a CI grep gate enforces it).  The
+// wrappers buy two things the std types cannot:
+//
+//   1. Clang Thread Safety Analysis.  Mutex is a JPS_CAPABILITY and
+//      MutexLock/SharedLock are JPS_SCOPED_CAPABILITY, so fields declared
+//      JPS_GUARDED_BY(mutex_) are compile-time-checked under
+//      -Wthread-safety (see check/thread_safety.h and the CI
+//      `thread-safety` job).
+//
+//   2. Lock-order checking.  A Mutex constructed with a name participates
+//      in a global acquisition-order graph: each acquire adds held->new
+//      edges keyed by lock *name* (one node per lock class, so all
+//      instances of "core.plan_cache" share a node), and an edge that
+//      closes a cycle is a potential-deadlock diagnostic naming every lock
+//      on the cycle — reported deterministically on the first inconsistent
+//      acquisition, no unlucky interleaving required.  Modes:
+//      JPS_LOCK_ORDER=abort|warn|off (default: warn in debug builds, off
+//      under NDEBUG).  Unnamed mutexes skip the graph (a shared default
+//      name would alias unrelated locks) but still get same-instance
+//      recursive-acquisition detection.
+//
+// CondVar wraps std::condition_variable_any waiting directly on MutexLock:
+// the std::condition_variable/unique_lock pairing is invisible to both the
+// static analysis and the order checker, whereas MutexLock::lock()/unlock()
+// are annotated and instrumented, so a wait keeps both models exact.
+//
+// Known limitation: because graph nodes are names, an ordered nesting of
+// two *instances* of the same class (never done in this codebase) would
+// self-loop and be reported; give such locks distinct names.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "check/thread_safety.h"
+
+namespace jps::util {
+
+namespace lockorder {
+
+enum class Mode {
+  kOff,    // hooks return immediately (one relaxed atomic load)
+  kWarn,   // print diagnostic to stderr (or report hook), continue
+  kAbort,  // print diagnostic, then std::abort()
+};
+
+// Current mode.  Initialised once from the JPS_LOCK_ORDER environment
+// variable ("abort" | "warn" | "off"); when unset, defaults to kWarn in
+// debug builds and kOff under NDEBUG.  Tests override via set_mode().
+Mode mode();
+void set_mode(Mode mode);
+
+// Replaces the default diagnostic sink (stderr + abort-on-kAbort) with a
+// callback, making cycle reports deterministic and assertable in tests.
+// Pass nullptr to restore the default behaviour.
+void set_report_hook(std::function<void(const std::string&)> hook);
+
+// Drops every recorded acquisition-order edge (per-thread held stacks are
+// untouched; locks currently held keep being tracked).  Test isolation.
+void reset();
+
+// Total cycle/recursion diagnostics issued since process start.
+std::uint64_t violations();
+
+// Wrapper internals — called by Mutex/SharedMutex/MutexLock/SharedLock on
+// every acquire/release.  Not for direct use.
+void on_acquire(const void* instance, const char* name);
+void on_release(const void* instance);
+
+}  // namespace lockorder
+
+/// Annotated exclusive mutex.  Construct with a static-duration name (a
+/// string literal) to opt into the lock-order graph; the name is the graph
+/// node, so give each lock *class* a unique one ("serve.server.inflight").
+class JPS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() JPS_ACQUIRE() {
+    m_.lock();
+    lockorder::on_acquire(this, name_);
+  }
+  void unlock() JPS_RELEASE() {
+    lockorder::on_release(this);
+    m_.unlock();
+  }
+  bool try_lock() JPS_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    lockorder::on_acquire(this, name_);
+    return true;
+  }
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex m_;
+  const char* name_ = nullptr;
+};
+
+/// Annotated reader/writer mutex.  Shared acquisitions participate in the
+/// order graph exactly like exclusive ones (a shared hold still blocks
+/// writers, so it deadlocks the same way).
+class JPS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  explicit SharedMutex(const char* name) : name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() JPS_ACQUIRE() {
+    m_.lock();
+    lockorder::on_acquire(this, name_);
+  }
+  void unlock() JPS_RELEASE() {
+    lockorder::on_release(this);
+    m_.unlock();
+  }
+  void lock_shared() JPS_ACQUIRE_SHARED() {
+    m_.lock_shared();
+    lockorder::on_acquire(this, name_);
+  }
+  void unlock_shared() JPS_RELEASE_SHARED() {
+    lockorder::on_release(this);
+    m_.unlock_shared();
+  }
+  const char* name() const { return name_; }
+
+ private:
+  std::shared_mutex m_;
+  const char* name_ = nullptr;
+};
+
+/// RAII exclusive lock over Mutex or SharedMutex (writer side).  Exposes
+/// lock()/unlock() so CondVar can wait on it (BasicLockable) and so code
+/// can drop the lock mid-scope; the destructor releases only if held.
+class JPS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) JPS_ACQUIRE(mutex)
+      : mutex_(&mutex), shared_type_(nullptr) {
+    mutex_->lock();
+    held_ = true;
+  }
+  explicit MutexLock(SharedMutex& mutex) JPS_ACQUIRE(mutex)
+      : mutex_(nullptr), shared_type_(&mutex) {
+    shared_type_->lock();
+    held_ = true;
+  }
+  ~MutexLock() JPS_RELEASE() {
+    if (held_) unlock_impl();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Re-acquires after unlock() (CondVar relock path).
+  void lock() JPS_ACQUIRE() {
+    if (mutex_ != nullptr) {
+      mutex_->lock();
+    } else {
+      shared_type_->lock();
+    }
+    held_ = true;
+  }
+  /// Releases before scope end (e.g. to run a callback lock-free).
+  void unlock() JPS_RELEASE() {
+    unlock_impl();
+    held_ = false;
+  }
+  bool owns_lock() const { return held_; }
+
+ private:
+  void unlock_impl() {
+    if (mutex_ != nullptr) {
+      mutex_->unlock();
+    } else {
+      shared_type_->unlock();
+    }
+  }
+
+  Mutex* mutex_;
+  SharedMutex* shared_type_;
+  bool held_ = false;
+};
+
+/// RAII shared (reader) lock over SharedMutex.
+class JPS_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mutex) JPS_ACQUIRE_SHARED(mutex)
+      : mutex_(&mutex) {
+    mutex_->lock_shared();
+    held_ = true;
+  }
+  ~SharedLock() JPS_RELEASE() {
+    if (held_) mutex_->unlock_shared();
+  }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+  void unlock() JPS_RELEASE() {
+    mutex_->unlock_shared();
+    held_ = false;
+  }
+  bool owns_lock() const { return held_; }
+
+ private:
+  SharedMutex* mutex_;
+  bool held_ = false;
+};
+
+/// Condition variable waiting on MutexLock.  Prefer explicit predicate
+/// loops (`while (!cond) cv.wait(lock);`) over predicate lambdas: the
+/// loop body is analysed with the lock held, a lambda is not, so guarded
+/// fields in a lambda predicate trip -Wthread-safety.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock); }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock, tp);
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv_.wait_for(lock, d);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace jps::util

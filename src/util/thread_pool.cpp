@@ -48,18 +48,18 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
-  std::lock_guard join_lock(join_mutex_);
+  MutexLock join_lock(join_mutex_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
 bool ThreadPool::accepting() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return !stopping_;
 }
 
@@ -67,7 +67,7 @@ bool ThreadPool::on_worker_thread() { return tl_pool_worker; }
 
 void ThreadPool::enqueue(Task task) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     if (stopping_) {
       // Rejecting here (under the queue lock) is what makes the contract
       // deterministic: a task is either enqueued before shutdown drains the
@@ -87,8 +87,11 @@ void ThreadPool::worker_loop() {
   while (true) {
     Task task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit loop instead of a predicate lambda: the analysis proves
+      // the lock held for these guarded reads, which it cannot inside a
+      // lambda body.
+      while (!stopping_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop();
@@ -153,7 +156,7 @@ void parallel_for(std::size_t count,
   const std::size_t blocks = (count + chunk - 1) / chunk;
   std::atomic<std::size_t> next_block{0};
   std::atomic<bool> failed{false};
-  std::mutex err_mutex;
+  Mutex err_mutex("util.parallel_for.error");
   std::exception_ptr first_error;
 
   const auto drain = [&] {
@@ -166,7 +169,7 @@ void parallel_for(std::size_t count,
       try {
         for (std::size_t i = begin; i < end; ++i) body(i);
       } catch (...) {
-        std::lock_guard lock(err_mutex);
+        MutexLock lock(err_mutex);
         if (!first_error) first_error = std::current_exception();
         failed.store(true, std::memory_order_relaxed);
       }

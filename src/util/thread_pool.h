@@ -20,16 +20,16 @@
 // deadlock; inline execution keeps the semantics and stays deterministic.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace jps::util {
 
@@ -111,14 +111,16 @@ class ThreadPool {
   void enqueue(Task task);
   void worker_loop();
 
+  /// Written only by the constructor (before any concurrent access) and
+  /// joined under join_mutex_; size() reads the count set at construction.
   std::vector<std::thread> workers_;
-  std::queue<Task> queue_;
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  mutable Mutex mutex_{"util.thread_pool.queue"};
+  std::queue<Task> queue_ JPS_GUARDED_BY(mutex_);
+  CondVar cv_;
+  bool stopping_ JPS_GUARDED_BY(mutex_) = false;
   /// Serializes the join loop so concurrent shutdown() calls cannot both
   /// join the same worker.
-  std::mutex join_mutex_;
+  Mutex join_mutex_{"util.thread_pool.join"};
 };
 
 /// The number of threads parallel loops use by default: JPS_THREADS when the

@@ -1,0 +1,131 @@
+// Cross-validation between the fuzz seed corpora (fuzz/corpus/*) and the
+// jps_lint rule packs: the fuzzers exercise the raw parsers, jps_lint
+// runs parse + semantic rules over the same artifact formats, and the two
+// must never disagree about what is loadable.
+//
+//   * a seed jps_lint passes clean MUST be accepted by the raw parser
+//     (lint-clean artifacts are machine-loadable, always);
+//   * a seed the raw parser rejects MUST carry at least one lint error
+//     (the parsers reject nothing lint would bless).
+//
+// The middle ground — parses, but lint flags a semantic error (e.g. a
+// makespan mismatch) — is legal in one direction only: lint is a superset
+// of the parser, never the reverse.  The corpora themselves must cover
+// both sides, or the gate is vacuous.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/lint_artifact.h"
+#include "core/plan_io.h"
+#include "fault/fault_spec.h"
+#include "profile/lookup_table.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::vector<fs::path> seeds(const std::string& target) {
+  const fs::path dir = fs::path(JPS_FUZZ_CORPUS_DIR) / target;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+jps::check::DiagnosticList lint(const std::string& text) {
+  jps::check::DiagnosticList out;
+  jps::check::lint_artifact_text(text, {}, out);
+  return out;
+}
+
+TEST(FuzzSeedCorpus, FaultSeedsAgreeWithLint) {
+  const auto files = seeds("fault_spec");
+  ASSERT_FALSE(files.empty());
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (const fs::path& file : files) {
+    const std::string text = slurp(file);
+    bool parses = true;
+    try {
+      (void)jps::fault::FaultSpec::parse(text);
+    } catch (const std::runtime_error&) {
+      parses = false;
+    }
+    const auto diagnostics = lint(text);
+    (parses ? accepted : rejected) += 1;
+    if (!parses) {
+      EXPECT_TRUE(diagnostics.has_errors())
+          << file.filename() << ": parser rejects but lint is error-free";
+    }
+    if (!diagnostics.has_errors()) {
+      EXPECT_TRUE(parses)
+          << file.filename() << ": lint-clean but FaultSpec::parse throws";
+    }
+  }
+  // The gate means nothing unless the corpus covers both outcomes.
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzSeedCorpus, PlanSeedsAgreeWithLint) {
+  // fuzz/corpus/plan_text mixes two formats on purpose (the fuzzer runs
+  // both parsers): jps-plan artifacts, which jps_lint understands, and
+  // jps-lookup-table files, which it rejects as L001 — consistent with
+  // deserialize_plan rejecting them too.
+  const auto files = seeds("plan_text");
+  ASSERT_FALSE(files.empty());
+  std::size_t plans = 0;
+  std::size_t lookups = 0;
+  std::size_t rejected = 0;
+  for (const fs::path& file : files) {
+    const std::string text = slurp(file);
+    bool is_plan = true;
+    try {
+      (void)jps::core::deserialize_plan(text);
+    } catch (const std::runtime_error&) {
+      is_plan = false;
+    }
+    bool is_lookup = true;
+    try {
+      (void)jps::profile::LookupTable::deserialize(text);
+    } catch (const std::runtime_error&) {
+      is_lookup = false;
+    }
+    EXPECT_FALSE(is_plan && is_lookup)
+        << file.filename() << ": accepted by BOTH parsers (format ambiguity)";
+    const auto diagnostics = lint(text);
+    if (!is_plan && !is_lookup) {
+      ++rejected;
+      EXPECT_TRUE(diagnostics.has_errors())
+          << file.filename() << ": both parsers reject but lint is clean";
+    }
+    if (is_lookup) {
+      ++lookups;
+      EXPECT_TRUE(diagnostics.has_code("L001"))
+          << file.filename() << ": lookup tables are not lint artifacts";
+    }
+    if (!diagnostics.has_errors()) {
+      EXPECT_TRUE(is_plan)
+          << file.filename() << ": lint-clean but deserialize_plan throws";
+    }
+    plans += is_plan ? 1 : 0;
+  }
+  EXPECT_GT(plans, 0u);
+  EXPECT_GT(lookups, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+}  // namespace
