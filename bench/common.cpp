@@ -82,8 +82,15 @@ void write_trace_file(const std::string& path,
   const std::vector<obs::SpanRecord> spans = obs::Registry::global().spans();
   std::set<std::uint64_t> threads;
   for (const obs::SpanRecord& span : spans) threads.insert(span.thread);
-  for (const std::uint64_t t : threads)
-    writer.set_thread_name(0, t, "thread " + std::to_string(t));
+  // Registered names (pool-worker-N, serve-conn-N) beat the numeric default.
+  std::map<std::uint64_t, std::string> names;
+  for (const auto& [t, name] : obs::Registry::global().thread_names())
+    names[t] = name;
+  for (const std::uint64_t t : threads) {
+    const auto it = names.find(t);
+    writer.set_thread_name(
+        0, t, it != names.end() ? it->second : "thread " + std::to_string(t));
+  }
   writer.add_spans(spans, 0);
   writer.add_counter_snapshot(obs::Registry::global().counters(), 0);
   if (timeline != nullptr) sim::append_chrome_trace(*timeline, writer, 1);

@@ -20,11 +20,13 @@
 
 #include "common.h"
 #include "fault/fault_spec.h"
+#include "obs/flight_recorder.h"
 #include "reporter.h"
 #include "serve/chaos.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/transport.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace {
@@ -90,6 +92,44 @@ int main() {
   obs::Histogram& latency = reporter.metric("request_latency_ms");
   std::atomic<int> failures{0};
 
+  // Mid-run introspection: a live STATS connection rides alongside the load,
+  // proving scrapes never disrupt serving and counters only move forward.
+  std::atomic<bool> scrape_stop{false};
+  std::atomic<int> scrape_failures{0};
+  std::atomic<int> scrapes{0};
+  serve::StreamPair scrape_pair = serve::make_in_process_pair();
+  std::thread scrape_server(
+      [&server, s = std::shared_ptr<serve::ByteStream>(
+                    std::move(scrape_pair.first))] {
+        server.handle_connection(*s);
+      });
+  std::thread scraper(
+      [&, end = std::shared_ptr<serve::ByteStream>(
+              std::move(scrape_pair.second))] {
+        try {
+          serve::Client client(std::make_unique<serve::BorrowedStream>(end));
+          double last_requests = -1.0;
+          while (!scrape_stop.load(std::memory_order_acquire)) {
+            const serve::StatsReply reply = client.scrape_stats();
+            const util::Json json = util::Json::parse(reply.json);
+            const util::Json* counters = json.get("counters");
+            const util::Json* requests =
+                counters == nullptr ? nullptr
+                                    : counters->get("serve.requests");
+            const double now = requests == nullptr ? 0.0
+                                                   : requests->as_double();
+            if (now < last_requests) scrape_failures.fetch_add(1);
+            last_requests = now;
+            scrapes.fetch_add(1);
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          }
+          client.close();
+        } catch (const std::exception& e) {
+          std::cerr << "ext_serve: stats scraper failed: " << e.what() << "\n";
+          scrape_failures.fetch_add(1);
+        }
+      });
+
   std::vector<std::thread> server_threads;
   std::vector<std::thread> client_threads;
   const auto start = std::chrono::steady_clock::now();
@@ -119,6 +159,9 @@ int main() {
   }
   for (std::thread& t : client_threads) t.join();
   for (std::thread& t : server_threads) t.join();
+  scrape_stop.store(true, std::memory_order_release);
+  scraper.join();
+  scrape_server.join();
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -183,6 +226,10 @@ int main() {
   reporter.note("coalesce_hits", static_cast<int>(stats.coalesce_hits));
   reporter.note("cache_hits", static_cast<int>(stats.cache_hits));
   reporter.note("plans_computed", static_cast<int>(stats.plans_computed));
+  const int traces_recorded =
+      static_cast<int>(obs::FlightRecorder::global().size());
+  reporter.note("stats_scrapes", scrapes.load());
+  reporter.note("traces_recorded", traces_recorded);
 
   const obs::HistogramSnapshot snap = latency.snapshot();
   util::Table table({"metric", "value"});
@@ -203,6 +250,14 @@ int main() {
   if (failures.load() != 0 || chaos_failures.load() != 0) {
     std::cerr << "ext_serve: " << failures.load() << " failed replies, "
               << chaos_failures.load() << " failed chaos replies\n";
+    return 1;
+  }
+  if (scrape_failures.load() != 0 || scrapes.load() == 0 ||
+      traces_recorded == 0) {
+    std::cerr << "ext_serve: introspection gate failed (scrapes="
+              << scrapes.load() << " scrape_failures="
+              << scrape_failures.load() << " traces=" << traces_recorded
+              << ")\n";
     return 1;
   }
   return 0;

@@ -76,6 +76,30 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   } catch (const ProtocolError&) {
   }
 
+  // Introspection decoders (v3-only): same contract — return or throw
+  // ProtocolError, and whatever decodes must round-trip bit-exactly.
+  try {
+    decode_stats_request(payload);
+  } catch (const ProtocolError&) {
+  }
+  try {
+    const std::uint32_t max_traces = decode_trace_dump_request(payload);
+    abort_if(decode_trace_dump_request(
+                 encode_trace_dump_request(max_traces)) != max_traces);
+  } catch (const ProtocolError&) {
+  }
+  try {
+    const StatsReply reply = decode_stats_reply(payload);
+    abort_if(!(decode_stats_reply(encode_stats_reply(reply)) == reply));
+  } catch (const ProtocolError&) {
+  }
+  try {
+    const TraceDumpReply reply = decode_trace_dump_reply(payload);
+    abort_if(!(decode_trace_dump_reply(encode_trace_dump_reply(reply)) ==
+               reply));
+  } catch (const ProtocolError&) {
+  }
+
   try {
     const PlanReply reply = decode_plan_reply(payload);
     const std::uint8_t version = peek_version(payload);

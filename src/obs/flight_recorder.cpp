@@ -1,0 +1,399 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+#include "util/mutex.h"
+#include "util/strings.h"
+
+namespace jps::obs {
+
+namespace {
+
+using TraceKey = std::pair<std::uint64_t, std::uint64_t>;
+
+struct TraceKeyHash {
+  std::size_t operator()(const TraceKey& key) const {
+    // The ids are already splitmix64-mixed; xor keeps full entropy.
+    return static_cast<std::size_t>(key.first ^ (key.second * 0x9e3779b9ULL));
+  }
+};
+
+struct ActiveTrace {
+  std::vector<SpanRecord> spans;
+  std::uint64_t dropped = 0;
+  std::uint64_t last_touch = 0;  ///< logical clock for stale eviction
+};
+
+}  // namespace
+
+struct FlightRecorder::Impl {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> sample_every{kDefaultSampleEvery};
+  std::atomic<std::uint64_t> sample_clock{0};
+
+  mutable util::Mutex active_mutex{"obs.flightrec.active"};
+  std::unordered_map<TraceKey, ActiveTrace, TraceKeyHash> active
+      JPS_GUARDED_BY(active_mutex);
+  std::size_t max_spans JPS_GUARDED_BY(active_mutex) = kDefaultMaxSpansPerTrace;
+  std::uint64_t touch_clock JPS_GUARDED_BY(active_mutex) = 0;
+
+  mutable util::Mutex ring_mutex{"obs.flightrec.ring"};
+  std::deque<TraceRecord> ring JPS_GUARDED_BY(ring_mutex);
+  std::size_t capacity JPS_GUARDED_BY(ring_mutex) = kDefaultCapacity;
+  Histogram latency JPS_GUARDED_BY(ring_mutex){"flightrec.latency"};
+  std::uint64_t finishes JPS_GUARDED_BY(ring_mutex) = 0;
+  // Cached rolling p99 so retention is O(1); +inf until the first refresh
+  // so early traffic is retained by sampling/error only.
+  std::atomic<double> p99_ms{std::numeric_limits<double>::infinity()};
+
+  mutable util::Mutex exemplar_mutex{"obs.flightrec.exemplars"};
+  std::map<std::pair<std::string, std::size_t>, Exemplar> exemplars_by_bucket
+      JPS_GUARDED_BY(exemplar_mutex);
+};
+
+FlightRecorder::FlightRecorder() : impl_(new Impl) {}
+
+// Like the Registry: static storage, never destroyed, so spans finishing
+// during process teardown can still report.
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+void FlightRecorder::set_enabled(bool on) {
+  impl_->enabled.store(on, std::memory_order_relaxed);
+}
+
+bool FlightRecorder::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  util::MutexLock lock(impl_->ring_mutex);
+  impl_->capacity = std::max<std::size_t>(1, capacity);
+  while (impl_->ring.size() > impl_->capacity) impl_->ring.pop_front();
+}
+
+void FlightRecorder::set_sample_every(std::uint64_t n) {
+  impl_->sample_every.store(n == 0 ? 1 : n, std::memory_order_relaxed);
+}
+
+void FlightRecorder::set_max_spans_per_trace(std::size_t n) {
+  util::MutexLock lock(impl_->active_mutex);
+  impl_->max_spans = std::max<std::size_t>(1, n);
+}
+
+void FlightRecorder::record_span(const SpanRecord& record) {
+  if (!enabled()) return;
+  const TraceKey key{record.trace_hi, record.trace_lo};
+  util::MutexLock lock(impl_->active_mutex);
+  auto it = impl_->active.find(key);
+  if (it == impl_->active.end()) {
+    if (impl_->active.size() >= kMaxActiveTraces) {
+      // A leaked trace (started, never finished) must not pin memory:
+      // discard the one untouched the longest.
+      auto stalest = impl_->active.begin();
+      for (auto cand = impl_->active.begin(); cand != impl_->active.end();
+           ++cand) {
+        if (cand->second.last_touch < stalest->second.last_touch)
+          stalest = cand;
+      }
+      impl_->active.erase(stalest);
+      static Counter& leaked = counter("obs.flightrec.active_evicted");
+      leaked.add();
+    }
+    it = impl_->active.emplace(key, ActiveTrace{}).first;
+  }
+  ActiveTrace& trace = it->second;
+  trace.last_touch = ++impl_->touch_clock;
+  if (trace.spans.size() >= impl_->max_spans) {
+    ++trace.dropped;
+    static Counter& dropped = counter("obs.flightrec.span_drops");
+    dropped.add();
+    return;
+  }
+  trace.spans.push_back(record);
+}
+
+void FlightRecorder::finish(const TraceContext& context,
+                            const std::string& status, bool error,
+                            double start_ms, double dur_ms) {
+  static Counter& finished = counter("obs.flightrec.finished");
+  static Counter& retained = counter("obs.flightrec.retained");
+  static Counter& sampled_out = counter("obs.flightrec.sampled_out");
+  static Counter& evicted = counter("obs.flightrec.evicted");
+  if (!enabled() || !context.valid()) return;
+  finished.add();
+
+  TraceRecord record;
+  record.trace_hi = context.trace_hi;
+  record.trace_lo = context.trace_lo;
+  record.status = status;
+  record.error = error;
+  record.start_ms = start_ms;
+  record.dur_ms = dur_ms;
+  {
+    util::MutexLock lock(impl_->active_mutex);
+    auto it = impl_->active.find({context.trace_hi, context.trace_lo});
+    if (it != impl_->active.end()) {
+      record.spans = std::move(it->second.spans);
+      record.spans_dropped = it->second.dropped;
+      impl_->active.erase(it);
+    }
+  }
+
+  // Tail-based retention: errors and latency outliers always, the rest
+  // head-sampled 1-in-N so the ring keeps representative fast requests.
+  bool keep = error;
+  if (!keep && dur_ms >= impl_->p99_ms.load(std::memory_order_relaxed))
+    keep = true;
+  if (!keep) {
+    const std::uint64_t every =
+        impl_->sample_every.load(std::memory_order_relaxed);
+    const std::uint64_t tick =
+        impl_->sample_clock.fetch_add(1, std::memory_order_relaxed);
+    keep = every <= 1 || tick % every == 0;
+  }
+
+  util::MutexLock lock(impl_->ring_mutex);
+  impl_->latency.record(dur_ms);
+  if (++impl_->finishes % kP99RefreshEvery == 0) {
+    impl_->p99_ms.store(impl_->latency.percentile(99),
+                        std::memory_order_relaxed);
+  }
+  if (!keep) {
+    sampled_out.add();
+    return;
+  }
+  retained.add();
+  impl_->ring.push_back(std::move(record));
+  while (impl_->ring.size() > impl_->capacity) {
+    impl_->ring.pop_front();
+    evicted.add();
+  }
+}
+
+void FlightRecorder::record_exemplar(const std::string& histogram_name,
+                                     double value,
+                                     const TraceContext& context) {
+  if (!enabled() || !context.valid()) return;
+  Exemplar exemplar;
+  exemplar.histogram = histogram_name;
+  exemplar.bucket = Histogram::bucket_index(value);
+  exemplar.value = value;
+  exemplar.trace_hi = context.trace_hi;
+  exemplar.trace_lo = context.trace_lo;
+  util::MutexLock lock(impl_->exemplar_mutex);
+  impl_->exemplars_by_bucket[{histogram_name, exemplar.bucket}] =
+      std::move(exemplar);
+}
+
+std::vector<Exemplar> FlightRecorder::exemplars() const {
+  util::MutexLock lock(impl_->exemplar_mutex);
+  std::vector<Exemplar> out;
+  out.reserve(impl_->exemplars_by_bucket.size());
+  for (const auto& [key, exemplar] : impl_->exemplars_by_bucket)
+    out.push_back(exemplar);
+  return out;  // std::map iteration: sorted by (histogram, bucket)
+}
+
+std::vector<TraceRecord> FlightRecorder::drain(std::size_t max) {
+  util::MutexLock lock(impl_->ring_mutex);
+  const std::size_t n =
+      max == 0 ? impl_->ring.size() : std::min(max, impl_->ring.size());
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(impl_->ring.front()));
+    impl_->ring.pop_front();
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::size() const {
+  util::MutexLock lock(impl_->ring_mutex);
+  return impl_->ring.size();
+}
+
+double FlightRecorder::latency_p99_ms() const {
+  return impl_->p99_ms.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::reset() {
+  {
+    util::MutexLock lock(impl_->active_mutex);
+    impl_->active.clear();
+    impl_->max_spans = kDefaultMaxSpansPerTrace;
+    impl_->touch_clock = 0;
+  }
+  {
+    util::MutexLock lock(impl_->ring_mutex);
+    impl_->ring.clear();
+    impl_->capacity = kDefaultCapacity;
+    impl_->latency.reset();
+    impl_->finishes = 0;
+    impl_->p99_ms.store(std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+  }
+  {
+    util::MutexLock lock(impl_->exemplar_mutex);
+    impl_->exemplars_by_bucket.clear();
+  }
+  impl_->sample_every.store(kDefaultSampleEvery, std::memory_order_relaxed);
+  impl_->sample_clock.store(0, std::memory_order_relaxed);
+}
+
+std::string flight_records_json(const std::vector<TraceRecord>& records) {
+  util::Json traces = util::Json::array();
+  for (const TraceRecord& record : records) {
+    util::Json spans = util::Json::array();
+    for (const SpanRecord& span : record.spans) {
+      util::Json args = util::Json::object();
+      for (const auto& [key, value] : span.args) args.set(key, value);
+      util::Json entry = util::Json::object();
+      entry.set("name", span.name);
+      entry.set("category", span.category);
+      entry.set("span_id", span_id_hex(span.span_id));
+      entry.set("parent_span_id", span_id_hex(span.parent_span_id));
+      entry.set("thread", static_cast<double>(span.thread));
+      entry.set("start_ms", span.start_ms);
+      entry.set("dur_ms", span.dur_ms);
+      entry.set("args", std::move(args));
+      spans.push_back(std::move(entry));
+    }
+    util::Json trace = util::Json::object();
+    trace.set("trace_id", trace_id_hex(record.trace_hi, record.trace_lo));
+    trace.set("status", record.status);
+    trace.set("error", record.error);
+    trace.set("start_ms", record.start_ms);
+    trace.set("dur_ms", record.dur_ms);
+    trace.set("spans_dropped", static_cast<double>(record.spans_dropped));
+    trace.set("spans", std::move(spans));
+    traces.push_back(std::move(trace));
+  }
+  util::Json root = util::Json::object();
+  root.set("traces", std::move(traces));
+  // Names for the registry-labeled threads the spans reference, so a
+  // remote consumer (jps_serve trace --chrome-out) can label its tracks.
+  std::set<std::uint64_t> referenced;
+  for (const TraceRecord& record : records)
+    for (const SpanRecord& span : record.spans) referenced.insert(span.thread);
+  util::Json names = util::Json::object();
+  for (const auto& [index, name] : Registry::global().thread_names())
+    if (referenced.count(index) != 0)
+      names.set(std::to_string(index), name);
+  root.set("thread_names", std::move(names));
+  return root.dump();
+}
+
+std::vector<std::pair<std::uint64_t, std::string>>
+flight_thread_names_from_json(const util::Json& json) {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  if (!json.is_object() || !json.contains("thread_names")) return out;
+  const util::Json& names = json.at("thread_names");
+  if (!names.is_object()) return out;
+  for (const auto& [key, value] : names.members()) {
+    if (!value.is_string()) continue;
+    const std::optional<std::int64_t> index = util::parse_int(key);
+    if (!index.has_value() || *index < 0) continue;  // not an index — skip
+    out.emplace_back(static_cast<std::uint64_t>(*index), value.as_string());
+  }
+  return out;
+}
+
+std::vector<TraceRecord> flight_records_from_json(const util::Json& json) {
+  if (!json.is_object() || !json.contains("traces"))
+    throw std::runtime_error("trace dump: missing \"traces\" array");
+  const util::Json& traces = json.at("traces");
+  if (!traces.is_array())
+    throw std::runtime_error("trace dump: \"traces\" is not an array");
+  std::vector<TraceRecord> out;
+  out.reserve(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const util::Json& trace = traces.at(i);
+    TraceRecord record;
+    const std::string& id = trace.at("trace_id").as_string();
+    if (id.size() != 32)
+      throw std::runtime_error("trace dump: trace_id is not 32 hex chars");
+    record.trace_hi = parse_hex_u64(id.substr(0, 16));
+    record.trace_lo = parse_hex_u64(id.substr(16));
+    record.status = trace.at("status").as_string();
+    record.error = trace.at("error").as_bool();
+    record.start_ms = trace.at("start_ms").as_double();
+    record.dur_ms = trace.at("dur_ms").as_double();
+    record.spans_dropped =
+        static_cast<std::uint64_t>(trace.at("spans_dropped").as_double());
+    const util::Json& spans = trace.at("spans");
+    for (std::size_t s = 0; s < spans.size(); ++s) {
+      const util::Json& entry = spans.at(s);
+      SpanRecord span;
+      span.name = entry.at("name").as_string();
+      span.category = entry.at("category").as_string();
+      span.span_id = parse_hex_u64(entry.at("span_id").as_string());
+      span.parent_span_id =
+          parse_hex_u64(entry.at("parent_span_id").as_string());
+      span.thread = static_cast<std::uint64_t>(entry.at("thread").as_double());
+      span.start_ms = entry.at("start_ms").as_double();
+      span.dur_ms = entry.at("dur_ms").as_double();
+      span.trace_hi = record.trace_hi;
+      span.trace_lo = record.trace_lo;
+      for (const auto& [key, value] : entry.at("args").members())
+        span.args.emplace_back(key, value.as_string());
+      record.spans.push_back(std::move(span));
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+std::string validate_trace(const TraceRecord& record, double slack_ms) {
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& span : record.spans) {
+    if (span.span_id == 0) return "span with zero span_id";
+    if (!by_id.emplace(span.span_id, &span).second)
+      return "duplicate span_id " + span_id_hex(span.span_id);
+  }
+  std::size_t roots = 0;
+  for (const SpanRecord& span : record.spans) {
+    const auto parent_it = by_id.find(span.parent_span_id);
+    if (span.parent_span_id == 0 || parent_it == by_id.end()) {
+      // Root, or a child of an external (cross-process) parent.
+      ++roots;
+      continue;
+    }
+    const SpanRecord& parent = *parent_it->second;
+    if (span.start_ms + slack_ms < parent.start_ms ||
+        span.start_ms + span.dur_ms >
+            parent.start_ms + parent.dur_ms + slack_ms) {
+      return "span " + span.name + " [" + std::to_string(span.start_ms) +
+             ", +" + std::to_string(span.dur_ms) +
+             "ms] not nested in parent " + parent.name;
+    }
+    // Walk the parent chain; > spans.size() hops means a cycle.
+    std::size_t hops = 0;
+    std::uint64_t cursor = span.parent_span_id;
+    while (cursor != 0) {
+      const auto it = by_id.find(cursor);
+      if (it == by_id.end()) break;
+      if (++hops > record.spans.size())
+        return "parent cycle through span " + span.name;
+      cursor = it->second->parent_span_id;
+    }
+  }
+  if (!record.spans.empty() && roots == 0) return "no root span";
+  return {};
+}
+
+}  // namespace jps::obs

@@ -1,0 +1,166 @@
+// Flight recorder: a bounded ring of recently completed request traces.
+//
+// Always-on span recording for every request would cost unbounded memory
+// and produce mostly uninteresting data.  The recorder instead applies
+// tail-based retention at the moment a request *finishes*, when its outcome
+// and duration are known:
+//
+//   * error tails are always kept (shed, deadline-exceeded, invalid, any
+//     non-OK status),
+//   * latency tails are always kept (duration >= the rolling p99 of all
+//     finished requests, tracked in an internal histogram and refreshed
+//     every kP99RefreshEvery finishes),
+//   * everything else is head-sampled 1-in-sample_every so the ring always
+//     holds some representative fast requests too.
+//
+// Retained traces sit in a fixed-capacity ring (oldest evicted first) until
+// a TRACE_DUMP drains them.  The recorder also keeps histogram *exemplars*:
+// for each (histogram, bucket) it remembers the most recent traced
+// observation, so a p99 bucket in `serve.plan_ms` links directly to a trace
+// id that landed there.
+//
+// Spans reach the recorder from ~Span: when the destructing span carries a
+// valid TraceContext and the recorder is enabled, the record is appended to
+// the trace's in-flight span list (keyed by trace id) regardless of the
+// global obs::enabled() flag — request tracing works without JPS_TRACE.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/trace_context.h"
+
+namespace jps::util {
+class Json;
+}  // namespace jps::util
+
+namespace jps::obs {
+
+/// One completed, retained request trace.
+struct TraceRecord {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::string status;        ///< e.g. "OK", "SHED_QUEUE", "DEADLINE_EXCEEDED"
+  bool error = false;        ///< retention reason: non-OK outcome
+  double start_ms = 0.0;     ///< registry clock, ms since trace epoch
+  double dur_ms = 0.0;       ///< root wall time as reported by finish()
+  std::uint64_t spans_dropped = 0;  ///< spans over the per-trace cap
+  std::vector<SpanRecord> spans;    ///< completion order
+};
+
+/// A (histogram bucket -> trace id) link: the most recent traced
+/// observation that landed in `bucket` of histogram `histogram`.
+struct Exemplar {
+  std::string histogram;
+  std::size_t bucket = 0;
+  double value = 0.0;
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+};
+
+/// Process-wide recorder.  All methods are thread-safe.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 128;
+  static constexpr std::size_t kDefaultMaxSpansPerTrace = 64;
+  static constexpr std::uint64_t kDefaultSampleEvery = 8;
+  /// In-flight (started, not finished) traces tracked at once; beyond this
+  /// the stalest trace's spans are discarded to bound memory under leaks.
+  static constexpr std::size_t kMaxActiveTraces = 1024;
+  /// finish() calls between rolling-p99 refreshes.
+  static constexpr std::uint64_t kP99RefreshEvery = 32;
+
+  [[nodiscard]] static FlightRecorder& global();
+
+  /// Recording gate.  Off by default; serve::Server turns it on.  When off,
+  /// record_span/finish are cheap no-ops.
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const;
+
+  /// Ring capacity (completed retained traces).  Takes effect immediately;
+  /// shrinking evicts oldest.
+  void set_capacity(std::size_t capacity);
+  /// Head-sampling rate for unremarkable requests (1-in-N kept; 0 or 1
+  /// keeps everything).
+  void set_sample_every(std::uint64_t n);
+  /// Per-trace span cap; further spans count into TraceRecord::spans_dropped.
+  void set_max_spans_per_trace(std::size_t n);
+
+  /// Append one finished span to its trace's in-flight list (called from
+  /// ~Span when the span carries a valid trace context).
+  void record_span(const SpanRecord& record);
+
+  /// Complete the trace named by `context`: apply tail-based retention and
+  /// either push a TraceRecord into the ring or discard.  `status` is the
+  /// request outcome label; `error` forces retention.
+  void finish(const TraceContext& context, const std::string& status,
+              bool error, double start_ms, double dur_ms);
+
+  /// Remember `value` (observed in histogram `histogram_name`) as the
+  /// exemplar for its bucket, linked to `context`'s trace id.
+  void record_exemplar(const std::string& histogram_name, double value,
+                       const TraceContext& context);
+
+  /// Snapshot of all current exemplars, sorted by (histogram, bucket).
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
+
+  /// Remove and return up to `max` oldest retained traces (0 = all).
+  [[nodiscard]] std::vector<TraceRecord> drain(std::size_t max = 0);
+
+  /// Retained (not yet drained) trace count.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Rolling p99 threshold currently applied by retention (ms).
+  [[nodiscard]] double latency_p99_ms() const;
+
+  /// Drop all state and restore defaults (test isolation).  Leaves the
+  /// enabled flag untouched.
+  void reset();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+ private:
+  FlightRecorder();
+  ~FlightRecorder();
+  struct Impl;
+  Impl* impl_;
+};
+
+/// JSON rendering of drained traces:
+///   {"traces":[{"trace_id":"<32 hex>","status":...,"error":...,
+///               "start_ms":...,"dur_ms":...,"spans_dropped":...,
+///               "spans":[{"name":...,"category":...,"span_id":"<16 hex>",
+///                         "parent_span_id":"<16 hex>","thread":...,
+///                         "start_ms":...,"dur_ms":...,"args":{...}}]}],
+///    "thread_names":{"<index>":"pool-worker-0",...}}
+/// thread_names covers the registry-named threads referenced by the spans,
+/// so a remote consumer can label tracks without access to this process.
+[[nodiscard]] std::string flight_records_json(
+    const std::vector<TraceRecord>& records);
+
+/// Parse flight_records_json output back into records (throws
+/// std::runtime_error on shape violations).  Used by `jps_serve trace
+/// --chrome-out` and the scrape validators.
+[[nodiscard]] std::vector<TraceRecord> flight_records_from_json(
+    const util::Json& json);
+
+/// The "thread_names" map from flight_records_json output: (thread index,
+/// name) pairs.  Empty (never a throw) when the section is absent.
+[[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>>
+flight_thread_names_from_json(const util::Json& json);
+
+/// Structural validation of one trace: every parent_span_id resolves inside
+/// the trace or is 0/external, parent links are acyclic, exactly the spans
+/// whose parent is absent are roots, and every child's [start, start+dur]
+/// interval nests inside its parent's (with `slack_ms` tolerance for clock
+/// granularity).  Returns an empty string when valid, else a description of
+/// the first violation.
+[[nodiscard]] std::string validate_trace(const TraceRecord& record,
+                                         double slack_ms = 0.05);
+
+}  // namespace jps::obs

@@ -55,8 +55,23 @@ MetricsSnapshot MetricsSnapshot::capture(const Registry& registry) {
   snapshot.counters = registry.counters();
   snapshot.gauges = registry.gauges();
   snapshot.histograms = registry.histograms();
+  snapshot.exemplars = FlightRecorder::global().exemplars();
   return snapshot;
 }
+
+namespace {
+
+// Exemplars for one histogram, keyed by bucket index (exemplars() is sorted
+// by (histogram, bucket) so a linear scan per histogram stays cheap).
+std::vector<const Exemplar*> exemplars_for(const MetricsSnapshot& snapshot,
+                                           const std::string& histogram) {
+  std::vector<const Exemplar*> out;
+  for (const Exemplar& exemplar : snapshot.exemplars)
+    if (exemplar.histogram == histogram) out.push_back(&exemplar);
+  return out;
+}
+
+}  // namespace
 
 std::string openmetrics_name(const std::string& name) {
   std::string out = "jps_";
@@ -88,6 +103,8 @@ std::string to_openmetrics(const MetricsSnapshot& snapshot) {
     // correct over any subset of boundaries) and `+Inf` always closes the
     // series.  The count/`+Inf` samples come from the bucket totals so the
     // exposition is internally consistent even against a racing record().
+    const std::vector<const Exemplar*> exemplars =
+        exemplars_for(snapshot, name);
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
       if (histogram.buckets[i] == 0) continue;
@@ -96,7 +113,16 @@ std::string to_openmetrics(const MetricsSnapshot& snapshot) {
       if (!overflow) {
         out << metric << "_bucket{le=\""
             << format_double(Histogram::bucket_upper(i)) << "\"} "
-            << cumulative << "\n";
+            << cumulative;
+        // OpenMetrics exemplar suffix: ` # {trace_id="..."} value`.
+        for (const Exemplar* exemplar : exemplars) {
+          if (exemplar->bucket != i) continue;
+          out << " # {trace_id=\""
+              << trace_id_hex(exemplar->trace_hi, exemplar->trace_lo)
+              << "\"} " << format_double(exemplar->value);
+          break;
+        }
+        out << "\n";
       }
     }
     out << metric << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
@@ -147,7 +173,31 @@ std::string to_json(const MetricsSnapshot& snapshot) {
     }
     out << "]}";
   }
-  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  out << (snapshot.histograms.empty() ? "" : "\n  ")
+      << "},\n  \"exemplars\": {";
+  bool first_histogram = true;
+  std::string open_histogram;
+  for (std::size_t i = 0; i < snapshot.exemplars.size(); ++i) {
+    const Exemplar& exemplar = snapshot.exemplars[i];
+    if (exemplar.histogram != open_histogram) {
+      if (!open_histogram.empty()) out << "]";
+      out << (first_histogram ? "\n" : ",\n") << "    \""
+          << json_escape(exemplar.histogram) << "\": [";
+      open_histogram = exemplar.histogram;
+      first_histogram = false;
+    } else {
+      out << ", ";
+    }
+    const bool overflow = exemplar.bucket + 1 >= Histogram::kBucketCount;
+    out << "{\"le\": "
+        << (overflow ? std::string("\"+Inf\"")
+                     : format_double(Histogram::bucket_upper(exemplar.bucket)))
+        << ", \"value\": " << format_double(exemplar.value)
+        << ", \"trace_id\": \""
+        << trace_id_hex(exemplar.trace_hi, exemplar.trace_lo) << "\"}";
+  }
+  if (!open_histogram.empty()) out << "]";
+  out << (snapshot.exemplars.empty() ? "" : "\n  ") << "}\n}\n";
   return out.str();
 }
 
@@ -162,11 +212,21 @@ void write_metrics_file(const std::string& path, const std::string& format,
     throw std::invalid_argument("unknown metrics format '" + format +
                                 "' (expected openmetrics or json)");
   }
-  std::ofstream file(path);
-  if (!file) throw std::runtime_error("cannot open '" + path + "' for write");
-  file << body;
-  if (!file.good())
-    throw std::runtime_error("failed writing metrics to '" + path + "'");
+  // Atomic publish (same pattern as the cache snapshot): a scraper racing
+  // this writer must never observe a torn file.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) throw std::runtime_error("cannot open '" + tmp + "' for write");
+    file << body;
+    if (!file.good())
+      throw std::runtime_error("failed writing metrics to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("failed renaming '" + tmp + "' to '" + path +
+                             "'");
+  }
 }
 
 }  // namespace jps::obs

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 
@@ -28,8 +29,13 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  /// Histogram exemplars from the flight recorder: per-bucket links from a
+  /// latency bucket to the trace id of the most recent request that landed
+  /// there.  Empty when the recorder is off.
+  std::vector<Exemplar> exemplars;
 
-  /// Snapshot the given registry (default: the process-wide one).
+  /// Snapshot the given registry (default: the process-wide one).  Exemplars
+  /// always come from the process-wide FlightRecorder.
   [[nodiscard]] static MetricsSnapshot capture(
       const Registry& registry = Registry::global());
 };
@@ -44,8 +50,11 @@ struct MetricsSnapshot {
 [[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
 
 /// Serialize `snapshot` in `format` ("openmetrics" or "json") and write it
-/// to `path`.  Throws std::invalid_argument on an unknown format and
-/// std::runtime_error when the file cannot be written.
+/// to `path` atomically: the body lands in `path + ".tmp"` first and is
+/// renamed into place, so a concurrent reader sees either the old complete
+/// file or the new complete file, never a torn write.  Throws
+/// std::invalid_argument on an unknown format and std::runtime_error when
+/// the file cannot be written.
 void write_metrics_file(const std::string& path, const std::string& format,
                         const MetricsSnapshot& snapshot);
 

@@ -1,5 +1,6 @@
 #include "obs/obs.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <map>
@@ -7,6 +8,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "util/mutex.h"
 
@@ -56,6 +58,8 @@ struct Registry::Impl {
 
   mutable util::Mutex thread_mutex{"obs.threads"};
   std::unordered_map<std::thread::id, std::uint64_t> thread_ids
+      JPS_GUARDED_BY(thread_mutex);
+  std::unordered_map<std::uint64_t, std::string> thread_names
       JPS_GUARDED_BY(thread_mutex);
 };
 
@@ -174,6 +178,25 @@ std::uint64_t Registry::thread_index() {
   return it->second;
 }
 
+void Registry::set_thread_name(const std::string& name) {
+  const std::thread::id id = std::this_thread::get_id();
+  util::MutexLock lock(impl_->thread_mutex);
+  const auto [it, inserted] =
+      impl_->thread_ids.emplace(id, impl_->thread_ids.size());
+  impl_->thread_names[it->second] = name;
+}
+
+std::vector<std::pair<std::uint64_t, std::string>> Registry::thread_names()
+    const {
+  std::vector<std::pair<std::uint64_t, std::string>> out;
+  {
+    util::MutexLock lock(impl_->thread_mutex);
+    out.assign(impl_->thread_names.begin(), impl_->thread_names.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void Registry::clear_spans() {
   util::MutexLock lock(impl_->span_mutex);
   impl_->spans.clear();
@@ -199,20 +222,40 @@ void Registry::reset() {
 }
 
 Span::Span(std::string name, std::string category) {
-  if (!enabled()) return;
+  const TraceContext context = TraceContext::current();
+  const bool traced =
+      context.valid() && FlightRecorder::global().enabled();
+  if (!enabled() && !traced) return;
   active_ = true;
   record_.name = std::move(name);
   record_.category = std::move(category);
+  if (context.valid()) {
+    // Stamp trace identity and become the current context so spans opened
+    // inside this one (same thread, or via ThreadPool propagation) parent
+    // onto us.
+    record_.trace_hi = context.trace_hi;
+    record_.trace_lo = context.trace_lo;
+    record_.parent_span_id = context.span_id;
+    record_.span_id = TraceContext::next_span_id();
+    previous_ = context;
+    TraceContext child = context;
+    child.span_id = record_.span_id;
+    TraceContext::set_current(child);
+    installed_ = true;
+  }
   start_ms_ = Registry::global().now_ms();
 }
 
 Span::~Span() {
   if (!active_) return;
+  if (installed_) TraceContext::set_current(previous_);
   Registry& registry = Registry::global();
   record_.start_ms = start_ms_;
   record_.dur_ms = registry.now_ms() - start_ms_;
   record_.thread = registry.thread_index();
-  registry.record(std::move(record_));
+  if (record_.trace_hi != 0 || record_.trace_lo != 0)
+    FlightRecorder::global().record_span(record_);
+  if (enabled()) registry.record(std::move(record_));
 }
 
 void Span::arg(std::string key, std::string value) {

@@ -29,6 +29,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_context.h"
+
 namespace jps::obs {
 
 class Gauge;               // obs/metrics.h
@@ -51,13 +53,22 @@ struct SpanRecord {
   double dur_ms = 0.0;
   /// Small stable index of the recording thread (0 = first thread seen).
   std::uint64_t thread = 0;
+  /// Trace identity (all zero when the span ran outside any request trace).
+  /// See obs/trace_context.h; parent_span_id == 0 marks a root span.
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
   /// Free-form key/value annotations (rendered as trace-event args).
   std::vector<std::pair<std::string, std::string>> args;
 };
 
-/// RAII wall-clock span.  Construct to start, destroy to record.  When
-/// tracing is disabled at construction the span is inert (no clock reads,
-/// nothing recorded).
+/// RAII wall-clock span.  Construct to start, destroy to record.  A span is
+/// live when process-wide tracing is enabled OR the calling thread carries a
+/// valid TraceContext with the flight recorder on; otherwise it is inert
+/// (no clock reads, nothing recorded).  A live span under a TraceContext
+/// stamps trace/span/parent ids and installs itself as the current context,
+/// so nested spans form a causal tree.
 class Span {
  public:
   explicit Span(std::string name, std::string category = "jps");
@@ -75,7 +86,9 @@ class Span {
 
  private:
   bool active_ = false;
+  bool installed_ = false;  ///< true when this span replaced the thread ctx
   double start_ms_ = 0.0;
+  TraceContext previous_;
   SpanRecord record_;
 };
 
@@ -155,6 +168,15 @@ class Registry {
 
   /// Stable small index for the calling thread.
   [[nodiscard]] std::uint64_t thread_index();
+
+  /// Label the calling thread (e.g. "pool-worker-3", "serve-conn-0") for
+  /// Chrome-trace thread metadata.  Last call wins.
+  void set_thread_name(const std::string& name);
+
+  /// Snapshot of (thread index, name) for every named thread, sorted by
+  /// index.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::string>>
+  thread_names() const;
 
   /// Drop recorded spans (counters keep their values).
   void clear_spans();

@@ -1,0 +1,106 @@
+#include "obs/trace_context.h"
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <stdexcept>
+
+namespace jps::obs {
+
+namespace {
+
+thread_local TraceContext tl_current;
+
+// splitmix64: cheap, well-mixed stream generator.  We only need ids that
+// are unique within a fleet with overwhelming probability, not
+// cryptographic randomness.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::atomic<std::uint64_t>& id_state() {
+  static std::atomic<std::uint64_t> state = [] {
+    std::random_device rd;
+    std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    seed ^= static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    return seed;
+  }();
+  return state;
+}
+
+std::uint64_t next_id() {
+  for (;;) {
+    const std::uint64_t raw =
+        id_state().fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t id = splitmix64(raw);
+    if (id != 0) return id;  // zero is the "not traced" sentinel
+  }
+}
+
+}  // namespace
+
+TraceContext TraceContext::current() { return tl_current; }
+
+void TraceContext::set_current(const TraceContext& context) {
+  tl_current = context;
+}
+
+TraceContext TraceContext::start() {
+  TraceContext context;
+  context.trace_hi = next_id();
+  context.trace_lo = next_id();
+  context.span_id = next_id();
+  return context;
+}
+
+std::uint64_t TraceContext::next_span_id() { return next_id(); }
+
+namespace {
+
+void append_hex_u64(std::string& out, std::uint64_t value) {
+  static const char* kDigits = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kDigits[(value >> shift) & 0xF]);
+}
+
+}  // namespace
+
+std::string trace_id_hex(std::uint64_t hi, std::uint64_t lo) {
+  std::string out;
+  out.reserve(32);
+  append_hex_u64(out, hi);
+  append_hex_u64(out, lo);
+  return out;
+}
+
+std::string span_id_hex(std::uint64_t id) {
+  std::string out;
+  out.reserve(16);
+  append_hex_u64(out, id);
+  return out;
+}
+
+std::uint64_t parse_hex_u64(const std::string& text) {
+  if (text.empty() || text.size() > 16)
+    throw std::invalid_argument("parse_hex_u64: expected 1..16 hex chars");
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<std::uint64_t>(c - 'A' + 10);
+    } else {
+      throw std::invalid_argument("parse_hex_u64: non-hex character");
+    }
+  }
+  return value;
+}
+
+}  // namespace jps::obs

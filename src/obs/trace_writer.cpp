@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace jps::obs {
 
@@ -67,6 +68,7 @@ void TraceWriter::add_event(Event event) {
 }
 
 void TraceWriter::add_spans(const std::vector<SpanRecord>& spans, int pid) {
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
   for (const SpanRecord& span : spans) {
     Event event;
     event.name = span.name;
@@ -76,7 +78,26 @@ void TraceWriter::add_spans(const std::vector<SpanRecord>& spans, int pid) {
     event.start_ms = span.start_ms;
     event.dur_ms = span.dur_ms;
     event.args = span.args;
+    if (span.trace_hi != 0 || span.trace_lo != 0) {
+      event.args.emplace_back("trace_id",
+                              trace_id_hex(span.trace_hi, span.trace_lo));
+      if (span.span_id != 0) by_id.emplace(span.span_id, &span);
+    }
     events_.push_back(std::move(event));
+  }
+  // Flow arrows for cross-thread parent->child handoffs within this batch.
+  for (const SpanRecord& span : spans) {
+    if (span.parent_span_id == 0) continue;
+    const auto it = by_id.find(span.parent_span_id);
+    if (it == by_id.end()) continue;
+    const SpanRecord& parent = *it->second;
+    if (parent.thread == span.thread) continue;  // same track: nesting shows it
+    // "s" on the parent's track, "f" on the child's, both at the handoff
+    // instant (the child's start); Chrome requires s.ts <= f.ts.
+    flows_.push_back(
+        {span.span_id, span.name, pid, parent.thread, span.start_ms, true});
+    flows_.push_back(
+        {span.span_id, span.name, pid, span.thread, span.start_ms, false});
   }
 }
 
@@ -122,6 +143,15 @@ std::string TraceWriter::json() const {
     os << ",\"pid\":" << event.pid << ",\"tid\":" << event.tid << ",\"args\":";
     append_args(os, event.args);
     os << "}";
+  }
+  for (const FlowPoint& flow : flows_) {
+    separator();
+    os << "{\"name\":\"" << json_escape(flow.name)
+       << "\",\"cat\":\"flow\",\"ph\":\"" << (flow.start ? 's' : 'f') << "\"";
+    if (!flow.start) os << ",\"bp\":\"e\"";
+    os << ",\"id\":" << flow.id << ",\"ts\":";
+    append_us(os, flow.ts_ms);
+    os << ",\"pid\":" << flow.pid << ",\"tid\":" << flow.tid << "}";
   }
   os << "]}\n";
   return os.str();

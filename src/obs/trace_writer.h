@@ -3,8 +3,10 @@
 // Renders obs spans (and anything else with a start, a duration and a
 // track) into the Trace Event Format consumed by about:tracing and
 // Perfetto (https://ui.perfetto.dev — "Open trace file").  Only the pieces
-// this repo needs are implemented: complete events ("ph":"X") and the
-// process/thread-name metadata events that label tracks.
+// this repo needs are implemented: complete events ("ph":"X"), the
+// process/thread-name metadata events that label tracks, and flow events
+// ("ph":"s"/"f") that draw arrows between spans of one trace when a request
+// hops threads (connection handler -> pool worker).
 //
 // Convention used throughout the repo:
 //   pid 0 — instrumentation spans (one tid per recording thread)
@@ -45,8 +47,21 @@ class TraceWriter {
   /// Append one complete event.
   void add_event(Event event);
 
+  /// One flow arrow endpoint ("s" = start on the producing track, "f" with
+  /// bp:"e" = finish on the consuming track).  Chrome joins endpoints by id.
+  struct FlowPoint {
+    std::uint64_t id = 0;
+    std::string name;
+    int pid = 0;
+    std::uint64_t tid = 0;
+    double ts_ms = 0.0;
+    bool start = false;
+  };
+
   /// Append every span as a complete event under `pid` (tid = recording
-  /// thread index).
+  /// thread index).  For each parent/child span pair of the same trace that
+  /// ran on *different* threads, also emit a flow arrow from the parent's
+  /// track to the child's so the causal tree stays readable across tracks.
   void add_spans(const std::vector<SpanRecord>& spans, int pid = 0);
 
   /// Append the registry's counters as one "args" blob on a zero-duration
@@ -62,9 +77,11 @@ class TraceWriter {
   void save(const std::string& path) const;
 
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] const std::vector<FlowPoint>& flows() const { return flows_; }
 
  private:
   std::vector<Event> events_;
+  std::vector<FlowPoint> flows_;
   std::vector<std::pair<int, std::string>> process_names_;
   std::vector<std::pair<std::pair<int, std::uint64_t>, std::string>>
       thread_names_;

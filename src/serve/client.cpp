@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/trace_context.h"
+
 namespace jps::serve {
 
 namespace {
@@ -76,7 +78,17 @@ double Client::latency_p95() const {
   return *pos;
 }
 
-PlanReply Client::plan(const PlanRequest& request) {
+PlanReply Client::plan(const PlanRequest& original) {
+  PlanRequest request = original;
+  if ((request.trace_hi | request.trace_lo) == 0) {
+    // Propagate the caller's trace so the server's spans join its tree.
+    const obs::TraceContext context = obs::TraceContext::current();
+    if (context.valid()) {
+      request.trace_hi = context.trace_hi;
+      request.trace_lo = context.trace_lo;
+      request.trace_parent_span = context.span_id;
+    }
+  }
   for (int attempt = 1;; ++attempt) {
     // The hedge deadline (a fraction of the hard timeout, adapted to the
     // observed p95) arms only while a fresh connection is available to
@@ -151,6 +163,24 @@ bool Client::ping() {
     ++stats_.timeouts;
     return false;
   }
+}
+
+StatsReply Client::scrape_stats() {
+  stream_->set_read_timeout_ms(options_.read_timeout_ms);
+  write_frame(*stream_, encode_stats_request());
+  const std::optional<std::string> payload = read_frame(*stream_);
+  if (!payload)
+    throw TransportError("serve: connection closed before stats reply");
+  return decode_stats_reply(*payload);
+}
+
+TraceDumpReply Client::trace_dump(std::uint32_t max) {
+  stream_->set_read_timeout_ms(options_.read_timeout_ms);
+  write_frame(*stream_, encode_trace_dump_request(max));
+  const std::optional<std::string> payload = read_frame(*stream_);
+  if (!payload)
+    throw TransportError("serve: connection closed before trace dump");
+  return decode_trace_dump_reply(*payload);
 }
 
 void Client::close() {

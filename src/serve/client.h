@@ -91,11 +91,23 @@ class Client {
   /// TransportError (or TransportTimeout for deadlines); malformed replies
   /// throw ProtocolError; application-level failures come back as non-OK
   /// statuses in the reply itself.
+  ///
+  /// When the request carries no trace context and the calling thread does
+  /// (obs::TraceContext), the thread's context is stamped onto the wire
+  /// request, so the server's spans join the caller's trace.
   [[nodiscard]] PlanReply plan(const PlanRequest& request);
 
   /// Liveness probe: true when the server answered the ping (a read
   /// timeout counts as "no").
   [[nodiscard]] bool ping();
+
+  /// Live introspection (protocol v3, single attempt, read timeout from the
+  /// options): scrape the server's current metrics snapshot as JSON.
+  [[nodiscard]] StatsReply scrape_stats();
+
+  /// Drain up to `max` traces (0 = server's batch cap) from the server's
+  /// flight recorder.  reply.remaining > 0 means more batches are queued.
+  [[nodiscard]] TraceDumpReply trace_dump(std::uint32_t max = 0);
 
   /// Close the connection (also happens at destruction).
   void close();

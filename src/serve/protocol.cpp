@@ -31,16 +31,28 @@ void put_u32(std::string& out, std::uint32_t v) {
     out.push_back(static_cast<char>((v >> shift) & 0xFF));
 }
 
-void put_f64(std::string& out, double v) {
-  const auto bits = std::bit_cast<std::uint64_t>(v);
+void put_u64(std::string& out, std::uint64_t v) {
   for (int shift = 0; shift < 64; shift += 8)
-    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
 }
 
 void put_str16(std::string& out, const std::string& s) {
   if (s.size() > 0xFFFF)
     throw ProtocolError("serve: string field exceeds 65535 bytes");
   put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out += s;
+}
+
+// Long string (JSON bodies): bounded only by the frame cap, which
+// write_frame enforces.
+void put_str32(std::string& out, const std::string& s) {
+  if (s.size() > kMaxFrameBytes)
+    throw ProtocolError("serve: string field exceeds frame cap");
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
   out += s;
 }
 
@@ -74,18 +86,28 @@ class Reader {
     return v;
   }
 
-  double f64() {
+  std::uint64_t u64() {
     need(8);
     std::uint64_t bits = 0;
     for (int i = 0; i < 8; ++i)
       bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
               << (8 * i);
     pos_ += 8;
-    return std::bit_cast<double>(bits);
+    return bits;
   }
+
+  double f64() { return std::bit_cast<double>(u64()); }
 
   std::string str16() {
     const std::uint16_t len = u16();
+    need(len);
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  std::string str32() {
+    const std::uint32_t len = u32();
     need(len);
     std::string s(data_.substr(pos_, len));
     pos_ += len;
@@ -131,12 +153,25 @@ Header check_header(Reader& reader) {
   switch (static_cast<Op>(op)) {
     case Op::kPlan:
     case Op::kPing:
+    case Op::kStats:
+    case Op::kTraceDump:
     case Op::kPlanReply:
     case Op::kPingReply:
+    case Op::kStatsReply:
+    case Op::kTraceDumpReply:
       h.op = static_cast<Op>(op);
       return h;
   }
   throw ProtocolError("serve: unknown op " + std::to_string(op));
+}
+
+// The introspection ops did not exist before v3; an older version byte on
+// one of their frames means a broken peer, not an old one.
+void require_v3(std::uint8_t version, const char* what) {
+  if (version < 3)
+    throw ProtocolError(std::string("serve: ") + what +
+                        " requires protocol version 3 (got " +
+                        std::to_string(version) + ")");
 }
 
 // Read exactly `size` bytes or fail.  `any` reports whether anything had
@@ -187,6 +222,11 @@ std::string encode_plan_request(const PlanRequest& request,
   put_u8(out, static_cast<std::uint8_t>(request.strategy));
   put_u32(out, static_cast<std::uint32_t>(request.n_jobs));
   if (version >= 2) put_f64(out, request.deadline_ms);
+  if (version >= 3) {
+    put_u64(out, request.trace_hi);
+    put_u64(out, request.trace_lo);
+    put_u64(out, request.trace_parent_span);
+  }
   return out;
 }
 
@@ -222,6 +262,42 @@ std::string encode_ping() { return header(Op::kPing); }
 
 std::string encode_ping_reply() { return header(Op::kPingReply); }
 
+std::string encode_stats_request(std::uint8_t version) {
+  check_version_arg(version);
+  require_v3(version, "kStats");
+  return header(Op::kStats, version);
+}
+
+std::string encode_stats_reply(const StatsReply& reply,
+                               std::uint8_t version) {
+  check_version_arg(version);
+  require_v3(version, "kStatsReply");
+  std::string out = header(Op::kStatsReply, version);
+  put_u8(out, static_cast<std::uint8_t>(reply.status));
+  put_str32(out, reply.json);
+  return out;
+}
+
+std::string encode_trace_dump_request(std::uint32_t max_traces,
+                                      std::uint8_t version) {
+  check_version_arg(version);
+  require_v3(version, "kTraceDump");
+  std::string out = header(Op::kTraceDump, version);
+  put_u32(out, max_traces);
+  return out;
+}
+
+std::string encode_trace_dump_reply(const TraceDumpReply& reply,
+                                    std::uint8_t version) {
+  check_version_arg(version);
+  require_v3(version, "kTraceDumpReply");
+  std::string out = header(Op::kTraceDumpReply, version);
+  put_u8(out, static_cast<std::uint8_t>(reply.status));
+  put_u32(out, reply.remaining);
+  put_str32(out, reply.json);
+  return out;
+}
+
 Op peek_op(std::string_view payload) {
   Reader reader(payload);
   return check_header(reader).op;
@@ -251,6 +327,11 @@ PlanRequest decode_plan_request(std::string_view payload) {
     throw ProtocolError("serve: n_jobs out of range");
   request.n_jobs = static_cast<std::int32_t>(n_jobs);
   if (h.version >= 2) request.deadline_ms = reader.f64();
+  if (h.version >= 3) {
+    request.trace_hi = reader.u64();
+    request.trace_lo = reader.u64();
+    request.trace_parent_span = reader.u64();
+  }
   reader.expect_done();
   return request;
 }
@@ -282,6 +363,64 @@ PlanReply decode_plan_reply(std::string_view payload) {
     m.count = reader.u32();
     reply.mix.push_back(m);
   }
+  reader.expect_done();
+  return reply;
+}
+
+namespace {
+
+Status read_status(Reader& reader) {
+  const std::uint8_t status = reader.u8();
+  if (status > static_cast<std::uint8_t>(Status::kOkStale))
+    throw ProtocolError("serve: unknown status code " + std::to_string(status));
+  return static_cast<Status>(status);
+}
+
+}  // namespace
+
+void decode_stats_request(std::string_view payload) {
+  Reader reader(payload);
+  const Header h = check_header(reader);
+  if (h.op != Op::kStats)
+    throw ProtocolError("serve: payload is not a stats request");
+  require_v3(h.version, "kStats");
+  reader.expect_done();
+}
+
+std::uint32_t decode_trace_dump_request(std::string_view payload) {
+  Reader reader(payload);
+  const Header h = check_header(reader);
+  if (h.op != Op::kTraceDump)
+    throw ProtocolError("serve: payload is not a trace-dump request");
+  require_v3(h.version, "kTraceDump");
+  const std::uint32_t max_traces = reader.u32();
+  reader.expect_done();
+  return max_traces;
+}
+
+StatsReply decode_stats_reply(std::string_view payload) {
+  Reader reader(payload);
+  const Header h = check_header(reader);
+  if (h.op != Op::kStatsReply)
+    throw ProtocolError("serve: payload is not a stats reply");
+  require_v3(h.version, "kStatsReply");
+  StatsReply reply;
+  reply.status = read_status(reader);
+  reply.json = reader.str32();
+  reader.expect_done();
+  return reply;
+}
+
+TraceDumpReply decode_trace_dump_reply(std::string_view payload) {
+  Reader reader(payload);
+  const Header h = check_header(reader);
+  if (h.op != Op::kTraceDumpReply)
+    throw ProtocolError("serve: payload is not a trace-dump reply");
+  require_v3(h.version, "kTraceDumpReply");
+  TraceDumpReply reply;
+  reply.status = read_status(reader);
+  reply.remaining = reader.u32();
+  reply.json = reader.str32();
   reader.expect_done();
   return reply;
 }

@@ -3,7 +3,7 @@
 // Frame layout (all integers little-endian, doubles as IEEE-754 bits):
 //
 //   frame   := u32 payload_length | payload           (length excludes itself)
-//   payload := u8 magic (0x4A 'J') | u8 version (1 or 2) | u8 op | body
+//   payload := u8 magic (0x4A 'J') | u8 version (1..3) | u8 op | body
 //
 // Ops and bodies:
 //
@@ -11,14 +11,26 @@
 //     body := str16 tenant | str16 model | f64 bandwidth_mbps
 //             | u8 strategy | u32 n_jobs
 //             | f64 deadline_ms                        (version >= 2 only)
+//             | u64 trace_hi | u64 trace_lo
+//             | u64 trace_parent_span                  (version >= 3 only)
 //   kPing (2) — liveness probe; empty body
+//   kStats (3) — v3 only: live metrics scrape; empty body
+//   kTraceDump (4) — v3 only: drain the flight recorder
+//     body := u32 max_traces                           (0 = server's batch cap)
 //   kPlanReply (129)
 //     body := u8 status | u8 flags | str16 message
 //             | f64 bandwidth_bucket_mbps | f64 makespan_ms
 //             | u32 mix_count | mix_count * (u32 cut | u32 count)
 //   kPingReply (130) — empty body
+//   kStatsReply (131) — v3 only
+//     body := u8 status | str32 json     (a MetricsSnapshot, obs::to_json)
+//   kTraceDumpReply (132) — v3 only
+//     body := u8 status | u32 remaining | str32 json
+//             (json = obs::flight_records_json; `remaining` traces are still
+//              queued server-side — issue further kTraceDump frames to drain)
 //
 //   str16 := u16 length | bytes (no terminator)
+//   str32 := u32 length | bytes (no terminator; bounded by kMaxFrameBytes)
 //   flags: bit 0 = coalesced (this reply shared another request's
 //          computation), bit 1 = cache_hit (the plan came out of the
 //          PlanCache rather than a fresh Planner run), bit 2 = stale (a
@@ -34,6 +46,12 @@
 // kOkStale to kOk + the stale flag bit (old decoders ignore the bit;
 // new ones recover staleness from it) and kDeadlineExceeded to
 // kUnavailable (both are "retry later" to a v1 client).
+//
+// Version 3 added the plan request's trailing trace context (an all-zero
+// context means "not traced" — exactly how a v1/v2 frame decodes) and the
+// introspection ops kStats/kTraceDump with their replies.  The
+// introspection ops exist only in v3: their decoders throw ProtocolError
+// for older versions, since an old peer could never have sent them.
 //
 // A payload longer than kMaxFrameBytes is a protocol error: the reader
 // refuses it *before* allocating, so a hostile or corrupt length prefix
@@ -61,7 +79,7 @@ namespace jps::serve {
 
 inline constexpr std::uint8_t kMagic = 0x4A;
 /// Current (preferred) protocol version; encoders default to it.
-inline constexpr std::uint8_t kVersion = 2;
+inline constexpr std::uint8_t kVersion = 3;
 /// Oldest version still accepted — deployed v1 clients keep working.
 inline constexpr std::uint8_t kMinVersion = 1;
 /// Largest accepted payload.  Plan replies are ~tens of bytes per distinct
@@ -71,8 +89,12 @@ inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
 enum class Op : std::uint8_t {
   kPlan = 1,
   kPing = 2,
+  kStats = 3,      // v3
+  kTraceDump = 4,  // v3
   kPlanReply = 129,
   kPingReply = 130,
+  kStatsReply = 131,      // v3
+  kTraceDumpReply = 132,  // v3
 };
 
 /// Reply status (gRPC-style vocabulary).
@@ -125,6 +147,13 @@ struct PlanRequest {
   /// spent.  0 means no deadline.  Wire version >= 2 only; decoding a v1
   /// request leaves it 0.
   double deadline_ms = 0.0;
+  /// Client trace context (obs::TraceContext): the 128-bit trace id plus
+  /// the client-side span the server's root span should parent onto.  All
+  /// zero means "not traced" — the value v1/v2 frames decode to.  Wire
+  /// version >= 3 only.
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t trace_parent_span = 0;
 
   friend bool operator==(const PlanRequest&, const PlanRequest&) = default;
 };
@@ -165,15 +194,42 @@ struct PlanReply {
   friend bool operator==(const PlanReply&, const PlanReply&) = default;
 };
 
+/// Reply to kStats: the server's live MetricsSnapshot as obs::to_json text.
+struct StatsReply {
+  Status status = Status::kOk;
+  std::string json;
+
+  friend bool operator==(const StatsReply&, const StatsReply&) = default;
+};
+
+/// Reply to kTraceDump: one drained batch of flight-recorder traces
+/// (obs::flight_records_json) plus how many retained traces remain queued.
+struct TraceDumpReply {
+  Status status = Status::kOk;
+  std::uint32_t remaining = 0;
+  std::string json;
+
+  friend bool operator==(const TraceDumpReply&, const TraceDumpReply&) =
+      default;
+};
+
 /// Payload encoders (everything after the length prefix).  `version` lets
 /// the server answer a v1 client in v1 (and tests emit old-client frames);
-/// it must lie in [kMinVersion, kVersion].
+/// it must lie in [kMinVersion, kVersion].  The introspection encoders
+/// additionally require version >= 3.
 [[nodiscard]] std::string encode_plan_request(const PlanRequest& request,
                                               std::uint8_t version = kVersion);
 [[nodiscard]] std::string encode_plan_reply(const PlanReply& reply,
                                             std::uint8_t version = kVersion);
 [[nodiscard]] std::string encode_ping();
 [[nodiscard]] std::string encode_ping_reply();
+[[nodiscard]] std::string encode_stats_request(std::uint8_t version = kVersion);
+[[nodiscard]] std::string encode_stats_reply(const StatsReply& reply,
+                                             std::uint8_t version = kVersion);
+[[nodiscard]] std::string encode_trace_dump_request(
+    std::uint32_t max_traces = 0, std::uint8_t version = kVersion);
+[[nodiscard]] std::string encode_trace_dump_reply(
+    const TraceDumpReply& reply, std::uint8_t version = kVersion);
 
 /// Payload decoders; throw ProtocolError on bad magic/version/op, a
 /// truncated body, or trailing bytes.
@@ -183,6 +239,14 @@ struct PlanReply {
 [[nodiscard]] std::uint8_t peek_version(std::string_view payload);
 [[nodiscard]] PlanRequest decode_plan_request(std::string_view payload);
 [[nodiscard]] PlanReply decode_plan_reply(std::string_view payload);
+/// v3-only decoders (ProtocolError when the frame's version is older).
+/// A kStats request has an empty body; decoding it only validates the frame.
+void decode_stats_request(std::string_view payload);
+[[nodiscard]] std::uint32_t decode_trace_dump_request(
+    std::string_view payload);
+[[nodiscard]] StatsReply decode_stats_reply(std::string_view payload);
+[[nodiscard]] TraceDumpReply decode_trace_dump_reply(
+    std::string_view payload);
 
 /// Write one frame (length prefix + payload).
 void write_frame(ByteStream& stream, std::string_view payload);

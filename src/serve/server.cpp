@@ -12,8 +12,11 @@
 #include "core/planner.h"
 #include "models/registry.h"
 #include "net/channel.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/metrics_export.h"
 #include "obs/obs.h"
+#include "obs/trace_context.h"
 #include "partition/profile_curve.h"
 #include "profile/latency_model.h"
 #include "serve/snapshot.h"
@@ -50,6 +53,70 @@ PlanReply error_reply(Status status, std::string message) {
   return reply;
 }
 
+// RAII per-request tracer: installs a TraceContext (adopted from the wire
+// request's trace fields, or minted fresh), opens the root "serve.request"
+// span, and on destruction completes the trace in the flight recorder and
+// links the request's latency into the serve.plan_ms exemplars.  Inert when
+// both the recorder and process-wide span tracing are off.
+class RequestTracer {
+ public:
+  explicit RequestTracer(const PlanRequest& request) {
+    if (!obs::FlightRecorder::global().enabled() && !obs::enabled()) return;
+    active_ = true;
+    if ((request.trace_hi | request.trace_lo) != 0) {
+      // Adopt the client's trace; our root span parents onto the client-side
+      // span that issued the request.
+      context_.trace_hi = request.trace_hi;
+      context_.trace_lo = request.trace_lo;
+      context_.span_id = request.trace_parent_span;
+    } else {
+      context_ = obs::TraceContext::start();
+      context_.span_id = 0;  // server-originated trace: the root has no parent
+    }
+    start_ms_ = obs::Registry::global().now_ms();
+    scope_.emplace(context_);
+    root_.emplace("serve.request", "serve");
+    root_->arg("tenant", request.tenant);
+    root_->arg("model", request.model);
+  }
+
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  /// Record the request's outcome (call once the reply is known; the tracer
+  /// stays open so the encode span still joins the trace).
+  void set_outcome(const PlanReply& reply) {
+    if (!active_) return;
+    plan_ms_ = obs::Registry::global().now_ms() - start_ms_;
+    status_ = status_name(reply.status);
+    error_ = !reply.has_plan();
+    if (reply.coalesced) root_->arg("coalesced", "1");
+    if (reply.cache_hit) root_->arg("cache_hit", "1");
+    root_->arg("status", status_);
+  }
+
+  ~RequestTracer() {
+    if (!active_) return;
+    root_.reset();  // close the root span so it reaches the recorder
+    const double dur_ms = obs::Registry::global().now_ms() - start_ms_;
+    obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+    recorder.record_exemplar("serve.plan_ms",
+                             plan_ms_ > 0.0 ? plan_ms_ : dur_ms, context_);
+    recorder.finish(context_, status_, error_, start_ms_, dur_ms);
+    scope_.reset();
+  }
+
+ private:
+  bool active_ = false;
+  bool error_ = false;
+  double start_ms_ = 0.0;
+  double plan_ms_ = 0.0;
+  std::string status_ = "UNKNOWN";
+  obs::TraceContext context_;
+  std::optional<obs::TraceScope> scope_;
+  std::optional<obs::Span> root_;
+};
+
 }  // namespace
 
 double quantize_bandwidth(double bandwidth_mbps, double step_mbps) {
@@ -64,6 +131,15 @@ Server::Server(ServerOptions options)
       cache_(std::max<std::size_t>(1, options_.cache_shards)),
       breaker_(options_.breaker) {
   options_.max_inflight = std::max<std::size_t>(1, options_.max_inflight);
+
+  // The recorder is process-wide; the most recently constructed server's
+  // options govern it (one server per process outside tests).
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  recorder.set_enabled(options_.flight_recorder_enabled);
+  if (options_.flight_recorder_capacity > 0)
+    recorder.set_capacity(options_.flight_recorder_capacity);
+  if (options_.flight_recorder_sample_every > 0)
+    recorder.set_sample_every(options_.flight_recorder_sample_every);
 
   if (!options_.snapshot_path.empty()) {
     const SnapshotLoadResult loaded =
@@ -99,6 +175,11 @@ Server::~Server() { stop(); }
 
 Server::PlanOutcome Server::compute_plan(const PlanRequest& request,
                                          double bucket_mbps) {
+  // Runs on a pool worker; ThreadPool::submit carried the leader's
+  // TraceContext here, so these spans join the request's tree.
+  obs::Span compute_span("serve.plan_compute", "serve");
+  compute_span.arg("model", request.model);
+
   if (options_.debug_plan_delay_ms > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         options_.debug_plan_delay_ms));
@@ -114,6 +195,7 @@ Server::PlanOutcome Server::compute_plan(const PlanRequest& request,
     // models::build throws std::invalid_argument for unknown names; the
     // caller maps that to NOT_FOUND.  Build outside the map lock (graph
     // construction is the expensive part); last insert wins harmlessly.
+    obs::Span graph_span("serve.model_graph", "serve");
     auto built = std::make_shared<const dnn::Graph>(models::build(request.model));
     util::MutexLock lock(graphs_mutex_);
     graph = graphs_.emplace(request.model, std::move(built)).first->second;
@@ -133,10 +215,14 @@ Server::PlanOutcome Server::compute_plan(const PlanRequest& request,
   const core::PlanCacheKey plan_key(request.model, options_.device.name,
                                     bucket_mbps, request.strategy,
                                     request.n_jobs);
-  outcome.plan = cache_.plan(plan_key, [&] {
-    built = true;
-    return core::Planner(*curve).plan(request.strategy, request.n_jobs);
-  });
+  {
+    obs::Span cache_span("serve.cache_lookup", "serve");
+    outcome.plan = cache_.plan(plan_key, [&] {
+      built = true;
+      return core::Planner(*curve).plan(request.strategy, request.n_jobs);
+    });
+    cache_span.arg("hit", built ? "0" : "1");
+  }
   outcome.cache_hit = !built;
   if (built) plans_computed_.fetch_add(1, std::memory_order_relaxed);
   return outcome;
@@ -161,6 +247,7 @@ PlanReply Server::to_reply(const PlanOutcome& outcome) const {
 PlanReply Server::stale_reply(const PlanRequest& request, double bucket_mbps) {
   static obs::Counter& stale_counter = obs::counter("serve.stale_served");
 
+  obs::Span span("serve.stale_lookup", "serve");
   const core::PlanCacheKey want(request.model, options_.device.name,
                                 bucket_mbps, request.strategy,
                                 request.n_jobs);
@@ -186,6 +273,15 @@ PlanReply Server::stale_reply(const PlanRequest& request, double bucket_mbps) {
 }
 
 PlanReply Server::handle_plan(const PlanRequest& request) {
+  // The tracer owns the trace for the whole request (admission through
+  // reply); process_plan's spans nest under its root "serve.request" span.
+  RequestTracer tracer(request);
+  PlanReply reply = process_plan(request);
+  tracer.set_outcome(reply);
+  return reply;
+}
+
+PlanReply Server::process_plan(const PlanRequest& request) {
   static obs::Counter& requests_total = obs::counter("serve.requests");
   static obs::Counter& coalesce_hits = obs::counter("serve.coalesce_hits");
   static obs::Counter& cache_hits = obs::counter("serve.cache_hits");
@@ -201,6 +297,12 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
   obs::ScopedTimer timer(plan_ms);
   requests_.fetch_add(1, std::memory_order_relaxed);
   requests_total.add();
+
+  // Covers validation, deadline checks, rate limiting, and the breaker gate;
+  // reset just before the coalescing block so "time spent being admitted" is
+  // separable from "time spent waiting for a plan" in the trace.
+  std::optional<obs::Span> admission_span;
+  admission_span.emplace("serve.admission", "serve");
 
   if (stopping_.load(std::memory_order_acquire))
     return error_reply(Status::kUnavailable, "server is draining");
@@ -266,6 +368,7 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
   }
   const bool probe = decision == CircuitBreaker::Decision::kProbe;
 
+  admission_span.reset();
   const std::string key = inflight_key(request, bucket);
 
   std::shared_future<PlanOutcome> future;
@@ -310,6 +413,14 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
 
   PlanReply reply;
   try {
+    {
+      // Leaders wait for their own pool submission; followers block on the
+      // leader's future ("coalesce wait").  Distinct span names make the two
+      // shapes distinguishable in a trace without reading args.
+      obs::Span wait_span(leader ? "serve.plan_wait" : "serve.coalesce_wait",
+                          "serve");
+      future.wait();
+    }
     const PlanOutcome& outcome = future.get();
     reply = to_reply(outcome);
     if (outcome.cache_hit && leader) {
@@ -355,6 +466,37 @@ PlanReply Server::handle_plan(const PlanRequest& request) {
   return reply;
 }
 
+StatsReply Server::build_stats_reply() {
+  static obs::Counter& scrapes = obs::counter("serve.stats_scrapes");
+  stats_scrapes_.fetch_add(1, std::memory_order_relaxed);
+  scrapes.add();
+  StatsReply reply;
+  reply.status = Status::kOk;
+  reply.json = obs::to_json(obs::MetricsSnapshot::capture());
+  return reply;
+}
+
+TraceDumpReply Server::build_trace_dump(std::uint32_t max_traces) {
+  // Batch cap: a dump reply must stay well under kMaxFrameBytes even with
+  // max-span traces, so large recorders drain across several requests
+  // (reply.remaining tells the client to come back).
+  constexpr std::uint32_t kTraceBatchCap = 32;
+  static obs::Counter& dumps = obs::counter("serve.trace_dumps");
+  trace_dumps_.fetch_add(1, std::memory_order_relaxed);
+  dumps.add();
+
+  std::uint32_t batch = max_traces == 0 ? kTraceBatchCap
+                                        : std::min(max_traces, kTraceBatchCap);
+  obs::FlightRecorder& recorder = obs::FlightRecorder::global();
+  const std::vector<obs::TraceRecord> records = recorder.drain(batch);
+  TraceDumpReply reply;
+  reply.status = Status::kOk;
+  reply.remaining = static_cast<std::uint32_t>(
+      std::min<std::size_t>(recorder.size(), 0xFFFFFFFFu));
+  reply.json = obs::flight_records_json(records);
+  return reply;
+}
+
 void Server::handle_connection(ByteStream& stream) {
   static obs::Counter& protocol_errors = obs::counter("serve.protocol_errors");
   static obs::Histogram& ping_ms = obs::histogram("serve.ping_ms");
@@ -374,6 +516,8 @@ void Server::handle_connection(ByteStream& stream) {
     }
     connections_gauge.add(1.0);
   }
+  obs::Registry::global().set_thread_name("serve-conn-" +
+                                          std::to_string(slot));
   // stop() may half-close the stream at any point from here on; every exit
   // path below must unregister the slot.
 
@@ -390,40 +534,53 @@ void Server::handle_connection(ByteStream& stream) {
     }
     if (!payload) break;  // clean EOF
 
-    PlanReply reply;
-    bool is_ping = false;
     // Answer each frame at the version it arrived with, so one connection
-    // may mix v1 and v2 requests (and an unparseable header falls back to
-    // the current version for the error reply).
+    // may mix v1, v2, and v3 requests (and an unparseable header falls back
+    // to the current version for the error reply).
     std::uint8_t version = kVersion;
+    std::string out;
     try {
       version = peek_version(*payload);
       switch (peek_op(*payload)) {
-        case Op::kPing:
-          is_ping = true;
+        case Op::kPing: {
+          obs::ScopedTimer timer(ping_ms);
+          out = encode_ping_reply();
           break;
-        case Op::kPlan:
-          reply = handle_plan(decode_plan_request(*payload));
+        }
+        case Op::kPlan: {
+          const PlanRequest request = decode_plan_request(*payload);
+          RequestTracer tracer(request);
+          const PlanReply reply = process_plan(request);
+          tracer.set_outcome(reply);
+          // Encoding inside the tracer's lifetime keeps serialization cost
+          // attributed to the request's trace.
+          obs::Span encode_span("serve.encode", "serve");
+          out = encode_plan_reply(reply, version);
+          break;
+        }
+        case Op::kStats:
+          decode_stats_request(*payload);  // validates op + version >= 3
+          out = encode_stats_reply(build_stats_reply());
+          break;
+        case Op::kTraceDump:
+          out = encode_trace_dump_reply(
+              build_trace_dump(decode_trace_dump_request(*payload)));
           break;
         default:
           throw ProtocolError("serve: unexpected op from client");
       }
     } catch (const ProtocolError& e) {
       // The frame boundary held, so the connection is still usable — answer
-      // with an error instead of hanging up.
+      // with an error instead of hanging up.  (Introspection ops on a pre-v3
+      // frame land here too: the error reply names the version requirement.)
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       protocol_errors.add();
-      version = kVersion;
-      reply = error_reply(Status::kInvalidArgument, e.what());
+      out = encode_plan_reply(error_reply(Status::kInvalidArgument, e.what()),
+                              kVersion);
     }
 
     try {
-      if (is_ping) {
-        obs::ScopedTimer timer(ping_ms);
-        write_frame(stream, encode_ping_reply());
-      } else {
-        write_frame(stream, encode_plan_reply(reply, version));
-      }
+      write_frame(stream, out);
     } catch (const std::exception&) {
       break;  // peer went away mid-reply
     }
@@ -499,6 +656,8 @@ ServerStats Server::stats() const {
   s.breaker_opens = breaker_.opens();
   s.warm_start_entries = warm_start_entries_.load(std::memory_order_relaxed);
   s.snapshot_saves = snapshot_saves_.load(std::memory_order_relaxed);
+  s.stats_scrapes = stats_scrapes_.load(std::memory_order_relaxed);
+  s.trace_dumps = trace_dumps_.load(std::memory_order_relaxed);
   return s;
 }
 

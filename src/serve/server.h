@@ -40,6 +40,18 @@
 //     snapshot_interval_ms while running), so a restart answers from warm
 //     cache instead of stampeding the planner (serve/snapshot.h).
 //
+// Observability (PR 10 — see docs/OBSERVABILITY.md "Request tracing"):
+//   * Tracing — every request runs under an obs::TraceContext (adopted from
+//     a v3 frame's trace fields, or minted fresh), so its admission /
+//     coalesce-wait / cache-lookup / plan-compute / encode spans form one
+//     causal tree across the connection thread and the pool worker.
+//   * Flight recorder — completed traces are retained tail-based in the
+//     process-wide obs::FlightRecorder (errors + latency outliers always,
+//     the rest sampled) until a kTraceDump drains them.
+//   * Introspection — kStats answers with a live MetricsSnapshot as JSON;
+//     kTraceDump drains recorded traces; both are served inline on the
+//     connection thread without touching the planner pool.
+//
 // Drain: stop() flips the server to UNAVAILABLE, half-closes the read side
 // of every active connection (loops exit at the next frame boundary while
 // in-flight replies still flow out), then ThreadPool::shutdown() guarantees
@@ -112,6 +124,16 @@ struct ServerOptions {
   /// Test hook: artificial delay before the admission deadline check (ms).
   /// Lets tests expire a request's deadline deterministically server-side.
   double debug_admission_delay_ms = 0.0;
+  /// Request-scoped tracing into the process-wide obs::FlightRecorder.
+  /// When enabled (default), every request runs under a TraceContext, its
+  /// spans are collected per trace, and completed traces are retained
+  /// tail-based for the kTraceDump introspection op.  Construction applies
+  /// these to the GLOBAL recorder (last server built wins).
+  bool flight_recorder_enabled = true;
+  /// Ring capacity / head-sampling rate overrides; 0 keeps the recorder's
+  /// defaults (128 traces, 1-in-8).
+  std::size_t flight_recorder_capacity = 0;
+  std::uint64_t flight_recorder_sample_every = 0;
 };
 
 /// Point-in-time counters (also mirrored into jps::obs as serve.*).
@@ -132,6 +154,9 @@ struct ServerStats {
   std::uint64_t warm_start_entries = 0;
   /// Successful snapshot saves (timer + drain).
   std::uint64_t snapshot_saves = 0;
+  /// Live introspection ops answered (kStats / kTraceDump frames).
+  std::uint64_t stats_scrapes = 0;
+  std::uint64_t trace_dumps = 0;
 
   [[nodiscard]] std::uint64_t shed_total() const {
     return shed_rate_limited + shed_overload;
@@ -180,6 +205,13 @@ class Server {
     double bucket_mbps = 0.0;
   };
 
+  /// handle_plan without the request tracer (handle_connection runs its own
+  /// tracer so the encode span joins the same trace).
+  [[nodiscard]] PlanReply process_plan(const PlanRequest& request);
+  /// One drained flight-recorder batch for a kTraceDump frame.
+  [[nodiscard]] TraceDumpReply build_trace_dump(std::uint32_t max_traces);
+  /// The server's live metrics snapshot for a kStats frame.
+  [[nodiscard]] StatsReply build_stats_reply();
   /// The Planner run (graph -> curve -> plan) behind every leader.
   [[nodiscard]] PlanOutcome compute_plan(const PlanRequest& request,
                                          double bucket_mbps);
@@ -240,6 +272,8 @@ class Server {
   std::atomic<std::uint64_t> stale_served_{0};
   std::atomic<std::uint64_t> warm_start_entries_{0};
   std::atomic<std::uint64_t> snapshot_saves_{0};
+  std::atomic<std::uint64_t> stats_scrapes_{0};
+  std::atomic<std::uint64_t> trace_dumps_{0};
   // Last breaker_.opens() mirrored into the serve.breaker_opens counter.
   std::atomic<std::uint64_t> breaker_opens_seen_{0};
 };

@@ -41,7 +41,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
@@ -82,8 +82,10 @@ void ThreadPool::enqueue(Task task) {
   cv_.notify_one();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   tl_pool_worker = true;
+  obs::Registry::global().set_thread_name("pool-worker-" +
+                                          std::to_string(index));
   while (true) {
     Task task;
     {

@@ -29,6 +29,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/trace_context.h"
 #include "util/mutex.h"
 
 namespace jps::util {
@@ -64,11 +65,21 @@ class ThreadPool {
   /// Enqueue a callable; returns a future for its result.  Exceptions
   /// thrown by the task are captured and rethrown by future::get().
   /// Throws std::runtime_error if shutdown has begun.
+  ///
+  /// The submitter's obs::TraceContext is captured and reinstalled around
+  /// the task on the worker, so spans opened inside the task join the
+  /// submitting request's causal tree even though they run on another
+  /// thread.
   template <typename F>
   [[nodiscard]] auto submit(F&& task)
       -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
-    std::packaged_task<R()> packaged(std::forward<F>(task));
+    std::packaged_task<R()> packaged(
+        [context = obs::TraceContext::current(),
+         fn = std::forward<F>(task)]() mutable -> R {
+          obs::TraceScope scope(context);
+          return fn();
+        });
     std::future<R> fut = packaged.get_future();
     enqueue(Task(std::move(packaged)));
     return fut;
@@ -109,7 +120,7 @@ class ThreadPool {
   };
 
   void enqueue(Task task);
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   /// Written only by the constructor (before any concurrent access) and
   /// joined under join_mutex_; size() reads the count set at construction.

@@ -1,0 +1,254 @@
+// Flight recorder: tail-based retention (errors, latency tails, 1-in-N
+// sampling), span capture from ~Span, ring eviction, exemplars, and the
+// JSON round trip + structural validator the scrape path depends on.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "obs/trace_context.h"
+#include "util/json.h"
+
+namespace jps::obs {
+namespace {
+
+// The recorder is process-global; every test starts from defaults with
+// recording on and leaves it off.
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FlightRecorder::global().reset();
+    FlightRecorder::global().set_enabled(true);
+  }
+  void TearDown() override {
+    FlightRecorder::global().set_enabled(false);
+    FlightRecorder::global().reset();
+  }
+};
+
+SpanRecord make_span(const TraceContext& context, std::uint64_t span_id,
+                     std::uint64_t parent, double start_ms, double dur_ms,
+                     const std::string& name = "work") {
+  SpanRecord record;
+  record.name = name;
+  record.category = "test";
+  record.trace_hi = context.trace_hi;
+  record.trace_lo = context.trace_lo;
+  record.span_id = span_id;
+  record.parent_span_id = parent;
+  record.start_ms = start_ms;
+  record.dur_ms = dur_ms;
+  return record;
+}
+
+TEST_F(FlightRecorderTest, ErrorTracesAreAlwaysRetained) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_sample_every(1000000);  // sampling alone would keep ~nothing
+  for (int i = 0; i < 8; ++i) {
+    const TraceContext context = TraceContext::start();
+    recorder.finish(context, "RESOURCE_EXHAUSTED", /*error=*/true,
+                    /*start_ms=*/0.0, /*dur_ms=*/0.1);
+  }
+  EXPECT_EQ(recorder.size(), 8u);
+  for (const TraceRecord& record : recorder.drain()) {
+    EXPECT_TRUE(record.error);
+    EXPECT_EQ(record.status, "RESOURCE_EXHAUSTED");
+  }
+}
+
+TEST_F(FlightRecorderTest, UnremarkableTracesAreHeadSampledOneInN) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_sample_every(4);
+  for (int i = 0; i < 8; ++i)  // ticks 0..7: ticks 0 and 4 are kept
+    recorder.finish(TraceContext::start(), "OK", false, 0.0, 0.1);
+  EXPECT_EQ(recorder.size(), 2u);
+}
+
+TEST_F(FlightRecorderTest, LatencyTailsBeatTheSampler) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_sample_every(1000000);
+  // Fill the internal latency histogram past a p99 refresh (every 32).
+  for (std::uint64_t i = 0; i <= FlightRecorder::kP99RefreshEvery; ++i)
+    recorder.finish(TraceContext::start(), "OK", false, 0.0, 1.0);
+  (void)recorder.drain();
+  ASSERT_GT(recorder.latency_p99_ms(), 0.0);
+  ASSERT_LE(recorder.latency_p99_ms(), 5.0);
+  recorder.finish(TraceContext::start(), "OK", false, 0.0, 50.0);
+  const std::vector<TraceRecord> kept = recorder.drain();
+  bool found_tail = false;
+  for (const TraceRecord& record : kept)
+    if (record.dur_ms == 50.0) found_tail = true;
+  EXPECT_TRUE(found_tail);
+}
+
+TEST_F(FlightRecorderTest, RingEvictsOldestAtCapacity) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_capacity(2);
+  recorder.set_sample_every(1);
+  for (int i = 0; i < 5; ++i)
+    recorder.finish(TraceContext::start(), "OK", false, double(i), 0.1);
+  const std::vector<TraceRecord> kept = recorder.drain();
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].start_ms, 3.0);  // oldest three were evicted
+  EXPECT_EQ(kept[1].start_ms, 4.0);
+}
+
+TEST_F(FlightRecorderTest, SpansPerTraceAreCappedWithDropCount) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_sample_every(1);
+  recorder.set_max_spans_per_trace(2);
+  const TraceContext context = TraceContext::start();
+  for (int i = 0; i < 5; ++i)
+    recorder.record_span(
+        make_span(context, 100 + std::uint64_t(i), 0, double(i), 0.1));
+  recorder.finish(context, "OK", false, 0.0, 5.0);
+  const std::vector<TraceRecord> kept = recorder.drain();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].spans.size(), 2u);
+  EXPECT_EQ(kept[0].spans_dropped, 3u);
+}
+
+TEST_F(FlightRecorderTest, ScopedSpansReachTheRecorderWithoutJpsTrace) {
+  ASSERT_FALSE(enabled());  // JPS_TRACE is off in tests
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_sample_every(1);
+  const TraceContext context = TraceContext::start();
+  {
+    TraceScope scope(context);
+    Span outer("outer", "test");
+    Span inner("inner", "test");
+  }
+  recorder.finish(context, "OK", false, 0.0, 1.0);
+  const std::vector<TraceRecord> kept = recorder.drain();
+  ASSERT_EQ(kept.size(), 1u);
+  ASSERT_EQ(kept[0].spans.size(), 2u);  // destruction order: inner first
+  const SpanRecord& inner = kept[0].spans[0];
+  const SpanRecord& outer = kept[0].spans[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.trace_hi, context.trace_hi);
+  EXPECT_EQ(outer.parent_span_id, context.span_id);
+  EXPECT_EQ(inner.parent_span_id, outer.span_id);  // causal nesting
+  // Nothing reached the registry: process-wide tracing stayed off.
+  EXPECT_EQ(Registry::global().span_count(), 0u);
+  EXPECT_TRUE(validate_trace(kept[0]).empty());
+}
+
+TEST_F(FlightRecorderTest, DisabledRecorderIgnoresEverything) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_enabled(false);
+  const TraceContext context = TraceContext::start();
+  recorder.record_span(make_span(context, 1, 0, 0.0, 1.0));
+  recorder.finish(context, "OK", true, 0.0, 1.0);
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST_F(FlightRecorderTest, ExemplarsLinkBucketsToTraceIds) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  const TraceContext context = TraceContext::start();
+  recorder.record_exemplar("serve.plan_ms", 12.5, context);
+  const std::vector<Exemplar> exemplars = recorder.exemplars();
+  ASSERT_EQ(exemplars.size(), 1u);
+  EXPECT_EQ(exemplars[0].histogram, "serve.plan_ms");
+  EXPECT_EQ(exemplars[0].value, 12.5);
+  EXPECT_EQ(exemplars[0].trace_hi, context.trace_hi);
+  EXPECT_EQ(exemplars[0].trace_lo, context.trace_lo);
+  // A newer observation in the same bucket replaces the exemplar.
+  const TraceContext newer = TraceContext::start();
+  recorder.record_exemplar("serve.plan_ms", 12.5, newer);
+  ASSERT_EQ(recorder.exemplars().size(), 1u);
+  EXPECT_EQ(recorder.exemplars()[0].trace_hi, newer.trace_hi);
+}
+
+TEST_F(FlightRecorderTest, JsonRoundTripPreservesEveryField) {
+  const TraceContext context = TraceContext::start();
+  TraceRecord record;
+  record.trace_hi = context.trace_hi;
+  record.trace_lo = context.trace_lo;
+  record.status = "DEADLINE_EXCEEDED";
+  record.error = true;
+  record.start_ms = 10.0;
+  record.dur_ms = 7.5;
+  record.spans_dropped = 2;
+  record.spans.push_back(make_span(context, 7, 0, 10.0, 7.5, "root"));
+  record.spans.push_back(make_span(context, 8, 7, 11.0, 2.0, "child"));
+  record.spans[1].args.push_back({"model", "alexnet"});
+  Registry::global().set_thread_name("flightrec-json-test");
+  record.spans[0].thread = Registry::global().thread_index();
+
+  const std::string json = flight_records_json({record});
+  const util::Json doc = util::Json::parse(json);
+  const std::vector<TraceRecord> parsed = flight_records_from_json(doc);
+  // The dump carries names for the registry-labeled threads it references.
+  const auto names = flight_thread_names_from_json(doc);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0].first, record.spans[0].thread);
+  EXPECT_EQ(names[0].second, "flightrec-json-test");
+  ASSERT_EQ(parsed.size(), 1u);
+  const TraceRecord& back = parsed[0];
+  EXPECT_EQ(back.trace_hi, record.trace_hi);
+  EXPECT_EQ(back.trace_lo, record.trace_lo);
+  EXPECT_EQ(back.status, record.status);
+  EXPECT_EQ(back.error, record.error);
+  EXPECT_EQ(back.start_ms, record.start_ms);
+  EXPECT_EQ(back.dur_ms, record.dur_ms);
+  EXPECT_EQ(back.spans_dropped, record.spans_dropped);
+  ASSERT_EQ(back.spans.size(), 2u);
+  EXPECT_EQ(back.spans[0].name, "root");
+  EXPECT_EQ(back.spans[1].span_id, 8u);
+  EXPECT_EQ(back.spans[1].parent_span_id, 7u);
+  ASSERT_EQ(back.spans[1].args.size(), 1u);
+  EXPECT_EQ(back.spans[1].args[0].second, "alexnet");
+  EXPECT_TRUE(validate_trace(back).empty());
+}
+
+TEST_F(FlightRecorderTest, ValidatorRejectsStructuralViolations) {
+  const TraceContext context = TraceContext::start();
+  TraceRecord record;
+  record.trace_hi = context.trace_hi;
+  record.trace_lo = context.trace_lo;
+  record.dur_ms = 10.0;
+
+  // Zero span id.
+  record.spans = {make_span(context, 0, 0, 0.0, 1.0)};
+  EXPECT_FALSE(validate_trace(record).empty());
+
+  // Duplicate span ids.
+  record.spans = {make_span(context, 5, 0, 0.0, 5.0),
+                  make_span(context, 5, 0, 1.0, 1.0)};
+  EXPECT_FALSE(validate_trace(record).empty());
+
+  // Child interval escapes its parent (well past the default slack).
+  record.spans = {make_span(context, 5, 0, 0.0, 1.0),
+                  make_span(context, 6, 5, 0.5, 4.0)};
+  EXPECT_FALSE(validate_trace(record).empty());
+
+  // Parent cycle, no root.
+  record.spans = {make_span(context, 5, 6, 0.0, 1.0),
+                  make_span(context, 6, 5, 0.0, 1.0)};
+  EXPECT_FALSE(validate_trace(record).empty());
+
+  // A healthy tree passes.
+  record.spans = {make_span(context, 5, 0, 0.0, 10.0),
+                  make_span(context, 6, 5, 1.0, 2.0),
+                  make_span(context, 7, 5, 4.0, 3.0)};
+  EXPECT_TRUE(validate_trace(record).empty());
+}
+
+TEST_F(FlightRecorderTest, DrainRespectsMaxAndReportsRemaining) {
+  FlightRecorder& recorder = FlightRecorder::global();
+  recorder.set_sample_every(1);
+  for (int i = 0; i < 6; ++i)
+    recorder.finish(TraceContext::start(), "OK", false, double(i), 0.1);
+  EXPECT_EQ(recorder.size(), 6u);
+  EXPECT_EQ(recorder.drain(4).size(), 4u);
+  EXPECT_EQ(recorder.size(), 2u);
+  EXPECT_EQ(recorder.drain().size(), 2u);
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+}  // namespace
+}  // namespace jps::obs

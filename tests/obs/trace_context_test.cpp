@@ -1,0 +1,119 @@
+// TraceContext: id minting, thread-local scoping, hex codecs, and the
+// ThreadPool propagation that carries a request's trace onto pool workers.
+#include "obs/trace_context.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/thread_pool.h"
+
+namespace jps::obs {
+namespace {
+
+TEST(TraceContext, DefaultIsInvalidAndZero) {
+  const TraceContext context;
+  EXPECT_FALSE(context.valid());
+  EXPECT_EQ(context.trace_hi, 0u);
+  EXPECT_EQ(context.trace_lo, 0u);
+  EXPECT_EQ(context.span_id, 0u);
+}
+
+TEST(TraceContext, StartMintsValidDistinctIds) {
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (int i = 0; i < 64; ++i) {
+    const TraceContext context = TraceContext::start();
+    EXPECT_TRUE(context.valid());
+    EXPECT_NE(context.span_id, 0u);
+    seen.insert({context.trace_hi, context.trace_lo});
+  }
+  EXPECT_EQ(seen.size(), 64u);  // no collisions in a short run
+}
+
+TEST(TraceContext, NextSpanIdIsNonZeroAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t id = TraceContext::next_span_id();
+    EXPECT_NE(id, 0u);
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(TraceContext, ScopeInstallsAndRestoresNested) {
+  EXPECT_FALSE(TraceContext::current().valid());
+  const TraceContext outer = TraceContext::start();
+  {
+    TraceScope outer_scope(outer);
+    EXPECT_EQ(TraceContext::current(), outer);
+    const TraceContext inner = TraceContext::start();
+    {
+      TraceScope inner_scope(inner);
+      EXPECT_EQ(TraceContext::current(), inner);
+    }
+    EXPECT_EQ(TraceContext::current(), outer);
+  }
+  EXPECT_FALSE(TraceContext::current().valid());
+}
+
+TEST(TraceContext, ContextIsThreadLocal) {
+  const TraceContext context = TraceContext::start();
+  TraceScope scope(context);
+  bool other_thread_sees_it = true;
+  std::thread probe(
+      [&] { other_thread_sees_it = TraceContext::current().valid(); });
+  probe.join();
+  EXPECT_FALSE(other_thread_sees_it);
+}
+
+TEST(TraceContext, HexCodecsRoundTrip) {
+  const std::string trace = trace_id_hex(0x0123456789ABCDEFull, 0xFEDCBA98ull);
+  EXPECT_EQ(trace.size(), 32u);
+  EXPECT_EQ(trace, "0123456789abcdef00000000fedcba98");
+  const std::string span = span_id_hex(0xDEADBEEFull);
+  EXPECT_EQ(span.size(), 16u);
+  EXPECT_EQ(span, "00000000deadbeef");
+  EXPECT_EQ(parse_hex_u64("00000000deadbeef"), 0xDEADBEEFull);
+  EXPECT_EQ(parse_hex_u64(trace.substr(0, 16)), 0x0123456789ABCDEFull);
+}
+
+TEST(TraceContext, ParseHexRejectsGarbage) {
+  EXPECT_THROW((void)parse_hex_u64(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex_u64("xyz"), std::invalid_argument);
+  EXPECT_THROW((void)parse_hex_u64("0123456789abcdef0"),  // 17 digits
+               std::invalid_argument);
+}
+
+TEST(TraceContext, ThreadPoolSubmitCarriesTheContext) {
+  const TraceContext context = TraceContext::start();
+  util::ThreadPool pool(2);
+  TraceContext seen_with;
+  TraceContext seen_without;
+  {
+    TraceScope scope(context);
+    seen_with = pool.submit([] { return TraceContext::current(); }).get();
+  }
+  // The context is captured at submit() time, not worker time.
+  seen_without = pool.submit([] { return TraceContext::current(); }).get();
+  EXPECT_EQ(seen_with, context);
+  EXPECT_FALSE(seen_without.valid());
+}
+
+TEST(TraceContext, WorkerContextDoesNotLeakAcrossTasks) {
+  util::ThreadPool pool(1);  // one worker: both tasks share a thread
+  const TraceContext context = TraceContext::start();
+  {
+    TraceScope scope(context);
+    pool.submit([] {}).get();
+  }
+  const TraceContext later =
+      pool.submit([] { return TraceContext::current(); }).get();
+  EXPECT_FALSE(later.valid());
+}
+
+}  // namespace
+}  // namespace jps::obs

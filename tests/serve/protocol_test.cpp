@@ -120,9 +120,10 @@ TEST(Protocol, WrongOpForDecoderThrows) {
 }
 
 TEST(Protocol, UnknownStrategyAndStatusCodesThrow) {
-  // v2 tail layout: u8 strategy | u32 n_jobs | f64 deadline_ms.
+  // v3 tail layout: u8 strategy | u32 n_jobs | f64 deadline_ms
+  //                 | u64 trace_hi | u64 trace_lo | u64 trace_parent_span.
   std::string payload = encode_plan_request(sample_request());
-  payload[payload.size() - 13] = 0x7F;
+  payload[payload.size() - 37] = 0x7F;
   EXPECT_THROW((void)decode_plan_request(payload), ProtocolError);
 
   // v1 tail layout: u8 strategy | u32 n_jobs.

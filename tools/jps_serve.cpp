@@ -14,6 +14,16 @@
 //   jps_serve ping [--host H] [--port N]
 //       Liveness probe; exit 0 when the server answers.
 //
+//   jps_serve stats [--host H] [--port N] [--watch [--interval-ms X]]
+//       Scrape the daemon's live metrics snapshot (protocol v3 STATS op) and
+//       print it as JSON.  --watch re-scrapes until interrupted.
+//
+//   jps_serve trace [--host H] [--port N] [--max N] [--watch]
+//                   [--chrome-out FILE]
+//       Drain the daemon's flight recorder (protocol v3 TRACE_DUMP op) and
+//       print the retained traces as JSON.  --chrome-out additionally
+//       converts the drained spans to Chrome trace-event format.
+//
 //   jps_serve selfcheck [--clients N] [--requests N] [--chaos]
 //       In-process end-to-end check (no sockets): start a server, drive it
 //       with concurrent clients over pipe transports, verify every reply
@@ -31,6 +41,7 @@
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -41,13 +52,17 @@
 #include "fault/fault_spec.h"
 #include "models/registry.h"
 #include "net/channel.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_export.h"
+#include "obs/trace_writer.h"
 #include "partition/profile_curve.h"
 #include "profile/latency_model.h"
 #include "serve/chaos.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #include "serve/transport.h"
+#include "util/json.h"
+#include "util/mutex.h"
 #include "util/strings.h"
 
 namespace {
@@ -62,6 +77,8 @@ void usage() {
       "  serve       run the daemon on 127.0.0.1 (blocks until SIGINT/SIGTERM)\n"
       "  plan        request one plan from a running daemon\n"
       "  ping        probe a running daemon\n"
+      "  stats       scrape a running daemon's metrics snapshot as JSON\n"
+      "  trace       drain a running daemon's flight recorder as JSON\n"
       "  selfcheck   in-process server + concurrent clients, no sockets\n"
       "\n"
       "serve flags:\n"
@@ -83,6 +100,18 @@ void usage() {
       "  --breaker-cooldown-ms X   wait before the probe (default 1000)\n"
       "  --metrics-out FILE    write a metrics snapshot at shutdown\n"
       "  --metrics-format F    openmetrics (default) or json\n"
+      "  --metrics-interval-ms X   also rewrite --metrics-out every X ms\n"
+      "                        while running (atomic tmp+rename)\n"
+      "  --no-flight-recorder  disable request-trace retention\n"
+      "  --trace-capacity N    flight-recorder ring size (default 128)\n"
+      "  --trace-sample-every N    keep 1-in-N unremarkable requests\n"
+      "\n"
+      "stats/trace flags:\n"
+      "  --host H --port N     daemon address (default 127.0.0.1:7421)\n"
+      "  --watch               keep scraping until interrupted\n"
+      "  --interval-ms X       scrape period with --watch (default 1000)\n"
+      "  --max N               traces per dump batch (trace only; 0 = server cap)\n"
+      "  --chrome-out FILE     also render drained spans as Chrome trace JSON\n"
       "\n"
       "plan/ping flags:\n"
       "  --host H --port N     daemon address (default 127.0.0.1:7421)\n"
@@ -131,6 +160,11 @@ serve::ServerOptions server_options(const tools::Args& args) {
       static_cast<std::size_t>(args.get_int("breaker-min-samples", 8));
   options.breaker.failure_ratio = args.get_double("breaker-ratio", 0.5);
   options.breaker.cooldown_ms = args.get_double("breaker-cooldown-ms", 1000.0);
+  options.flight_recorder_enabled = !args.has("no-flight-recorder");
+  options.flight_recorder_capacity =
+      static_cast<std::size_t>(args.get_int("trace-capacity", 0));
+  options.flight_recorder_sample_every =
+      static_cast<std::uint64_t>(args.get_int("trace-sample-every", 0));
   if (options.bandwidth_bucket_mbps <= 0.0)
     throw tools::UsageError("--bucket-mbps must be > 0");
   return options;
@@ -172,6 +206,43 @@ int cmd_serve(const tools::Args& args) {
   std::cout << "jps_serve listening on 127.0.0.1:" << listener.port()
             << std::endl;
 
+  // Periodic metrics writer (same fixed-deadline timer shape as the server's
+  // snapshot thread).  Each write is atomic (tmp + rename), so a scraper
+  // tailing the file never reads a torn snapshot.
+  const double metrics_interval_ms = args.get_double("metrics-interval-ms", 0.0);
+  const std::string metrics_path = args.get("metrics-out", "");
+  const std::string metrics_format = args.get("metrics-format", "openmetrics");
+  if (metrics_interval_ms > 0.0 && metrics_path.empty())
+    throw tools::UsageError("--metrics-interval-ms requires --metrics-out");
+  std::atomic<bool> metrics_stop{false};
+  util::Mutex metrics_mutex("tool.metrics_timer");
+  util::CondVar metrics_cv;
+  std::thread metrics_thread;
+  if (metrics_interval_ms > 0.0) {
+    metrics_thread = std::thread([&] {
+      const auto interval =
+          std::chrono::duration<double, std::milli>(metrics_interval_ms);
+      util::MutexLock lock(metrics_mutex);
+      while (!metrics_stop.load(std::memory_order_acquire)) {
+        const auto deadline = std::chrono::steady_clock::now() + interval;
+        while (!metrics_stop.load(std::memory_order_acquire) &&
+               metrics_cv.wait_until(lock, deadline) !=
+                   std::cv_status::timeout) {
+        }
+        if (metrics_stop.load(std::memory_order_acquire)) break;
+        lock.unlock();
+        try {
+          obs::write_metrics_file(metrics_path, metrics_format,
+                                  obs::MetricsSnapshot::capture());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "jps_serve: periodic metrics write failed: %s\n",
+                       e.what());
+        }
+        lock.lock();
+      }
+    });
+  }
+
   std::vector<std::thread> connections;
   while (auto stream = listener.accept()) {
     connections.emplace_back(
@@ -182,8 +253,14 @@ int cmd_serve(const tools::Args& args) {
 
   // Listener closed (signal): drain — half-close live connections, finish
   // admitted work, join connection threads.
+  metrics_stop.store(true, std::memory_order_release);
+  {
+    util::MutexLock lock(metrics_mutex);
+  }
+  metrics_cv.notify_all();
   server.stop();
   for (std::thread& t : connections) t.join();
+  if (metrics_thread.joinable()) metrics_thread.join();
   g_listener = nullptr;
 
   const serve::ServerStats stats = server.stats();
@@ -249,6 +326,84 @@ int cmd_ping(const tools::Args& args) {
   }
   std::cout << "no reply\n";
   return 1;
+}
+
+int cmd_stats(const tools::Args& args) {
+  const bool watch = args.has("watch");
+  const double interval_ms = args.get_double("interval-ms", 1000.0);
+  if (interval_ms <= 0.0) throw tools::UsageError("--interval-ms must be > 0");
+  serve::Client client = connect_client(args);
+  while (true) {
+    const serve::StatsReply reply = client.scrape_stats();
+    if (reply.status != serve::Status::kOk) {
+      std::cerr << "jps_serve: stats scrape failed: "
+                << serve::status_name(reply.status) << "\n";
+      return 1;
+    }
+    std::cout << reply.json << std::endl;
+    if (!watch) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(interval_ms));
+  }
+}
+
+// Convert drained flight-recorder traces to a Chrome trace-event file so a
+// remote scrape renders in Perfetto without JPS_TRACE on the server.
+void write_chrome_trace(
+    const std::vector<obs::TraceRecord>& records,
+    const std::map<std::uint64_t, std::string>& thread_names,
+    const std::string& path) {
+  obs::TraceWriter writer;
+  writer.set_process_name(0, "jps_serve (flight recorder)");
+  for (const auto& [index, name] : thread_names)
+    writer.set_thread_name(0, index, name);
+  std::vector<obs::SpanRecord> spans;
+  for (const obs::TraceRecord& record : records)
+    spans.insert(spans.end(), record.spans.begin(), record.spans.end());
+  writer.add_spans(spans);
+  writer.save(path);
+  // stderr: stdout carries the machine-readable dump JSON.
+  std::cerr << "chrome trace: " << path << " (" << spans.size() << " spans, "
+            << records.size() << " traces)" << std::endl;
+}
+
+int cmd_trace(const tools::Args& args) {
+  const bool watch = args.has("watch");
+  const double interval_ms = args.get_double("interval-ms", 1000.0);
+  if (interval_ms <= 0.0) throw tools::UsageError("--interval-ms must be > 0");
+  const auto max = static_cast<std::uint32_t>(args.get_int("max", 0));
+  const std::string chrome_out = args.get("chrome-out", "");
+  serve::Client client = connect_client(args);
+  std::vector<obs::TraceRecord> all;
+  std::map<std::uint64_t, std::string> thread_names;
+  while (true) {
+    // One dump request per batch; keep draining while the server reports a
+    // backlog so a single `jps_serve trace` empties the recorder.
+    serve::TraceDumpReply reply = client.trace_dump(max);
+    while (true) {
+      if (reply.status != serve::Status::kOk) {
+        std::cerr << "jps_serve: trace dump failed: "
+                  << serve::status_name(reply.status) << "\n";
+        return 1;
+      }
+      std::cout << reply.json << std::endl;
+      if (!chrome_out.empty()) {
+        const util::Json parsed = util::Json::parse(reply.json);
+        const std::vector<obs::TraceRecord> batch =
+            obs::flight_records_from_json(parsed);
+        all.insert(all.end(), batch.begin(), batch.end());
+        for (auto& [index, name] : obs::flight_thread_names_from_json(parsed))
+          thread_names[index] = std::move(name);
+      }
+      if (max != 0 || reply.remaining == 0) break;
+      reply = client.trace_dump(max);
+    }
+    if (!watch) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(interval_ms));
+  }
+  if (!chrome_out.empty()) write_chrome_trace(all, thread_names, chrome_out);
+  return 0;
 }
 
 // One verifiable request: the expected makespan comes from a direct Planner
@@ -487,6 +642,97 @@ int chaos_warm_start(const serve::ServerOptions& base,
   return failures;
 }
 
+// Live-introspection leg of selfcheck: against the already-loaded server,
+// (1) two STATS scrapes bracketing a plan request must both parse and show
+// monotonically increasing request counters, and (2) a TRACE_DUMP drain must
+// yield structurally valid span trees whose root span accounts for >= 95% of
+// each trace's measured wall time.
+int selfcheck_introspect(serve::Server& server, const std::vector<Case>& cases) {
+  int failures = 0;
+  serve::StreamPair pair = serve::make_in_process_pair();
+  std::thread server_thread(
+      [&server, s = std::shared_ptr<serve::ByteStream>(std::move(pair.first))] {
+        server.handle_connection(*s);
+      });
+  try {
+    serve::Client client(std::move(pair.second));
+
+    const auto counter_value = [](const util::Json& json, const char* name) {
+      const util::Json* counters = json.get("counters");
+      if (counters == nullptr) return 0.0;
+      const util::Json* value = counters->get(name);
+      return value == nullptr ? 0.0 : value->as_double();
+    };
+
+    const serve::StatsReply before = client.scrape_stats();
+    const util::Json before_json = util::Json::parse(before.json);
+    if (!client.plan(cases[0].request).has_plan()) {
+      std::fprintf(stderr, "selfcheck[introspect]: plan between scrapes failed\n");
+      ++failures;
+    }
+    const serve::StatsReply after = client.scrape_stats();
+    const util::Json after_json = util::Json::parse(after.json);
+    for (const char* name : {"serve.requests", "serve.stats_scrapes"}) {
+      const double lo = counter_value(before_json, name);
+      const double hi = counter_value(after_json, name);
+      if (hi <= lo) {
+        std::fprintf(stderr,
+                     "selfcheck[introspect]: counter %s not monotonic "
+                     "(%.0f -> %.0f)\n",
+                     name, lo, hi);
+        ++failures;
+      }
+    }
+
+    std::size_t traces = 0;
+    serve::TraceDumpReply dump = client.trace_dump();
+    while (true) {
+      const std::vector<obs::TraceRecord> batch =
+          obs::flight_records_from_json(util::Json::parse(dump.json));
+      for (const obs::TraceRecord& record : batch) {
+        ++traces;
+        const std::string verdict = obs::validate_trace(record);
+        if (!verdict.empty()) {
+          std::fprintf(stderr, "selfcheck[introspect]: invalid trace: %s\n",
+                       verdict.c_str());
+          ++failures;
+          continue;
+        }
+        // The root "serve.request" span must decompose (cover) at least 95%
+        // of the wall time finish() measured for the trace.  0.05 ms of
+        // absolute slack absorbs the tracer's own fixed bookkeeping, which
+        // would otherwise dominate sub-0.1 ms cache-hit traces.
+        double root_dur = 0.0;
+        for (const obs::SpanRecord& span : record.spans)
+          if (span.parent_span_id == 0 || span.name == "serve.request")
+            root_dur = std::max(root_dur, span.dur_ms);
+        if (record.dur_ms > 0.0 && root_dur + 0.05 < 0.95 * record.dur_ms) {
+          std::fprintf(stderr,
+                       "selfcheck[introspect]: root span covers %.3f of "
+                       "%.3f ms (< 95%%)\n",
+                       root_dur, record.dur_ms);
+          ++failures;
+        }
+      }
+      if (dump.remaining == 0) break;
+      dump = client.trace_dump();
+    }
+    if (traces == 0) {
+      std::fprintf(stderr, "selfcheck[introspect]: flight recorder is empty\n");
+      ++failures;
+    }
+    std::cout << "selfcheck[introspect]: traces=" << traces
+              << " requests=" << counter_value(after_json, "serve.requests")
+              << "\n";
+    client.close();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "selfcheck[introspect]: %s\n", e.what());
+    ++failures;
+  }
+  server_thread.join();
+  return failures;
+}
+
 int cmd_selfcheck(const tools::Args& args) {
   const int clients = args.get_int("clients", 8);
   const int requests = args.get_int("requests", 16);
@@ -498,6 +744,8 @@ int cmd_selfcheck(const tools::Args& args) {
   options.tenant_rate_per_sec = 0.0;  // selfcheck verifies replies, not sheds
   // Never shed in selfcheck: every reply must be verifiable.
   options.max_inflight = static_cast<std::size_t>(clients) + 8;
+  // Retain every request's trace so the introspection leg has data.
+  options.flight_recorder_sample_every = 1;
   serve::Server server(options);
 
   const std::vector<Case> cases = build_cases(options, "selfcheck");
@@ -532,6 +780,8 @@ int cmd_selfcheck(const tools::Args& args) {
   for (std::thread& t : client_threads) t.join();
   for (std::thread& t : server_threads) t.join();
 
+  failures.fetch_add(selfcheck_introspect(server, cases));
+
   if (chaos) {
     failures.fetch_add(chaos_delay_short(server, cases, clients, requests));
     failures.fetch_add(chaos_drop_retry(server, cases));
@@ -565,6 +815,8 @@ int main(int argc, char** argv) {
     if (command == "serve") return cmd_serve(args);
     if (command == "plan") return cmd_plan(args);
     if (command == "ping") return cmd_ping(args);
+    if (command == "stats") return cmd_stats(args);
+    if (command == "trace") return cmd_trace(args);
     if (command == "selfcheck") return cmd_selfcheck(args);
     if (!command.empty())
       std::cerr << "jps_serve: unknown command '" << command << "'\n\n";
